@@ -1,0 +1,62 @@
+//! Ablation A2: judicious merge ordering (Section 2.4's closing remark).
+//! Compares the de-facto concurrency of a naive drain-clients-sequentially
+//! merge against the relation-spreading optimizer, on the same multiset of
+//! transactions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fundb_bench::{rs_database, txn};
+use fundb_core::serializer::optimize_merge_order;
+use fundb_core::{ClientId, CostModel, DataflowCompiler};
+use fundb_lenient::Tagged;
+use fundb_query::Transaction;
+use fundb_rediflow::ConcurrencyReport;
+
+fn clients() -> Vec<(ClientId, Vec<Transaction>)> {
+    let a = (0..10)
+        .map(|i| {
+            let rel = if i < 5 { "R" } else { "S" };
+            txn(&format!("insert {} into {rel}", 2 * i + 1))
+        })
+        .collect();
+    let b = (0..10)
+        .map(|i| {
+            let rel = if i < 5 { "S" } else { "R" };
+            txn(&format!("insert {} into {rel}", 2 * i + 41))
+        })
+        .collect();
+    vec![(ClientId(0), a), (ClientId(1), b)]
+}
+
+fn plies_of(batch: &[Tagged<ClientId, Transaction>]) -> usize {
+    let txns: Vec<Transaction> = batch.iter().map(|t| t.value.clone()).collect();
+    let g = DataflowCompiler::new(CostModel::default()).compile(&rs_database(), &txns);
+    ConcurrencyReport::of(&g).plies()
+}
+
+fn bench_merge_order(c: &mut Criterion) {
+    let sequential: Vec<Tagged<ClientId, Transaction>> = clients()
+        .into_iter()
+        .flat_map(|(id, txns)| txns.into_iter().map(move |t| Tagged::new(id, t)))
+        .collect();
+    let optimized = optimize_merge_order(clients());
+    println!(
+        "completion: sequential {} plies, optimized {} plies",
+        plies_of(&sequential),
+        plies_of(&optimized)
+    );
+
+    let mut group = c.benchmark_group("ablation_merge");
+    group.bench_function("optimize_merge_order", |b| {
+        b.iter(|| optimize_merge_order(clients()).len());
+    });
+    group.bench_function("analyze_sequential", |b| {
+        b.iter(|| plies_of(&sequential));
+    });
+    group.bench_function("analyze_optimized", |b| {
+        b.iter(|| plies_of(&optimized));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge_order);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Ablation A1: linked-list vs balanced-tree relations in the simulator —
+//! the paper's Section 4 projection that "tree representations are
+//! projected to be even more efficient".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fundb_core::{AccessShape, CostModel, DataflowCompiler};
+use fundb_rediflow::ConcurrencyReport;
+use fundb_workload::WorkloadSpec;
+
+fn bench_ablation(c: &mut Criterion) {
+    // Print the comparison once.
+    for (label, shape) in [
+        ("list", AccessShape::LinearList),
+        ("tree", AccessShape::BalancedTree),
+    ] {
+        let model = CostModel {
+            shape,
+            ..CostModel::default()
+        };
+        let w = WorkloadSpec::paper(1, 19).generate();
+        let g = DataflowCompiler::new(model).compile(&w.initial, &w.txns);
+        let r = ConcurrencyReport::of(&g);
+        println!(
+            "38% inserts, 1 relation, {label}: completion {} plies, avg width {:.1}",
+            r.plies(),
+            r.avg_width()
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_tree");
+    for (label, shape) in [
+        ("list", AccessShape::LinearList),
+        ("tree", AccessShape::BalancedTree),
+    ] {
+        let model = CostModel {
+            shape,
+            ..CostModel::default()
+        };
+        let w = WorkloadSpec::paper(1, 19).generate();
+        group.bench_with_input(BenchmarkId::new("compile_38pct", label), &w, |b, w| {
+            let compiler = DataflowCompiler::new(model);
+            b.iter(|| {
+                ConcurrencyReport::of(&compiler.compile(&w.initial, &w.txns)).plies()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Functional pipelined engine vs the conventional 2PL locking executor on
+//! identical workloads — the comparison Section 2.3 argues about.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fundb_bench::txn;
+use fundb_core::{LockingDb, PipelinedEngine};
+use fundb_query::Transaction;
+use fundb_relational::{Database, Repr};
+
+fn workload(read_heavy: bool) -> (Database, Vec<Transaction>) {
+    let mut db = Database::empty();
+    for r in 0..4 {
+        db = db
+            .create_relation(format!("R{r}").as_str(), Repr::List)
+            .expect("fresh names");
+        for k in 0..50 {
+            let (d2, _) = db
+                .insert(
+                    &format!("R{r}").as_str().into(),
+                    fundb_relational::Tuple::of_key(k * 2),
+                )
+                .expect("relation exists");
+            db = d2;
+        }
+    }
+    let txns = (0..200)
+        .map(|i| {
+            let rel = format!("R{}", i % 4);
+            let write = if read_heavy { i % 10 == 0 } else { i % 2 == 0 };
+            if write {
+                txn(&format!("insert {} into {rel}", 2 * i + 1))
+            } else {
+                txn(&format!("find {} in {rel}", (i * 2) % 100))
+            }
+        })
+        .collect();
+    (db, txns)
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_locking");
+    group.sample_size(10);
+    for (read_heavy, label) in [(true, "read_heavy"), (false, "write_heavy")] {
+        let (db, txns) = workload(read_heavy);
+        group.bench_with_input(
+            BenchmarkId::new("functional_engine_4w", label),
+            &(db.clone(), txns.clone()),
+            |b, (db, txns)| {
+                b.iter(|| PipelinedEngine::new(4, db).run(txns.clone()).len());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("locking_2pl_4t", label),
+            &(db, txns),
+            |b, (db, txns)| {
+                b.iter(|| LockingDb::from_database(db).run_concurrent(txns, 4).len());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Multi-user serialization throughput: merge + logically-sequential
+//! processing + choose-based response routing (Section 2.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fundb_bench::{rs_database, txn};
+use fundb_core::{process_tagged, ClientId};
+use fundb_lenient::{merge_deterministic, MergeSchedule, Stream, Tagged};
+use fundb_query::Transaction;
+
+fn bench_serializer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_serializer");
+    for clients in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("round_robin_merge_process", clients),
+            &clients,
+            |b, &clients| {
+                b.iter(|| {
+                    let inputs: Vec<Stream<Tagged<ClientId, Transaction>>> = (0..clients)
+                        .map(|cl| {
+                            let rel = if cl % 2 == 0 { "R" } else { "S" };
+                            (0..25)
+                                .map(|i| {
+                                    Tagged::new(
+                                        ClientId(cl as u32),
+                                        txn(&format!("insert {} into {rel}", cl * 100 + i)),
+                                    )
+                                })
+                                .collect()
+                        })
+                        .collect();
+                    let merged = merge_deterministic(inputs, MergeSchedule::RoundRobin);
+                    process_tagged(merged, rs_database()).len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serializer);
+criterion_main!(benches);

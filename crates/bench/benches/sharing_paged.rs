@@ -1,0 +1,36 @@
+//! Figure 2-2 harness: page/directory sharing under applicative updates.
+//!
+//! Prints the sharing report for the figure's scenario, then benchmarks
+//! the paged insert against a whole-store rebuild (what naive "the update
+//! copies the database" would cost) — the paper's partial-vs-total
+//! reconstruction argument, quantified.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fundb_persist::{PageSharingReport, PagedStore};
+
+fn bench_sharing(c: &mut Criterion) {
+    let old: PagedStore<u64> = PagedStore::with_capacity(4, 0..18);
+    let new = old.insert(99);
+    println!(
+        "Figure 2-2 scenario (18 tuples, capacity 4, one insert): {}",
+        PageSharingReport::between(&old, &new)
+    );
+
+    let mut group = c.benchmark_group("sharing_paged");
+    for n in [64u64, 1024, 16 * 1024] {
+        let store: PagedStore<u64> = PagedStore::with_capacity(64, 0..n);
+        group.bench_with_input(BenchmarkId::new("shared_insert", n), &store, |b, s| {
+            b.iter(|| s.insert(0).page_count());
+        });
+        group.bench_with_input(BenchmarkId::new("full_rebuild", n), &store, |b, s| {
+            b.iter(|| {
+                let items: Vec<u64> = s.iter().copied().chain(std::iter::once(0)).collect();
+                PagedStore::with_capacity(64, items).page_count()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharing);
+criterion_main!(benches);

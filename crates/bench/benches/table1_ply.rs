@@ -1,0 +1,43 @@
+//! Table I harness: mode-1 ply analysis of the paper's sweep.
+//!
+//! Benchmarks graph compilation + levelization per sweep cell, and prints
+//! the full measured-vs-paper table once at startup (the data recorded in
+//! EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fundb_bench::sweep_cell;
+use fundb_core::{CostModel, DataflowCompiler};
+use fundb_rediflow::ConcurrencyReport;
+use fundb_workload::report::render_table1;
+use fundb_workload::run_table1;
+
+fn bench_table1(c: &mut Criterion) {
+    // Print the reproduced table once, so `cargo bench` output contains the
+    // artifact itself.
+    println!("{}", render_table1(&run_table1(CostModel::default())));
+
+    let mut group = c.benchmark_group("table1_ply");
+    for (relations, inserts, label) in [
+        (5usize, 0usize, "5rel_0pct"),
+        (1, 0, "1rel_0pct"),
+        (3, 7, "3rel_14pct"),
+        (1, 19, "1rel_38pct"),
+    ] {
+        let (db, txns, _g) = sweep_cell(relations, inserts);
+        group.bench_with_input(
+            BenchmarkId::new("compile_and_levelize", label),
+            &(db, txns),
+            |b, (db, txns)| {
+                let compiler = DataflowCompiler::new(CostModel::default());
+                b.iter(|| {
+                    let graph = compiler.compile(db, txns);
+                    ConcurrencyReport::of(&graph).avg_width()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Table II harness: mode-2 speedup on the 8-node binary hypercube.
+//!
+//! Prints the measured-vs-paper table once, then benchmarks the scheduler
+//! itself on representative sweep cells.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fundb_bench::sweep_cell;
+use fundb_core::CostModel;
+use fundb_rediflow::{Hypercube, Scheduler};
+use fundb_workload::report::render_speedup_table;
+use fundb_workload::run_table2;
+
+fn bench_table2(c: &mut Criterion) {
+    println!(
+        "{}",
+        render_speedup_table(
+            "Table II: Speedup, 8-node hypercube",
+            &run_table2(CostModel::default())
+        )
+    );
+
+    let topo = Hypercube::new(3);
+    let mut group = c.benchmark_group("table2_hypercube");
+    for (relations, inserts, label) in [(1usize, 0usize, "1rel_0pct"), (3, 7, "3rel_14pct"), (1, 19, "1rel_38pct")] {
+        let (_db, _txns, graph) = sweep_cell(relations, inserts);
+        group.bench_with_input(BenchmarkId::new("schedule", label), &graph, |b, graph| {
+            b.iter(|| Scheduler::with_defaults(&topo).run(graph).speedup());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Table III harness: mode-2 speedup on the 27-node (3x3x3) Euclidean cube.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fundb_bench::sweep_cell;
+use fundb_core::CostModel;
+use fundb_rediflow::{EuclideanCube, Scheduler};
+use fundb_workload::report::render_speedup_table;
+use fundb_workload::run_table3;
+
+fn bench_table3(c: &mut Criterion) {
+    println!(
+        "{}",
+        render_speedup_table(
+            "Table III: Speedup, 27-node Euclidean cube",
+            &run_table3(CostModel::default())
+        )
+    );
+
+    let topo = EuclideanCube::new(3);
+    let mut group = c.benchmark_group("table3_cube");
+    for (relations, inserts, label) in [(1usize, 0usize, "1rel_0pct"), (3, 7, "3rel_14pct"), (1, 19, "1rel_38pct")] {
+        let (_db, _txns, graph) = sweep_cell(relations, inserts);
+        group.bench_with_input(BenchmarkId::new("schedule", label), &graph, |b, graph| {
+            b.iter(|| Scheduler::with_defaults(&topo).run(graph).speedup());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

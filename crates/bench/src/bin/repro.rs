@@ -1,0 +1,359 @@
+//! Regenerates every table and figure of Keller & Lindstrom (ICDCS 1985).
+//!
+//! ```text
+//! cargo run -p fundb-bench --bin repro -- <what>
+//!
+//! what: table1 | table2 | table3 | fig2-1 | fig2-2 | fig2-3 | fig3-1
+//!     | ablation-tree | ablation-lenient | ablation-merge | all
+//! ```
+//!
+//! Output pairs our measurements with the paper's published values; see
+//! EXPERIMENTS.md for the recorded comparison and discussion of residuals.
+
+use fundb_bench::{figure_2_3_batch, rs_database, txn};
+use fundb_core::{apply_stream, AccessShape, CostModel, DataflowCompiler, TxnSchedule};
+use fundb_lenient::Stream;
+use fundb_net::{Message, SharedMedium, SiteId};
+use fundb_persist::{PageSharingReport, PagedStore};
+use fundb_rediflow::dot::to_dot;
+use fundb_rediflow::trace::render_defacto_schedule;
+use fundb_rediflow::ConcurrencyReport;
+use fundb_workload::report::{render_speedup_table, render_table1};
+use fundb_workload::{run_scaling, run_table1, run_table2, run_table3, WorkloadSpec};
+
+fn main() {
+    let what = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    match what.as_str() {
+        "table1" => table1(),
+        "table2" => table2(),
+        "table3" => table3(),
+        "fig2-1" => fig2_1(),
+        "fig2-2" => fig2_2(),
+        "fig2-3" => fig2_3(),
+        "fig3-1" => fig3_1(),
+        "scaling" => scaling(),
+        "flooding" => flooding(),
+        "ablation-tree" => ablation_tree(),
+        "ablation-lenient" => ablation_lenient(),
+        "ablation-merge" => ablation_merge(),
+        "all" => {
+            table1();
+            table2();
+            table3();
+            fig2_1();
+            fig2_2();
+            fig2_3();
+            fig3_1();
+            scaling();
+            flooding();
+            ablation_tree();
+            ablation_lenient();
+            ablation_merge();
+        }
+        other => {
+            eprintln!("unknown target '{other}'");
+            eprintln!(
+                "expected: table1 | table2 | table3 | fig2-1 | fig2-2 | fig2-3 | fig3-1 \
+                 | scaling | flooding | ablation-tree | ablation-lenient | ablation-merge | all"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn banner(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+fn table1() {
+    banner("Table I — max & avg degree of concurrency (mode 1)");
+    print!("{}", render_table1(&run_table1(CostModel::default())));
+}
+
+fn table2() {
+    banner("Table II — speedup, 8-node binary hypercube (mode 2)");
+    print!(
+        "{}",
+        render_speedup_table("Table II: Speedup, 8-node hypercube", &run_table2(CostModel::default()))
+    );
+}
+
+fn table3() {
+    banner("Table III — speedup, 27-node Euclidean cube (mode 2)");
+    print!(
+        "{}",
+        render_speedup_table(
+            "Table III: Speedup, 27-node Euclidean cube",
+            &run_table3(CostModel::default())
+        )
+    );
+}
+
+/// Figure 2-1: transaction application in graphical form — regenerated as
+/// the DOT rendering of a real 3-transaction apply-stream dataflow graph.
+fn fig2_1() {
+    banner("Figure 2-1 — apply-stream wiring (as DOT, from a real run)");
+    let db = rs_database();
+    let txns = vec![
+        txn("insert 1 into R"),
+        txn("find 1 in R"),
+        txn("insert 2 into S"),
+    ];
+    // First, actually run the equations.
+    let stream: Stream<_> = txns.clone().into_iter().collect();
+    let (responses, _dbs) = apply_stream(stream, db.clone());
+    for (i, r) in responses.collect_vec().iter().enumerate() {
+        println!("response stream [{i}]: {r}");
+    }
+    // Then show the dataflow graph that processing unfolds into.
+    let graph = DataflowCompiler::new(CostModel::default()).compile(&db, &txns);
+    println!("\n{}", to_dot(&graph, "apply-stream of 3 transactions"));
+}
+
+/// Figure 2-2: sharing of pages through separate directories.
+fn fig2_2() {
+    banner("Figure 2-2 — page sharing through separate directories");
+    // Four full pages plus a partial one, so the insert lands in (and
+    // copies) the partial page — the figure's "modified" page.
+    let old: PagedStore<u32> = PagedStore::with_capacity(4, 0..18);
+    let new = old.insert(99);
+    let report = PageSharingReport::between(&old, &new);
+    println!("paged relation: 18 tuples, page capacity 4");
+    println!("after one insert: {report}");
+    println!();
+    println!("  \"old\" directory ─┬─> page0 <─┬─ \"new\" directory");
+    println!("                    ├─> page1 <─┤");
+    println!("                    ├─> page2 <─┤");
+    println!("                    ├─> page3 <─┤");
+    println!("                    └─> page4    └─> page4' (\"modified\" page)");
+    assert_eq!(report.shared_pages, 4);
+    assert_eq!(report.new_pages, 1);
+    assert_eq!(report.superseded_pages, 1);
+}
+
+/// Figure 2-3: merging and decomposition of transaction streams — the
+/// paper's exact 5-transaction scenario.
+fn fig2_3() {
+    banner("Figure 2-3 — merging and decomposition of transaction streams");
+    let batch = figure_2_3_batch();
+    println!("(input transaction streams)");
+    println!("  stream A: insert x into R ; find x in R");
+    println!("  stream B: insert z into S ; insert y into S ; find z in S");
+    println!("\n(merged transaction stream)");
+    for t in &batch {
+        println!("  [{}] {}", t.tag, t.value);
+    }
+    println!("\n(resulting de-facto parallel execution schedule — transaction level)");
+    print!("{}", TxnSchedule::of(&batch).render());
+
+    // Fine grain: the first plies of the compiled dataflow graph.
+    let db = rs_database();
+    let txns: Vec<_> = batch.iter().map(|t| t.value.clone()).collect();
+    let graph = DataflowCompiler::new(CostModel::default()).compile(&db, &txns);
+    println!("\n(fine-grain plies from the dataflow graph; Ti = transaction i)");
+    let rendered = render_defacto_schedule(&graph);
+    for line in rendered.lines().take(12) {
+        println!("{line}");
+    }
+    let plies = ConcurrencyReport::of(&graph);
+    println!("… {} tasks over {} plies, max width {}", plies.tasks, plies.plies(), plies.max_width());
+}
+
+/// Figure 3-1: physical network vs the logical merge/choose view.
+fn fig3_1() {
+    banner("Figure 3-1 — site-based substream selection (merge/choose)");
+    let medium: SharedMedium<&str> = SharedMedium::new();
+    // a. physical: three sites put messages on the shared medium.
+    medium.send(Message::new(SiteId(1), SiteId(2), 0, "req:1->2"));
+    medium.send(Message::new(SiteId(2), SiteId(3), 0, "req:2->3"));
+    medium.send(Message::new(SiteId(3), SiteId(1), 0, "req:3->1"));
+    medium.send(Message::new(SiteId(2), SiteId(1), 1, "rsp:2->1"));
+    medium.send(Message::new(SiteId(1), SiteId(3), 1, "rsp:1->3"));
+    medium.close();
+    println!("a. physical network: sites 1, 2, 3 on one broadcast segment");
+    println!("\nb. logical view — the medium is one large merge:");
+    let all = medium.broadcast_stream().collect_vec();
+    for m in &all {
+        println!("   merge out: {} -> {}: {}", m.from, m.to, m.payload);
+    }
+    for site in 1..=3u32 {
+        let chosen = medium.choose(SiteId(site)).collect_vec();
+        let shown: Vec<&str> = chosen.iter().map(|m| m.payload).collect();
+        println!("   choose({}) = {:?}", SiteId(site), shown);
+    }
+}
+
+/// Extension study: concurrency vs transaction-stream length.
+fn scaling() {
+    banner("Extension — concurrency vs stream length (3 relations, 14% inserts)");
+    print!(
+        "{}",
+        fundb_workload::report::render_scaling(&run_scaling(
+            CostModel::default(),
+            &[5, 10, 25, 50, 100, 200, 400]
+        ))
+    );
+    println!("(pipeline concurrency requires in-flight transactions: widths rise");
+    println!(" with stream length toward the machine's natural asymptote)");
+}
+
+/// Demonstrates the paper's two concurrency species (§1): *flooding*
+/// (independent data operated on concurrently within one transaction — a
+/// join's two scans) vs *pipelining* (successive transactions overlapping).
+fn flooding() {
+    banner("Flooding vs pipelining (paper §1's two concurrency species)");
+    let mut db = rs_database();
+    for rel in ["R", "S"] {
+        for k in 0..25 {
+            let (next, _) = db
+                .insert(&rel.into(), fundb_relational::Tuple::of_key(2 * k))
+                .expect("relation exists");
+            db = next;
+        }
+    }
+    let compiler = DataflowCompiler::new(CostModel::default());
+
+    // Flooding: ONE transaction scanning two relations at once.
+    let join_graph = compiler.compile(&db, &[txn("join R with S")]);
+    let join = ConcurrencyReport::of(&join_graph);
+    // Pipelining: TWO transactions, one scan each.
+    let seq_graph = compiler.compile(&db, &[txn("select from R"), txn("select from S")]);
+    let pipe = ConcurrencyReport::of(&seq_graph);
+
+    println!("one join (flooding, intra-transaction):");
+    println!(
+        "  {} tasks over {} plies, max width {}",
+        join.tasks,
+        join.plies(),
+        join.max_width()
+    );
+    println!("two selects (pipelining, inter-transaction):");
+    println!(
+        "  {} tasks over {} plies, max width {}",
+        pipe.tasks,
+        pipe.plies(),
+        pipe.max_width()
+    );
+    println!("(the join's scans start in the same ply — flooding; the selects'");
+    println!(" scans start one unfold apart and overlap — pipelining)");
+}
+
+/// Ablation A1: the paper's projection that trees beat linked lists.
+fn ablation_tree() {
+    banner("Ablation — linked-list vs balanced-tree relations (paper §4 projection)");
+    let list = CostModel::default();
+    let tree = CostModel {
+        shape: AccessShape::BalancedTree,
+        ..CostModel::default()
+    };
+    println!("avg ply width, 1-relation column (higher = more concurrency):");
+    println!("  upd% | list | tree");
+    for (percent, inserts) in [(0u32, 0usize), (14, 7), (38, 19)] {
+        let w = WorkloadSpec::paper(1, inserts).generate();
+        let gl = DataflowCompiler::new(list).compile(&w.initial, &w.txns);
+        let gt = DataflowCompiler::new(tree).compile(&w.initial, &w.txns);
+        let rl = ConcurrencyReport::of(&gl);
+        let rt = ConcurrencyReport::of(&gt);
+        println!(
+            "  {percent:>3}% | {:>4.1} | {:>4.1}   (critical path {} vs {})",
+            rl.avg_width(),
+            rt.avg_width(),
+            rl.plies(),
+            rt.plies()
+        );
+    }
+    println!("(trees shorten both the scan chains and the update stalls; at high");
+    println!(" update fractions the critical path contracts sharply, as projected)");
+}
+
+/// Ablation A3 (leniency): strict vs lenient copy publication.
+fn ablation_lenient() {
+    banner("Ablation — strict vs lenient construction of copied cells");
+    let strict = CostModel::default();
+    let lenient = CostModel {
+        strict_copy: false,
+        ..CostModel::default()
+    };
+    println!("avg ply width at 38% inserts (1 relation):");
+    let w = WorkloadSpec::paper(1, 19).generate();
+    let gs = DataflowCompiler::new(strict).compile(&w.initial, &w.txns);
+    let gl = DataflowCompiler::new(lenient).compile(&w.initial, &w.txns);
+    println!("  strict  : {:.1}", ConcurrencyReport::of(&gs).avg_width());
+    println!("  lenient : {:.1}", ConcurrencyReport::of(&gl).avg_width());
+    println!("(cell-by-cell publication lets readers chase writers — the concurrency");
+    println!(" the paper attributes to lenient constructors)");
+}
+
+/// Ablation A2: merge-order optimization (paper §2.4 future work).
+///
+/// Same transaction multiset, two merge orders, measured at the fine grain
+/// where the paper expects the gain ("greater concurrency among relational
+/// components"): a naive drain-one-client-then-the-other merge places
+/// same-relation writers back to back, so their construction stalls chain;
+/// the optimizer alternates relations, hiding each stall inside the other
+/// relation's work.
+fn ablation_merge() {
+    banner("Ablation — judicious merge ordering (paper §2.4 future work)");
+    use fundb_core::ClientId;
+    // Each client writes both relations, in opposite block orders.
+    let client_a: Vec<_> = (0..10)
+        .map(|i| {
+            let rel = if i < 5 { "R" } else { "S" };
+            txn(&format!("insert {} into {rel}", 2 * i + 1))
+        })
+        .collect();
+    let client_b: Vec<_> = (0..10)
+        .map(|i| {
+            let rel = if i < 5 { "S" } else { "R" };
+            txn(&format!("insert {} into {rel}", 2 * i + 41))
+        })
+        .collect();
+    let sequential: Vec<_> = client_a
+        .iter()
+        .cloned()
+        .map(|t| fundb_lenient::Tagged::new(ClientId(0), t))
+        .chain(
+            client_b
+                .iter()
+                .cloned()
+                .map(|t| fundb_lenient::Tagged::new(ClientId(1), t)),
+        )
+        .collect();
+    let optimized = fundb_core::serializer::optimize_merge_order(vec![
+        (ClientId(0), client_a),
+        (ClientId(1), client_b),
+    ]);
+
+    let db = {
+        let mut db = rs_database();
+        for rel in ["R", "S"] {
+            for k in 0..20 {
+                let (d2, _) = db
+                    .insert(&rel.into(), fundb_relational::Tuple::of_key(2 * k))
+                    .expect("relation exists");
+                db = d2;
+            }
+        }
+        db
+    };
+    let measure = |batch: &[fundb_lenient::Tagged<ClientId, fundb_query::Transaction>]| {
+        let txns: Vec<_> = batch.iter().map(|t| t.value.clone()).collect();
+        let graph = DataflowCompiler::new(CostModel::default()).compile(&db, &txns);
+        ConcurrencyReport::of(&graph)
+    };
+    let seq = measure(&sequential);
+    let opt = measure(&optimized);
+    println!("20 transactions (2 clients, each writing R then S in blocks):");
+    println!(
+        "  sequential merge : avg width {:.1}, critical path {} plies",
+        seq.avg_width(),
+        seq.plies()
+    );
+    println!(
+        "  optimized merge  : avg width {:.1}, critical path {} plies",
+        opt.avg_width(),
+        opt.plies()
+    );
+}

@@ -1,0 +1,61 @@
+//! Shared fixtures for the benchmark harness and the `repro` binary.
+//!
+//! Everything the Criterion benches and the table/figure reproductions have
+//! in common lives here: canonical workloads, the Figure 2-3 scenario, and
+//! small formatting helpers.
+
+use fundb_core::{ClientId, CostModel, DataflowCompiler};
+use fundb_lenient::Tagged;
+use fundb_query::{parse, translate, Transaction};
+use fundb_rediflow::TaskGraph;
+use fundb_relational::{Database, Repr};
+use fundb_workload::WorkloadSpec;
+
+/// Parses and translates a query, panicking on malformed input (fixtures
+/// are compile-time constants).
+pub fn txn(q: &str) -> Transaction {
+    translate(parse(q).expect("fixture query parses"))
+}
+
+/// A two-relation `R`/`S` database, as in the paper's running example.
+pub fn rs_database() -> Database {
+    Database::empty()
+        .create_relation("R", Repr::List)
+        .expect("fresh name")
+        .create_relation("S", Repr::List)
+        .expect("fresh name")
+}
+
+/// The exact merged transaction stream of Figure 2-3, tagged by origin
+/// stream (client 0 = the R stream, client 1 = the S stream).
+pub fn figure_2_3_batch() -> Vec<Tagged<ClientId, Transaction>> {
+    vec![
+        Tagged::new(ClientId(0), txn("insert 'x' into R")),
+        Tagged::new(ClientId(1), txn("insert 'z' into S")),
+        Tagged::new(ClientId(0), txn("find 'x' in R")),
+        Tagged::new(ClientId(1), txn("insert 'y' into S")),
+        Tagged::new(ClientId(1), txn("find 'z' in S")),
+    ]
+}
+
+/// Builds the task graph for one Table I–III sweep cell under the default
+/// cost model.
+pub fn sweep_cell(relations: usize, inserts: usize) -> (Database, Vec<Transaction>, TaskGraph) {
+    let w = WorkloadSpec::paper(relations, inserts).generate();
+    let graph = DataflowCompiler::new(CostModel::default()).compile(&w.initial, &w.txns);
+    (w.initial, w.txns, graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        assert_eq!(rs_database().relation_count(), 2);
+        assert_eq!(figure_2_3_batch().len(), 5);
+        let (_db, txns, graph) = sweep_cell(3, 7);
+        assert_eq!(txns.len(), 50);
+        assert!(graph.len() > 100);
+    }
+}

@@ -1,0 +1,190 @@
+//! The `apply-stream` operator of Figure 2-1.
+//!
+//! ```text
+//! old-databases = initial-database ^ new-databases
+//! [responses, new-databases] = apply-stream:[transactions, old-databases]
+//! ```
+//!
+//! `apply_stream` below is that pair of equations: it consumes a (possibly
+//! still-being-produced) stream of transactions and yields the stream of
+//! responses and the stream of successor database versions. Everything is
+//! lazy: version `i+1` is computed exactly once, on first demand by either
+//! output stream, and demanding response `k` forces only the first `k`
+//! applications.
+
+use fundb_lenient::Stream;
+use fundb_query::{Response, Transaction};
+use fundb_relational::Database;
+
+/// Applies each transaction to the evolving database, yielding the paired
+/// `(response, successor database)` stream.
+///
+/// This is the workhorse shared by [`apply_stream`]; the pairing guarantees
+/// the transaction application runs once even if both projections are
+/// consumed independently.
+pub fn apply_stream_pairs(
+    transactions: Stream<Transaction>,
+    initial: Database,
+) -> Stream<(Response, Database)> {
+    Stream::unfold((transactions, initial), |(txns, db)| {
+        let (tx, rest) = txns.uncons()?;
+        let (response, db2) = tx.apply(&db);
+        Some(((response, db2.clone()), (rest, db2)))
+    })
+}
+
+/// The paper's `apply-stream`: returns `(responses, new_databases)`.
+///
+/// The `i`-th element of `new_databases` is the database after the first
+/// `i+1` transactions; prepending the initial database reconstructs the
+/// paper's `old-databases` feedback stream.
+///
+/// # Example
+///
+/// ```
+/// use fundb_core::apply_stream;
+/// use fundb_lenient::Stream;
+/// use fundb_query::{parse, translate};
+/// use fundb_relational::{Database, Repr};
+///
+/// let db = Database::empty().create_relation("R", Repr::List)?;
+/// let txns: Stream<_> = ["insert 1 into R", "find 1 in R"]
+///     .iter()
+///     .map(|q| translate(parse(q).unwrap()))
+///     .collect();
+/// let (responses, versions) = apply_stream(txns, db);
+/// assert_eq!(responses.len(), 2);
+/// assert_eq!(versions.nth(1).unwrap().tuple_count(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn apply_stream(
+    transactions: Stream<Transaction>,
+    initial: Database,
+) -> (Stream<Response>, Stream<Database>) {
+    let pairs = apply_stream_pairs(transactions, initial);
+    let responses = pairs.map(|(r, _)| r);
+    let databases = pairs.map(|(_, d)| d);
+    (responses, databases)
+}
+
+/// The `old-databases` stream of the paper's equations: the initial
+/// database followed by every successor version.
+pub fn version_stream(
+    transactions: Stream<Transaction>,
+    initial: Database,
+) -> Stream<Database> {
+    let (_, new_databases) = apply_stream(transactions, initial.clone());
+    Stream::cons(initial, new_databases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fundb_query::parse;
+    use fundb_query::translate;
+    use fundb_relational::Repr;
+
+    fn txn(q: &str) -> Transaction {
+        translate(parse(q).unwrap())
+    }
+
+    fn base() -> Database {
+        Database::empty()
+            .create_relation("R", Repr::List)
+            .unwrap()
+            .create_relation("S", Repr::List)
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_transaction_stream() {
+        let (responses, dbs) = apply_stream(Stream::empty(), base());
+        assert!(responses.is_nil());
+        assert!(dbs.is_nil());
+    }
+
+    #[test]
+    fn sequential_semantics() {
+        let txns: Stream<_> = [
+            "insert (1, 'a') into R",
+            "insert (2, 'b') into S",
+            "find 1 in R",
+            "delete 2 from S",
+            "count S",
+        ]
+        .iter()
+        .map(|q| txn(q))
+        .collect();
+        let (responses, dbs) = apply_stream(txns, base());
+        let rs = responses.collect_vec();
+        assert_eq!(rs.len(), 5);
+        assert_eq!(rs[2].tuples().unwrap().len(), 1);
+        assert_eq!(rs[3], Response::Deleted(1));
+        assert_eq!(rs[4], Response::Count(0));
+        // Each version reflects exactly its prefix of transactions.
+        let versions = dbs.collect_vec();
+        assert_eq!(versions[0].tuple_count(), 1);
+        assert_eq!(versions[1].tuple_count(), 2);
+        assert_eq!(versions[4].tuple_count(), 1);
+    }
+
+    #[test]
+    fn versions_are_independent_values() {
+        let txns: Stream<_> = ["insert 1 into R", "insert 2 into R"]
+            .iter()
+            .map(|q| txn(q))
+            .collect();
+        let (_, dbs) = apply_stream(txns, base());
+        let versions = dbs.collect_vec();
+        // Early versions still answer their own queries after later ones
+        // exist — the version stream of Section 2.1.
+        assert_eq!(versions[0].find(&"R".into(), &2.into()).unwrap().len(), 0);
+        assert_eq!(versions[1].find(&"R".into(), &2.into()).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn lazy_only_demands_needed_prefix() {
+        // An infinite transaction stream: demanding three responses must
+        // terminate.
+        let nats = Stream::unfold(0i64, |n| Some((n, n + 1)));
+        let txns = nats.map(|n| txn(&format!("insert {n} into R")));
+        let (responses, _) = apply_stream(txns, base());
+        assert_eq!(responses.take(3).len(), 3);
+    }
+
+    #[test]
+    fn both_projections_agree() {
+        let txns: Stream<_> = ["insert 7 into R", "count R"].iter().map(|q| txn(q)).collect();
+        let (responses, dbs) = apply_stream(txns, base());
+        // Consume databases first, then responses: memoized pairs mean the
+        // transactions still ran exactly once and the answers line up.
+        let versions = dbs.collect_vec();
+        let rs = responses.collect_vec();
+        assert_eq!(versions.len(), 2);
+        assert_eq!(rs[1], Response::Count(1));
+    }
+
+    #[test]
+    fn version_stream_prepends_initial() {
+        let txns: Stream<_> = ["insert 1 into R"].iter().map(|q| txn(q)).collect();
+        let olds = version_stream(txns, base());
+        let versions = olds.collect_vec();
+        assert_eq!(versions.len(), 2);
+        assert_eq!(versions[0].tuple_count(), 0);
+        assert_eq!(versions[1].tuple_count(), 1);
+    }
+
+    #[test]
+    fn pipelines_with_live_producer() {
+        // Push transactions one at a time from another thread; responses
+        // must flow before the producer closes.
+        let (mut writer, txn_stream) = Stream::channel();
+        let (responses, _) = apply_stream(txn_stream, base());
+        writer.push(txn("insert 5 into R"));
+        assert!(!responses.first().unwrap().is_error());
+        writer.push(txn("find 5 in R"));
+        assert_eq!(responses.nth(1).unwrap().tuples().unwrap().len(), 1);
+        writer.close();
+        assert_eq!(responses.len(), 2);
+    }
+}

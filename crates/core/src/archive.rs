@@ -1,0 +1,288 @@
+//! Complete version archives (Section 3.3).
+//!
+//! "There is reason to believe that some applications will permit 'complete
+//! archives' to be constructed, using e.g. optical storage." Because every
+//! database version is a persistent value sharing almost all structure with
+//! its neighbours, retaining *every* version is cheap: an archive of `n`
+//! versions costs the initial database plus the per-update copied paths,
+//! not `n` copies.
+//!
+//! [`VersionArchive`] retains the whole version stream and offers
+//! time-travel queries, change detection by physical sharing, and
+//! per-key history — the "version-based objects" effect (Reed, cited as
+//! \[19\] in the paper) without explicit version numbers.
+
+use std::fmt;
+
+use fundb_query::{Response, Transaction};
+use fundb_relational::{Database, RelationName};
+
+/// A complete archive of database versions.
+///
+/// Version 0 is the initial database; version `i+1` results from the `i`-th
+/// applied transaction. All versions remain queryable forever.
+///
+/// # Example
+///
+/// ```
+/// use fundb_core::VersionArchive;
+/// use fundb_query::{parse, translate};
+/// use fundb_relational::{Database, Repr};
+///
+/// let db = Database::empty().create_relation("R", Repr::List)?;
+/// let mut archive = VersionArchive::new(db);
+/// archive.apply(&translate(parse("insert 1 into R")?));
+/// archive.apply(&translate(parse("delete 1 from R")?));
+/// // The past is still there:
+/// assert_eq!(archive.version(1).unwrap().tuple_count(), 1);
+/// assert_eq!(archive.head().tuple_count(), 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct VersionArchive {
+    versions: Vec<Database>,
+    /// The transaction that produced version `i+1`, as query text, plus its
+    /// response (aligned: entry `i` produced version `i+1`).
+    log: Vec<(String, Response)>,
+}
+
+impl fmt::Debug for VersionArchive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "VersionArchive[{} versions, head has {} tuples]",
+            self.versions.len(),
+            self.head().tuple_count()
+        )
+    }
+}
+
+impl VersionArchive {
+    /// An archive whose version 0 is `initial`.
+    pub fn new(initial: Database) -> Self {
+        VersionArchive {
+            versions: vec![initial],
+            log: Vec::new(),
+        }
+    }
+
+    /// Applies `tx` to the head, archiving the new version; returns the
+    /// response. Failed transactions are archived too (their version equals
+    /// the previous one), so the log stays aligned with history.
+    pub fn apply(&mut self, tx: &Transaction) -> &Response {
+        let (response, next) = tx.apply(self.head());
+        self.versions.push(next);
+        self.log.push((tx.query().to_string(), response));
+        &self.log.last().expect("just pushed").1
+    }
+
+    /// Number of versions (at least 1: the initial database).
+    pub fn version_count(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// The newest version.
+    pub fn head(&self) -> &Database {
+        self.versions.last().expect("archive never empty")
+    }
+
+    /// Version `i` (0 = initial), if it exists.
+    pub fn version(&self, i: usize) -> Option<&Database> {
+        self.versions.get(i)
+    }
+
+    /// The query text and response that produced version `i` (so `i >= 1`).
+    pub fn log_entry(&self, i: usize) -> Option<(&str, &Response)> {
+        let (q, r) = self.log.get(i.checked_sub(1)?)?;
+        Some((q.as_str(), r))
+    }
+
+    /// Runs a read-only transaction against version `i` — a time-travel
+    /// query. Returns `None` for an unknown version. The archive itself is
+    /// unchanged (and `tx`'s database result is discarded, so passing an
+    /// updating transaction merely wastes work).
+    pub fn query_at(&self, i: usize, tx: &Transaction) -> Option<Response> {
+        let (response, _) = tx.apply(self.version(i)?);
+        Some(response)
+    }
+
+    /// The relations that physically changed between versions `i` and `j`
+    /// — detected by pointer identity, so this is O(relations), *not*
+    /// O(data): untouched relations are shared, which is the whole point of
+    /// Section 2.2.
+    ///
+    /// Relations present in only one of the versions count as changed.
+    pub fn changed_relations(&self, i: usize, j: usize) -> Option<Vec<RelationName>> {
+        let a = self.version(i)?;
+        let b = self.version(j)?;
+        let mut out = Vec::new();
+        for name in a.relation_names() {
+            if !a.shares_relation_with(b, &name) {
+                out.push(name);
+            }
+        }
+        for name in b.relation_names() {
+            if a.relation(&name).is_err() {
+                out.push(name);
+            }
+        }
+        Some(out)
+    }
+
+    /// For each version, how many tuples with `key` relation `name` held —
+    /// the key's history through time. Versions where the relation did not
+    /// exist report 0.
+    pub fn history_of(&self, name: &RelationName, key: &fundb_relational::Value) -> Vec<usize> {
+        self.versions
+            .iter()
+            .map(|db| db.find(name, key).map_or(0, |t| t.len()))
+            .collect()
+    }
+
+    /// Drops all versions before `keep_from` (but never the head),
+    /// renumbering so the oldest retained version becomes version 0 — the
+    /// paper's alternative to complete archives: "garbage collection must
+    /// be used to reclaim data, the access to which is dropped."
+    pub fn truncate_before(&mut self, keep_from: usize) {
+        let keep_from = keep_from.min(self.versions.len() - 1);
+        self.versions.drain(..keep_from);
+        let log_drop = keep_from.min(self.log.len());
+        self.log.drain(..log_drop);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fundb_query::{parse, translate};
+    use fundb_relational::Repr;
+
+    fn txn(q: &str) -> Transaction {
+        translate(parse(q).unwrap())
+    }
+
+    fn archive_with(queries: &[&str]) -> VersionArchive {
+        let db = Database::empty()
+            .create_relation("R", Repr::List)
+            .unwrap()
+            .create_relation("S", Repr::List)
+            .unwrap();
+        let mut a = VersionArchive::new(db);
+        for q in queries {
+            a.apply(&txn(q));
+        }
+        a
+    }
+
+    #[test]
+    fn versions_accumulate() {
+        let a = archive_with(&["insert 1 into R", "insert 2 into R", "delete 1 from R"]);
+        assert_eq!(a.version_count(), 4);
+        assert_eq!(a.version(0).unwrap().tuple_count(), 0);
+        assert_eq!(a.version(1).unwrap().tuple_count(), 1);
+        assert_eq!(a.version(2).unwrap().tuple_count(), 2);
+        assert_eq!(a.head().tuple_count(), 1);
+        assert!(a.version(9).is_none());
+    }
+
+    #[test]
+    fn log_aligns_with_versions() {
+        let a = archive_with(&["insert 1 into R", "count R"]);
+        let (q, r) = a.log_entry(1).unwrap();
+        assert_eq!(q, "insert (1) into R");
+        assert!(!r.is_error());
+        let (q, r) = a.log_entry(2).unwrap();
+        assert_eq!(q, "count R");
+        assert_eq!(*r, Response::Count(1));
+        assert!(a.log_entry(0).is_none());
+        assert!(a.log_entry(3).is_none());
+    }
+
+    #[test]
+    fn time_travel_queries() {
+        let a = archive_with(&[
+            "insert (1, 'v1') into R",
+            "delete 1 from R",
+            "insert (1, 'v2') into R",
+        ]);
+        let probe = txn("find 1 in R");
+        assert_eq!(a.query_at(0, &probe).unwrap().tuples().unwrap().len(), 0);
+        assert_eq!(a.query_at(1, &probe).unwrap().tuples().unwrap().len(), 1);
+        assert_eq!(a.query_at(2, &probe).unwrap().tuples().unwrap().len(), 0);
+        assert_eq!(
+            a.query_at(3, &probe).unwrap().tuples().unwrap()[0]
+                .get(1)
+                .unwrap()
+                .as_str(),
+            Some("v2")
+        );
+        assert!(a.query_at(99, &probe).is_none());
+    }
+
+    #[test]
+    fn changed_relations_uses_physical_sharing() {
+        let a = archive_with(&["insert 1 into R", "insert 2 into S", "find 1 in R"]);
+        assert_eq!(
+            a.changed_relations(0, 1).unwrap(),
+            vec![RelationName::from("R")]
+        );
+        assert_eq!(
+            a.changed_relations(1, 2).unwrap(),
+            vec![RelationName::from("S")]
+        );
+        // The read-only find created a version identical to its input.
+        assert!(a.changed_relations(2, 3).unwrap().is_empty());
+        // Across the whole history, both changed.
+        assert_eq!(a.changed_relations(0, 2).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn changed_relations_sees_created_relations() {
+        let mut a = archive_with(&[]);
+        a.apply(&txn("create relation T"));
+        let changed = a.changed_relations(0, 1).unwrap();
+        assert_eq!(changed, vec![RelationName::from("T")]);
+    }
+
+    #[test]
+    fn history_of_key() {
+        let a = archive_with(&[
+            "insert 5 into R",
+            "insert 5 into R",
+            "delete 5 from R",
+        ]);
+        assert_eq!(a.history_of(&"R".into(), &5.into()), vec![0, 1, 2, 0]);
+        // Unknown relation: all zeros.
+        assert_eq!(a.history_of(&"Z".into(), &5.into()), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn failed_transactions_keep_log_aligned() {
+        let a = archive_with(&["insert 1 into Nope", "insert 1 into R"]);
+        assert_eq!(a.version_count(), 3);
+        assert!(a.log_entry(1).unwrap().1.is_error());
+        assert_eq!(a.version(1).unwrap().tuple_count(), 0);
+        assert_eq!(a.version(2).unwrap().tuple_count(), 1);
+    }
+
+    #[test]
+    fn truncate_reclaims_history() {
+        let mut a = archive_with(&["insert 1 into R", "insert 2 into R", "insert 3 into R"]);
+        a.truncate_before(2);
+        assert_eq!(a.version_count(), 2);
+        assert_eq!(a.version(0).unwrap().tuple_count(), 2);
+        assert_eq!(a.head().tuple_count(), 3);
+        // Truncating beyond the head keeps the head.
+        a.truncate_before(100);
+        assert_eq!(a.version_count(), 1);
+        assert_eq!(a.head().tuple_count(), 3);
+    }
+
+    #[test]
+    fn debug_format() {
+        let a = archive_with(&["insert 1 into R"]);
+        assert_eq!(
+            format!("{a:?}"),
+            "VersionArchive[2 versions, head has 1 tuples]"
+        );
+    }
+}

@@ -1,0 +1,489 @@
+//! The pipelined multi-thread execution engine.
+//!
+//! Section 2.3: "Each transaction yields a new database, which is
+//! represented by a new pair. Thus, if a transaction following the insert
+//! in S depends only on the R component, it can proceed immediately without
+//! waiting for the S component to be completely established. We are here
+//! relying on the 'lenient' aspect of the tupling constructor."
+//!
+//! [`PipelinedEngine`] realizes that sentence with threads: each database
+//! version is a tuple of per-relation [`Lenient`] cells. Submitting a
+//! transaction (under a brief catalog lock — the paper's "momentary locking
+//! effect" where streams merge) allocates fresh cells for the relations it
+//! writes and captures the previous cells for the relations it reads; a
+//! worker then blocks only on those captured cells. Readers of `R` overtake
+//! a slow writer of `S` automatically, with no locks in the data plane, and
+//! the submission order is by construction a serialization order.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use fundb_lenient::{Lenient, WorkerPool};
+use fundb_query::ast::{apply_select, compute_aggregate};
+use fundb_query::{Query, Response, Transaction};
+use fundb_relational::{Database, Relation, RelationName, Schema};
+use parking_lot::Mutex;
+
+/// The frontier: the newest version's cell for every relation.
+struct Frontier {
+    slots: HashMap<RelationName, Lenient<Relation>>,
+    /// Attribute names per relation (static catalog data).
+    schemas: HashMap<RelationName, Option<Schema>>,
+    /// Creation order, so a barrier can rebuild a `Database` with stable
+    /// spine positions.
+    order: Vec<RelationName>,
+}
+
+/// A multi-threaded executor with implicit, dependency-only synchronization.
+///
+/// # Example
+///
+/// ```
+/// use fundb_core::PipelinedEngine;
+/// use fundb_query::{parse, translate};
+/// use fundb_relational::{Database, Repr};
+///
+/// let db = Database::empty().create_relation("R", Repr::List)?;
+/// let engine = PipelinedEngine::new(4, &db);
+/// let r1 = engine.submit(translate(parse("insert 7 into R")?));
+/// let r2 = engine.submit(translate(parse("find 7 in R")?));
+/// assert_eq!(r2.wait().tuples().unwrap().len(), 1);
+/// assert!(!r1.wait().is_error());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct PipelinedEngine {
+    pool: WorkerPool,
+    frontier: Mutex<Frontier>,
+}
+
+impl fmt::Debug for PipelinedEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PipelinedEngine")
+            .field("workers", &self.pool.worker_count())
+            .finish()
+    }
+}
+
+impl PipelinedEngine {
+    /// An engine with `workers` threads, starting from `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(workers: usize, initial: &Database) -> Self {
+        let order = initial.relation_names();
+        let slots = order
+            .iter()
+            .map(|n| {
+                let rel = initial.relation(n).expect("name from this database").clone();
+                (n.clone(), Lenient::ready(rel))
+            })
+            .collect();
+        let schemas = order
+            .iter()
+            .map(|n| {
+                (
+                    n.clone(),
+                    initial.schema(n).expect("name from this database").cloned(),
+                )
+            })
+            .collect();
+        PipelinedEngine {
+            pool: WorkerPool::new(workers),
+            frontier: Mutex::new(Frontier {
+                slots,
+                schemas,
+                order,
+            }),
+        }
+    }
+
+    /// Submits a transaction; the call returns immediately with the cell
+    /// its response will appear in. Submission order is the serialization
+    /// order.
+    ///
+    /// Dependency discipline: a job waits only on cells produced by
+    /// *earlier* submissions, and the worker pool is FIFO, so the earliest
+    /// unfinished job always has every input available — the engine cannot
+    /// deadlock regardless of pool width.
+    pub fn submit(&self, tx: Transaction) -> Lenient<Response> {
+        let response = Lenient::new();
+        let out = response.clone();
+        let query = tx.query().clone();
+
+        // The momentary locking effect: capture input cells / allocate
+        // output cells atomically with respect to other submissions.
+        let mut frontier = self.frontier.lock();
+        match &query {
+            Query::Create {
+                relation,
+                schema,
+                repr,
+            } => {
+                // Catalog updates are resolved at submission (the catalog is
+                // the spine; relation *contents* stay lenient).
+                if frontier.slots.contains_key(relation) {
+                    drop(frontier);
+                    response
+                        .fill(Response::Error(format!(
+                            "relation already exists: {relation}"
+                        )))
+                        .ok();
+                    return out;
+                }
+                let parsed = match schema {
+                    None => None,
+                    Some(attrs) => match Schema::new(attrs) {
+                        Ok(s) => Some(s),
+                        Err(e) => {
+                            drop(frontier);
+                            response.fill(Response::Error(e.to_string())).ok();
+                            return out;
+                        }
+                    },
+                };
+                frontier.slots.insert(
+                    relation.clone(),
+                    Lenient::ready(Relation::empty(repr.to_repr())),
+                );
+                frontier.schemas.insert(relation.clone(), parsed);
+                frontier.order.push(relation.clone());
+                drop(frontier);
+                response.fill(Response::Created(relation.clone())).ok();
+                out
+            }
+            Query::Names => {
+                let names = frontier.order.clone();
+                drop(frontier);
+                response.fill(Response::Names(names)).ok();
+                out
+            }
+            Query::Find { relation, .. }
+            | Query::FindRange { relation, .. }
+            | Query::Select { relation, .. }
+            | Query::Count { relation }
+            | Query::Aggregate { relation, .. } => {
+                let Some(input) = frontier.slots.get(relation).cloned() else {
+                    drop(frontier);
+                    response
+                        .fill(Response::Error(format!("no such relation: {relation}")))
+                        .ok();
+                    return out;
+                };
+                let schema = frontier.schemas.get(relation).cloned().flatten();
+                drop(frontier);
+                let query = query.clone();
+                self.pool.spawn(move || {
+                    let rel = input.wait();
+                    let resp = match &query {
+                        Query::Find { key, .. } => Response::Tuples(rel.find(key)),
+                        Query::FindRange { lo, hi, .. } => {
+                            Response::Tuples(rel.find_range(lo, hi))
+                        }
+                        Query::Select {
+                            projection,
+                            predicate,
+                            ..
+                        } => match apply_select(rel.scan(), schema.as_ref(), projection, predicate)
+                        {
+                            Ok(tuples) => Response::Tuples(tuples),
+                            Err(e) => Response::Error(e),
+                        },
+                        Query::Count { .. } => Response::Count(rel.len()),
+                        Query::Aggregate { op, field, .. } => {
+                            match compute_aggregate(&rel.scan(), schema.as_ref(), *op, field) {
+                                Ok(value) => Response::Aggregate {
+                                    op: op.to_string(),
+                                    value,
+                                },
+                                Err(e) => Response::Error(e),
+                            }
+                        }
+                        _ => unreachable!("read-only arm"),
+                    };
+                    response.fill(resp).ok();
+                });
+                out
+            }
+            Query::Join { left, right } => {
+                let (Some(l), Some(r)) = (
+                    frontier.slots.get(left).cloned(),
+                    frontier.slots.get(right).cloned(),
+                ) else {
+                    drop(frontier);
+                    response
+                        .fill(Response::Error(format!(
+                            "no such relation in: join {left} with {right}"
+                        )))
+                        .ok();
+                    return out;
+                };
+                drop(frontier);
+                self.pool.spawn(move || {
+                    // Intra-transaction flooding: both sides' availability
+                    // is awaited, but each was produced independently.
+                    let left_rel = l.wait();
+                    let right_rel = r.wait();
+                    response
+                        .fill(Response::Tuples(left_rel.join_by_key(right_rel)))
+                        .ok();
+                });
+                out
+            }
+            Query::Insert { relation, .. }
+            | Query::Delete { relation, .. }
+            | Query::Replace { relation, .. } => {
+                let Some(input) = frontier.slots.get(relation).cloned() else {
+                    drop(frontier);
+                    response
+                        .fill(Response::Error(format!("no such relation: {relation}")))
+                        .ok();
+                    return out;
+                };
+                // Allocate this version's cell for the written relation.
+                let output = Lenient::new();
+                frontier.slots.insert(relation.clone(), output.clone());
+                drop(frontier);
+                let query = query.clone();
+                self.pool.spawn(move || {
+                    let rel = input.wait();
+                    let (new_rel, resp) = match &query {
+                        Query::Insert { relation, tuple } => {
+                            let (r2, _) = rel.insert(tuple.clone());
+                            (
+                                r2,
+                                Response::Inserted {
+                                    relation: relation.clone(),
+                                    tuple: tuple.clone(),
+                                },
+                            )
+                        }
+                        Query::Delete { key, .. } => {
+                            let (r2, removed, _) = rel.delete(key);
+                            (r2, Response::Deleted(removed.len()))
+                        }
+                        Query::Replace { relation, tuple } => {
+                            let (r2, _removed, _) = rel.delete(tuple.key());
+                            let (r3, _) = r2.insert(tuple.clone());
+                            (
+                                r3,
+                                Response::Inserted {
+                                    relation: relation.clone(),
+                                    tuple: tuple.clone(),
+                                },
+                            )
+                        }
+                        _ => unreachable!("write arm"),
+                    };
+                    output.fill(new_rel).ok();
+                    response.fill(resp).ok();
+                });
+                out
+            }
+        }
+    }
+
+    /// Submits a batch and blocks for all responses, in submission order.
+    pub fn run(&self, txns: impl IntoIterator<Item = Transaction>) -> Vec<Response> {
+        let cells: Vec<Lenient<Response>> = txns.into_iter().map(|t| self.submit(t)).collect();
+        cells.into_iter().map(|c| c.wait_cloned()).collect()
+    }
+
+    /// Waits for every in-flight write and assembles the current database
+    /// value (a barrier; the paper's "complete archive" snapshot).
+    pub fn snapshot(&self) -> Database {
+        let (order, slots, schemas) = {
+            let frontier = self.frontier.lock();
+            (
+                frontier.order.clone(),
+                frontier.slots.clone(),
+                frontier.schemas.clone(),
+            )
+        };
+        let mut db = Database::empty();
+        for name in order {
+            let rel = slots
+                .get(&name)
+                .expect("ordered name has a slot")
+                .wait_cloned();
+            db = db
+                .create_relation_with_schema(
+                    name.as_str(),
+                    rel.repr(),
+                    schemas.get(&name).cloned().flatten(),
+                )
+                .expect("snapshot names are unique");
+            // Rebuild content by bulk insert (snapshot is a test/debug aid,
+            // not a hot path).
+            for t in rel.scan() {
+                let (d2, _) = db.insert(&name, t).expect("relation just created");
+                db = d2;
+            }
+        }
+        db
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.pool.worker_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply_stream::apply_stream;
+    use fundb_lenient::Stream;
+    use fundb_query::{parse, translate};
+    use fundb_relational::Repr;
+    use std::time::Duration;
+
+    fn txn(q: &str) -> Transaction {
+        translate(parse(q).unwrap())
+    }
+
+    fn base() -> Database {
+        Database::empty()
+            .create_relation("R", Repr::List)
+            .unwrap()
+            .create_relation("S", Repr::List)
+            .unwrap()
+    }
+
+    #[test]
+    fn basic_insert_find() {
+        let engine = PipelinedEngine::new(2, &base());
+        let rs = engine.run(vec![txn("insert (1, 'a') into R"), txn("find 1 in R")]);
+        assert!(!rs[0].is_error());
+        assert_eq!(rs[1].tuples().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn matches_sequential_apply_stream() {
+        // Serializability: the engine's responses equal sequential
+        // processing of the same (merged) order.
+        let queries: Vec<String> = (0..60)
+            .map(|i| match i % 5 {
+                0 => format!("insert ({i}, 'v{i}') into R"),
+                1 => format!("insert ({i}, 'w{i}') into S"),
+                2 => format!("find {} in R", i - 2),
+                3 => "count S".to_string(),
+                _ => format!("delete {} from R", i - 4),
+            })
+            .collect();
+        let txns: Vec<Transaction> = queries.iter().map(|q| txn(q)).collect();
+
+        let stream: Stream<Transaction> = txns.clone().into_iter().collect();
+        let (expected, _) = apply_stream(stream, base());
+        let expected = expected.collect_vec();
+
+        for workers in [1, 4, 8] {
+            let engine = PipelinedEngine::new(workers, &base());
+            let got = engine.run(txns.clone());
+            assert_eq!(got, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn reader_completes_under_writer_churn() {
+        // A read of S is never gated on R's long write chain: its input
+        // cell is S's (ready) frontier, so it completes promptly.
+        let engine = PipelinedEngine::new(2, &base());
+        // Occupy R with a chain of writes to keep its cells churning.
+        for i in 0..100 {
+            engine.submit(txn(&format!("insert {i} into R")));
+        }
+        let s = engine.submit(txn("count S"));
+        let got = s
+            .wait_timeout(Duration::from_secs(5))
+            .expect("S reader must not be blocked behind R writers");
+        assert_eq!(*got, Response::Count(0));
+    }
+
+    #[test]
+    fn single_worker_cannot_deadlock() {
+        // With one FIFO worker, dependency order = execution order.
+        let engine = PipelinedEngine::new(1, &base());
+        let rs = engine.run((0..50).map(|i| {
+            if i % 2 == 0 {
+                txn(&format!("insert {i} into R"))
+            } else {
+                txn(&format!("find {} in R", i - 1))
+            }
+        }));
+        assert_eq!(rs.len(), 50);
+        for (i, r) in rs.iter().enumerate() {
+            if i % 2 == 1 {
+                assert_eq!(r.tuples().unwrap().len(), 1, "query {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn create_and_missing_relation_paths() {
+        let engine = PipelinedEngine::new(2, &Database::empty());
+        let rs = engine.run(vec![
+            txn("create relation T as tree"),
+            txn("create relation T"),
+            txn("insert 1 into T"),
+            txn("insert 1 into Missing"),
+            txn("find 1 in T"),
+            txn("relations"),
+        ]);
+        assert_eq!(rs[0], Response::Created("T".into()));
+        assert!(rs[1].is_error());
+        assert!(!rs[2].is_error());
+        assert!(rs[3].is_error());
+        assert_eq!(rs[4].tuples().unwrap().len(), 1);
+        assert_eq!(rs[5], Response::Names(vec!["T".into()]));
+    }
+
+    #[test]
+    fn join_through_engine() {
+        let engine = PipelinedEngine::new(2, &base());
+        engine.submit(txn("insert (1, 'a') into R"));
+        engine.submit(txn("insert (1, 'x') into S"));
+        engine.submit(txn("insert (2, 'y') into S"));
+        let j = engine.submit(txn("join R with S"));
+        assert_eq!(j.wait().tuples().unwrap().len(), 1);
+        let bad = engine.submit(txn("join R with Nope"));
+        assert!(bad.wait().is_error());
+    }
+
+    #[test]
+    fn range_find_through_engine() {
+        let engine = PipelinedEngine::new(2, &base());
+        let mut cells = Vec::new();
+        for k in [1, 3, 5, 7, 9] {
+            cells.push(engine.submit(txn(&format!("insert {k} into R"))));
+        }
+        let r = engine.submit(txn("find 3 to 7 in R"));
+        assert_eq!(r.wait().tuples().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn snapshot_reflects_all_writes() {
+        let engine = PipelinedEngine::new(4, &base());
+        engine.run((0..20).map(|i| txn(&format!("insert {i} into R"))));
+        let db = engine.snapshot();
+        assert_eq!(db.tuple_count(), 20);
+        assert_eq!(db.relation_names(), vec!["R".into(), "S".into()]);
+    }
+
+    #[test]
+    fn heavy_concurrent_load_is_serializable() {
+        // Interleave writes to two relations and verify final counts.
+        let engine = PipelinedEngine::new(8, &base());
+        let mut cells = Vec::new();
+        for i in 0..200 {
+            let rel = if i % 2 == 0 { "R" } else { "S" };
+            cells.push(engine.submit(txn(&format!("insert {i} into {rel}"))));
+        }
+        for c in &cells {
+            assert!(!c.wait().is_error());
+        }
+        let counts = engine.run(vec![txn("count R"), txn("count S")]);
+        assert_eq!(counts[0], Response::Count(100));
+        assert_eq!(counts[1], Response::Count(100));
+    }
+}

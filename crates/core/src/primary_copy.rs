@@ -1,0 +1,600 @@
+//! The primary-copy model (Section 3.1's deferred future work).
+//!
+//! "In the primary-copy model, a transaction simply proceeds without
+//! initial coordination, all required coordination being done at a 'primary
+//! copy' of each database object. … Functional representations for the
+//! primary-copy model also appear possible \[but\] are more complicated, due
+//! to the need to retain the ability to abort transactions. We leave the
+//! handling of such behavior to a future exposition."
+//!
+//! This module is that exposition, made easy by persistence: each relation
+//! has a *primary copy* — a versioned slot holding an immutable
+//! [`Relation`] value. A transaction proceeds with **no initial
+//! coordination**: it snapshots the primary copies it touches (O(1) clones,
+//! thanks to persistence), computes new relation values purely, then
+//! validates-and-installs under a brief commit lock. A conflicting
+//! concurrent commit makes validation fail; the transaction **aborts** and
+//! re-runs its pure body against fresh snapshots. Because the body is a
+//! pure function of its snapshots, aborting is free — there is nothing to
+//! undo, which is exactly why the functional approach suits this model.
+//!
+//! Deadlock is impossible by construction (the only lock is the one commit
+//! mutex), so aborts here resolve *conflicts*, not deadlocks.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fundb_query::ast::{apply_select, compute_aggregate};
+use fundb_query::{Query, Response};
+use fundb_relational::{Database, Relation, RelationName, Schema, Tuple};
+use parking_lot::{Mutex, RwLock};
+
+/// A relation's primary copy: the current value and a commit counter.
+struct PrimaryCopy {
+    slot: RwLock<(Relation, u64)>,
+}
+
+/// A transaction's private workspace: snapshots to read, replacements to
+/// install on commit.
+pub struct TxnWorkspace {
+    snapshots: HashMap<RelationName, (Relation, u64)>,
+    writes: HashMap<RelationName, Relation>,
+}
+
+impl fmt::Debug for TxnWorkspace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TxnWorkspace[{} snapshots, {} writes]",
+            self.snapshots.len(),
+            self.writes.len()
+        )
+    }
+}
+
+impl TxnWorkspace {
+    /// The relation as this transaction sees it: its own pending write if
+    /// any, else the snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` was not declared in the transaction's footprint.
+    pub fn relation(&self, name: &RelationName) -> &Relation {
+        self.writes.get(name).unwrap_or_else(|| {
+            &self
+                .snapshots
+                .get(name)
+                .unwrap_or_else(|| panic!("relation {name} not in transaction footprint"))
+                .0
+        })
+    }
+
+    /// Stages a replacement value for `name`, visible to later reads in
+    /// this transaction and installed on commit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` was not declared in the transaction's footprint.
+    pub fn set_relation(&mut self, name: &RelationName, value: Relation) {
+        assert!(
+            self.snapshots.contains_key(name),
+            "relation {name} not in transaction footprint"
+        );
+        self.writes.insert(name.clone(), value);
+    }
+
+    /// Convenience: inserts a tuple into `name` within this transaction.
+    pub fn insert(&mut self, name: &RelationName, tuple: Tuple) {
+        let (next, _) = self.relation(name).insert(tuple);
+        self.set_relation(name, next);
+    }
+}
+
+/// Commit/abort statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OccStats {
+    /// Successfully committed transactions.
+    pub commits: u64,
+    /// Validation failures (each followed by a retry).
+    pub aborts: u64,
+}
+
+/// The primary-copy executor: optimistic transactions over versioned
+/// primary copies, with abort-and-retry on conflict.
+///
+/// # Example
+///
+/// ```
+/// use fundb_core::primary_copy::OptimisticEngine;
+/// use fundb_relational::{Database, Repr, Tuple};
+///
+/// let db = Database::empty().create_relation("Acct", Repr::List)?;
+/// let engine = OptimisticEngine::new(&db);
+/// let footprint = ["Acct".into()];
+/// engine.execute(&footprint, |ws| {
+///     ws.insert(&"Acct".into(), Tuple::new(vec![1.into(), 100.into()]));
+/// });
+/// assert_eq!(engine.snapshot().tuple_count(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct OptimisticEngine {
+    copies: HashMap<RelationName, PrimaryCopy>,
+    schemas: HashMap<RelationName, Option<Schema>>,
+    order: Vec<RelationName>,
+    commit_lock: Mutex<()>,
+    commits: AtomicU64,
+    aborts: AtomicU64,
+}
+
+impl fmt::Debug for OptimisticEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stats = self.stats();
+        write!(
+            f,
+            "OptimisticEngine[{} relations, {} commits, {} aborts]",
+            self.order.len(),
+            stats.commits,
+            stats.aborts
+        )
+    }
+}
+
+impl OptimisticEngine {
+    /// Builds primary copies for every relation of `initial`. The catalog
+    /// is fixed (as in the locking baseline).
+    pub fn new(initial: &Database) -> Self {
+        let order = initial.relation_names();
+        let copies = order
+            .iter()
+            .map(|n| {
+                let rel = initial.relation(n).expect("name from this database").clone();
+                (
+                    n.clone(),
+                    PrimaryCopy {
+                        slot: RwLock::new((rel, 0)),
+                    },
+                )
+            })
+            .collect();
+        let schemas = order
+            .iter()
+            .map(|n| {
+                let s = initial.schema(n).expect("name from this database").cloned();
+                (n.clone(), s)
+            })
+            .collect();
+        OptimisticEngine {
+            copies,
+            schemas,
+            order,
+            commit_lock: Mutex::new(()),
+            commits: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
+        }
+    }
+
+    /// Runs `body` as one atomic transaction over the relations in
+    /// `footprint`. The body is a *pure* function of its workspace; on
+    /// validation conflict it is re-run against fresh snapshots (so side
+    /// effects inside `body` would be observed once per attempt — keep it
+    /// pure). Returns the body's result and the number of aborts suffered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `footprint` names an unknown relation.
+    pub fn execute<T>(
+        &self,
+        footprint: &[RelationName],
+        body: impl Fn(&mut TxnWorkspace) -> T,
+    ) -> (T, u64) {
+        let mut retries = 0;
+        loop {
+            // Read phase: no coordination, just O(1) snapshots.
+            let snapshots: HashMap<RelationName, (Relation, u64)> = footprint
+                .iter()
+                .map(|n| {
+                    let copy = self
+                        .copies
+                        .get(n)
+                        .unwrap_or_else(|| panic!("no such relation: {n}"));
+                    let guard = copy.slot.read();
+                    (n.clone(), (guard.0.clone(), guard.1))
+                })
+                .collect();
+            let mut ws = TxnWorkspace {
+                snapshots,
+                writes: HashMap::new(),
+            };
+            // Compute phase: pure.
+            let result = body(&mut ws);
+            // Validate-and-install phase.
+            let _commit = self.commit_lock.lock();
+            let valid = ws.snapshots.iter().all(|(n, (_, seen))| {
+                self.copies[n].slot.read().1 == *seen
+            });
+            if valid {
+                for (n, new_rel) in ws.writes {
+                    let mut guard = self.copies[&n].slot.write();
+                    guard.0 = new_rel;
+                    guard.1 += 1;
+                }
+                self.commits.fetch_add(1, Ordering::SeqCst);
+                return (result, retries);
+            }
+            self.aborts.fetch_add(1, Ordering::SeqCst);
+            retries += 1;
+        }
+    }
+
+    /// Convenience: runs a batch of single-relation queries as one atomic
+    /// transaction (the footprint is derived from the queries). `create`
+    /// and `relations` are rejected — the catalog is fixed.
+    pub fn execute_queries(&self, queries: &[Query]) -> (Vec<Response>, u64) {
+        let mut footprint: Vec<RelationName> = queries
+            .iter()
+            .flat_map(|q| q.reads().into_iter().chain(q.writes()))
+            .collect();
+        footprint.sort();
+        footprint.dedup();
+        // Unknown relations or catalog ops: answer without a transaction.
+        if footprint.iter().any(|n| !self.copies.contains_key(n)) {
+            return (
+                queries
+                    .iter()
+                    .map(|q| Response::Error(format!("no such relation in: {q}")))
+                    .collect(),
+                0,
+            );
+        }
+        if queries
+            .iter()
+            .any(|q| matches!(q, Query::Create { .. } | Query::Names))
+        {
+            return (
+                queries
+                    .iter()
+                    .map(|_| Response::Error("primary-copy engine has a fixed catalog".into()))
+                    .collect(),
+                0,
+            );
+        }
+        self.execute(&footprint, |ws| {
+            queries
+                .iter()
+                .map(|q| apply_query(ws, q, &self.schemas))
+                .collect::<Vec<Response>>()
+        })
+    }
+
+    /// A consistent snapshot of all primary copies as a [`Database`].
+    pub fn snapshot(&self) -> Database {
+        let _commit = self.commit_lock.lock();
+        let mut db = Database::empty();
+        for name in &self.order {
+            let rel = self.copies[name].slot.read().0.clone();
+            db = db
+                .create_relation(name.as_str(), rel.repr())
+                .expect("unique names");
+            for t in rel.scan() {
+                let (d2, _) = db.insert(name, t).expect("relation just created");
+                db = d2;
+            }
+        }
+        db
+    }
+
+    /// Commit/abort counters so far.
+    pub fn stats(&self) -> OccStats {
+        OccStats {
+            commits: self.commits.load(Ordering::SeqCst),
+            aborts: self.aborts.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// Applies one query inside a workspace (single-relation queries only, as
+/// produced by the parser).
+fn apply_query(
+    ws: &mut TxnWorkspace,
+    q: &Query,
+    schemas: &HashMap<RelationName, Option<Schema>>,
+) -> Response {
+    match q {
+        Query::Insert { relation, tuple } => {
+            ws.insert(relation, tuple.clone());
+            Response::Inserted {
+                relation: relation.clone(),
+                tuple: tuple.clone(),
+            }
+        }
+        Query::Find { relation, key } => Response::Tuples(ws.relation(relation).find(key)),
+        Query::FindRange { relation, lo, hi } => {
+            Response::Tuples(ws.relation(relation).find_range(lo, hi))
+        }
+        Query::Delete { relation, key } => {
+            let (next, removed, _) = ws.relation(relation).delete(key);
+            ws.set_relation(relation, next);
+            Response::Deleted(removed.len())
+        }
+        Query::Replace { relation, tuple } => {
+            let (next, _, _) = ws.relation(relation).delete(tuple.key());
+            let (next, _) = next.insert(tuple.clone());
+            ws.set_relation(relation, next);
+            Response::Inserted {
+                relation: relation.clone(),
+                tuple: tuple.clone(),
+            }
+        }
+        Query::Select {
+            relation,
+            projection,
+            predicate,
+        } => {
+            let schema = schemas.get(relation).and_then(Option::as_ref);
+            match apply_select(ws.relation(relation).scan(), schema, projection, predicate) {
+                Ok(tuples) => Response::Tuples(tuples),
+                Err(e) => Response::Error(e),
+            }
+        }
+        Query::Join { left, right } => {
+            let joined = ws.relation(left).clone().join_by_key(ws.relation(right));
+            Response::Tuples(joined)
+        }
+        Query::Count { relation } => Response::Count(ws.relation(relation).len()),
+        Query::Aggregate {
+            relation,
+            op,
+            field,
+        } => {
+            let schema = schemas.get(relation).and_then(Option::as_ref);
+            match compute_aggregate(&ws.relation(relation).scan(), schema, *op, field) {
+                Ok(value) => Response::Aggregate {
+                    op: op.to_string(),
+                    value,
+                },
+                Err(e) => Response::Error(e),
+            }
+        }
+        Query::Create { .. } | Query::Names => {
+            Response::Error("catalog queries are not transactional here".into())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fundb_query::parse;
+    use fundb_relational::{Repr, Value};
+
+    fn base() -> Database {
+        Database::empty()
+            .create_relation("A", Repr::List)
+            .unwrap()
+            .create_relation("B", Repr::List)
+            .unwrap()
+    }
+
+    fn balance(rel: &Relation, key: i64) -> i64 {
+        rel.find(&key.into())
+            .first()
+            .and_then(|t| t.get(1))
+            .and_then(Value::as_int)
+            .expect("account exists")
+    }
+
+    #[test]
+    fn single_transaction_commits() {
+        let engine = OptimisticEngine::new(&base());
+        let fp = ["A".into()];
+        let ((), retries) = engine.execute(&fp, |ws| {
+            ws.insert(&"A".into(), Tuple::of_key(1));
+        });
+        assert_eq!(retries, 0);
+        assert_eq!(engine.snapshot().tuple_count(), 1);
+        assert_eq!(engine.stats().commits, 1);
+        assert_eq!(engine.stats().aborts, 0);
+    }
+
+    #[test]
+    fn workspace_reads_see_own_writes() {
+        let engine = OptimisticEngine::new(&base());
+        let fp = ["A".into()];
+        let (count, _) = engine.execute(&fp, |ws| {
+            ws.insert(&"A".into(), Tuple::of_key(7));
+            ws.relation(&"A".into()).len()
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in transaction footprint")]
+    fn out_of_footprint_access_panics() {
+        let engine = OptimisticEngine::new(&base());
+        let fp = ["A".into()];
+        engine.execute(&fp, |ws| ws.relation(&"B".into()).len());
+    }
+
+    #[test]
+    fn concurrent_rmw_conserves_invariants() {
+        // The canonical OCC test: concurrent read-modify-write increments
+        // must not lose updates.
+        let mut db = base();
+        let (d2, _) = db
+            .insert(&"A".into(), Tuple::new(vec![1.into(), 0.into()]))
+            .unwrap();
+        db = d2;
+        let engine = OptimisticEngine::new(&db);
+        let threads = 8;
+        let per_thread = 50;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    for _ in 0..per_thread {
+                        let fp = ["A".into()];
+                        engine.execute(&fp, |ws| {
+                            let name: RelationName = "A".into();
+                            let old = balance(ws.relation(&name), 1);
+                            let (next, _, _) = ws.relation(&name).delete(&1.into());
+                            let (next, _) =
+                                next.insert(Tuple::new(vec![1.into(), (old + 1).into()]));
+                            ws.set_relation(&name, next);
+                        });
+                    }
+                });
+            }
+        });
+        let snap = engine.snapshot();
+        let rel = snap.relation(&"A".into()).unwrap();
+        assert_eq!(balance(rel, 1), (threads * per_thread) as i64);
+        let stats = engine.stats();
+        assert_eq!(stats.commits, (threads * per_thread) as u64);
+    }
+
+    #[test]
+    fn conflicting_commit_forces_abort_and_retry() {
+        // Deterministic conflict: T1 snapshots, then T2 commits a write to
+        // the same relation, then T1 tries to commit — T1 must abort once
+        // and succeed on retry.
+        use fundb_lenient::Lenient;
+        use std::sync::atomic::AtomicU64;
+        let mut db = base();
+        let (d2, _) = db
+            .insert(&"A".into(), Tuple::new(vec![1.into(), 0.into()]))
+            .unwrap();
+        db = d2;
+        let engine = std::sync::Arc::new(OptimisticEngine::new(&db));
+        let snapshot_taken: Lenient<()> = Lenient::new();
+        let conflict_done: Lenient<()> = Lenient::new();
+        let attempts = std::sync::Arc::new(AtomicU64::new(0));
+
+        let e1 = engine.clone();
+        let (st, cd, at) = (snapshot_taken.clone(), conflict_done.clone(), attempts.clone());
+        let t1 = std::thread::spawn(move || {
+            let fp = ["A".into()];
+            e1.execute(&fp, |ws| {
+                let name: RelationName = "A".into();
+                let old = balance(ws.relation(&name), 1);
+                if at.fetch_add(1, Ordering::SeqCst) == 0 {
+                    // First attempt: let the conflicting writer go first.
+                    let _ = st.fill(());
+                    cd.wait();
+                }
+                let (next, _, _) = ws.relation(&name).delete(&1.into());
+                let (next, _) = next.insert(Tuple::new(vec![1.into(), (old + 1).into()]));
+                ws.set_relation(&name, next);
+            })
+        });
+
+        snapshot_taken.wait();
+        // T2 commits while T1's snapshot is stale.
+        let fp = ["A".into()];
+        engine.execute(&fp, |ws| {
+            let name: RelationName = "A".into();
+            let old = balance(ws.relation(&name), 1);
+            let (next, _, _) = ws.relation(&name).delete(&1.into());
+            let (next, _) = next.insert(Tuple::new(vec![1.into(), (old + 100).into()]));
+            ws.set_relation(&name, next);
+        });
+        conflict_done.fill(()).unwrap();
+
+        let ((), retries) = t1.join().unwrap();
+        assert_eq!(retries, 1, "T1 must abort exactly once");
+        assert_eq!(attempts.load(Ordering::SeqCst), 2);
+        let snap = engine.snapshot();
+        // Both effects present: no lost update.
+        assert_eq!(balance(snap.relation(&"A".into()).unwrap(), 1), 101);
+        assert_eq!(engine.stats().aborts, 1);
+        assert_eq!(engine.stats().commits, 2);
+    }
+
+    #[test]
+    fn transfers_between_relations_are_atomic() {
+        let mut db = base();
+        for (rel, key, amount) in [("A", 1i64, 1000i64), ("B", 1, 0)] {
+            let (d2, _) = db
+                .insert(&rel.into(), Tuple::new(vec![key.into(), amount.into()]))
+                .unwrap();
+            db = d2;
+        }
+        let engine = OptimisticEngine::new(&db);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..25 {
+                        let fp: [RelationName; 2] = ["A".into(), "B".into()];
+                        engine.execute(&fp, |ws| {
+                            let a: RelationName = "A".into();
+                            let b: RelationName = "B".into();
+                            let from = balance(ws.relation(&a), 1);
+                            let to = balance(ws.relation(&b), 1);
+                            let (na, _, _) = ws.relation(&a).delete(&1.into());
+                            let (na, _) =
+                                na.insert(Tuple::new(vec![1.into(), (from - 10).into()]));
+                            ws.set_relation(&a, na);
+                            let (nb, _, _) = ws.relation(&b).delete(&1.into());
+                            let (nb, _) =
+                                nb.insert(Tuple::new(vec![1.into(), (to + 10).into()]));
+                            ws.set_relation(&b, nb);
+                        });
+                    }
+                });
+            }
+        });
+        let snap = engine.snapshot();
+        let a = balance(snap.relation(&"A".into()).unwrap(), 1);
+        let b = balance(snap.relation(&"B".into()).unwrap(), 1);
+        // Money conserved: 100 transfers of 10 out of 1000.
+        assert_eq!(a + b, 1000);
+        assert_eq!(a, 0);
+        assert_eq!(b, 1000);
+    }
+
+    #[test]
+    fn read_only_transactions_never_abort() {
+        let engine = OptimisticEngine::new(&base());
+        for _ in 0..20 {
+            let fp = ["A".into()];
+            let (len, retries) = engine.execute(&fp, |ws| ws.relation(&"A".into()).len());
+            assert_eq!(len, 0);
+            assert_eq!(retries, 0);
+        }
+        assert_eq!(engine.stats().aborts, 0);
+    }
+
+    #[test]
+    fn query_batches_run_atomically() {
+        let engine = OptimisticEngine::new(&base());
+        let batch: Vec<Query> = [
+            "insert (1, 'x') into A",
+            "insert (2, 'y') into A",
+            "find 1 in A",
+            "count A",
+        ]
+        .iter()
+        .map(|q| parse(q).unwrap())
+        .collect();
+        let (responses, _) = engine.execute_queries(&batch);
+        assert_eq!(responses.len(), 4);
+        assert_eq!(responses[2].tuples().unwrap().len(), 1);
+        assert_eq!(responses[3], Response::Count(2));
+    }
+
+    #[test]
+    fn query_batch_rejects_unknown_relations_and_catalog_ops() {
+        let engine = OptimisticEngine::new(&base());
+        let (rs, _) = engine.execute_queries(&[parse("insert 1 into Nope").unwrap()]);
+        assert!(rs[0].is_error());
+        let (rs, _) = engine.execute_queries(&[parse("create relation C").unwrap()]);
+        assert!(rs[0].is_error());
+        // No transaction ran.
+        assert_eq!(engine.stats().commits, 0);
+    }
+
+    #[test]
+    fn debug_format_mentions_stats() {
+        let engine = OptimisticEngine::new(&base());
+        assert!(format!("{engine:?}").contains("commits"));
+    }
+}

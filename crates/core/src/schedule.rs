@@ -1,0 +1,206 @@
+//! Transaction-level de-facto schedules (Figure 2-3).
+//!
+//! The paper's Figure 2-3 takes a merged transaction stream and shows "one
+//! possible decomposition of the merged stream for concurrent execution":
+//! transactions ordered by the merge, but actually executing as early as
+//! their data dependencies (conflicts on shared relations) permit.
+//!
+//! [`TxnSchedule`] computes exactly that: conflict edges (any pair where one
+//! writes a relation the other reads or writes, in merged order) induce an
+//! earliest execution level per transaction; transactions at the same level
+//! run concurrently.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use fundb_lenient::Tagged;
+use fundb_query::Transaction;
+use fundb_relational::RelationName;
+
+use crate::serializer::ClientId;
+
+/// The dependency-derived parallel schedule of a merged transaction batch.
+#[derive(Debug, Clone)]
+pub struct TxnSchedule {
+    /// For each transaction (merged order): its earliest execution level.
+    pub levels: Vec<u32>,
+    /// Render labels, in merged order.
+    pub labels: Vec<String>,
+    /// Originating client per transaction, in merged order.
+    pub clients: Vec<ClientId>,
+}
+
+impl TxnSchedule {
+    /// Analyzes a merged batch.
+    ///
+    /// Transaction `j` depends on the latest earlier `i` that *conflicts*
+    /// with it: `i` writes something `j` reads or writes, or `j` writes
+    /// something `i` reads (WR, WW, RW conflicts on a relation). Read-only
+    /// transactions over the same relation do not conflict — "non-update
+    /// transactions don't lock out each other (once their initial
+    /// serialization order is determined)".
+    pub fn of(merged: &[Tagged<ClientId, Transaction>]) -> Self {
+        let mut last_writer: HashMap<RelationName, usize> = HashMap::new();
+        let mut readers_since_write: HashMap<RelationName, Vec<usize>> = HashMap::new();
+        let mut levels: Vec<u32> = Vec::with_capacity(merged.len());
+        for (j, t) in merged.iter().enumerate() {
+            let tx = &t.value;
+            let mut level = 0u32;
+            // WR / WW: wait for the last writer of anything we touch.
+            for r in tx.reads().iter().chain(tx.writes()) {
+                if let Some(&i) = last_writer.get(r) {
+                    level = level.max(levels[i] + 1);
+                }
+            }
+            // RW: a writer waits for earlier readers of its relations.
+            for r in tx.writes() {
+                for &i in readers_since_write.get(r).into_iter().flatten() {
+                    level = level.max(levels[i] + 1);
+                }
+            }
+            levels.push(level);
+            for r in tx.writes() {
+                last_writer.insert(r.clone(), j);
+                readers_since_write.insert(r.clone(), Vec::new());
+            }
+            if tx.writes().is_empty() {
+                for r in tx.reads() {
+                    readers_since_write.entry(r.clone()).or_default().push(j);
+                }
+            }
+        }
+        TxnSchedule {
+            levels,
+            labels: merged.iter().map(|t| t.value.query().to_string()).collect(),
+            clients: merged.iter().map(|t| t.tag).collect(),
+        }
+    }
+
+    /// Number of levels (schedule length in transaction "steps").
+    pub fn depth(&self) -> u32 {
+        self.levels.iter().map(|l| l + 1).max().unwrap_or(0)
+    }
+
+    /// Transactions per level, in merged order within each level.
+    pub fn rows(&self) -> Vec<Vec<usize>> {
+        let mut rows: Vec<Vec<usize>> = vec![Vec::new(); self.depth() as usize];
+        for (i, &lvl) in self.levels.iter().enumerate() {
+            rows[lvl as usize].push(i);
+        }
+        rows
+    }
+
+    /// Maximum number of transactions concurrently executing.
+    pub fn max_width(&self) -> usize {
+        self.rows().iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Renders the schedule in the style of the paper's Figure 2-3: one
+    /// line per execution step, parallel transactions side by side.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (step, row) in self.rows().iter().enumerate() {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|&i| format!("[{}] {}", self.clients[i], self.labels[i]))
+                .collect();
+            let _ = writeln!(out, "step {step} | {}", cells.join("   ||   "));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fundb_query::{parse, translate};
+
+    fn tag(c: u32, q: &str) -> Tagged<ClientId, Transaction> {
+        Tagged::new(ClientId(c), translate(parse(q).unwrap()))
+    }
+
+    /// The exact merged stream of Figure 2-3.
+    fn figure_2_3() -> Vec<Tagged<ClientId, Transaction>> {
+        vec![
+            tag(0, "insert 'x' into R"),
+            tag(1, "insert 'z' into S"),
+            tag(0, "find 'x' in R"),
+            tag(1, "insert 'y' into S"),
+            tag(1, "find 'z' in S"),
+        ]
+    }
+
+    #[test]
+    fn figure_2_3_decomposition() {
+        let sched = TxnSchedule::of(&figure_2_3());
+        // insert into R and insert into S are independent: both at level 0.
+        assert_eq!(sched.levels[0], 0);
+        assert_eq!(sched.levels[1], 0);
+        // find x in R waits only on the R insert: level 1.
+        assert_eq!(sched.levels[2], 1);
+        // insert y into S waits on insert z into S: level 1.
+        assert_eq!(sched.levels[3], 1);
+        // find z in S waits on insert y into S (the last S writer): level 2.
+        assert_eq!(sched.levels[4], 2);
+        assert_eq!(sched.depth(), 3);
+        assert_eq!(sched.max_width(), 2);
+    }
+
+    #[test]
+    fn read_only_transactions_do_not_serialize_each_other() {
+        let merged = vec![
+            tag(0, "insert 1 into R"),
+            tag(0, "find 1 in R"),
+            tag(1, "find 1 in R"),
+            tag(2, "find 1 in R"),
+        ];
+        let sched = TxnSchedule::of(&merged);
+        // All three finds run at the same level.
+        assert_eq!(&sched.levels[1..], &[1, 1, 1]);
+        assert_eq!(sched.max_width(), 3);
+    }
+
+    #[test]
+    fn rw_conflict_orders_writer_after_readers() {
+        let merged = vec![
+            tag(0, "insert 1 into R"),
+            tag(1, "find 1 in R"),
+            tag(2, "insert 2 into R"),
+        ];
+        let sched = TxnSchedule::of(&merged);
+        // The second insert waits for the read of version 1 (RW) as well as
+        // the first insert (WW).
+        assert_eq!(sched.levels, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn independent_relations_flood() {
+        let merged: Vec<_> = (0..6)
+            .map(|i| tag(i, &format!("insert 1 into R{i}")))
+            .collect();
+        let sched = TxnSchedule::of(&merged);
+        assert!(sched.levels.iter().all(|&l| l == 0));
+        assert_eq!(sched.depth(), 1);
+        assert_eq!(sched.max_width(), 6);
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let sched = TxnSchedule::of(&[]);
+        assert_eq!(sched.depth(), 0);
+        assert_eq!(sched.max_width(), 0);
+        assert_eq!(sched.render(), "");
+    }
+
+    #[test]
+    fn render_shows_parallel_bars() {
+        let sched = TxnSchedule::of(&figure_2_3());
+        let text = sched.render();
+        assert!(text.contains("||"), "expected parallelism in:\n{text}");
+        assert!(text.contains("step 0"), "got:\n{text}");
+        assert!(
+            text.contains("[client0] insert ('x') into R"),
+            "got:\n{text}"
+        );
+    }
+}

@@ -1,0 +1,269 @@
+//! Multi-user serialization via merge (Section 2.4).
+//!
+//! "A sufficient condition for the standard criterion of 'serializability'
+//! … is: process the merged stream sequentially. This condition conveniently
+//! decomposes the overall problem into a pseudo-functional part (the merge)
+//! and a purely functional part (the apparently-sequential processing of the
+//! merged stream)."
+//!
+//! The functions here are that decomposition. Client query streams are
+//! tagged with a [`ClientId`], merged (by the caller, using either the live
+//! nondeterministic merge or a deterministic schedule), processed by
+//! [`process_tagged`] — which is `apply-stream` with the tags carried
+//! through untouched — and split back per client by [`route_responses`],
+//! the same `choose` idiom Section 3.1 applies to network messages.
+//!
+//! [`optimize_merge_order`] implements the paper's closing remark of
+//! Section 2.4: "it is further possible to 'optimize' the transactions for
+//! greater concurrency among relational components by judiciously ordering
+//! the transactions to be merged, so long as the order of transactions from
+//! each individual stream is maintained."
+
+use std::collections::HashMap;
+use std::fmt;
+
+use fundb_lenient::{merge_tagged, Stream, Tagged};
+use fundb_query::{Response, Transaction};
+use fundb_relational::{Database, RelationName};
+
+use crate::apply_stream::apply_stream_pairs;
+
+/// Identifies a submitting user or application program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ClientId(pub u32);
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "client{}", self.0)
+    }
+}
+
+/// Processes an already-merged tagged transaction stream sequentially
+/// (logically), producing the tagged response stream.
+///
+/// "The function processing the transactions ignores the tag, but keeps it
+/// associated with the data so that the response can be routed when
+/// desired."
+pub fn process_tagged(
+    merged: Stream<Tagged<ClientId, Transaction>>,
+    initial: Database,
+) -> Stream<Tagged<ClientId, Response>> {
+    // Carry the tag alongside each application. The transaction stream
+    // proper is the untagged projection; zipping with the tags re-associates
+    // responses with their origins without the processor ever looking at
+    // them.
+    let tags = merged.map(|t| t.tag);
+    let txns = merged.map(|t| t.value);
+    let pairs = apply_stream_pairs(txns, initial);
+    tags.zip(&pairs).map(|(tag, (resp, _db))| Tagged::new(tag, resp))
+}
+
+/// The `choose` filter: the sub-stream of responses destined for `client`.
+pub fn route_responses(
+    responses: &Stream<Tagged<ClientId, Response>>,
+    client: ClientId,
+) -> Stream<Response> {
+    responses
+        .filter(move |t| t.tag == client)
+        .map(|t| t.value)
+}
+
+/// Convenience: tags and merges client transaction streams with the *live*
+/// (arrival-order, nondeterministic) merge, then processes them. Returns
+/// the tagged response stream.
+pub fn serve_clients(
+    clients: Vec<(ClientId, Stream<Transaction>)>,
+    initial: Database,
+) -> Stream<Tagged<ClientId, Response>> {
+    process_tagged(merge_tagged(clients), initial)
+}
+
+/// Reorders a batch of tagged transactions to improve pipeline concurrency
+/// while preserving each client's internal order (the paper's suggested
+/// merge-order optimization).
+///
+/// Greedy heuristic: repeatedly pick, among the current head transaction of
+/// every client, the one whose touched relations were used longest ago —
+/// spreading consecutive merged transactions across distinct relations so
+/// their fine-grain actions overlap instead of chaining.
+pub fn optimize_merge_order(
+    clients: Vec<(ClientId, Vec<Transaction>)>,
+    ) -> Vec<Tagged<ClientId, Transaction>> {
+    let mut queues: Vec<(ClientId, std::collections::VecDeque<Transaction>)> = clients
+        .into_iter()
+        .map(|(id, txns)| (id, txns.into()))
+        .collect();
+    let total: usize = queues.iter().map(|(_, q)| q.len()).sum();
+    let mut last_touch: HashMap<RelationName, usize> = HashMap::new();
+    let mut out = Vec::with_capacity(total);
+    for step in 0..total {
+        // Score each client head by how recently its relations were touched
+        // (lower last-touch = longer ago = better). Untouched relations
+        // score best of all.
+        let (best_idx, _) = queues
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, q))| !q.is_empty())
+            .map(|(i, (_, q))| {
+                let tx = q.front().expect("nonempty queue");
+                let score = tx
+                    .reads()
+                    .iter()
+                    .chain(tx.writes())
+                    .map(|r| last_touch.get(r).map_or(0, |t| t + 1))
+                    .max()
+                    .unwrap_or(0);
+                (i, score)
+            })
+            .min_by_key(|&(i, score)| (score, i))
+            .expect("at least one nonempty queue while work remains");
+        let (id, queue) = &mut queues[best_idx];
+        let tx = queue.pop_front().expect("selected queue nonempty");
+        for r in tx.reads().iter().chain(tx.writes()) {
+            last_touch.insert(r.clone(), step);
+        }
+        out.push(Tagged::new(*id, tx));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fundb_lenient::{merge_deterministic, MergeSchedule};
+    use fundb_query::{parse, translate};
+    use fundb_relational::Repr;
+
+    fn txn(q: &str) -> Transaction {
+        translate(parse(q).unwrap())
+    }
+
+    fn base() -> Database {
+        Database::empty()
+            .create_relation("R", Repr::List)
+            .unwrap()
+            .create_relation("S", Repr::List)
+            .unwrap()
+    }
+
+    #[test]
+    fn responses_route_back_to_origin() {
+        // Client 0 inserts and finds in R; client 1 in S. Whatever the
+        // interleaving, each client sees its own responses in its own order.
+        let c0: Stream<Transaction> = ["insert 1 into R", "find 1 in R"]
+            .iter()
+            .map(|q| txn(q))
+            .collect();
+        let c1: Stream<Transaction> = ["insert 9 into S", "find 9 in S", "count S"]
+            .iter()
+            .map(|q| txn(q))
+            .collect();
+        let tagged = merge_deterministic(
+            vec![
+                c0.map(|t| Tagged::new(ClientId(0), t)),
+                c1.map(|t| Tagged::new(ClientId(1), t)),
+            ],
+            MergeSchedule::RoundRobin,
+        );
+        let responses = process_tagged(tagged, base());
+        let r0 = route_responses(&responses, ClientId(0)).collect_vec();
+        let r1 = route_responses(&responses, ClientId(1)).collect_vec();
+        assert_eq!(r0.len(), 2);
+        assert_eq!(r1.len(), 3);
+        assert_eq!(r0[1].tuples().unwrap().len(), 1);
+        assert_eq!(r1[1].tuples().unwrap().len(), 1);
+        assert_eq!(r1[2], Response::Count(1));
+    }
+
+    #[test]
+    fn serialization_no_lost_updates() {
+        // Two clients insert disjoint keys into the same relation; after
+        // processing, every key is present: the merged order is *some*
+        // serial order, and no update is lost.
+        let c0: Stream<Transaction> = (0..10)
+            .map(|i| txn(&format!("insert {i} into R")))
+            .collect();
+        let c1: Stream<Transaction> = (100..110)
+            .map(|i| txn(&format!("insert {i} into R")))
+            .collect();
+        let responses = serve_clients(
+            vec![(ClientId(0), c0), (ClientId(1), c1)],
+            base(),
+        );
+        let all = responses.collect_vec();
+        assert_eq!(all.len(), 20);
+        assert!(all.iter().all(|t| !t.value.is_error()));
+    }
+
+    #[test]
+    fn live_merge_preserves_client_order() {
+        for _ in 0..10 {
+            let c0: Stream<Transaction> = (0..20)
+                .map(|i| txn(&format!("insert {i} into R")))
+                .collect();
+            let c1: Stream<Transaction> = (0..20)
+                .map(|i| txn(&format!("insert {i} into S")))
+                .collect();
+            let responses = serve_clients(
+                vec![(ClientId(0), c0), (ClientId(1), c1)],
+                base(),
+            );
+            // Per-client responses arrive in submission order (here: all
+            // inserts, so just count them).
+            let r0 = route_responses(&responses, ClientId(0)).collect_vec();
+            assert_eq!(r0.len(), 20);
+        }
+    }
+
+    #[test]
+    fn optimizer_preserves_per_client_order() {
+        let c0: Vec<Transaction> = (0..5).map(|i| txn(&format!("insert {i} into R"))).collect();
+        let c1: Vec<Transaction> = (0..5).map(|i| txn(&format!("insert {i} into S"))).collect();
+        let merged = optimize_merge_order(vec![(ClientId(0), c0), (ClientId(1), c1)]);
+        assert_eq!(merged.len(), 10);
+        // Extract client 0's subsequence; keys must be ascending.
+        let keys: Vec<String> = merged
+            .iter()
+            .filter(|t| t.tag == ClientId(0))
+            .map(|t| t.value.query().to_string())
+            .collect();
+        let sorted = {
+            let mut s = keys.clone();
+            s.sort();
+            s
+        };
+        assert_eq!(keys.len(), 5);
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn optimizer_interleaves_distinct_relations() {
+        // One client hammers R, another hammers S: the optimizer should
+        // alternate them rather than run either monoculture.
+        let c0: Vec<Transaction> = (0..4).map(|i| txn(&format!("insert {i} into R"))).collect();
+        let c1: Vec<Transaction> = (0..4).map(|i| txn(&format!("insert {i} into S"))).collect();
+        let merged = optimize_merge_order(vec![(ClientId(0), c0), (ClientId(1), c1)]);
+        // No two consecutive transactions touch the same relation.
+        for w in merged.windows(2) {
+            let a = w[0].value.writes()[0].clone();
+            let b = w[1].value.writes()[0].clone();
+            assert_ne!(a, b, "adjacent transactions share relation {a}");
+        }
+    }
+
+    #[test]
+    fn optimized_order_is_a_valid_serialization() {
+        let c0: Vec<Transaction> = vec![txn("insert 1 into R"), txn("find 1 in R")];
+        let c1: Vec<Transaction> = vec![txn("insert 2 into S")];
+        let merged = optimize_merge_order(vec![(ClientId(0), c0), (ClientId(1), c1)]);
+        let stream: Stream<Tagged<ClientId, Transaction>> = merged.into_iter().collect();
+        let responses = process_tagged(stream, base()).collect_vec();
+        assert_eq!(responses.len(), 3);
+        assert!(responses.iter().all(|t| !t.value.is_error()));
+    }
+
+    #[test]
+    fn client_id_display() {
+        assert_eq!(ClientId(3).to_string(), "client3");
+    }
+}

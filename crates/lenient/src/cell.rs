@@ -1,0 +1,302 @@
+//! Write-once lenient cells.
+//!
+//! A [`Lenient<T>`] is the semantic counterpart of one slot of the paper's
+//! lenient tuple constructor: an object that exists — and can be handed to
+//! consumers, embedded in other structures, and shipped between threads —
+//! before its value has been computed. Consumers that demand the value
+//! before the producer fills it block on exactly that data dependency and
+//! nothing else.
+
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Error returned by [`Lenient::fill`] when the cell is already filled.
+///
+/// The rejected value is handed back to the caller so no data is lost.
+pub struct FillError<T>(pub T);
+
+impl<T> fmt::Debug for FillError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("FillError(cell already filled)")
+    }
+}
+
+impl<T> fmt::Display for FillError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("lenient cell already filled")
+    }
+}
+
+impl<T> std::error::Error for FillError<T> {}
+
+struct Inner<T> {
+    slot: OnceLock<T>,
+    /// Guards the sleep/notify protocol; the actual value lives in `slot`.
+    filled: Mutex<bool>,
+    cond: Condvar,
+}
+
+/// A shareable write-once cell: the building block of lenient structures.
+///
+/// Clones share the same underlying slot. Exactly one [`fill`](Self::fill)
+/// succeeds; every [`wait`](Self::wait) observes the same value.
+///
+/// # Example
+///
+/// ```
+/// use fundb_lenient::Lenient;
+///
+/// let cell = Lenient::new();
+/// let reader = cell.clone();
+/// let t = std::thread::spawn(move || *reader.wait());
+/// cell.fill(42).unwrap();
+/// assert_eq!(t.join().unwrap(), 42);
+/// ```
+pub struct Lenient<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Lenient<T> {
+    fn clone(&self) -> Self {
+        Lenient {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Default for Lenient<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Lenient<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_get() {
+            Some(v) => f.debug_tuple("Lenient").field(v).finish(),
+            None => f.write_str("Lenient(<unfilled>)"),
+        }
+    }
+}
+
+impl<T> Lenient<T> {
+    /// Creates an empty (unfilled) cell.
+    pub fn new() -> Self {
+        Lenient {
+            inner: Arc::new(Inner {
+                slot: OnceLock::new(),
+                filled: Mutex::new(false),
+                cond: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Creates a cell that is already filled with `value`.
+    ///
+    /// Useful when a structure is constructed strictly but consumed through
+    /// the lenient interface.
+    pub fn ready(value: T) -> Self {
+        let cell = Self::new();
+        let _ = cell.fill(value);
+        cell
+    }
+
+    /// Fills the cell, waking all blocked waiters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FillError`] carrying `value` back if the cell was already
+    /// filled — a lenient cell is single-assignment by construction.
+    pub fn fill(&self, value: T) -> Result<(), FillError<T>> {
+        match self.inner.slot.set(value) {
+            Ok(()) => {
+                let mut filled = self.inner.filled.lock();
+                *filled = true;
+                self.inner.cond.notify_all();
+                Ok(())
+            }
+            Err(value) => Err(FillError(value)),
+        }
+    }
+
+    /// Returns the value if the cell has been filled, without blocking.
+    pub fn try_get(&self) -> Option<&T> {
+        self.inner.slot.get()
+    }
+
+    /// Returns `true` once the cell has been filled.
+    pub fn is_filled(&self) -> bool {
+        self.inner.slot.get().is_some()
+    }
+
+    /// Blocks until the cell is filled, then returns a reference to the value.
+    ///
+    /// This is the *demand* operation: the only synchronization in a lenient
+    /// structure is a consumer waiting here on a genuinely missing component.
+    pub fn wait(&self) -> &T {
+        if let Some(v) = self.inner.slot.get() {
+            return v;
+        }
+        let mut filled = self.inner.filled.lock();
+        while !*filled {
+            self.inner.cond.wait(&mut filled);
+        }
+        drop(filled);
+        self.inner
+            .slot
+            .get()
+            .expect("lenient cell signalled filled but slot empty")
+    }
+
+    /// Blocks until the cell is filled or `timeout` elapses.
+    ///
+    /// Returns `None` on timeout. Primarily for tests and deadlock
+    /// diagnostics; production consumers use [`wait`](Self::wait).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<&T> {
+        if let Some(v) = self.inner.slot.get() {
+            return Some(v);
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        let mut filled = self.inner.filled.lock();
+        while !*filled {
+            if self
+                .inner
+                .cond
+                .wait_until(&mut filled, deadline)
+                .timed_out()
+            {
+                return self.inner.slot.get();
+            }
+        }
+        drop(filled);
+        self.inner.slot.get()
+    }
+
+    /// Number of live handles to this cell (including `self`).
+    ///
+    /// Exposed for leak diagnostics in tests.
+    pub fn handle_count(&self) -> usize {
+        Arc::strong_count(&self.inner)
+    }
+}
+
+impl<T: Clone> Lenient<T> {
+    /// Blocks until filled and returns an owned clone of the value.
+    pub fn wait_cloned(&self) -> T {
+        self.wait().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn fill_then_get() {
+        let c = Lenient::new();
+        assert!(!c.is_filled());
+        assert_eq!(c.try_get(), None);
+        c.fill(7u32).unwrap();
+        assert!(c.is_filled());
+        assert_eq!(c.try_get(), Some(&7));
+        assert_eq!(*c.wait(), 7);
+    }
+
+    #[test]
+    fn ready_is_filled() {
+        let c = Lenient::ready("x".to_string());
+        assert_eq!(c.wait(), "x");
+    }
+
+    #[test]
+    fn double_fill_rejected_and_value_returned() {
+        let c = Lenient::new();
+        c.fill(1).unwrap();
+        let err = c.fill(2).unwrap_err();
+        assert_eq!(err.0, 2);
+        assert_eq!(*c.wait(), 1);
+    }
+
+    #[test]
+    fn clones_share_the_slot() {
+        let a = Lenient::new();
+        let b = a.clone();
+        b.fill(9).unwrap();
+        assert_eq!(a.try_get(), Some(&9));
+    }
+
+    #[test]
+    fn wait_blocks_until_filled() {
+        let c = Lenient::new();
+        let reader = c.clone();
+        let t = thread::spawn(move || *reader.wait());
+        thread::sleep(Duration::from_millis(20));
+        c.fill(123).unwrap();
+        assert_eq!(t.join().unwrap(), 123);
+    }
+
+    #[test]
+    fn many_waiters_all_wake() {
+        let c: Lenient<u64> = Lenient::new();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let r = c.clone();
+            handles.push(thread::spawn(move || *r.wait()));
+        }
+        thread::sleep(Duration::from_millis(10));
+        c.fill(5).unwrap();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 5);
+        }
+    }
+
+    #[test]
+    fn wait_timeout_times_out_when_unfilled() {
+        let c: Lenient<u8> = Lenient::new();
+        assert!(c.wait_timeout(Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn wait_timeout_returns_value_when_filled() {
+        let c = Lenient::ready(3u8);
+        assert_eq!(c.wait_timeout(Duration::from_millis(1)), Some(&3));
+    }
+
+    #[test]
+    fn racing_fillers_exactly_one_wins() {
+        for _ in 0..50 {
+            let c: Lenient<usize> = Lenient::new();
+            let mut handles = Vec::new();
+            for i in 0..4 {
+                let w = c.clone();
+                handles.push(thread::spawn(move || w.fill(i).is_ok()));
+            }
+            let wins: usize = handles
+                .into_iter()
+                .map(|h| usize::from(h.join().unwrap()))
+                .sum();
+            assert_eq!(wins, 1);
+            assert!(*c.wait() < 4);
+        }
+    }
+
+    #[test]
+    fn debug_formats_both_states() {
+        let c: Lenient<u8> = Lenient::new();
+        assert_eq!(format!("{c:?}"), "Lenient(<unfilled>)");
+        c.fill(1).unwrap();
+        assert_eq!(format!("{c:?}"), "Lenient(1)");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Lenient<u32>>();
+        assert_send_sync::<FillError<u32>>();
+    }
+}

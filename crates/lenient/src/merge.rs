@@ -1,0 +1,283 @@
+//! The nondeterministic `merge` pseudo-function.
+//!
+//! Section 2.4 of the paper: "a merge has as its input several query streams
+//! and its output is an arbitrary interleaving of those streams … the order
+//! of interleaving can be that in which the merge receives the requests."
+//! It is the single non-functional component of the whole system; everything
+//! downstream of the merged stream is purely functional in the merged order.
+//!
+//! Two implementations are provided:
+//!
+//! * [`merge`] — true arrival-order interleaving using one forwarding thread
+//!   per input. Nondeterministic, as the paper specifies; used by the live
+//!   multi-user engine.
+//! * [`merge_deterministic`] — a reproducible interleaving chosen by a
+//!   [`MergeSchedule`]. Experiments use this so that reported numbers are
+//!   replayable; it still preserves the per-input order invariant, which is
+//!   all serializability requires.
+
+use crossbeam::channel;
+
+use crate::stream::Stream;
+use crate::tagged::Tagged;
+
+/// Deterministic interleaving policies for [`merge_deterministic`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeSchedule {
+    /// Cycle through inputs `0, 1, …, n-1, 0, 1, …`, skipping exhausted ones.
+    RoundRobin,
+    /// Follow the given index sequence, then fall back to round-robin.
+    /// Indices pointing at exhausted inputs are skipped.
+    Fixed(Vec<usize>),
+    /// Drain input 0 completely, then input 1, and so on (no interleaving;
+    /// useful as a pessimistic baseline for merge-order ablations).
+    Sequential,
+}
+
+/// Arrival-order nondeterministic merge of several streams.
+///
+/// Spawns one forwarding thread per input; elements appear on the output in
+/// the order the merge receives them. The relative order of elements from
+/// the *same* input is always preserved.
+///
+/// The output stream ends once every input has ended.
+///
+/// # Example
+///
+/// ```
+/// use fundb_lenient::{merge, Stream};
+///
+/// let a: Stream<i32> = (0..3).collect();
+/// let b: Stream<i32> = (10..13).collect();
+/// let mut out = merge(vec![a, b]).collect_vec();
+/// out.sort();
+/// assert_eq!(out, vec![0, 1, 2, 10, 11, 12]);
+/// ```
+pub fn merge<T: Clone + Send + Sync + 'static>(inputs: Vec<Stream<T>>) -> Stream<T> {
+    let (tx, rx) = channel::unbounded::<T>();
+    for input in inputs {
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            for item in input.iter() {
+                if tx.send(item).is_err() {
+                    break;
+                }
+            }
+        });
+    }
+    drop(tx);
+
+    let (mut writer, out) = Stream::channel();
+    std::thread::spawn(move || {
+        for item in rx {
+            writer.push(item);
+        }
+        writer.close();
+    });
+    out
+}
+
+/// Merges tagged inputs: each element of stream `i` is wrapped in
+/// [`Tagged`] with that input's tag, so responses can later be routed back
+/// to their origin.
+pub fn merge_tagged<G, T>(inputs: Vec<(G, Stream<T>)>) -> Stream<Tagged<G, T>>
+where
+    G: Clone + Send + Sync + 'static,
+    T: Clone + Send + Sync + 'static,
+{
+    let tagged: Vec<Stream<Tagged<G, T>>> = inputs
+        .into_iter()
+        .map(|(tag, s)| s.map(move |v| Tagged::new(tag.clone(), v)))
+        .collect();
+    merge(tagged)
+}
+
+/// Reproducible merge: interleaves `inputs` according to `schedule`.
+///
+/// Lazy — the interleaving is computed as the output is demanded, so it
+/// composes with producer-driven inputs (reading simply blocks on whichever
+/// input the schedule selects next). Per-input order is preserved for every
+/// schedule.
+pub fn merge_deterministic<T>(inputs: Vec<Stream<T>>, schedule: MergeSchedule) -> Stream<T>
+where
+    T: Clone + Send + Sync + 'static,
+{
+    struct State<T> {
+        cursors: Vec<Option<Stream<T>>>,
+        fixed: Vec<usize>,
+        fixed_pos: usize,
+        rr_next: usize,
+        sequential: bool,
+    }
+
+    let state = State {
+        cursors: inputs.into_iter().map(Some).collect(),
+        fixed: match &schedule {
+            MergeSchedule::Fixed(seq) => seq.clone(),
+            _ => Vec::new(),
+        },
+        fixed_pos: 0,
+        rr_next: 0,
+        sequential: matches!(schedule, MergeSchedule::Sequential),
+    };
+
+    Stream::unfold(state, |mut st| {
+        loop {
+            let live = st.cursors.iter().filter(|c| c.is_some()).count();
+            if live == 0 {
+                return None;
+            }
+            // Pick the next input index per the schedule.
+            let idx = if st.fixed_pos < st.fixed.len() {
+                let i = st.fixed[st.fixed_pos] % st.cursors.len();
+                st.fixed_pos += 1;
+                i
+            } else if st.sequential {
+                match st.cursors.iter().position(|c| c.is_some()) {
+                    Some(i) => i,
+                    None => return None,
+                }
+            } else {
+                // Round-robin over live inputs.
+                let n = st.cursors.len();
+                let mut i = st.rr_next % n;
+                while st.cursors[i].is_none() {
+                    i = (i + 1) % n;
+                }
+                st.rr_next = i + 1;
+                i
+            };
+            let Some(cursor) = st.cursors[idx].take() else {
+                continue; // fixed index hit an exhausted input; skip it
+            };
+            match cursor.uncons() {
+                Some((item, rest)) => {
+                    st.cursors[idx] = Some(rest);
+                    return Some((item, st));
+                }
+                None => {
+                    // Input exhausted; try again with the remaining inputs.
+                    continue;
+                }
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn subsequence(sub: &[i32], full: &[i32]) -> bool {
+        let mut it = full.iter();
+        sub.iter().all(|x| it.any(|y| y == x))
+    }
+
+    #[test]
+    fn merge_preserves_per_input_order() {
+        for _ in 0..20 {
+            let a: Stream<i32> = (0..50).collect();
+            let b: Stream<i32> = (100..150).collect();
+            let out = merge(vec![a, b]).collect_vec();
+            assert_eq!(out.len(), 100);
+            let av: Vec<i32> = (0..50).collect();
+            let bv: Vec<i32> = (100..150).collect();
+            assert!(subsequence(&av, &out));
+            assert!(subsequence(&bv, &out));
+        }
+    }
+
+    #[test]
+    fn merge_of_empty_inputs_is_empty() {
+        let out = merge::<i32>(vec![Stream::empty(), Stream::empty()]);
+        assert!(out.is_nil());
+    }
+
+    #[test]
+    fn merge_of_no_inputs_is_empty() {
+        let out = merge::<i32>(vec![]);
+        assert!(out.is_nil());
+    }
+
+    #[test]
+    fn merge_with_live_producers() {
+        let (mut wa, a) = Stream::channel();
+        let (mut wb, b) = Stream::channel();
+        let out = merge(vec![a, b]);
+        wa.push(1);
+        // The merged stream must deliver 1 even though b is still open.
+        assert_eq!(out.first(), Some(1));
+        wb.push(2);
+        wa.close();
+        wb.close();
+        let mut rest = out.collect_vec();
+        rest.sort();
+        assert_eq!(rest, vec![1, 2]);
+    }
+
+    #[test]
+    fn merge_tagged_routes_origin() {
+        let a: Stream<i32> = (0..3).collect();
+        let b: Stream<i32> = (10..13).collect();
+        let out = merge_tagged(vec![("a", a), ("b", b)]).collect_vec();
+        let mut by_tag: HashMap<&str, Vec<i32>> = HashMap::new();
+        for t in out {
+            by_tag.entry(t.tag).or_default().push(t.value);
+        }
+        assert_eq!(by_tag["a"], vec![0, 1, 2]);
+        assert_eq!(by_tag["b"], vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn deterministic_round_robin() {
+        let a: Stream<i32> = vec![1, 2, 3].into_iter().collect();
+        let b: Stream<i32> = vec![10, 20].into_iter().collect();
+        let out = merge_deterministic(vec![a, b], MergeSchedule::RoundRobin);
+        assert_eq!(out.collect_vec(), vec![1, 10, 2, 20, 3]);
+    }
+
+    #[test]
+    fn deterministic_sequential() {
+        let a: Stream<i32> = vec![1, 2].into_iter().collect();
+        let b: Stream<i32> = vec![10, 20].into_iter().collect();
+        let out = merge_deterministic(vec![a, b], MergeSchedule::Sequential);
+        assert_eq!(out.collect_vec(), vec![1, 2, 10, 20]);
+    }
+
+    #[test]
+    fn deterministic_fixed_prefix_then_round_robin() {
+        let a: Stream<i32> = vec![1, 2, 3].into_iter().collect();
+        let b: Stream<i32> = vec![10, 20, 30].into_iter().collect();
+        let out = merge_deterministic(
+            vec![a, b],
+            MergeSchedule::Fixed(vec![1, 1, 0]),
+        );
+        // fixed: b, b, a -> 10, 20, 1; then round-robin continues.
+        let v = out.collect_vec();
+        assert_eq!(&v[..3], &[10, 20, 1]);
+        assert_eq!(v.len(), 6);
+        assert!(subsequence(&[1, 2, 3], &v));
+        assert!(subsequence(&[10, 20, 30], &v));
+    }
+
+    #[test]
+    fn deterministic_fixed_skips_exhausted() {
+        let a: Stream<i32> = vec![1].into_iter().collect();
+        let b: Stream<i32> = vec![10, 20].into_iter().collect();
+        let out = merge_deterministic(
+            vec![a, b],
+            MergeSchedule::Fixed(vec![0, 0, 0, 1, 1]),
+        );
+        assert_eq!(out.collect_vec(), vec![1, 10, 20]);
+    }
+
+    #[test]
+    fn deterministic_merge_is_lazy() {
+        // An infinite input does not prevent reading a finite prefix.
+        let nats = Stream::unfold(0i32, |n| Some((n, n + 1)));
+        let b: Stream<i32> = vec![-1].into_iter().collect();
+        let out = merge_deterministic(vec![nats, b], MergeSchedule::RoundRobin);
+        assert_eq!(out.take(4).collect_vec(), vec![0, -1, 1, 2]);
+    }
+}

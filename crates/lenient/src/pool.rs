@@ -1,0 +1,255 @@
+//! A small fixed-size worker pool.
+//!
+//! The paper's evaluation mechanism extracts executable operations from the
+//! merged stream "as they become available, rather than in the implied
+//! sequence". The pipelined engine realizes that by handing transaction
+//! steps to this pool; workers block only inside lenient waits, i.e. on real
+//! data dependencies.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{self, Sender};
+use parking_lot::{Condvar, Mutex};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Pending {
+    count: AtomicUsize,
+    lock: Mutex<()>,
+    cond: Condvar,
+}
+
+impl Pending {
+    fn incr(&self) {
+        self.count.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn decr(&self) {
+        if self.count.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _guard = self.lock.lock();
+            self.cond.notify_all();
+        }
+    }
+
+    fn wait_zero(&self) {
+        let mut guard = self.lock.lock();
+        while self.count.load(Ordering::SeqCst) != 0 {
+            self.cond.wait(&mut guard);
+        }
+    }
+}
+
+/// A fixed pool of worker threads executing submitted closures.
+///
+/// Dropping the pool waits for all queued work to finish and joins the
+/// workers.
+///
+/// # Example
+///
+/// ```
+/// use fundb_lenient::WorkerPool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+///
+/// let pool = WorkerPool::new(4);
+/// let hits = Arc::new(AtomicUsize::new(0));
+/// for _ in 0..100 {
+///     let hits = hits.clone();
+///     pool.spawn(move || {
+///         hits.fetch_add(1, Ordering::SeqCst);
+///     });
+/// }
+/// pool.wait_idle();
+/// assert_eq!(hits.load(Ordering::SeqCst), 100);
+/// ```
+pub struct WorkerPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    pending: Arc<Pending>,
+}
+
+impl fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.len())
+            .field("pending", &self.pending.count.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `workers` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero — a zero-width pool would silently
+    /// deadlock every caller of [`wait_idle`](Self::wait_idle).
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "worker pool requires at least one worker");
+        let (tx, rx) = channel::unbounded::<Job>();
+        let pending = Arc::new(Pending {
+            count: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            cond: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let rx = rx.clone();
+                let pending = Arc::clone(&pending);
+                std::thread::spawn(move || {
+                    for job in rx {
+                        // A panicking job must not kill the worker (or the
+                        // pool would silently shrink) nor leak a pending
+                        // count (or wait_idle would hang).
+                        let result =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                        pending.decr();
+                        if result.is_err() {
+                            // Swallow the panic; the job's own observers see
+                            // its effects (e.g. an unfilled lenient cell).
+                        }
+                    }
+                })
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(tx),
+            workers: handles,
+            pending,
+        }
+    }
+
+    /// Queues `job` for execution on some worker.
+    pub fn spawn<F: FnOnce() + Send + 'static>(&self, job: F) {
+        self.pending.incr();
+        self.sender
+            .as_ref()
+            .expect("worker pool sender alive until drop")
+            .send(Box::new(job))
+            .expect("worker threads alive until drop");
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs submitted but not yet completed.
+    pub fn pending_jobs(&self) -> usize {
+        self.pending.count.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until every submitted job has completed.
+    ///
+    /// Note: jobs submitted concurrently with this call may or may not be
+    /// awaited; quiesce producers first for a strict barrier.
+    pub fn wait_idle(&self) {
+        self.pending.wait_zero();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel lets workers drain the queue and exit.
+        self.sender.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn runs_all_jobs() {
+        let pool = WorkerPool::new(3);
+        let n = Arc::new(AtomicUsize::new(0));
+        for _ in 0..500 {
+            let n = n.clone();
+            pool.spawn(move || {
+                n.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(n.load(Ordering::SeqCst), 500);
+        assert_eq!(pool.pending_jobs(), 0);
+    }
+
+    #[test]
+    fn drop_drains_queue() {
+        let n = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(2);
+            for _ in 0..100 {
+                let n = n.clone();
+                pool.spawn(move || {
+                    n.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        }
+        assert_eq!(n.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn jobs_run_concurrently() {
+        use crate::Lenient;
+        let pool = WorkerPool::new(2);
+        // Two jobs that can only finish if they run at the same time.
+        let a: Lenient<u8> = Lenient::new();
+        let b: Lenient<u8> = Lenient::new();
+        let (a1, b1) = (a.clone(), b.clone());
+        pool.spawn(move || {
+            a1.fill(1).unwrap();
+            b1.wait();
+        });
+        let (a2, b2) = (a, b);
+        pool.spawn(move || {
+            a2.wait();
+            b2.fill(1).unwrap();
+        });
+        pool.wait_idle();
+    }
+
+    #[test]
+    fn panicking_job_does_not_poison_the_pool() {
+        let pool = WorkerPool::new(2);
+        let n = Arc::new(AtomicUsize::new(0));
+        for i in 0..50 {
+            let n = n.clone();
+            pool.spawn(move || {
+                if i % 10 == 0 {
+                    panic!("injected failure {i}");
+                }
+                n.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(n.load(Ordering::SeqCst), 45);
+        // Workers survived: the pool still runs new jobs.
+        let n2 = n.clone();
+        pool.spawn(move || {
+            n2.fetch_add(1, Ordering::SeqCst);
+        });
+        pool.wait_idle();
+        assert_eq!(n.load(Ordering::SeqCst), 46);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = WorkerPool::new(0);
+    }
+
+    #[test]
+    fn worker_count_reported() {
+        let pool = WorkerPool::new(5);
+        assert_eq!(pool.worker_count(), 5);
+    }
+}

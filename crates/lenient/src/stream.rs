@@ -1,0 +1,616 @@
+//! Persistent streams with lenient tails.
+//!
+//! A [`Stream<T>`] is the paper's stream object: a sequence of unknown (or
+//! infinite) length that is a bona fide data value. Its spine cells are
+//! either *lenient* (filled by an external producer through a
+//! [`StreamWriter`]) or *lazy* (computed on demand by a suspension, as
+//! produced by combinators like [`Stream::map`] and [`Stream::unfold`]).
+//!
+//! Consumers never observe the difference: `first`, `rest`, and `uncons`
+//! block only when the demanded cell is genuinely not yet available — the
+//! paper's "only essential data dependencies play a role in
+//! synchronization".
+
+use std::fmt;
+use std::iter::FromIterator;
+
+use crate::cell::Lenient;
+use crate::thunk::Thunk;
+
+/// One resolved spine cell of a stream: either the end, or an element
+/// followed by the rest of the stream.
+pub enum Node<T> {
+    /// End of stream (`[]` in the paper's notation).
+    Nil,
+    /// An element followed by the remaining stream (`x ^ rest`).
+    Cons(T, Stream<T>),
+}
+
+impl<T: fmt::Debug> fmt::Debug for Node<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Node::Nil => f.write_str("Nil"),
+            Node::Cons(x, _) => f.debug_tuple("Cons").field(x).finish(),
+        }
+    }
+}
+
+enum CellKind<T> {
+    Lenient(Lenient<Node<T>>),
+    Lazy(Thunk<Node<T>>),
+}
+
+impl<T> Clone for CellKind<T> {
+    fn clone(&self) -> Self {
+        match self {
+            CellKind::Lenient(c) => CellKind::Lenient(c.clone()),
+            CellKind::Lazy(t) => CellKind::Lazy(t.clone()),
+        }
+    }
+}
+
+/// A persistent stream whose suffix may still be under construction.
+///
+/// Clones share structure; a stream may be read by many consumers
+/// concurrently, each at its own position, without interference — reads
+/// force or wait on spine cells but never mutate resolved structure.
+pub struct Stream<T> {
+    cell: CellKind<T>,
+}
+
+impl<T> Clone for Stream<T> {
+    fn clone(&self) -> Self {
+        Stream {
+            cell: self.cell.clone(),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Stream<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_node() {
+            Some(Node::Nil) => f.write_str("Stream[]"),
+            Some(Node::Cons(x, _)) => write!(f, "Stream[{x:?}, ...]"),
+            None => f.write_str("Stream[<pending>]"),
+        }
+    }
+}
+
+impl<T> Stream<T> {
+    fn from_node_cell(cell: Lenient<Node<T>>) -> Self {
+        Stream {
+            cell: CellKind::Lenient(cell),
+        }
+    }
+
+    fn from_thunk(thunk: Thunk<Node<T>>) -> Self {
+        Stream {
+            cell: CellKind::Lazy(thunk),
+        }
+    }
+
+    /// The empty stream, `[]`.
+    pub fn empty() -> Self {
+        Stream::from_node_cell(Lenient::ready(Node::Nil))
+    }
+
+    /// The paper's infix `^` ("followed-by"): `head` followed by `tail`.
+    ///
+    /// The head is strict but the tail may itself still be under
+    /// construction, so a stream can be extended at the front while its
+    /// suffix is being produced elsewhere.
+    pub fn cons(head: T, tail: Stream<T>) -> Self {
+        Stream::from_node_cell(Lenient::ready(Node::Cons(head, tail)))
+    }
+
+    /// Creates a producer/consumer pair: elements pushed through the
+    /// [`StreamWriter`] become visible to stream readers immediately.
+    pub fn channel() -> (StreamWriter<T>, Stream<T>) {
+        let cell = Lenient::new();
+        let stream = Stream::from_node_cell(cell.clone());
+        (
+            StreamWriter {
+                tail: Some(cell),
+            },
+            stream,
+        )
+    }
+
+    /// Resolves this stream's first spine cell, blocking if a producer has
+    /// not yet filled it (and forcing it if it is lazy).
+    pub fn wait_node(&self) -> &Node<T> {
+        match &self.cell {
+            CellKind::Lenient(c) => c.wait(),
+            CellKind::Lazy(t) => t.force(),
+        }
+    }
+
+    /// Non-blocking, non-forcing peek at the first spine cell.
+    ///
+    /// Returns `None` if the cell is unfilled or an unforced suspension.
+    pub fn try_node(&self) -> Option<&Node<T>> {
+        match &self.cell {
+            CellKind::Lenient(c) => c.try_get(),
+            CellKind::Lazy(t) => t.try_get(),
+        }
+    }
+
+    /// Blocks until the first cell resolves; `true` if the stream is empty.
+    pub fn is_nil(&self) -> bool {
+        matches!(self.wait_node(), Node::Nil)
+    }
+
+    /// The rest of the stream (blocking), or `None` for the empty stream.
+    pub fn rest(&self) -> Option<Stream<T>> {
+        match self.wait_node() {
+            Node::Nil => None,
+            Node::Cons(_, rest) => Some(rest.clone()),
+        }
+    }
+}
+
+impl<T: Clone> Stream<T> {
+    /// The first element (blocking), or `None` for the empty stream.
+    pub fn first(&self) -> Option<T> {
+        match self.wait_node() {
+            Node::Nil => None,
+            Node::Cons(x, _) => Some(x.clone()),
+        }
+    }
+
+    /// Splits off the first element and the rest (blocking).
+    pub fn uncons(&self) -> Option<(T, Stream<T>)> {
+        match self.wait_node() {
+            Node::Nil => None,
+            Node::Cons(x, rest) => Some((x.clone(), rest.clone())),
+        }
+    }
+
+    /// The `n`-th element (0-based), forcing the spine up to it.
+    pub fn nth(&self, n: usize) -> Option<T> {
+        let mut cur = self.clone();
+        for _ in 0..n {
+            cur = cur.rest()?;
+        }
+        cur.first()
+    }
+
+    /// A blocking iterator over the stream's elements.
+    ///
+    /// Iteration forces the spine; on a producer-driven stream it blocks at
+    /// the frontier until the producer pushes or closes.
+    pub fn iter(&self) -> Iter<T> {
+        Iter {
+            cur: self.clone(),
+        }
+    }
+
+    /// Forces the entire stream into a `Vec`. Diverges on infinite streams.
+    pub fn collect_vec(&self) -> Vec<T> {
+        self.iter().collect()
+    }
+
+    /// Forces the entire stream and returns its length.
+    pub fn len(&self) -> usize {
+        self.iter().count()
+    }
+
+    /// Blocking emptiness check (alias of [`is_nil`](Self::is_nil), provided
+    /// for collection-like call sites).
+    pub fn is_empty(&self) -> bool {
+        self.is_nil()
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> Stream<T> {
+    /// The paper's apply-to-all operator (`f || stream`), lazily.
+    ///
+    /// No element of the source is demanded until the corresponding element
+    /// of the result is demanded, so `map` over an unbounded query stream is
+    /// itself an unbounded stream.
+    pub fn map<U, F>(&self, f: F) -> Stream<U>
+    where
+        U: Send + Sync + 'static,
+        F: Fn(T) -> U + Send + Sync + 'static,
+    {
+        fn go<T, U, F>(src: Stream<T>, f: std::sync::Arc<F>) -> Stream<U>
+        where
+            T: Clone + Send + Sync + 'static,
+            U: Send + Sync + 'static,
+            F: Fn(T) -> U + Send + Sync + 'static,
+        {
+            Stream::from_thunk(Thunk::new(move || match src.wait_node() {
+                Node::Nil => Node::Nil,
+                Node::Cons(x, rest) => {
+                    let y = f(x.clone());
+                    Node::Cons(y, go(rest.clone(), f))
+                }
+            }))
+        }
+        go(self.clone(), std::sync::Arc::new(f))
+    }
+
+    /// Lazily retains the elements satisfying `pred`.
+    pub fn filter<F>(&self, pred: F) -> Stream<T>
+    where
+        F: Fn(&T) -> bool + Send + Sync + 'static,
+    {
+        fn go<T, F>(src: Stream<T>, pred: std::sync::Arc<F>) -> Stream<T>
+        where
+            T: Clone + Send + Sync + 'static,
+            F: Fn(&T) -> bool + Send + Sync + 'static,
+        {
+            Stream::from_thunk(Thunk::new(move || {
+                let mut cur = src;
+                loop {
+                    match cur.wait_node() {
+                        Node::Nil => return Node::Nil,
+                        Node::Cons(x, rest) => {
+                            let rest = rest.clone();
+                            if pred(x) {
+                                return Node::Cons(x.clone(), go(rest, pred));
+                            }
+                            cur = rest;
+                        }
+                    }
+                }
+            }))
+        }
+        go(self.clone(), std::sync::Arc::new(pred))
+    }
+
+    /// Lazily takes at most the first `n` elements.
+    pub fn take(&self, n: usize) -> Stream<T> {
+        fn go<T: Clone + Send + Sync + 'static>(src: Stream<T>, n: usize) -> Stream<T> {
+            Stream::from_thunk(Thunk::new(move || {
+                if n == 0 {
+                    return Node::Nil;
+                }
+                match src.wait_node() {
+                    Node::Nil => Node::Nil,
+                    Node::Cons(x, rest) => Node::Cons(x.clone(), go(rest.clone(), n - 1)),
+                }
+            }))
+        }
+        go(self.clone(), n)
+    }
+
+    /// Lazily skips the first `n` elements.
+    pub fn skip(&self, n: usize) -> Stream<T> {
+        fn go<T: Clone + Send + Sync + 'static>(src: Stream<T>, n: usize) -> Stream<T> {
+            Stream::from_thunk(Thunk::new(move || {
+                let mut cur = src;
+                let mut n = n;
+                loop {
+                    match cur.wait_node() {
+                        Node::Nil => return Node::Nil,
+                        Node::Cons(x, rest) => {
+                            if n == 0 {
+                                return Node::Cons(x.clone(), rest.clone());
+                            }
+                            n -= 1;
+                            cur = rest.clone();
+                        }
+                    }
+                }
+            }))
+        }
+        go(self.clone(), n)
+    }
+
+    /// Lazily concatenates `other` after `self`.
+    pub fn append(&self, other: Stream<T>) -> Stream<T> {
+        fn go<T: Clone + Send + Sync + 'static>(a: Stream<T>, b: Stream<T>) -> Stream<T> {
+            Stream::from_thunk(Thunk::new(move || match a.wait_node() {
+                Node::Nil => match b.wait_node() {
+                    Node::Nil => Node::Nil,
+                    Node::Cons(x, rest) => Node::Cons(x.clone(), rest.clone()),
+                },
+                Node::Cons(x, rest) => Node::Cons(x.clone(), go(rest.clone(), b)),
+            }))
+        }
+        go(self.clone(), other)
+    }
+
+    /// Lazily pairs elements of two streams, ending at the shorter.
+    pub fn zip<U: Clone + Send + Sync + 'static>(&self, other: &Stream<U>) -> Stream<(T, U)> {
+        fn go<T, U>(a: Stream<T>, b: Stream<U>) -> Stream<(T, U)>
+        where
+            T: Clone + Send + Sync + 'static,
+            U: Clone + Send + Sync + 'static,
+        {
+            Stream::from_thunk(Thunk::new(move || {
+                match (a.wait_node(), b.wait_node()) {
+                    (Node::Cons(x, ra), Node::Cons(y, rb)) => {
+                        Node::Cons((x.clone(), y.clone()), go(ra.clone(), rb.clone()))
+                    }
+                    _ => Node::Nil,
+                }
+            }))
+        }
+        go(self.clone(), other.clone())
+    }
+
+    /// Anamorphism: lazily unfolds a stream from a seed.
+    ///
+    /// `step` returns `Some((element, next_seed))` to extend the stream and
+    /// `None` to end it. The canonical way to build infinite streams:
+    ///
+    /// ```
+    /// use fundb_lenient::Stream;
+    /// let naturals = Stream::unfold(0u64, |n| Some((n, n + 1)));
+    /// assert_eq!(naturals.take(4).collect_vec(), vec![0, 1, 2, 3]);
+    /// ```
+    pub fn unfold<S, F>(seed: S, step: F) -> Stream<T>
+    where
+        S: Send + Sync + 'static,
+        F: Fn(S) -> Option<(T, S)> + Send + Sync + 'static,
+    {
+        fn go<T, S, F>(seed: S, step: std::sync::Arc<F>) -> Stream<T>
+        where
+            T: Clone + Send + Sync + 'static,
+            S: Send + Sync + 'static,
+            F: Fn(S) -> Option<(T, S)> + Send + Sync + 'static,
+        {
+            Stream::from_thunk(Thunk::new(move || match step(seed) {
+                None => Node::Nil,
+                Some((x, next)) => Node::Cons(x, go(next, step)),
+            }))
+        }
+        go(seed, std::sync::Arc::new(step))
+    }
+}
+
+impl<T> FromIterator<T> for Stream<T> {
+    /// Builds a fully-resolved (strict) stream from an iterator.
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let items: Vec<T> = iter.into_iter().collect();
+        let mut stream = Stream::empty();
+        for item in items.into_iter().rev() {
+            stream = Stream::cons(item, stream);
+        }
+        stream
+    }
+}
+
+/// Blocking iterator over a stream; see [`Stream::iter`].
+#[derive(Debug)]
+pub struct Iter<T> {
+    cur: Stream<T>,
+}
+
+impl<T: Clone> Iterator for Iter<T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        let (x, rest) = self.cur.uncons()?;
+        self.cur = rest;
+        Some(x)
+    }
+}
+
+/// The producing end of a lenient stream (see [`Stream::channel`]).
+///
+/// Elements become visible to readers the moment they are pushed — readers
+/// positioned at the frontier wake immediately. Dropping the writer closes
+/// the stream (fills the tail with `Nil`) so readers never block forever on
+/// an abandoned producer.
+pub struct StreamWriter<T> {
+    tail: Option<Lenient<Node<T>>>,
+}
+
+impl<T> fmt::Debug for StreamWriter<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.tail {
+            Some(_) => f.write_str("StreamWriter(open)"),
+            None => f.write_str("StreamWriter(closed)"),
+        }
+    }
+}
+
+impl<T> StreamWriter<T> {
+    /// Appends one element to the stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream has already been [`close`](Self::close)d.
+    pub fn push(&mut self, item: T) {
+        let tail = self
+            .tail
+            .as_ref()
+            .expect("push on a closed stream writer");
+        let next = Lenient::new();
+        let next_stream = Stream::from_node_cell(next.clone());
+        tail.fill(Node::Cons(item, next_stream))
+            .unwrap_or_else(|_| unreachable!("stream tail filled by foreign writer"));
+        self.tail = Some(next);
+    }
+
+    /// Appends every element of `items` in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream has already been closed.
+    pub fn push_all<I: IntoIterator<Item = T>>(&mut self, items: I) {
+        for item in items {
+            self.push(item);
+        }
+    }
+
+    /// Ends the stream. Idempotent.
+    pub fn close(&mut self) {
+        if let Some(tail) = self.tail.take() {
+            tail.fill(Node::Nil)
+                .unwrap_or_else(|_| unreachable!("stream tail filled by foreign writer"));
+        }
+    }
+
+    /// `true` until [`close`](Self::close) is called (or the writer dropped).
+    pub fn is_open(&self) -> bool {
+        self.tail.is_some()
+    }
+}
+
+impl<T> Drop for StreamWriter<T> {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn empty_stream_is_nil() {
+        let s: Stream<u8> = Stream::empty();
+        assert!(s.is_nil());
+        assert_eq!(s.first(), None);
+        assert_eq!(s.collect_vec(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn cons_builds_front() {
+        let s = Stream::cons(1, Stream::cons(2, Stream::empty()));
+        assert_eq!(s.collect_vec(), vec![1, 2]);
+        assert_eq!(s.first(), Some(1));
+        assert_eq!(s.rest().unwrap().first(), Some(2));
+    }
+
+    #[test]
+    fn from_iterator_round_trips() {
+        let s: Stream<i32> = (0..10).collect();
+        assert_eq!(s.collect_vec(), (0..10).collect::<Vec<_>>());
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn channel_elements_visible_immediately() {
+        let (mut w, s) = Stream::channel();
+        assert!(s.try_node().is_none());
+        w.push(5);
+        let (x, rest) = s.uncons().unwrap();
+        assert_eq!(x, 5);
+        assert!(rest.try_node().is_none());
+        w.close();
+        assert!(rest.is_nil());
+    }
+
+    #[test]
+    fn reader_blocks_until_producer_pushes() {
+        let (mut w, s) = Stream::channel();
+        let t = thread::spawn(move || s.first());
+        thread::sleep(Duration::from_millis(20));
+        w.push(42);
+        assert_eq!(t.join().unwrap(), Some(42));
+    }
+
+    #[test]
+    fn dropping_writer_closes_stream() {
+        let (w, s): (StreamWriter<u8>, Stream<u8>) = Stream::channel();
+        drop(w);
+        assert!(s.is_nil());
+    }
+
+    #[test]
+    fn two_readers_at_different_positions() {
+        let (mut w, s) = Stream::channel();
+        w.push_all([1, 2, 3]);
+        let r1 = s.clone();
+        let r2 = s.rest().unwrap();
+        assert_eq!(r1.first(), Some(1));
+        assert_eq!(r2.first(), Some(2));
+        w.close();
+        assert_eq!(r1.collect_vec(), vec![1, 2, 3]);
+        assert_eq!(r2.collect_vec(), vec![2, 3]);
+    }
+
+    #[test]
+    fn map_is_lazy() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c = calls.clone();
+        let s: Stream<i32> = (0..100).collect();
+        let mapped = s.map(move |x| {
+            c.fetch_add(1, Ordering::SeqCst);
+            x * 2
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 0);
+        assert_eq!(mapped.nth(2), Some(4));
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn map_over_channel_pipelines() {
+        let (mut w, s) = Stream::channel();
+        let doubled = s.map(|x: i32| x * 2);
+        w.push(10);
+        assert_eq!(doubled.first(), Some(20));
+        w.push(11);
+        assert_eq!(doubled.nth(1), Some(22));
+    }
+
+    #[test]
+    fn filter_take_skip() {
+        let s: Stream<i32> = (0..20).collect();
+        assert_eq!(
+            s.filter(|x| x % 3 == 0).collect_vec(),
+            vec![0, 3, 6, 9, 12, 15, 18]
+        );
+        assert_eq!(s.take(3).collect_vec(), vec![0, 1, 2]);
+        assert_eq!(s.skip(17).collect_vec(), vec![17, 18, 19]);
+        assert_eq!(s.take(0).collect_vec(), Vec::<i32>::new());
+        assert_eq!(s.skip(100).collect_vec(), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn append_and_zip() {
+        let a: Stream<i32> = (0..3).collect();
+        let b: Stream<i32> = (10..12).collect();
+        assert_eq!(a.append(b.clone()).collect_vec(), vec![0, 1, 2, 10, 11]);
+        assert_eq!(a.zip(&b).collect_vec(), vec![(0, 10), (1, 11)]);
+    }
+
+    #[test]
+    fn unfold_finite_and_infinite() {
+        let countdown = Stream::unfold(3u8, |n| if n == 0 { None } else { Some((n, n - 1)) });
+        assert_eq!(countdown.collect_vec(), vec![3, 2, 1]);
+        let nats = Stream::unfold(0u64, |n| Some((n, n + 1)));
+        assert_eq!(nats.take(5).collect_vec(), vec![0, 1, 2, 3, 4]);
+        // Only the demanded prefix is forced.
+        assert_eq!(nats.nth(100), Some(100));
+    }
+
+    #[test]
+    fn infinite_map_filter_compose() {
+        let nats = Stream::unfold(0u64, |n| Some((n, n + 1)));
+        let evens = nats.filter(|n| n % 2 == 0).map(|n| n / 2);
+        assert_eq!(evens.take(4).collect_vec(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "push on a closed stream writer")]
+    fn push_after_close_panics() {
+        let (mut w, _s) = Stream::channel();
+        w.push(1u8);
+        w.close();
+        w.push(2u8);
+    }
+
+    #[test]
+    fn producer_consumer_threads() {
+        let (mut w, s) = Stream::channel();
+        let producer = thread::spawn(move || {
+            for i in 0..1000 {
+                w.push(i);
+            }
+            w.close();
+        });
+        let consumer = thread::spawn(move || s.collect_vec());
+        producer.join().unwrap();
+        assert_eq!(consumer.join().unwrap(), (0..1000).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,80 @@
+//! Origin/destination tags.
+//!
+//! The paper pairs every request with "a tag indicating its origin" so the
+//! response to each transaction can be routed back to the submitting user,
+//! and every network message with a destination tag so a site can `choose`
+//! the messages meant for it. [`Tagged`] is that pairing; the functions
+//! processing the payload ignore the tag but keep it associated with the
+//! data.
+
+/// A value paired with a routing tag.
+///
+/// The tag is typically a client identifier (for transaction streams) or a
+/// site identifier (for network messages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tagged<G, T> {
+    /// Origin or destination of the value.
+    pub tag: G,
+    /// The payload the tag travels with.
+    pub value: T,
+}
+
+impl<G, T> Tagged<G, T> {
+    /// Pairs `value` with `tag`.
+    pub fn new(tag: G, value: T) -> Self {
+        Tagged { tag, value }
+    }
+
+    /// Applies `f` to the payload, keeping the tag attached — the paper's
+    /// "the function processing the transactions ignores the tag, but keeps
+    /// it associated with the data".
+    pub fn map<U, F: FnOnce(T) -> U>(self, f: F) -> Tagged<G, U> {
+        Tagged {
+            tag: self.tag,
+            value: f(self.value),
+        }
+    }
+
+    /// Splits into `(tag, value)`.
+    pub fn into_parts(self) -> (G, T) {
+        (self.tag, self.value)
+    }
+
+    /// Borrows the payload.
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+
+    /// Borrows the tag.
+    pub fn tag(&self) -> &G {
+        &self.tag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_tag() {
+        let t = Tagged::new(3u8, "q");
+        let u = t.map(|v| v.len());
+        assert_eq!(u.tag, 3);
+        assert_eq!(u.value, 1);
+    }
+
+    #[test]
+    fn into_parts_round_trip() {
+        let t = Tagged::new("client-a", 10);
+        let (g, v) = t.into_parts();
+        assert_eq!(g, "client-a");
+        assert_eq!(v, 10);
+    }
+
+    #[test]
+    fn accessors() {
+        let t = Tagged::new(1, 2);
+        assert_eq!(*t.tag(), 1);
+        assert_eq!(*t.value(), 2);
+    }
+}

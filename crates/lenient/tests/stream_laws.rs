@@ -1,0 +1,100 @@
+//! Property tests: the stream combinators obey the usual functional laws,
+//! which is what lets the paper treat streams as ordinary data objects.
+
+use fundb_lenient::{merge_deterministic, MergeSchedule, Stream};
+use proptest::prelude::*;
+
+fn stream_of(v: &[i64]) -> Stream<i64> {
+    v.iter().copied().collect()
+}
+
+proptest! {
+    #[test]
+    fn map_fusion(v in prop::collection::vec(any::<i64>(), 0..80)) {
+        let s = stream_of(&v);
+        let fused = s.map(|x| (x.wrapping_mul(3)).wrapping_add(1));
+        let composed = s.map(|x| x.wrapping_mul(3)).map(|x| x.wrapping_add(1));
+        prop_assert_eq!(fused.collect_vec(), composed.collect_vec());
+    }
+
+    #[test]
+    fn map_identity(v in prop::collection::vec(any::<i64>(), 0..80)) {
+        let s = stream_of(&v);
+        prop_assert_eq!(s.map(|x| x).collect_vec(), v);
+    }
+
+    #[test]
+    fn take_skip_partition(v in prop::collection::vec(any::<i64>(), 0..80), n in 0usize..100) {
+        let s = stream_of(&v);
+        let mut combined = s.take(n).collect_vec();
+        combined.extend(s.skip(n).collect_vec());
+        prop_assert_eq!(combined, v);
+    }
+
+    #[test]
+    fn append_associative(
+        a in prop::collection::vec(any::<i64>(), 0..40),
+        b in prop::collection::vec(any::<i64>(), 0..40),
+        c in prop::collection::vec(any::<i64>(), 0..40),
+    ) {
+        let (sa, sb, sc) = (stream_of(&a), stream_of(&b), stream_of(&c));
+        let left = sa.append(sb.clone()).append(sc.clone()).collect_vec();
+        let right = sa.append(sb.append(sc)).collect_vec();
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn cons_then_rest_is_identity(head in any::<i64>(), v in prop::collection::vec(any::<i64>(), 0..40)) {
+        let tail = stream_of(&v);
+        let s = Stream::cons(head, tail);
+        prop_assert_eq!(s.first(), Some(head));
+        prop_assert_eq!(s.rest().unwrap().collect_vec(), v);
+    }
+
+    #[test]
+    fn filter_then_collect_equals_vec_filter(v in prop::collection::vec(any::<i64>(), 0..80)) {
+        let s = stream_of(&v);
+        let got = s.filter(|x| x % 3 == 0).collect_vec();
+        let want: Vec<i64> = v.into_iter().filter(|x| x % 3 == 0).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn zip_unzip(
+        a in prop::collection::vec(any::<i64>(), 0..40),
+        b in prop::collection::vec(any::<i64>(), 0..40),
+    ) {
+        let zipped = stream_of(&a).zip(&stream_of(&b)).collect_vec();
+        let n = a.len().min(b.len());
+        prop_assert_eq!(zipped.len(), n);
+        let (ga, gb): (Vec<i64>, Vec<i64>) = zipped.into_iter().unzip();
+        prop_assert_eq!(ga, a[..n].to_vec());
+        prop_assert_eq!(gb, b[..n].to_vec());
+    }
+
+    #[test]
+    fn round_robin_merge_is_a_shuffle(
+        a in prop::collection::vec(any::<i64>(), 0..40),
+        b in prop::collection::vec(any::<i64>(), 0..40),
+    ) {
+        let merged = merge_deterministic(
+            vec![stream_of(&a), stream_of(&b)],
+            MergeSchedule::RoundRobin,
+        ).collect_vec();
+        prop_assert_eq!(merged.len(), a.len() + b.len());
+        // Round robin: element i of a sits before element i of b (for i in range).
+        let mut sorted_merged = merged.clone();
+        let mut sorted_all: Vec<i64> = a.iter().chain(&b).copied().collect();
+        sorted_merged.sort_unstable();
+        sorted_all.sort_unstable();
+        prop_assert_eq!(sorted_merged, sorted_all);
+    }
+
+    #[test]
+    fn unfold_then_take_matches_iterator(seed in 0i64..1000, n in 0usize..50) {
+        let s = Stream::unfold(seed, |x| Some((x, x + 7)));
+        let got = s.take(n).collect_vec();
+        let want: Vec<i64> = (0..n).map(|i| seed + 7 * i as i64).collect();
+        prop_assert_eq!(got, want);
+    }
+}

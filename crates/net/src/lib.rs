@@ -1,0 +1,40 @@
+//! The physical-distribution substrate of Section 3.
+//!
+//! "An important observation is that the network medium acts as one large
+//! merge pseudo-function. The stream of messages which appear on it over
+//! time … will consist of an interleaving of messages generated at
+//! different nodes. … A site effectively selects the messages directed to
+//! it by applying a `choose` function to the entire message stream."
+//! (Section 3.1, Figure 3-1.)
+//!
+//! This crate simulates that picture:
+//!
+//! * [`SiteId`] / [`Message`] — destination-tagged messages between PEs.
+//! * [`SharedMedium`] — the Ethernet-like broadcast medium: every send is
+//!   merged (arrival order) onto one persistent message stream; a site's
+//!   inbox is literally `choose` = a lazy filter over that stream.
+//! * [`Router`] — multi-hop paths over the simulator topologies, for
+//!   accounting message distance on non-broadcast networks.
+//! * [`PrimarySite`] — the primary-site model: every transaction passes
+//!   through one coordinating site, which runs the pipelined functional
+//!   engine and mails responses back to their origin sites.
+//! * [`pragma`] — the `RESULT-ON` / `MY-SITE` site pragmas of Section 3.2.
+//! * [`Cluster`] — an end-to-end harness wiring client sites to a primary
+//!   site over a medium.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cluster;
+pub mod medium;
+pub mod message;
+pub mod pragma;
+pub mod primary;
+pub mod router;
+
+pub use cluster::{ClientHandle, Cluster, NetworkLoad};
+pub use medium::SharedMedium;
+pub use message::{DbPayload, Message, SiteId};
+pub use pragma::{my_site, SitePool};
+pub use primary::PrimarySite;
+pub use router::Router;

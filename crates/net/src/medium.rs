@@ -1,0 +1,189 @@
+//! The shared broadcast medium: one large merge pseudo-function.
+//!
+//! Every send from any site is interleaved, in arrival order, onto a single
+//! persistent message stream (the "Ethernet model" of Section 3.1). The
+//! stream is an ordinary lenient stream, so any number of sites can read it
+//! concurrently, each at its own pace; a site's inbox is the lazy `choose`
+//! filter over it.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{self, Sender};
+use fundb_lenient::Stream;
+
+use crate::message::{Message, SiteId};
+
+enum Ctrl<P> {
+    Msg(Message<P>),
+    Close,
+}
+
+/// The broadcast medium. Cloning yields another handle to the same medium.
+///
+/// The medium stays open until [`close`](Self::close) is called or the last
+/// handle is dropped; either ends the broadcast stream, so readers see
+/// end-of-stream rather than blocking forever. Components like the primary
+/// site hold their own handles, so clusters shut down with an explicit
+/// `close()`.
+///
+/// # Example
+///
+/// ```
+/// use fundb_net::{Message, SharedMedium, SiteId};
+///
+/// let medium: SharedMedium<&str> = SharedMedium::new();
+/// medium.send(Message::new(SiteId(0), SiteId(1), 0, "hello"));
+/// let inbox = medium.choose(SiteId(1));
+/// assert_eq!(inbox.first().unwrap().payload, "hello");
+/// # drop(medium);
+/// ```
+pub struct SharedMedium<P> {
+    sender: Sender<Ctrl<P>>,
+    broadcast: Stream<Message<P>>,
+    sent: Arc<AtomicU64>,
+}
+
+impl<P> Clone for SharedMedium<P> {
+    fn clone(&self) -> Self {
+        SharedMedium {
+            sender: self.sender.clone(),
+            broadcast: self.broadcast.clone(),
+            sent: Arc::clone(&self.sent),
+        }
+    }
+}
+
+impl<P> fmt::Debug for SharedMedium<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SharedMedium[{} messages]", self.sent.load(Ordering::SeqCst))
+    }
+}
+
+impl<P: Clone + Send + Sync + 'static> SharedMedium<P> {
+    /// Creates a medium and starts its pump.
+    pub fn new() -> Self {
+        let (tx, rx) = channel::unbounded::<Ctrl<P>>();
+        let (mut writer, broadcast) = Stream::channel();
+        std::thread::spawn(move || {
+            for ctrl in rx {
+                match ctrl {
+                    Ctrl::Msg(msg) => writer.push(msg),
+                    Ctrl::Close => break,
+                }
+            }
+            writer.close();
+        });
+        SharedMedium {
+            sender: tx,
+            broadcast,
+            sent: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Puts a message on the medium. Arrival order on the broadcast stream
+    /// is the merge order. Messages sent after [`close`](Self::close) are
+    /// silently lost, as on a powered-down segment.
+    pub fn send(&self, message: Message<P>) {
+        self.sent.fetch_add(1, Ordering::SeqCst);
+        let _ = self.sender.send(Ctrl::Msg(message));
+    }
+
+    /// Shuts the medium down: the broadcast stream ends after the messages
+    /// already accepted. Idempotent.
+    pub fn close(&self) {
+        let _ = self.sender.send(Ctrl::Close);
+    }
+
+    /// The entire broadcast stream, from the first message ever sent.
+    /// Multiple readers may consume it independently.
+    pub fn broadcast_stream(&self) -> Stream<Message<P>> {
+        self.broadcast.clone()
+    }
+
+    /// The paper's `choose`: the sub-stream of messages destined for
+    /// `site`. Lazy — filtering happens as the inbox is read.
+    pub fn choose(&self, site: SiteId) -> Stream<Message<P>> {
+        self.broadcast.filter(move |m| m.to == site)
+    }
+
+    /// Messages sent so far.
+    pub fn message_count(&self) -> u64 {
+        self.sent.load(Ordering::SeqCst)
+    }
+}
+
+impl<P: Clone + Send + Sync + 'static> Default for SharedMedium<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn choose_filters_by_destination() {
+        let medium: SharedMedium<u32> = SharedMedium::new();
+        for i in 0..10 {
+            medium.send(Message::new(SiteId(0), SiteId(i % 3), i as u64, i));
+        }
+        let inbox1 = medium.choose(SiteId(1));
+        let got: Vec<u32> = inbox1.take(3).collect_vec().iter().map(|m| m.payload).collect();
+        assert_eq!(got, vec![1, 4, 7]);
+    }
+
+    #[test]
+    fn broadcast_preserves_per_sender_order() {
+        let medium: SharedMedium<u64> = SharedMedium::new();
+        let handles: Vec<_> = (0..4)
+            .map(|s| {
+                let m = medium.clone();
+                thread::spawn(move || {
+                    for i in 0..50 {
+                        m.send(Message::new(SiteId(s), SiteId(99), i, i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let inbox = medium.choose(SiteId(99));
+        let msgs = inbox.take(200).collect_vec();
+        assert_eq!(msgs.len(), 200);
+        // For each sender, sequence numbers appear in order.
+        for s in 0..4 {
+            let seqs: Vec<u64> = msgs
+                .iter()
+                .filter(|m| m.from == SiteId(s))
+                .map(|m| m.seq)
+                .collect();
+            assert_eq!(seqs, (0..50).collect::<Vec<_>>(), "sender {s}");
+        }
+        assert_eq!(medium.message_count(), 200);
+    }
+
+    #[test]
+    fn multiple_readers_see_same_history() {
+        let medium: SharedMedium<u8> = SharedMedium::new();
+        medium.send(Message::new(SiteId(0), SiteId(1), 0, 7));
+        let a = medium.choose(SiteId(1));
+        let b = medium.choose(SiteId(1));
+        assert_eq!(a.first().unwrap().payload, 7);
+        assert_eq!(b.first().unwrap().payload, 7);
+    }
+
+    #[test]
+    fn dropping_all_handles_closes_stream() {
+        let medium: SharedMedium<u8> = SharedMedium::new();
+        let inbox = medium.choose(SiteId(1));
+        medium.send(Message::new(SiteId(0), SiteId(2), 0, 1));
+        drop(medium);
+        // Message was for site 2; site 1's inbox ends cleanly.
+        assert!(inbox.is_nil());
+    }
+}

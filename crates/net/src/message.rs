@@ -1,0 +1,99 @@
+//! Sites and destination-tagged messages.
+
+use std::fmt;
+
+use fundb_core::ClientId;
+use fundb_query::Response;
+
+/// Identifies a processing element / network node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SiteId(pub u32);
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site{}", self.0)
+    }
+}
+
+/// A message on the medium: payload plus origin and destination tags.
+///
+/// "Instead of transactions, we have arbitrary messages, again accompanied
+/// by destination tags, for ultimate routing of responses." (Section 3.1.)
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message<P> {
+    /// Originating site.
+    pub from: SiteId,
+    /// Destination site — what `choose` filters on.
+    pub to: SiteId,
+    /// Per-sender sequence number (message order within one sender).
+    pub seq: u64,
+    /// The payload.
+    pub payload: P,
+}
+
+impl<P> Message<P> {
+    /// Builds a message.
+    pub fn new(from: SiteId, to: SiteId, seq: u64, payload: P) -> Self {
+        Message {
+            from,
+            to,
+            seq,
+            payload,
+        }
+    }
+}
+
+/// The payloads the database cluster exchanges.
+///
+/// Requests travel as *symbolic* query text — exactly what the paper's
+/// terminals would transmit — and are translated at the primary site.
+/// Responses travel back as values with the originating client's tag.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbPayload {
+    /// A client's query, still in symbolic form.
+    Request {
+        /// The submitting client (one site may host several).
+        client: ClientId,
+        /// Query text, e.g. `"insert (1, 'ada') into R"`.
+        query: String,
+    },
+    /// The primary site's answer to an earlier request.
+    Reply {
+        /// The client the response belongs to.
+        client: ClientId,
+        /// The transaction's response.
+        response: Response,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_display() {
+        assert_eq!(SiteId(4).to_string(), "site4");
+    }
+
+    #[test]
+    fn message_fields() {
+        let m = Message::new(SiteId(1), SiteId(2), 7, "ping");
+        assert_eq!(m.from, SiteId(1));
+        assert_eq!(m.to, SiteId(2));
+        assert_eq!(m.seq, 7);
+        assert_eq!(m.payload, "ping");
+    }
+
+    #[test]
+    fn db_payload_variants() {
+        let req = DbPayload::Request {
+            client: ClientId(0),
+            query: "find 1 in R".into(),
+        };
+        let rep = DbPayload::Reply {
+            client: ClientId(0),
+            response: Response::Count(3),
+        };
+        assert_ne!(req, rep);
+    }
+}

@@ -1,0 +1,238 @@
+//! The primary-site coordinator (Section 3.1).
+//!
+//! "At every instant of time, some site plays the role of the primary site,
+//! through which all transactions must pass for coordination, regardless of
+//! origin. This creates a bottleneck which is temporary, in the sense that
+//! once a transaction passes through the site, finer grain actions
+//! associated with it may be done concurrently."
+//!
+//! [`PrimarySite`] is that site: it reads its `choose` stream off the
+//! medium (arrival order = the merge = the serialization order), feeds each
+//! request through the pipelined functional engine — so the "finer grain
+//! actions" of successive transactions do overlap — and mails each response
+//! back to the site it came from, tagged with the originating client.
+
+use std::fmt;
+use std::thread::JoinHandle;
+
+use fundb_core::PipelinedEngine;
+use fundb_query::{parse, translate, Response};
+use fundb_relational::Database;
+
+use crate::medium::SharedMedium;
+use crate::message::{DbPayload, Message, SiteId};
+
+/// A running primary site.
+pub struct PrimarySite {
+    site: SiteId,
+    pump: Option<JoinHandle<u64>>,
+}
+
+impl fmt::Debug for PrimarySite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PrimarySite[{}]", self.site)
+    }
+}
+
+impl PrimarySite {
+    /// Starts a primary site at `site` over `medium`, serving `initial`
+    /// with a `workers`-thread engine.
+    ///
+    /// The site holds its own medium handle, so it runs until the medium is
+    /// explicitly [`close`](SharedMedium::close)d; then
+    /// [`join`](Self::join) returns the number of transactions served.
+    pub fn start(
+        medium: &SharedMedium<DbPayload>,
+        site: SiteId,
+        initial: &Database,
+        workers: usize,
+    ) -> Self {
+        let inbox = medium.choose(site);
+        let outbound = medium.clone();
+        let engine = PipelinedEngine::new(workers, initial);
+        // The responder mails replies out in admission order, waiting on
+        // each lenient response cell in turn — independent of whether more
+        // requests are arriving, so replies stream out as they complete.
+        let (resp_tx, resp_rx) = crossbeam::channel::unbounded::<(
+            SiteId,
+            fundb_core::ClientId,
+            fundb_lenient::Lenient<Response>,
+        )>();
+        let responder = std::thread::spawn(move || {
+            for (seq, (dest, client, cell)) in resp_rx.into_iter().enumerate() {
+                outbound.send(Message::new(
+                    site,
+                    dest,
+                    seq as u64,
+                    DbPayload::Reply {
+                        client,
+                        response: cell.wait_cloned(),
+                    },
+                ));
+            }
+        });
+        let pump = std::thread::spawn(move || {
+            let mut served = 0u64;
+            for msg in inbox.iter() {
+                if let DbPayload::Request { client, query } = msg.payload {
+                    let cell = match parse(&query) {
+                        Ok(q) => engine.submit(translate(q)),
+                        Err(e) => fundb_lenient::Lenient::ready(Response::Error(e.to_string())),
+                    };
+                    if resp_tx.send((msg.from, client, cell)).is_err() {
+                        break; // responder gone; shutting down
+                    }
+                    served += 1;
+                }
+            }
+            drop(resp_tx);
+            let _ = responder.join();
+            served
+        });
+        PrimarySite {
+            site,
+            pump: Some(pump),
+        }
+    }
+
+    /// This coordinator's site id.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Waits for the site to shut down (call
+    /// [`SharedMedium::close`] first); returns transactions served.
+    pub fn join(mut self) -> u64 {
+        self.pump
+            .take()
+            .expect("join consumes the only pump handle")
+            .join()
+            .expect("primary site panicked")
+    }
+}
+
+impl Drop for PrimarySite {
+    fn drop(&mut self) {
+        if let Some(h) = self.pump.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fundb_core::ClientId;
+    use fundb_relational::Repr;
+
+    fn base() -> Database {
+        Database::empty()
+            .create_relation("R", Repr::List)
+            .unwrap()
+            .create_relation("S", Repr::List)
+            .unwrap()
+    }
+
+    #[test]
+    fn serves_requests_and_routes_replies() {
+        let medium: SharedMedium<DbPayload> = SharedMedium::new();
+        let primary = PrimarySite::start(&medium, SiteId(0), &base(), 2);
+
+        let client_site = SiteId(1);
+        let inbox = medium.choose(client_site);
+        for (i, q) in ["insert 5 into R", "find 5 in R"].iter().enumerate() {
+            medium.send(Message::new(
+                client_site,
+                SiteId(0),
+                i as u64,
+                DbPayload::Request {
+                    client: ClientId(0),
+                    query: (*q).to_string(),
+                },
+            ));
+        }
+        let replies = inbox.take(2).collect_vec();
+        assert_eq!(replies.len(), 2);
+        match &replies[1].payload {
+            DbPayload::Reply { response, .. } => {
+                assert_eq!(response.tuples().unwrap().len(), 1);
+            }
+            other => panic!("expected reply, got {other:?}"),
+        }
+        medium.close();
+        assert_eq!(primary.join(), 2);
+    }
+
+    #[test]
+    fn malformed_queries_get_error_replies() {
+        let medium: SharedMedium<DbPayload> = SharedMedium::new();
+        let _primary = PrimarySite::start(&medium, SiteId(0), &base(), 1);
+        let inbox = medium.choose(SiteId(7));
+        medium.send(Message::new(
+            SiteId(7),
+            SiteId(0),
+            0,
+            DbPayload::Request {
+                client: ClientId(3),
+                query: "frobnicate everything".into(),
+            },
+        ));
+        let reply = inbox.first().unwrap();
+        match reply.payload {
+            DbPayload::Reply { client, response } => {
+                assert_eq!(client, ClientId(3));
+                assert!(response.is_error());
+            }
+            other => panic!("expected reply, got {other:?}"),
+        }
+        medium.close();
+    }
+
+    #[test]
+    fn requests_from_many_sites_serialize() {
+        let medium: SharedMedium<DbPayload> = SharedMedium::new();
+        let primary = PrimarySite::start(&medium, SiteId(0), &base(), 4);
+        // Three "terminals" all insert into R concurrently.
+        let senders: Vec<_> = (1..=3u32)
+            .map(|s| {
+                let m = medium.clone();
+                std::thread::spawn(move || {
+                    for i in 0..20 {
+                        m.send(Message::new(
+                            SiteId(s),
+                            SiteId(0),
+                            i,
+                            DbPayload::Request {
+                                client: ClientId(s),
+                                query: format!("insert {} into R", s * 1000 + i as u32),
+                            },
+                        ));
+                    }
+                })
+            })
+            .collect();
+        for h in senders {
+            h.join().unwrap();
+        }
+        // One more request to observe the final count.
+        let inbox = medium.choose(SiteId(9));
+        medium.send(Message::new(
+            SiteId(9),
+            SiteId(0),
+            0,
+            DbPayload::Request {
+                client: ClientId(9),
+                query: "count R".into(),
+            },
+        ));
+        let reply = inbox.first().unwrap();
+        match reply.payload {
+            DbPayload::Reply { response, .. } => {
+                assert_eq!(response, Response::Count(60));
+            }
+            other => panic!("expected reply, got {other:?}"),
+        }
+        medium.close();
+        assert_eq!(primary.join(), 61);
+    }
+}

@@ -1,0 +1,137 @@
+//! Multi-hop routing over explicit topologies.
+//!
+//! "Nodes which route information within the network must, of course, take
+//! the physical topology into account." (Section 3.4.) On the broadcast
+//! medium routing is trivial; [`Router`] provides the point-to-point view
+//! used when the cluster is mapped onto one of the simulator topologies —
+//! it computes greedy shortest next-hops and whole paths, and accounts hop
+//! counts for delay models.
+
+use std::fmt;
+
+use fundb_rediflow::Topology;
+
+use crate::message::SiteId;
+
+/// Computes routes over a [`Topology`].
+pub struct Router<'a> {
+    topology: &'a dyn Topology,
+}
+
+impl fmt::Debug for Router<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Router[{}]", self.topology.name())
+    }
+}
+
+impl<'a> Router<'a> {
+    /// A router over `topology`. Sites map to topology nodes by index.
+    pub fn new(topology: &'a dyn Topology) -> Self {
+        Router { topology }
+    }
+
+    /// Number of addressable sites.
+    pub fn sites(&self) -> usize {
+        self.topology.nodes()
+    }
+
+    /// Hop distance between two sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either site is out of range for the topology.
+    pub fn hops(&self, from: SiteId, to: SiteId) -> u32 {
+        self.topology.distance(from.0 as usize, to.0 as usize)
+    }
+
+    /// The next hop from `from` toward `to`: the neighbour strictly closer
+    /// to the destination (lowest index among ties). Returns `None` when
+    /// already there.
+    pub fn next_hop(&self, from: SiteId, to: SiteId) -> Option<SiteId> {
+        if from == to {
+            return None;
+        }
+        let best = self
+            .topology
+            .neighbors(from.0 as usize)
+            .into_iter()
+            .min_by_key(|&n| (self.topology.distance(n, to.0 as usize), n))
+            .expect("connected topology has neighbours");
+        Some(SiteId(best as u32))
+    }
+
+    /// The full greedy path `from → … → to` (inclusive of both ends).
+    ///
+    /// On the provided topologies (hypercube, mesh, ring, complete) greedy
+    /// next-hops always decrease the distance, so the path length equals
+    /// [`hops`](Self::hops).
+    pub fn path(&self, from: SiteId, to: SiteId) -> Vec<SiteId> {
+        let mut path = vec![from];
+        let mut cur = from;
+        while cur != to {
+            let next = self
+                .next_hop(cur, to)
+                .expect("loop guard: cur != to implies a next hop");
+            assert!(
+                self.hops(next, to) < self.hops(cur, to),
+                "greedy routing made no progress at {cur}"
+            );
+            path.push(next);
+            cur = next;
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fundb_rediflow::{Complete, EuclideanCube, Hypercube, Ring};
+
+    #[test]
+    fn hypercube_paths_have_hamming_length() {
+        let topo = Hypercube::new(3);
+        let r = Router::new(&topo);
+        assert_eq!(r.sites(), 8);
+        let path = r.path(SiteId(0b000), SiteId(0b111));
+        assert_eq!(path.len(), 4); // 3 hops + origin
+        assert_eq!(path[0], SiteId(0));
+        assert_eq!(*path.last().unwrap(), SiteId(7));
+        assert_eq!(r.hops(SiteId(0), SiteId(7)), 3);
+    }
+
+    #[test]
+    fn self_path_is_trivial() {
+        let topo = Ring::new(5);
+        let r = Router::new(&topo);
+        assert_eq!(r.path(SiteId(2), SiteId(2)), vec![SiteId(2)]);
+        assert_eq!(r.next_hop(SiteId(2), SiteId(2)), None);
+    }
+
+    #[test]
+    fn mesh_paths_progress_monotonically() {
+        let topo = EuclideanCube::new(3);
+        let r = Router::new(&topo);
+        for from in 0..27u32 {
+            for to in 0..27u32 {
+                let path = r.path(SiteId(from), SiteId(to));
+                assert_eq!(path.len() as u32, r.hops(SiteId(from), SiteId(to)) + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_takes_short_way_round() {
+        let topo = Ring::new(6);
+        let r = Router::new(&topo);
+        let path = r.path(SiteId(0), SiteId(5));
+        assert_eq!(path, vec![SiteId(0), SiteId(5)]);
+    }
+
+    #[test]
+    fn complete_is_single_hop() {
+        let topo = Complete::new(4);
+        let r = Router::new(&topo);
+        assert_eq!(r.path(SiteId(0), SiteId(3)).len(), 2);
+    }
+}

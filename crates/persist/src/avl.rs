@@ -1,0 +1,554 @@
+//! Applicative AVL trees.
+//!
+//! Myers' "Efficient applicative data types" (cited as related work in
+//! Section 5 of the paper) demonstrates applicative updating in AVL trees;
+//! this module is the corresponding persistent AVL map. It serves as a
+//! second tree representation for relations, with stricter balance (and so
+//! slightly longer paths to copy) than the B-tree.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::FromIterator;
+use std::sync::Arc;
+
+use crate::report::CopyReport;
+
+struct ANode<K, V> {
+    key: K,
+    value: V,
+    height: u8,
+    left: Link<K, V>,
+    right: Link<K, V>,
+}
+
+type Link<K, V> = Option<Arc<ANode<K, V>>>;
+
+fn height<K, V>(link: &Link<K, V>) -> u8 {
+    link.as_deref().map_or(0, |n| n.height)
+}
+
+/// A persistent AVL tree map.
+///
+/// Updates return new trees sharing all nodes off the touched root-to-leaf
+/// path (plus at most two rotation nodes per level).
+///
+/// # Example
+///
+/// ```
+/// use fundb_persist::Avl;
+///
+/// let v1: Avl<u32, char> = [(1, 'a'), (2, 'b')].into_iter().collect();
+/// let v2 = v1.insert(3, 'c');
+/// assert_eq!(v2.get(&3), Some(&'c'));
+/// assert_eq!(v1.len(), 2);
+/// ```
+pub struct Avl<K, V> {
+    root: Link<K, V>,
+    len: usize,
+}
+
+impl<K, V> Clone for Avl<K, V> {
+    fn clone(&self) -> Self {
+        Avl {
+            root: self.root.clone(),
+            len: self.len,
+        }
+    }
+}
+
+impl<K, V> Default for Avl<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: fmt::Debug, V: fmt::Debug> fmt::Debug for Avl<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl<K: PartialEq, V: PartialEq> PartialEq for Avl<K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
+impl<K: Eq, V: Eq> Eq for Avl<K, V> {}
+
+impl<K, V> Avl<K, V> {
+    /// The empty map.
+    pub fn new() -> Self {
+        Avl { root: None, len: 0 }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (empty = 0).
+    pub fn height(&self) -> usize {
+        height(&self.root) as usize
+    }
+
+    /// Total nodes (equals [`len`](Self::len); provided for symmetry with
+    /// the other structures' sharing accounting).
+    pub fn node_count(&self) -> u64 {
+        self.len as u64
+    }
+
+    /// In-order iterator over `(key, value)` pairs.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        let mut it = Iter { stack: Vec::new() };
+        it.push_left(&self.root);
+        it
+    }
+
+    /// Verifies the AVL invariants (BST order, balance factors in
+    /// `{-1, 0, 1}`, correct cached heights). For tests.
+    pub fn check_invariants(&self) -> bool
+    where
+        K: Ord,
+    {
+        fn go<K: Ord, V>(link: &Link<K, V>, lo: Option<&K>, hi: Option<&K>) -> Option<u8> {
+            let Some(n) = link.as_deref() else {
+                return Some(0);
+            };
+            if let Some(lo) = lo {
+                if n.key <= *lo {
+                    return None;
+                }
+            }
+            if let Some(hi) = hi {
+                if n.key >= *hi {
+                    return None;
+                }
+            }
+            let hl = go(&n.left, lo, Some(&n.key))?;
+            let hr = go(&n.right, Some(&n.key), hi)?;
+            if (hl as i16 - hr as i16).abs() > 1 {
+                return None;
+            }
+            let h = 1 + hl.max(hr);
+            (h == n.height).then_some(h)
+        }
+        go(&self.root, None, None).is_some() && self.iter().count() == self.len
+    }
+}
+
+impl<K: Ord, V> Avl<K, V> {
+    /// Looks up `key`.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut cur = &self.root;
+        while let Some(n) = cur.as_deref() {
+            match key.cmp(&n.key) {
+                Ordering::Less => cur = &n.left,
+                Ordering::Equal => return Some(&n.value),
+                Ordering::Greater => cur = &n.right,
+            }
+        }
+        None
+    }
+
+    /// `true` if `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// All entries with `lo <= key <= hi`, ascending, pruning subtrees
+    /// wholly outside the range (O(log n + answer size)).
+    pub fn range(&self, lo: &K, hi: &K) -> Vec<(&K, &V)> {
+        fn go<'a, K: Ord, V>(
+            link: &'a Link<K, V>,
+            lo: &K,
+            hi: &K,
+            out: &mut Vec<(&'a K, &'a V)>,
+        ) {
+            let Some(n) = link.as_deref() else { return };
+            if *lo < n.key {
+                go(&n.left, lo, hi, out);
+            }
+            if n.key >= *lo && n.key <= *hi {
+                out.push((&n.key, &n.value));
+            }
+            if *hi > n.key {
+                go(&n.right, lo, hi, out);
+            }
+        }
+        let mut out = Vec::new();
+        if lo <= hi {
+            go(&self.root, lo, hi, &mut out);
+        }
+        out
+    }
+}
+
+fn mk<K, V>(key: K, value: V, left: Link<K, V>, right: Link<K, V>) -> Link<K, V> {
+    let h = 1 + height(&left).max(height(&right));
+    Some(Arc::new(ANode {
+        key,
+        value,
+        height: h,
+        left,
+        right,
+    }))
+}
+
+/// Rebalances a node whose children differ in height by at most 2.
+fn balance<K: Clone, V: Clone>(
+    key: K,
+    value: V,
+    left: Link<K, V>,
+    right: Link<K, V>,
+    copied: &mut u64,
+) -> Link<K, V> {
+    let hl = height(&left) as i16;
+    let hr = height(&right) as i16;
+    if hl - hr > 1 {
+        let l = left.as_deref().expect("left-heavy node has a left child");
+        if height(&l.left) >= height(&l.right) {
+            // Single right rotation.
+            *copied += 2;
+            mk(
+                l.key.clone(),
+                l.value.clone(),
+                l.left.clone(),
+                mk(key, value, l.right.clone(), right),
+            )
+        } else {
+            // Left-right double rotation.
+            let lr = l.right.as_deref().expect("double rotation pivot");
+            *copied += 3;
+            mk(
+                lr.key.clone(),
+                lr.value.clone(),
+                mk(l.key.clone(), l.value.clone(), l.left.clone(), lr.left.clone()),
+                mk(key, value, lr.right.clone(), right),
+            )
+        }
+    } else if hr - hl > 1 {
+        let r = right.as_deref().expect("right-heavy node has a right child");
+        if height(&r.right) >= height(&r.left) {
+            *copied += 2;
+            mk(
+                r.key.clone(),
+                r.value.clone(),
+                mk(key, value, left, r.left.clone()),
+                r.right.clone(),
+            )
+        } else {
+            let rl = r.left.as_deref().expect("double rotation pivot");
+            *copied += 3;
+            mk(
+                rl.key.clone(),
+                rl.value.clone(),
+                mk(key, value, left, rl.left.clone()),
+                mk(r.key.clone(), r.value.clone(), rl.right.clone(), r.right.clone()),
+            )
+        }
+    } else {
+        *copied += 1;
+        mk(key, value, left, right)
+    }
+}
+
+fn insert_link<K: Ord + Clone, V: Clone>(
+    link: &Link<K, V>,
+    key: K,
+    value: V,
+    copied: &mut u64,
+) -> Link<K, V> {
+    let Some(n) = link.as_deref() else {
+        *copied += 1;
+        return mk(key, value, None, None);
+    };
+    match key.cmp(&n.key) {
+        Ordering::Equal => {
+            *copied += 1;
+            mk(key, value, n.left.clone(), n.right.clone())
+        }
+        Ordering::Less => {
+            let l = insert_link(&n.left, key, value, copied);
+            balance(n.key.clone(), n.value.clone(), l, n.right.clone(), copied)
+        }
+        Ordering::Greater => {
+            let r = insert_link(&n.right, key, value, copied);
+            balance(n.key.clone(), n.value.clone(), n.left.clone(), r, copied)
+        }
+    }
+}
+
+/// Removes the minimum node, returning (its entry, the remaining subtree).
+fn take_min<K: Ord + Clone, V: Clone>(
+    node: &ANode<K, V>,
+    copied: &mut u64,
+) -> ((K, V), Link<K, V>) {
+    match node.left.as_deref() {
+        None => ((node.key.clone(), node.value.clone()), node.right.clone()),
+        Some(l) => {
+            let (min, rest) = take_min(l, copied);
+            (
+                min,
+                balance(node.key.clone(), node.value.clone(), rest, node.right.clone(), copied),
+            )
+        }
+    }
+}
+
+fn remove_link<K: Ord + Clone, V: Clone>(
+    link: &Link<K, V>,
+    key: &K,
+    removed: &mut Option<V>,
+    copied: &mut u64,
+) -> Link<K, V> {
+    let n = link.as_deref()?;
+    match key.cmp(&n.key) {
+        Ordering::Equal => {
+            *removed = Some(n.value.clone());
+            match (n.left.clone(), n.right.as_deref()) {
+                (left, None) => left,
+                (None, Some(_)) => n.right.clone(),
+                (left, Some(r)) => {
+                    let ((sk, sv), rest) = take_min(r, copied);
+                    balance(sk, sv, left, rest, copied)
+                }
+            }
+        }
+        Ordering::Less => {
+            let l = remove_link(&n.left, key, removed, copied);
+            if removed.is_none() {
+                return link.clone();
+            }
+            balance(n.key.clone(), n.value.clone(), l, n.right.clone(), copied)
+        }
+        Ordering::Greater => {
+            let r = remove_link(&n.right, key, removed, copied);
+            if removed.is_none() {
+                return link.clone();
+            }
+            balance(n.key.clone(), n.value.clone(), n.left.clone(), r, copied)
+        }
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> Avl<K, V> {
+    /// Inserts or replaces `key`, returning the new tree.
+    pub fn insert(&self, key: K, value: V) -> Avl<K, V> {
+        self.insert_counted(key, value).0
+    }
+
+    /// [`insert`](Self::insert) plus a [`CopyReport`] (O(n) `shared` walk).
+    pub fn insert_counted(&self, key: K, value: V) -> (Avl<K, V>, CopyReport) {
+        let mut copied = 0u64;
+        let replaced = self.contains_key(&key);
+        let root = insert_link(&self.root, key, value, &mut copied);
+        let out = Avl {
+            root,
+            len: if replaced { self.len } else { self.len + 1 },
+        };
+        let shared = out.node_count().saturating_sub(copied);
+        (out, CopyReport::new(copied, shared))
+    }
+
+    /// Removes `key`, returning the new tree and removed value, or `None`
+    /// if absent.
+    pub fn remove(&self, key: &K) -> Option<(Avl<K, V>, V)> {
+        let mut removed = None;
+        let mut copied = 0u64;
+        let root = remove_link(&self.root, key, &mut removed, &mut copied);
+        let value = removed?;
+        Some((
+            Avl {
+                root,
+                len: self.len - 1,
+            },
+            value,
+        ))
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> FromIterator<(K, V)> for Avl<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut t = Avl::new();
+        for (k, v) in iter {
+            t = t.insert(k, v);
+        }
+        t
+    }
+}
+
+/// In-order iterator over an [`Avl`]; see [`Avl::iter`].
+pub struct Iter<'a, K, V> {
+    stack: Vec<&'a ANode<K, V>>,
+}
+
+impl<K, V> fmt::Debug for Iter<'_, K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("avl::Iter")
+    }
+}
+
+impl<'a, K, V> Iter<'a, K, V> {
+    fn push_left(&mut self, mut link: &'a Link<K, V>) {
+        while let Some(n) = link.as_deref() {
+            self.stack.push(n);
+            link = &n.left;
+        }
+    }
+}
+
+impl<'a, K, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<(&'a K, &'a V)> {
+        let n = self.stack.pop()?;
+        self.push_left(&n.right);
+        Some((&n.key, &n.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn empty() {
+        let t: Avl<i32, i32> = Avl::new();
+        assert!(t.is_empty());
+        assert_eq!(t.get(&1), None);
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn insert_get_sorted_iteration() {
+        let t: Avl<i32, i32> = [5, 1, 9, 3, 7].iter().map(|&k| (k, k * 2)).collect();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.get(&3), Some(&6));
+        let keys: Vec<i32> = t.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![1, 3, 5, 7, 9]);
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn replace_value() {
+        let t = Avl::new().insert(1, 'a').insert(1, 'b');
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&1), Some(&'b'));
+    }
+
+    #[test]
+    fn sequential_insert_stays_balanced() {
+        let t: Avl<u32, u32> = (0..1024).map(|i| (i, i)).collect();
+        // Perfectly balanced height would be 10-11; AVL guarantees < 1.44 log2.
+        assert!(t.height() <= 15, "height {}", t.height());
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn persistence() {
+        let v1: Avl<u32, u32> = (0..50).map(|i| (i, i)).collect();
+        let v2 = v1.insert(100, 100);
+        let (v3, x) = v2.remove(&10).unwrap();
+        assert_eq!(x, 10);
+        assert_eq!(v1.len(), 50);
+        assert_eq!(v2.len(), 51);
+        assert_eq!(v3.len(), 50);
+        assert_eq!(v1.get(&100), None);
+        assert_eq!(v3.get(&10), None);
+        assert_eq!(v2.get(&10), Some(&10));
+    }
+
+    #[test]
+    fn path_copy_logarithmic() {
+        let t: Avl<u32, u32> = (0..4000).map(|i| (i, i)).collect();
+        let (_t2, report) = t.insert_counted(1_000_000, 0);
+        assert!(
+            report.copied as usize <= 3 * t.height(),
+            "copied {} height {}",
+            report.copied,
+            t.height()
+        );
+        assert!(report.copied_fraction() < 0.02, "{report}");
+    }
+
+    #[test]
+    fn remove_missing_none_and_no_copying() {
+        let t: Avl<u32, u32> = (0..10).map(|i| (i, i)).collect();
+        assert!(t.remove(&999).is_none());
+    }
+
+    #[test]
+    fn remove_all_random_order_keeps_invariants() {
+        let keys: Vec<u32> = (0..200).map(|i| (i * 37) % 200).collect();
+        let mut t: Avl<u32, u32> = keys.iter().map(|&k| (k, k)).collect();
+        let mut remaining: Vec<u32> = t.iter().map(|(k, _)| *k).collect();
+        while let Some(k) = remaining.pop() {
+            let (t2, v) = t.remove(&k).unwrap();
+            assert_eq!(v, k);
+            t = t2;
+            assert!(t.check_invariants(), "after removing {k}");
+        }
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn random_ops_match_btreemap() {
+        let mut model = BTreeMap::new();
+        let mut t: Avl<u32, u32> = Avl::new();
+        let mut state = 0xabcdef12u64;
+        let mut rand = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for _ in 0..3000 {
+            let k = rand() % 250;
+            if rand() % 3 == 0 {
+                let got = t.remove(&k);
+                let want = model.remove(&k);
+                assert_eq!(got.as_ref().map(|(_, v)| v), want.as_ref());
+                if let Some((t2, _)) = got {
+                    t = t2;
+                }
+            } else {
+                let v = rand();
+                t = t.insert(k, v);
+                model.insert(k, v);
+            }
+        }
+        assert!(t.check_invariants());
+        let got: Vec<(u32, u32)> = t.iter().map(|(k, v)| (*k, *v)).collect();
+        let want: Vec<(u32, u32)> = model.into_iter().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn range_matches_iter_filter() {
+        let t: Avl<i32, i32> = (0..150).map(|k| ((k * 13) % 150, k)).collect();
+        for (lo, hi) in [(0, 149), (40, 60), (7, 7), (145, 300), (-5, 5), (60, 40)] {
+            let want: Vec<i32> = t
+                .iter()
+                .filter(|(k, _)| **k >= lo && **k <= hi)
+                .map(|(k, _)| *k)
+                .collect();
+            let got: Vec<i32> = t.range(&lo, &hi).iter().map(|(k, _)| **k).collect();
+            assert_eq!(got, want, "range {lo}..={hi}");
+        }
+        let e: Avl<i32, i32> = Avl::new();
+        assert!(e.range(&0, &10).is_empty());
+    }
+
+    #[test]
+    fn equality_and_debug() {
+        let a: Avl<i32, i32> = [(1, 1)].into_iter().collect();
+        let b: Avl<i32, i32> = [(1, 1)].into_iter().collect();
+        assert_eq!(a, b);
+        assert_eq!(format!("{a:?}"), "{1: 1}");
+    }
+}

@@ -1,0 +1,954 @@
+//! Persistent B-trees.
+//!
+//! Section 3.3 of the paper: "It is common to use a balanced tree strategy
+//! in which the size of a tree node is one physical page … the cost of
+//! reconstructing the page, as required by applicative updates, is likely to
+//! be negligible" next to the page-transit time. This module is that
+//! strategy: a copy-on-write B-tree whose node capacity models the page
+//! size. Every update copies one root-to-leaf path of "pages" and shares
+//! the rest, which the `_counted` operations report.
+//!
+//! A functional B-tree in this style was implemented for the paper's group
+//! by Paul Hudak (Section 5); this is the Rust equivalent.
+
+use std::fmt;
+use std::iter::FromIterator;
+use std::sync::Arc;
+
+use crate::report::CopyReport;
+
+struct BNode<K, V> {
+    keys: Vec<(K, V)>,
+    /// Empty for leaf nodes; otherwise `keys.len() + 1` children.
+    children: Vec<Arc<BNode<K, V>>>,
+}
+
+impl<K, V> BNode<K, V> {
+    fn leaf() -> Self {
+        BNode {
+            keys: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+impl<K: Clone, V: Clone> Clone for BNode<K, V> {
+    fn clone(&self) -> Self {
+        BNode {
+            keys: self.keys.clone(),
+            children: self.children.clone(),
+        }
+    }
+}
+
+/// A persistent B-tree map with run-time configurable minimum degree.
+///
+/// With minimum degree `t`, every node except the root holds between `t-1`
+/// and `2t-1` entries; a node models one physical page. All operations are
+/// copy-on-write: the previous version remains valid and shares all
+/// untouched pages with the new one.
+///
+/// # Example
+///
+/// ```
+/// use fundb_persist::BTree;
+///
+/// let v1: BTree<u32, &str> = BTree::new(16);
+/// let v2 = v1.insert(1, "one");
+/// assert_eq!(v2.get(&1), Some(&"one"));
+/// assert_eq!(v1.get(&1), None); // the old page set is untouched
+/// ```
+pub struct BTree<K, V> {
+    root: Arc<BNode<K, V>>,
+    len: usize,
+    min_degree: usize,
+}
+
+impl<K, V> Clone for BTree<K, V> {
+    fn clone(&self) -> Self {
+        BTree {
+            root: Arc::clone(&self.root),
+            len: self.len,
+            min_degree: self.min_degree,
+        }
+    }
+}
+
+impl<K: fmt::Debug, V: fmt::Debug> fmt::Debug for BTree<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl<K: PartialEq, V: PartialEq> PartialEq for BTree<K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
+impl<K: Eq, V: Eq> Eq for BTree<K, V> {}
+
+impl<K, V> BTree<K, V> {
+    /// Creates an empty B-tree with the given minimum degree `t` (so pages
+    /// hold at most `2t - 1` entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_degree < 2` — degree 1 would not be a B-tree.
+    pub fn new(min_degree: usize) -> Self {
+        assert!(min_degree >= 2, "B-tree minimum degree must be at least 2");
+        BTree {
+            root: Arc::new(BNode::leaf()),
+            len: 0,
+            min_degree,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The configured minimum degree `t`.
+    pub fn min_degree(&self) -> usize {
+        self.min_degree
+    }
+
+    /// Maximum entries per page (`2t - 1`).
+    pub fn page_capacity(&self) -> usize {
+        2 * self.min_degree - 1
+    }
+
+    /// Tree height (an empty tree has height 0, a single page height 1).
+    pub fn height(&self) -> usize {
+        if self.len == 0 {
+            return 0;
+        }
+        let mut h = 1;
+        let mut cur = &self.root;
+        while !cur.is_leaf() {
+            h += 1;
+            cur = &cur.children[0];
+        }
+        h
+    }
+
+    /// Total pages reachable from the root.
+    pub fn node_count(&self) -> u64 {
+        fn go<K, V>(n: &BNode<K, V>) -> u64 {
+            1 + n.children.iter().map(|c| go(c)).sum::<u64>()
+        }
+        if self.len == 0 {
+            0
+        } else {
+            go(&self.root)
+        }
+    }
+
+    /// `true` if `self` and `other` share their root page (hence are the
+    /// same tree, by immutability).
+    pub fn ptr_eq(&self, other: &BTree<K, V>) -> bool {
+        Arc::ptr_eq(&self.root, &other.root)
+    }
+
+    /// In-order iterator over `(key, value)` pairs.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        let mut it = Iter { stack: Vec::new() };
+        if self.len > 0 {
+            it.descend(&self.root);
+        }
+        it
+    }
+
+    /// Verifies B-tree invariants: sorted keys, occupancy bounds, uniform
+    /// leaf depth, and a length that matches the entry count. For tests.
+    pub fn check_invariants(&self) -> bool
+    where
+        K: Ord,
+    {
+        fn go<K: Ord, V>(
+            n: &BNode<K, V>,
+            t: usize,
+            is_root: bool,
+            lo: Option<&K>,
+            hi: Option<&K>,
+        ) -> Option<(usize, usize)> {
+            let k = n.keys.len();
+            if !is_root && (k < t - 1 || k > 2 * t - 1) {
+                return None;
+            }
+            if is_root && k > 2 * t - 1 {
+                return None;
+            }
+            for w in n.keys.windows(2) {
+                if w[0].0 >= w[1].0 {
+                    return None;
+                }
+            }
+            if let Some(lo) = lo {
+                if let Some(first) = n.keys.first() {
+                    if first.0 <= *lo {
+                        return None;
+                    }
+                }
+            }
+            if let Some(hi) = hi {
+                if let Some(last) = n.keys.last() {
+                    if last.0 >= *hi {
+                        return None;
+                    }
+                }
+            }
+            if n.is_leaf() {
+                return Some((1, k));
+            }
+            if n.children.len() != k + 1 {
+                return None;
+            }
+            let mut depth = None;
+            let mut count = k;
+            for i in 0..n.children.len() {
+                let clo = if i == 0 { lo } else { Some(&n.keys[i - 1].0) };
+                let chi = if i == k { hi } else { Some(&n.keys[i].0) };
+                let (d, c) = go(&n.children[i], t, false, clo, chi)?;
+                match depth {
+                    None => depth = Some(d),
+                    Some(prev) if prev != d => return None,
+                    _ => {}
+                }
+                count += c;
+            }
+            Some((depth.unwrap() + 1, count))
+        }
+        if self.len == 0 {
+            return self.root.keys.is_empty() && self.root.children.is_empty();
+        }
+        match go(&self.root, self.min_degree, true, None, None) {
+            Some((_, count)) => count == self.len,
+            None => false,
+        }
+    }
+}
+
+impl<K: Ord, V> BTree<K, V> {
+    /// Looks up `key`.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut cur: &BNode<K, V> = &self.root;
+        loop {
+            match cur.keys.binary_search_by(|(k, _)| k.cmp(key)) {
+                Ok(i) => return Some(&cur.keys[i].1),
+                Err(i) => {
+                    if cur.is_leaf() {
+                        return None;
+                    }
+                    cur = &cur.children[i];
+                }
+            }
+        }
+    }
+
+    /// `true` if `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// All entries with `lo <= key <= hi`, ascending; prunes pages wholly
+    /// outside the range (O(log n + answer size) pages touched).
+    pub fn range(&self, lo: &K, hi: &K) -> Vec<(&K, &V)> {
+        fn go<'a, K: Ord, V>(
+            n: &'a BNode<K, V>,
+            lo: &K,
+            hi: &K,
+            out: &mut Vec<(&'a K, &'a V)>,
+        ) {
+            let start = n.keys.partition_point(|(k, _)| k < lo);
+            // Child i precedes key i; visit child `start` through the child
+            // after the last in-range key.
+            let mut i = start;
+            if !n.is_leaf() {
+                go(&n.children[i], lo, hi, out);
+            }
+            while i < n.keys.len() && n.keys[i].0 <= *hi {
+                let (k, v) = &n.keys[i];
+                out.push((k, v));
+                if !n.is_leaf() {
+                    go(&n.children[i + 1], lo, hi, out);
+                }
+                i += 1;
+            }
+        }
+        let mut out = Vec::new();
+        if self.len > 0 && lo <= hi {
+            go(&self.root, lo, hi, &mut out);
+        }
+        out
+    }
+
+    /// The smallest entry.
+    pub fn min(&self) -> Option<(&K, &V)> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut cur = &self.root;
+        while !cur.is_leaf() {
+            cur = &cur.children[0];
+        }
+        cur.keys.first().map(|(k, v)| (k, v))
+    }
+
+    /// The largest entry.
+    pub fn max(&self) -> Option<(&K, &V)> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut cur = &self.root;
+        while !cur.is_leaf() {
+            cur = cur.children.last().expect("internal node has children");
+        }
+        cur.keys.last().map(|(k, v)| (k, v))
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> BTree<K, V> {
+    /// Inserts or replaces `key`, returning the new tree.
+    pub fn insert(&self, key: K, value: V) -> BTree<K, V> {
+        self.insert_counted(key, value).0
+    }
+
+    /// [`insert`](Self::insert) plus a [`CopyReport`] of pages copied versus
+    /// shared (the `shared` count is an O(n) walk; use in benches/tests).
+    pub fn insert_counted(&self, key: K, value: V) -> (BTree<K, V>, CopyReport) {
+        let t = self.min_degree;
+        let mut copied = 0u64;
+        let replaced = self.contains_key(&key);
+        let root = if self.root.keys.len() == 2 * t - 1 {
+            // Split the root: the only way a B-tree grows in height.
+            let (left, mid, right) = split_page(&self.root, t, &mut copied);
+            let new_root = BNode {
+                keys: vec![mid],
+                children: vec![left, right],
+            };
+            copied += 1;
+            insert_nonfull(&Arc::new(new_root), key, value, t, &mut copied)
+        } else {
+            insert_nonfull(&self.root, key, value, t, &mut copied)
+        };
+        let out = BTree {
+            root,
+            len: if replaced { self.len } else { self.len + 1 },
+            min_degree: t,
+        };
+        let shared = out.node_count().saturating_sub(copied);
+        (out, CopyReport::new(copied, shared))
+    }
+
+    /// Removes `key`, returning the new tree and removed value, or `None`
+    /// if absent (in which case no copying has happened).
+    pub fn remove(&self, key: &K) -> Option<(BTree<K, V>, V)> {
+        if !self.contains_key(key) {
+            return None;
+        }
+        let t = self.min_degree;
+        let mut removed = None;
+        let mut root = delete_from(&self.root, key, t, &mut removed);
+        // Shrink the root if it emptied out.
+        if root.keys.is_empty() && !root.is_leaf() {
+            root = root.children[0].clone();
+        }
+        let value = removed.expect("contains_key verified presence");
+        Some((
+            BTree {
+                root,
+                len: self.len - 1,
+                min_degree: t,
+            },
+            value,
+        ))
+    }
+}
+
+/// A split result: (left page, median entry, right page).
+type Split<K, V> = (Arc<BNode<K, V>>, (K, V), Arc<BNode<K, V>>);
+
+/// Splits a full page into (left, median entry, right). Two new pages.
+fn split_page<K: Clone, V: Clone>(node: &BNode<K, V>, t: usize, copied: &mut u64) -> Split<K, V> {
+    debug_assert_eq!(node.keys.len(), 2 * t - 1);
+    let mid = node.keys[t - 1].clone();
+    let left = BNode {
+        keys: node.keys[..t - 1].to_vec(),
+        children: if node.is_leaf() {
+            Vec::new()
+        } else {
+            node.children[..t].to_vec()
+        },
+    };
+    let right = BNode {
+        keys: node.keys[t..].to_vec(),
+        children: if node.is_leaf() {
+            Vec::new()
+        } else {
+            node.children[t..].to_vec()
+        },
+    };
+    *copied += 2;
+    (Arc::new(left), mid, Arc::new(right))
+}
+
+fn insert_nonfull<K: Ord + Clone, V: Clone>(
+    node: &Arc<BNode<K, V>>,
+    key: K,
+    value: V,
+    t: usize,
+    copied: &mut u64,
+) -> Arc<BNode<K, V>> {
+    let mut page: BNode<K, V> = (**node).clone();
+    *copied += 1;
+    match page.keys.binary_search_by(|(k, _)| k.cmp(&key)) {
+        Ok(i) => {
+            page.keys[i] = (key, value);
+        }
+        Err(mut i) => {
+            if page.is_leaf() {
+                page.keys.insert(i, (key, value));
+            } else {
+                if page.children[i].keys.len() == 2 * t - 1 {
+                    let (l, mid, r) = split_page(&page.children[i], t, copied);
+                    let go_right = key > mid.0;
+                    let replace = key == mid.0;
+                    page.keys.insert(i, mid);
+                    page.children[i] = l;
+                    page.children.insert(i + 1, r);
+                    if replace {
+                        page.keys[i] = (key, value);
+                        return Arc::new(page);
+                    }
+                    if go_right {
+                        i += 1;
+                    }
+                }
+                page.children[i] = insert_nonfull(&page.children[i], key, value, t, copied);
+            }
+        }
+    }
+    Arc::new(page)
+}
+
+/// CLRS-style delete: before descending into a child, guarantee it has at
+/// least `t` entries by borrowing from a sibling or merging. `node` itself
+/// is copied on the way down (path copy).
+fn delete_from<K: Ord + Clone, V: Clone>(
+    node: &Arc<BNode<K, V>>,
+    key: &K,
+    t: usize,
+    removed: &mut Option<V>,
+) -> Arc<BNode<K, V>> {
+    let mut page: BNode<K, V> = (**node).clone();
+    match page.keys.binary_search_by(|(k, _)| k.cmp(key)) {
+        Ok(i) => {
+            if page.is_leaf() {
+                let (_, v) = page.keys.remove(i);
+                *removed = Some(v);
+            } else if page.children[i].keys.len() >= t {
+                // Replace with predecessor from the left child.
+                let (pk, pv) = max_entry(&page.children[i]);
+                let mut pred_removed = None;
+                page.children[i] = delete_from(&page.children[i], &pk, t, &mut pred_removed);
+                *removed = Some(std::mem::replace(&mut page.keys[i], (pk, pv)).1);
+                debug_assert!(pred_removed.is_some());
+            } else if page.children[i + 1].keys.len() >= t {
+                // Replace with successor from the right child.
+                let (sk, sv) = min_entry(&page.children[i + 1]);
+                let mut succ_removed = None;
+                page.children[i + 1] = delete_from(&page.children[i + 1], &sk, t, &mut succ_removed);
+                *removed = Some(std::mem::replace(&mut page.keys[i], (sk, sv)).1);
+                debug_assert!(succ_removed.is_some());
+            } else {
+                // Both neighbours minimal: merge them around the key, then
+                // delete from the merged child.
+                let merged = merge_children(&mut page, i);
+                page.children[i] = delete_from(&merged, key, t, removed);
+            }
+        }
+        Err(i) => {
+            if page.is_leaf() {
+                // Key absent; caller checks presence first, but stay safe.
+                return node.clone();
+            }
+            let i = ensure_rich_child(&mut page, i, t);
+            page.children[i] = delete_from(&page.children[i], key, t, removed);
+        }
+    }
+    Arc::new(page)
+}
+
+fn max_entry<K: Clone, V: Clone>(node: &Arc<BNode<K, V>>) -> (K, V) {
+    let mut cur = node;
+    while !cur.is_leaf() {
+        cur = cur.children.last().expect("internal node has children");
+    }
+    cur.keys.last().expect("nonempty page").clone()
+}
+
+fn min_entry<K: Clone, V: Clone>(node: &Arc<BNode<K, V>>) -> (K, V) {
+    let mut cur = node;
+    while !cur.is_leaf() {
+        cur = &cur.children[0];
+    }
+    cur.keys.first().expect("nonempty page").clone()
+}
+
+/// Merges child `i`, separator key `i`, and child `i+1` into a single child
+/// placed at index `i`. Returns the merged child.
+fn merge_children<K: Clone, V: Clone>(page: &mut BNode<K, V>, i: usize) -> Arc<BNode<K, V>> {
+    let sep = page.keys.remove(i);
+    let right = page.children.remove(i + 1);
+    let left = &page.children[i];
+    let mut keys = left.keys.clone();
+    keys.push(sep);
+    keys.extend(right.keys.iter().cloned());
+    let children = if left.is_leaf() {
+        Vec::new()
+    } else {
+        let mut c = left.children.clone();
+        c.extend(right.children.iter().cloned());
+        c
+    };
+    let merged = Arc::new(BNode { keys, children });
+    page.children[i] = merged.clone();
+    merged
+}
+
+/// Guarantees `page.children[i]` has at least `t` entries, borrowing from a
+/// sibling or merging; returns the (possibly shifted) child index.
+fn ensure_rich_child<K: Clone, V: Clone>(page: &mut BNode<K, V>, i: usize, t: usize) -> usize {
+    if page.children[i].keys.len() >= t {
+        return i;
+    }
+    // Borrow from the left sibling if it can spare an entry.
+    if i > 0 && page.children[i - 1].keys.len() >= t {
+        let mut left = (*page.children[i - 1]).clone();
+        let mut child = (*page.children[i]).clone();
+        let moved = left.keys.pop().expect("rich sibling nonempty");
+        let sep = std::mem::replace(&mut page.keys[i - 1], moved);
+        child.keys.insert(0, sep);
+        if !left.is_leaf() {
+            let c = left.children.pop().expect("internal node has children");
+            child.children.insert(0, c);
+        }
+        page.children[i - 1] = Arc::new(left);
+        page.children[i] = Arc::new(child);
+        return i;
+    }
+    // Borrow from the right sibling.
+    if i + 1 < page.children.len() && page.children[i + 1].keys.len() >= t {
+        let mut right = (*page.children[i + 1]).clone();
+        let mut child = (*page.children[i]).clone();
+        let moved = right.keys.remove(0);
+        let sep = std::mem::replace(&mut page.keys[i], moved);
+        child.keys.push(sep);
+        if !right.is_leaf() {
+            let c = right.children.remove(0);
+            child.children.push(c);
+        }
+        page.children[i + 1] = Arc::new(right);
+        page.children[i] = Arc::new(child);
+        return i;
+    }
+    // Merge with a sibling.
+    if i > 0 {
+        merge_children(page, i - 1);
+        i - 1
+    } else {
+        merge_children(page, i);
+        i
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> BTree<K, V> {
+    /// Bulk-loads from entries that are already sorted by strictly
+    /// ascending key — O(n), against O(n log n) repeated insertion.
+    ///
+    /// Builds maximally-filled pages bottom-up: leaves first, then parent
+    /// levels over the separator keys, so the result satisfies all B-tree
+    /// invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the keys are not strictly ascending (duplicates included).
+    pub fn from_sorted_entries<I>(min_degree: usize, entries: I) -> Self
+    where
+        I: IntoIterator<Item = (K, V)>,
+    {
+        assert!(min_degree >= 2, "B-tree minimum degree must be at least 2");
+        let entries: Vec<(K, V)> = entries.into_iter().collect();
+        for w in entries.windows(2) {
+            assert!(w[0].0 < w[1].0, "bulk load requires strictly ascending keys");
+        }
+        let len = entries.len();
+        if len == 0 {
+            return BTree::new(min_degree);
+        }
+        let cap = 2 * min_degree - 1;
+        // Choose a per-page fill that keeps every page legal (>= t-1 keys):
+        // near-full pages, with the tail page borrowing if it would be
+        // under-filled.
+        let fill = cap; // fill pages to capacity, then fix the tail
+        let min_keys = min_degree - 1;
+
+        // Level 0: split entries into leaf pages.
+        let mut level: Vec<BNode<K, V>> = Vec::new();
+        let mut seps: Vec<(K, V)> = Vec::new(); // separators promoted upward
+        let mut i = 0;
+        while i < len {
+            let mut take = fill.min(len - i);
+            // If this page would leave an illegal tail (< min_keys after
+            // the next separator), rebalance the final two pages.
+            let after = len - (i + take);
+            if after > 0 && after - 1 < min_keys {
+                take = (len - i - 1 - min_keys).max(min_keys);
+            }
+            let page: Vec<(K, V)> = entries[i..i + take].to_vec();
+            i += take;
+            level.push(BNode {
+                keys: page,
+                children: Vec::new(),
+            });
+            if i < len {
+                seps.push(entries[i].clone());
+                i += 1;
+            }
+        }
+
+        // Build parent levels until one root remains.
+        let mut children: Vec<Arc<BNode<K, V>>> = level.into_iter().map(Arc::new).collect();
+        let mut separators = seps;
+        while children.len() > 1 {
+            let mut next_children: Vec<Arc<BNode<K, V>>> = Vec::new();
+            let mut next_separators: Vec<(K, V)> = Vec::new();
+            let total = children.len();
+            let mut ci = 0; // child cursor
+            let mut si = 0; // separator cursor
+            while ci < total {
+                // A parent holding k keys spans k+1 children.
+                let mut span = (cap + 1).min(total - ci);
+                let remaining_children = total - (ci + span);
+                if remaining_children > 0 && remaining_children < min_degree {
+                    span = (total - ci - min_degree).max(min_degree);
+                }
+                let node_children: Vec<Arc<BNode<K, V>>> =
+                    children[ci..ci + span].to_vec();
+                let node_keys: Vec<(K, V)> =
+                    separators[si..si + span - 1].to_vec();
+                ci += span;
+                si += span - 1;
+                next_children.push(Arc::new(BNode {
+                    keys: node_keys,
+                    children: node_children,
+                }));
+                if ci < total {
+                    next_separators.push(separators[si].clone());
+                    si += 1;
+                }
+            }
+            children = next_children;
+            separators = next_separators;
+        }
+        BTree {
+            root: children.pop().expect("at least one node"),
+            len,
+            min_degree,
+        }
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> FromIterator<(K, V)> for BTree<K, V> {
+    /// Builds with the default page size (minimum degree 8, i.e. pages of
+    /// up to 15 entries). Use [`BTree::new`] to choose a page size.
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut t = BTree::new(8);
+        for (k, v) in iter {
+            t = t.insert(k, v);
+        }
+        t
+    }
+}
+
+/// In-order iterator over a [`BTree`]; see [`BTree::iter`].
+pub struct Iter<'a, K, V> {
+    /// (node, index of the next key to emit); children up to that key have
+    /// been queued already.
+    stack: Vec<(&'a BNode<K, V>, usize)>,
+}
+
+impl<K, V> fmt::Debug for Iter<'_, K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("btree::Iter")
+    }
+}
+
+impl<'a, K, V> Iter<'a, K, V> {
+    fn descend(&mut self, mut node: &'a BNode<K, V>) {
+        loop {
+            self.stack.push((node, 0));
+            if node.is_leaf() {
+                return;
+            }
+            node = &node.children[0];
+        }
+    }
+}
+
+impl<'a, K, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<(&'a K, &'a V)> {
+        loop {
+            let (node, i) = self.stack.pop()?;
+            if i < node.keys.len() {
+                self.stack.push((node, i + 1));
+                if !node.is_leaf() {
+                    self.descend(&node.children[i + 1]);
+                }
+                let (k, v) = &node.keys[i];
+                return Some((k, v));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn empty_tree() {
+        let t: BTree<i32, i32> = BTree::new(2);
+        assert!(t.is_empty());
+        assert_eq!(t.get(&1), None);
+        assert_eq!(t.height(), 0);
+        assert_eq!(t.node_count(), 0);
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    #[should_panic(expected = "minimum degree")]
+    fn degree_one_rejected() {
+        let _: BTree<i32, i32> = BTree::new(1);
+    }
+
+    #[test]
+    fn insert_get_many_degrees() {
+        for t in [2, 3, 4, 8] {
+            let mut tree: BTree<i32, i32> = BTree::new(t);
+            for i in 0..500 {
+                tree = tree.insert(i * 7 % 500, i);
+            }
+            assert!(tree.check_invariants(), "degree {t}");
+            for i in 0..500 {
+                assert!(tree.contains_key(&(i * 7 % 500)));
+            }
+        }
+    }
+
+    #[test]
+    fn replace_keeps_len() {
+        let t: BTree<i32, i32> = BTree::new(2).insert(1, 1).insert(1, 2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&1), Some(&2));
+    }
+
+    #[test]
+    fn persistence_old_version_intact() {
+        let v1: BTree<i32, i32> = (0..100).map(|i| (i, i)).collect();
+        let v2 = v1.insert(1000, 1000);
+        let (v3, removed) = v2.remove(&50).unwrap();
+        assert_eq!(removed, 50);
+        assert_eq!(v1.len(), 100);
+        assert_eq!(v2.len(), 101);
+        assert_eq!(v3.len(), 100);
+        assert_eq!(v1.get(&1000), None);
+        assert_eq!(v2.get(&50), Some(&50));
+        assert_eq!(v3.get(&50), None);
+    }
+
+    #[test]
+    fn path_copy_is_logarithmic() {
+        let tree: BTree<u32, u32> = (0..2000).map(|i| (i, i)).collect();
+        let (_t2, report) = tree.insert_counted(99999, 0);
+        assert!(
+            report.copied as usize <= tree.height() + 3,
+            "copied {} height {}",
+            report.copied,
+            tree.height()
+        );
+        assert!(report.copied_fraction() < 0.1, "{report}");
+    }
+
+    #[test]
+    fn height_grows_slowly() {
+        let tree: BTree<u32, u32> = (0..10_000).map(|i| (i, i)).collect();
+        assert!(tree.height() <= 6, "height {}", tree.height());
+    }
+
+    #[test]
+    fn iteration_sorted() {
+        let tree: BTree<i32, i32> = [9, 1, 8, 2, 7, 3].iter().map(|&k| (k, k)).collect();
+        let keys: Vec<i32> = tree.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![1, 2, 3, 7, 8, 9]);
+    }
+
+    #[test]
+    fn min_max() {
+        let tree: BTree<i32, i32> = [4, 2, 9].iter().map(|&k| (k, k)).collect();
+        assert_eq!(tree.min(), Some((&2, &2)));
+        assert_eq!(tree.max(), Some((&9, &9)));
+    }
+
+    #[test]
+    fn remove_missing_none() {
+        let tree: BTree<i32, i32> = (0..10).map(|i| (i, i)).collect();
+        assert!(tree.remove(&100).is_none());
+    }
+
+    #[test]
+    fn remove_all_in_various_orders_small_degrees() {
+        for t in [2, 3] {
+            for n in [1usize, 2, 7, 20, 50] {
+                let mut tree: BTree<usize, usize> = BTree::new(t);
+                for i in 0..n {
+                    tree = tree.insert(i, i);
+                }
+                // Ascending removal.
+                let mut cur = tree.clone();
+                for i in 0..n {
+                    let (next, v) = cur.remove(&i).unwrap();
+                    assert_eq!(v, i);
+                    assert!(next.check_invariants(), "t={t} n={n} i={i}");
+                    cur = next;
+                }
+                assert!(cur.is_empty());
+                // Descending removal.
+                let mut cur = tree.clone();
+                for i in (0..n).rev() {
+                    let (next, v) = cur.remove(&i).unwrap();
+                    assert_eq!(v, i);
+                    assert!(next.check_invariants(), "t={t} n={n} i={i} desc");
+                    cur = next;
+                }
+                assert!(cur.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn random_ops_match_btreemap() {
+        let mut model = BTreeMap::new();
+        let mut tree: BTree<u32, u32> = BTree::new(3);
+        let mut state = 0xdeadbeefu64;
+        let mut rand = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for step in 0..3000 {
+            let k = rand() % 300;
+            if rand() % 3 == 0 {
+                let got = tree.remove(&k);
+                let want = model.remove(&k);
+                assert_eq!(got.as_ref().map(|(_, v)| v), want.as_ref(), "step {step}");
+                if let Some((t2, _)) = got {
+                    tree = t2;
+                }
+            } else {
+                let v = rand();
+                tree = tree.insert(k, v);
+                model.insert(k, v);
+            }
+            if step % 500 == 0 {
+                assert!(tree.check_invariants(), "step {step}");
+            }
+        }
+        assert!(tree.check_invariants());
+        let got: Vec<(u32, u32)> = tree.iter().map(|(k, v)| (*k, *v)).collect();
+        let want: Vec<(u32, u32)> = model.into_iter().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn equality_and_debug() {
+        let a: BTree<i32, i32> = [(1, 1), (2, 2)].into_iter().collect();
+        let b: BTree<i32, i32> = [(2, 2), (1, 1)].into_iter().collect();
+        assert_eq!(a, b);
+        assert_eq!(format!("{:?}", BTree::<i32, i32>::new(2).insert(1, 9)), "{1: 9}");
+    }
+
+    #[test]
+    fn bulk_load_matches_incremental() {
+        for t in [2usize, 3, 8] {
+            for n in [0usize, 1, 2, 5, 14, 15, 16, 99, 500] {
+                let entries: Vec<(u32, u32)> = (0..n as u32).map(|k| (k, k * 3)).collect();
+                let bulk = BTree::from_sorted_entries(t, entries.clone());
+                assert!(bulk.check_invariants(), "t={t} n={n}");
+                assert_eq!(bulk.len(), n, "t={t} n={n}");
+                let mut incr = BTree::new(t);
+                for (k, v) in entries {
+                    incr = incr.insert(k, v);
+                }
+                assert_eq!(bulk, incr, "t={t} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn bulk_load_rejects_unsorted() {
+        let _ = BTree::from_sorted_entries(2, vec![(2u32, 0u32), (1, 0)]);
+    }
+
+    #[test]
+    fn range_queries() {
+        for t in [2usize, 3, 8] {
+            let mut tree: BTree<i32, i32> = BTree::new(t);
+            for k in (0..100).filter(|k| k % 2 == 0) {
+                tree = tree.insert(k, k);
+            }
+            let got: Vec<i32> = tree.range(&10, &20).iter().map(|(k, _)| **k).collect();
+            assert_eq!(got, vec![10, 12, 14, 16, 18, 20], "degree {t}");
+            assert!(tree.range(&1, &1).is_empty());
+            assert!(tree.range(&20, &10).is_empty());
+            assert_eq!(tree.range(&-10, &1000).len(), 50);
+        }
+        let e: BTree<i32, i32> = BTree::new(2);
+        assert!(e.range(&0, &1).is_empty());
+    }
+
+    #[test]
+    fn range_matches_iter_filter() {
+        let tree: BTree<i32, i32> = (0..300).map(|k| ((k * 11) % 300, k)).collect();
+        for (lo, hi) in [(0, 299), (100, 120), (7, 7), (295, 400), (-5, 5)] {
+            let want: Vec<i32> = tree
+                .iter()
+                .filter(|(k, _)| **k >= lo && **k <= hi)
+                .map(|(k, _)| *k)
+                .collect();
+            let got: Vec<i32> = tree.range(&lo, &hi).iter().map(|(k, _)| **k).collect();
+            assert_eq!(got, want, "range {lo}..={hi}");
+        }
+    }
+
+    #[test]
+    fn page_capacity_reported() {
+        let t: BTree<i32, i32> = BTree::new(8);
+        assert_eq!(t.min_degree(), 8);
+        assert_eq!(t.page_capacity(), 15);
+    }
+}

@@ -1,0 +1,41 @@
+//! Persistent (immutable, structurally shared) data structures.
+//!
+//! Section 2.2 of Keller & Lindstrom: "each transaction reads a database and
+//! conceptually produces a new instance of it … only selected components are
+//! created anew, with references to components of previously constructed
+//! data objects achieving a sharing effect." This crate provides the
+//! representations the paper discusses, each update returning a *new* value
+//! that shares all unaffected structure with its predecessor:
+//!
+//! * [`PList`] — the linked-list representation used in the paper's actual
+//!   experiments (Section 4): key-ordered insert copies the prefix spine.
+//! * [`Tree23`] — a 2-3 tree, after the equational formulation of
+//!   Hoffman & O'Donnell that the paper cites; insert copies one
+//!   root-to-leaf path.
+//! * [`BTree`] — a persistent B-tree of configurable order, the "tree node
+//!   is one physical page" strategy of Section 3.3.
+//! * [`Avl`] — an applicative AVL map after Myers, cited as related work.
+//! * [`paged`] — the data-page/directory-page organization of Figure 2-2,
+//!   with a sharing report that regenerates the figure's claim.
+//!
+//! Updating operations come in plain and `_counted` forms; the counted forms
+//! additionally return a [`CopyReport`] stating how many nodes were created
+//! anew versus shared, which is how the benches quantify the paper's
+//! "(log n)/n of a relation is copied" argument.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod avl;
+pub mod btree;
+pub mod list;
+pub mod paged;
+pub mod report;
+pub mod tree23;
+
+pub use avl::Avl;
+pub use btree::BTree;
+pub use list::PList;
+pub use paged::{PageSharingReport, PagedStore};
+pub use report::CopyReport;
+pub use tree23::Tree23;

@@ -1,0 +1,453 @@
+//! Persistent singly-linked lists.
+//!
+//! This is the representation the paper's Section 4 experiments actually
+//! used ("for simplicity, a linked-list implementation of both the database
+//! and individual relations"). An insert that keeps the list key-ordered
+//! copies the spine up to the insertion point and shares everything after
+//! it; the paper notes concurrency indications from this representation are
+//! conservative relative to trees.
+
+use std::fmt;
+use std::iter::FromIterator;
+use std::sync::Arc;
+
+use crate::report::CopyReport;
+
+struct Node<T> {
+    head: T,
+    tail: PList<T>,
+}
+
+/// An immutable singly-linked list with O(1) structural-sharing `cons`.
+///
+/// Clones are O(1) and share all structure. All "mutating" operations return
+/// a new list; the old value remains fully usable (full persistence).
+///
+/// # Example
+///
+/// ```
+/// use fundb_persist::PList;
+///
+/// let xs: PList<i32> = [1, 3, 4].into_iter().collect();
+/// let (ys, report) = xs.insert_sorted_counted(2);
+/// assert_eq!(ys.iter().copied().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+/// // The old version is untouched...
+/// assert_eq!(xs.len(), 3);
+/// // ...and the suffix [3, 4] is shared, only [1, 2] was built.
+/// assert_eq!(report.copied, 2);
+/// assert_eq!(report.shared, 2);
+/// ```
+pub struct PList<T> {
+    node: Option<Arc<Node<T>>>,
+}
+
+impl<T> Clone for PList<T> {
+    fn clone(&self) -> Self {
+        PList {
+            node: self.node.clone(),
+        }
+    }
+}
+
+impl<T> Default for PList<T> {
+    fn default() -> Self {
+        Self::nil()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for PList<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl<T: PartialEq> PartialEq for PList<T> {
+    fn eq(&self, other: &Self) -> bool {
+        let mut a = self.iter();
+        let mut b = other.iter();
+        loop {
+            match (a.next(), b.next()) {
+                (None, None) => return true,
+                (Some(x), Some(y)) if x == y => continue,
+                _ => return false,
+            }
+        }
+    }
+}
+
+impl<T: Eq> Eq for PList<T> {}
+
+impl<T> PList<T> {
+    /// The empty list.
+    pub fn nil() -> Self {
+        PList { node: None }
+    }
+
+    /// A new list with `head` in front of `tail`; O(1), shares `tail`.
+    pub fn cons(head: T, tail: PList<T>) -> Self {
+        PList {
+            node: Some(Arc::new(Node { head, tail })),
+        }
+    }
+
+    /// `true` if the list has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.node.is_none()
+    }
+
+    /// The first element, if any.
+    pub fn head(&self) -> Option<&T> {
+        self.node.as_deref().map(|n| &n.head)
+    }
+
+    /// Everything after the first element, if the list is nonempty.
+    /// O(1) and shared.
+    pub fn tail(&self) -> Option<PList<T>> {
+        self.node.as_deref().map(|n| n.tail.clone())
+    }
+
+    /// Number of elements; O(n).
+    pub fn len(&self) -> usize {
+        self.iter().count()
+    }
+
+    /// The element at `index`, walking the spine.
+    pub fn get(&self, index: usize) -> Option<&T> {
+        self.iter().nth(index)
+    }
+
+    /// Iterates the elements front to back.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { cur: self }
+    }
+
+    /// `true` if `self` and `other` share their first spine cell (which, by
+    /// immutability, means they are the same list). Used by tests and
+    /// benches to *prove* sharing rather than assume it.
+    pub fn ptr_eq(&self, other: &PList<T>) -> bool {
+        match (&self.node, &other.node) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// Length of the longest common shared suffix of the two lists,
+    /// measured by pointer identity of spine cells.
+    pub fn shared_suffix_len(&self, other: &PList<T>) -> usize {
+        // Collect spine pointers, compare from the back.
+        fn spine<T>(list: &PList<T>) -> Vec<*const Node<T>> {
+            let mut v = Vec::new();
+            let mut cur = list;
+            while let Some(node) = cur.node.as_ref() {
+                v.push(Arc::as_ptr(node));
+                cur = &node.tail;
+            }
+            v
+        }
+        let a = spine(self);
+        let b = spine(other);
+        let mut shared = 0;
+        let mut ai = a.iter().rev();
+        let mut bi = b.iter().rev();
+        while let (Some(x), Some(y)) = (ai.next(), bi.next()) {
+            if x == y {
+                shared += 1;
+            } else {
+                break;
+            }
+        }
+        shared
+    }
+}
+
+impl<T: Clone> PList<T> {
+    /// Appends `item` at the end, copying the entire spine (the most
+    /// pessimistic persistent update — used as a baseline in benches).
+    pub fn push_back(&self, item: T) -> PList<T> {
+        let items: Vec<T> = self.iter().cloned().collect();
+        let mut out = PList::cons(item, PList::nil());
+        for x in items.into_iter().rev() {
+            out = PList::cons(x, out);
+        }
+        out
+    }
+
+    /// Reverses the list into a new list.
+    pub fn reversed(&self) -> PList<T> {
+        let mut out = PList::nil();
+        for x in self.iter() {
+            out = PList::cons(x.clone(), out);
+        }
+        out
+    }
+
+    /// Removes the first element matching `pred`, copying the prefix before
+    /// it; returns the new list, the removed element, and a copy report.
+    /// Returns `None` if no element matches (no copying happens).
+    pub fn remove_first_counted<F>(&self, pred: F) -> Option<(PList<T>, T, CopyReport)>
+    where
+        F: Fn(&T) -> bool,
+    {
+        let mut prefix = Vec::new();
+        let mut cur = self.clone();
+        loop {
+            let node = cur.node.as_deref()?;
+            if pred(&node.head) {
+                let removed = node.head.clone();
+                let mut out = node.tail.clone();
+                let shared = out.len() as u64;
+                let copied = prefix.len() as u64;
+                for x in prefix.into_iter().rev() {
+                    out = PList::cons(x, out);
+                }
+                return Some((out, removed, CopyReport::new(copied, shared)));
+            }
+            prefix.push(node.head.clone());
+            cur = node.tail.clone();
+        }
+    }
+}
+
+impl<T: Clone + Ord> PList<T> {
+    /// Inserts `item` keeping the list ascending, sharing the suffix from
+    /// the insertion point on. Duplicates are inserted before their equals.
+    pub fn insert_sorted(&self, item: T) -> PList<T> {
+        self.insert_sorted_counted(item).0
+    }
+
+    /// [`insert_sorted`](Self::insert_sorted) plus a [`CopyReport`] of how
+    /// many spine cells were newly built versus shared.
+    pub fn insert_sorted_counted(&self, item: T) -> (PList<T>, CopyReport) {
+        let mut prefix = Vec::new();
+        let mut cur = self.clone();
+        loop {
+            match cur.node.as_deref() {
+                Some(node) if node.head < item => {
+                    prefix.push(node.head.clone());
+                    cur = node.tail.clone();
+                }
+                _ => break,
+            }
+        }
+        let shared = cur.len() as u64;
+        let copied = prefix.len() as u64 + 1; // prefix cells + the new cell
+        let mut out = PList::cons(item, cur);
+        for x in prefix.into_iter().rev() {
+            out = PList::cons(x, out);
+        }
+        (out, CopyReport::new(copied, shared))
+    }
+
+    /// `true` if the list is in ascending (non-strict) order.
+    pub fn is_sorted(&self) -> bool {
+        let mut it = self.iter();
+        let Some(mut prev) = it.next() else {
+            return true;
+        };
+        for x in it {
+            if x < prev {
+                return false;
+            }
+            prev = x;
+        }
+        true
+    }
+}
+
+impl<T> Drop for PList<T> {
+    /// Iterative drop: a naive recursive drop of a long spine would
+    /// overflow the stack, and experiment-sized relations have tens of
+    /// thousands of cells.
+    fn drop(&mut self) {
+        let mut cur = self.node.take();
+        while let Some(node) = cur {
+            match Arc::try_unwrap(node) {
+                // Sole owner: detach the tail before the node drops so the
+                // node's own drop cannot recurse.
+                Ok(mut n) => cur = n.tail.node.take(),
+                // Shared with a live version: stop, the rest stays alive.
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+impl<T> FromIterator<T> for PList<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let items: Vec<T> = iter.into_iter().collect();
+        let mut out = PList::nil();
+        for x in items.into_iter().rev() {
+            out = PList::cons(x, out);
+        }
+        out
+    }
+}
+
+/// Borrowing front-to-back iterator over a [`PList`].
+#[derive(Debug)]
+pub struct Iter<'a, T> {
+    cur: &'a PList<T>,
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        let node = self.cur.node.as_deref()?;
+        self.cur = &node.tail;
+        Some(&node.head)
+    }
+}
+
+impl<'a, T> IntoIterator for &'a PList<T> {
+    type Item = &'a T;
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_vec<T: Clone>(l: &PList<T>) -> Vec<T> {
+        l.iter().cloned().collect()
+    }
+
+    #[test]
+    fn nil_is_empty() {
+        let l: PList<i32> = PList::nil();
+        assert!(l.is_empty());
+        assert_eq!(l.len(), 0);
+        assert_eq!(l.head(), None);
+        assert!(l.tail().is_none());
+    }
+
+    #[test]
+    fn cons_and_accessors() {
+        let l = PList::cons(1, PList::cons(2, PList::nil()));
+        assert_eq!(l.head(), Some(&1));
+        assert_eq!(l.tail().unwrap().head(), Some(&2));
+        assert_eq!(l.get(1), Some(&2));
+        assert_eq!(l.get(2), None);
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn from_iterator_preserves_order() {
+        let l: PList<i32> = (0..5).collect();
+        assert_eq!(to_vec(&l), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn old_version_survives_update() {
+        let v1: PList<i32> = [1, 3].into_iter().collect();
+        let v2 = v1.insert_sorted(2);
+        assert_eq!(to_vec(&v1), vec![1, 3]);
+        assert_eq!(to_vec(&v2), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn insert_sorted_shares_suffix() {
+        let v1: PList<i32> = [1, 2, 3, 4, 5].into_iter().collect();
+        let (v2, report) = v1.insert_sorted_counted(0);
+        // Inserting at the front shares the entire old list.
+        assert_eq!(report.copied, 1);
+        assert_eq!(report.shared, 5);
+        assert_eq!(v2.shared_suffix_len(&v1), 5);
+        assert!(v2.tail().unwrap().ptr_eq(&v1));
+    }
+
+    #[test]
+    fn insert_sorted_at_end_copies_spine() {
+        let v1: PList<i32> = [1, 2, 3].into_iter().collect();
+        let (v2, report) = v1.insert_sorted_counted(9);
+        assert_eq!(report.copied, 4);
+        assert_eq!(report.shared, 0);
+        assert_eq!(to_vec(&v2), vec![1, 2, 3, 9]);
+    }
+
+    #[test]
+    fn insert_sorted_middle_counts() {
+        let v1: PList<i32> = [1, 3, 5, 7].into_iter().collect();
+        let (v2, report) = v1.insert_sorted_counted(4);
+        assert_eq!(to_vec(&v2), vec![1, 3, 4, 5, 7]);
+        assert_eq!(report.copied, 3); // cells 1, 3 and the new 4
+        assert_eq!(report.shared, 2); // cells 5, 7
+    }
+
+    #[test]
+    fn duplicates_go_before_equals() {
+        let v1: PList<i32> = [1, 2, 2, 3].into_iter().collect();
+        let v2 = v1.insert_sorted(2);
+        assert_eq!(to_vec(&v2), vec![1, 2, 2, 2, 3]);
+        assert!(v2.is_sorted());
+    }
+
+    #[test]
+    fn remove_first_counted_shares_suffix() {
+        let v1: PList<i32> = [1, 2, 3, 4].into_iter().collect();
+        let (v2, removed, report) = v1.remove_first_counted(|x| *x == 2).unwrap();
+        assert_eq!(removed, 2);
+        assert_eq!(to_vec(&v2), vec![1, 3, 4]);
+        assert_eq!(report.copied, 1); // only cell 1 rebuilt
+        assert_eq!(report.shared, 2); // cells 3, 4
+        assert_eq!(to_vec(&v1), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn remove_missing_returns_none() {
+        let v1: PList<i32> = [1, 2].into_iter().collect();
+        assert!(v1.remove_first_counted(|x| *x == 9).is_none());
+    }
+
+    #[test]
+    fn push_back_and_reversed() {
+        let v1: PList<i32> = [1, 2].into_iter().collect();
+        assert_eq!(to_vec(&v1.push_back(3)), vec![1, 2, 3]);
+        assert_eq!(to_vec(&v1.reversed()), vec![2, 1]);
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        let a: PList<i32> = [1, 2].into_iter().collect();
+        let b: PList<i32> = [1, 2].into_iter().collect();
+        let c: PList<i32> = [1, 2, 3].into_iter().collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(c, a);
+    }
+
+    #[test]
+    fn shared_suffix_of_unrelated_lists_is_zero() {
+        let a: PList<i32> = [1, 2].into_iter().collect();
+        let b: PList<i32> = [1, 2].into_iter().collect();
+        assert_eq!(a.shared_suffix_len(&b), 0);
+    }
+
+    #[test]
+    fn is_sorted_detects_disorder() {
+        let a: PList<i32> = [1, 3, 2].into_iter().collect();
+        assert!(!a.is_sorted());
+        let b: PList<i32> = PList::nil();
+        assert!(b.is_sorted());
+    }
+
+    #[test]
+    fn debug_renders_elements() {
+        let l: PList<i32> = [1, 2].into_iter().collect();
+        assert_eq!(format!("{l:?}"), "[1, 2]");
+    }
+
+    #[test]
+    fn long_list_drop_does_not_overflow_stack() {
+        // Arc chains drop recursively through Node's field drop; make sure a
+        // realistic experiment-sized list is safe.
+        let l: PList<u32> = (0..100_000).collect();
+        assert_eq!(l.len(), 100_000);
+        drop(l);
+    }
+}

@@ -1,0 +1,958 @@
+//! Persistent 2-3 trees.
+//!
+//! The paper cites Hoffman & O'Donnell's equational 2-3 tree code (and its
+//! FEL transcription by Mamdouh Ibrahim) as the canonical functional tree
+//! representation for relations. This module is that structure: a balanced
+//! search tree whose interior nodes hold one or two keys, every update
+//! copying exactly one root-to-leaf path and sharing the rest — the
+//! `(log n)/n` copying bound of Section 2.2.
+
+use std::fmt;
+use std::iter::FromIterator;
+use std::sync::Arc;
+
+use crate::report::CopyReport;
+
+type Entry<K, V> = (K, V);
+
+enum Node<K, V> {
+    /// Empty subtree; all leaves sit at the same depth.
+    Leaf,
+    /// One entry, two children.
+    Two(Arc<Node<K, V>>, Entry<K, V>, Arc<Node<K, V>>),
+    /// Two entries, three children.
+    Three(
+        Arc<Node<K, V>>,
+        Entry<K, V>,
+        Arc<Node<K, V>>,
+        Entry<K, V>,
+        Arc<Node<K, V>>,
+    ),
+}
+
+impl<K, V> Node<K, V> {
+    fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf)
+    }
+}
+
+/// Result of inserting into a subtree: it either still fits in the same
+/// height, or it split and kicks an entry up to the parent.
+enum Ins<K, V> {
+    Fit(Arc<Node<K, V>>),
+    Split(Arc<Node<K, V>>, Entry<K, V>, Arc<Node<K, V>>),
+}
+
+/// Result of deleting from a subtree: same height, or one shorter ("hole").
+enum Del<K, V> {
+    Same(Arc<Node<K, V>>),
+    Hole(Arc<Node<K, V>>),
+}
+
+/// A persistent 2-3 tree map.
+///
+/// All operations are purely functional: they return a new tree sharing all
+/// untouched nodes with the receiver.
+///
+/// # Example
+///
+/// ```
+/// use fundb_persist::Tree23;
+///
+/// let t1: Tree23<i32, &str> = [(2, "b"), (1, "a")].into_iter().collect();
+/// let t2 = t1.insert(3, "c");
+/// assert_eq!(t2.get(&3), Some(&"c"));
+/// assert_eq!(t1.get(&3), None); // old version untouched
+/// ```
+pub struct Tree23<K, V> {
+    root: Arc<Node<K, V>>,
+    len: usize,
+}
+
+impl<K, V> Clone for Tree23<K, V> {
+    fn clone(&self) -> Self {
+        Tree23 {
+            root: Arc::clone(&self.root),
+            len: self.len,
+        }
+    }
+}
+
+impl<K, V> Default for Tree23<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: fmt::Debug, V: fmt::Debug> fmt::Debug for Tree23<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl<K: PartialEq, V: PartialEq> PartialEq for Tree23<K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
+impl<K: Eq, V: Eq> Eq for Tree23<K, V> {}
+
+impl<K, V> Tree23<K, V> {
+    /// The empty map.
+    pub fn new() -> Self {
+        Tree23 {
+            root: Arc::new(Node::Leaf),
+            len: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (empty tree has height 0).
+    pub fn height(&self) -> usize {
+        fn go<K, V>(n: &Node<K, V>) -> usize {
+            match n {
+                Node::Leaf => 0,
+                Node::Two(l, _, _) => 1 + go(l),
+                Node::Three(l, _, _, _, _) => 1 + go(l),
+            }
+        }
+        go(&self.root)
+    }
+
+    /// Total interior nodes (for sharing accounting).
+    pub fn node_count(&self) -> u64 {
+        fn go<K, V>(n: &Node<K, V>) -> u64 {
+            match n {
+                Node::Leaf => 0,
+                Node::Two(l, _, r) => 1 + go(l) + go(r),
+                Node::Three(l, _, m, _, r) => 1 + go(l) + go(m) + go(r),
+            }
+        }
+        go(&self.root)
+    }
+
+    /// `true` if `self` and `other` share their root node (hence are the
+    /// same tree, by immutability). Lets callers prove structural sharing.
+    pub fn ptr_eq(&self, other: &Tree23<K, V>) -> bool {
+        Arc::ptr_eq(&self.root, &other.root)
+    }
+
+    /// In-order iterator over `(key, value)` pairs.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        let mut iter = Iter { stack: Vec::new() };
+        iter.push_left(&self.root);
+        iter
+    }
+
+    /// Checks the 2-3 invariants: all leaves at equal depth and keys in
+    /// strictly ascending order. Intended for tests.
+    pub fn check_invariants(&self) -> bool
+    where
+        K: Ord,
+    {
+        fn depth_ok<K, V>(n: &Node<K, V>) -> Option<usize> {
+            match n {
+                Node::Leaf => Some(0),
+                Node::Two(l, _, r) => {
+                    let dl = depth_ok(l)?;
+                    let dr = depth_ok(r)?;
+                    (dl == dr).then_some(dl + 1)
+                }
+                Node::Three(l, _, m, _, r) => {
+                    let dl = depth_ok(l)?;
+                    let dm = depth_ok(m)?;
+                    let dr = depth_ok(r)?;
+                    (dl == dm && dm == dr).then_some(dl + 1)
+                }
+            }
+        }
+        if depth_ok(&self.root).is_none() {
+            return false;
+        }
+        let keys: Vec<&K> = self.iter().map(|(k, _)| k).collect();
+        keys.windows(2).all(|w| w[0] < w[1]) && keys.len() == self.len
+    }
+}
+
+impl<K: Ord, V> Tree23<K, V> {
+    /// Looks up `key`.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut cur: &Node<K, V> = &self.root;
+        loop {
+            match cur {
+                Node::Leaf => return None,
+                Node::Two(l, (k, v), r) => match key.cmp(k) {
+                    std::cmp::Ordering::Less => cur = l,
+                    std::cmp::Ordering::Equal => return Some(v),
+                    std::cmp::Ordering::Greater => cur = r,
+                },
+                Node::Three(l, (k1, v1), m, (k2, v2), r) => {
+                    if key == k1 {
+                        return Some(v1);
+                    }
+                    if key == k2 {
+                        return Some(v2);
+                    }
+                    cur = if key < k1 {
+                        l
+                    } else if key < k2 {
+                        m
+                    } else {
+                        r
+                    };
+                }
+            }
+        }
+    }
+
+    /// `true` if `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// All entries with `lo <= key <= hi`, in ascending key order. Prunes
+    /// subtrees wholly outside the range, so the cost is
+    /// O(log n + answer size).
+    pub fn range(&self, lo: &K, hi: &K) -> Vec<(&K, &V)> {
+        fn go<'a, K: Ord, V>(
+            n: &'a Node<K, V>,
+            lo: &K,
+            hi: &K,
+            out: &mut Vec<(&'a K, &'a V)>,
+        ) {
+            match n {
+                Node::Leaf => {}
+                Node::Two(l, e, r) => {
+                    if *lo < e.0 {
+                        go(l, lo, hi, out);
+                    }
+                    if e.0 >= *lo && e.0 <= *hi {
+                        out.push((&e.0, &e.1));
+                    }
+                    if *hi > e.0 {
+                        go(r, lo, hi, out);
+                    }
+                }
+                Node::Three(l, e1, m, e2, r) => {
+                    if *lo < e1.0 {
+                        go(l, lo, hi, out);
+                    }
+                    if e1.0 >= *lo && e1.0 <= *hi {
+                        out.push((&e1.0, &e1.1));
+                    }
+                    if *lo < e2.0 && *hi > e1.0 {
+                        go(m, lo, hi, out);
+                    }
+                    if e2.0 >= *lo && e2.0 <= *hi {
+                        out.push((&e2.0, &e2.1));
+                    }
+                    if *hi > e2.0 {
+                        go(r, lo, hi, out);
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        if lo <= hi {
+            go(&self.root, lo, hi, &mut out);
+        }
+        out
+    }
+
+    /// The smallest key and its value.
+    pub fn min(&self) -> Option<(&K, &V)> {
+        let mut cur: &Node<K, V> = &self.root;
+        let mut best = None;
+        loop {
+            match cur {
+                Node::Leaf => return best,
+                Node::Two(l, e, _) => {
+                    best = Some((&e.0, &e.1));
+                    cur = l;
+                }
+                Node::Three(l, e, _, _, _) => {
+                    best = Some((&e.0, &e.1));
+                    cur = l;
+                }
+            }
+        }
+    }
+
+    /// The largest key and its value.
+    pub fn max(&self) -> Option<(&K, &V)> {
+        let mut cur: &Node<K, V> = &self.root;
+        let mut best = None;
+        loop {
+            match cur {
+                Node::Leaf => return best,
+                Node::Two(_, e, r) => {
+                    best = Some((&e.0, &e.1));
+                    cur = r;
+                }
+                Node::Three(_, _, _, e, r) => {
+                    best = Some((&e.0, &e.1));
+                    cur = r;
+                }
+            }
+        }
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> Tree23<K, V> {
+    /// Inserts or replaces `key`, returning the new tree.
+    pub fn insert(&self, key: K, value: V) -> Tree23<K, V> {
+        self.insert_counted(key, value).0
+    }
+
+    /// [`insert`](Self::insert) plus a [`CopyReport`].
+    ///
+    /// `copied` counts the nodes built by this insert; `shared` counts the
+    /// remaining reachable nodes (computed by an O(n) walk — intended for
+    /// benches and tests, not hot paths).
+    pub fn insert_counted(&self, key: K, value: V) -> (Tree23<K, V>, CopyReport) {
+        let mut copied = 0u64;
+        let replaced = self.contains_key(&key);
+        let root = match insert_node(&self.root, key, value, &mut copied) {
+            Ins::Fit(n) => n,
+            Ins::Split(l, e, r) => {
+                copied += 1;
+                Arc::new(Node::Two(l, e, r))
+            }
+        };
+        let out = Tree23 {
+            root,
+            len: if replaced { self.len } else { self.len + 1 },
+        };
+        let shared = out.node_count().saturating_sub(copied);
+        (out, CopyReport::new(copied, shared))
+    }
+
+    /// Removes `key`, returning the new tree and the removed value, or
+    /// `None` if absent.
+    pub fn remove(&self, key: &K) -> Option<(Tree23<K, V>, V)> {
+        let mut removed = None;
+        let root = match delete_node(&self.root, key, &mut removed) {
+            Del::Same(n) | Del::Hole(n) => n,
+        };
+        let value = removed?;
+        Some((
+            Tree23 {
+                root,
+                len: self.len - 1,
+            },
+            value,
+        ))
+    }
+}
+
+fn two<K, V>(l: Arc<Node<K, V>>, e: Entry<K, V>, r: Arc<Node<K, V>>) -> Arc<Node<K, V>> {
+    Arc::new(Node::Two(l, e, r))
+}
+
+#[allow(clippy::many_single_char_names)]
+fn three<K, V>(
+    l: Arc<Node<K, V>>,
+    e1: Entry<K, V>,
+    m: Arc<Node<K, V>>,
+    e2: Entry<K, V>,
+    r: Arc<Node<K, V>>,
+) -> Arc<Node<K, V>> {
+    Arc::new(Node::Three(l, e1, m, e2, r))
+}
+
+fn insert_node<K: Ord + Clone, V: Clone>(
+    node: &Arc<Node<K, V>>,
+    key: K,
+    value: V,
+    copied: &mut u64,
+) -> Ins<K, V> {
+    match &**node {
+        Node::Leaf => {
+            *copied += 1;
+            Ins::Split(
+                Arc::new(Node::Leaf),
+                (key, value),
+                Arc::new(Node::Leaf),
+            )
+        }
+        Node::Two(l, e, r) => {
+            use std::cmp::Ordering::*;
+            match key.cmp(&e.0) {
+                Equal => {
+                    *copied += 1;
+                    Ins::Fit(two(l.clone(), (key, value), r.clone()))
+                }
+                Less => match insert_node(l, key, value, copied) {
+                    Ins::Fit(nl) => {
+                        *copied += 1;
+                        Ins::Fit(two(nl, e.clone(), r.clone()))
+                    }
+                    Ins::Split(a, up, b) => {
+                        *copied += 1;
+                        Ins::Fit(three(a, up, b, e.clone(), r.clone()))
+                    }
+                },
+                Greater => match insert_node(r, key, value, copied) {
+                    Ins::Fit(nr) => {
+                        *copied += 1;
+                        Ins::Fit(two(l.clone(), e.clone(), nr))
+                    }
+                    Ins::Split(a, up, b) => {
+                        *copied += 1;
+                        Ins::Fit(three(l.clone(), e.clone(), a, up, b))
+                    }
+                },
+            }
+        }
+        Node::Three(l, e1, m, e2, r) => {
+            use std::cmp::Ordering::*;
+            if key == e1.0 {
+                *copied += 1;
+                return Ins::Fit(three(
+                    l.clone(),
+                    (key, value),
+                    m.clone(),
+                    e2.clone(),
+                    r.clone(),
+                ));
+            }
+            if key == e2.0 {
+                *copied += 1;
+                return Ins::Fit(three(
+                    l.clone(),
+                    e1.clone(),
+                    m.clone(),
+                    (key, value),
+                    r.clone(),
+                ));
+            }
+            match key.cmp(&e1.0) {
+                Less => match insert_node(l, key, value, copied) {
+                    Ins::Fit(nl) => {
+                        *copied += 1;
+                        Ins::Fit(three(nl, e1.clone(), m.clone(), e2.clone(), r.clone()))
+                    }
+                    Ins::Split(a, up, b) => {
+                        *copied += 2;
+                        Ins::Split(two(a, up, b), e1.clone(), two(m.clone(), e2.clone(), r.clone()))
+                    }
+                },
+                _ if key < e2.0 => match insert_node(m, key, value, copied) {
+                    Ins::Fit(nm) => {
+                        *copied += 1;
+                        Ins::Fit(three(l.clone(), e1.clone(), nm, e2.clone(), r.clone()))
+                    }
+                    Ins::Split(a, up, b) => {
+                        *copied += 2;
+                        Ins::Split(two(l.clone(), e1.clone(), a), up, two(b, e2.clone(), r.clone()))
+                    }
+                },
+                _ => match insert_node(r, key, value, copied) {
+                    Ins::Fit(nr) => {
+                        *copied += 1;
+                        Ins::Fit(three(l.clone(), e1.clone(), m.clone(), e2.clone(), nr))
+                    }
+                    Ins::Split(a, up, b) => {
+                        *copied += 2;
+                        Ins::Split(two(l.clone(), e1.clone(), m.clone()), e2.clone(), two(a, up, b))
+                    }
+                },
+            }
+        }
+    }
+}
+
+/// Rebalances a Two node whose left child is a hole.
+fn fix_two_left<K: Clone, V: Clone>(
+    hole: Arc<Node<K, V>>,
+    e: Entry<K, V>,
+    right: &Arc<Node<K, V>>,
+) -> Del<K, V> {
+    match &**right {
+        Node::Two(rl, b, rr) => {
+            // Merge: parent becomes a hole of a Three node.
+            Del::Hole(three(hole, e, rl.clone(), b.clone(), rr.clone()))
+        }
+        Node::Three(rl, b, rm, c, rr) => {
+            // Borrow from the rich sibling.
+            Del::Same(two(
+                two(hole, e, rl.clone()),
+                b.clone(),
+                two(rm.clone(), c.clone(), rr.clone()),
+            ))
+        }
+        Node::Leaf => unreachable!("hole sibling cannot be a leaf"),
+    }
+}
+
+/// Rebalances a Two node whose right child is a hole.
+fn fix_two_right<K: Clone, V: Clone>(
+    left: &Arc<Node<K, V>>,
+    e: Entry<K, V>,
+    hole: Arc<Node<K, V>>,
+) -> Del<K, V> {
+    match &**left {
+        Node::Two(ll, a, lr) => Del::Hole(three(ll.clone(), a.clone(), lr.clone(), e, hole)),
+        Node::Three(ll, a, lm, b, lr) => Del::Same(two(
+            two(ll.clone(), a.clone(), lm.clone()),
+            b.clone(),
+            two(lr.clone(), e, hole),
+        )),
+        Node::Leaf => unreachable!("hole sibling cannot be a leaf"),
+    }
+}
+
+/// Rebalances a Three node with a hole in the stated position.
+fn fix_three<K: Clone, V: Clone>(
+    pos: u8,
+    a: Arc<Node<K, V>>,
+    e1: Entry<K, V>,
+    b: Arc<Node<K, V>>,
+    e2: Entry<K, V>,
+    c: Arc<Node<K, V>>,
+) -> Del<K, V> {
+    // pos: 0 => a is the hole, 1 => b, 2 => c.
+    match pos {
+        0 => match &*b {
+            Node::Two(bl, x, br) => Del::Same(two(
+                three(a, e1, bl.clone(), x.clone(), br.clone()),
+                e2,
+                c,
+            )),
+            Node::Three(bl, x, bm, y, br) => Del::Same(three(
+                two(a, e1, bl.clone()),
+                x.clone(),
+                two(bm.clone(), y.clone(), br.clone()),
+                e2,
+                c,
+            )),
+            Node::Leaf => unreachable!("hole sibling cannot be a leaf"),
+        },
+        1 => match &*a {
+            Node::Two(al, x, ar) => Del::Same(two(
+                three(al.clone(), x.clone(), ar.clone(), e1, b),
+                e2,
+                c,
+            )),
+            Node::Three(al, x, am, y, ar) => Del::Same(three(
+                two(al.clone(), x.clone(), am.clone()),
+                y.clone(),
+                two(ar.clone(), e1, b),
+                e2,
+                c,
+            )),
+            Node::Leaf => unreachable!("hole sibling cannot be a leaf"),
+        },
+        _ => match &*b {
+            Node::Two(bl, x, br) => Del::Same(two(
+                a,
+                e1,
+                three(bl.clone(), x.clone(), br.clone(), e2, c),
+            )),
+            Node::Three(bl, x, bm, y, br) => Del::Same(three(
+                a,
+                e1,
+                two(bl.clone(), x.clone(), bm.clone()),
+                y.clone(),
+                two(br.clone(), e2, c),
+            )),
+            Node::Leaf => unreachable!("hole sibling cannot be a leaf"),
+        },
+    }
+}
+
+/// Removes the minimum entry of a subtree, returning it alongside the
+/// shrunken-or-not subtree.
+fn delete_min<K: Ord + Clone, V: Clone>(node: &Arc<Node<K, V>>) -> (Del<K, V>, Entry<K, V>) {
+    match &**node {
+        Node::Leaf => unreachable!("delete_min on empty subtree"),
+        Node::Two(l, e, r) => {
+            if l.is_leaf() {
+                return (Del::Hole(Arc::new(Node::Leaf)), e.clone());
+            }
+            let (dl, min) = delete_min(l);
+            let del = match dl {
+                Del::Same(nl) => Del::Same(two(nl, e.clone(), r.clone())),
+                Del::Hole(nl) => fix_two_left(nl, e.clone(), r),
+            };
+            (del, min)
+        }
+        Node::Three(l, e1, m, e2, r) => {
+            if l.is_leaf() {
+                return (
+                    Del::Same(two(Arc::new(Node::Leaf), e2.clone(), Arc::new(Node::Leaf))),
+                    e1.clone(),
+                );
+            }
+            let (dl, min) = delete_min(l);
+            let del = match dl {
+                Del::Same(nl) => Del::Same(three(nl, e1.clone(), m.clone(), e2.clone(), r.clone())),
+                Del::Hole(nl) => fix_three(0, nl, e1.clone(), m.clone(), e2.clone(), r.clone()),
+            };
+            (del, min)
+        }
+    }
+}
+
+fn delete_node<K: Ord + Clone, V: Clone>(
+    node: &Arc<Node<K, V>>,
+    key: &K,
+    removed: &mut Option<V>,
+) -> Del<K, V> {
+    match &**node {
+        Node::Leaf => Del::Same(node.clone()),
+        Node::Two(l, e, r) => {
+            use std::cmp::Ordering::*;
+            match key.cmp(&e.0) {
+                Equal => {
+                    *removed = Some(e.1.clone());
+                    if r.is_leaf() {
+                        // Bottom node: removing the only entry leaves a hole.
+                        return Del::Hole(Arc::new(Node::Leaf));
+                    }
+                    // Replace with the successor, then fix up.
+                    let (dr, succ) = delete_min(r);
+                    match dr {
+                        Del::Same(nr) => Del::Same(two(l.clone(), succ, nr)),
+                        Del::Hole(nr) => fix_two_right(l, succ, nr),
+                    }
+                }
+                Less => match delete_node(l, key, removed) {
+                    _ if removed.is_none() => Del::Same(node.clone()),
+                    Del::Same(nl) => Del::Same(two(nl, e.clone(), r.clone())),
+                    Del::Hole(nl) => fix_two_left(nl, e.clone(), r),
+                },
+                Greater => match delete_node(r, key, removed) {
+                    _ if removed.is_none() => Del::Same(node.clone()),
+                    Del::Same(nr) => Del::Same(two(l.clone(), e.clone(), nr)),
+                    Del::Hole(nr) => fix_two_right(l, e.clone(), nr),
+                },
+            }
+        }
+        Node::Three(l, e1, m, e2, r) => {
+            let bottom = l.is_leaf();
+            if key == &e1.0 {
+                *removed = Some(e1.1.clone());
+                if bottom {
+                    return Del::Same(two(
+                        Arc::new(Node::Leaf),
+                        e2.clone(),
+                        Arc::new(Node::Leaf),
+                    ));
+                }
+                let (dm, succ) = delete_min(m);
+                return match dm {
+                    Del::Same(nm) => Del::Same(three(l.clone(), succ, nm, e2.clone(), r.clone())),
+                    Del::Hole(nm) => fix_three(1, l.clone(), succ, nm, e2.clone(), r.clone()),
+                };
+            }
+            if key == &e2.0 {
+                *removed = Some(e2.1.clone());
+                if bottom {
+                    return Del::Same(two(
+                        Arc::new(Node::Leaf),
+                        e1.clone(),
+                        Arc::new(Node::Leaf),
+                    ));
+                }
+                let (dr, succ) = delete_min(r);
+                return match dr {
+                    Del::Same(nr) => Del::Same(three(l.clone(), e1.clone(), m.clone(), succ, nr)),
+                    Del::Hole(nr) => fix_three(2, l.clone(), e1.clone(), m.clone(), succ, nr),
+                };
+            }
+            if key < &e1.0 {
+                match delete_node(l, key, removed) {
+                    _ if removed.is_none() => Del::Same(node.clone()),
+                    Del::Same(nl) => {
+                        Del::Same(three(nl, e1.clone(), m.clone(), e2.clone(), r.clone()))
+                    }
+                    Del::Hole(nl) => fix_three(0, nl, e1.clone(), m.clone(), e2.clone(), r.clone()),
+                }
+            } else if key < &e2.0 {
+                match delete_node(m, key, removed) {
+                    _ if removed.is_none() => Del::Same(node.clone()),
+                    Del::Same(nm) => {
+                        Del::Same(three(l.clone(), e1.clone(), nm, e2.clone(), r.clone()))
+                    }
+                    Del::Hole(nm) => fix_three(1, l.clone(), e1.clone(), nm, e2.clone(), r.clone()),
+                }
+            } else {
+                match delete_node(r, key, removed) {
+                    _ if removed.is_none() => Del::Same(node.clone()),
+                    Del::Same(nr) => {
+                        Del::Same(three(l.clone(), e1.clone(), m.clone(), e2.clone(), nr))
+                    }
+                    Del::Hole(nr) => fix_three(2, l.clone(), e1.clone(), m.clone(), e2.clone(), nr),
+                }
+            }
+        }
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> FromIterator<(K, V)> for Tree23<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut t = Tree23::new();
+        for (k, v) in iter {
+            t = t.insert(k, v);
+        }
+        t
+    }
+}
+
+/// In-order iterator over a [`Tree23`]; see [`Tree23::iter`].
+pub struct Iter<'a, K, V> {
+    /// Stack of (node, next child index to descend / entry to emit).
+    stack: Vec<(&'a Node<K, V>, u8)>,
+}
+
+impl<K, V> fmt::Debug for Iter<'_, K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("tree23::Iter")
+    }
+}
+
+impl<'a, K, V> Iter<'a, K, V> {
+    fn push_left(&mut self, mut node: &'a Node<K, V>) {
+        loop {
+            match node {
+                Node::Leaf => return,
+                Node::Two(l, _, _) => {
+                    self.stack.push((node, 0));
+                    node = l;
+                }
+                Node::Three(l, _, _, _, _) => {
+                    self.stack.push((node, 0));
+                    node = l;
+                }
+            }
+        }
+    }
+}
+
+impl<'a, K, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<(&'a K, &'a V)> {
+        let (node, state) = self.stack.pop()?;
+        match (node, state) {
+            (Node::Two(_, e, r), 0) => {
+                // Everything left of e has been emitted; queue r's leftmost
+                // path and emit e now.
+                self.push_left(r);
+                Some((&e.0, &e.1))
+            }
+            (Node::Three(_, e1, m, _, _), 0) => {
+                self.stack.push((node, 1));
+                self.push_left(m);
+                Some((&e1.0, &e1.1))
+            }
+            (Node::Three(_, _, _, e2, r), 1) => {
+                self.push_left(r);
+                Some((&e2.0, &e2.1))
+            }
+            _ => unreachable!("invalid 2-3 iterator state"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn entries(t: &Tree23<i32, i32>) -> Vec<(i32, i32)> {
+        t.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t: Tree23<i32, i32> = Tree23::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.get(&1), None);
+        assert_eq!(t.height(), 0);
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let t: Tree23<i32, i32> = (0..100).map(|i| (i, i * 10)).collect();
+        assert_eq!(t.len(), 100);
+        for i in 0..100 {
+            assert_eq!(t.get(&i), Some(&(i * 10)));
+        }
+        assert_eq!(t.get(&100), None);
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn insert_replaces_value() {
+        let t = Tree23::new().insert(1, "a").insert(1, "b");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&1), Some(&"b"));
+    }
+
+    #[test]
+    fn persistence_across_inserts() {
+        let t1: Tree23<i32, i32> = (0..10).map(|i| (i, i)).collect();
+        let t2 = t1.insert(100, 100);
+        assert_eq!(t1.len(), 10);
+        assert_eq!(t2.len(), 11);
+        assert_eq!(t1.get(&100), None);
+        assert_eq!(t2.get(&100), Some(&100));
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let t: Tree23<i32, i32> = [5, 3, 8, 1, 9, 2, 7].iter().map(|&k| (k, k)).collect();
+        let keys: Vec<i32> = t.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![1, 2, 3, 5, 7, 8, 9]);
+    }
+
+    #[test]
+    fn height_is_logarithmic() {
+        let t: Tree23<i32, i32> = (0..1000).map(|i| (i, i)).collect();
+        // log2(1000) ≈ 10; a 2-3 tree is at most that and at least log3.
+        assert!(t.height() <= 10, "height {}", t.height());
+        assert!(t.height() >= 6, "height {}", t.height());
+    }
+
+    #[test]
+    fn insert_copies_one_path() {
+        let t: Tree23<i32, i32> = (0..1000).map(|i| (i, i)).collect();
+        let (_t2, report) = t.insert_counted(5000, 0);
+        // Path copy: O(height) new nodes, everything else shared.
+        assert!(report.copied as usize <= 2 * t.height() + 2, "{report}");
+        assert!(report.shared > 300, "{report}");
+        assert!(report.copied_fraction() < 0.05, "{report}");
+    }
+
+    #[test]
+    fn min_max() {
+        let t: Tree23<i32, i32> = [4, 2, 9].iter().map(|&k| (k, k)).collect();
+        assert_eq!(t.min(), Some((&2, &2)));
+        assert_eq!(t.max(), Some((&9, &9)));
+        let e: Tree23<i32, i32> = Tree23::new();
+        assert_eq!(e.min(), None);
+        assert_eq!(e.max(), None);
+    }
+
+    #[test]
+    fn remove_missing_is_none() {
+        let t: Tree23<i32, i32> = (0..10).map(|i| (i, i)).collect();
+        assert!(t.remove(&99).is_none());
+        assert_eq!(t.len(), 10);
+    }
+
+    #[test]
+    fn remove_every_element_every_order() {
+        // Remove each key from a small tree, checking invariants each time.
+        for n in 1..30 {
+            let t: Tree23<i32, i32> = (0..n).map(|i| (i, i * 2)).collect();
+            for k in 0..n {
+                let (t2, v) = t.remove(&k).unwrap();
+                assert_eq!(v, k * 2);
+                assert_eq!(t2.len() as i32, n - 1);
+                assert!(t2.check_invariants(), "n={n} k={k}");
+                assert_eq!(t2.get(&k), None);
+                // Old version intact.
+                assert_eq!(t.get(&k), Some(&(k * 2)));
+            }
+        }
+    }
+
+    #[test]
+    fn random_ops_match_btreemap() {
+        // Deterministic pseudo-random mixed workload vs std reference.
+        let mut model = BTreeMap::new();
+        let mut t: Tree23<u32, u32> = Tree23::new();
+        let mut state = 0x12345678u64;
+        let mut rand = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for _ in 0..2000 {
+            let k = rand() % 200;
+            if rand() % 3 == 0 {
+                let removed = t.remove(&k);
+                let expect = model.remove(&k);
+                assert_eq!(removed.as_ref().map(|(_, v)| v), expect.as_ref());
+                if let Some((t2, _)) = removed {
+                    t = t2;
+                }
+            } else {
+                let v = rand();
+                t = t.insert(k, v);
+                model.insert(k, v);
+            }
+        }
+        assert!(t.check_invariants());
+        assert_eq!(t.len(), model.len());
+        let got: Vec<(u32, u32)> = t.iter().map(|(k, v)| (*k, *v)).collect();
+        let want: Vec<(u32, u32)> = model.into_iter().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        let a: Tree23<i32, i32> = [(1, 1), (2, 2)].into_iter().collect();
+        let b: Tree23<i32, i32> = [(2, 2), (1, 1)].into_iter().collect();
+        assert_eq!(a, b);
+        let c = a.insert(3, 3);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn debug_renders_as_map() {
+        let t: Tree23<i32, i32> = [(1, 10)].into_iter().collect();
+        assert_eq!(format!("{t:?}"), "{1: 10}");
+    }
+
+    #[test]
+    fn range_queries() {
+        let t: Tree23<i32, i32> = (0..100).filter(|k| k % 2 == 0).map(|k| (k, k)).collect();
+        let got: Vec<i32> = t.range(&10, &20).iter().map(|(k, _)| **k).collect();
+        assert_eq!(got, vec![10, 12, 14, 16, 18, 20]);
+        // Bounds between keys.
+        let got: Vec<i32> = t.range(&11, &15).iter().map(|(k, _)| **k).collect();
+        assert_eq!(got, vec![12, 14]);
+        // Whole tree.
+        assert_eq!(t.range(&-100, &1000).len(), 50);
+        // Empty and inverted ranges.
+        assert!(t.range(&21, &21).is_empty());
+        assert!(t.range(&20, &10).is_empty());
+        let e: Tree23<i32, i32> = Tree23::new();
+        assert!(e.range(&0, &10).is_empty());
+    }
+
+    #[test]
+    fn range_matches_iter_filter() {
+        let t: Tree23<i32, i32> = (0..200).map(|k| ((k * 7) % 200, k)).collect();
+        for (lo, hi) in [(0, 199), (50, 60), (13, 13), (190, 300), (-5, 5)] {
+            let want: Vec<i32> = t
+                .iter()
+                .filter(|(k, _)| **k >= lo && **k <= hi)
+                .map(|(k, _)| *k)
+                .collect();
+            let got: Vec<i32> = t.range(&lo, &hi).iter().map(|(k, _)| **k).collect();
+            assert_eq!(got, want, "range {lo}..={hi}");
+        }
+    }
+
+    #[test]
+    fn entries_helper_roundtrip() {
+        let t: Tree23<i32, i32> = (0..7).map(|i| (i, i)).collect();
+        assert_eq!(entries(&t), (0..7).map(|i| (i, i)).collect::<Vec<_>>());
+    }
+}

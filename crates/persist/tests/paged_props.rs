@@ -1,0 +1,73 @@
+//! Property tests: the paged store against a plain Vec model, plus
+//! sharing-arithmetic invariants.
+
+use fundb_persist::{PageSharingReport, PagedStore};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u32),
+    Replace(usize, u32),
+}
+
+fn ops() -> impl Strategy<Value = (usize, Vec<Op>)> {
+    (
+        1usize..9, // page capacity
+        prop::collection::vec(
+            prop_oneof![
+                any::<u32>().prop_map(Op::Insert),
+                (any::<usize>(), any::<u32>()).prop_map(|(i, v)| Op::Replace(i, v)),
+            ],
+            0..60,
+        ),
+    )
+}
+
+proptest! {
+    #[test]
+    fn paged_store_matches_vec_model((capacity, ops) in ops()) {
+        let mut store: PagedStore<u32> = PagedStore::new(capacity);
+        let mut model: Vec<u32> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Insert(v) => {
+                    let old = store.clone();
+                    store = store.insert(v);
+                    model.push(v);
+                    // Every full page of the old version is shared.
+                    let report = PageSharingReport::between(&old, &store);
+                    prop_assert_eq!(report.new_pages, 1);
+                    prop_assert!(report.superseded_pages <= 1);
+                }
+                Op::Replace(i, v) => {
+                    let i = if model.is_empty() { 0 } else { i % (model.len() + 1) };
+                    match store.replace(i, v) {
+                        Some(next) => {
+                            prop_assert!(i < model.len());
+                            store = next;
+                            model[i] = v;
+                        }
+                        None => prop_assert!(i >= model.len()),
+                    }
+                }
+            }
+            prop_assert_eq!(store.len(), model.len());
+        }
+        let got: Vec<u32> = store.iter().copied().collect();
+        prop_assert_eq!(got, model.clone());
+        for (i, v) in model.iter().enumerate() {
+            prop_assert_eq!(store.get(i), Some(v));
+        }
+        prop_assert_eq!(store.get(model.len()), None);
+    }
+
+    #[test]
+    fn sharing_report_is_conserved((capacity, n) in (1usize..9, 0usize..80)) {
+        let old: PagedStore<u32> = PagedStore::with_capacity(capacity, 0..n as u32);
+        let new = old.insert(999);
+        let report = PageSharingReport::between(&old, &new);
+        // Shared + new = new version's pages; shared + superseded = old's.
+        prop_assert_eq!(report.shared_pages + report.new_pages, new.page_count());
+        prop_assert_eq!(report.shared_pages + report.superseded_pages, old.page_count());
+    }
+}

@@ -1,0 +1,47 @@
+//! Query parsing errors.
+
+use std::fmt;
+
+/// An error produced while lexing or parsing a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte/character offset (lexer) or token index (parser) near the error.
+    pub position: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    /// An error at the given position.
+    pub fn at(position: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            position,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position_and_message() {
+        let e = ParseError::at(3, "unexpected comma");
+        assert_eq!(e.to_string(), "parse error at 3: unexpected comma");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&ParseError::at(0, "x"));
+    }
+}

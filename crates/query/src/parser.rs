@@ -1,0 +1,544 @@
+//! Recursive-descent parser for the query language.
+
+use fundb_relational::{RelationName, Tuple, Value};
+
+use crate::ast::{AggOp, FieldRef, Predicate, Query, ReprSpec};
+use crate::error::ParseError;
+use crate::token::{lex, Token};
+
+/// Parses one query.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] describing the first offending token.
+///
+/// # Example
+///
+/// ```
+/// use fundb_query::{parse, Query};
+///
+/// let q = parse("find 5 in R")?;
+/// assert_eq!(q.to_string(), "find 5 in R");
+/// # Ok::<(), fundb_query::ParseError>(())
+/// ```
+pub fn parse(input: &str) -> Result<Query, ParseError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    p.expect_end()?;
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError::at(self.pos, message)
+    }
+
+    fn expect_end(&self) -> Result<(), ParseError> {
+        match self.peek() {
+            None => Ok(()),
+            Some(t) => Err(self.err(format!("unexpected trailing input near '{t}'"))),
+        }
+    }
+
+    /// Consumes a keyword (case-insensitive identifier).
+    fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            Some(t) => Err(self.err(format!("expected '{kw}', found '{t}'"))),
+            None => Err(self.err(format!("expected '{kw}', found end of input"))),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn relation_name(&mut self) -> Result<RelationName, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(RelationName::new(&s)),
+            Some(t) => Err(self.err(format!("expected relation name, found '{t}'"))),
+            None => Err(self.err("expected relation name, found end of input")),
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.next() {
+            Some(Token::Int(i)) => Ok(Value::Int(i)),
+            Some(Token::Str(s)) => Ok(Value::from(s.as_str())),
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("true") => Ok(Value::Bool(true)),
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("false") => Ok(Value::Bool(false)),
+            Some(t) => Err(self.err(format!("expected a value, found '{t}'"))),
+            None => Err(self.err("expected a value, found end of input")),
+        }
+    }
+
+    /// `value` or `(value, value, …)`.
+    fn tuple(&mut self) -> Result<Tuple, ParseError> {
+        if self.peek() == Some(&Token::LParen) {
+            self.next();
+            let mut fields = vec![self.value()?];
+            loop {
+                match self.next() {
+                    Some(Token::Comma) => fields.push(self.value()?),
+                    Some(Token::RParen) => break,
+                    Some(t) => return Err(self.err(format!("expected ',' or ')', found '{t}'"))),
+                    None => return Err(self.err("unterminated tuple")),
+                }
+            }
+            Ok(Tuple::new(fields))
+        } else {
+            Ok(Tuple::new(vec![self.value()?]))
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        let head = match self.peek() {
+            Some(Token::Ident(s)) => s.to_ascii_lowercase(),
+            Some(t) => return Err(self.err(format!("expected a query keyword, found '{t}'"))),
+            None => return Err(self.err("empty query")),
+        };
+        match head.as_str() {
+            "insert" => {
+                self.next();
+                let tuple = self.tuple()?;
+                self.keyword("into")?;
+                let relation = self.relation_name()?;
+                Ok(Query::Insert { relation, tuple })
+            }
+            "find" => {
+                self.next();
+                let key = self.value()?;
+                if self.peek_keyword("to") {
+                    self.next();
+                    let hi = self.value()?;
+                    self.keyword("in")?;
+                    let relation = self.relation_name()?;
+                    Ok(Query::FindRange {
+                        relation,
+                        lo: key,
+                        hi,
+                    })
+                } else {
+                    self.keyword("in")?;
+                    let relation = self.relation_name()?;
+                    Ok(Query::Find { relation, key })
+                }
+            }
+            "delete" => {
+                self.next();
+                let key = self.value()?;
+                self.keyword("from")?;
+                let relation = self.relation_name()?;
+                Ok(Query::Delete { relation, key })
+            }
+            "replace" => {
+                self.next();
+                let tuple = self.tuple()?;
+                self.keyword("in")?;
+                let relation = self.relation_name()?;
+                Ok(Query::Replace { relation, tuple })
+            }
+            "select" => {
+                self.next();
+                let projection = if self.peek_keyword("from") {
+                    None
+                } else {
+                    let mut fields = vec![self.field_ref()?];
+                    while self.peek() == Some(&Token::Comma) {
+                        self.next();
+                        fields.push(self.field_ref()?);
+                    }
+                    Some(fields)
+                };
+                self.keyword("from")?;
+                let relation = self.relation_name()?;
+                let predicate = if self.peek_keyword("where") {
+                    self.next();
+                    Some(self.predicate()?)
+                } else {
+                    None
+                };
+                Ok(Query::Select {
+                    relation,
+                    projection,
+                    predicate,
+                })
+            }
+            "create" => {
+                self.next();
+                self.keyword("relation")?;
+                let relation = self.relation_name()?;
+                let schema = if self.peek() == Some(&Token::LParen) {
+                    self.next();
+                    let mut attrs = vec![self.attr_name()?];
+                    loop {
+                        match self.next() {
+                            Some(Token::Comma) => attrs.push(self.attr_name()?),
+                            Some(Token::RParen) => break,
+                            Some(t) => {
+                                return Err(
+                                    self.err(format!("expected ',' or ')', found '{t}'"))
+                                )
+                            }
+                            None => return Err(self.err("unterminated attribute list")),
+                        }
+                    }
+                    Some(attrs)
+                } else {
+                    None
+                };
+                let repr = if self.peek_keyword("as") {
+                    self.next();
+                    self.repr_spec()?
+                } else {
+                    ReprSpec::List
+                };
+                Ok(Query::Create {
+                    relation,
+                    schema,
+                    repr,
+                })
+            }
+            "count" => {
+                self.next();
+                let relation = self.relation_name()?;
+                Ok(Query::Count { relation })
+            }
+            "sum" | "min" | "max" => {
+                let op = match head.as_str() {
+                    "sum" => AggOp::Sum,
+                    "min" => AggOp::Min,
+                    _ => AggOp::Max,
+                };
+                self.next();
+                let field = self.field_ref()?;
+                self.keyword("of")?;
+                let relation = self.relation_name()?;
+                Ok(Query::Aggregate {
+                    relation,
+                    op,
+                    field,
+                })
+            }
+            "join" => {
+                self.next();
+                let left = self.relation_name()?;
+                self.keyword("with")?;
+                let right = self.relation_name()?;
+                Ok(Query::Join { left, right })
+            }
+            "relations" => {
+                self.next();
+                Ok(Query::Names)
+            }
+            other => Err(self.err(format!("unknown query keyword '{other}'"))),
+        }
+    }
+
+    fn repr_spec(&mut self) -> Result<ReprSpec, ParseError> {
+        let name = match self.next() {
+            Some(Token::Ident(s)) => s.to_ascii_lowercase(),
+            Some(t) => return Err(self.err(format!("expected representation, found '{t}'"))),
+            None => return Err(self.err("expected representation, found end of input")),
+        };
+        match name.as_str() {
+            "list" => Ok(ReprSpec::List),
+            "tree" => Ok(ReprSpec::Tree),
+            "btree" => Ok(ReprSpec::BTree(self.paren_usize("minimum degree", 2)?)),
+            "paged" => Ok(ReprSpec::Paged(self.paren_usize("page capacity", 1)?)),
+            other => Err(self.err(format!("unknown representation '{other}'"))),
+        }
+    }
+
+    /// Parses `(n)` with `n >= min`.
+    fn paren_usize(&mut self, what: &str, min: usize) -> Result<usize, ParseError> {
+        match self.next() {
+            Some(Token::LParen) => {}
+            _ => return Err(self.err(format!("expected '(' before {what}"))),
+        }
+        let n = match self.next() {
+            Some(Token::Int(i)) if i >= min as i64 => i as usize,
+            Some(Token::Int(i)) => {
+                return Err(self.err(format!("{what} must be at least {min}, got {i}")))
+            }
+            _ => return Err(self.err(format!("expected {what} as an integer"))),
+        };
+        match self.next() {
+            Some(Token::RParen) => Ok(n),
+            _ => Err(self.err(format!("expected ')' after {what}"))),
+        }
+    }
+
+    /// `#INT` or a bare attribute name.
+    fn field_ref(&mut self) -> Result<FieldRef, ParseError> {
+        match self.peek() {
+            Some(Token::Hash) => {
+                self.next();
+                match self.next() {
+                    Some(Token::Int(i)) if i >= 0 => Ok(FieldRef::Index(i as usize)),
+                    _ => Err(self.err("expected a field index after '#'")),
+                }
+            }
+            Some(Token::Ident(_)) => {
+                let Some(Token::Ident(name)) = self.next() else {
+                    unreachable!("peeked an identifier");
+                };
+                Ok(FieldRef::Name(name))
+            }
+            Some(t) => Err(self.err(format!("expected '#i' or attribute name, found '{t}'"))),
+            None => Err(self.err("expected a field reference, found end of input")),
+        }
+    }
+
+    fn attr_name(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            Some(t) => Err(self.err(format!("expected attribute name, found '{t}'"))),
+            None => Err(self.err("expected attribute name, found end of input")),
+        }
+    }
+
+    /// `pred := conj { "or" conj }`
+    fn predicate(&mut self) -> Result<Predicate, ParseError> {
+        let mut left = self.conjunction()?;
+        while self.peek_keyword("or") {
+            self.next();
+            let right = self.conjunction()?;
+            left = Predicate::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    /// `conj := atom { "and" atom }`
+    fn conjunction(&mut self) -> Result<Predicate, ParseError> {
+        let mut left = self.atom()?;
+        while self.peek_keyword("and") {
+            self.next();
+            let right = self.atom()?;
+            left = Predicate::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    /// `atom := field op value | "(" pred ")"` where `field` is `#INT` or
+    /// an attribute name.
+    fn atom(&mut self) -> Result<Predicate, ParseError> {
+        match self.peek() {
+            Some(Token::LParen) => {
+                self.next();
+                let p = self.predicate()?;
+                match self.next() {
+                    Some(Token::RParen) => Ok(p),
+                    _ => Err(self.err("expected ')' closing predicate group")),
+                }
+            }
+            Some(Token::Hash) | Some(Token::Ident(_)) => {
+                let field = self.field_ref()?;
+                let op = self.next();
+                let value = self.value()?;
+                match op {
+                    Some(Token::Eq) => Ok(Predicate::FieldEq(field, value)),
+                    Some(Token::Neq) => Ok(Predicate::FieldNe(field, value)),
+                    Some(Token::Lt) => Ok(Predicate::FieldLt(field, value)),
+                    Some(Token::Gt) => Ok(Predicate::FieldGt(field, value)),
+                    Some(t) => Err(self.err(format!("expected comparison operator, found '{t}'"))),
+                    None => Err(self.err("expected comparison operator")),
+                }
+            }
+            Some(t) => Err(self.err(format!("expected a field or '(', found '{t}'"))),
+            None => Err(self.err("expected predicate, found end of input")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_transactions() {
+        // The exact transaction mix of Figure 2-3.
+        for q in [
+            "insert x into R",
+            "insert z into S",
+            "find x in R",
+            "insert y into S",
+            "find z in S",
+        ] {
+            // `x`, `y`, `z` are identifiers, not values, in our stricter
+            // grammar; the paper's symbolic data maps to strings.
+            let q = q
+                .replace(" x ", " 'x' ")
+                .replace(" y ", " 'y' ")
+                .replace(" z ", " 'z' ");
+            assert!(parse(&q).is_ok(), "{q}");
+        }
+    }
+
+    #[test]
+    fn insert_forms() {
+        let q = parse("insert 5 into R").unwrap();
+        assert_eq!(q.to_string(), "insert (5) into R");
+        let q = parse("insert (1, 'ada', true) into Emp").unwrap();
+        assert_eq!(q.to_string(), "insert (1, 'ada', true) into Emp");
+    }
+
+    #[test]
+    fn find_range_forms() {
+        assert_eq!(
+            parse("find 3 to 9 in R").unwrap().to_string(),
+            "find 3 to 9 in R"
+        );
+        assert_eq!(
+            parse("find 'a' to 'z' in Names").unwrap().to_string(),
+            "find 'a' to 'z' in Names"
+        );
+        assert!(parse("find 3 to in R").is_err());
+        assert!(parse("find 3 to 9 R").is_err());
+    }
+
+    #[test]
+    fn find_delete_replace() {
+        assert_eq!(parse("find 5 in R").unwrap().to_string(), "find 5 in R");
+        assert_eq!(
+            parse("delete 'k' from S").unwrap().to_string(),
+            "delete 'k' from S"
+        );
+        assert_eq!(
+            parse("replace (1, 'b') in R").unwrap().to_string(),
+            "replace (1, 'b') in R"
+        );
+    }
+
+    #[test]
+    fn select_with_predicates() {
+        let q = parse("select from R").unwrap();
+        assert_eq!(q.to_string(), "select from R");
+        let q = parse("select from R where #0 = 1 and #1 < 'm' or #2 != true").unwrap();
+        // `and` binds tighter than `or`.
+        assert_eq!(
+            q.to_string(),
+            "select from R where ((#0 = 1 and #1 < 'm') or #2 != true)"
+        );
+        let q = parse("select from R where #0 = 1 and (#1 < 'm' or #2 > 3)").unwrap();
+        assert_eq!(
+            q.to_string(),
+            "select from R where (#0 = 1 and (#1 < 'm' or #2 > 3))"
+        );
+    }
+
+    #[test]
+    fn create_variants() {
+        assert_eq!(
+            parse("create relation R").unwrap(),
+            Query::Create {
+                relation: "R".into(),
+                schema: None,
+                repr: ReprSpec::List
+            }
+        );
+        assert_eq!(
+            parse("create relation R as tree").unwrap().to_string(),
+            "create relation R as tree"
+        );
+        assert_eq!(
+            parse("create relation R as btree(8)").unwrap().to_string(),
+            "create relation R as btree(8)"
+        );
+        assert_eq!(
+            parse("create relation R as paged(16)").unwrap().to_string(),
+            "create relation R as paged(16)"
+        );
+    }
+
+    #[test]
+    fn aggregate_forms() {
+        assert_eq!(parse("sum #1 of R").unwrap().to_string(), "sum #1 of R");
+        assert_eq!(
+            parse("min salary of Emp").unwrap().to_string(),
+            "min salary of Emp"
+        );
+        assert_eq!(parse("max #0 of R").unwrap().to_string(), "max #0 of R");
+        assert!(parse("sum of R").is_err());
+        assert!(parse("sum #1 R").is_err());
+    }
+
+    #[test]
+    fn join_form() {
+        assert_eq!(parse("join R with S").unwrap().to_string(), "join R with S");
+        assert!(parse("join R S").is_err());
+        assert!(parse("join R with").is_err());
+    }
+
+    #[test]
+    fn count_and_names() {
+        assert_eq!(
+            parse("count R").unwrap(),
+            Query::Count {
+                relation: "R".into()
+            }
+        );
+        assert_eq!(parse("relations").unwrap(), Query::Names);
+        assert_eq!(parse("RELATIONS").unwrap(), Query::Names);
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert!(parse("INSERT 1 INTO R").is_ok());
+        assert!(parse("Find 1 In R").is_ok());
+    }
+
+    #[test]
+    fn booleans_as_values() {
+        let q = parse("insert (1, true, false) into R").unwrap();
+        assert_eq!(q.to_string(), "insert (1, true, false) into R");
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "",
+            "insert into R",
+            "insert 1 R",
+            "find in R",
+            "frobnicate R",
+            "select R",
+            "select from R where",
+            "select from R where #x = 1",
+            "select from R where #0 ~ 1",
+            "create relation R as btree(1)",
+            "create relation R as paged(0)",
+            "create relation R as hashmap",
+            "insert (1,) into R",
+            "insert (1 into R",
+            "find 1 in R extra",
+        ] {
+            assert!(parse(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn error_positions_monotone() {
+        let e = parse("find 1 in R trailing").unwrap_err();
+        assert!(e.position >= 4, "{e}");
+        assert!(e.to_string().contains("trailing"));
+    }
+}

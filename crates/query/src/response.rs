@@ -1,0 +1,167 @@
+//! Transaction responses.
+
+use std::fmt;
+
+use fundb_relational::{RelationName, Tuple};
+
+/// What a transaction reports back to its submitting user.
+///
+/// "Each transaction produces some response which is returned to the user."
+/// (Section 2.1.) Responses travel back through the same tagged routing that
+/// brought the query in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// A tuple was inserted.
+    Inserted {
+        /// Target relation.
+        relation: RelationName,
+        /// The inserted tuple.
+        tuple: Tuple,
+    },
+    /// Result of a `find` or `select`.
+    Tuples(Vec<Tuple>),
+    /// Tuples removed by a `delete` (or displaced by a `replace`).
+    Deleted(usize),
+    /// A relation was created.
+    Created(RelationName),
+    /// Result of a `count`.
+    Count(usize),
+    /// Result of an aggregate (`None` for an empty relation).
+    Aggregate {
+        /// The operation that ran (for display).
+        op: String,
+        /// The aggregated value.
+        value: Option<fundb_relational::Value>,
+    },
+    /// The relation names in the database.
+    Names(Vec<RelationName>),
+    /// The transaction failed; the database is returned unchanged.
+    Error(String),
+}
+
+impl Response {
+    /// `true` for [`Response::Error`].
+    pub fn is_error(&self) -> bool {
+        matches!(self, Response::Error(_))
+    }
+
+    /// The tuples carried by this response, if it carries any.
+    pub fn tuples(&self) -> Option<&[Tuple]> {
+        match self {
+            Response::Tuples(ts) => Some(ts),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Response {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Response::Inserted { relation, tuple } => {
+                write!(f, "inserted {tuple} into {relation}")
+            }
+            Response::Tuples(ts) => {
+                write!(
+                    f,
+                    "found {} tuple{}",
+                    ts.len(),
+                    if ts.len() == 1 { "" } else { "s" }
+                )?;
+                if !ts.is_empty() {
+                    write!(f, ": ")?;
+                    for (i, t) in ts.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{t}")?;
+                    }
+                }
+                Ok(())
+            }
+            Response::Deleted(n) => write!(f, "deleted {n}"),
+            Response::Created(r) => write!(f, "created relation {r}"),
+            Response::Count(n) => write!(f, "count {n}"),
+            Response::Aggregate { op, value } => match value {
+                Some(v) => write!(f, "{op} = {v}"),
+                None => write!(f, "{op} = none (empty relation)"),
+            },
+            Response::Names(names) => {
+                write!(f, "relations:")?;
+                for n in names {
+                    write!(f, " {n}")?;
+                }
+                Ok(())
+            }
+            Response::Error(msg) => write!(f, "error: {msg}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let t = Tuple::new(vec![1.into(), "a".into()]);
+        assert_eq!(
+            Response::Inserted {
+                relation: "R".into(),
+                tuple: t.clone()
+            }
+            .to_string(),
+            "inserted (1, 'a') into R"
+        );
+        assert_eq!(Response::Tuples(vec![]).to_string(), "found 0 tuples");
+        assert_eq!(
+            Response::Tuples(vec![t.clone()]).to_string(),
+            "found 1 tuple: (1, 'a')"
+        );
+        assert_eq!(
+            Response::Tuples(vec![t.clone(), t]).to_string(),
+            "found 2 tuples: (1, 'a'), (1, 'a')"
+        );
+        assert_eq!(Response::Deleted(2).to_string(), "deleted 2");
+        assert_eq!(
+            Response::Created("R".into()).to_string(),
+            "created relation R"
+        );
+        assert_eq!(Response::Count(5).to_string(), "count 5");
+        assert_eq!(
+            Response::Names(vec!["R".into(), "S".into()]).to_string(),
+            "relations: R S"
+        );
+        assert_eq!(
+            Response::Error("boom".into()).to_string(),
+            "error: boom"
+        );
+    }
+
+    #[test]
+    fn aggregate_display() {
+        assert_eq!(
+            Response::Aggregate {
+                op: "sum".into(),
+                value: Some(60.into())
+            }
+            .to_string(),
+            "sum = 60"
+        );
+        assert_eq!(
+            Response::Aggregate {
+                op: "min".into(),
+                value: None
+            }
+            .to_string(),
+            "min = none (empty relation)"
+        );
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Response::Error("x".into()).is_error());
+        assert!(!Response::Count(0).is_error());
+        assert!(Response::Tuples(vec![]).tuples().is_some());
+        assert!(Response::Count(0).tuples().is_none());
+    }
+}

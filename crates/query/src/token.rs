@@ -1,0 +1,269 @@
+//! Lexical analysis of the query language.
+
+use std::fmt;
+
+use crate::error::ParseError;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// A bare identifier or keyword (keywords are case-insensitive and
+    /// resolved by the parser).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A single-quoted string literal (quotes stripped, `''` escapes one
+    /// quote).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `#`
+    Hash,
+    /// `=`
+    Eq,
+    /// `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::LParen => f.write_str("("),
+            Token::RParen => f.write_str(")"),
+            Token::Comma => f.write_str(","),
+            Token::Hash => f.write_str("#"),
+            Token::Eq => f.write_str("="),
+            Token::Neq => f.write_str("!="),
+            Token::Lt => f.write_str("<"),
+            Token::Gt => f.write_str(">"),
+        }
+    }
+}
+
+/// Tokenizes a query string.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on unterminated strings, malformed numbers, or
+/// characters outside the language.
+pub fn lex(input: &str) -> Result<Vec<Token>, ParseError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '#' => {
+                out.push(Token::Hash);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '<' => {
+                out.push(Token::Lt);
+                i += 1;
+            }
+            '>' => {
+                out.push(Token::Gt);
+                i += 1;
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Neq);
+                    i += 2;
+                } else {
+                    return Err(ParseError::at(i, "expected '=' after '!'"));
+                }
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match chars.get(i) {
+                        None => return Err(ParseError::at(start, "unterminated string literal")),
+                        Some('\'') => {
+                            // '' escapes a single quote.
+                            if chars.get(i + 1) == Some(&'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(ch) => {
+                            s.push(*ch);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                let mut s = String::new();
+                if c == '-' {
+                    s.push('-');
+                    i += 1;
+                }
+                let mut saw_digit = false;
+                while let Some(d) = chars.get(i) {
+                    if d.is_ascii_digit() {
+                        s.push(*d);
+                        saw_digit = true;
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if !saw_digit {
+                    return Err(ParseError::at(start, "expected digits after '-'"));
+                }
+                let n: i64 = s
+                    .parse()
+                    .map_err(|_| ParseError::at(start, "integer literal out of range"))?;
+                out.push(Token::Int(n));
+            }
+            _ if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(ch) = chars.get(i) {
+                    if ch.is_alphanumeric() || *ch == '_' {
+                        s.push(*ch);
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Ident(s));
+            }
+            _ => {
+                return Err(ParseError::at(i, format!("unexpected character '{c}'")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_the_paper_examples() {
+        assert_eq!(
+            lex("insert x into R").unwrap(),
+            vec![
+                Token::Ident("insert".into()),
+                Token::Ident("x".into()),
+                Token::Ident("into".into()),
+                Token::Ident("R".into()),
+            ]
+        );
+        assert_eq!(
+            lex("find 5 in R").unwrap(),
+            vec![
+                Token::Ident("find".into()),
+                Token::Int(5),
+                Token::Ident("in".into()),
+                Token::Ident("R".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_tuples_and_strings() {
+        assert_eq!(
+            lex("(1, 'ada')").unwrap(),
+            vec![
+                Token::LParen,
+                Token::Int(1),
+                Token::Comma,
+                Token::Str("ada".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(lex("'o''brien'").unwrap(), vec![Token::Str("o'brien".into())]);
+        assert_eq!(lex("''").unwrap(), vec![Token::Str(String::new())]);
+    }
+
+    #[test]
+    fn negative_numbers() {
+        assert_eq!(lex("-42").unwrap(), vec![Token::Int(-42)]);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            lex("#0 = 1 != < >").unwrap(),
+            vec![
+                Token::Hash,
+                Token::Int(0),
+                Token::Eq,
+                Token::Int(1),
+                Token::Neq,
+                Token::Lt,
+                Token::Gt,
+            ]
+        );
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(lex("'oops").is_err());
+        assert!(lex("!x").is_err());
+        assert!(lex("-").is_err());
+        assert!(lex("%").is_err());
+    }
+
+    #[test]
+    fn whitespace_flexibility() {
+        assert_eq!(lex("  find\t1\nin  R ").unwrap().len(), 4);
+        assert_eq!(lex("").unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn token_display_round_trips_symbols() {
+        for (t, s) in [
+            (Token::LParen, "("),
+            (Token::Eq, "="),
+            (Token::Neq, "!="),
+            (Token::Hash, "#"),
+        ] {
+            assert_eq!(t.to_string(), s);
+        }
+        assert_eq!(Token::Str("a".into()).to_string(), "'a'");
+    }
+}

@@ -1,0 +1,405 @@
+//! `translate : queries -> transactions`.
+//!
+//! "`translate` must parse the query and produce a function which is the
+//! transaction itself. Here is where a language capability for
+//! 'higher-order' (or function-producing) functions is very useful."
+//! (Section 2.1.) In Rust the produced function is a shared closure over
+//! the parsed AST; applying it to a database yields `(response, database')`
+//! without touching the input value.
+
+use std::fmt;
+use std::sync::Arc;
+
+use fundb_relational::{Database, RelationName};
+
+use crate::ast::{apply_select, compute_aggregate, Query};
+use crate::response::Response;
+
+type TransactionFn = dyn Fn(&Database) -> (Response, Database) + Send + Sync;
+
+/// A transaction: a pure function `database -> (response, database)`,
+/// packaged with the read/write sets derived from its source query.
+///
+/// Cloning is O(1); transactions are freely shared between threads, streams
+/// and simulator passes.
+///
+/// # Example
+///
+/// ```
+/// use fundb_query::{parse, translate};
+/// use fundb_relational::{Database, Repr};
+///
+/// let db = Database::empty().create_relation("R", Repr::List)?;
+/// let tx = translate(parse("insert 7 into R")?);
+/// let (_resp, db2) = tx.apply(&db);
+/// assert_eq!(db.tuple_count(), 0);  // input version untouched
+/// assert_eq!(db2.tuple_count(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone)]
+pub struct Transaction {
+    func: Arc<TransactionFn>,
+    query: Query,
+    reads: Arc<[RelationName]>,
+    writes: Arc<[RelationName]>,
+}
+
+impl fmt::Debug for Transaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Transaction[{}]", self.query)
+    }
+}
+
+impl fmt::Display for Transaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.query)
+    }
+}
+
+impl Transaction {
+    /// Applies the transaction, producing the response and the successor
+    /// database version. The input database is not modified (it cannot be:
+    /// it is immutable); failed transactions return it as the successor.
+    pub fn apply(&self, db: &Database) -> (Response, Database) {
+        (self.func)(db)
+    }
+
+    /// The source query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// Relations the transaction reads (syntactically derived).
+    pub fn reads(&self) -> &[RelationName] {
+        &self.reads
+    }
+
+    /// Relations the transaction writes (syntactically derived).
+    pub fn writes(&self) -> &[RelationName] {
+        &self.writes
+    }
+
+    /// `true` if the transaction returns its argument database unchanged.
+    pub fn is_read_only(&self) -> bool {
+        self.writes.is_empty()
+    }
+}
+
+/// Produces the transaction function for a query — the paper's `translate`.
+pub fn translate(query: Query) -> Transaction {
+    let reads: Arc<[RelationName]> = query.reads().into();
+    let writes: Arc<[RelationName]> = query.writes().into();
+    let q = query.clone();
+    let func: Arc<TransactionFn> = match query.clone() {
+        Query::Insert { relation, tuple } => Arc::new(move |db| {
+            match db.insert(&relation, tuple.clone()) {
+                Ok((db2, _report)) => (
+                    Response::Inserted {
+                        relation: relation.clone(),
+                        tuple: tuple.clone(),
+                    },
+                    db2,
+                ),
+                Err(e) => (Response::Error(e.to_string()), db.clone()),
+            }
+        }),
+        Query::Find { relation, key } => Arc::new(move |db| {
+            match db.find(&relation, &key) {
+                Ok(tuples) => (Response::Tuples(tuples), db.clone()),
+                Err(e) => (Response::Error(e.to_string()), db.clone()),
+            }
+        }),
+        Query::FindRange { relation, lo, hi } => Arc::new(move |db| {
+            match db.find_range(&relation, &lo, &hi) {
+                Ok(tuples) => (Response::Tuples(tuples), db.clone()),
+                Err(e) => (Response::Error(e.to_string()), db.clone()),
+            }
+        }),
+        Query::Delete { relation, key } => Arc::new(move |db| {
+            match db.delete(&relation, &key) {
+                Ok((db2, removed)) => (Response::Deleted(removed.len()), db2),
+                Err(e) => (Response::Error(e.to_string()), db.clone()),
+            }
+        }),
+        Query::Replace { relation, tuple } => Arc::new(move |db| {
+            let key = tuple.key().clone();
+            match db.delete(&relation, &key) {
+                Ok((db2, _removed)) => match db2.insert(&relation, tuple.clone()) {
+                    Ok((db3, _)) => (
+                        Response::Inserted {
+                            relation: relation.clone(),
+                            tuple: tuple.clone(),
+                        },
+                        db3,
+                    ),
+                    Err(e) => (Response::Error(e.to_string()), db.clone()),
+                },
+                Err(e) => (Response::Error(e.to_string()), db.clone()),
+            }
+        }),
+        Query::Select {
+            relation,
+            projection,
+            predicate,
+        } => Arc::new(move |db| {
+            let rel = match db.relation(&relation) {
+                Ok(rel) => rel,
+                Err(e) => return (Response::Error(e.to_string()), db.clone()),
+            };
+            let schema = db.schema(&relation).ok().flatten();
+            match apply_select(rel.scan(), schema, &projection, &predicate) {
+                Ok(tuples) => (Response::Tuples(tuples), db.clone()),
+                Err(e) => (Response::Error(e), db.clone()),
+            }
+        }),
+        Query::Create {
+            relation,
+            schema,
+            repr,
+        } => Arc::new(move |db| {
+            let parsed_schema = match &schema {
+                None => None,
+                Some(attrs) => match fundb_relational::Schema::new(attrs) {
+                    Ok(s) => Some(s),
+                    Err(e) => return (Response::Error(e.to_string()), db.clone()),
+                },
+            };
+            match db.create_relation_with_schema(
+                relation.clone(),
+                repr.to_repr(),
+                parsed_schema,
+            ) {
+                Ok(db2) => (Response::Created(relation.clone()), db2),
+                Err(e) => (Response::Error(e.to_string()), db.clone()),
+            }
+        }),
+        Query::Join { left, right } => Arc::new(move |db| {
+            match db.join(&left, &right) {
+                Ok(tuples) => (Response::Tuples(tuples), db.clone()),
+                Err(e) => (Response::Error(e.to_string()), db.clone()),
+            }
+        }),
+        Query::Count { relation } => Arc::new(move |db| {
+            match db.relation(&relation) {
+                Ok(rel) => (Response::Count(rel.len()), db.clone()),
+                Err(e) => (Response::Error(e.to_string()), db.clone()),
+            }
+        }),
+        Query::Aggregate {
+            relation,
+            op,
+            field,
+        } => Arc::new(move |db| {
+            let rel = match db.relation(&relation) {
+                Ok(rel) => rel,
+                Err(e) => return (Response::Error(e.to_string()), db.clone()),
+            };
+            let schema = db.schema(&relation).ok().flatten();
+            match compute_aggregate(&rel.scan(), schema, op, &field) {
+                Ok(value) => (
+                    Response::Aggregate {
+                        op: op.to_string(),
+                        value,
+                    },
+                    db.clone(),
+                ),
+                Err(e) => (Response::Error(e), db.clone()),
+            }
+        }),
+        Query::Names => Arc::new(move |db| (Response::Names(db.relation_names()), db.clone())),
+    };
+    Transaction {
+        func,
+        query: q,
+        reads,
+        writes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use fundb_relational::{Repr, Tuple};
+
+    fn db() -> Database {
+        Database::empty()
+            .create_relation("R", Repr::List)
+            .unwrap()
+            .create_relation("S", Repr::List)
+            .unwrap()
+    }
+
+    fn run(db: &Database, q: &str) -> (Response, Database) {
+        translate(parse(q).unwrap()).apply(db)
+    }
+
+    #[test]
+    fn insert_then_find() {
+        let d0 = db();
+        let (r, d1) = run(&d0, "insert (1, 'ada') into R");
+        assert_eq!(r.to_string(), "inserted (1, 'ada') into R");
+        let (r, d2) = run(&d1, "find 1 in R");
+        assert_eq!(r.tuples().unwrap().len(), 1);
+        // Read-only: successor database is the same value.
+        assert_eq!(d2.tuple_count(), d1.tuple_count());
+        // And d0 is untouched.
+        assert_eq!(d0.tuple_count(), 0);
+    }
+
+    #[test]
+    fn find_on_missing_relation_is_error_not_panic() {
+        let (r, d1) = run(&db(), "find 1 in Nope");
+        assert!(r.is_error());
+        assert_eq!(d1.tuple_count(), 0);
+    }
+
+    #[test]
+    fn delete_and_replace() {
+        let d = db();
+        let (_, d) = run(&d, "insert (1, 'a') into R");
+        let (_, d) = run(&d, "insert (1, 'b') into R");
+        let (r, d) = run(&d, "delete 1 from R");
+        assert_eq!(r, Response::Deleted(2));
+        assert_eq!(d.tuple_count(), 0);
+
+        let (_, d) = run(&d, "insert (2, 'x') into R");
+        let (r, d) = run(&d, "replace (2, 'y') in R");
+        assert!(!r.is_error());
+        let (r, _) = run(&d, "find 2 in R");
+        let tuples = r.tuples().unwrap();
+        assert_eq!(tuples.len(), 1);
+        assert_eq!(tuples[0].get(1).unwrap().as_str(), Some("y"));
+    }
+
+    #[test]
+    fn find_range_end_to_end() {
+        let d = db();
+        let mut d = d;
+        for k in [1, 3, 5, 7, 9] {
+            let (_, next) = run(&d, &format!("insert {k} into R"));
+            d = next;
+        }
+        let (r, _) = run(&d, "find 3 to 7 in R");
+        let keys: Vec<i64> = r
+            .tuples()
+            .unwrap()
+            .iter()
+            .map(|t| t.key().as_int().unwrap())
+            .collect();
+        assert_eq!(keys, vec![3, 5, 7]);
+        let (r, _) = run(&d, "find 3 to 7 in Nope");
+        assert!(r.is_error());
+    }
+
+    #[test]
+    fn select_where() {
+        let d = db();
+        let (_, d) = run(&d, "insert (1, 'a') into R");
+        let (_, d) = run(&d, "insert (2, 'b') into R");
+        let (_, d) = run(&d, "insert (3, 'c') into R");
+        let (r, _) = run(&d, "select from R where #0 > 1 and #1 != 'c'");
+        assert_eq!(r.tuples().unwrap().len(), 1);
+        let (r, _) = run(&d, "select from R");
+        assert_eq!(r.tuples().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn aggregates_end_to_end() {
+        let d = db();
+        let (_, d) = run(&d, "insert (1, 10) into R");
+        let (_, d) = run(&d, "insert (2, 30) into R");
+        let (r, _) = run(&d, "sum #1 of R");
+        assert_eq!(r.to_string(), "sum = 40");
+        let (r, _) = run(&d, "min #0 of R");
+        assert_eq!(r.to_string(), "min = 1");
+        let (r, _) = run(&d, "max #1 of S");
+        assert_eq!(r.to_string(), "max = none (empty relation)");
+        let (r, _) = run(&d, "sum #1 of Nope");
+        assert!(r.is_error());
+    }
+
+    #[test]
+    fn join_end_to_end() {
+        let d = db();
+        let (_, d) = run(&d, "insert (1, 'ada') into R");
+        let (_, d) = run(&d, "insert (2, 'bob') into R");
+        let (_, d) = run(&d, "insert (2, 'eng') into S");
+        let (r, _) = run(&d, "join R with S");
+        let tuples = r.tuples().unwrap();
+        assert_eq!(tuples.len(), 1);
+        assert_eq!(tuples[0].as_slice().len(), 3);
+        assert_eq!(tuples[0].get(1).unwrap().as_str(), Some("bob"));
+        assert_eq!(tuples[0].get(2).unwrap().as_str(), Some("eng"));
+        let (r, _) = run(&d, "join R with Nope");
+        assert!(r.is_error());
+    }
+
+    #[test]
+    fn create_count_names() {
+        let d = Database::empty();
+        let (r, d) = run(&d, "create relation Emp as tree");
+        assert_eq!(r, Response::Created("Emp".into()));
+        let (r, d) = run(&d, "create relation Emp");
+        assert!(r.is_error(), "duplicate create must fail");
+        let (_, d) = run(&d, "insert 1 into Emp");
+        let (r, d) = run(&d, "count Emp");
+        assert_eq!(r, Response::Count(1));
+        let (r, _) = run(&d, "relations");
+        assert_eq!(r, Response::Names(vec!["Emp".into()]));
+    }
+
+    #[test]
+    fn read_write_sets_exposed() {
+        let tx = translate(parse("insert 1 into R").unwrap());
+        assert_eq!(tx.writes(), &[RelationName::from("R")]);
+        assert!(!tx.is_read_only());
+        let tx = translate(parse("find 1 in R").unwrap());
+        assert_eq!(tx.reads(), &[RelationName::from("R")]);
+        assert!(tx.is_read_only());
+    }
+
+    #[test]
+    fn failed_transaction_returns_input_db() {
+        let d = db();
+        let (_, d1) = run(&d, "insert 1 into R");
+        let (r, d2) = run(&d1, "insert 1 into Missing");
+        assert!(r.is_error());
+        assert_eq!(d2.tuple_count(), d1.tuple_count());
+    }
+
+    #[test]
+    fn transaction_debug_and_display() {
+        let tx = translate(parse("count R").unwrap());
+        assert_eq!(format!("{tx:?}"), "Transaction[count R]");
+        assert_eq!(tx.to_string(), "count R");
+        assert_eq!(tx.query().to_string(), "count R");
+    }
+
+    #[test]
+    fn transactions_are_reusable_values() {
+        // The same transaction applied to different versions gives
+        // independent results — it is a function, not a cursor.
+        let tx = translate(parse("insert 9 into R").unwrap());
+        let d0 = db();
+        let (_, d1) = tx.apply(&d0);
+        let (_, d2) = tx.apply(&d1);
+        assert_eq!(d1.tuple_count(), 1);
+        assert_eq!(d2.tuple_count(), 2);
+        let (_, d1b) = tx.apply(&d0);
+        assert_eq!(d1b.tuple_count(), 1);
+    }
+
+    #[test]
+    fn tuple_key_semantics() {
+        let d = db();
+        let t = Tuple::new(vec![5.into(), "x".into()]);
+        let (_, d) = translate(Query::Insert {
+            relation: "S".into(),
+            tuple: t,
+        })
+        .apply(&d);
+        let (r, _) = run(&d, "find 5 in S");
+        assert_eq!(r.tuples().unwrap().len(), 1);
+    }
+}

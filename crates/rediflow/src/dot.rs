@@ -1,0 +1,161 @@
+//! Graph export: DOT and ASCII ply tables.
+//!
+//! Used by the `repro` harness to regenerate the paper's graphical figures
+//! (the apply-stream wiring of Figure 2-1 and the stream decomposition of
+//! Figure 2-3) from real task graphs.
+
+use std::fmt::Write as _;
+
+use crate::graph::TaskGraph;
+use crate::ply::ConcurrencyReport;
+
+/// Renders the task graph in Graphviz DOT syntax. Tasks with the same group
+/// are clustered (one cluster per transaction).
+pub fn to_dot(graph: &TaskGraph, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(title));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, fontsize=10];");
+
+    // Group tasks into clusters by group id.
+    let mut groups: Vec<(Option<u32>, Vec<crate::TaskId>)> = Vec::new();
+    for t in graph.task_ids() {
+        let g = graph.group(t);
+        match groups.iter_mut().find(|(gg, _)| *gg == g) {
+            Some((_, v)) => v.push(t),
+            None => groups.push((g, vec![t])),
+        }
+    }
+    for (g, tasks) in &groups {
+        if let Some(g) = g {
+            let _ = writeln!(out, "  subgraph cluster_{g} {{");
+            let _ = writeln!(out, "    label=\"transaction {g}\";");
+        }
+        for t in tasks {
+            let label = graph.label(*t).unwrap_or("task");
+            let _ = writeln!(
+                out,
+                "  {}\"{}\" [label=\"{}\"];",
+                if g.is_some() { "  " } else { "" },
+                t,
+                escape(label)
+            );
+        }
+        if g.is_some() {
+            let _ = writeln!(out, "  }}");
+        }
+    }
+    for t in graph.task_ids() {
+        for d in graph.deps(t) {
+            let _ = writeln!(out, "  \"{d}\" -> \"{t}\";");
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders the mode-1 ply profile as an ASCII histogram: one row per ply,
+/// bar length = ply width.
+pub fn render_ply_histogram(report: &ConcurrencyReport) -> String {
+    let mut out = String::new();
+    for (ply, w) in report.ply_widths.iter().enumerate() {
+        let bar = "#".repeat(*w as usize);
+        let _ = writeln!(out, "ply {ply:>4} | {bar} ({w})");
+    }
+    let _ = writeln!(
+        out,
+        "max width {}, avg width {:.1}",
+        report.max_width(),
+        report.avg_width()
+    );
+    out
+}
+
+/// Renders one critical path as labeled steps — the chain that bounds the
+/// workload's completion time under infinite parallelism.
+pub fn render_critical_path(graph: &TaskGraph) -> String {
+    let path = graph.critical_path();
+    let mut out = String::new();
+    let _ = writeln!(out, "critical path: {} tasks", path.len());
+    // Compress runs of identically-labeled tasks: "visit x12" etc. A run
+    // may span several transactions (the unfold chain does); the prefix
+    // shows the group range it crosses.
+    let mut i = 0;
+    while i < path.len() {
+        let label = graph.label(path[i]).unwrap_or("task");
+        let mut j = i;
+        while j + 1 < path.len() && graph.label(path[j + 1]).unwrap_or("task") == label {
+            j += 1;
+        }
+        let prefix = match (graph.group(path[i]), graph.group(path[j])) {
+            (Some(a), Some(b)) if a == b => format!("T{a}: "),
+            (Some(a), Some(b)) => format!("T{a}..T{b}: "),
+            _ => String::new(),
+        };
+        let _ = writeln!(out, "  {prefix}{label} x{}", j - i + 1);
+        i = j + 1;
+    }
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(&[], Some("source"), Some(0));
+        let b = g.add_task(&[a], Some("left"), Some(0));
+        let c = g.add_task(&[a], Some("right"), Some(1));
+        let _ = g.add_task(&[b, c], Some("sink"), None);
+        g
+    }
+
+    #[test]
+    fn dot_contains_nodes_edges_clusters() {
+        let dot = to_dot(&diamond(), "demo");
+        assert!(dot.starts_with("digraph \"demo\""));
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("subgraph cluster_1"));
+        assert!(dot.contains("\"t0\" -> \"t1\""));
+        assert!(dot.contains("\"t1\" -> \"t3\""));
+        assert!(dot.contains("label=\"source\""));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let mut g = TaskGraph::new();
+        g.add_task(&[], Some("say \"hi\""), None);
+        let dot = to_dot(&g, "q\"t");
+        assert!(dot.contains("say \\\"hi\\\""));
+        assert!(dot.contains("digraph \"q\\\"t\""));
+    }
+
+    #[test]
+    fn critical_path_rendering_compresses_runs() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(&[], Some("unfold"), Some(0));
+        let b = g.add_task(&[a], Some("visit"), Some(0));
+        let c = g.add_task(&[b], Some("visit"), Some(0));
+        let _ = g.add_task(&[c], Some("respond"), Some(0));
+        let text = render_critical_path(&g);
+        assert!(text.contains("critical path: 4 tasks"), "{text}");
+        assert!(text.contains("T0: visit x2"), "{text}");
+        assert!(text.contains("T0: respond x1"), "{text}");
+    }
+
+    #[test]
+    fn histogram_shape() {
+        let g = diamond();
+        let report = ConcurrencyReport::of(&g);
+        let h = render_ply_histogram(&report);
+        assert!(h.contains("ply    0 | # (1)"), "got:\n{h}");
+        assert!(h.contains("ply    1 | ## (2)"), "got:\n{h}");
+        assert!(h.contains("max width 2"), "got:\n{h}");
+    }
+}

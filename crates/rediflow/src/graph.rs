@@ -1,0 +1,295 @@
+//! Unit-cost dataflow task graphs.
+//!
+//! A task models one FEL graph-reduction step (a cell construction, a
+//! comparison, a stream unfold, …). All tasks cost one time unit, as in the
+//! paper's mode-1 experiments; dependencies are data availability edges.
+
+use std::fmt;
+
+/// Identifies a task within one [`TaskGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub(crate) u32);
+
+impl TaskId {
+    /// The task's index in creation order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct TaskMeta {
+    deps: Vec<TaskId>,
+    label: Option<String>,
+    /// Groups tasks belonging to one logical unit (e.g. one transaction);
+    /// used when rendering de-facto schedules.
+    group: Option<u32>,
+}
+
+/// A directed acyclic graph of unit-cost tasks.
+///
+/// Acyclic by construction: [`add_task`](Self::add_task) only accepts
+/// dependencies on tasks that already exist, so edges always point backwards
+/// in creation order.
+///
+/// # Example
+///
+/// ```
+/// use fundb_rediflow::TaskGraph;
+///
+/// let mut g = TaskGraph::new();
+/// let a = g.add_task(&[], Some("load"), None);
+/// let b = g.add_task(&[], Some("load"), None);
+/// let c = g.add_task(&[a, b], Some("join"), None);
+/// assert_eq!(g.len(), 3);
+/// assert_eq!(g.deps(c), &[a, b]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TaskGraph {
+    tasks: Vec<TaskMeta>,
+}
+
+impl TaskGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        TaskGraph { tasks: Vec::new() }
+    }
+
+    /// Adds a unit task depending on `deps`, returning its id.
+    ///
+    /// `label` is for rendering; `group` attributes the task to a logical
+    /// unit such as a transaction index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dependency id does not refer to an existing task —
+    /// that is how acyclicity is enforced.
+    pub fn add_task(&mut self, deps: &[TaskId], label: Option<&str>, group: Option<u32>) -> TaskId {
+        let id = TaskId(u32::try_from(self.tasks.len()).expect("graph exceeds u32 tasks"));
+        for d in deps {
+            assert!(
+                d.0 < id.0,
+                "dependency {d} does not exist yet (adding {id})"
+            );
+        }
+        self.tasks.push(TaskMeta {
+            deps: deps.to_vec(),
+            label: label.map(str::to_owned),
+            group,
+        });
+        id
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` if the graph has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The dependencies of `task`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is not from this graph.
+    pub fn deps(&self, task: TaskId) -> &[TaskId] {
+        &self.tasks[task.index()].deps
+    }
+
+    /// The task's label, if any.
+    pub fn label(&self, task: TaskId) -> Option<&str> {
+        self.tasks[task.index()].label.as_deref()
+    }
+
+    /// The task's group (e.g. transaction index), if any.
+    pub fn group(&self, task: TaskId) -> Option<u32> {
+        self.tasks[task.index()].group
+    }
+
+    /// Iterates all task ids in creation (hence topological) order.
+    pub fn task_ids(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.tasks.len() as u32).map(TaskId)
+    }
+
+    /// Number of dependency edges.
+    pub fn edge_count(&self) -> usize {
+        self.tasks.iter().map(|t| t.deps.len()).sum()
+    }
+
+    /// Tasks with no dependencies.
+    pub fn roots(&self) -> Vec<TaskId> {
+        self.task_ids()
+            .filter(|t| self.deps(*t).is_empty())
+            .collect()
+    }
+
+    /// Tasks no other task depends on.
+    pub fn sinks(&self) -> Vec<TaskId> {
+        let mut has_succ = vec![false; self.tasks.len()];
+        for t in &self.tasks {
+            for d in &t.deps {
+                has_succ[d.index()] = true;
+            }
+        }
+        self.task_ids().filter(|t| !has_succ[t.index()]).collect()
+    }
+
+    /// Successor lists (inverse edges), indexed by task.
+    pub fn successors(&self) -> Vec<Vec<TaskId>> {
+        let mut succ: Vec<Vec<TaskId>> = vec![Vec::new(); self.tasks.len()];
+        for id in self.task_ids() {
+            for d in self.deps(id) {
+                succ[d.index()].push(id);
+            }
+        }
+        succ
+    }
+
+    /// Earliest start level of each task under infinite parallelism
+    /// (ASAP levelization with unit tasks): `level = max(dep levels) + 1`,
+    /// roots at level 0.
+    pub fn asap_levels(&self) -> Vec<u32> {
+        let mut levels = vec![0u32; self.tasks.len()];
+        for id in self.task_ids() {
+            let lvl = self
+                .deps(id)
+                .iter()
+                .map(|d| levels[d.index()] + 1)
+                .max()
+                .unwrap_or(0);
+            levels[id.index()] = lvl;
+        }
+        levels
+    }
+
+    /// Length of the critical path in tasks (0 for an empty graph).
+    pub fn critical_path_len(&self) -> u32 {
+        self.asap_levels()
+            .iter()
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(0)
+    }
+
+    /// One critical path (a longest dependency chain), from a root to a
+    /// sink. Useful for diagnosing what bounds a workload's completion.
+    /// Empty for an empty graph; ties break toward lower task ids.
+    pub fn critical_path(&self) -> Vec<TaskId> {
+        let levels = self.asap_levels();
+        let Some(end) = self
+            .task_ids()
+            .max_by_key(|t| (levels[t.index()], std::cmp::Reverse(t.index())))
+        else {
+            return Vec::new();
+        };
+        let mut path = vec![end];
+        let mut cur = end;
+        while levels[cur.index()] > 0 {
+            let next = self
+                .deps(cur)
+                .iter()
+                .copied()
+                .filter(|d| levels[d.index()] + 1 == levels[cur.index()])
+                .min_by_key(|d| d.index())
+                .expect("a task above level 0 has a binding dependency");
+            path.push(next);
+            cur = next;
+        }
+        path.reverse();
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = TaskGraph::new();
+        assert!(g.is_empty());
+        assert_eq!(g.critical_path_len(), 0);
+        assert!(g.roots().is_empty());
+        assert!(g.sinks().is_empty());
+    }
+
+    #[test]
+    fn chain_levels() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(&[], None, None);
+        let b = g.add_task(&[a], None, None);
+        let c = g.add_task(&[b], None, None);
+        assert_eq!(g.asap_levels(), vec![0, 1, 2]);
+        assert_eq!(g.critical_path_len(), 3);
+        assert_eq!(g.roots(), vec![a]);
+        assert_eq!(g.sinks(), vec![c]);
+    }
+
+    #[test]
+    fn diamond() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(&[], Some("a"), None);
+        let b = g.add_task(&[a], Some("b"), Some(1));
+        let c = g.add_task(&[a], Some("c"), Some(2));
+        let d = g.add_task(&[b, c], Some("d"), None);
+        assert_eq!(g.asap_levels(), vec![0, 1, 1, 2]);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.label(a), Some("a"));
+        assert_eq!(g.group(b), Some(1));
+        assert_eq!(g.group(d), None);
+        let succ = g.successors();
+        assert_eq!(succ[a.index()], vec![b, c]);
+        assert_eq!(succ[d.index()], Vec::<TaskId>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist yet")]
+    fn forward_dependency_rejected() {
+        let mut g = TaskGraph::new();
+        let _ = g.add_task(&[TaskId(5)], None, None);
+    }
+
+    #[test]
+    fn independent_tasks_all_level_zero() {
+        let mut g = TaskGraph::new();
+        for _ in 0..10 {
+            g.add_task(&[], None, None);
+        }
+        assert!(g.asap_levels().iter().all(|&l| l == 0));
+        assert_eq!(g.critical_path_len(), 1);
+        assert_eq!(g.roots().len(), 10);
+        assert_eq!(g.sinks().len(), 10);
+    }
+
+    #[test]
+    fn critical_path_extraction() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(&[], None, None);
+        let b = g.add_task(&[a], None, None);
+        let c = g.add_task(&[b], None, None);
+        let _side = g.add_task(&[a], None, None);
+        let path = g.critical_path();
+        assert_eq!(path, vec![a, b, c]);
+        assert_eq!(path.len() as u32, g.critical_path_len());
+        // Consecutive path tasks are true dependencies.
+        for w in path.windows(2) {
+            assert!(g.deps(w[1]).contains(&w[0]));
+        }
+        assert!(TaskGraph::new().critical_path().is_empty());
+    }
+
+    #[test]
+    fn display_task_id() {
+        assert_eq!(TaskId(7).to_string(), "t7");
+        assert_eq!(TaskId(7).index(), 7);
+    }
+}

@@ -1,0 +1,40 @@
+//! A Rediflow-style dataflow multiprocessor simulator.
+//!
+//! The paper's experiments (Section 4) ran FEL programs on the Rediflow
+//! simulator of Keller & Lin, which measures program behaviour as properties
+//! of the dataflow graph the program unfolds into. This crate is the
+//! corresponding substrate:
+//!
+//! * [`TaskGraph`] — a DAG of unit-cost tasks (graph construction enforces
+//!   acyclicity: a task may only depend on already-created tasks).
+//! * [`ply`] — **mode 1**: "arbitrary degree of parallelism (effectively
+//!   infinitely-many processors), unit task lengths, and zero communication
+//!   costs". Levelizes the graph and reports maximum and average *ply
+//!   width*, where a ply is a maximal set of tasks executable in parallel.
+//!   Regenerates Table I.
+//! * [`topology`] — **mode 2** substrate: "a network topology and a specific
+//!   number of processors … communication delay is taken into account".
+//!   Provides the 8-node binary [`Hypercube`] of Table II and the 27-node
+//!   3x3x3 [`EuclideanCube`] of Table III (plus a ring and a complete graph
+//!   for ablations).
+//! * [`sched`] — mode 2 proper: a locality-seeking list scheduler with
+//!   hop-count communication delays and a pressure-based placement
+//!   heuristic in the spirit of Rediflow's load diffusion. Reports speedup.
+//! * [`trace`]/[`dot`] — render executions and graphs (used to regenerate
+//!   the paper's figures).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dot;
+pub mod graph;
+pub mod ply;
+pub mod sched;
+pub mod topology;
+pub mod trace;
+
+pub use graph::{TaskGraph, TaskId};
+pub use ply::ConcurrencyReport;
+pub use sched::{Placement, ScheduleResult, Scheduler, SchedulerConfig};
+pub use topology::{Complete, EuclideanCube, Hypercube, Ring, Topology};
+pub use trace::ExecutionTrace;

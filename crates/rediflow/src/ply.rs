@@ -1,0 +1,151 @@
+//! Mode-1 analysis: ply widths under infinite parallelism.
+//!
+//! "The first mode assumes an arbitrary degree of parallelism (effectively
+//! infinitely-many processors), unit task lengths, and zero communication
+//! costs … the simulator measures maximum and average concurrency in the
+//! form of 'ply width', where a ply is a maximal set of tasks, all of which
+//! can be executed in parallel." (Section 4.)
+//!
+//! A ply here is the set of tasks at one ASAP level: every task in a ply has
+//! all dependencies in strictly earlier plies, so the whole ply can execute
+//! simultaneously, and no task could execute any earlier.
+
+use std::fmt;
+
+use crate::graph::TaskGraph;
+
+/// Maximum and average ply width of a task graph — the paper's "degree of
+/// concurrency" numbers (Table I).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConcurrencyReport {
+    /// Number of tasks per ply, in execution order.
+    pub ply_widths: Vec<u32>,
+    /// Total tasks in the graph.
+    pub tasks: u64,
+}
+
+impl ConcurrencyReport {
+    /// Levelizes `graph` and collects ply widths.
+    pub fn of(graph: &TaskGraph) -> Self {
+        let levels = graph.asap_levels();
+        let plies = graph.critical_path_len() as usize;
+        let mut widths = vec![0u32; plies];
+        for lvl in levels {
+            widths[lvl as usize] += 1;
+        }
+        ConcurrencyReport {
+            ply_widths: widths,
+            tasks: graph.len() as u64,
+        }
+    }
+
+    /// Number of plies = critical path length in unit tasks.
+    pub fn plies(&self) -> usize {
+        self.ply_widths.len()
+    }
+
+    /// Widest ply: the paper's "maximum degree of concurrency".
+    pub fn max_width(&self) -> u32 {
+        self.ply_widths.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Tasks divided by plies: the paper's "average degree of concurrency"
+    /// (equivalently, ideal speedup on infinitely many processors).
+    pub fn avg_width(&self) -> f64 {
+        if self.ply_widths.is_empty() {
+            0.0
+        } else {
+            self.tasks as f64 / self.ply_widths.len() as f64
+        }
+    }
+}
+
+impl fmt::Display for ConcurrencyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} tasks over {} plies: max width {}, avg width {:.1}",
+            self.tasks,
+            self.plies(),
+            self.max_width(),
+            self.avg_width()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_report() {
+        let g = TaskGraph::new();
+        let r = ConcurrencyReport::of(&g);
+        assert_eq!(r.max_width(), 0);
+        assert_eq!(r.avg_width(), 0.0);
+        assert_eq!(r.plies(), 0);
+    }
+
+    #[test]
+    fn chain_has_width_one() {
+        let mut g = TaskGraph::new();
+        let mut prev = g.add_task(&[], None, None);
+        for _ in 0..9 {
+            prev = g.add_task(&[prev], None, None);
+        }
+        let r = ConcurrencyReport::of(&g);
+        assert_eq!(r.max_width(), 1);
+        assert_eq!(r.avg_width(), 1.0);
+        assert_eq!(r.plies(), 10);
+    }
+
+    #[test]
+    fn independent_tasks_width_n() {
+        let mut g = TaskGraph::new();
+        for _ in 0..7 {
+            g.add_task(&[], None, None);
+        }
+        let r = ConcurrencyReport::of(&g);
+        assert_eq!(r.max_width(), 7);
+        assert_eq!(r.avg_width(), 7.0);
+        assert_eq!(r.plies(), 1);
+    }
+
+    #[test]
+    fn fan_out_fan_in() {
+        let mut g = TaskGraph::new();
+        let root = g.add_task(&[], None, None);
+        let mid: Vec<_> = (0..5).map(|_| g.add_task(&[root], None, None)).collect();
+        let _sink = g.add_task(&mid, None, None);
+        let r = ConcurrencyReport::of(&g);
+        assert_eq!(r.ply_widths, vec![1, 5, 1]);
+        assert_eq!(r.max_width(), 5);
+        assert!((r.avg_width() - 7.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_overlapping_chains_pipeline() {
+        // Chain A of 4 tasks; chain B of 4 tasks starting at A's second task
+        // (as when apply-stream unfolds the next transaction): plies overlap.
+        let mut g = TaskGraph::new();
+        let a0 = g.add_task(&[], None, Some(0));
+        let a1 = g.add_task(&[a0], None, Some(0));
+        let a2 = g.add_task(&[a1], None, Some(0));
+        let _a3 = g.add_task(&[a2], None, Some(0));
+        let b0 = g.add_task(&[a0], None, Some(1));
+        let b1 = g.add_task(&[b0], None, Some(1));
+        let b2 = g.add_task(&[b1], None, Some(1));
+        let _b3 = g.add_task(&[b2], None, Some(1));
+        let r = ConcurrencyReport::of(&g);
+        assert_eq!(r.ply_widths, vec![1, 2, 2, 2, 1]);
+        assert_eq!(r.max_width(), 2);
+    }
+
+    #[test]
+    fn display_format() {
+        let mut g = TaskGraph::new();
+        g.add_task(&[], None, None);
+        let s = ConcurrencyReport::of(&g).to_string();
+        assert!(s.contains("1 tasks over 1 plies"), "got {s}");
+    }
+}

@@ -1,0 +1,474 @@
+//! Mode-2 simulation: finitely many PEs with communication delays.
+//!
+//! "A second simulation mode specifies a network topology and a specific
+//! number of processors. In this mode, communication delay is taken into
+//! account." (Section 4.) Tables II and III report the *speedup* of the
+//! same workloads on an 8-node hypercube and a 27-node Euclidean cube.
+//!
+//! The scheduler here is a level-order list scheduler: tasks are released in
+//! ASAP-level order (so independent work from different transactions
+//! interleaves, as lenient evaluation permits), and each task is placed on a
+//! PE chosen by a [`Placement`] heuristic. A task placed on PE `q` whose
+//! dependency ran on PE `p` cannot start before the dependency's finish time
+//! plus `comm_delay_per_hop * distance(p, q)` — the paper's message-passing
+//! PEs with integrated memory (Section 3.4). The default placement imitates
+//! Rediflow's pressure-based diffusion: results stay near their producers
+//! unless a neighbour is visibly less loaded.
+
+use std::fmt;
+
+use crate::graph::{TaskGraph, TaskId};
+use crate::topology::Topology;
+use crate::trace::{ExecutionTrace, TraceEntry};
+
+/// Task-to-PE placement heuristics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Placement {
+    /// Place each task near the producer of its binding input, spilling to
+    /// a direct neighbour when that improves the start time — the
+    /// diffusion-style default.
+    LocalityDiffusion,
+    /// Consider every PE and take the one giving the earliest start.
+    LeastLoaded,
+    /// Ignore load and locality: task `i` runs on PE `i mod P` (baseline).
+    RoundRobin,
+    /// Uniform pseudo-random placement with the given seed (baseline).
+    Random(u64),
+}
+
+/// Configuration for [`Scheduler`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Delay added per hop between producer and consumer PEs.
+    pub comm_delay_per_hop: u64,
+    /// Placement heuristic.
+    pub placement: Placement,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            comm_delay_per_hop: 1,
+            placement: Placement::LocalityDiffusion,
+        }
+    }
+}
+
+/// Runs task graphs on a simulated multiprocessor.
+#[derive(Debug)]
+pub struct Scheduler<'a> {
+    topology: &'a dyn Topology,
+    config: SchedulerConfig,
+}
+
+/// The outcome of simulating a task graph on a topology.
+#[derive(Debug, Clone)]
+pub struct ScheduleResult {
+    /// Completion time of the last task (unit-task cycles).
+    pub makespan: u64,
+    /// Total tasks executed (= sequential execution time, since tasks are
+    /// unit cost).
+    pub tasks: u64,
+    /// Number of PEs.
+    pub pes: usize,
+    /// PE assigned to each task, indexed by task id.
+    pub placements: Vec<usize>,
+    /// Start cycle of each task, indexed by task id.
+    pub start_times: Vec<u64>,
+    /// Busy cycles per PE.
+    pub pe_busy: Vec<u64>,
+    /// Total communication cycles paid (sum over dependency edges of
+    /// hop distance × per-hop delay) — the network load the placement
+    /// heuristic is trying to minimize.
+    pub comm_cycles: u64,
+    /// Name of the topology simulated.
+    pub topology_name: String,
+}
+
+impl ScheduleResult {
+    /// Speedup over one processor: `T_1 / T_P` with unit tasks.
+    pub fn speedup(&self) -> f64 {
+        if self.makespan == 0 {
+            0.0
+        } else {
+            self.tasks as f64 / self.makespan as f64
+        }
+    }
+
+    /// Mean fraction of cycles each PE spent executing.
+    pub fn utilization(&self) -> f64 {
+        if self.makespan == 0 || self.pes == 0 {
+            0.0
+        } else {
+            self.tasks as f64 / (self.makespan as f64 * self.pes as f64)
+        }
+    }
+
+    /// Converts to a renderable execution trace.
+    pub fn trace(&self, graph: &TaskGraph) -> ExecutionTrace {
+        let entries = graph
+            .task_ids()
+            .map(|t| TraceEntry {
+                time: self.start_times[t.index()],
+                pe: self.placements[t.index()],
+                task: t,
+                label: graph.label(t).map(str::to_owned),
+                group: graph.group(t),
+            })
+            .collect();
+        ExecutionTrace {
+            entries,
+            makespan: self.makespan,
+            pes: self.pes,
+        }
+    }
+}
+
+impl fmt::Display for ScheduleResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} tasks on {} ({} PEs): makespan {}, speedup {:.1}, utilization {:.0}%, comm {} cycles",
+            self.tasks,
+            self.topology_name,
+            self.pes,
+            self.makespan,
+            self.speedup(),
+            self.utilization() * 100.0,
+            self.comm_cycles
+        )
+    }
+}
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+impl<'a> Scheduler<'a> {
+    /// A scheduler over `topology` with the given configuration.
+    pub fn new(topology: &'a dyn Topology, config: SchedulerConfig) -> Self {
+        Scheduler { topology, config }
+    }
+
+    /// A scheduler with the default (diffusion, 1 cycle/hop) configuration.
+    pub fn with_defaults(topology: &'a dyn Topology) -> Self {
+        Scheduler::new(topology, SchedulerConfig::default())
+    }
+
+    /// Simulates `graph` and reports makespan/speedup.
+    pub fn run(&self, graph: &TaskGraph) -> ScheduleResult {
+        let n = graph.len();
+        let pes = self.topology.nodes();
+        let mut placements = vec![0usize; n];
+        let mut start_times = vec![0u64; n];
+        let mut finish = vec![0u64; n];
+        let mut pe_free = vec![0u64; pes];
+        let mut pe_busy = vec![0u64; pes];
+        let mut comm_cycles = 0u64;
+        let mut rng = match self.config.placement {
+            Placement::Random(seed) => Some(Lcg(seed | 1)),
+            _ => None,
+        };
+
+        // Release tasks in ASAP-level order so independent work from later
+        // transactions can overtake stalled earlier work, as leniency allows.
+        let levels = graph.asap_levels();
+        let mut order: Vec<TaskId> = graph.task_ids().collect();
+        order.sort_by_key(|t| (levels[t.index()], t.index()));
+
+        for (seq, &task) in order.iter().enumerate() {
+            let deps = graph.deps(task);
+            // Earliest time the task's inputs reach PE `pe`.
+            let ready_at = |pe: usize| -> u64 {
+                deps.iter()
+                    .map(|d| {
+                        let hop = self.topology.distance(placements[d.index()], pe) as u64;
+                        finish[d.index()] + self.config.comm_delay_per_hop * hop
+                    })
+                    .max()
+                    .unwrap_or(0)
+            };
+            let start_on = |pe: usize, pe_free: &[u64]| ready_at(pe).max(pe_free[pe]);
+
+            let pe = match &self.config.placement {
+                Placement::RoundRobin => seq % pes,
+                Placement::Random(_) => {
+                    (rng.as_mut().expect("rng initialised").next() as usize) % pes
+                }
+                Placement::LeastLoaded => best_pe(0..pes, |p| start_on(p, &pe_free)),
+                Placement::LocalityDiffusion => {
+                    // Home PE: the producer of the binding (latest-arriving)
+                    // input; for roots, the globally least-loaded PE.
+                    let home = deps
+                        .iter()
+                        .max_by_key(|d| (finish[d.index()], d.index()))
+                        .map(|d| placements[d.index()]);
+                    match home {
+                        None => best_pe(0..pes, |p| pe_free[p]),
+                        Some(home) => {
+                            let mut candidates = self.topology.neighbors(home);
+                            candidates.push(home);
+                            best_pe(candidates.into_iter(), |p| start_on(p, &pe_free))
+                        }
+                    }
+                }
+            };
+
+            let start = start_on(pe, &pe_free);
+            for d in deps {
+                comm_cycles += self.config.comm_delay_per_hop
+                    * self.topology.distance(placements[d.index()], pe) as u64;
+            }
+            placements[task.index()] = pe;
+            start_times[task.index()] = start;
+            finish[task.index()] = start + 1;
+            pe_free[pe] = start + 1;
+            pe_busy[pe] += 1;
+        }
+
+        ScheduleResult {
+            makespan: finish.iter().copied().max().unwrap_or(0),
+            tasks: n as u64,
+            pes,
+            placements,
+            start_times,
+            pe_busy,
+            comm_cycles,
+            topology_name: self.topology.name(),
+        }
+    }
+}
+
+/// The candidate minimizing `cost`, ties broken toward the lowest PE index.
+fn best_pe<I: Iterator<Item = usize>, F: Fn(usize) -> u64>(candidates: I, cost: F) -> usize {
+    candidates
+        .map(|p| (cost(p), p))
+        .min()
+        .expect("at least one candidate PE")
+        .1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{Complete, EuclideanCube, Hypercube, Ring};
+
+    fn chain(n: usize) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let mut prev = None;
+        for _ in 0..n {
+            let deps: Vec<TaskId> = prev.into_iter().collect();
+            prev = Some(g.add_task(&deps, None, None));
+        }
+        g
+    }
+
+    fn independent(n: usize) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        for _ in 0..n {
+            g.add_task(&[], None, None);
+        }
+        g
+    }
+
+    #[test]
+    fn empty_graph_zero_makespan() {
+        let topo = Hypercube::new(3);
+        let r = Scheduler::with_defaults(&topo).run(&TaskGraph::new());
+        assert_eq!(r.makespan, 0);
+        assert_eq!(r.speedup(), 0.0);
+        assert_eq!(r.utilization(), 0.0);
+    }
+
+    #[test]
+    fn chain_cannot_beat_critical_path() {
+        let g = chain(20);
+        let topo = Hypercube::new(3);
+        let r = Scheduler::with_defaults(&topo).run(&g);
+        assert!(r.makespan >= 20);
+        assert!(r.speedup() <= 1.0 + 1e-9);
+        // Diffusion keeps a chain on one PE: no communication stalls at all.
+        assert_eq!(r.makespan, 20);
+    }
+
+    #[test]
+    fn independent_tasks_saturate_pes() {
+        let g = independent(80);
+        let topo = Hypercube::new(3);
+        let r = Scheduler::with_defaults(&topo).run(&g);
+        assert_eq!(r.makespan, 10); // 80 tasks / 8 PEs
+        assert!((r.speedup() - 8.0).abs() < 1e-9);
+        assert!((r.utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_bounded_by_pe_count() {
+        let g = independent(100);
+        for topo in [&Ring::new(4) as &dyn Topology, &Complete::new(4)] {
+            let r = Scheduler::with_defaults(topo).run(&g);
+            assert!(r.speedup() <= 4.0 + 1e-9, "{}", r);
+        }
+    }
+
+    #[test]
+    fn makespan_at_least_critical_path_with_comm() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(&[], None, None);
+        let b: Vec<TaskId> = (0..10).map(|_| g.add_task(&[a], None, None)).collect();
+        let _ = g.add_task(&b, None, None);
+        let topo = EuclideanCube::new(3);
+        let r = Scheduler::with_defaults(&topo).run(&g);
+        assert!(r.makespan >= g.critical_path_len() as u64);
+        assert_eq!(r.tasks, 12);
+    }
+
+    #[test]
+    fn all_placements_complete_all_tasks() {
+        let mut g = TaskGraph::new();
+        let mut level: Vec<TaskId> = (0..6).map(|_| g.add_task(&[], None, None)).collect();
+        for _ in 0..5 {
+            level = level
+                .iter()
+                .map(|&d| g.add_task(&[d], None, None))
+                .collect();
+        }
+        let topo = Hypercube::new(3);
+        for placement in [
+            Placement::LocalityDiffusion,
+            Placement::LeastLoaded,
+            Placement::RoundRobin,
+            Placement::Random(42),
+        ] {
+            let cfg = SchedulerConfig {
+                comm_delay_per_hop: 1,
+                placement,
+            };
+            let r = Scheduler::new(&topo, cfg).run(&g);
+            assert_eq!(r.tasks, 36);
+            assert_eq!(r.pe_busy.iter().sum::<u64>(), 36);
+            assert!(r.makespan >= 6);
+            // Every start respects every dependency (+ possible comm).
+            for t in g.task_ids() {
+                for d in g.deps(t) {
+                    assert!(
+                        r.start_times[t.index()] > r.start_times[d.index()],
+                        "task {t} started before dep {d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_comm_cost_at_least_as_fast() {
+        // Same workload, comm delay 0 vs 3: zero-cost run can't be slower.
+        let mut g = TaskGraph::new();
+        let roots: Vec<TaskId> = (0..16).map(|_| g.add_task(&[], None, None)).collect();
+        for w in roots.chunks(2) {
+            g.add_task(w, None, None);
+        }
+        let topo = Hypercube::new(3);
+        let fast = Scheduler::new(
+            &topo,
+            SchedulerConfig {
+                comm_delay_per_hop: 0,
+                placement: Placement::LeastLoaded,
+            },
+        )
+        .run(&g);
+        let slow = Scheduler::new(
+            &topo,
+            SchedulerConfig {
+                comm_delay_per_hop: 3,
+                placement: Placement::LeastLoaded,
+            },
+        )
+        .run(&g);
+        assert!(fast.makespan <= slow.makespan);
+    }
+
+    #[test]
+    fn locality_beats_random_on_communication_heavy_graph() {
+        // Long dependent chains: random placement pays hop delays, the
+        // diffusion heuristic keeps chains local.
+        let mut g = TaskGraph::new();
+        for _ in 0..8 {
+            let mut prev = g.add_task(&[], None, None);
+            for _ in 0..30 {
+                prev = g.add_task(&[prev], None, None);
+            }
+        }
+        let topo = EuclideanCube::new(3);
+        let local = Scheduler::with_defaults(&topo).run(&g);
+        let random = Scheduler::new(
+            &topo,
+            SchedulerConfig {
+                comm_delay_per_hop: 1,
+                placement: Placement::Random(7),
+            },
+        )
+        .run(&g);
+        assert!(
+            local.makespan < random.makespan,
+            "local {} vs random {}",
+            local.makespan,
+            random.makespan
+        );
+    }
+
+    #[test]
+    fn comm_accounting() {
+        // A chain kept local pays zero communication under diffusion.
+        let g = chain(10);
+        let topo = EuclideanCube::new(3);
+        let local = Scheduler::with_defaults(&topo).run(&g);
+        assert_eq!(local.comm_cycles, 0, "diffusion keeps chains local");
+        // Random placement on a multi-hop topology pays for its hops.
+        let random = Scheduler::new(
+            &topo,
+            SchedulerConfig {
+                comm_delay_per_hop: 2,
+                placement: Placement::Random(3),
+            },
+        )
+        .run(&g);
+        assert!(random.comm_cycles > 0);
+        // Zero per-hop delay means zero communication cycles.
+        let free = Scheduler::new(
+            &topo,
+            SchedulerConfig {
+                comm_delay_per_hop: 0,
+                placement: Placement::Random(3),
+            },
+        )
+        .run(&g);
+        assert_eq!(free.comm_cycles, 0);
+    }
+
+    #[test]
+    fn trace_covers_all_tasks() {
+        let g = independent(5);
+        let topo = Ring::new(2);
+        let r = Scheduler::with_defaults(&topo).run(&g);
+        let trace = r.trace(&g);
+        assert_eq!(trace.entries.len(), 5);
+        assert_eq!(trace.pes, 2);
+    }
+
+    #[test]
+    fn display_mentions_speedup() {
+        let g = independent(8);
+        let topo = Hypercube::new(2);
+        let r = Scheduler::with_defaults(&topo).run(&g);
+        let s = r.to_string();
+        assert!(s.contains("speedup"), "got {s}");
+    }
+}

@@ -1,0 +1,348 @@
+//! Processor interconnection topologies.
+//!
+//! Mode 2 of the paper's simulator "specifies a network topology and a
+//! specific number of processors"; Table II uses an 8-node binary hypercube
+//! and Table III a 27-node (3×3×3) Euclidean cube. Distances are shortest
+//! hop counts, which the scheduler turns into communication delays.
+
+use std::fmt;
+
+/// A processor interconnection network: node count, shortest-path hop
+/// distances, and adjacency.
+///
+/// Implementations are symmetric (`distance(a, b) == distance(b, a)`) with
+/// `distance(a, a) == 0`.
+pub trait Topology: fmt::Debug + Send + Sync {
+    /// Number of processing elements.
+    fn nodes(&self) -> usize;
+
+    /// Shortest hop distance between two PEs.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `a` or `b` is out of range.
+    fn distance(&self, a: usize, b: usize) -> u32;
+
+    /// Directly connected neighbours of `node`.
+    fn neighbors(&self, node: usize) -> Vec<usize>;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> String;
+
+    /// The largest distance between any two PEs.
+    fn diameter(&self) -> u32 {
+        let n = self.nodes();
+        let mut d = 0;
+        for a in 0..n {
+            for b in 0..n {
+                d = d.max(self.distance(a, b));
+            }
+        }
+        d
+    }
+}
+
+/// A binary hypercube of `2^dim` PEs; distance is Hamming distance of node
+/// addresses. `Hypercube::new(3)` is the paper's 8-node network (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hypercube {
+    dim: u32,
+}
+
+impl Hypercube {
+    /// A hypercube of dimension `dim` (so `2^dim` nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim > 16` (65 536 PEs is far beyond any experiment here).
+    pub fn new(dim: u32) -> Self {
+        assert!(dim <= 16, "hypercube dimension unreasonably large");
+        Hypercube { dim }
+    }
+
+    /// The dimension.
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+}
+
+impl Topology for Hypercube {
+    fn nodes(&self) -> usize {
+        1usize << self.dim
+    }
+
+    fn distance(&self, a: usize, b: usize) -> u32 {
+        assert!(a < self.nodes() && b < self.nodes(), "PE out of range");
+        (a ^ b).count_ones()
+    }
+
+    fn neighbors(&self, node: usize) -> Vec<usize> {
+        assert!(node < self.nodes(), "PE out of range");
+        (0..self.dim).map(|bit| node ^ (1 << bit)).collect()
+    }
+
+    fn name(&self) -> String {
+        format!("{}-node binary hypercube", self.nodes())
+    }
+}
+
+/// A `side × side × side` Euclidean (3-D mesh) cube; distance is Manhattan
+/// distance. `EuclideanCube::new(3)` is the paper's 27-node network
+/// (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EuclideanCube {
+    side: usize,
+}
+
+impl EuclideanCube {
+    /// A cube with `side^3` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side` is zero.
+    pub fn new(side: usize) -> Self {
+        assert!(side > 0, "cube side must be positive");
+        EuclideanCube { side }
+    }
+
+    /// The side length.
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    fn coords(&self, node: usize) -> (usize, usize, usize) {
+        let s = self.side;
+        (node % s, (node / s) % s, node / (s * s))
+    }
+
+    fn index(&self, x: usize, y: usize, z: usize) -> usize {
+        (z * self.side + y) * self.side + x
+    }
+}
+
+impl Topology for EuclideanCube {
+    fn nodes(&self) -> usize {
+        self.side * self.side * self.side
+    }
+
+    fn distance(&self, a: usize, b: usize) -> u32 {
+        assert!(a < self.nodes() && b < self.nodes(), "PE out of range");
+        let (ax, ay, az) = self.coords(a);
+        let (bx, by, bz) = self.coords(b);
+        (ax.abs_diff(bx) + ay.abs_diff(by) + az.abs_diff(bz)) as u32
+    }
+
+    fn neighbors(&self, node: usize) -> Vec<usize> {
+        assert!(node < self.nodes(), "PE out of range");
+        let (x, y, z) = self.coords(node);
+        let s = self.side;
+        let mut out = Vec::with_capacity(6);
+        if x > 0 {
+            out.push(self.index(x - 1, y, z));
+        }
+        if x + 1 < s {
+            out.push(self.index(x + 1, y, z));
+        }
+        if y > 0 {
+            out.push(self.index(x, y - 1, z));
+        }
+        if y + 1 < s {
+            out.push(self.index(x, y + 1, z));
+        }
+        if z > 0 {
+            out.push(self.index(x, y, z - 1));
+        }
+        if z + 1 < s {
+            out.push(self.index(x, y, z + 1));
+        }
+        out
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "{}-node Euclidean cube ({s}x{s}x{s})",
+            self.nodes(),
+            s = self.side
+        )
+    }
+}
+
+/// A bidirectional ring of `n` PEs (ablation topology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ring {
+    n: usize,
+}
+
+impl Ring {
+    /// A ring of `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "ring needs at least one node");
+        Ring { n }
+    }
+}
+
+impl Topology for Ring {
+    fn nodes(&self) -> usize {
+        self.n
+    }
+
+    fn distance(&self, a: usize, b: usize) -> u32 {
+        assert!(a < self.n && b < self.n, "PE out of range");
+        let d = a.abs_diff(b);
+        d.min(self.n - d) as u32
+    }
+
+    fn neighbors(&self, node: usize) -> Vec<usize> {
+        assert!(node < self.n, "PE out of range");
+        if self.n == 1 {
+            return Vec::new();
+        }
+        if self.n == 2 {
+            return vec![1 - node];
+        }
+        vec![(node + self.n - 1) % self.n, (node + 1) % self.n]
+    }
+
+    fn name(&self) -> String {
+        format!("{}-node ring", self.n)
+    }
+}
+
+/// A complete graph: every PE one hop from every other (zero-locality
+/// baseline for communication-cost ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Complete {
+    n: usize,
+}
+
+impl Complete {
+    /// A complete graph on `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "complete graph needs at least one node");
+        Complete { n }
+    }
+}
+
+impl Topology for Complete {
+    fn nodes(&self) -> usize {
+        self.n
+    }
+
+    fn distance(&self, a: usize, b: usize) -> u32 {
+        assert!(a < self.n && b < self.n, "PE out of range");
+        u32::from(a != b)
+    }
+
+    fn neighbors(&self, node: usize) -> Vec<usize> {
+        assert!(node < self.n, "PE out of range");
+        (0..self.n).filter(|&x| x != node).collect()
+    }
+
+    fn name(&self) -> String {
+        format!("{}-node complete graph", self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_symmetric(t: &dyn Topology) {
+        let n = t.nodes();
+        for a in 0..n {
+            assert_eq!(t.distance(a, a), 0);
+            for b in 0..n {
+                assert_eq!(t.distance(a, b), t.distance(b, a));
+            }
+        }
+    }
+
+    fn check_neighbors_at_distance_one(t: &dyn Topology) {
+        for a in 0..t.nodes() {
+            for b in t.neighbors(a) {
+                assert_eq!(t.distance(a, b), 1, "{} {a}->{b}", t.name());
+            }
+        }
+    }
+
+    #[test]
+    fn hypercube_8_nodes() {
+        let h = Hypercube::new(3);
+        assert_eq!(h.nodes(), 8);
+        assert_eq!(h.distance(0b000, 0b111), 3);
+        assert_eq!(h.distance(0b010, 0b011), 1);
+        assert_eq!(h.diameter(), 3);
+        assert_eq!(h.neighbors(0), vec![1, 2, 4]);
+        check_symmetric(&h);
+        check_neighbors_at_distance_one(&h);
+        assert!(h.name().contains("8-node"));
+    }
+
+    #[test]
+    fn euclidean_cube_27_nodes() {
+        let c = EuclideanCube::new(3);
+        assert_eq!(c.nodes(), 27);
+        // Opposite corners: (0,0,0) to (2,2,2) = 6 hops.
+        assert_eq!(c.distance(0, 26), 6);
+        assert_eq!(c.diameter(), 6);
+        // Center node has 6 neighbours, corner 3.
+        assert_eq!(c.neighbors(13).len(), 6);
+        assert_eq!(c.neighbors(0).len(), 3);
+        check_symmetric(&c);
+        check_neighbors_at_distance_one(&c);
+        assert!(c.name().contains("27-node"));
+    }
+
+    #[test]
+    fn ring_distances() {
+        let r = Ring::new(6);
+        assert_eq!(r.distance(0, 3), 3);
+        assert_eq!(r.distance(0, 5), 1);
+        assert_eq!(r.diameter(), 3);
+        assert_eq!(r.neighbors(0), vec![5, 1]);
+        check_symmetric(&r);
+        check_neighbors_at_distance_one(&r);
+    }
+
+    #[test]
+    fn tiny_rings() {
+        assert!(Ring::new(1).neighbors(0).is_empty());
+        assert_eq!(Ring::new(2).neighbors(0), vec![1]);
+        assert_eq!(Ring::new(2).distance(0, 1), 1);
+    }
+
+    #[test]
+    fn complete_graph() {
+        let k = Complete::new(5);
+        assert_eq!(k.diameter(), 1);
+        assert_eq!(k.neighbors(2), vec![0, 1, 3, 4]);
+        check_symmetric(&k);
+        check_neighbors_at_distance_one(&k);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn hypercube_rejects_out_of_range() {
+        Hypercube::new(2).distance(0, 4);
+    }
+
+    #[test]
+    fn triangle_inequality_samples() {
+        let c = EuclideanCube::new(3);
+        for a in 0..27 {
+            for b in 0..27 {
+                for m in 0..27 {
+                    assert!(c.distance(a, b) <= c.distance(a, m) + c.distance(m, b));
+                }
+            }
+        }
+    }
+}

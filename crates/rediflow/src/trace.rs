@@ -1,0 +1,197 @@
+//! Execution traces and schedule rendering.
+//!
+//! Figure 2-3 of the paper shows a merged transaction stream next to "the
+//! resulting de-facto parallel execution schedule". [`ExecutionTrace`]
+//! renders mode-2 runs (what ran where, when) and
+//! [`defacto_schedule`] renders the mode-1 view: which logical groups
+//! (transactions) have work in flight at each ply.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::graph::{TaskGraph, TaskId};
+
+/// One scheduled task instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Start cycle.
+    pub time: u64,
+    /// PE the task ran on.
+    pub pe: usize,
+    /// The task.
+    pub task: TaskId,
+    /// Render label, if the graph carried one.
+    pub label: Option<String>,
+    /// Logical group (e.g. transaction index), if any.
+    pub group: Option<u32>,
+}
+
+/// A completed mode-2 execution, renderable as a Gantt chart.
+#[derive(Debug, Clone)]
+pub struct ExecutionTrace {
+    /// All task instances.
+    pub entries: Vec<TraceEntry>,
+    /// Completion time.
+    pub makespan: u64,
+    /// Number of PEs.
+    pub pes: usize,
+}
+
+impl ExecutionTrace {
+    /// Renders an ASCII Gantt chart: one row per PE, one column per cycle
+    /// (up to `max_cycles` columns; longer runs are truncated with `…`).
+    /// Busy cycles print `#`, idle cycles `.`.
+    pub fn render_gantt(&self, max_cycles: usize) -> String {
+        let mut busy: Vec<Vec<bool>> =
+            vec![vec![false; self.makespan as usize]; self.pes];
+        for e in &self.entries {
+            if let Some(slot) = busy[e.pe].get_mut(e.time as usize) {
+                *slot = true;
+            }
+        }
+        let mut out = String::new();
+        let shown = (self.makespan as usize).min(max_cycles);
+        for (pe, row) in busy.iter().enumerate() {
+            let _ = write!(out, "PE{pe:>3} |");
+            for cell in row.iter().take(shown) {
+                out.push(if *cell { '#' } else { '.' });
+            }
+            if self.makespan as usize > shown {
+                out.push('…');
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Per-cycle number of busy PEs.
+    pub fn concurrency_profile(&self) -> Vec<u32> {
+        let mut profile = vec![0u32; self.makespan as usize];
+        for e in &self.entries {
+            if let Some(slot) = profile.get_mut(e.time as usize) {
+                *slot += 1;
+            }
+        }
+        profile
+    }
+}
+
+/// The mode-1 "de-facto parallel execution schedule": for each ply, which
+/// groups (transactions) have tasks executing, with representative labels.
+///
+/// Returns one map per ply: `group -> representative label` (groupless tasks
+/// fall under `u32::MAX`).
+pub fn defacto_schedule(graph: &TaskGraph) -> Vec<BTreeMap<u32, String>> {
+    let levels = graph.asap_levels();
+    let plies = graph.critical_path_len() as usize;
+    let mut out: Vec<BTreeMap<u32, String>> = vec![BTreeMap::new(); plies];
+    for t in graph.task_ids() {
+        let ply = levels[t.index()] as usize;
+        let group = graph.group(t).unwrap_or(u32::MAX);
+        let label = graph.label(t).unwrap_or("·").to_owned();
+        out[ply].entry(group).or_insert(label);
+    }
+    out
+}
+
+/// Renders [`defacto_schedule`] as text: one line per ply listing the active
+/// groups, in the style of the paper's Figure 2-3 right-hand side.
+pub fn render_defacto_schedule(graph: &TaskGraph) -> String {
+    let mut out = String::new();
+    for (ply, groups) in defacto_schedule(graph).iter().enumerate() {
+        let cells: Vec<String> = groups
+            .iter()
+            .map(|(g, label)| {
+                if *g == u32::MAX {
+                    label.clone()
+                } else {
+                    format!("T{g}:{label}")
+                }
+            })
+            .collect();
+        let _ = writeln!(out, "ply {ply:>3} | {}", cells.join("  ||  "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_graph() -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(&[], Some("insert x into R"), Some(0));
+        let _b = g.add_task(&[a], Some("find x in R"), Some(1));
+        let _c = g.add_task(&[], Some("insert z into S"), Some(2));
+        g
+    }
+
+    #[test]
+    fn defacto_groups_by_ply() {
+        let g = sample_graph();
+        let sched = defacto_schedule(&g);
+        assert_eq!(sched.len(), 2);
+        assert_eq!(sched[0].len(), 2); // T0 and T2 in parallel
+        assert!(sched[0].contains_key(&0));
+        assert!(sched[0].contains_key(&2));
+        assert_eq!(sched[1].len(), 1);
+        assert_eq!(sched[1][&1], "find x in R");
+    }
+
+    #[test]
+    fn render_contains_parallel_bars() {
+        let g = sample_graph();
+        let s = render_defacto_schedule(&g);
+        assert!(s.contains("||"), "expected parallel marker in:\n{s}");
+        assert!(s.contains("T0:insert x into R"), "got:\n{s}");
+    }
+
+    #[test]
+    fn groupless_tasks_render_plainly() {
+        let mut g = TaskGraph::new();
+        g.add_task(&[], Some("boot"), None);
+        let s = render_defacto_schedule(&g);
+        assert!(s.contains("boot"));
+        assert!(!s.contains("T4294967295"));
+    }
+
+    #[test]
+    fn gantt_dimensions() {
+        let trace = ExecutionTrace {
+            entries: vec![
+                TraceEntry {
+                    time: 0,
+                    pe: 0,
+                    task: crate::graph::TaskId(0),
+                    label: None,
+                    group: None,
+                },
+                TraceEntry {
+                    time: 1,
+                    pe: 1,
+                    task: crate::graph::TaskId(1),
+                    label: None,
+                    group: None,
+                },
+            ],
+            makespan: 2,
+            pes: 2,
+        };
+        let s = trace.render_gantt(80);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("PE  0 |#."), "got:\n{s}");
+        assert!(s.contains("PE  1 |.#"), "got:\n{s}");
+        assert_eq!(trace.concurrency_profile(), vec![1, 1]);
+    }
+
+    #[test]
+    fn gantt_truncates() {
+        let trace = ExecutionTrace {
+            entries: vec![],
+            makespan: 100,
+            pes: 1,
+        };
+        let s = trace.render_gantt(10);
+        assert!(s.contains('…'));
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests: the mode-2 scheduler respects dependencies and resource
+//! bounds on random DAGs, for every topology and placement policy.
+
+use fundb_rediflow::{
+    Complete, ConcurrencyReport, EuclideanCube, Hypercube, Placement, Ring, Scheduler,
+    SchedulerConfig, TaskGraph, Topology,
+};
+use proptest::prelude::*;
+
+/// A random DAG: each task depends on a random subset of up to 3 earlier
+/// tasks.
+fn random_dag() -> impl Strategy<Value = TaskGraph> {
+    prop::collection::vec(prop::collection::vec(any::<u32>(), 0..3), 1..120).prop_map(|spec| {
+        let mut g = TaskGraph::new();
+        let mut ids = Vec::new();
+        for (i, deps) in spec.iter().enumerate() {
+            let deps: Vec<_> = deps
+                .iter()
+                .filter(|_| i > 0)
+                .map(|d| ids[(*d as usize) % i])
+                .collect();
+            ids.push(g.add_task(&deps, None, Some(i as u32 / 10)));
+        }
+        g
+    })
+}
+
+fn check_schedule(g: &TaskGraph, topo: &dyn Topology, placement: Placement, comm: u64) {
+    let cfg = SchedulerConfig {
+        comm_delay_per_hop: comm,
+        placement,
+    };
+    let r = Scheduler::new(topo, cfg).run(g);
+    let pes = topo.nodes();
+    assert_eq!(r.tasks, g.len() as u64);
+    assert_eq!(r.pe_busy.iter().sum::<u64>(), g.len() as u64);
+    // Resource bound: a PE runs one task per cycle.
+    assert!(r.makespan * pes as u64 >= g.len() as u64);
+    // Dependency + communication bound.
+    for t in g.task_ids() {
+        assert!(r.placements[t.index()] < pes);
+        for d in g.deps(t) {
+            let dist = topo.distance(r.placements[d.index()], r.placements[t.index()]) as u64;
+            assert!(
+                r.start_times[t.index()] >= r.start_times[d.index()] + 1 + comm * dist,
+                "task {t} starts too early relative to {d}"
+            );
+        }
+    }
+    // Critical path bound (comm only lengthens).
+    assert!(r.makespan >= g.critical_path_len() as u64);
+    // Speedup can never beat mode-1 average width or the PE count.
+    let width = ConcurrencyReport::of(g).avg_width();
+    assert!(r.speedup() <= (pes as f64) + 1e-9);
+    assert!(r.speedup() <= width + 1e-9, "speedup {} width {}", r.speedup(), width);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn scheduler_invariants_hold(g in random_dag(), comm in 0u64..3) {
+        let topologies: Vec<Box<dyn Topology>> = vec![
+            Box::new(Hypercube::new(3)),
+            Box::new(EuclideanCube::new(2)),
+            Box::new(Ring::new(5)),
+            Box::new(Complete::new(4)),
+        ];
+        for topo in &topologies {
+            for placement in [
+                Placement::LocalityDiffusion,
+                Placement::LeastLoaded,
+                Placement::RoundRobin,
+                Placement::Random(9),
+            ] {
+                check_schedule(&g, topo.as_ref(), placement, comm);
+            }
+        }
+    }
+
+    #[test]
+    fn ply_widths_partition_tasks(g in random_dag()) {
+        let report = ConcurrencyReport::of(&g);
+        let total: u64 = report.ply_widths.iter().map(|&w| u64::from(w)).sum();
+        prop_assert_eq!(total, g.len() as u64);
+        prop_assert!(report.max_width() as f64 >= report.avg_width());
+        // Every ply on the critical path is nonempty.
+        prop_assert!(report.ply_widths.iter().all(|&w| w > 0));
+    }
+}

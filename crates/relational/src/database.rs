@@ -1,0 +1,513 @@
+//! The database value: a persistent mapping from names to relations.
+//!
+//! Mirrors the paper exactly: the database of the Section 4 experiments is
+//! a linked list of relations, so [`Database`] is a persistent association
+//! list. Updating relation `S` in `D0 = [R0, S0]` produces `D1 = [R0, S1]`
+//! — a fresh spine cell for `S`, the `R` entry shared — which is the
+//! `D0`/`D1`/`D2` example of Section 2.2.
+
+use std::fmt;
+use std::sync::Arc;
+
+use fundb_persist::{CopyReport, PList};
+
+use crate::relation::{Relation, Repr};
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// The name of a relation (cheap to clone and compare).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelationName(Arc<str>);
+
+impl RelationName {
+    /// Wraps a name.
+    pub fn new(name: &str) -> Self {
+        RelationName(Arc::from(name))
+    }
+
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for RelationName {
+    fn from(s: &str) -> Self {
+        RelationName::new(s)
+    }
+}
+
+impl fmt::Display for RelationName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Errors from database operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatabaseError {
+    /// The named relation does not exist.
+    NoSuchRelation(RelationName),
+    /// A relation with this name already exists.
+    DuplicateRelation(RelationName),
+}
+
+impl fmt::Display for DatabaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatabaseError::NoSuchRelation(n) => write!(f, "no such relation: {n}"),
+            DatabaseError::DuplicateRelation(n) => write!(f, "relation already exists: {n}"),
+        }
+    }
+}
+
+impl std::error::Error for DatabaseError {}
+
+/// One catalog entry: a named relation with an optional schema.
+#[derive(Clone)]
+struct Entry {
+    name: RelationName,
+    relation: Relation,
+    schema: Option<Schema>,
+}
+
+/// A persistent database: `names -> relations` as an association list.
+///
+/// Every operation is functional: updates return a new [`Database`] sharing
+/// all untouched relation entries (and all untouched structure *within* the
+/// updated relation) with the receiver. Cloning is O(1).
+///
+/// # Example
+///
+/// ```
+/// use fundb_relational::{Database, Repr, Tuple};
+///
+/// let d0 = Database::empty().create_relation("R", Repr::List)?;
+/// let (d1, _) = d0.insert(&"R".into(), Tuple::of_key(7))?;
+/// assert_eq!(d1.find(&"R".into(), &7.into())?.len(), 1);
+/// assert_eq!(d0.find(&"R".into(), &7.into())?.len(), 0); // D0 unchanged
+/// # Ok::<(), fundb_relational::DatabaseError>(())
+/// ```
+#[derive(Clone)]
+pub struct Database {
+    entries: PList<Entry>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<String> = self
+            .entries
+            .iter()
+            .map(|e| format!("{}({})", e.name, e.relation.len()))
+            .collect();
+        write!(f, "Database[{}]", names.join(", "))
+    }
+}
+
+impl Database {
+    /// A database with no relations.
+    pub fn empty() -> Self {
+        Database {
+            entries: PList::nil(),
+        }
+    }
+
+    /// Adds an empty relation named `name` with the given representation.
+    ///
+    /// New relations go to the *end* of the association list, preserving the
+    /// positions (and thus the spine-sharing behaviour) of existing ones.
+    ///
+    /// # Errors
+    ///
+    /// [`DatabaseError::DuplicateRelation`] if the name is taken.
+    pub fn create_relation<N: Into<RelationName>>(
+        &self,
+        name: N,
+        repr: Repr,
+    ) -> Result<Database, DatabaseError> {
+        self.create_relation_with_schema(name, repr, None)
+    }
+
+    /// Like [`create_relation`](Self::create_relation), attaching named
+    /// attributes that queries may reference instead of field indices.
+    ///
+    /// # Errors
+    ///
+    /// [`DatabaseError::DuplicateRelation`] if the name is taken.
+    pub fn create_relation_with_schema<N: Into<RelationName>>(
+        &self,
+        name: N,
+        repr: Repr,
+        schema: Option<Schema>,
+    ) -> Result<Database, DatabaseError> {
+        let name = name.into();
+        if self.position(&name).is_some() {
+            return Err(DatabaseError::DuplicateRelation(name));
+        }
+        let entries: Vec<Entry> = self
+            .entries
+            .iter()
+            .cloned()
+            .chain(std::iter::once(Entry {
+                name,
+                relation: Relation::empty(repr),
+                schema,
+            }))
+            .collect();
+        Ok(Database {
+            entries: entries.into_iter().collect(),
+        })
+    }
+
+    /// The schema attached to relation `name`, if any.
+    ///
+    /// # Errors
+    ///
+    /// [`DatabaseError::NoSuchRelation`] if absent.
+    pub fn schema(&self, name: &RelationName) -> Result<Option<&Schema>, DatabaseError> {
+        self.entries
+            .iter()
+            .find(|e| &e.name == name)
+            .map(|e| e.schema.as_ref())
+            .ok_or_else(|| DatabaseError::NoSuchRelation(name.clone()))
+    }
+
+    /// Number of relations.
+    pub fn relation_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The names of all relations, in spine order.
+    pub fn relation_names(&self) -> Vec<RelationName> {
+        self.entries.iter().map(|e| e.name.clone()).collect()
+    }
+
+    /// Index of `name` in the association list, if present. The index is
+    /// exactly the number of spine cells a lookup traverses — the quantity
+    /// the dataflow model charges for relation lookup.
+    pub fn position(&self, name: &RelationName) -> Option<usize> {
+        self.entries.iter().position(|e| &e.name == name)
+    }
+
+    /// The relation named `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`DatabaseError::NoSuchRelation`] if absent.
+    pub fn relation(&self, name: &RelationName) -> Result<&Relation, DatabaseError> {
+        self.entries
+            .iter()
+            .find(|e| &e.name == name)
+            .map(|e| &e.relation)
+            .ok_or_else(|| DatabaseError::NoSuchRelation(name.clone()))
+    }
+
+    /// Total tuples across all relations.
+    pub fn tuple_count(&self) -> usize {
+        self.entries.iter().map(|e| e.relation.len()).sum()
+    }
+
+    /// `insert-in-db`: a new database in which `tuple` has been inserted
+    /// into relation `name`. The copy report covers the relation-internal
+    /// copying; the database spine additionally re-conses `position(name)+1`
+    /// cells (and shares the rest), exactly as in the paper's example.
+    ///
+    /// # Errors
+    ///
+    /// [`DatabaseError::NoSuchRelation`] if absent.
+    pub fn insert(
+        &self,
+        name: &RelationName,
+        tuple: Tuple,
+    ) -> Result<(Database, CopyReport), DatabaseError> {
+        self.update_relation(name, |rel| {
+            let (r2, report) = rel.insert(tuple);
+            (r2, report, ())
+        })
+        .map(|(db, report, ())| (db, report))
+    }
+
+    /// `find`: every tuple in relation `name` whose key is `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`DatabaseError::NoSuchRelation`] if absent.
+    pub fn find(&self, name: &RelationName, key: &Value) -> Result<Vec<Tuple>, DatabaseError> {
+        Ok(self.relation(name)?.find(key))
+    }
+
+    /// Every tuple in relation `name` whose key lies in `lo..=hi`.
+    ///
+    /// # Errors
+    ///
+    /// [`DatabaseError::NoSuchRelation`] if absent.
+    pub fn find_range(
+        &self,
+        name: &RelationName,
+        lo: &Value,
+        hi: &Value,
+    ) -> Result<Vec<Tuple>, DatabaseError> {
+        Ok(self.relation(name)?.find_range(lo, hi))
+    }
+
+    /// Natural key-join of two relations.
+    ///
+    /// # Errors
+    ///
+    /// [`DatabaseError::NoSuchRelation`] if either is absent.
+    pub fn join(
+        &self,
+        left: &RelationName,
+        right: &RelationName,
+    ) -> Result<Vec<Tuple>, DatabaseError> {
+        Ok(self.relation(left)?.join_by_key(self.relation(right)?))
+    }
+
+    /// Removes every tuple with `key` from relation `name`, returning the
+    /// new database and the removed tuples.
+    ///
+    /// # Errors
+    ///
+    /// [`DatabaseError::NoSuchRelation`] if absent.
+    pub fn delete(
+        &self,
+        name: &RelationName,
+        key: &Value,
+    ) -> Result<(Database, Vec<Tuple>), DatabaseError> {
+        self.update_relation(name, |rel| {
+            let (r2, removed, report) = rel.delete(key);
+            (r2, report, removed)
+        })
+        .map(|(db, _, removed)| (db, removed))
+    }
+
+    /// Applies a functional update to one relation, re-consing the spine up
+    /// to its entry (the paper's partial physical reconstruction).
+    fn update_relation<T>(
+        &self,
+        name: &RelationName,
+        f: impl FnOnce(&Relation) -> (Relation, CopyReport, T),
+    ) -> Result<(Database, CopyReport, T), DatabaseError> {
+        // Walk the spine, collecting the prefix to re-cons.
+        let mut prefix: Vec<Entry> = Vec::new();
+        let mut cur = self.entries.clone();
+        loop {
+            match cur.head() {
+                None => return Err(DatabaseError::NoSuchRelation(name.clone())),
+                Some(entry) if &entry.name == name => {
+                    let (r2, report, extra) = f(&entry.relation);
+                    let schema = entry.schema.clone();
+                    let suffix = cur.tail().expect("nonempty list has a tail");
+                    let mut entries = PList::cons(
+                        Entry {
+                            name: name.clone(),
+                            relation: r2,
+                            schema,
+                        },
+                        suffix,
+                    );
+                    for e in prefix.into_iter().rev() {
+                        entries = PList::cons(e, entries);
+                    }
+                    return Ok((Database { entries }, report, extra));
+                }
+                Some(entry) => {
+                    prefix.push(entry.clone());
+                    cur = cur.tail().expect("nonempty list has a tail");
+                }
+            }
+        }
+    }
+
+    /// `true` if this database and `other` physically share the relation
+    /// value named `name` (same root pointer). Lets tests *prove* the
+    /// paper's D0/D1 sharing claim rather than assume it.
+    pub fn shares_relation_with(&self, other: &Database, name: &RelationName) -> bool {
+        match (self.relation(name), other.relation(name)) {
+            (Ok(a), Ok(b)) => a.ptr_eq(b),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db_rs() -> Database {
+        Database::empty()
+            .create_relation("R", Repr::List)
+            .unwrap()
+            .create_relation("S", Repr::List)
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = Database::empty();
+        assert_eq!(db.relation_count(), 0);
+        assert_eq!(db.tuple_count(), 0);
+        assert!(db.relation_names().is_empty());
+        assert_eq!(
+            db.relation(&"R".into()).err(),
+            Some(DatabaseError::NoSuchRelation("R".into()))
+        );
+    }
+
+    #[test]
+    fn create_preserves_order_and_rejects_duplicates() {
+        let db = db_rs();
+        assert_eq!(db.relation_names(), vec!["R".into(), "S".into()]);
+        assert_eq!(db.position(&"R".into()), Some(0));
+        assert_eq!(db.position(&"S".into()), Some(1));
+        assert_eq!(
+            db.create_relation("R", Repr::List).err(),
+            Some(DatabaseError::DuplicateRelation("R".into()))
+        );
+    }
+
+    #[test]
+    fn insert_and_find() {
+        let db = db_rs();
+        let (db, _) = db.insert(&"R".into(), Tuple::of_key(1)).unwrap();
+        let (db, _) = db.insert(&"S".into(), Tuple::of_key(2)).unwrap();
+        assert_eq!(db.find(&"R".into(), &1.into()).unwrap().len(), 1);
+        assert_eq!(db.find(&"S".into(), &2.into()).unwrap().len(), 1);
+        assert_eq!(db.find(&"R".into(), &2.into()).unwrap().len(), 0);
+        assert_eq!(db.tuple_count(), 2);
+        assert!(db.insert(&"T".into(), Tuple::of_key(0)).is_err());
+        assert!(db.find(&"T".into(), &0.into()).is_err());
+    }
+
+    #[test]
+    fn paper_sharing_example() {
+        // D0 = [R0, S0]; D1 = insert into R; D2 = insert into S.
+        // "DO and D1 both share the relation SO, while D1 and D2 share R1."
+        let d0 = db_rs();
+        let (d1, _) = d0.insert(&"R".into(), Tuple::of_key(1)).unwrap();
+        let (d2, _) = d1.insert(&"S".into(), Tuple::of_key(2)).unwrap();
+        assert!(d0.shares_relation_with(&d1, &"S".into()));
+        assert!(d1.shares_relation_with(&d2, &"R".into()));
+        assert!(!d0.shares_relation_with(&d1, &"R".into()));
+        assert!(!d1.shares_relation_with(&d2, &"S".into()));
+        // And the old versions answer old queries.
+        assert_eq!(d0.tuple_count(), 0);
+        assert_eq!(d1.tuple_count(), 1);
+        assert_eq!(d2.tuple_count(), 2);
+    }
+
+    #[test]
+    fn find_range_via_database() {
+        let db = db_rs();
+        let mut db = db;
+        for k in 0..10 {
+            let (d2, _) = db.insert(&"R".into(), Tuple::of_key(k)).unwrap();
+            db = d2;
+        }
+        let got = db.find_range(&"R".into(), &3.into(), &6.into()).unwrap();
+        assert_eq!(got.len(), 4);
+        assert!(db.find_range(&"T".into(), &0.into(), &1.into()).is_err());
+    }
+
+    #[test]
+    fn join_via_database() {
+        let mut db = db_rs();
+        for (rel, key) in [("R", 1i64), ("R", 2), ("S", 2), ("S", 3)] {
+            let (d2, _) = db.insert(&rel.into(), Tuple::of_key(key)).unwrap();
+            db = d2;
+        }
+        let joined = db.join(&"R".into(), &"S".into()).unwrap();
+        assert_eq!(joined.len(), 1);
+        assert_eq!(joined[0].key().as_int(), Some(2));
+        assert!(db.join(&"R".into(), &"Nope".into()).is_err());
+    }
+
+    #[test]
+    fn delete_via_database() {
+        let db = db_rs();
+        let (db, _) = db.insert(&"R".into(), Tuple::of_key(1)).unwrap();
+        let (db2, removed) = db.delete(&"R".into(), &1.into()).unwrap();
+        assert_eq!(removed.len(), 1);
+        assert_eq!(db2.tuple_count(), 0);
+        assert_eq!(db.tuple_count(), 1);
+        let (db3, removed) = db2.delete(&"R".into(), &1.into()).unwrap();
+        assert!(removed.is_empty());
+        assert_eq!(db3.tuple_count(), 0);
+    }
+
+    #[test]
+    fn mixed_representations() {
+        let db = Database::empty()
+            .create_relation("L", Repr::List)
+            .unwrap()
+            .create_relation("T", Repr::Tree23)
+            .unwrap()
+            .create_relation("B", Repr::BTree(4))
+            .unwrap()
+            .create_relation("P", Repr::Paged(8))
+            .unwrap();
+        let mut cur = db;
+        for name in ["L", "T", "B", "P"] {
+            for k in 0..10 {
+                let (next, _) = cur.insert(&name.into(), Tuple::of_key(k)).unwrap();
+                cur = next;
+            }
+        }
+        assert_eq!(cur.tuple_count(), 40);
+        for name in ["L", "T", "B", "P"] {
+            assert_eq!(cur.find(&name.into(), &5.into()).unwrap().len(), 1, "{name}");
+        }
+    }
+
+    #[test]
+    fn schemas_attach_and_survive_updates() {
+        let schema = Schema::new(&["id", "name"]).unwrap();
+        let db = Database::empty()
+            .create_relation_with_schema("Emp", Repr::List, Some(schema.clone()))
+            .unwrap()
+            .create_relation("Raw", Repr::List)
+            .unwrap();
+        assert_eq!(db.schema(&"Emp".into()).unwrap(), Some(&schema));
+        assert_eq!(db.schema(&"Raw".into()).unwrap(), None);
+        assert!(db.schema(&"Nope".into()).is_err());
+        // Updates preserve the schema.
+        let (db2, _) = db
+            .insert(&"Emp".into(), Tuple::new(vec![1.into(), "ada".into()]))
+            .unwrap();
+        assert_eq!(db2.schema(&"Emp".into()).unwrap(), Some(&schema));
+    }
+
+    #[test]
+    fn relation_name_display_and_conversion() {
+        let n: RelationName = "Emp".into();
+        assert_eq!(n.as_str(), "Emp");
+        assert_eq!(n.to_string(), "Emp");
+        assert_eq!(RelationName::new("Emp"), n);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            DatabaseError::NoSuchRelation("X".into()).to_string(),
+            "no such relation: X"
+        );
+        assert_eq!(
+            DatabaseError::DuplicateRelation("X".into()).to_string(),
+            "relation already exists: X"
+        );
+    }
+
+    #[test]
+    fn debug_format() {
+        let db = db_rs();
+        let (db, _) = db.insert(&"R".into(), Tuple::of_key(1)).unwrap();
+        assert_eq!(format!("{db:?}"), "Database[R(1), S(0)]");
+    }
+}

@@ -1,0 +1,33 @@
+//! The relational model over persistent structures.
+//!
+//! Following Section 2.1 of Keller & Lindstrom: "a relational database is a
+//! set of relations, along with a mapping `names -> relations` … each
+//! relation is a set of tuples of data items." Both levels are persistent
+//! values:
+//!
+//! * a [`Relation`] is a multiset of [`Tuple`]s keyed by their first
+//!   attribute, represented by any of the structures of `fundb_persist`
+//!   (linked list as in the paper's experiments, 2-3 tree, B-tree, paged
+//!   store);
+//! * a [`Database`] is a persistent association list from [`RelationName`]
+//!   to [`Relation`] — exactly the linked-list database of Section 4 — so
+//!   updating one relation re-conses the spine up to its entry and shares
+//!   the rest (the `D0`/`D1`/`D2` sharing example of Section 2.2).
+//!
+//! Nothing here mutates: every update returns a new value, and the old
+//! version remains a fully usable database.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod database;
+pub mod relation;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use database::{Database, DatabaseError, RelationName};
+pub use relation::{Relation, Repr};
+pub use schema::{Schema, SchemaError};
+pub use tuple::Tuple;
+pub use value::Value;

@@ -1,0 +1,570 @@
+//! Relations: persistent multisets of tuples keyed by their first field.
+//!
+//! "In the same way that we view a transaction as creating a new database,
+//! we also view the insertion of a tuple into a relation as the creation of
+//! a new relation." (Section 2.2.) A [`Relation`] value is immutable; every
+//! update returns the new relation plus a [`CopyReport`] quantifying how
+//! little of it was physically rebuilt.
+//!
+//! Four representations are provided. The paper's experiments used linked
+//! lists and projected better results for trees; benches compare them.
+
+use std::fmt;
+
+use fundb_persist::{BTree, CopyReport, PList, PagedStore, Tree23};
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Which physical representation a relation uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Repr {
+    /// Key-ordered persistent linked list (the paper's experimental setup).
+    List,
+    /// Persistent 2-3 tree of key → tuple bucket.
+    Tree23,
+    /// Persistent B-tree with the given minimum degree.
+    BTree(usize),
+    /// Paged store (Figure 2-2) with the given page capacity; kept in
+    /// arrival order.
+    Paged(usize),
+}
+
+impl fmt::Display for Repr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Repr::List => write!(f, "list"),
+            Repr::Tree23 => write!(f, "2-3 tree"),
+            Repr::BTree(t) => write!(f, "B-tree(t={t})"),
+            Repr::Paged(c) => write!(f, "paged(cap={c})"),
+        }
+    }
+}
+
+/// A persistent relation: a multiset of tuples addressed by key (first
+/// field). Duplicated keys are allowed; `find` returns every match.
+///
+/// Copy reports use representation-specific units (list cells, tree nodes,
+/// or pages) — they compare *within* a representation, which is how the
+/// sharing benches use them.
+///
+/// # Example
+///
+/// ```
+/// use fundb_relational::{Relation, Repr, Tuple};
+///
+/// let r0 = Relation::empty(Repr::List);
+/// let (r1, _) = r0.insert(Tuple::new(vec![1.into(), "ada".into()]));
+/// let (r2, _) = r1.insert(Tuple::new(vec![2.into(), "bob".into()]));
+/// assert_eq!(r2.len(), 2);
+/// assert_eq!(r2.find(&1.into()).len(), 1);
+/// assert_eq!(r1.len(), 1); // old version intact
+/// ```
+#[derive(Clone)]
+pub enum Relation {
+    /// Key-ordered linked list.
+    List(PList<Tuple>),
+    /// 2-3 tree of key → bucket of tuples with that key.
+    Tree(Tree23<Value, PList<Tuple>>),
+    /// B-tree of key → bucket.
+    BTree(BTree<Value, PList<Tuple>>),
+    /// Paged store in arrival order.
+    Paged(PagedStore<Tuple>),
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Relation[{}; {} tuples]", self.repr(), self.len())
+    }
+}
+
+impl Relation {
+    /// An empty relation with the chosen representation.
+    pub fn empty(repr: Repr) -> Self {
+        match repr {
+            Repr::List => Relation::List(PList::nil()),
+            Repr::Tree23 => Relation::Tree(Tree23::new()),
+            Repr::BTree(t) => Relation::BTree(BTree::new(t)),
+            Repr::Paged(c) => Relation::Paged(PagedStore::new(c)),
+        }
+    }
+
+    /// Builds a relation of the chosen representation from tuples.
+    pub fn from_tuples<I: IntoIterator<Item = Tuple>>(repr: Repr, tuples: I) -> Self {
+        let mut rel = Relation::empty(repr);
+        for t in tuples {
+            rel = rel.insert(t).0;
+        }
+        rel
+    }
+
+    /// The representation in use.
+    pub fn repr(&self) -> Repr {
+        match self {
+            Relation::List(_) => Repr::List,
+            Relation::Tree(_) => Repr::Tree23,
+            Relation::BTree(b) => Repr::BTree(b.min_degree()),
+            Relation::Paged(p) => Repr::Paged(p.page_capacity()),
+        }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        match self {
+            Relation::List(l) => l.len(),
+            Relation::Tree(t) => t.iter().map(|(_, b)| b.len()).sum(),
+            Relation::BTree(t) => t.iter().map(|(_, b)| b.len()).sum(),
+            Relation::Paged(p) => p.len(),
+        }
+    }
+
+    /// `true` if the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Relation::List(l) => l.is_empty(),
+            Relation::Tree(t) => t.is_empty(),
+            Relation::BTree(t) => t.is_empty(),
+            Relation::Paged(p) => p.is_empty(),
+        }
+    }
+
+    /// Inserts a tuple, returning the new relation and a copy report.
+    pub fn insert(&self, tuple: Tuple) -> (Relation, CopyReport) {
+        match self {
+            Relation::List(l) => {
+                let (l2, report) = l.insert_sorted_counted(tuple);
+                (Relation::List(l2), report)
+            }
+            Relation::Tree(t) => {
+                let key = tuple.key().clone();
+                let bucket = t.get(&key).cloned().unwrap_or_default();
+                let (t2, report) = t.insert_counted(key, PList::cons(tuple, bucket));
+                (Relation::Tree(t2), report)
+            }
+            Relation::BTree(t) => {
+                let key = tuple.key().clone();
+                let bucket = t.get(&key).cloned().unwrap_or_else(PList::nil);
+                let (t2, report) = t.insert_counted(key, PList::cons(tuple, bucket));
+                (Relation::BTree(t2), report)
+            }
+            Relation::Paged(p) => {
+                let (p2, report) = p.insert_counted(tuple);
+                (Relation::Paged(p2), report)
+            }
+        }
+    }
+
+    /// Every tuple whose key equals `key`.
+    pub fn find(&self, key: &Value) -> Vec<Tuple> {
+        match self {
+            Relation::List(l) => {
+                // Key-ordered: stop as soon as keys pass the target.
+                let mut out = Vec::new();
+                for t in l.iter() {
+                    match t.key().cmp(key) {
+                        std::cmp::Ordering::Less => continue,
+                        std::cmp::Ordering::Equal => out.push(t.clone()),
+                        std::cmp::Ordering::Greater => break,
+                    }
+                }
+                out
+            }
+            Relation::Tree(t) => t
+                .get(key)
+                .map(|b| b.iter().cloned().collect())
+                .unwrap_or_default(),
+            Relation::BTree(t) => t
+                .get(key)
+                .map(|b| b.iter().cloned().collect())
+                .unwrap_or_default(),
+            Relation::Paged(p) => p.iter().filter(|t| t.key() == key).cloned().collect(),
+        }
+    }
+
+    /// Every tuple whose key lies in `lo..=hi`, in key order.
+    ///
+    /// List relations stop scanning once keys pass `hi`; tree relations
+    /// prune subtrees (O(log n + answer)); paged relations scan fully.
+    pub fn find_range(&self, lo: &Value, hi: &Value) -> Vec<Tuple> {
+        if lo > hi {
+            return Vec::new();
+        }
+        match self {
+            Relation::List(l) => {
+                let mut out = Vec::new();
+                for t in l.iter() {
+                    if t.key() > hi {
+                        break;
+                    }
+                    if t.key() >= lo {
+                        out.push(t.clone());
+                    }
+                }
+                out
+            }
+            Relation::Tree(t) => t
+                .range(lo, hi)
+                .into_iter()
+                .flat_map(|(_, bucket)| {
+                    let mut b: Vec<Tuple> = bucket.iter().cloned().collect();
+                    b.reverse();
+                    b
+                })
+                .collect(),
+            Relation::BTree(t) => t
+                .range(lo, hi)
+                .into_iter()
+                .flat_map(|(_, bucket)| {
+                    let mut b: Vec<Tuple> = bucket.iter().cloned().collect();
+                    b.reverse();
+                    b
+                })
+                .collect(),
+            Relation::Paged(p) => {
+                let mut out: Vec<Tuple> = p
+                    .iter()
+                    .filter(|t| t.key() >= lo && t.key() <= hi)
+                    .cloned()
+                    .collect();
+                out.sort();
+                out
+            }
+        }
+    }
+
+    /// `true` if any tuple has this key.
+    pub fn contains_key(&self, key: &Value) -> bool {
+        match self {
+            Relation::Tree(t) => t.contains_key(key),
+            Relation::BTree(t) => t.contains_key(key),
+            _ => !self.find(key).is_empty(),
+        }
+    }
+
+    /// All tuples, in the representation's natural order (key order for
+    /// list/tree, arrival order for paged).
+    pub fn scan(&self) -> Vec<Tuple> {
+        match self {
+            Relation::List(l) => l.iter().cloned().collect(),
+            Relation::Tree(t) => t
+                .iter()
+                .flat_map(|(_, b)| {
+                    let mut bucket: Vec<Tuple> = b.iter().cloned().collect();
+                    bucket.reverse(); // buckets are consed, restore arrival order
+                    bucket
+                })
+                .collect(),
+            Relation::BTree(t) => t
+                .iter()
+                .flat_map(|(_, b)| {
+                    let mut bucket: Vec<Tuple> = b.iter().cloned().collect();
+                    bucket.reverse();
+                    bucket
+                })
+                .collect(),
+            Relation::Paged(p) => p.iter().cloned().collect(),
+        }
+    }
+
+    /// The tuples satisfying `pred`.
+    pub fn select<F: Fn(&Tuple) -> bool>(&self, pred: F) -> Vec<Tuple> {
+        self.scan().into_iter().filter(|t| pred(t)).collect()
+    }
+
+    /// Natural join on keys: for every pair of tuples (one from `self`, one
+    /// from `other`) with equal keys, emits their concatenation (the key
+    /// appears once, followed by the remaining fields of both sides).
+    /// Output follows `self`'s scan order.
+    pub fn join_by_key(&self, other: &Relation) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        for left in self.scan() {
+            for right in other.find(left.key()) {
+                let fields: Vec<Value> = left
+                    .iter()
+                    .cloned()
+                    .chain(right.iter().skip(1).cloned())
+                    .collect();
+                out.push(Tuple::new(fields));
+            }
+        }
+        out
+    }
+
+    /// `true` if `self` and `other` are physically the same relation value
+    /// (same root/spine pointer). Used to *prove* the paper's sharing claims
+    /// across database versions.
+    pub fn ptr_eq(&self, other: &Relation) -> bool {
+        match (self, other) {
+            (Relation::List(a), Relation::List(b)) => a.ptr_eq(b),
+            (Relation::Tree(a), Relation::Tree(b)) => a.ptr_eq(b),
+            (Relation::BTree(a), Relation::BTree(b)) => a.ptr_eq(b),
+            (Relation::Paged(a), Relation::Paged(b)) => a.ptr_eq(b),
+            _ => false,
+        }
+    }
+
+    /// Removes every tuple with key `key`, returning the new relation, the
+    /// removed tuples, and a copy report. Returns an unchanged relation and
+    /// no tuples if the key is absent.
+    pub fn delete(&self, key: &Value) -> (Relation, Vec<Tuple>, CopyReport) {
+        match self {
+            Relation::List(l) => {
+                // Matching keys are contiguous in the sorted list: copy the
+                // prefix, drop the run, share the suffix.
+                let mut prefix: Vec<Tuple> = Vec::new();
+                let mut removed = Vec::new();
+                let mut cur = l.clone();
+                loop {
+                    match cur.head() {
+                        Some(t) if t.key() < key => {
+                            prefix.push(t.clone());
+                            cur = cur.tail().expect("nonempty list has a tail");
+                        }
+                        Some(t) if t.key() == key => {
+                            removed.push(t.clone());
+                            cur = cur.tail().expect("nonempty list has a tail");
+                        }
+                        _ => break,
+                    }
+                }
+                if removed.is_empty() {
+                    return (self.clone(), Vec::new(), CopyReport::default());
+                }
+                let shared = cur.len() as u64;
+                let copied = prefix.len() as u64;
+                let mut out = cur;
+                for t in prefix.into_iter().rev() {
+                    out = PList::cons(t, out);
+                }
+                (Relation::List(out), removed, CopyReport::new(copied, shared))
+            }
+            Relation::Tree(t) => match t.remove(key) {
+                None => (self.clone(), Vec::new(), CopyReport::default()),
+                Some((t2, bucket)) => {
+                    let mut removed: Vec<Tuple> = bucket.iter().cloned().collect();
+                    removed.reverse();
+                    let report = CopyReport::new(0, t2.node_count());
+                    (Relation::Tree(t2), removed, report)
+                }
+            },
+            Relation::BTree(t) => match t.remove(key) {
+                None => (self.clone(), Vec::new(), CopyReport::default()),
+                Some((t2, bucket)) => {
+                    let mut removed: Vec<Tuple> = bucket.iter().cloned().collect();
+                    removed.reverse();
+                    let report = CopyReport::new(0, t2.node_count());
+                    (Relation::BTree(t2), removed, report)
+                }
+            },
+            Relation::Paged(p) => {
+                // Paged stores have no key order: rebuild (pessimistic, and
+                // documented as such — arrival-order stores are an archive
+                // format in the paper's sense).
+                let mut kept = Vec::new();
+                let mut removed = Vec::new();
+                for t in p.iter() {
+                    if t.key() == key {
+                        removed.push(t.clone());
+                    } else {
+                        kept.push(t.clone());
+                    }
+                }
+                if removed.is_empty() {
+                    return (self.clone(), Vec::new(), CopyReport::default());
+                }
+                let store = PagedStore::with_capacity(p.page_capacity(), kept);
+                let copied = store.page_count() as u64;
+                (Relation::Paged(store), removed, CopyReport::new(copied, 0))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuples() -> Vec<Tuple> {
+        vec![
+            Tuple::new(vec![3.into(), "c".into()]),
+            Tuple::new(vec![1.into(), "a".into()]),
+            Tuple::new(vec![2.into(), "b".into()]),
+        ]
+    }
+
+    fn all_reprs() -> Vec<Repr> {
+        vec![Repr::List, Repr::Tree23, Repr::BTree(4), Repr::Paged(4)]
+    }
+
+    #[test]
+    fn empty_relations() {
+        for repr in all_reprs() {
+            let r = Relation::empty(repr);
+            assert!(r.is_empty(), "{repr}");
+            assert_eq!(r.len(), 0);
+            assert!(r.find(&1.into()).is_empty());
+            assert!(r.scan().is_empty());
+            assert_eq!(r.repr(), repr);
+        }
+    }
+
+    #[test]
+    fn insert_find_all_reprs() {
+        for repr in all_reprs() {
+            let r = Relation::from_tuples(repr, tuples());
+            assert_eq!(r.len(), 3, "{repr}");
+            let found = r.find(&2.into());
+            assert_eq!(found.len(), 1, "{repr}");
+            assert_eq!(found[0].get(1), Some(&Value::from("b")));
+            assert!(r.find(&9.into()).is_empty());
+            assert!(r.contains_key(&1.into()));
+            assert!(!r.contains_key(&9.into()));
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_all_found() {
+        for repr in all_reprs() {
+            let r = Relation::from_tuples(
+                repr,
+                vec![
+                    Tuple::new(vec![1.into(), "x".into()]),
+                    Tuple::new(vec![1.into(), "y".into()]),
+                    Tuple::new(vec![2.into(), "z".into()]),
+                ],
+            );
+            assert_eq!(r.len(), 3, "{repr}");
+            assert_eq!(r.find(&1.into()).len(), 2, "{repr}");
+        }
+    }
+
+    #[test]
+    fn scan_orders() {
+        let list = Relation::from_tuples(Repr::List, tuples());
+        let keys: Vec<i64> = list.scan().iter().map(|t| t.key().as_int().unwrap()).collect();
+        assert_eq!(keys, vec![1, 2, 3]); // key order
+
+        let paged = Relation::from_tuples(Repr::Paged(2), tuples());
+        let keys: Vec<i64> = paged.scan().iter().map(|t| t.key().as_int().unwrap()).collect();
+        assert_eq!(keys, vec![3, 1, 2]); // arrival order
+
+        let tree = Relation::from_tuples(Repr::Tree23, tuples());
+        let keys: Vec<i64> = tree.scan().iter().map(|t| t.key().as_int().unwrap()).collect();
+        assert_eq!(keys, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn persistence_all_reprs() {
+        for repr in all_reprs() {
+            let v1 = Relation::from_tuples(repr, tuples());
+            let (v2, _) = v1.insert(Tuple::of_key(10));
+            assert_eq!(v1.len(), 3, "{repr}");
+            assert_eq!(v2.len(), 4, "{repr}");
+            assert!(v1.find(&10.into()).is_empty());
+        }
+    }
+
+    #[test]
+    fn delete_all_reprs() {
+        for repr in all_reprs() {
+            let v1 = Relation::from_tuples(
+                repr,
+                vec![
+                    Tuple::new(vec![1.into(), "x".into()]),
+                    Tuple::new(vec![1.into(), "y".into()]),
+                    Tuple::new(vec![2.into(), "z".into()]),
+                ],
+            );
+            let (v2, removed, _) = v1.delete(&1.into());
+            assert_eq!(removed.len(), 2, "{repr}");
+            assert_eq!(v2.len(), 1, "{repr}");
+            assert!(v2.find(&1.into()).is_empty(), "{repr}");
+            assert_eq!(v1.len(), 3, "{repr} old version");
+            // Deleting an absent key changes nothing.
+            let (v3, removed, report) = v2.delete(&42.into());
+            assert!(removed.is_empty());
+            assert_eq!(v3.len(), 1);
+            assert_eq!(report, fundb_persist::CopyReport::default());
+        }
+    }
+
+    #[test]
+    fn list_insert_sharing() {
+        let v1 = Relation::from_tuples(
+            Repr::List,
+            (0..20).map(|i| Tuple::of_key(i * 2)),
+        );
+        // Key 1 sorts near the front: nearly everything shared.
+        let (_v2, report) = v1.insert(Tuple::of_key(1));
+        assert!(report.shared >= 18, "{report}");
+        assert!(report.copied <= 2, "{report}");
+    }
+
+    #[test]
+    fn find_range_all_reprs() {
+        for repr in all_reprs() {
+            let r = Relation::from_tuples(repr, (0..20).map(|k| Tuple::of_key(k * 2)));
+            let got: Vec<i64> = r
+                .find_range(&5.into(), &13.into())
+                .iter()
+                .map(|t| t.key().as_int().unwrap())
+                .collect();
+            assert_eq!(got, vec![6, 8, 10, 12], "{repr}");
+            assert!(r.find_range(&13.into(), &5.into()).is_empty(), "{repr}");
+            assert_eq!(r.find_range(&0.into(), &100.into()).len(), 20, "{repr}");
+        }
+    }
+
+    #[test]
+    fn select_with_predicate() {
+        let r = Relation::from_tuples(Repr::List, (0..10).map(Tuple::of_key));
+        let evens = r.select(|t| t.key().as_int().unwrap() % 2 == 0);
+        assert_eq!(evens.len(), 5);
+    }
+
+    #[test]
+    fn join_by_key_all_reprs() {
+        for left_repr in all_reprs() {
+            let left = Relation::from_tuples(
+                left_repr,
+                vec![
+                    Tuple::new(vec![1.into(), "a".into()]),
+                    Tuple::new(vec![2.into(), "b".into()]),
+                    Tuple::new(vec![3.into(), "c".into()]),
+                ],
+            );
+            let right = Relation::from_tuples(
+                Repr::Tree23,
+                vec![
+                    Tuple::new(vec![2.into(), "x".into()]),
+                    Tuple::new(vec![2.into(), "y".into()]),
+                    Tuple::new(vec![3.into(), "z".into()]),
+                ],
+            );
+            let joined = left.join_by_key(&right);
+            assert_eq!(joined.len(), 3, "{left_repr}");
+            for t in &joined {
+                assert_eq!(t.arity(), 3, "{left_repr}");
+            }
+            // Key 1 has no partner; key 2 joins twice.
+            let keys: Vec<i64> = joined.iter().map(|t| t.key().as_int().unwrap()).collect();
+            let mut sorted = keys.clone();
+            sorted.sort();
+            assert_eq!(sorted, vec![2, 2, 3], "{left_repr}");
+        }
+    }
+
+    #[test]
+    fn join_with_empty_is_empty() {
+        let left = Relation::from_tuples(Repr::List, (0..3).map(Tuple::of_key));
+        let empty = Relation::empty(Repr::List);
+        assert!(left.join_by_key(&empty).is_empty());
+        assert!(empty.join_by_key(&left).is_empty());
+    }
+
+    #[test]
+    fn debug_format() {
+        let r = Relation::empty(Repr::List);
+        assert_eq!(format!("{r:?}"), "Relation[list; 0 tuples]");
+    }
+}

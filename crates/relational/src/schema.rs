@@ -1,0 +1,152 @@
+//! Relation schemas: named attributes.
+//!
+//! The paper's model only requires `names -> relations`; attribute names
+//! are the natural next layer (its DAPLEX/functional-data-model relatives
+//! are all about named functions over entities). A [`Schema`] maps
+//! attribute names to field positions so queries can say `name = 'ada'`
+//! instead of `#1 = 'ada'`.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Named attributes for a relation, in field order.
+///
+/// Cheap to clone; immutable once built.
+///
+/// # Example
+///
+/// ```
+/// use fundb_relational::Schema;
+///
+/// let s = Schema::new(&["id", "name", "dept"])?;
+/// assert_eq!(s.position("name"), Some(1));
+/// assert_eq!(s.arity(), 3);
+/// assert_eq!(s.to_string(), "(id, name, dept)");
+/// # Ok::<(), fundb_relational::SchemaError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Schema {
+    attrs: Arc<[String]>,
+}
+
+/// Error building a [`Schema`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// A schema needs at least one attribute (the key).
+    Empty,
+    /// The same attribute name appears twice.
+    Duplicate(String),
+    /// Attribute names must be non-empty.
+    Unnamed,
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::Empty => f.write_str("schema needs at least one attribute"),
+            SchemaError::Duplicate(a) => write!(f, "duplicate attribute name: {a}"),
+            SchemaError::Unnamed => f.write_str("attribute names must be non-empty"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+impl Schema {
+    /// Builds a schema from attribute names (field order).
+    ///
+    /// # Errors
+    ///
+    /// [`SchemaError`] on empty schemas, empty names, or duplicates.
+    pub fn new<S: AsRef<str>>(attrs: &[S]) -> Result<Self, SchemaError> {
+        if attrs.is_empty() {
+            return Err(SchemaError::Empty);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for a in attrs {
+            let a = a.as_ref();
+            if a.is_empty() {
+                return Err(SchemaError::Unnamed);
+            }
+            if !seen.insert(a.to_string()) {
+                return Err(SchemaError::Duplicate(a.to_string()));
+            }
+        }
+        Ok(Schema {
+            attrs: attrs.iter().map(|a| a.as_ref().to_string()).collect(),
+        })
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Field position of `attr`, if present.
+    pub fn position(&self, attr: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a == attr)
+    }
+
+    /// The attribute names, in field order.
+    pub fn attrs(&self) -> &[String] {
+        &self.attrs
+    }
+
+    /// The attribute name at `index`, if in range.
+    pub fn attr(&self, index: usize) -> Option<&str> {
+        self.attrs.get(index).map(String::as_str)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            f.write_str(a)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_resolves() {
+        let s = Schema::new(&["id", "name"]).unwrap();
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.position("id"), Some(0));
+        assert_eq!(s.position("name"), Some(1));
+        assert_eq!(s.position("nope"), None);
+        assert_eq!(s.attr(1), Some("name"));
+        assert_eq!(s.attr(2), None);
+        assert_eq!(s.attrs(), &["id".to_string(), "name".to_string()]);
+    }
+
+    #[test]
+    fn rejects_bad_schemas() {
+        assert_eq!(Schema::new::<&str>(&[]).unwrap_err(), SchemaError::Empty);
+        assert_eq!(
+            Schema::new(&["a", "a"]).unwrap_err(),
+            SchemaError::Duplicate("a".into())
+        );
+        assert_eq!(Schema::new(&["a", ""]).unwrap_err(), SchemaError::Unnamed);
+    }
+
+    #[test]
+    fn display() {
+        let s = Schema::new(&["id", "name", "dept"]).unwrap();
+        assert_eq!(s.to_string(), "(id, name, dept)");
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(SchemaError::Empty.to_string().contains("at least one"));
+        assert!(SchemaError::Duplicate("x".into()).to_string().contains('x'));
+        assert!(SchemaError::Unnamed.to_string().contains("non-empty"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Data items.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// One data item in a tuple: an integer, a string, or a boolean.
+///
+/// Values of different kinds have a stable total order (integers < strings
+/// < booleans) so heterogeneous relations still sort deterministically.
+///
+/// # Example
+///
+/// ```
+/// use fundb_relational::Value;
+///
+/// let v = Value::from("widget");
+/// assert_eq!(v.to_string(), "'widget'");
+/// assert!(Value::from(10) < Value::from(20));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// An immutable string (cheap to clone).
+    Str(Arc<str>),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Sorting rank of the kind, giving the cross-kind order.
+    fn kind_rank(&self) -> u8 {
+        match self {
+            Value::Int(_) => 0,
+            Value::Str(_) => 1,
+            Value::Bool(_) => 2,
+        }
+    }
+
+    /// The integer inside, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The string inside, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean inside, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            _ => self.kind_rank().cmp(&other.kind_rank()),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(Arc::from(s))
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl fmt::Display for Value {
+    /// Renders in the query language's literal syntax: embedded quotes in
+    /// strings are doubled (`''`), so any value's display re-parses.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64).as_int(), Some(3));
+        assert_eq!(Value::from(3i32).as_int(), Some(3));
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from("x".to_string()).as_str(), Some("x"));
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::from(1).as_str(), None);
+        assert_eq!(Value::from("x").as_int(), None);
+        assert_eq!(Value::from(1).as_bool(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::from(7).to_string(), "7");
+        assert_eq!(Value::from("hi").to_string(), "'hi'");
+        assert_eq!(Value::from(false).to_string(), "false");
+        // Embedded quotes are escaped so the literal re-parses.
+        assert_eq!(Value::from("o'brien").to_string(), "'o''brien'");
+    }
+
+    #[test]
+    fn same_kind_ordering() {
+        assert!(Value::from(1) < Value::from(2));
+        assert!(Value::from("a") < Value::from("b"));
+        assert!(Value::from(false) < Value::from(true));
+    }
+
+    #[test]
+    fn cross_kind_ordering_is_total_and_stable() {
+        let mut vals = vec![Value::from(true), Value::from("s"), Value::from(0)];
+        vals.sort();
+        assert_eq!(vals, vec![Value::from(0), Value::from("s"), Value::from(true)]);
+    }
+
+    #[test]
+    fn equality() {
+        assert_eq!(Value::from("a"), Value::from("a"));
+        assert_ne!(Value::from("a"), Value::from(1));
+    }
+}

@@ -1,0 +1,52 @@
+//! Cost-model calibration sweep.
+//!
+//! Re-runs the Table I–III reproductions under a cost model overridden from
+//! the command line — the tool used to fix the defaults documented in
+//! DESIGN.md §6.
+//!
+//! ```text
+//! cargo run -p fundb-workload --example sweep --release -- \
+//!     [unfold] [visit] [copy] [strict_copy] [anticipation|none]
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut model = fundb_core::CostModel::default();
+    if let Some(v) = args.get(1) {
+        model.unfold = v.parse().expect("unfold: u32");
+    }
+    if let Some(v) = args.get(2) {
+        model.visit = v.parse().expect("visit: u32");
+    }
+    if let Some(v) = args.get(3) {
+        model.copy = v.parse().expect("copy: u32");
+    }
+    if let Some(v) = args.get(4) {
+        model.strict_copy = v.parse().expect("strict_copy: bool");
+    }
+    if let Some(v) = args.get(5) {
+        model.anticipation = match v.as_str() {
+            "none" => None,
+            w => Some(w.parse().expect("anticipation: u32 or 'none'")),
+        };
+    }
+    eprintln!("{model:?}");
+    print!(
+        "{}",
+        fundb_workload::report::render_table1(&fundb_workload::run_table1(model))
+    );
+    print!(
+        "{}",
+        fundb_workload::report::render_speedup_table(
+            "Table II: Speedup, 8-node hypercube",
+            &fundb_workload::run_table2(model)
+        )
+    );
+    print!(
+        "{}",
+        fundb_workload::report::render_speedup_table(
+            "Table III: Speedup, 27-node Euclidean cube",
+            &fundb_workload::run_table3(model)
+        )
+    );
+}

@@ -1,0 +1,297 @@
+//! The paper's experiment battery (Tables I, II, III).
+//!
+//! Each run pairs our measurement with the paper's published value so the
+//! report (and EXPERIMENTS.md) can show them side by side. Absolute
+//! agreement is not expected — our substrate models, not replays, the 1985
+//! Rediflow machine — but the shape (decline with update fraction, relative
+//! ordering of the relation columns, speedup bands per topology) should
+//! hold.
+
+use fundb_core::{CostModel, DataflowCompiler};
+use fundb_rediflow::{ConcurrencyReport, EuclideanCube, Hypercube, Scheduler, TaskGraph, Topology};
+
+use crate::gen::WorkloadSpec;
+
+/// The update percentages of the paper's sweep (row labels).
+pub const PAPER_UPDATE_PERCENTS: [u32; 6] = [0, 4, 7, 14, 24, 38];
+
+/// Insert counts out of 50 transactions realizing those percentages.
+pub const PAPER_INSERT_COUNTS: [usize; 6] = [0, 2, 3, 7, 12, 19];
+
+/// The relation-count columns, in the paper's column order.
+pub const PAPER_RELATION_COLUMNS: [usize; 3] = [5, 3, 1];
+
+/// Paper Table I values: `[row][column] = (max, avg)`, `None` where the
+/// published table has a gap (the 7% row's 3-relation column).
+pub const PAPER_TABLE1: [[Option<(u32, u32)>; 3]; 6] = [
+    [Some((25, 14)), Some((27, 15)), Some((39, 17))],
+    [Some((25, 14)), Some((28, 15)), Some((45, 17))],
+    [Some((26, 14)), None, Some((46, 15))],
+    [Some((26, 14)), Some((29, 13)), Some((42, 13))],
+    [Some((24, 12)), Some((28, 11)), Some((36, 9))],
+    [Some((24, 10)), Some((24, 9)), Some((22, 9))],
+];
+
+/// Paper Table II (8-node hypercube speedups), same layout.
+pub const PAPER_TABLE2: [[Option<f64>; 3]; 6] = [
+    [Some(5.6), Some(5.7), Some(6.2)],
+    [Some(5.6), Some(5.7), Some(6.1)],
+    [Some(5.6), None, Some(5.9)],
+    [Some(5.4), Some(5.5), Some(5.6)],
+    [Some(5.2), Some(5.0), Some(4.7)],
+    [Some(4.8), Some(4.6), Some(4.7)],
+];
+
+/// Paper Table III (27-node Euclidean cube speedups), same layout.
+pub const PAPER_TABLE3: [[Option<f64>; 3]; 6] = [
+    [Some(7.2), Some(7.6), Some(8.9)],
+    [Some(7.2), Some(7.6), Some(8.9)],
+    [Some(7.1), None, Some(8.9)],
+    [Some(7.2), Some(7.6), Some(7.8)],
+    [Some(6.8), Some(6.4), Some(6.1)],
+    [Some(6.0), Some(6.2), Some(6.0)],
+];
+
+/// One cell of the Table I reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Update percentage (row label).
+    pub percent: u32,
+    /// Relation count (column label).
+    pub relations: usize,
+    /// Measured maximum ply width.
+    pub max_width: u32,
+    /// Measured average ply width.
+    pub avg_width: f64,
+    /// The paper's `(max, avg)` for this cell, if published.
+    pub paper: Option<(u32, u32)>,
+}
+
+/// One cell of a speedup-table reproduction (Tables II and III).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupRow {
+    /// Update percentage (row label).
+    pub percent: u32,
+    /// Relation count (column label).
+    pub relations: usize,
+    /// Measured speedup.
+    pub speedup: f64,
+    /// The paper's speedup for this cell, if published.
+    pub paper: Option<f64>,
+}
+
+/// Builds the task graph for one sweep cell.
+pub fn cell_graph(relations: usize, inserts: usize, model: CostModel) -> TaskGraph {
+    let w = WorkloadSpec::paper(relations, inserts).generate();
+    DataflowCompiler::new(model).compile(&w.initial, &w.txns)
+}
+
+/// Runs the Table I sweep (mode 1: infinite PEs, unit tasks, zero
+/// communication) under `model`, in paper row/column order.
+pub fn run_table1(model: CostModel) -> Vec<Table1Row> {
+    let mut rows = Vec::new();
+    for (ri, (&percent, &inserts)) in PAPER_UPDATE_PERCENTS
+        .iter()
+        .zip(PAPER_INSERT_COUNTS.iter())
+        .enumerate()
+    {
+        for (ci, &relations) in PAPER_RELATION_COLUMNS.iter().enumerate() {
+            let graph = cell_graph(relations, inserts, model);
+            let report = ConcurrencyReport::of(&graph);
+            rows.push(Table1Row {
+                percent,
+                relations,
+                max_width: report.max_width(),
+                avg_width: report.avg_width(),
+                paper: PAPER_TABLE1[ri][ci],
+            });
+        }
+    }
+    rows
+}
+
+fn run_speedup_table(
+    model: CostModel,
+    topology: &dyn Topology,
+    paper: &[[Option<f64>; 3]; 6],
+) -> Vec<SpeedupRow> {
+    let mut rows = Vec::new();
+    for (ri, (&percent, &inserts)) in PAPER_UPDATE_PERCENTS
+        .iter()
+        .zip(PAPER_INSERT_COUNTS.iter())
+        .enumerate()
+    {
+        for (ci, &relations) in PAPER_RELATION_COLUMNS.iter().enumerate() {
+            let graph = cell_graph(relations, inserts, model);
+            let result = Scheduler::with_defaults(topology).run(&graph);
+            rows.push(SpeedupRow {
+                percent,
+                relations,
+                speedup: result.speedup(),
+                paper: paper[ri][ci],
+            });
+        }
+    }
+    rows
+}
+
+/// Runs the Table II sweep: same workloads on the 8-node binary hypercube
+/// with hop-count communication delays.
+pub fn run_table2(model: CostModel) -> Vec<SpeedupRow> {
+    run_speedup_table(model, &Hypercube::new(3), &PAPER_TABLE2)
+}
+
+/// Runs the Table III sweep: the 27-node (3×3×3) Euclidean cube.
+pub fn run_table3(model: CostModel) -> Vec<SpeedupRow> {
+    run_speedup_table(model, &EuclideanCube::new(3), &PAPER_TABLE3)
+}
+
+/// One row of the scaling study (an extension beyond the paper's fixed
+/// 50-transaction streams).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingRow {
+    /// Transactions in the stream.
+    pub transactions: usize,
+    /// Mode-1 maximum ply width.
+    pub max_width: u32,
+    /// Mode-1 average ply width.
+    pub avg_width: f64,
+    /// Mode-2 speedup on the 8-node hypercube.
+    pub speedup8: f64,
+}
+
+/// Extension study: how concurrency grows with the transaction-stream
+/// length (3 relations, 14% inserts, the paper's middle cell). Pipeline
+/// concurrency needs in-flight transactions, so short streams can't fill
+/// the machine; widths should rise toward an asymptote as streams lengthen.
+pub fn run_scaling(model: CostModel, txn_counts: &[usize]) -> Vec<ScalingRow> {
+    use crate::gen::WorkloadSpec;
+    let topo = Hypercube::new(3);
+    txn_counts
+        .iter()
+        .map(|&transactions| {
+            let inserts = (transactions as f64 * 0.14).round() as usize;
+            let w = WorkloadSpec {
+                transactions,
+                relations: 3,
+                inserts,
+                ..WorkloadSpec::default()
+            }
+            .generate();
+            let graph = DataflowCompiler::new(model).compile(&w.initial, &w.txns);
+            let report = ConcurrencyReport::of(&graph);
+            let sched = Scheduler::with_defaults(&topo).run(&graph);
+            ScalingRow {
+                transactions,
+                max_width: report.max_width(),
+                avg_width: report.avg_width(),
+                speedup8: sched.speedup(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(rows: &[Table1Row], percent: u32, relations: usize) -> &Table1Row {
+        rows.iter()
+            .find(|r| r.percent == percent && r.relations == relations)
+            .expect("sweep covers all cells")
+    }
+
+    #[test]
+    fn sweep_covers_all_cells() {
+        let rows = run_table1(CostModel::default());
+        assert_eq!(rows.len(), 18);
+        // All paper cells present except the published gap.
+        assert_eq!(rows.iter().filter(|r| r.paper.is_none()).count(), 1);
+    }
+
+    #[test]
+    fn table1_shape_decline_with_updates() {
+        let rows = run_table1(CostModel::default());
+        for &relations in &PAPER_RELATION_COLUMNS {
+            let low = cell(&rows, 0, relations).avg_width;
+            let high = cell(&rows, 38, relations).avg_width;
+            assert!(
+                high < low,
+                "{relations} relations: avg width should decline ({low:.1} -> {high:.1})"
+            );
+        }
+    }
+
+    #[test]
+    fn table1_magnitudes_in_band() {
+        // "Reasonably high for such a small example": tens of max width,
+        // roughly 5-30 average — the same order as the paper's numbers.
+        let rows = run_table1(CostModel::default());
+        for r in &rows {
+            assert!(
+                r.max_width >= 5 && r.max_width <= 80,
+                "{}% {} rel: max {}",
+                r.percent,
+                r.relations,
+                r.max_width
+            );
+            assert!(
+                r.avg_width >= 2.0 && r.avg_width <= 40.0,
+                "{}% {} rel: avg {:.1}",
+                r.percent,
+                r.relations,
+                r.avg_width
+            );
+        }
+    }
+
+    #[test]
+    fn scaling_rises_with_stream_length() {
+        let rows = run_scaling(CostModel::default(), &[5, 50, 200]);
+        assert_eq!(rows.len(), 3);
+        assert!(
+            rows[0].avg_width < rows[2].avg_width,
+            "5 txns {:.1} vs 200 txns {:.1}",
+            rows[0].avg_width,
+            rows[2].avg_width
+        );
+        assert!(rows[2].speedup8 <= 8.0 + 1e-9);
+    }
+
+    #[test]
+    fn speedup_tables_in_band() {
+        let t2 = run_table2(CostModel::default());
+        for r in &t2 {
+            assert!(r.speedup > 1.0 && r.speedup <= 8.0, "{r:?}");
+        }
+        let t3 = run_table3(CostModel::default());
+        for r in &t3 {
+            assert!(r.speedup > 1.0 && r.speedup <= 27.0, "{r:?}");
+        }
+        // The bigger machine is at least as fast on the widest workload.
+        let wide2 = t2.iter().find(|r| r.percent == 0 && r.relations == 1).unwrap();
+        let wide3 = t3.iter().find(|r| r.percent == 0 && r.relations == 1).unwrap();
+        assert!(wide3.speedup >= wide2.speedup * 0.9, "{wide2:?} vs {wide3:?}");
+    }
+
+    #[test]
+    fn speedup_declines_with_updates_on_hypercube() {
+        let t2 = run_table2(CostModel::default());
+        for &relations in &PAPER_RELATION_COLUMNS {
+            let low = t2
+                .iter()
+                .find(|r| r.percent == 0 && r.relations == relations)
+                .unwrap()
+                .speedup;
+            let high = t2
+                .iter()
+                .find(|r| r.percent == 38 && r.relations == relations)
+                .unwrap()
+                .speedup;
+            assert!(
+                high <= low,
+                "{relations} rel: speedup should not rise with updates ({low:.1} -> {high:.1})"
+            );
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Seeded workload generation.
+
+use fundb_query::{parse, translate, Transaction};
+use fundb_relational::{Database, Repr, Tuple};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Parameters for a generated workload (defaults reproduce the paper's
+/// Section 4 setup).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Number of transactions (paper: 50).
+    pub transactions: usize,
+    /// Number of relations (paper: 1, 3 or 5).
+    pub relations: usize,
+    /// Total tuples across all relations initially (paper: 50).
+    pub initial_tuples: usize,
+    /// How many of the transactions are single-tuple inserts; the rest are
+    /// single-tuple finds.
+    pub inserts: usize,
+    /// Relation representation (paper: linked lists).
+    pub repr: Repr,
+    /// RNG seed; equal specs generate equal workloads.
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            transactions: 50,
+            relations: 1,
+            initial_tuples: 50,
+            inserts: 0,
+            repr: Repr::List,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// The paper's configuration for a (relations, insert-count) cell.
+    pub fn paper(relations: usize, inserts: usize) -> Self {
+        WorkloadSpec {
+            relations,
+            inserts,
+            ..WorkloadSpec::default()
+        }
+    }
+
+    /// Generates the initial database and transaction batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `relations` is zero or `inserts > transactions`.
+    pub fn generate(&self) -> Workload {
+        assert!(self.relations > 0, "need at least one relation");
+        assert!(
+            self.inserts <= self.transactions,
+            "more inserts than transactions"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+
+        // Initial database: tuples dealt round-robin across relations, keys
+        // even so odd keys are fresh insert targets.
+        let mut db = Database::empty();
+        let names: Vec<String> = (0..self.relations).map(|r| format!("R{r}")).collect();
+        for n in &names {
+            db = db
+                .create_relation(n.as_str(), self.repr)
+                .expect("generated names are unique");
+        }
+        let mut per_relation = vec![0usize; self.relations];
+        for i in 0..self.initial_tuples {
+            let r = i % self.relations;
+            let key = (per_relation[r] * 2) as i64;
+            per_relation[r] += 1;
+            let (d2, _) = db
+                .insert(&names[r].as_str().into(), Tuple::of_key(key))
+                .expect("relation exists");
+            db = d2;
+        }
+
+        // Insert positions: spread deterministically via a seeded shuffle.
+        let mut is_insert = vec![false; self.transactions];
+        let mut positions: Vec<usize> = (0..self.transactions).collect();
+        positions.shuffle(&mut rng);
+        for &p in positions.iter().take(self.inserts) {
+            is_insert[p] = true;
+        }
+
+        let mut queries = Vec::with_capacity(self.transactions);
+        for insert in is_insert {
+            let r = rng.gen_range(0..self.relations);
+            let name = &names[r];
+            if insert {
+                // Fresh odd key somewhere inside the relation's key range.
+                let span = (per_relation[r].max(1) * 2) as i64;
+                let key = rng.gen_range(0..span) | 1;
+                queries.push(format!("insert {key} into {name}"));
+            } else {
+                // Find an (almost always existing) even key.
+                let span = (per_relation[r].max(1) * 2) as i64;
+                let key = rng.gen_range(0..span) & !1;
+                queries.push(format!("find {key} in {name}"));
+            }
+        }
+        let txns = queries
+            .iter()
+            .map(|q| translate(parse(q).expect("generated queries parse")))
+            .collect();
+        Workload {
+            spec: *self,
+            initial: db,
+            queries,
+            txns,
+        }
+    }
+}
+
+/// A generated workload: initial database plus the transaction batch (both
+/// symbolic and translated forms).
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The generating spec.
+    pub spec: WorkloadSpec,
+    /// The initial database.
+    pub initial: Database,
+    /// The symbolic queries, in merged (serialization) order.
+    pub queries: Vec<String>,
+    /// The translated transactions, aligned with `queries`.
+    pub txns: Vec<Transaction>,
+}
+
+impl Workload {
+    /// Actual insert fraction of the batch.
+    pub fn insert_fraction(&self) -> f64 {
+        if self.txns.is_empty() {
+            0.0
+        } else {
+            self.spec.inserts as f64 / self.txns.len() as f64
+        }
+    }
+
+    /// Splits the batch round-robin across `clients` submitters, preserving
+    /// per-client relative order — the multi-terminal view of the same
+    /// workload, ready for the merge-based serializer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` is zero.
+    pub fn split_clients(
+        &self,
+        clients: usize,
+    ) -> Vec<(fundb_core::ClientId, Vec<Transaction>)> {
+        assert!(clients > 0, "need at least one client");
+        let mut out: Vec<(fundb_core::ClientId, Vec<Transaction>)> = (0..clients)
+            .map(|c| (fundb_core::ClientId(c as u32), Vec::new()))
+            .collect();
+        for (i, tx) in self.txns.iter().enumerate() {
+            out[i % clients].1.push(tx.clone());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_shape() {
+        let w = WorkloadSpec::default().generate();
+        assert_eq!(w.txns.len(), 50);
+        assert_eq!(w.initial.relation_count(), 1);
+        assert_eq!(w.initial.tuple_count(), 50);
+        assert!(w.queries.iter().all(|q| q.starts_with("find")));
+    }
+
+    #[test]
+    fn tuples_distributed_across_relations() {
+        let w = WorkloadSpec::paper(3, 0).generate();
+        assert_eq!(w.initial.relation_count(), 3);
+        assert_eq!(w.initial.tuple_count(), 50);
+        for n in ["R0", "R1", "R2"] {
+            let rel = w.initial.relation(&n.into()).unwrap();
+            assert!(rel.len() >= 16, "{n} has {}", rel.len());
+        }
+    }
+
+    #[test]
+    fn insert_count_is_exact() {
+        for inserts in [0, 2, 7, 19, 50] {
+            let w = WorkloadSpec::paper(5, inserts).generate();
+            let got = w.queries.iter().filter(|q| q.starts_with("insert")).count();
+            assert_eq!(got, inserts);
+            assert!((w.insert_fraction() - inserts as f64 / 50.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = WorkloadSpec::paper(3, 7).generate();
+        let b = WorkloadSpec::paper(3, 7).generate();
+        assert_eq!(a.queries, b.queries);
+        let c = WorkloadSpec {
+            seed: 99,
+            ..WorkloadSpec::paper(3, 7)
+        }
+        .generate();
+        assert_ne!(a.queries, c.queries);
+    }
+
+    #[test]
+    fn generated_batch_executes_cleanly() {
+        let w = WorkloadSpec::paper(3, 12).generate();
+        let mut db = w.initial.clone();
+        for tx in &w.txns {
+            let (resp, d2) = tx.apply(&db);
+            assert!(!resp.is_error(), "{resp}");
+            db = d2;
+        }
+        assert_eq!(db.tuple_count(), 50 + 12);
+    }
+
+    #[test]
+    fn split_clients_partitions_in_order() {
+        let w = WorkloadSpec::paper(1, 0).generate();
+        let clients = w.split_clients(3);
+        assert_eq!(clients.len(), 3);
+        let total: usize = clients.iter().map(|(_, t)| t.len()).sum();
+        assert_eq!(total, 50);
+        // Round-robin: client 0 holds transactions 0, 3, 6, ...
+        assert_eq!(
+            clients[0].1[1].query().to_string(),
+            w.txns[3].query().to_string()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one relation")]
+    fn zero_relations_rejected() {
+        let _ = WorkloadSpec {
+            relations: 0,
+            ..WorkloadSpec::default()
+        }
+        .generate();
+    }
+
+    #[test]
+    #[should_panic(expected = "more inserts than transactions")]
+    fn too_many_inserts_rejected() {
+        let _ = WorkloadSpec {
+            inserts: 99,
+            ..WorkloadSpec::default()
+        }
+        .generate();
+    }
+}

@@ -1,0 +1,111 @@
+//! Paper-style text rendering of experiment results.
+
+use std::fmt::Write as _;
+
+use crate::experiment::{
+    ScalingRow, SpeedupRow, Table1Row, PAPER_RELATION_COLUMNS, PAPER_UPDATE_PERCENTS,
+};
+
+/// Renders the Table I reproduction: measured `max avg` per cell with the
+/// paper's values in parentheses.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table I: Maximum and Average Degree of Concurrency (measured, paper in parens)"
+    );
+    let _ = writeln!(out, "{}", header());
+    for &percent in &PAPER_UPDATE_PERCENTS {
+        let mut line = format!("{percent:>4}% |");
+        for &relations in &PAPER_RELATION_COLUMNS {
+            let r = rows
+                .iter()
+                .find(|r| r.percent == percent && r.relations == relations)
+                .expect("complete sweep");
+            let paper = match r.paper {
+                Some((m, a)) => format!("({m} {a})"),
+                None => "(- -)".to_string(),
+            };
+            let _ = write!(line, " {:>3} {:>4.1} {:<9} |", r.max_width, r.avg_width, paper);
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+/// Renders a speedup-table reproduction (Tables II and III).
+pub fn render_speedup_table(title: &str, rows: &[SpeedupRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title} (measured, paper in parens)");
+    let _ = writeln!(out, "{}", header());
+    for &percent in &PAPER_UPDATE_PERCENTS {
+        let mut line = format!("{percent:>4}% |");
+        for &relations in &PAPER_RELATION_COLUMNS {
+            let r = rows
+                .iter()
+                .find(|r| r.percent == percent && r.relations == relations)
+                .expect("complete sweep");
+            let paper = match r.paper {
+                Some(s) => format!("({s:.1})"),
+                None => "(-)".to_string(),
+            };
+            let _ = write!(line, " {:>5.1} {:<6} |", r.speedup, paper);
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+/// Renders the scaling study (extension E1).
+pub fn render_scaling(rows: &[ScalingRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "  txns | max | avg width | speedup (8-node hypercube)");
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "  {:>4} | {:>3} | {:>9.1} | {:>5.1}",
+            row.transactions, row.max_width, row.avg_width, row.speedup8
+        );
+    }
+    out
+}
+
+fn header() -> String {
+    let mut h = String::from("  upd |");
+    for &relations in &PAPER_RELATION_COLUMNS {
+        let _ = write!(h, " {relations} relations      |");
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{run_table1, run_table2};
+    use fundb_core::CostModel;
+
+    #[test]
+    fn table1_renders_every_row() {
+        let text = render_table1(&run_table1(CostModel::default()));
+        for p in ["   0%", "   4%", "   7%", "  14%", "  24%", "  38%"] {
+            assert!(text.contains(p), "missing row {p} in:\n{text}");
+        }
+        assert!(text.contains("(39 17)"), "paper values shown:\n{text}");
+        assert!(text.contains("(- -)"), "gap rendered:\n{text}");
+    }
+
+    #[test]
+    fn scaling_renders() {
+        let rows = crate::experiment::run_scaling(CostModel::default(), &[5, 10]);
+        let text = render_scaling(&rows);
+        assert!(text.lines().count() >= 3, "{text}");
+        assert!(text.contains("avg width"));
+    }
+
+    #[test]
+    fn speedup_table_renders() {
+        let text = render_speedup_table("Table II: Speedup, 8-node hypercube", &run_table2(CostModel::default()));
+        assert!(text.contains("Table II"));
+        assert!(text.contains("(6.2)"));
+    }
+}

@@ -1,0 +1,73 @@
+//! Concurrency analysis on the Rediflow-style simulator (Section 4).
+//!
+//! Generates one of the paper's workloads (50 transactions over a 3-relation
+//! database, 14% inserts), compiles it to the dataflow task graph its FEL
+//! evaluation would unfold into, and then measures it both ways the paper
+//! did: mode 1 (infinite processors — ply widths) and mode 2 (8-node
+//! hypercube and 27-node Euclidean cube with communication delays —
+//! speedups).
+//!
+//! Run with: `cargo run --example concurrency_analysis`
+
+use fundb::core::{CostModel, DataflowCompiler};
+use fundb::rediflow::{
+    dot::{render_critical_path, render_ply_histogram},
+    ConcurrencyReport, EuclideanCube, Hypercube, Scheduler,
+};
+use fundb::workload::WorkloadSpec;
+
+fn main() {
+    let spec = WorkloadSpec::paper(3, 7); // 3 relations, 7/50 = 14% inserts
+    let workload = spec.generate();
+    println!(
+        "workload: {} transactions, {} relations, {} initial tuples, {:.0}% inserts",
+        workload.txns.len(),
+        spec.relations,
+        spec.initial_tuples,
+        workload.insert_fraction() * 100.0
+    );
+
+    let compiler = DataflowCompiler::new(CostModel::default());
+    let graph = compiler.compile(&workload.initial, &workload.txns);
+    println!(
+        "dataflow graph: {} unit tasks, {} edges, critical path {}",
+        graph.len(),
+        graph.edge_count(),
+        graph.critical_path_len()
+    );
+
+    // Mode 1: infinitely many PEs, zero communication cost.
+    let report = ConcurrencyReport::of(&graph);
+    println!("\n== mode 1 (infinite PEs): {report} ==");
+    // Print a compressed ply histogram (first 40 plies).
+    let head = ConcurrencyReport {
+        ply_widths: report.ply_widths.iter().copied().take(40).collect(),
+        tasks: report
+            .ply_widths
+            .iter()
+            .take(40)
+            .map(|&w| u64::from(w))
+            .sum(),
+    };
+    print!("{}", render_ply_histogram(&head));
+    println!("(first 40 of {} plies shown)", report.plies());
+
+    // What bounds completion: the longest dependency chain, compressed.
+    println!();
+    for line in render_critical_path(&graph).lines().take(12) {
+        println!("{line}");
+    }
+
+    // Mode 2: real topologies with hop-count communication delays.
+    println!("\n== mode 2 (finite PEs, communication delay) ==");
+    let cube8 = Hypercube::new(3);
+    let result8 = Scheduler::with_defaults(&cube8).run(&graph);
+    println!("{result8}");
+    let cube27 = EuclideanCube::new(3);
+    let result27 = Scheduler::with_defaults(&cube27).run(&graph);
+    println!("{result27}");
+
+    // A Gantt view of the hypercube run's first 72 cycles.
+    println!("\nhypercube occupancy (first 72 cycles; '#' busy, '.' idle):");
+    print!("{}", result8.trace(&graph).render_gantt(72));
+}

@@ -1,0 +1,53 @@
+//! The full query language on an HR catalog: schemas, named predicates,
+//! projection, range finds, joins and aggregates — all over persistent
+//! relations, so every statement creates a new database version and the
+//! old ones stay valid.
+//!
+//! Run with: `cargo run --example hr_catalog`
+
+use fundb::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let statements = [
+        // Schemas name the attributes; `as tree` picks the representation.
+        "create relation Emp(id, name, dept, salary) as tree",
+        "create relation Dept(dept_id, title) as list",
+        "insert (10, 'Engineering') into Dept",
+        "insert (20, 'Operations') into Dept",
+        "insert (1, 'ada', 10, 120) into Emp",
+        "insert (2, 'bob', 20, 90) into Emp",
+        "insert (3, 'cyd', 10, 130) into Emp",
+        "insert (4, 'dee', 20, 85) into Emp",
+        "insert (5, 'eli', 10, 95) into Emp",
+    ];
+    let mut db = Database::empty();
+    for q in statements {
+        let (r, next) = translate(parse(q)?).apply(&db);
+        assert!(!r.is_error(), "{q}: {r}");
+        db = next;
+    }
+
+    let queries = [
+        // Named predicates and projection.
+        "select name, salary from Emp where dept = 10",
+        "select name from Emp where salary > 100 and dept = 10",
+        // Range find on the key.
+        "find 2 to 4 in Emp",
+        // Aggregates with named fields.
+        "sum salary of Emp",
+        "min salary of Emp",
+        "max name of Emp",
+        // A join pairs employees with... employees sharing ids (self-join)
+        // and departments need a key-shaped bridge; here Dept's key is the
+        // dept id, so join via a projected intermediate is left to the
+        // reader — show the raw join of Dept with Dept instead.
+        "join Dept with Dept",
+        "count Emp",
+    ];
+    for q in queries {
+        let (r, next) = translate(parse(q)?).apply(&db);
+        println!("{q:<55} -> {r}");
+        db = next;
+    }
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! The primary-copy model in action: optimistic bank transfers.
+//!
+//! Section 3.1 defers the primary-copy model "due to the need to retain the
+//! ability to abort transactions". Persistence makes aborts trivial — a
+//! transaction is a pure function of its snapshots, so re-running it is all
+//! an abort takes. This example runs concurrent transfers between accounts
+//! held in two relations, with no locks in the transaction bodies, and
+//! shows that money is conserved while conflicts are resolved by retry.
+//!
+//! Run with: `cargo run --example optimistic_bank`
+
+use fundb::core::primary_copy::OptimisticEngine;
+use fundb::prelude::*;
+
+fn balance(rel: &Relation, key: i64) -> i64 {
+    rel.find(&key.into())
+        .first()
+        .and_then(|t| t.get(1))
+        .and_then(Value::as_int)
+        .expect("account exists")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two branches, five accounts each, 1000 units per account.
+    let mut db = Database::empty()
+        .create_relation("Branch_A", Repr::List)?
+        .create_relation("Branch_B", Repr::List)?;
+    for branch in ["Branch_A", "Branch_B"] {
+        for acct in 0..5i64 {
+            let (next, _) = db.insert(
+                &branch.into(),
+                Tuple::new(vec![acct.into(), 1000.into()]),
+            )?;
+            db = next;
+        }
+    }
+    let engine = std::sync::Arc::new(OptimisticEngine::new(&db));
+    let total_before: i64 = 10 * 1000;
+
+    // Eight tellers move money between random accounts across branches.
+    std::thread::scope(|scope| {
+        for teller in 0..8u64 {
+            let engine = engine.clone();
+            scope.spawn(move || {
+                let mut seed = teller * 1234567 + 1;
+                let mut rng = move || {
+                    seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (seed >> 33) as i64
+                };
+                for _ in 0..100 {
+                    let from_acct = rng().rem_euclid(5);
+                    let to_acct = rng().rem_euclid(5);
+                    let amount = rng().rem_euclid(20) + 1;
+                    let fp: [RelationName; 2] = ["Branch_A".into(), "Branch_B".into()];
+                    engine.execute(&fp, |ws| {
+                        let a: RelationName = "Branch_A".into();
+                        let b: RelationName = "Branch_B".into();
+                        let from = balance(ws.relation(&a), from_acct);
+                        if from < amount {
+                            return; // insufficient funds; commit nothing
+                        }
+                        let to = balance(ws.relation(&b), to_acct);
+                        let (na, _, _) = ws.relation(&a).delete(&from_acct.into());
+                        let (na, _) = na.insert(Tuple::new(vec![
+                            from_acct.into(),
+                            (from - amount).into(),
+                        ]));
+                        ws.set_relation(&a, na);
+                        let (nb, _, _) = ws.relation(&b).delete(&to_acct.into());
+                        let (nb, _) = nb
+                            .insert(Tuple::new(vec![to_acct.into(), (to + amount).into()]));
+                        ws.set_relation(&b, nb);
+                    });
+                }
+            });
+        }
+    });
+
+    let snap = engine.snapshot();
+    let total_after: i64 = ["Branch_A", "Branch_B"]
+        .iter()
+        .flat_map(|branch| {
+            let rel = snap.relation(&(*branch).into()).expect("branch exists");
+            (0..5i64).map(move |acct| balance(rel, acct)).collect::<Vec<_>>()
+        })
+        .sum();
+
+    let stats = engine.stats();
+    println!("800 transfer transactions across 8 tellers");
+    println!("commits: {}, aborts-and-retries: {}", stats.commits, stats.aborts);
+    println!("total before: {total_before}, after: {total_after}");
+    assert_eq!(total_before, total_after, "money must be conserved");
+    println!("balance sheet intact — no locks were held during any transfer body");
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! The `fundb` interactive shell.
+//!
+//! ```text
+//! cargo run --bin fundb
+//! fundb> create relation Emp
+//! fundb> insert (1, 'ada') into Emp
+//! fundb> :at 1 count Emp
+//! ```
+//!
+//! Every query produces a new archived database version; `:help` lists the
+//! time-travel meta-commands. Reads queries from stdin (one per line), so
+//! it also works in pipelines: `echo 'relations' | fundb`.
+
+use std::io::{BufRead, Write};
+
+use fundb::repl::{Session, HELP};
+
+fn main() {
+    let interactive = std::io::IsTerminal::is_terminal(&std::io::stdin());
+    let mut session = Session::new();
+    if interactive {
+        println!("fundb — a functional database (Keller & Lindstrom, ICDCS 1985)");
+        println!("{HELP}");
+    }
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        if interactive {
+            print!("fundb> ");
+            let _ = out.flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break, // EOF
+            Ok(_) => {}
+        }
+        let reply = session.handle_line(&line);
+        if reply == ":quit" {
+            break;
+        }
+        if !reply.is_empty() {
+            println!("{reply}");
+        }
+    }
+}

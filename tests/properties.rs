@@ -1,0 +1,243 @@
+//! Property-based tests on the system's core invariants.
+
+use std::collections::BTreeMap;
+
+use fundb::persist::{Avl, BTree, PList, Tree23};
+use fundb::prelude::*;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Persistent structures vs a std reference model.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum MapOp {
+    Insert(u16, u16),
+    Remove(u16),
+}
+
+fn map_ops() -> impl Strategy<Value = Vec<MapOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (any::<u16>(), any::<u16>()).prop_map(|(k, v)| MapOp::Insert(k % 64, v)),
+            any::<u16>().prop_map(|k| MapOp::Remove(k % 64)),
+        ],
+        0..120,
+    )
+}
+
+proptest! {
+    #[test]
+    fn tree23_matches_btreemap(ops in map_ops()) {
+        let mut model = BTreeMap::new();
+        let mut tree: Tree23<u16, u16> = Tree23::new();
+        for op in ops {
+            match op {
+                MapOp::Insert(k, v) => {
+                    tree = tree.insert(k, v);
+                    model.insert(k, v);
+                }
+                MapOp::Remove(k) => {
+                    let got = tree.remove(&k);
+                    let want = model.remove(&k);
+                    prop_assert_eq!(got.as_ref().map(|(_, v)| *v), want);
+                    if let Some((t, _)) = got {
+                        tree = t;
+                    }
+                }
+            }
+            prop_assert!(tree.check_invariants());
+        }
+        let got: Vec<(u16, u16)> = tree.iter().map(|(k, v)| (*k, *v)).collect();
+        let want: Vec<(u16, u16)> = model.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn btree_matches_btreemap(ops in map_ops(), degree in 2usize..6) {
+        let mut model = BTreeMap::new();
+        let mut tree: BTree<u16, u16> = BTree::new(degree);
+        for op in ops {
+            match op {
+                MapOp::Insert(k, v) => {
+                    tree = tree.insert(k, v);
+                    model.insert(k, v);
+                }
+                MapOp::Remove(k) => {
+                    let got = tree.remove(&k);
+                    let want = model.remove(&k);
+                    prop_assert_eq!(got.as_ref().map(|(_, v)| *v), want);
+                    if let Some((t, _)) = got {
+                        tree = t;
+                    }
+                }
+            }
+        }
+        prop_assert!(tree.check_invariants());
+        let got: Vec<(u16, u16)> = tree.iter().map(|(k, v)| (*k, *v)).collect();
+        let want: Vec<(u16, u16)> = model.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn avl_matches_btreemap(ops in map_ops()) {
+        let mut model = BTreeMap::new();
+        let mut tree: Avl<u16, u16> = Avl::new();
+        for op in ops {
+            match op {
+                MapOp::Insert(k, v) => {
+                    tree = tree.insert(k, v);
+                    model.insert(k, v);
+                }
+                MapOp::Remove(k) => {
+                    let got = tree.remove(&k);
+                    let want = model.remove(&k);
+                    prop_assert_eq!(got.as_ref().map(|(_, v)| *v), want);
+                    if let Some((t, _)) = got {
+                        tree = t;
+                    }
+                }
+            }
+        }
+        prop_assert!(tree.check_invariants());
+        let got: Vec<(u16, u16)> = tree.iter().map(|(k, v)| (*k, *v)).collect();
+        let want: Vec<(u16, u16)> = model.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn plist_insert_sorted_keeps_order_and_persistence(
+        initial in prop::collection::vec(any::<i32>(), 0..60),
+        extra in prop::collection::vec(any::<i32>(), 0..20),
+    ) {
+        let mut sorted = initial.clone();
+        sorted.sort();
+        let base: PList<i32> = sorted.iter().cloned().collect();
+        let mut cur = base.clone();
+        for x in &extra {
+            let (next, report) = cur.insert_sorted_counted(*x);
+            prop_assert!(next.is_sorted());
+            prop_assert_eq!(next.len(), cur.len() + 1);
+            prop_assert_eq!(report.total() as usize, next.len());
+            cur = next;
+        }
+        // The base version never changed.
+        prop_assert_eq!(base.iter().cloned().collect::<Vec<_>>(), sorted);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Relation/database semantics vs a reference model.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum DbOp {
+    Insert(u8, i64),
+    Delete(u8, i64),
+    Find(u8, i64),
+}
+
+fn db_ops() -> impl Strategy<Value = Vec<DbOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (any::<u8>(), 0i64..30).prop_map(|(r, k)| DbOp::Insert(r % 3, k)),
+            (any::<u8>(), 0i64..30).prop_map(|(r, k)| DbOp::Delete(r % 3, k)),
+            (any::<u8>(), 0i64..30).prop_map(|(r, k)| DbOp::Find(r % 3, k)),
+        ],
+        0..80,
+    )
+}
+
+proptest! {
+    #[test]
+    fn database_matches_multiset_model(ops in db_ops(), use_tree in any::<bool>()) {
+        let repr = if use_tree { Repr::Tree23 } else { Repr::List };
+        let mut db = Database::empty();
+        for r in 0..3 {
+            db = db.create_relation(format!("R{r}").as_str(), repr).unwrap();
+        }
+        let mut model: Vec<BTreeMap<i64, usize>> = vec![BTreeMap::new(); 3];
+        for op in ops {
+            match op {
+                DbOp::Insert(r, k) => {
+                    let name: RelationName = format!("R{r}").as_str().into();
+                    let (next, _) = db.insert(&name, Tuple::of_key(k)).unwrap();
+                    db = next;
+                    *model[r as usize].entry(k).or_insert(0) += 1;
+                }
+                DbOp::Delete(r, k) => {
+                    let name: RelationName = format!("R{r}").as_str().into();
+                    let (next, removed) = db.delete(&name, &k.into()).unwrap();
+                    db = next;
+                    let expected = model[r as usize].remove(&k).unwrap_or(0);
+                    prop_assert_eq!(removed.len(), expected);
+                }
+                DbOp::Find(r, k) => {
+                    let name: RelationName = format!("R{r}").as_str().into();
+                    let found = db.find(&name, &k.into()).unwrap();
+                    let expected = model[r as usize].get(&k).copied().unwrap_or(0);
+                    prop_assert_eq!(found.len(), expected);
+                }
+            }
+        }
+        let total: usize = model.iter().map(|m| m.values().sum::<usize>()).sum();
+        prop_assert_eq!(db.tuple_count(), total);
+    }
+
+    #[test]
+    fn apply_stream_equals_left_fold(keys in prop::collection::vec(0i64..50, 0..40)) {
+        let db = Database::empty().create_relation("R", Repr::List).unwrap();
+        let txns: Vec<Transaction> = keys
+            .iter()
+            .map(|k| translate(parse(&format!("insert {k} into R")).unwrap()))
+            .collect();
+        // Left fold.
+        let mut folded = db.clone();
+        let mut expected = Vec::new();
+        for t in &txns {
+            let (r, next) = t.apply(&folded);
+            expected.push(r);
+            folded = next;
+        }
+        // apply-stream.
+        let stream: Stream<Transaction> = txns.into_iter().collect();
+        let (responses, versions) = apply_stream(stream, db);
+        prop_assert_eq!(responses.collect_vec(), expected);
+        let last = versions.collect_vec().into_iter().last();
+        if let Some(last) = last {
+            prop_assert_eq!(last.tuple_count(), folded.tuple_count());
+        }
+    }
+
+    #[test]
+    fn query_display_parse_round_trip(key in 0i64..1000, name in "[A-Za-z][A-Za-z0-9]{0,6}") {
+        for q in [
+            format!("insert {key} into {name}"),
+            format!("find {key} in {name}"),
+            format!("delete {key} from {name}"),
+            format!("count {name}"),
+            format!("select from {name} where #0 = {key}"),
+        ] {
+            // Keywords are reserved only at the head; a relation named e.g.
+            // "insert" is legal, so any generated name round-trips.
+            let ast = parse(&q).unwrap();
+            prop_assert_eq!(parse(&ast.to_string()).unwrap(), ast);
+        }
+    }
+
+    #[test]
+    fn merge_preserves_subsequences(
+        a in prop::collection::vec(any::<u16>(), 0..40),
+        b in prop::collection::vec(any::<u16>(), 0..40),
+    ) {
+        use fundb::lenient::merge;
+        let sa: Stream<(u8, u16)> = a.iter().map(|&x| (0u8, x)).collect();
+        let sb: Stream<(u8, u16)> = b.iter().map(|&x| (1u8, x)).collect();
+        let merged = merge(vec![sa, sb]).collect_vec();
+        prop_assert_eq!(merged.len(), a.len() + b.len());
+        let got_a: Vec<u16> = merged.iter().filter(|(t, _)| *t == 0).map(|(_, x)| *x).collect();
+        let got_b: Vec<u16> = merged.iter().filter(|(t, _)| *t == 1).map(|(_, x)| *x).collect();
+        prop_assert_eq!(got_a, a);
+        prop_assert_eq!(got_b, b);
+    }
+}

@@ -1,0 +1,164 @@
+//! Serializability: every concurrent execution path (pipelined engine,
+//! merge-based serializer, distributed cluster, 2PL baseline) agrees with
+//! sequential processing of the same serialization order.
+
+use fundb::core::{process_tagged, route_responses, ClientId, LockingDb, PipelinedEngine};
+use fundb::lenient::{merge_deterministic, MergeSchedule, Tagged};
+use fundb::net::Cluster;
+use fundb::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn base(relations: usize) -> Database {
+    let mut db = Database::empty();
+    for r in 0..relations {
+        db = db
+            .create_relation(format!("R{r}").as_str(), Repr::List)
+            .unwrap();
+    }
+    db
+}
+
+fn random_queries(seed: u64, n: usize, relations: usize) -> Vec<String> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let rel = format!("R{}", rng.gen_range(0..relations));
+            let rel2 = format!("R{}", rng.gen_range(0..relations));
+            let key = rng.gen_range(0..40);
+            match rng.gen_range(0..10) {
+                0..=2 => format!("insert ({key}, {}) into {rel}", rng.gen_range(0..100)),
+                3 => format!("find {key} in {rel}"),
+                4 => format!("delete {key} from {rel}"),
+                5 => format!("count {rel}"),
+                6 => format!("find {key} to {} in {rel}", key + rng.gen_range(0..20)),
+                7 => format!("select #0 from {rel} where #1 > {}", rng.gen_range(0..100)),
+                8 => format!("join {rel} with {rel2}"),
+                _ => format!("sum #1 of {rel}"),
+            }
+        })
+        .collect()
+}
+
+fn sequential_responses(db: &Database, queries: &[String]) -> Vec<Response> {
+    let mut db = db.clone();
+    queries
+        .iter()
+        .map(|q| {
+            let (r, next) = translate(parse(q).unwrap()).apply(&db);
+            db = next;
+            r
+        })
+        .collect()
+}
+
+#[test]
+fn engine_matches_sequential_across_seeds_and_widths() {
+    for seed in [1u64, 2, 3] {
+        let queries = random_queries(seed, 120, 3);
+        let db = base(3);
+        let expected = sequential_responses(&db, &queries);
+        for workers in [1usize, 3, 8] {
+            let engine = PipelinedEngine::new(workers, &db);
+            let got = engine.run(queries.iter().map(|q| translate(parse(q).unwrap())));
+            assert_eq!(got, expected, "seed {seed}, workers {workers}");
+        }
+    }
+}
+
+#[test]
+fn serializer_round_robin_matches_manual_interleave() {
+    let db = base(2);
+    let c0: Vec<String> = (0..15).map(|i| format!("insert {i} into R0")).collect();
+    let c1: Vec<String> = (0..15).map(|i| format!("insert {i} into R1")).collect();
+    // Manual round-robin interleave.
+    let mut interleaved = Vec::new();
+    for i in 0..15 {
+        interleaved.push(c0[i].clone());
+        interleaved.push(c1[i].clone());
+    }
+    let expected = sequential_responses(&db, &interleaved);
+
+    let s0: Stream<Tagged<ClientId, Transaction>> = c0
+        .iter()
+        .map(|q| Tagged::new(ClientId(0), translate(parse(q).unwrap())))
+        .collect();
+    let s1: Stream<Tagged<ClientId, Transaction>> = c1
+        .iter()
+        .map(|q| Tagged::new(ClientId(1), translate(parse(q).unwrap())))
+        .collect();
+    let merged = merge_deterministic(vec![s0, s1], MergeSchedule::RoundRobin);
+    let responses = process_tagged(merged, db);
+    let all: Vec<Response> = responses.collect_vec().into_iter().map(|t| t.value).collect();
+    assert_eq!(all, expected);
+}
+
+#[test]
+fn per_client_response_streams_are_projections() {
+    let db = base(2);
+    let mk = |cl: u32, rel: &str| -> Stream<Tagged<ClientId, Transaction>> {
+        (0..10)
+            .map(|i| {
+                Tagged::new(
+                    ClientId(cl),
+                    translate(parse(&format!("insert {i} into {rel}")).unwrap()),
+                )
+            })
+            .collect()
+    };
+    let merged = merge_deterministic(vec![mk(0, "R0"), mk(1, "R1")], MergeSchedule::RoundRobin);
+    let responses = process_tagged(merged, db);
+    let r0 = route_responses(&responses, ClientId(0)).collect_vec();
+    let r1 = route_responses(&responses, ClientId(1)).collect_vec();
+    assert_eq!(r0.len(), 10);
+    assert_eq!(r1.len(), 10);
+    assert!(r0.iter().chain(&r1).all(|r| !r.is_error()));
+}
+
+#[test]
+fn cluster_round_trip_matches_sequential() {
+    let db = base(2);
+    let queries = random_queries(7, 40, 2);
+    let expected = sequential_responses(&db, &queries);
+    let cluster = Cluster::start(&db, 1, 4);
+    let client = cluster.client(0);
+    let cells: Vec<_> = queries.iter().map(|q| client.submit(q)).collect();
+    let got: Vec<Response> = cells.into_iter().map(|c| c.wait_cloned()).collect();
+    assert_eq!(got, expected);
+    cluster.shutdown();
+}
+
+#[test]
+fn locking_baseline_reaches_the_same_final_state_for_commutative_load() {
+    // Disjoint-key inserts commute, so 2PL must reach the same final
+    // relation contents as sequential execution, from any thread count.
+    let db = base(2);
+    let queries: Vec<String> = (0..100)
+        .map(|i| format!("insert {i} into R{}", i % 2))
+        .collect();
+    let txns: Vec<Transaction> = queries.iter().map(|q| translate(parse(q).unwrap())).collect();
+    let ldb = LockingDb::from_database(&db);
+    let rs = ldb.run_concurrent(&txns, 8);
+    assert!(rs.iter().all(|r| !r.is_error()));
+    assert_eq!(ldb.tuple_count(), 100);
+}
+
+#[test]
+fn engine_snapshot_equals_sequential_final_database() {
+    let queries = random_queries(11, 80, 3);
+    let db = base(3);
+    let mut seq_db = db.clone();
+    for q in &queries {
+        let (_, next) = translate(parse(q).unwrap()).apply(&seq_db);
+        seq_db = next;
+    }
+    let engine = PipelinedEngine::new(4, &db);
+    engine.run(queries.iter().map(|q| translate(parse(q).unwrap())));
+    let snap = engine.snapshot();
+    assert_eq!(snap.tuple_count(), seq_db.tuple_count());
+    for name in seq_db.relation_names() {
+        let a = seq_db.relation(&name).unwrap().scan();
+        let b = snap.relation(&name).unwrap().scan();
+        assert_eq!(a, b, "relation {name}");
+    }
+}

@@ -39,9 +39,7 @@ fn bench_ablation(c: &mut Criterion) {
         let w = WorkloadSpec::paper(1, 19).generate();
         group.bench_with_input(BenchmarkId::new("compile_38pct", label), &w, |b, w| {
             let compiler = DataflowCompiler::new(model);
-            b.iter(|| {
-                ConcurrencyReport::of(&compiler.compile(&w.initial, &w.txns)).plies()
-            });
+            b.iter(|| ConcurrencyReport::of(&compiler.compile(&w.initial, &w.txns)).plies());
         });
     }
     group.finish();

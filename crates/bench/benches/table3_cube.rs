@@ -18,7 +18,11 @@ fn bench_table3(c: &mut Criterion) {
 
     let topo = EuclideanCube::new(3);
     let mut group = c.benchmark_group("table3_cube");
-    for (relations, inserts, label) in [(1usize, 0usize, "1rel_0pct"), (3, 7, "3rel_14pct"), (1, 19, "1rel_38pct")] {
+    for (relations, inserts, label) in [
+        (1usize, 0usize, "1rel_0pct"),
+        (3, 7, "3rel_14pct"),
+        (1, 19, "1rel_38pct"),
+    ] {
         let (_db, _txns, graph) = sweep_cell(relations, inserts);
         group.bench_with_input(BenchmarkId::new("schedule", label), &graph, |b, graph| {
             b.iter(|| Scheduler::with_defaults(&topo).run(graph).speedup());

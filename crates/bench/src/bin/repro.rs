@@ -76,7 +76,10 @@ fn table2() {
     banner("Table II — speedup, 8-node binary hypercube (mode 2)");
     print!(
         "{}",
-        render_speedup_table("Table II: Speedup, 8-node hypercube", &run_table2(CostModel::default()))
+        render_speedup_table(
+            "Table II: Speedup, 8-node hypercube",
+            &run_table2(CostModel::default())
+        )
     );
 }
 
@@ -158,7 +161,12 @@ fn fig2_3() {
         println!("{line}");
     }
     let plies = ConcurrencyReport::of(&graph);
-    println!("… {} tasks over {} plies, max width {}", plies.tasks, plies.plies(), plies.max_width());
+    println!(
+        "… {} tasks over {} plies, max width {}",
+        plies.tasks,
+        plies.plies(),
+        plies.max_width()
+    );
 }
 
 /// Figure 3-1: physical network vs the logical merge/choose view.

@@ -33,6 +33,24 @@ pub fn apply_stream_pairs(
     })
 }
 
+/// Applies each transaction to the evolving database, yielding only the
+/// response stream.
+///
+/// Functionally `apply_stream(..).0`, but the successor database travels
+/// solely through the unfold state: no per-step `Database` clone is
+/// materialized into the stream. Use this when the caller never consumes
+/// the version stream — e.g. the serializer answering clients.
+pub fn apply_stream_responses(
+    transactions: Stream<Transaction>,
+    initial: Database,
+) -> Stream<Response> {
+    Stream::unfold((transactions, initial), |(txns, db)| {
+        let (tx, rest) = txns.uncons()?;
+        let (response, db2) = tx.apply(&db);
+        Some((response, (rest, db2)))
+    })
+}
+
 /// The paper's `apply-stream`: returns `(responses, new_databases)`.
 ///
 /// The `i`-th element of `new_databases` is the database after the first
@@ -69,10 +87,7 @@ pub fn apply_stream(
 
 /// The `old-databases` stream of the paper's equations: the initial
 /// database followed by every successor version.
-pub fn version_stream(
-    transactions: Stream<Transaction>,
-    initial: Database,
-) -> Stream<Database> {
+pub fn version_stream(transactions: Stream<Transaction>, initial: Database) -> Stream<Database> {
     let (_, new_databases) = apply_stream(transactions, initial.clone());
     Stream::cons(initial, new_databases)
 }
@@ -154,7 +169,10 @@ mod tests {
 
     #[test]
     fn both_projections_agree() {
-        let txns: Stream<_> = ["insert 7 into R", "count R"].iter().map(|q| txn(q)).collect();
+        let txns: Stream<_> = ["insert 7 into R", "count R"]
+            .iter()
+            .map(|q| txn(q))
+            .collect();
         let (responses, dbs) = apply_stream(txns, base());
         // Consume databases first, then responses: memoized pairs mean the
         // transactions still ran exactly once and the answers line up.
@@ -162,6 +180,23 @@ mod tests {
         let rs = responses.collect_vec();
         assert_eq!(versions.len(), 2);
         assert_eq!(rs[1], Response::Count(1));
+    }
+
+    #[test]
+    fn responses_only_variant_agrees_with_pairs() {
+        let txns: Vec<Transaction> = [
+            "insert 1 into R",
+            "insert 2 into S",
+            "count R",
+            "delete 1 from R",
+            "count R",
+        ]
+        .iter()
+        .map(|q| txn(q))
+        .collect();
+        let (expected, _) = apply_stream(txns.clone().into_iter().collect(), base());
+        let got = apply_stream_responses(txns.into_iter().collect(), base());
+        assert_eq!(got.collect_vec(), expected.collect_vec());
     }
 
     #[test]

@@ -245,11 +245,7 @@ mod tests {
 
     #[test]
     fn history_of_key() {
-        let a = archive_with(&[
-            "insert 5 into R",
-            "insert 5 into R",
-            "delete 5 from R",
-        ]);
+        let a = archive_with(&["insert 5 into R", "insert 5 into R", "delete 5 from R"]);
         assert_eq!(a.history_of(&"R".into(), &5.into()), vec![0, 1, 2, 0]);
         // Unknown relation: all zeros.
         assert_eq!(a.history_of(&"Z".into(), &5.into()), vec![0, 0, 0, 0]);

@@ -147,14 +147,17 @@ impl DataflowCompiler {
     pub fn compile(&self, initial: &Database, txns: &[Transaction]) -> TaskGraph {
         let mut g = TaskGraph::new();
         let names = initial.relation_names();
-        let mut index: HashMap<RelationName, usize> =
-            names.iter().cloned().enumerate().map(|(i, n)| (n, i)).collect();
+        let mut index: HashMap<RelationName, usize> = names
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, n)| (n, i))
+            .collect();
         let mut rels: Vec<RelState> = names
             .iter()
             .map(|n| {
                 let rel = initial.relation(n).expect("name from this database");
-                let mut keys: Vec<Value> =
-                    rel.scan().iter().map(|t| t.key().clone()).collect();
+                let mut keys: Vec<Value> = rel.scan().iter().map(|t| t.key().clone()).collect();
                 keys.sort();
                 let avail = vec![None; keys.len()];
                 RelState {
@@ -196,9 +199,13 @@ impl DataflowCompiler {
                             let visited = read_span(&rels[p].keys, key);
                             self.walk_cells(&mut g, cursor, &rels[p].avail, visited, group)
                         }
-                        AccessShape::BalancedTree => {
-                            self.walk_tree_path(&mut g, cursor, rels[p].root, tree_path(rels[p].keys.len()), group)
-                        }
+                        AccessShape::BalancedTree => self.walk_tree_path(
+                            &mut g,
+                            cursor,
+                            rels[p].root,
+                            tree_path(rels[p].keys.len()),
+                            group,
+                        ),
                     }
                 }),
                 Query::FindRange { relation, lo, hi } => {
@@ -221,20 +228,18 @@ impl DataflowCompiler {
                 }
                 Query::Select { relation, .. }
                 | Query::Count { relation }
-                | Query::Aggregate { relation, .. } => {
-                    index.get(relation).copied().and_then(|p| {
-                        let cursor = self.walk_spine(&mut g, entry, &spine, p, group);
-                        let visited = rels[p].keys.len();
-                        match self.model.shape {
-                            AccessShape::LinearList => {
-                                self.walk_cells(&mut g, cursor, &rels[p].avail, visited, group)
-                            }
-                            AccessShape::BalancedTree => {
-                                self.walk_tree_path(&mut g, cursor, rels[p].root, visited, group)
-                            }
+                | Query::Aggregate { relation, .. } => index.get(relation).copied().and_then(|p| {
+                    let cursor = self.walk_spine(&mut g, entry, &spine, p, group);
+                    let visited = rels[p].keys.len();
+                    match self.model.shape {
+                        AccessShape::LinearList => {
+                            self.walk_cells(&mut g, cursor, &rels[p].avail, visited, group)
                         }
-                    })
-                }
+                        AccessShape::BalancedTree => {
+                            self.walk_tree_path(&mut g, cursor, rels[p].root, visited, group)
+                        }
+                    }
+                }),
                 Query::Insert { relation, tuple } => index.get(relation).copied().and_then(|p| {
                     let cursor = self.walk_spine(&mut g, entry, &spine, p, group);
                     // Spine copy proceeds from the unfold, in parallel with
@@ -390,8 +395,7 @@ impl DataflowCompiler {
                             };
                             let lend = scan_one(&mut g, self, lp, &rels, &spine);
                             let rend = scan_one(&mut g, self, rp, &rels, &spine);
-                            let deps: Vec<TaskId> =
-                                lend.into_iter().chain(rend).collect();
+                            let deps: Vec<TaskId> = lend.into_iter().chain(rend).collect();
                             if deps.is_empty() {
                                 entry
                             } else {
@@ -607,10 +611,15 @@ mod tests {
     fn db(relations: usize, tuples_per: usize) -> Database {
         let mut db = Database::empty();
         for r in 0..relations {
-            db = db.create_relation(format!("R{r}").as_str(), Repr::List).unwrap();
+            db = db
+                .create_relation(format!("R{r}").as_str(), Repr::List)
+                .unwrap();
             for k in 0..tuples_per {
                 let (d2, _) = db
-                    .insert(&format!("R{r}").as_str().into(), Tuple::of_key(k as i64 * 2))
+                    .insert(
+                        &format!("R{r}").as_str().into(),
+                        Tuple::of_key(k as i64 * 2),
+                    )
                     .unwrap();
                 db = d2;
             }
@@ -734,10 +743,7 @@ mod tests {
         // for the (cheap) spine copy, never the cell copying.
         let base = db(2, 30);
         let compiler = DataflowCompiler::default();
-        let g = compiler.compile(
-            &base,
-            &[txn("insert 59 into R0"), txn("find 0 in R1")],
-        );
+        let g = compiler.compile(&base, &[txn("insert 59 into R0"), txn("find 0 in R1")]);
         // The find ends well before the insert's long copy chain would
         // allow if it were serialized after it.
         let report = ConcurrencyReport::of(&g);
@@ -748,10 +754,7 @@ mod tests {
     fn deletes_shrink_walks() {
         let base = db(1, 10);
         let compiler = DataflowCompiler::default();
-        let g = compiler.compile(
-            &base,
-            &[txn("delete 0 from R0"), txn("select from R0")],
-        );
+        let g = compiler.compile(&base, &[txn("delete 0 from R0"), txn("select from R0")]);
         // Select now scans 9 cells, not 10; just verify it compiles and the
         // content model stayed consistent (no panic, reasonable size).
         assert!(!g.is_empty());

@@ -8,30 +8,155 @@
 //!
 //! [`PipelinedEngine`] realizes that sentence with threads: each database
 //! version is a tuple of per-relation [`Lenient`] cells. Submitting a
-//! transaction (under a brief catalog lock — the paper's "momentary locking
+//! transaction (under a brief slot lock — the paper's "momentary locking
 //! effect" where streams merge) allocates fresh cells for the relations it
 //! writes and captures the previous cells for the relations it reads; a
 //! worker then blocks only on those captured cells. Readers of `R` overtake
-//! a slow writer of `S` automatically, with no locks in the data plane, and
-//! the submission order is by construction a serialization order.
+//! a slow writer of `S` automatically, and the submission order is by
+//! construction a serialization order.
+//!
+//! # Hot path
+//!
+//! Three mechanisms keep the submission path short (see `DESIGN.md` for
+//! the full argument; [`crate::ClassicEngine`] is the version without
+//! them, kept for before/after measurement):
+//!
+//! * **Sharded frontier** — the frontier is a map of independent slots,
+//!   one lock per relation, behind an `RwLock` catalog that only `create`
+//!   takes exclusively. Submissions against different relations never
+//!   contend. Multi-relation captures (join, snapshot) take the involved
+//!   slot locks together in name order, so the captured version vector is
+//!   an atomic cut and lock acquisition cannot cycle.
+//! * **Write coalescing** — consecutive writes to the same relation join
+//!   one open *batch*: a single pool job that waits on a single input
+//!   cell, applies the whole run in submission order, and answers each
+//!   transaction individually. N writes cost one thread handoff and one
+//!   relation cell instead of N of each. A read *seals* the open batch,
+//!   because it pins the batch's output cell as its version: sealing
+//!   guarantees that cell contains exactly the writes submitted before the
+//!   read, and later writes start a new batch against it.
+//! * **Read fast-path** — when the pinned input cell is already filled and
+//!   the query is cheap (`find`/`count`), the answer is computed inline on
+//!   the submitting thread ([`Lenient::try_map`]); no job, no handoff, no
+//!   wakeup.
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use fundb_lenient::{Lenient, WorkerPool};
 use fundb_query::ast::{apply_select, compute_aggregate};
 use fundb_query::{Query, Response, Transaction};
 use fundb_relational::{Database, Relation, RelationName, Schema};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard, RwLock};
 
-/// The frontier: the newest version's cell for every relation.
-struct Frontier {
-    slots: HashMap<RelationName, Lenient<Relation>>,
-    /// Attribute names per relation (static catalog data).
-    schemas: HashMap<RelationName, Option<Schema>>,
+/// An open coalescing batch: writes accumulated for one pool job.
+///
+/// `sealed` flips exactly once — set by the worker when it claims the run
+/// (claiming as late as possible, after its input arrives, maximizes
+/// coalescing), or by a reader pinning the batch's output as its version.
+/// Either way, once sealed no submission may append, and the batch's
+/// output cell is the fold of precisely the ops recorded here.
+struct BatchOps {
+    /// The version cell the batch folds from.
+    input: Lenient<Relation>,
+    ops: Vec<(Query, Lenient<Response>)>,
+    sealed: bool,
+}
+
+/// Claims and applies a sealed batch *if* its input version is already
+/// available, filling the batch's output cell and every transaction's
+/// response. Returns `false` without blocking otherwise.
+///
+/// This is demand-driven evaluation of a pending version: a reader that
+/// pinned the batch's output forces the suspension on its own thread
+/// instead of waiting for a pool worker to be scheduled. Claiming is
+/// exactly-once — whoever `mem::take`s the non-empty op list owns the
+/// fill; the pool job that finds the list empty simply returns.
+fn force(batch: &Mutex<BatchOps>, output: &Lenient<Relation>) -> bool {
+    let (mut current, ops) = {
+        let mut guard = batch.lock();
+        let Some(rel) = guard.input.try_map(Relation::clone) else {
+            return false;
+        };
+        if guard.ops.is_empty() {
+            // Already claimed (the pool job got there first); its owner
+            // fills `output`.
+            return false;
+        }
+        guard.sealed = true;
+        (rel, std::mem::take(&mut guard.ops))
+    };
+    for (q, resp_cell) in ops {
+        let (next, resp) = apply_write(&current, &q);
+        resp_cell.fill(resp).ok();
+        current = next;
+    }
+    output.fill(current).ok();
+    true
+}
+
+/// Per-relation mutable state: one shard of the frontier.
+struct SlotState {
+    /// The newest version's cell (the open batch's output while one exists).
+    head: Lenient<Relation>,
+    /// The batch currently accepting writes, if any.
+    open: Option<Arc<Mutex<BatchOps>>>,
+}
+
+/// One relation's slot: static schema plus the locked frontier shard.
+struct RelationSlot {
+    schema: Option<Schema>,
+    state: Mutex<SlotState>,
+}
+
+/// The catalog: relation name resolution and creation order. Only
+/// `create relation` takes this exclusively; every data operation reads.
+struct Catalog {
+    slots: HashMap<RelationName, Arc<RelationSlot>>,
     /// Creation order, so a barrier can rebuild a `Database` with stable
     /// spine positions.
     order: Vec<RelationName>,
+}
+
+/// Seals the open batch (if any): no further writes may coalesce into it.
+fn seal(state: &mut SlotState) {
+    if let Some(batch) = state.open.take() {
+        batch.lock().sealed = true;
+    }
+}
+
+/// Applies one write query to a relation value, producing the successor
+/// and the transaction's response.
+fn apply_write(rel: &Relation, query: &Query) -> (Relation, Response) {
+    match query {
+        Query::Insert { relation, tuple } => {
+            let (r2, _) = rel.insert(tuple.clone());
+            (
+                r2,
+                Response::Inserted {
+                    relation: relation.clone(),
+                    tuple: tuple.clone(),
+                },
+            )
+        }
+        Query::Delete { key, .. } => {
+            let (r2, removed, _) = rel.delete(key);
+            (r2, Response::Deleted(removed.len()))
+        }
+        Query::Replace { relation, tuple } => {
+            let (r2, _removed, _) = rel.delete(tuple.key());
+            let (r3, _) = r2.insert(tuple.clone());
+            (
+                r3,
+                Response::Inserted {
+                    relation: relation.clone(),
+                    tuple: tuple.clone(),
+                },
+            )
+        }
+        _ => unreachable!("write arm"),
+    }
 }
 
 /// A multi-threaded executor with implicit, dependency-only synchronization.
@@ -53,7 +178,7 @@ struct Frontier {
 /// ```
 pub struct PipelinedEngine {
     pool: WorkerPool,
-    frontier: Mutex<Frontier>,
+    catalog: RwLock<Catalog>,
 }
 
 impl fmt::Debug for PipelinedEngine {
@@ -75,27 +200,40 @@ impl PipelinedEngine {
         let slots = order
             .iter()
             .map(|n| {
-                let rel = initial.relation(n).expect("name from this database").clone();
-                (n.clone(), Lenient::ready(rel))
-            })
-            .collect();
-        let schemas = order
-            .iter()
-            .map(|n| {
+                let rel = initial
+                    .relation(n)
+                    .expect("name from this database")
+                    .clone();
+                let schema = initial.schema(n).expect("name from this database").cloned();
                 (
                     n.clone(),
-                    initial.schema(n).expect("name from this database").cloned(),
+                    Arc::new(RelationSlot {
+                        schema,
+                        state: Mutex::new(SlotState {
+                            head: Lenient::ready(rel),
+                            open: None,
+                        }),
+                    }),
                 )
             })
             .collect();
         PipelinedEngine {
             pool: WorkerPool::new(workers),
-            frontier: Mutex::new(Frontier {
-                slots,
-                schemas,
-                order,
-            }),
+            catalog: RwLock::new(Catalog { slots, order }),
         }
+    }
+
+    /// Pins the current version of one relation for a reader: seals the
+    /// open batch (so the pinned cell's value is exactly the writes
+    /// submitted so far) and returns its cell, plus the batch itself so
+    /// the reader may [`force`] it.
+    fn pin(slot: &RelationSlot) -> (Lenient<Relation>, Option<Arc<Mutex<BatchOps>>>) {
+        let mut state = slot.state.lock();
+        let batch = state.open.take();
+        if let Some(b) = &batch {
+            b.lock().sealed = true;
+        }
+        (state.head.clone(), batch)
     }
 
     /// Submits a transaction; the call returns immediately with the cell
@@ -109,11 +247,8 @@ impl PipelinedEngine {
     pub fn submit(&self, tx: Transaction) -> Lenient<Response> {
         let response = Lenient::new();
         let out = response.clone();
-        let query = tx.query().clone();
+        let query = tx.into_query();
 
-        // The momentary locking effect: capture input cells / allocate
-        // output cells atomically with respect to other submissions.
-        let mut frontier = self.frontier.lock();
         match &query {
             Query::Create {
                 relation,
@@ -121,9 +256,11 @@ impl PipelinedEngine {
                 repr,
             } => {
                 // Catalog updates are resolved at submission (the catalog is
-                // the spine; relation *contents* stay lenient).
-                if frontier.slots.contains_key(relation) {
-                    drop(frontier);
+                // the spine; relation *contents* stay lenient). The only
+                // write acquisition of the catalog lock.
+                let mut catalog = self.catalog.write();
+                if catalog.slots.contains_key(relation) {
+                    drop(catalog);
                     response
                         .fill(Response::Error(format!(
                             "relation already exists: {relation}"
@@ -136,25 +273,29 @@ impl PipelinedEngine {
                     Some(attrs) => match Schema::new(attrs) {
                         Ok(s) => Some(s),
                         Err(e) => {
-                            drop(frontier);
+                            drop(catalog);
                             response.fill(Response::Error(e.to_string())).ok();
                             return out;
                         }
                     },
                 };
-                frontier.slots.insert(
+                catalog.slots.insert(
                     relation.clone(),
-                    Lenient::ready(Relation::empty(repr.to_repr())),
+                    Arc::new(RelationSlot {
+                        schema: parsed,
+                        state: Mutex::new(SlotState {
+                            head: Lenient::ready(Relation::empty(repr.to_repr())),
+                            open: None,
+                        }),
+                    }),
                 );
-                frontier.schemas.insert(relation.clone(), parsed);
-                frontier.order.push(relation.clone());
-                drop(frontier);
+                catalog.order.push(relation.clone());
+                drop(catalog);
                 response.fill(Response::Created(relation.clone())).ok();
                 out
             }
             Query::Names => {
-                let names = frontier.order.clone();
-                drop(frontier);
+                let names = self.catalog.read().order.clone();
                 response.fill(Response::Names(names)).ok();
                 out
             }
@@ -163,23 +304,67 @@ impl PipelinedEngine {
             | Query::Select { relation, .. }
             | Query::Count { relation }
             | Query::Aggregate { relation, .. } => {
-                let Some(input) = frontier.slots.get(relation).cloned() else {
-                    drop(frontier);
-                    response
-                        .fill(Response::Error(format!("no such relation: {relation}")))
-                        .ok();
-                    return out;
+                let fast = matches!(query, Query::Find { .. } | Query::Count { .. });
+                let answer = |rel: &Relation, query: &Query| match query {
+                    Query::Find { key, .. } => Response::Tuples(rel.find(key)),
+                    Query::Count { .. } => Response::Count(rel.len()),
+                    _ => unreachable!("fast-path arm"),
                 };
-                let schema = frontier.schemas.get(relation).cloned().flatten();
-                drop(frontier);
-                let query = query.clone();
+
+                // Pin via a borrow under the catalog read guard: the hot
+                // read path never clones the slot handle.
+                let (input, sealed_batch, schema) = {
+                    let catalog = self.catalog.read();
+                    let Some(slot) = catalog.slots.get(relation) else {
+                        drop(catalog);
+                        response
+                            .fill(Response::Error(format!("no such relation: {relation}")))
+                            .ok();
+                        return out;
+                    };
+                    let mut state = slot.state.lock();
+                    // Fast path: a filled head already reflects every write
+                    // sealed so far (an unsealed open batch's output *is*
+                    // the head and would still be pending), so a cheap
+                    // query is answered right here on the submitting
+                    // thread — no pin, no clone, no job, no handoff.
+                    if fast {
+                        if let Some(resp) = state.head.try_map(|rel| answer(rel, &query)) {
+                            drop(state);
+                            drop(catalog);
+                            response.fill(resp).ok();
+                            return out;
+                        }
+                    }
+                    let batch = state.open.take();
+                    if let Some(b) = &batch {
+                        b.lock().sealed = true;
+                    }
+                    let input = state.head.clone();
+                    drop(state);
+                    (input, batch, slot.schema.clone())
+                };
+
+                // The pinned version is still pending. If its own input has
+                // arrived, force the sealed batch here (demand-driven
+                // evaluation) rather than waiting on a worker to be
+                // scheduled.
+                if fast {
+                    if let Some(batch) = &sealed_batch {
+                        if force(batch, &input) {
+                            if let Some(resp) = input.try_map(|rel| answer(rel, &query)) {
+                                response.fill(resp).ok();
+                                return out;
+                            }
+                        }
+                    }
+                }
+
                 self.pool.spawn(move || {
                     let rel = input.wait();
                     let resp = match &query {
                         Query::Find { key, .. } => Response::Tuples(rel.find(key)),
-                        Query::FindRange { lo, hi, .. } => {
-                            Response::Tuples(rel.find_range(lo, hi))
-                        }
+                        Query::FindRange { lo, hi, .. } => Response::Tuples(rel.find_range(lo, hi)),
                         Query::Select {
                             projection,
                             predicate,
@@ -206,19 +391,44 @@ impl PipelinedEngine {
                 out
             }
             Query::Join { left, right } => {
-                let (Some(l), Some(r)) = (
-                    frontier.slots.get(left).cloned(),
-                    frontier.slots.get(right).cloned(),
-                ) else {
-                    drop(frontier);
-                    response
-                        .fill(Response::Error(format!(
-                            "no such relation in: join {left} with {right}"
-                        )))
-                        .ok();
-                    return out;
+                let (l_slot, r_slot) = {
+                    let catalog = self.catalog.read();
+                    match (
+                        catalog.slots.get(left).cloned(),
+                        catalog.slots.get(right).cloned(),
+                    ) {
+                        (Some(l), Some(r)) => (l, r),
+                        _ => {
+                            drop(catalog);
+                            response
+                                .fill(Response::Error(format!(
+                                    "no such relation in: join {left} with {right}"
+                                )))
+                                .ok();
+                            return out;
+                        }
+                    }
                 };
-                drop(frontier);
+                // Pin both sides as one atomic cut, locking in name order so
+                // concurrent multi-relation pins cannot form a lock cycle —
+                // and so the pair of pinned versions is a consistent prefix
+                // of both relations' histories.
+                let (l, r) = if left == right {
+                    let (cell, _) = Self::pin(&l_slot);
+                    (cell.clone(), cell)
+                } else if left.as_str() < right.as_str() {
+                    let mut lg = l_slot.state.lock();
+                    let mut rg = r_slot.state.lock();
+                    seal(&mut lg);
+                    seal(&mut rg);
+                    (lg.head.clone(), rg.head.clone())
+                } else {
+                    let mut rg = r_slot.state.lock();
+                    let mut lg = l_slot.state.lock();
+                    seal(&mut lg);
+                    seal(&mut rg);
+                    (lg.head.clone(), rg.head.clone())
+                };
                 self.pool.spawn(move || {
                     // Intra-transaction flooding: both sides' availability
                     // is awaited, but each was produced independently.
@@ -233,50 +443,70 @@ impl PipelinedEngine {
             Query::Insert { relation, .. }
             | Query::Delete { relation, .. }
             | Query::Replace { relation, .. } => {
-                let Some(input) = frontier.slots.get(relation).cloned() else {
-                    drop(frontier);
+                // Borrow the slot under the catalog read guard (held for the
+                // rest of the arm — no pool job ever takes the catalog lock,
+                // so holding it across the spawn is cycle-free) instead of
+                // cloning the handle out.
+                let catalog = self.catalog.read();
+                let Some(slot) = catalog.slots.get(relation) else {
+                    drop(catalog);
                     response
                         .fill(Response::Error(format!("no such relation: {relation}")))
                         .ok();
                     return out;
                 };
-                // Allocate this version's cell for the written relation.
+                let mut state = slot.state.lock();
+
+                // Coalesce: join the open batch if it is still accepting.
+                if let Some(batch) = &state.open {
+                    let mut ops = batch.lock();
+                    if !ops.sealed {
+                        ops.ops.push((query, response));
+                        return out;
+                    }
+                    // Sealed mid-flight by its worker: open a successor.
+                }
+
+                // Open a new batch: one output cell and one pool job for
+                // this write and every unsealed write that follows it.
+                let input = state.head.clone();
                 let output = Lenient::new();
-                frontier.slots.insert(relation.clone(), output.clone());
-                drop(frontier);
-                let query = query.clone();
+                let batch = Arc::new(Mutex::new(BatchOps {
+                    input: input.clone(),
+                    ops: vec![(query, response)],
+                    sealed: false,
+                }));
+                state.head = output.clone();
+                state.open = Some(Arc::clone(&batch));
+
+                // Spawn while still holding the slot lock: enqueue order
+                // must respect version order, or a concurrent submitter
+                // could enqueue a job that waits on `output` ahead of this
+                // one, and a FIFO worker would stall behind it forever.
                 self.pool.spawn(move || {
-                    let rel = input.wait();
-                    let (new_rel, resp) = match &query {
-                        Query::Insert { relation, tuple } => {
-                            let (r2, _) = rel.insert(tuple.clone());
-                            (
-                                r2,
-                                Response::Inserted {
-                                    relation: relation.clone(),
-                                    tuple: tuple.clone(),
-                                },
-                            )
-                        }
-                        Query::Delete { key, .. } => {
-                            let (r2, removed, _) = rel.delete(key);
-                            (r2, Response::Deleted(removed.len()))
-                        }
-                        Query::Replace { relation, tuple } => {
-                            let (r2, _removed, _) = rel.delete(tuple.key());
-                            let (r3, _) = r2.insert(tuple.clone());
-                            (
-                                r3,
-                                Response::Inserted {
-                                    relation: relation.clone(),
-                                    tuple: tuple.clone(),
-                                },
-                            )
-                        }
-                        _ => unreachable!("write arm"),
+                    // Wait for the input *before* claiming the run: every
+                    // write submitted while the predecessor version was
+                    // still being computed coalesces into this job.
+                    let first = input.wait();
+                    let claimed = {
+                        let mut guard = batch.lock();
+                        guard.sealed = true;
+                        std::mem::take(&mut guard.ops)
                     };
-                    output.fill(new_rel).ok();
-                    response.fill(resp).ok();
+                    if claimed.is_empty() {
+                        // A reader forced this batch already; the claimer
+                        // filled `output` and every response.
+                        return;
+                    }
+                    let mut current: Option<Relation> = None;
+                    for (q, resp_cell) in claimed {
+                        let rel = current.as_ref().unwrap_or(first);
+                        let (next, resp) = apply_write(rel, &q);
+                        resp_cell.fill(resp).ok();
+                        current = Some(next);
+                    }
+                    let result = current.unwrap_or_else(|| first.clone());
+                    output.fill(result).ok();
                 });
                 out
             }
@@ -292,31 +522,46 @@ impl PipelinedEngine {
     /// Waits for every in-flight write and assembles the current database
     /// value (a barrier; the paper's "complete archive" snapshot).
     pub fn snapshot(&self) -> Database {
-        let (order, slots, schemas) = {
-            let frontier = self.frontier.lock();
-            (
-                frontier.order.clone(),
-                frontier.slots.clone(),
-                frontier.schemas.clone(),
-            )
+        let (order, slots) = {
+            let catalog = self.catalog.read();
+            let slots: Vec<(RelationName, Arc<RelationSlot>)> = catalog
+                .order
+                .iter()
+                .map(|n| (n.clone(), Arc::clone(&catalog.slots[n])))
+                .collect();
+            (catalog.order.clone(), slots)
         };
+
+        // Capture an atomic cut: hold every slot lock at once (acquired in
+        // name order, the same discipline as join) while pinning heads.
+        let mut by_name: Vec<usize> = (0..slots.len()).collect();
+        by_name.sort_by(|&a, &b| slots[a].0.as_str().cmp(slots[b].0.as_str()));
+        let mut guards: Vec<Option<MutexGuard<'_, SlotState>>> =
+            slots.iter().map(|_| None).collect();
+        for &i in &by_name {
+            guards[i] = Some(slots[i].1.state.lock());
+        }
+        let heads: Vec<Lenient<Relation>> = guards
+            .iter_mut()
+            .map(|g| {
+                let state = g.as_mut().expect("guard acquired above");
+                seal(state);
+                state.head.clone()
+            })
+            .collect();
+        drop(guards);
+
         let mut db = Database::empty();
-        for name in order {
-            let rel = slots
-                .get(&name)
-                .expect("ordered name has a slot")
-                .wait_cloned();
+        for (name, head) in order.iter().zip(heads) {
+            let slot = &slots.iter().find(|(n, _)| n == name).expect("same set").1;
+            let rel = head.wait_cloned();
             db = db
-                .create_relation_with_schema(
-                    name.as_str(),
-                    rel.repr(),
-                    schemas.get(&name).cloned().flatten(),
-                )
+                .create_relation_with_schema(name.as_str(), rel.repr(), slot.schema.clone())
                 .expect("snapshot names are unique");
             // Rebuild content by bulk insert (snapshot is a test/debug aid,
             // not a hot path).
             for t in rel.scan() {
-                let (d2, _) = db.insert(&name, t).expect("relation just created");
+                let (d2, _) = db.insert(name, t).expect("relation just created");
                 db = d2;
             }
         }
@@ -485,5 +730,102 @@ mod tests {
         let counts = engine.run(vec![txn("count R"), txn("count S")]);
         assert_eq!(counts[0], Response::Count(100));
         assert_eq!(counts[1], Response::Count(100));
+    }
+
+    #[test]
+    fn read_fast_path_answers_inline() {
+        // On a quiescent relation the input cell is filled, so find/count
+        // answer before submit() returns — no pool round-trip.
+        let engine = PipelinedEngine::new(2, &base());
+        let c = engine.submit(txn("count R"));
+        assert!(c.is_filled(), "count fast-path must answer inline");
+        assert_eq!(*c.wait(), Response::Count(0));
+        let f = engine.submit(txn("find 1 in R"));
+        assert!(f.is_filled(), "find fast-path must answer inline");
+        assert_eq!(f.wait().tuples().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn coalesced_writes_fill_every_response() {
+        // A burst of writes against one relation coalesces into few jobs;
+        // every transaction still gets its own correct answer.
+        let engine = PipelinedEngine::new(1, &base());
+        let cells: Vec<_> = (0..300)
+            .map(|i| engine.submit(txn(&format!("insert ({i}, 'v{i}') into R"))))
+            .collect();
+        for (i, c) in cells.iter().enumerate() {
+            match c.wait() {
+                Response::Inserted { tuple, .. } => {
+                    assert_eq!(tuple.key().as_int(), Some(i as i64));
+                }
+                other => panic!("write {i} answered {other}"),
+            }
+        }
+        let count = engine.submit(txn("count R"));
+        assert_eq!(*count.wait(), Response::Count(300));
+    }
+
+    #[test]
+    fn interleaved_reads_observe_exact_prefix() {
+        // Every count interleaved into a write burst sees precisely the
+        // writes submitted before it — the seal-on-read rule.
+        let engine = PipelinedEngine::new(4, &base());
+        let mut counts = Vec::new();
+        for i in 0..120 {
+            engine.submit(txn(&format!("insert {i} into R")));
+            counts.push(engine.submit(txn("count R")));
+        }
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(*c.wait(), Response::Count(i + 1), "read {i}");
+        }
+    }
+
+    #[test]
+    fn batches_and_reads_match_classic_engine() {
+        // The coalescing engine and the classic one-job-per-transaction
+        // engine produce identical response sequences.
+        let queries: Vec<String> = (0..80)
+            .map(|i| match i % 7 {
+                0..=2 => format!("insert ({i}, 'x{i}') into R"),
+                3 => format!("replace ({}, 'y') in R", i - 1),
+                4 => format!("delete {} from R", i - 4),
+                5 => "count R".to_string(),
+                _ => format!("find {} in R", i - 5),
+            })
+            .collect();
+        let txns: Vec<Transaction> = queries.iter().map(|q| txn(q)).collect();
+        let classic = crate::ClassicEngine::new(4, &base()).run(txns.clone());
+        let current = PipelinedEngine::new(4, &base()).run(txns);
+        assert_eq!(current, classic);
+    }
+
+    #[test]
+    fn concurrent_submitters_cannot_deadlock_a_narrow_pool() {
+        // Regression: job spawn must stay inside the slot critical
+        // section. If two submitters could enqueue in an order inverting
+        // version-capture order, a one-worker pool would stall forever on
+        // a cell whose producer sits behind it in the queue. Four threads
+        // of interleaved reads and writes against a single worker must
+        // complete, and every client's writes must land.
+        let engine = std::sync::Arc::new(PipelinedEngine::new(1, &base()));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let engine = std::sync::Arc::clone(&engine);
+                s.spawn(move || {
+                    let mut cells = Vec::new();
+                    for i in 0..200u64 {
+                        let key = t * 1000 + i;
+                        cells.push(engine.submit(txn(&format!("insert {key} into R"))));
+                        if i % 3 == 0 {
+                            cells.push(engine.submit(txn("count R")));
+                        }
+                    }
+                    for c in cells {
+                        assert!(!c.wait().is_error());
+                    }
+                });
+            }
+        });
+        assert_eq!(engine.snapshot().tuple_count(), 800);
     }
 }

@@ -1,0 +1,382 @@
+//! The first-generation pipelined engine, kept as a measurable baseline.
+//!
+//! [`ClassicEngine`] is the engine as originally built: one global
+//! `Mutex<Frontier>` guarding every relation slot, one pool job and one
+//! fresh output cell per write, and every read (however cheap) dispatched
+//! through the pool. [`crate::PipelinedEngine`] replaces all three of those
+//! decisions — per-relation slot locks, coalesced write batches, and an
+//! inline read fast-path — and `benches`/`bench_engine` measure the two
+//! against each other on identical workloads. Keep this implementation
+//! semantically frozen: it is the "before" in every before/after number.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use fundb_lenient::{Lenient, WorkerPool};
+use fundb_query::ast::{apply_select, compute_aggregate};
+use fundb_query::{Query, Response, Transaction};
+use fundb_relational::{Database, Relation, RelationName, Schema};
+use parking_lot::Mutex;
+
+/// The frontier: the newest version's cell for every relation.
+struct Frontier {
+    slots: HashMap<RelationName, Lenient<Relation>>,
+    /// Attribute names per relation (static catalog data).
+    schemas: HashMap<RelationName, Option<Schema>>,
+    /// Creation order, so a barrier can rebuild a `Database` with stable
+    /// spine positions.
+    order: Vec<RelationName>,
+}
+
+/// The pre-optimization pipelined executor: coarse frontier lock, one job
+/// per transaction, no read fast-path.
+///
+/// Same submission API and same responses as [`crate::PipelinedEngine`];
+/// only the execution mechanics differ.
+pub struct ClassicEngine {
+    pool: WorkerPool,
+    frontier: Mutex<Frontier>,
+}
+
+impl fmt::Debug for ClassicEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClassicEngine")
+            .field("workers", &self.pool.worker_count())
+            .finish()
+    }
+}
+
+impl ClassicEngine {
+    /// An engine with `workers` threads, starting from `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(workers: usize, initial: &Database) -> Self {
+        let order = initial.relation_names();
+        let slots = order
+            .iter()
+            .map(|n| {
+                let rel = initial
+                    .relation(n)
+                    .expect("name from this database")
+                    .clone();
+                (n.clone(), Lenient::ready(rel))
+            })
+            .collect();
+        let schemas = order
+            .iter()
+            .map(|n| {
+                (
+                    n.clone(),
+                    initial.schema(n).expect("name from this database").cloned(),
+                )
+            })
+            .collect();
+        ClassicEngine {
+            pool: WorkerPool::new(workers),
+            frontier: Mutex::new(Frontier {
+                slots,
+                schemas,
+                order,
+            }),
+        }
+    }
+
+    /// Submits a transaction; the call returns immediately with the cell
+    /// its response will appear in. Submission order is the serialization
+    /// order.
+    pub fn submit(&self, tx: Transaction) -> Lenient<Response> {
+        let response = Lenient::new();
+        let out = response.clone();
+        let query = tx.into_query();
+
+        // The momentary locking effect: capture input cells / allocate
+        // output cells atomically with respect to other submissions.
+        let mut frontier = self.frontier.lock();
+        match &query {
+            Query::Create {
+                relation,
+                schema,
+                repr,
+            } => {
+                if frontier.slots.contains_key(relation) {
+                    drop(frontier);
+                    response
+                        .fill(Response::Error(format!(
+                            "relation already exists: {relation}"
+                        )))
+                        .ok();
+                    return out;
+                }
+                let parsed = match schema {
+                    None => None,
+                    Some(attrs) => match Schema::new(attrs) {
+                        Ok(s) => Some(s),
+                        Err(e) => {
+                            drop(frontier);
+                            response.fill(Response::Error(e.to_string())).ok();
+                            return out;
+                        }
+                    },
+                };
+                frontier.slots.insert(
+                    relation.clone(),
+                    Lenient::ready(Relation::empty(repr.to_repr())),
+                );
+                frontier.schemas.insert(relation.clone(), parsed);
+                frontier.order.push(relation.clone());
+                drop(frontier);
+                response.fill(Response::Created(relation.clone())).ok();
+                out
+            }
+            Query::Names => {
+                let names = frontier.order.clone();
+                drop(frontier);
+                response.fill(Response::Names(names)).ok();
+                out
+            }
+            Query::Find { relation, .. }
+            | Query::FindRange { relation, .. }
+            | Query::Select { relation, .. }
+            | Query::Count { relation }
+            | Query::Aggregate { relation, .. } => {
+                let Some(input) = frontier.slots.get(relation).cloned() else {
+                    drop(frontier);
+                    response
+                        .fill(Response::Error(format!("no such relation: {relation}")))
+                        .ok();
+                    return out;
+                };
+                let schema = frontier.schemas.get(relation).cloned().flatten();
+                drop(frontier);
+                self.pool.spawn(move || {
+                    let rel = input.wait();
+                    let resp = match &query {
+                        Query::Find { key, .. } => Response::Tuples(rel.find(key)),
+                        Query::FindRange { lo, hi, .. } => Response::Tuples(rel.find_range(lo, hi)),
+                        Query::Select {
+                            projection,
+                            predicate,
+                            ..
+                        } => match apply_select(rel.scan(), schema.as_ref(), projection, predicate)
+                        {
+                            Ok(tuples) => Response::Tuples(tuples),
+                            Err(e) => Response::Error(e),
+                        },
+                        Query::Count { .. } => Response::Count(rel.len()),
+                        Query::Aggregate { op, field, .. } => {
+                            match compute_aggregate(&rel.scan(), schema.as_ref(), *op, field) {
+                                Ok(value) => Response::Aggregate {
+                                    op: op.to_string(),
+                                    value,
+                                },
+                                Err(e) => Response::Error(e),
+                            }
+                        }
+                        _ => unreachable!("read-only arm"),
+                    };
+                    response.fill(resp).ok();
+                });
+                out
+            }
+            Query::Join { left, right } => {
+                let (Some(l), Some(r)) = (
+                    frontier.slots.get(left).cloned(),
+                    frontier.slots.get(right).cloned(),
+                ) else {
+                    drop(frontier);
+                    response
+                        .fill(Response::Error(format!(
+                            "no such relation in: join {left} with {right}"
+                        )))
+                        .ok();
+                    return out;
+                };
+                drop(frontier);
+                self.pool.spawn(move || {
+                    // Intra-transaction flooding: both sides' availability
+                    // is awaited, but each was produced independently.
+                    let left_rel = l.wait();
+                    let right_rel = r.wait();
+                    response
+                        .fill(Response::Tuples(left_rel.join_by_key(right_rel)))
+                        .ok();
+                });
+                out
+            }
+            Query::Insert { relation, .. }
+            | Query::Delete { relation, .. }
+            | Query::Replace { relation, .. } => {
+                let Some(input) = frontier.slots.get(relation).cloned() else {
+                    drop(frontier);
+                    response
+                        .fill(Response::Error(format!("no such relation: {relation}")))
+                        .ok();
+                    return out;
+                };
+                // Allocate this version's cell for the written relation.
+                let output = Lenient::new();
+                frontier.slots.insert(relation.clone(), output.clone());
+                // Spawn before releasing the frontier lock: enqueue order
+                // must respect version order, or a concurrent submitter
+                // could enqueue a job waiting on `output` ahead of this
+                // one and a FIFO worker would stall behind it forever.
+                self.pool.spawn(move || {
+                    let rel = input.wait();
+                    let (new_rel, resp) = match &query {
+                        Query::Insert { relation, tuple } => {
+                            let (r2, _) = rel.insert(tuple.clone());
+                            (
+                                r2,
+                                Response::Inserted {
+                                    relation: relation.clone(),
+                                    tuple: tuple.clone(),
+                                },
+                            )
+                        }
+                        Query::Delete { key, .. } => {
+                            let (r2, removed, _) = rel.delete(key);
+                            (r2, Response::Deleted(removed.len()))
+                        }
+                        Query::Replace { relation, tuple } => {
+                            let (r2, _removed, _) = rel.delete(tuple.key());
+                            let (r3, _) = r2.insert(tuple.clone());
+                            (
+                                r3,
+                                Response::Inserted {
+                                    relation: relation.clone(),
+                                    tuple: tuple.clone(),
+                                },
+                            )
+                        }
+                        _ => unreachable!("write arm"),
+                    };
+                    output.fill(new_rel).ok();
+                    response.fill(resp).ok();
+                });
+                out
+            }
+        }
+    }
+
+    /// Submits a batch and blocks for all responses, in submission order.
+    pub fn run(&self, txns: impl IntoIterator<Item = Transaction>) -> Vec<Response> {
+        let cells: Vec<Lenient<Response>> = txns.into_iter().map(|t| self.submit(t)).collect();
+        cells.into_iter().map(|c| c.wait_cloned()).collect()
+    }
+
+    /// Waits for every in-flight write and assembles the current database
+    /// value (a barrier; the paper's "complete archive" snapshot).
+    pub fn snapshot(&self) -> Database {
+        let (order, slots, schemas) = {
+            let frontier = self.frontier.lock();
+            (
+                frontier.order.clone(),
+                frontier.slots.clone(),
+                frontier.schemas.clone(),
+            )
+        };
+        let mut db = Database::empty();
+        for name in order {
+            let rel = slots
+                .get(&name)
+                .expect("ordered name has a slot")
+                .wait_cloned();
+            db = db
+                .create_relation_with_schema(
+                    name.as_str(),
+                    rel.repr(),
+                    schemas.get(&name).cloned().flatten(),
+                )
+                .expect("snapshot names are unique");
+            for t in rel.scan() {
+                let (d2, _) = db.insert(&name, t).expect("relation just created");
+                db = d2;
+            }
+        }
+        db
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.pool.worker_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply_stream::apply_stream;
+    use fundb_lenient::Stream;
+    use fundb_query::{parse, translate};
+    use fundb_relational::Repr;
+
+    fn txn(q: &str) -> Transaction {
+        translate(parse(q).unwrap())
+    }
+
+    fn base() -> Database {
+        Database::empty()
+            .create_relation("R", Repr::List)
+            .unwrap()
+            .create_relation("S", Repr::List)
+            .unwrap()
+    }
+
+    #[test]
+    fn basic_insert_find() {
+        let engine = ClassicEngine::new(2, &base());
+        let rs = engine.run(vec![txn("insert (1, 'a') into R"), txn("find 1 in R")]);
+        assert!(!rs[0].is_error());
+        assert_eq!(rs[1].tuples().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn matches_sequential_apply_stream() {
+        let queries: Vec<String> = (0..60)
+            .map(|i| match i % 5 {
+                0 => format!("insert ({i}, 'v{i}') into R"),
+                1 => format!("insert ({i}, 'w{i}') into S"),
+                2 => format!("find {} in R", i - 2),
+                3 => "count S".to_string(),
+                _ => format!("delete {} from R", i - 4),
+            })
+            .collect();
+        let txns: Vec<Transaction> = queries.iter().map(|q| txn(q)).collect();
+
+        let stream: Stream<Transaction> = txns.clone().into_iter().collect();
+        let (expected, _) = apply_stream(stream, base());
+        let expected = expected.collect_vec();
+
+        for workers in [1, 4] {
+            let engine = ClassicEngine::new(workers, &base());
+            let got = engine.run(txns.clone());
+            assert_eq!(got, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn snapshot_reflects_all_writes() {
+        let engine = ClassicEngine::new(4, &base());
+        engine.run((0..20).map(|i| txn(&format!("insert {i} into R"))));
+        let db = engine.snapshot();
+        assert_eq!(db.tuple_count(), 20);
+        assert_eq!(db.relation_names(), vec!["R".into(), "S".into()]);
+    }
+
+    #[test]
+    fn create_and_error_paths_match_new_engine() {
+        let engine = ClassicEngine::new(2, &Database::empty());
+        let rs = engine.run(vec![
+            txn("create relation T as tree"),
+            txn("create relation T"),
+            txn("insert 1 into Missing"),
+            txn("relations"),
+        ]);
+        assert_eq!(rs[0], Response::Created("T".into()));
+        assert!(rs[1].is_error());
+        assert!(rs[2].is_error());
+        assert_eq!(rs[3], Response::Names(vec!["T".into()]));
+    }
+}

@@ -14,7 +14,11 @@
 //!   independent stream components concurrently": a pipelined multi-thread
 //!   engine in which each database version is a tuple of per-relation
 //!   lenient cells, so a transaction blocks only on the relations it
-//!   actually touches.
+//!   actually touches. The frontier is sharded per relation, consecutive
+//!   writes coalesce into one job, and cheap reads of settled versions
+//!   answer inline (see `DESIGN.md`).
+//! * [`engine_classic`] — the same engine before those hot-path
+//!   optimizations, frozen as the before/after benchmark baseline.
 //! * [`locking`] — the conventional two-phase-locking executor the paper
 //!   argues against, as a measurable baseline.
 //! * [`archive`] — complete version archives (Section 3.3): time-travel
@@ -35,15 +39,17 @@ pub mod apply_stream;
 pub mod archive;
 pub mod dataflow;
 pub mod engine;
+pub mod engine_classic;
 pub mod locking;
 pub mod primary_copy;
 pub mod schedule;
 pub mod serializer;
 
-pub use apply_stream::{apply_stream, apply_stream_pairs};
+pub use apply_stream::{apply_stream, apply_stream_pairs, apply_stream_responses};
 pub use archive::VersionArchive;
 pub use dataflow::{AccessShape, CostModel, DataflowCompiler};
 pub use engine::PipelinedEngine;
+pub use engine_classic::ClassicEngine;
 pub use locking::LockingDb;
 pub use primary_copy::OptimisticEngine;
 pub use schedule::TxnSchedule;

@@ -68,17 +68,13 @@ impl LockingDb {
     /// rejected.
     pub fn execute(&self, tx: &Transaction) -> Response {
         match tx.query() {
-            Query::Create { .. } => {
-                Response::Error("locking baseline has a fixed catalog".into())
-            }
+            Query::Create { .. } => Response::Error("locking baseline has a fixed catalog".into()),
             Query::Names => Response::Names(self.relations.keys().cloned().collect()),
             Query::Find { relation, key } => match self.relations.get(relation) {
                 None => Response::Error(format!("no such relation: {relation}")),
                 Some(r) => {
                     let guard = r.read();
-                    Response::Tuples(
-                        guard.iter().filter(|t| t.key() == key).cloned().collect(),
-                    )
+                    Response::Tuples(guard.iter().filter(|t| t.key() == key).cloned().collect())
                 }
             },
             Query::FindRange { relation, lo, hi } => match self.relations.get(relation) {
@@ -139,9 +135,7 @@ impl LockingDb {
                         }
                         Response::Tuples(out)
                     }
-                    _ => Response::Error(format!(
-                        "no such relation in: join {left} with {right}"
-                    )),
+                    _ => Response::Error(format!("no such relation in: join {left} with {right}")),
                 }
             }
             Query::Count { relation } => match self.relations.get(relation) {
@@ -274,10 +268,7 @@ mod tests {
     fn all_query_kinds() {
         let ldb = LockingDb::from_database(&base());
         assert!(!ldb.execute(&txn("insert (1, 'a') into R")).is_error());
-        assert_eq!(
-            ldb.execute(&txn("find 1 in R")).tuples().unwrap().len(),
-            1
-        );
+        assert_eq!(ldb.execute(&txn("find 1 in R")).tuples().unwrap().len(), 1);
         assert_eq!(ldb.execute(&txn("count R")), Response::Count(1));
         assert_eq!(
             ldb.execute(&txn("select from R where #0 = 1"))
@@ -287,7 +278,10 @@ mod tests {
             1
         );
         assert_eq!(
-            ldb.execute(&txn("find 0 to 5 in R")).tuples().unwrap().len(),
+            ldb.execute(&txn("find 0 to 5 in R"))
+                .tuples()
+                .unwrap()
+                .len(),
             1
         );
         assert!(!ldb.execute(&txn("replace (1, 'b') in R")).is_error());

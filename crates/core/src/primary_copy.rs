@@ -148,7 +148,10 @@ impl OptimisticEngine {
         let copies = order
             .iter()
             .map(|n| {
-                let rel = initial.relation(n).expect("name from this database").clone();
+                let rel = initial
+                    .relation(n)
+                    .expect("name from this database")
+                    .clone();
                 (
                     n.clone(),
                     PrimaryCopy {
@@ -210,9 +213,10 @@ impl OptimisticEngine {
             let result = body(&mut ws);
             // Validate-and-install phase.
             let _commit = self.commit_lock.lock();
-            let valid = ws.snapshots.iter().all(|(n, (_, seen))| {
-                self.copies[n].slot.read().1 == *seen
-            });
+            let valid = ws
+                .snapshots
+                .iter()
+                .all(|(n, (_, seen))| self.copies[n].slot.read().1 == *seen);
             if valid {
                 for (n, new_rel) in ws.writes {
                     let mut guard = self.copies[&n].slot.write();
@@ -470,7 +474,11 @@ mod tests {
         let attempts = std::sync::Arc::new(AtomicU64::new(0));
 
         let e1 = engine.clone();
-        let (st, cd, at) = (snapshot_taken.clone(), conflict_done.clone(), attempts.clone());
+        let (st, cd, at) = (
+            snapshot_taken.clone(),
+            conflict_done.clone(),
+            attempts.clone(),
+        );
         let t1 = std::thread::spawn(move || {
             let fp = ["A".into()];
             e1.execute(&fp, |ws| {
@@ -530,12 +538,10 @@ mod tests {
                             let from = balance(ws.relation(&a), 1);
                             let to = balance(ws.relation(&b), 1);
                             let (na, _, _) = ws.relation(&a).delete(&1.into());
-                            let (na, _) =
-                                na.insert(Tuple::new(vec![1.into(), (from - 10).into()]));
+                            let (na, _) = na.insert(Tuple::new(vec![1.into(), (from - 10).into()]));
                             ws.set_relation(&a, na);
                             let (nb, _, _) = ws.relation(&b).delete(&1.into());
-                            let (nb, _) =
-                                nb.insert(Tuple::new(vec![1.into(), (to + 10).into()]));
+                            let (nb, _) = nb.insert(Tuple::new(vec![1.into(), (to + 10).into()]));
                             ws.set_relation(&b, nb);
                         });
                     }

@@ -26,7 +26,7 @@ use fundb_lenient::{merge_tagged, Stream, Tagged};
 use fundb_query::{Response, Transaction};
 use fundb_relational::{Database, RelationName};
 
-use crate::apply_stream::apply_stream_pairs;
+use crate::apply_stream::apply_stream_responses;
 
 /// Identifies a submitting user or application program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -51,11 +51,13 @@ pub fn process_tagged(
     // Carry the tag alongside each application. The transaction stream
     // proper is the untagged projection; zipping with the tags re-associates
     // responses with their origins without the processor ever looking at
-    // them.
+    // them. The responses-only applier keeps successor versions out of the
+    // stream entirely — the serializer never revisits them.
     let tags = merged.map(|t| t.tag);
     let txns = merged.map(|t| t.value);
-    let pairs = apply_stream_pairs(txns, initial);
-    tags.zip(&pairs).map(|(tag, (resp, _db))| Tagged::new(tag, resp))
+    let responses = apply_stream_responses(txns, initial);
+    tags.zip(&responses)
+        .map(|(tag, resp)| Tagged::new(tag, resp))
 }
 
 /// The `choose` filter: the sub-stream of responses destined for `client`.
@@ -63,9 +65,7 @@ pub fn route_responses(
     responses: &Stream<Tagged<ClientId, Response>>,
     client: ClientId,
 ) -> Stream<Response> {
-    responses
-        .filter(move |t| t.tag == client)
-        .map(|t| t.value)
+    responses.filter(move |t| t.tag == client).map(|t| t.value)
 }
 
 /// Convenience: tags and merges client transaction streams with the *live*
@@ -88,7 +88,7 @@ pub fn serve_clients(
 /// their fine-grain actions overlap instead of chaining.
 pub fn optimize_merge_order(
     clients: Vec<(ClientId, Vec<Transaction>)>,
-    ) -> Vec<Tagged<ClientId, Transaction>> {
+) -> Vec<Tagged<ClientId, Transaction>> {
     let mut queues: Vec<(ClientId, std::collections::VecDeque<Transaction>)> = clients
         .into_iter()
         .map(|(id, txns)| (id, txns.into()))
@@ -186,10 +186,7 @@ mod tests {
         let c1: Stream<Transaction> = (100..110)
             .map(|i| txn(&format!("insert {i} into R")))
             .collect();
-        let responses = serve_clients(
-            vec![(ClientId(0), c0), (ClientId(1), c1)],
-            base(),
-        );
+        let responses = serve_clients(vec![(ClientId(0), c0), (ClientId(1), c1)], base());
         let all = responses.collect_vec();
         assert_eq!(all.len(), 20);
         assert!(all.iter().all(|t| !t.value.is_error()));
@@ -204,10 +201,7 @@ mod tests {
             let c1: Stream<Transaction> = (0..20)
                 .map(|i| txn(&format!("insert {i} into S")))
                 .collect();
-            let responses = serve_clients(
-                vec![(ClientId(0), c0), (ClientId(1), c1)],
-                base(),
-            );
+            let responses = serve_clients(vec![(ClientId(0), c0), (ClientId(1), c1)], base());
             // Per-client responses arrive in submission order (here: all
             // inserts, so just count them).
             let r0 = route_responses(&responses, ClientId(0)).collect_vec();

@@ -99,9 +99,17 @@ impl<T> Lenient<T> {
     /// Useful when a structure is constructed strictly but consumed through
     /// the lenient interface.
     pub fn ready(value: T) -> Self {
-        let cell = Self::new();
-        let _ = cell.fill(value);
-        cell
+        // Constructed filled: no waiter can exist yet, so skip the
+        // lock-and-notify protocol `fill` must run.
+        let slot = OnceLock::new();
+        let _ = slot.set(value);
+        Lenient {
+            inner: Arc::new(Inner {
+                slot,
+                filled: Mutex::new(true),
+                cond: Condvar::new(),
+            }),
+        }
     }
 
     /// Fills the cell, waking all blocked waiters.
@@ -130,6 +138,16 @@ impl<T> Lenient<T> {
     /// Returns `true` once the cell has been filled.
     pub fn is_filled(&self) -> bool {
         self.inner.slot.get().is_some()
+    }
+
+    /// Applies `f` to the value if the cell is already filled, without
+    /// blocking; returns `None` if it is not.
+    ///
+    /// This is the fast-path probe: a consumer that *can* proceed without
+    /// the value (e.g. by scheduling itself for later) asks here first and
+    /// pays no synchronization when the producer has already run.
+    pub fn try_map<U>(&self, f: impl FnOnce(&T) -> U) -> Option<U> {
+        self.inner.slot.get().map(f)
     }
 
     /// Blocks until the cell is filled, then returns a reference to the value.
@@ -220,6 +238,14 @@ mod tests {
         let err = c.fill(2).unwrap_err();
         assert_eq!(err.0, 2);
         assert_eq!(*c.wait(), 1);
+    }
+
+    #[test]
+    fn try_map_is_non_blocking() {
+        let c: Lenient<u32> = Lenient::new();
+        assert_eq!(c.try_map(|v| v + 1), None);
+        c.fill(41).unwrap();
+        assert_eq!(c.try_map(|v| v + 1), Some(42));
     }
 
     #[test]

@@ -249,10 +249,7 @@ mod tests {
     fn deterministic_fixed_prefix_then_round_robin() {
         let a: Stream<i32> = vec![1, 2, 3].into_iter().collect();
         let b: Stream<i32> = vec![10, 20, 30].into_iter().collect();
-        let out = merge_deterministic(
-            vec![a, b],
-            MergeSchedule::Fixed(vec![1, 1, 0]),
-        );
+        let out = merge_deterministic(vec![a, b], MergeSchedule::Fixed(vec![1, 1, 0]));
         // fixed: b, b, a -> 10, 20, 1; then round-robin continues.
         let v = out.collect_vec();
         assert_eq!(&v[..3], &[10, 20, 1]);
@@ -265,10 +262,7 @@ mod tests {
     fn deterministic_fixed_skips_exhausted() {
         let a: Stream<i32> = vec![1].into_iter().collect();
         let b: Stream<i32> = vec![10, 20].into_iter().collect();
-        let out = merge_deterministic(
-            vec![a, b],
-            MergeSchedule::Fixed(vec![0, 0, 0, 1, 1]),
-        );
+        let out = merge_deterministic(vec![a, b], MergeSchedule::Fixed(vec![0, 0, 0, 1, 1]));
         assert_eq!(out.collect_vec(), vec![1, 10, 20]);
     }
 

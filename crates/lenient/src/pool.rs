@@ -5,6 +5,13 @@
 //! sequence". The pipelined engine realizes that by handing transaction
 //! steps to this pool; workers block only inside lenient waits, i.e. on real
 //! data dependencies.
+//!
+//! Jobs are batch-granular, not transaction-granular: since the engine
+//! coalesces consecutive same-relation writes, one job here may apply a
+//! whole run of transactions against one input cell. The queue is strictly
+//! FIFO, which the engine relies on for deadlock freedom — it enqueues jobs
+//! in version-capture order, so the oldest queued job never waits on a cell
+//! produced by a younger one.
 
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -104,8 +111,7 @@ impl WorkerPool {
                         // A panicking job must not kill the worker (or the
                         // pool would silently shrink) nor leak a pending
                         // count (or wait_idle would hang).
-                        let result =
-                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
                         pending.decr();
                         if result.is_err() {
                             // Swallow the panic; the job's own observers see

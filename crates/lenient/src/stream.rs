@@ -108,12 +108,7 @@ impl<T> Stream<T> {
     pub fn channel() -> (StreamWriter<T>, Stream<T>) {
         let cell = Lenient::new();
         let stream = Stream::from_node_cell(cell.clone());
-        (
-            StreamWriter {
-                tail: Some(cell),
-            },
-            stream,
-        )
+        (StreamWriter { tail: Some(cell) }, stream)
     }
 
     /// Resolves this stream's first spine cell, blocking if a producer has
@@ -180,9 +175,7 @@ impl<T: Clone> Stream<T> {
     /// Iteration forces the spine; on a producer-driven stream it blocks at
     /// the frontier until the producer pushes or closes.
     pub fn iter(&self) -> Iter<T> {
-        Iter {
-            cur: self.clone(),
-        }
+        Iter { cur: self.clone() }
     }
 
     /// Forces the entire stream into a `Vec`. Diverges on infinite streams.
@@ -319,13 +312,11 @@ impl<T: Clone + Send + Sync + 'static> Stream<T> {
             T: Clone + Send + Sync + 'static,
             U: Clone + Send + Sync + 'static,
         {
-            Stream::from_thunk(Thunk::new(move || {
-                match (a.wait_node(), b.wait_node()) {
-                    (Node::Cons(x, ra), Node::Cons(y, rb)) => {
-                        Node::Cons((x.clone(), y.clone()), go(ra.clone(), rb.clone()))
-                    }
-                    _ => Node::Nil,
+            Stream::from_thunk(Thunk::new(move || match (a.wait_node(), b.wait_node()) {
+                (Node::Cons(x, ra), Node::Cons(y, rb)) => {
+                    Node::Cons((x.clone(), y.clone()), go(ra.clone(), rb.clone()))
                 }
+                _ => Node::Nil,
             }))
         }
         go(self.clone(), other.clone())
@@ -415,10 +406,7 @@ impl<T> StreamWriter<T> {
     ///
     /// Panics if the stream has already been [`close`](Self::close)d.
     pub fn push(&mut self, item: T) {
-        let tail = self
-            .tail
-            .as_ref()
-            .expect("push on a closed stream writer");
+        let tail = self.tail.as_ref().expect("push on a closed stream writer");
         let next = Lenient::new();
         let next_stream = Stream::from_node_cell(next.clone());
         tail.fill(Node::Cons(item, next_stream))

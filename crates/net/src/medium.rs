@@ -57,7 +57,11 @@ impl<P> Clone for SharedMedium<P> {
 
 impl<P> fmt::Debug for SharedMedium<P> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SharedMedium[{} messages]", self.sent.load(Ordering::SeqCst))
+        write!(
+            f,
+            "SharedMedium[{} messages]",
+            self.sent.load(Ordering::SeqCst)
+        )
     }
 }
 
@@ -132,7 +136,12 @@ mod tests {
             medium.send(Message::new(SiteId(0), SiteId(i % 3), i as u64, i));
         }
         let inbox1 = medium.choose(SiteId(1));
-        let got: Vec<u32> = inbox1.take(3).collect_vec().iter().map(|m| m.payload).collect();
+        let got: Vec<u32> = inbox1
+            .take(3)
+            .collect_vec()
+            .iter()
+            .map(|m| m.payload)
+            .collect();
         assert_eq!(got, vec![1, 4, 7]);
     }
 

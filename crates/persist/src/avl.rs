@@ -164,12 +164,7 @@ impl<K: Ord, V> Avl<K, V> {
     /// All entries with `lo <= key <= hi`, ascending, pruning subtrees
     /// wholly outside the range (O(log n + answer size)).
     pub fn range(&self, lo: &K, hi: &K) -> Vec<(&K, &V)> {
-        fn go<'a, K: Ord, V>(
-            link: &'a Link<K, V>,
-            lo: &K,
-            hi: &K,
-            out: &mut Vec<(&'a K, &'a V)>,
-        ) {
+        fn go<'a, K: Ord, V>(link: &'a Link<K, V>, lo: &K, hi: &K, out: &mut Vec<(&'a K, &'a V)>) {
             let Some(n) = link.as_deref() else { return };
             if *lo < n.key {
                 go(&n.left, lo, hi, out);
@@ -228,12 +223,19 @@ fn balance<K: Clone, V: Clone>(
             mk(
                 lr.key.clone(),
                 lr.value.clone(),
-                mk(l.key.clone(), l.value.clone(), l.left.clone(), lr.left.clone()),
+                mk(
+                    l.key.clone(),
+                    l.value.clone(),
+                    l.left.clone(),
+                    lr.left.clone(),
+                ),
                 mk(key, value, lr.right.clone(), right),
             )
         }
     } else if hr - hl > 1 {
-        let r = right.as_deref().expect("right-heavy node has a right child");
+        let r = right
+            .as_deref()
+            .expect("right-heavy node has a right child");
         if height(&r.right) >= height(&r.left) {
             *copied += 2;
             mk(
@@ -249,7 +251,12 @@ fn balance<K: Clone, V: Clone>(
                 rl.key.clone(),
                 rl.value.clone(),
                 mk(key, value, left, rl.left.clone()),
-                mk(r.key.clone(), r.value.clone(), rl.right.clone(), r.right.clone()),
+                mk(
+                    r.key.clone(),
+                    r.value.clone(),
+                    rl.right.clone(),
+                    r.right.clone(),
+                ),
             )
         }
     } else {
@@ -295,7 +302,13 @@ fn take_min<K: Ord + Clone, V: Clone>(
             let (min, rest) = take_min(l, copied);
             (
                 min,
-                balance(node.key.clone(), node.value.clone(), rest, node.right.clone(), copied),
+                balance(
+                    node.key.clone(),
+                    node.value.clone(),
+                    rest,
+                    node.right.clone(),
+                    copied,
+                ),
             )
         }
     }
@@ -504,7 +517,9 @@ mod tests {
         let mut t: Avl<u32, u32> = Avl::new();
         let mut state = 0xabcdef12u64;
         let mut rand = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         for _ in 0..3000 {

@@ -264,12 +264,7 @@ impl<K: Ord, V> BTree<K, V> {
     /// All entries with `lo <= key <= hi`, ascending; prunes pages wholly
     /// outside the range (O(log n + answer size) pages touched).
     pub fn range(&self, lo: &K, hi: &K) -> Vec<(&K, &V)> {
-        fn go<'a, K: Ord, V>(
-            n: &'a BNode<K, V>,
-            lo: &K,
-            hi: &K,
-            out: &mut Vec<(&'a K, &'a V)>,
-        ) {
+        fn go<'a, K: Ord, V>(n: &'a BNode<K, V>, lo: &K, hi: &K, out: &mut Vec<(&'a K, &'a V)>) {
             let start = n.keys.partition_point(|(k, _)| k < lo);
             // Child i precedes key i; visit child `start` through the child
             // after the last in-range key.
@@ -468,7 +463,8 @@ fn delete_from<K: Ord + Clone, V: Clone>(
                 // Replace with successor from the right child.
                 let (sk, sv) = min_entry(&page.children[i + 1]);
                 let mut succ_removed = None;
-                page.children[i + 1] = delete_from(&page.children[i + 1], &sk, t, &mut succ_removed);
+                page.children[i + 1] =
+                    delete_from(&page.children[i + 1], &sk, t, &mut succ_removed);
                 *removed = Some(std::mem::replace(&mut page.keys[i], (sk, sv)).1);
                 debug_assert!(succ_removed.is_some());
             } else {
@@ -591,7 +587,10 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
         assert!(min_degree >= 2, "B-tree minimum degree must be at least 2");
         let entries: Vec<(K, V)> = entries.into_iter().collect();
         for w in entries.windows(2) {
-            assert!(w[0].0 < w[1].0, "bulk load requires strictly ascending keys");
+            assert!(
+                w[0].0 < w[1].0,
+                "bulk load requires strictly ascending keys"
+            );
         }
         let len = entries.len();
         if len == 0 {
@@ -644,10 +643,8 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
                 if remaining_children > 0 && remaining_children < min_degree {
                     span = (total - ci - min_degree).max(min_degree);
                 }
-                let node_children: Vec<Arc<BNode<K, V>>> =
-                    children[ci..ci + span].to_vec();
-                let node_keys: Vec<(K, V)> =
-                    separators[si..si + span - 1].to_vec();
+                let node_children: Vec<Arc<BNode<K, V>>> = children[ci..ci + span].to_vec();
+                let node_keys: Vec<(K, V)> = separators[si..si + span - 1].to_vec();
                 ci += span;
                 si += span - 1;
                 next_children.push(Arc::new(BNode {
@@ -856,7 +853,9 @@ mod tests {
         let mut tree: BTree<u32, u32> = BTree::new(3);
         let mut state = 0xdeadbeefu64;
         let mut rand = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         for step in 0..3000 {
@@ -888,7 +887,10 @@ mod tests {
         let a: BTree<i32, i32> = [(1, 1), (2, 2)].into_iter().collect();
         let b: BTree<i32, i32> = [(2, 2), (1, 1)].into_iter().collect();
         assert_eq!(a, b);
-        assert_eq!(format!("{:?}", BTree::<i32, i32>::new(2).insert(1, 9)), "{1: 9}");
+        assert_eq!(
+            format!("{:?}", BTree::<i32, i32>::new(2).insert(1, 9)),
+            "{1: 9}"
+        );
     }
 
     #[test]

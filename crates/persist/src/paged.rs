@@ -242,10 +242,7 @@ impl PageSharingReport {
         PageSharingReport {
             shared_pages: shared,
             new_pages: new_addrs.len() - shared,
-            superseded_pages: old_addrs
-                .iter()
-                .filter(|a| !new_addrs.contains(a))
-                .count(),
+            superseded_pages: old_addrs.iter().filter(|a| !new_addrs.contains(a)).count(),
         }
     }
 }
@@ -287,7 +284,10 @@ mod tests {
             assert_eq!(s.get(i), Some(&(i as u32)));
         }
         assert_eq!(s.get(10), None);
-        assert_eq!(s.iter().copied().collect::<Vec<_>>(), (0..10).collect::<Vec<_>>());
+        assert_eq!(
+            s.iter().copied().collect::<Vec<_>>(),
+            (0..10).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -301,7 +301,7 @@ mod tests {
         assert_eq!(report.shared_pages, 2);
         assert_eq!(report.new_pages, 1);
         assert_eq!(report.superseded_pages, 1); // the old partial page
-        // Old version untouched.
+                                                // Old version untouched.
         assert_eq!(v1.len(), 10);
         assert_eq!(v1.get(10), None);
         assert_eq!(v2.get(10), Some(&99));

@@ -224,12 +224,7 @@ impl<K: Ord, V> Tree23<K, V> {
     /// subtrees wholly outside the range, so the cost is
     /// O(log n + answer size).
     pub fn range(&self, lo: &K, hi: &K) -> Vec<(&K, &V)> {
-        fn go<'a, K: Ord, V>(
-            n: &'a Node<K, V>,
-            lo: &K,
-            hi: &K,
-            out: &mut Vec<(&'a K, &'a V)>,
-        ) {
+        fn go<'a, K: Ord, V>(n: &'a Node<K, V>, lo: &K, hi: &K, out: &mut Vec<(&'a K, &'a V)>) {
             match n {
                 Node::Leaf => {}
                 Node::Two(l, e, r) => {
@@ -379,11 +374,7 @@ fn insert_node<K: Ord + Clone, V: Clone>(
     match &**node {
         Node::Leaf => {
             *copied += 1;
-            Ins::Split(
-                Arc::new(Node::Leaf),
-                (key, value),
-                Arc::new(Node::Leaf),
-            )
+            Ins::Split(Arc::new(Node::Leaf), (key, value), Arc::new(Node::Leaf))
         }
         Node::Two(l, e, r) => {
             use std::cmp::Ordering::*;
@@ -444,7 +435,11 @@ fn insert_node<K: Ord + Clone, V: Clone>(
                     }
                     Ins::Split(a, up, b) => {
                         *copied += 2;
-                        Ins::Split(two(a, up, b), e1.clone(), two(m.clone(), e2.clone(), r.clone()))
+                        Ins::Split(
+                            two(a, up, b),
+                            e1.clone(),
+                            two(m.clone(), e2.clone(), r.clone()),
+                        )
                     }
                 },
                 _ if key < e2.0 => match insert_node(m, key, value, copied) {
@@ -454,7 +449,11 @@ fn insert_node<K: Ord + Clone, V: Clone>(
                     }
                     Ins::Split(a, up, b) => {
                         *copied += 2;
-                        Ins::Split(two(l.clone(), e1.clone(), a), up, two(b, e2.clone(), r.clone()))
+                        Ins::Split(
+                            two(l.clone(), e1.clone(), a),
+                            up,
+                            two(b, e2.clone(), r.clone()),
+                        )
                     }
                 },
                 _ => match insert_node(r, key, value, copied) {
@@ -464,7 +463,11 @@ fn insert_node<K: Ord + Clone, V: Clone>(
                     }
                     Ins::Split(a, up, b) => {
                         *copied += 2;
-                        Ins::Split(two(l.clone(), e1.clone(), m.clone()), e2.clone(), two(a, up, b))
+                        Ins::Split(
+                            two(l.clone(), e1.clone(), m.clone()),
+                            e2.clone(),
+                            two(a, up, b),
+                        )
                     }
                 },
             }
@@ -524,11 +527,9 @@ fn fix_three<K: Clone, V: Clone>(
     // pos: 0 => a is the hole, 1 => b, 2 => c.
     match pos {
         0 => match &*b {
-            Node::Two(bl, x, br) => Del::Same(two(
-                three(a, e1, bl.clone(), x.clone(), br.clone()),
-                e2,
-                c,
-            )),
+            Node::Two(bl, x, br) => {
+                Del::Same(two(three(a, e1, bl.clone(), x.clone(), br.clone()), e2, c))
+            }
             Node::Three(bl, x, bm, y, br) => Del::Same(three(
                 two(a, e1, bl.clone()),
                 x.clone(),
@@ -539,11 +540,9 @@ fn fix_three<K: Clone, V: Clone>(
             Node::Leaf => unreachable!("hole sibling cannot be a leaf"),
         },
         1 => match &*a {
-            Node::Two(al, x, ar) => Del::Same(two(
-                three(al.clone(), x.clone(), ar.clone(), e1, b),
-                e2,
-                c,
-            )),
+            Node::Two(al, x, ar) => {
+                Del::Same(two(three(al.clone(), x.clone(), ar.clone(), e1, b), e2, c))
+            }
             Node::Three(al, x, am, y, ar) => Del::Same(three(
                 two(al.clone(), x.clone(), am.clone()),
                 y.clone(),
@@ -554,11 +553,9 @@ fn fix_three<K: Clone, V: Clone>(
             Node::Leaf => unreachable!("hole sibling cannot be a leaf"),
         },
         _ => match &*b {
-            Node::Two(bl, x, br) => Del::Same(two(
-                a,
-                e1,
-                three(bl.clone(), x.clone(), br.clone(), e2, c),
-            )),
+            Node::Two(bl, x, br) => {
+                Del::Same(two(a, e1, three(bl.clone(), x.clone(), br.clone(), e2, c)))
+            }
             Node::Three(bl, x, bm, y, br) => Del::Same(three(
                 a,
                 e1,
@@ -644,11 +641,7 @@ fn delete_node<K: Ord + Clone, V: Clone>(
             if key == &e1.0 {
                 *removed = Some(e1.1.clone());
                 if bottom {
-                    return Del::Same(two(
-                        Arc::new(Node::Leaf),
-                        e2.clone(),
-                        Arc::new(Node::Leaf),
-                    ));
+                    return Del::Same(two(Arc::new(Node::Leaf), e2.clone(), Arc::new(Node::Leaf)));
                 }
                 let (dm, succ) = delete_min(m);
                 return match dm {
@@ -659,11 +652,7 @@ fn delete_node<K: Ord + Clone, V: Clone>(
             if key == &e2.0 {
                 *removed = Some(e2.1.clone());
                 if bottom {
-                    return Del::Same(two(
-                        Arc::new(Node::Leaf),
-                        e1.clone(),
-                        Arc::new(Node::Leaf),
-                    ));
+                    return Del::Same(two(Arc::new(Node::Leaf), e1.clone(), Arc::new(Node::Leaf)));
                 }
                 let (dr, succ) = delete_min(r);
                 return match dr {
@@ -879,7 +868,9 @@ mod tests {
         let mut t: Tree23<u32, u32> = Tree23::new();
         let mut state = 0x12345678u64;
         let mut rand = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         for _ in 0..2000 {

@@ -600,8 +600,13 @@ mod tests {
         // Named field resolution.
         let schema = Schema::new(&["id", "qty"]).unwrap();
         assert_eq!(
-            compute_aggregate(&tuples, Some(&schema), AggOp::Sum, &FieldRef::Name("qty".into()))
-                .unwrap(),
+            compute_aggregate(
+                &tuples,
+                Some(&schema),
+                AggOp::Sum,
+                &FieldRef::Name("qty".into())
+            )
+            .unwrap(),
             Some(Value::Int(60))
         );
     }

@@ -194,9 +194,7 @@ impl Parser {
                             Some(Token::Comma) => attrs.push(self.attr_name()?),
                             Some(Token::RParen) => break,
                             Some(t) => {
-                                return Err(
-                                    self.err(format!("expected ',' or ')', found '{t}'"))
-                                )
+                                return Err(self.err(format!("expected ',' or ')', found '{t}'")))
                             }
                             None => return Err(self.err("unterminated attribute list")),
                         }

@@ -131,10 +131,7 @@ mod tests {
             Response::Names(vec!["R".into(), "S".into()]).to_string(),
             "relations: R S"
         );
-        assert_eq!(
-            Response::Error("boom".into()).to_string(),
-            "error: boom"
-        );
+        assert_eq!(Response::Error("boom".into()).to_string(), "error: boom");
     }
 
     #[test]

@@ -215,7 +215,10 @@ mod tests {
 
     #[test]
     fn string_escapes() {
-        assert_eq!(lex("'o''brien'").unwrap(), vec![Token::Str("o'brien".into())]);
+        assert_eq!(
+            lex("'o''brien'").unwrap(),
+            vec![Token::Str("o'brien".into())]
+        );
         assert_eq!(lex("''").unwrap(), vec![Token::Str(String::new())]);
     }
 

@@ -69,6 +69,14 @@ impl Transaction {
         &self.query
     }
 
+    /// Consumes the transaction, returning the source query without a
+    /// clone. Executors that interpret the query themselves (rather than
+    /// calling [`apply`](Self::apply)) use this to drop the closure and
+    /// keep only the AST.
+    pub fn into_query(self) -> Query {
+        self.query
+    }
+
     /// Relations the transaction reads (syntactically derived).
     pub fn reads(&self) -> &[RelationName] {
         &self.reads
@@ -91,8 +99,8 @@ pub fn translate(query: Query) -> Transaction {
     let writes: Arc<[RelationName]> = query.writes().into();
     let q = query.clone();
     let func: Arc<TransactionFn> = match query.clone() {
-        Query::Insert { relation, tuple } => Arc::new(move |db| {
-            match db.insert(&relation, tuple.clone()) {
+        Query::Insert { relation, tuple } => {
+            Arc::new(move |db| match db.insert(&relation, tuple.clone()) {
                 Ok((db2, _report)) => (
                     Response::Inserted {
                         relation: relation.clone(),
@@ -101,25 +109,21 @@ pub fn translate(query: Query) -> Transaction {
                     db2,
                 ),
                 Err(e) => (Response::Error(e.to_string()), db.clone()),
-            }
+            })
+        }
+        Query::Find { relation, key } => Arc::new(move |db| match db.find(&relation, &key) {
+            Ok(tuples) => (Response::Tuples(tuples), db.clone()),
+            Err(e) => (Response::Error(e.to_string()), db.clone()),
         }),
-        Query::Find { relation, key } => Arc::new(move |db| {
-            match db.find(&relation, &key) {
+        Query::FindRange { relation, lo, hi } => {
+            Arc::new(move |db| match db.find_range(&relation, &lo, &hi) {
                 Ok(tuples) => (Response::Tuples(tuples), db.clone()),
                 Err(e) => (Response::Error(e.to_string()), db.clone()),
-            }
-        }),
-        Query::FindRange { relation, lo, hi } => Arc::new(move |db| {
-            match db.find_range(&relation, &lo, &hi) {
-                Ok(tuples) => (Response::Tuples(tuples), db.clone()),
-                Err(e) => (Response::Error(e.to_string()), db.clone()),
-            }
-        }),
-        Query::Delete { relation, key } => Arc::new(move |db| {
-            match db.delete(&relation, &key) {
-                Ok((db2, removed)) => (Response::Deleted(removed.len()), db2),
-                Err(e) => (Response::Error(e.to_string()), db.clone()),
-            }
+            })
+        }
+        Query::Delete { relation, key } => Arc::new(move |db| match db.delete(&relation, &key) {
+            Ok((db2, removed)) => (Response::Deleted(removed.len()), db2),
+            Err(e) => (Response::Error(e.to_string()), db.clone()),
         }),
         Query::Replace { relation, tuple } => Arc::new(move |db| {
             let key = tuple.key().clone();
@@ -164,26 +168,18 @@ pub fn translate(query: Query) -> Transaction {
                     Err(e) => return (Response::Error(e.to_string()), db.clone()),
                 },
             };
-            match db.create_relation_with_schema(
-                relation.clone(),
-                repr.to_repr(),
-                parsed_schema,
-            ) {
+            match db.create_relation_with_schema(relation.clone(), repr.to_repr(), parsed_schema) {
                 Ok(db2) => (Response::Created(relation.clone()), db2),
                 Err(e) => (Response::Error(e.to_string()), db.clone()),
             }
         }),
-        Query::Join { left, right } => Arc::new(move |db| {
-            match db.join(&left, &right) {
-                Ok(tuples) => (Response::Tuples(tuples), db.clone()),
-                Err(e) => (Response::Error(e.to_string()), db.clone()),
-            }
+        Query::Join { left, right } => Arc::new(move |db| match db.join(&left, &right) {
+            Ok(tuples) => (Response::Tuples(tuples), db.clone()),
+            Err(e) => (Response::Error(e.to_string()), db.clone()),
         }),
-        Query::Count { relation } => Arc::new(move |db| {
-            match db.relation(&relation) {
-                Ok(rel) => (Response::Count(rel.len()), db.clone()),
-                Err(e) => (Response::Error(e.to_string()), db.clone()),
-            }
+        Query::Count { relation } => Arc::new(move |db| match db.relation(&relation) {
+            Ok(rel) => (Response::Count(rel.len()), db.clone()),
+            Err(e) => (Response::Error(e.to_string()), db.clone()),
         }),
         Query::Aggregate {
             relation,
@@ -374,6 +370,13 @@ mod tests {
         assert_eq!(format!("{tx:?}"), "Transaction[count R]");
         assert_eq!(tx.to_string(), "count R");
         assert_eq!(tx.query().to_string(), "count R");
+    }
+
+    #[test]
+    fn into_query_returns_the_source_ast() {
+        let tx = translate(parse("find 1 in R").unwrap());
+        let q = tx.into_query();
+        assert_eq!(q.to_string(), "find 1 in R");
     }
 
     #[test]

@@ -27,8 +27,7 @@ fn field_ref_strategy() -> impl Strategy<Value = FieldRef> {
         // Avoid the connective keywords, which end a predicate atom.
         "[a-z][a-z0-9_]{0,7}"
             .prop_filter("not a keyword", |s| {
-                !["and", "or", "true", "false", "to", "from", "where", "of"]
-                    .contains(&s.as_str())
+                !["and", "or", "true", "false", "to", "from", "where", "of"].contains(&s.as_str())
             })
             .prop_map(FieldRef::Name),
     ]
@@ -142,15 +141,10 @@ fn ambiguous(q: &Query) -> bool {
                 })
         }
         Query::Create { relation, .. } => keywordish(relation.as_str()),
-        Query::Join { left, right } => {
-            keywordish(left.as_str()) || keywordish(right.as_str())
-        }
+        Query::Join { left, right } => keywordish(left.as_str()) || keywordish(right.as_str()),
         Query::Aggregate {
             relation, field, ..
-        } => {
-            keywordish(relation.as_str())
-                || matches!(field, FieldRef::Name(n) if keywordish(n))
-        }
+        } => keywordish(relation.as_str()) || matches!(field, FieldRef::Name(n) if keywordish(n)),
         _ => false,
     }
 }

@@ -173,11 +173,7 @@ impl TaskGraph {
 
     /// Length of the critical path in tasks (0 for an empty graph).
     pub fn critical_path_len(&self) -> u32 {
-        self.asap_levels()
-            .iter()
-            .max()
-            .map(|m| m + 1)
-            .unwrap_or(0)
+        self.asap_levels().iter().max().map(|m| m + 1).unwrap_or(0)
     }
 
     /// One critical path (a longest dependency chain), from a root to a

@@ -42,8 +42,7 @@ impl ExecutionTrace {
     /// (up to `max_cycles` columns; longer runs are truncated with `…`).
     /// Busy cycles print `#`, idle cycles `.`.
     pub fn render_gantt(&self, max_cycles: usize) -> String {
-        let mut busy: Vec<Vec<bool>> =
-            vec![vec![false; self.makespan as usize]; self.pes];
+        let mut busy: Vec<Vec<bool>> = vec![vec![false; self.makespan as usize]; self.pes];
         for e in &self.entries {
             if let Some(slot) = busy[e.pe].get_mut(e.time as usize) {
                 *slot = true;

@@ -52,7 +52,12 @@ fn check_schedule(g: &TaskGraph, topo: &dyn Topology, placement: Placement, comm
     // Speedup can never beat mode-1 average width or the PE count.
     let width = ConcurrencyReport::of(g).avg_width();
     assert!(r.speedup() <= (pes as f64) + 1e-9);
-    assert!(r.speedup() <= width + 1e-9, "speedup {} width {}", r.speedup(), width);
+    assert!(
+        r.speedup() <= width + 1e-9,
+        "speedup {} width {}",
+        r.speedup(),
+        width
+    );
 }
 
 proptest! {

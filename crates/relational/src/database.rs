@@ -462,7 +462,11 @@ mod tests {
         }
         assert_eq!(cur.tuple_count(), 40);
         for name in ["L", "T", "B", "P"] {
-            assert_eq!(cur.find(&name.into(), &5.into()).unwrap().len(), 1, "{name}");
+            assert_eq!(
+                cur.find(&name.into(), &5.into()).unwrap().len(),
+                1,
+                "{name}"
+            );
         }
     }
 

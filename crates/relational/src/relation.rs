@@ -336,7 +336,11 @@ impl Relation {
                 for t in prefix.into_iter().rev() {
                     out = PList::cons(t, out);
                 }
-                (Relation::List(out), removed, CopyReport::new(copied, shared))
+                (
+                    Relation::List(out),
+                    removed,
+                    CopyReport::new(copied, shared),
+                )
             }
             Relation::Tree(t) => match t.remove(key) {
                 None => (self.clone(), Vec::new(), CopyReport::default()),
@@ -441,15 +445,27 @@ mod tests {
     #[test]
     fn scan_orders() {
         let list = Relation::from_tuples(Repr::List, tuples());
-        let keys: Vec<i64> = list.scan().iter().map(|t| t.key().as_int().unwrap()).collect();
+        let keys: Vec<i64> = list
+            .scan()
+            .iter()
+            .map(|t| t.key().as_int().unwrap())
+            .collect();
         assert_eq!(keys, vec![1, 2, 3]); // key order
 
         let paged = Relation::from_tuples(Repr::Paged(2), tuples());
-        let keys: Vec<i64> = paged.scan().iter().map(|t| t.key().as_int().unwrap()).collect();
+        let keys: Vec<i64> = paged
+            .scan()
+            .iter()
+            .map(|t| t.key().as_int().unwrap())
+            .collect();
         assert_eq!(keys, vec![3, 1, 2]); // arrival order
 
         let tree = Relation::from_tuples(Repr::Tree23, tuples());
-        let keys: Vec<i64> = tree.scan().iter().map(|t| t.key().as_int().unwrap()).collect();
+        let keys: Vec<i64> = tree
+            .scan()
+            .iter()
+            .map(|t| t.key().as_int().unwrap())
+            .collect();
         assert_eq!(keys, vec![1, 2, 3]);
     }
 
@@ -490,10 +506,7 @@ mod tests {
 
     #[test]
     fn list_insert_sharing() {
-        let v1 = Relation::from_tuples(
-            Repr::List,
-            (0..20).map(|i| Tuple::of_key(i * 2)),
-        );
+        let v1 = Relation::from_tuples(Repr::List, (0..20).map(|i| Tuple::of_key(i * 2)));
         // Key 1 sorts near the front: nearly everything shared.
         let (_v2, report) = v1.insert(Tuple::of_key(1));
         assert!(report.shared >= 18, "{report}");

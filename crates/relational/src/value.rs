@@ -157,7 +157,10 @@ mod tests {
     fn cross_kind_ordering_is_total_and_stable() {
         let mut vals = vec![Value::from(true), Value::from("s"), Value::from(0)];
         vals.sort();
-        assert_eq!(vals, vec![Value::from(0), Value::from("s"), Value::from(true)]);
+        assert_eq!(
+            vals,
+            vec![Value::from(0), Value::from("s"), Value::from(true)]
+        );
     }
 
     #[test]

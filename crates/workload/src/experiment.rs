@@ -269,9 +269,18 @@ mod tests {
             assert!(r.speedup > 1.0 && r.speedup <= 27.0, "{r:?}");
         }
         // The bigger machine is at least as fast on the widest workload.
-        let wide2 = t2.iter().find(|r| r.percent == 0 && r.relations == 1).unwrap();
-        let wide3 = t3.iter().find(|r| r.percent == 0 && r.relations == 1).unwrap();
-        assert!(wide3.speedup >= wide2.speedup * 0.9, "{wide2:?} vs {wide3:?}");
+        let wide2 = t2
+            .iter()
+            .find(|r| r.percent == 0 && r.relations == 1)
+            .unwrap();
+        let wide3 = t3
+            .iter()
+            .find(|r| r.percent == 0 && r.relations == 1)
+            .unwrap();
+        assert!(
+            wide3.speedup >= wide2.speedup * 0.9,
+            "{wide2:?} vs {wide3:?}"
+        );
     }
 
     #[test]

@@ -149,10 +149,7 @@ impl Workload {
     /// # Panics
     ///
     /// Panics if `clients` is zero.
-    pub fn split_clients(
-        &self,
-        clients: usize,
-    ) -> Vec<(fundb_core::ClientId, Vec<Transaction>)> {
+    pub fn split_clients(&self, clients: usize) -> Vec<(fundb_core::ClientId, Vec<Transaction>)> {
         assert!(clients > 0, "need at least one client");
         let mut out: Vec<(fundb_core::ClientId, Vec<Transaction>)> = (0..clients)
             .map(|c| (fundb_core::ClientId(c as u32), Vec::new()))
@@ -161,6 +158,92 @@ impl Workload {
             out[i % clients].1.push(tx.clone());
         }
         out
+    }
+}
+
+/// Parameters for the engine hot-path benchmark workload: a fixed-size
+/// working set hammered by several concurrent clients.
+///
+/// Unlike [`WorkloadSpec`] — which reproduces the paper's Section 4 batch
+/// — this models a server under multi-terminal OLTP load: every relation
+/// holds `key_space` single-int tuples, writes alternate insert/delete so
+/// relation sizes stay flat, and each client gets its own deterministic
+/// transaction stream. Flat sizes keep per-transaction data work constant,
+/// so throughput differences between engines measure *engine* overhead
+/// (locking, handoffs, cell churn), not relation-representation cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotPathSpec {
+    /// Concurrent submitting clients.
+    pub clients: usize,
+    /// Transactions per client.
+    pub ops_per_client: usize,
+    /// Number of relations, named `R0..`.
+    pub relations: usize,
+    /// Keys per relation; also the initial tuple count of each.
+    pub key_space: u64,
+    /// Percentage (0–100) of transactions that are writes.
+    pub write_pct: u32,
+    /// RNG seed; equal specs generate equal workloads.
+    pub seed: u64,
+}
+
+impl HotPathSpec {
+    /// The pre-seeded database: `relations` B-tree relations with keys
+    /// `0..key_space` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `relations` is zero.
+    pub fn initial(&self) -> Database {
+        assert!(self.relations > 0, "need at least one relation");
+        let mut db = Database::empty();
+        for r in 0..self.relations {
+            db = db
+                .create_relation(format!("R{r}").as_str(), Repr::BTree(16))
+                .expect("generated names are unique");
+        }
+        for r in 0..self.relations {
+            let name = format!("R{r}").as_str().into();
+            for k in 0..self.key_space {
+                let (d2, _) = db
+                    .insert(&name, Tuple::of_key(k as i64))
+                    .expect("relation exists");
+                db = d2;
+            }
+        }
+        db
+    }
+
+    /// One client's deterministic transaction stream.
+    pub fn client_ops(&self, client: usize) -> Vec<Transaction> {
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            self.seed ^ (client as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        (0..self.ops_per_client)
+            .map(|i| {
+                let rel = format!("R{}", rng.gen_range(0..self.relations));
+                let key = rng.gen_range(0..self.key_space);
+                let q = if rng.gen_range(0u32..100) < self.write_pct {
+                    // Alternate insert/delete so the relation stays near
+                    // its initial size and per-write data cost stays flat.
+                    if i % 2 == 0 {
+                        format!("insert {key} into {rel}")
+                    } else {
+                        format!("delete {key} from {rel}")
+                    }
+                } else if rng.gen_range(0..5) == 0 {
+                    format!("count {rel}")
+                } else {
+                    format!("find {key} in {rel}")
+                };
+                translate(parse(&q).expect("generated queries parse"))
+            })
+            .collect()
+    }
+
+    /// Every client's stream, indexed by client.
+    pub fn all_clients(&self) -> Vec<Vec<Transaction>> {
+        (0..self.clients).map(|c| self.client_ops(c)).collect()
     }
 }
 
@@ -255,5 +338,55 @@ mod tests {
             ..WorkloadSpec::default()
         }
         .generate();
+    }
+
+    fn hot_path() -> HotPathSpec {
+        HotPathSpec {
+            clients: 3,
+            ops_per_client: 60,
+            relations: 2,
+            key_space: 16,
+            write_pct: 50,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn hot_path_initial_holds_key_space_per_relation() {
+        let db = hot_path().initial();
+        assert_eq!(db.relation_count(), 2);
+        assert_eq!(db.tuple_count(), 32);
+    }
+
+    #[test]
+    fn hot_path_streams_are_deterministic_and_distinct_per_client() {
+        let spec = hot_path();
+        let a = spec.client_ops(0);
+        let b = spec.client_ops(0);
+        assert_eq!(a.len(), 60);
+        assert_eq!(
+            a.iter().map(|t| t.query().to_string()).collect::<Vec<_>>(),
+            b.iter().map(|t| t.query().to_string()).collect::<Vec<_>>(),
+        );
+        let c = spec.client_ops(1);
+        assert_ne!(
+            a.iter().map(|t| t.query().to_string()).collect::<Vec<_>>(),
+            c.iter().map(|t| t.query().to_string()).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn hot_path_streams_execute_cleanly_and_stay_bounded() {
+        let spec = hot_path();
+        let mut db = spec.initial();
+        for ops in spec.all_clients() {
+            for tx in ops {
+                let (resp, d2) = tx.apply(&db);
+                assert!(!resp.is_error(), "{resp}");
+                db = d2;
+            }
+        }
+        // Insert/delete alternation keeps every relation near key_space.
+        assert!(db.tuple_count() <= 2 * 16 + 2 * 60);
     }
 }

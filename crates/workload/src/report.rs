@@ -26,7 +26,11 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
                 Some((m, a)) => format!("({m} {a})"),
                 None => "(- -)".to_string(),
             };
-            let _ = write!(line, " {:>3} {:>4.1} {:<9} |", r.max_width, r.avg_width, paper);
+            let _ = write!(
+                line,
+                " {:>3} {:>4.1} {:<9} |",
+                r.max_width, r.avg_width, paper
+            );
         }
         let _ = writeln!(out, "{line}");
     }
@@ -104,7 +108,10 @@ mod tests {
 
     #[test]
     fn speedup_table_renders() {
-        let text = render_speedup_table("Table II: Speedup, 8-node hypercube", &run_table2(CostModel::default()));
+        let text = render_speedup_table(
+            "Table II: Speedup, 8-node hypercube",
+            &run_table2(CostModel::default()),
+        );
         assert!(text.contains("Table II"));
         assert!(text.contains("(6.2)"));
     }

@@ -39,10 +39,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     1 => {
                         // Sales: record orders.
                         for o in 0..6 {
-                            replies.push(client.submit(&format!(
-                                "insert ({o}, {}) into Orders",
-                                o % 3
-                            )));
+                            replies.push(
+                                client.submit(&format!("insert ({o}, {}) into Orders", o % 3)),
+                            );
                         }
                     }
                     _ => {
@@ -78,7 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Section 3.2's site pragmas: placement is a *pragma*, not semantics.
     // RESULT-ON evaluates an expression on a chosen site; MY-SITE tells the
     // expression where it is running.
-    use fundb::net::{my_site, SitePool, SiteId};
+    use fundb::net::{my_site, SiteId, SitePool};
     let sites = SitePool::new(4);
     let here = my_site(); // the main thread belongs to no site
     let on_site_2 = sites.result_on(SiteId(2), || {

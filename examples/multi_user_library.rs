@@ -60,10 +60,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Figure 2-3 flavor: the dependency-derived schedule for a merged batch.
     println!("\n== de-facto parallel schedule of a merged batch ==");
     let batch: Vec<Tagged<ClientId, Transaction>> = vec![
-        Tagged::new(ClientId(0), translate(parse("insert (99, 'x') into Books")?)),
-        Tagged::new(ClientId(1), translate(parse("insert (990, 'm') into Loans")?)),
+        Tagged::new(
+            ClientId(0),
+            translate(parse("insert (99, 'x') into Books")?),
+        ),
+        Tagged::new(
+            ClientId(1),
+            translate(parse("insert (990, 'm') into Loans")?),
+        ),
         Tagged::new(ClientId(2), translate(parse("find 99 in Books")?)),
-        Tagged::new(ClientId(1), translate(parse("insert (991, 'n') into Loans")?)),
+        Tagged::new(
+            ClientId(1),
+            translate(parse("insert (991, 'n') into Loans")?),
+        ),
         Tagged::new(ClientId(2), translate(parse("find 990 in Loans")?)),
     ];
     let schedule = TxnSchedule::of(&batch);

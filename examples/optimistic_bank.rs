@@ -27,10 +27,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .create_relation("Branch_B", Repr::List)?;
     for branch in ["Branch_A", "Branch_B"] {
         for acct in 0..5i64 {
-            let (next, _) = db.insert(
-                &branch.into(),
-                Tuple::new(vec![acct.into(), 1000.into()]),
-            )?;
+            let (next, _) =
+                db.insert(&branch.into(), Tuple::new(vec![acct.into(), 1000.into()]))?;
             db = next;
         }
     }
@@ -61,14 +59,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         }
                         let to = balance(ws.relation(&b), to_acct);
                         let (na, _, _) = ws.relation(&a).delete(&from_acct.into());
-                        let (na, _) = na.insert(Tuple::new(vec![
-                            from_acct.into(),
-                            (from - amount).into(),
-                        ]));
+                        let (na, _) =
+                            na.insert(Tuple::new(vec![from_acct.into(), (from - amount).into()]));
                         ws.set_relation(&a, na);
                         let (nb, _, _) = ws.relation(&b).delete(&to_acct.into());
-                        let (nb, _) = nb
-                            .insert(Tuple::new(vec![to_acct.into(), (to + amount).into()]));
+                        let (nb, _) =
+                            nb.insert(Tuple::new(vec![to_acct.into(), (to + amount).into()]));
                         ws.set_relation(&b, nb);
                     });
                 }
@@ -81,13 +77,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .flat_map(|branch| {
             let rel = snap.relation(&(*branch).into()).expect("branch exists");
-            (0..5i64).map(move |acct| balance(rel, acct)).collect::<Vec<_>>()
+            (0..5i64)
+                .map(move |acct| balance(rel, acct))
+                .collect::<Vec<_>>()
         })
         .sum();
 
     let stats = engine.stats();
     println!("800 transfer transactions across 8 tellers");
-    println!("commits: {}, aborts-and-retries: {}", stats.commits, stats.aborts);
+    println!(
+        "commits: {}, aborts-and-retries: {}",
+        stats.commits, stats.aborts
+    );
     println!("total before: {total_before}, after: {total_after}");
     assert_eq!(total_before, total_after, "money must be conserved");
     println!("balance sheet intact — no locks were held during any transfer body");

@@ -36,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The original version is untouched — updating is the creation of new
     // versions, not mutation.
-    println!("\nv0 still has {} tuples; head has {}", d0.tuple_count(), db.tuple_count());
+    println!(
+        "\nv0 still has {} tuples; head has {}",
+        d0.tuple_count(),
+        db.tuple_count()
+    );
 
     // The same computation as a stream program (Figure 2-1): feed a stream
     // of transactions to apply-stream, read back responses and versions.

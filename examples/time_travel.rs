@@ -21,10 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "insert (1, 'widget', 100) into Stock",
         "insert (2, 'gadget', 40) into Stock",
         "insert (1, 250) into Prices",
-        "replace (1, 'widget', 80) in Stock",   // sold 20 widgets
+        "replace (1, 'widget', 80) in Stock", // sold 20 widgets
         "insert (2, 999) into Prices",
-        "replace (1, 'widget', 35) in Stock",   // big afternoon order
-        "delete 2 from Stock",                  // gadgets discontinued
+        "replace (1, 'widget', 35) in Stock", // big afternoon order
+        "delete 2 from Stock",                // gadgets discontinued
     ];
     for q in day {
         let r = archive.apply(&translate(parse(q)?)).clone();

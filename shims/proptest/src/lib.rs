@@ -1,0 +1,215 @@
+//! Shim for `proptest` (see `shims/README.md`).
+//!
+//! Implements the strategy/`proptest!` subset this workspace's property
+//! tests use, over a deterministic seeded generator. Differences from the
+//! real crate, by design:
+//!
+//! * cases are generated from a fixed per-case seed, so failures are
+//!   reproducible by rerunning the test — but there is **no shrinking**;
+//! * `prop_assert*` macros are plain `assert*` (they panic immediately
+//!   rather than returning a `TestCaseError`);
+//! * string strategies support the character-class/quantifier regex
+//!   subset actually used here (e.g. `"[A-Za-z][A-Za-z0-9_]{0,9}"`).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Single-import surface, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    pub mod prop {
+        //! The `prop::` module alias used as `prop::collection::vec(..)`.
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Chooses uniformly among the listed strategies (which may be of
+/// different types, as long as they generate the same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::arc($strat)),+])
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skips the current generated case when its precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Declares seeded property tests:
+/// `proptest! { #[test] fn prop(x in strategy, ..) { body } .. }`,
+/// optionally headed by `#![proptest_config(..)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(u64::from(__case));
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                // The closure gives `$body` its own scope (so `return` and
+                // `?`-style early exits behave like a test fn) — calling it
+                // in place is the point.
+                #[allow(clippy::redundant_closure_call)]
+                (move || $body)();
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn evens() -> impl Strategy<Value = i64> {
+        (0i64..500).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..9, y in -5i64..5) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+        }
+
+        #[test]
+        fn map_and_filter_compose(e in evens().prop_filter("nonzero", |e| *e != 0)) {
+            prop_assert_eq!(e % 2, 0);
+            prop_assert_ne!(e, 0);
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies((n, xs) in (1usize..4, crate::collection::vec(any::<u16>(), 0..10))) {
+            prop_assert!((1..4).contains(&n));
+            prop_assert!(xs.len() < 10);
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0u32..10) {
+            prop_assume!(x < 5);
+            prop_assert!(x < 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn configured_case_count_runs(_x in 0u64..1000) {
+            // Just exercising the config-header macro arm.
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let strat = prop_oneof![Just(1u8), Just(2u8), (3u8..5).prop_map(|x| x)];
+        let mut rng = crate::test_runner::TestRng::for_case(0);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[(Strategy::generate(&strat, &mut rng) - 1) as usize] = true;
+        }
+        assert_eq!(seen, [true; 4]);
+    }
+
+    #[test]
+    fn string_pattern_shapes() {
+        let strat = "[A-Za-z][A-Za-z0-9_]{0,9}";
+        let mut rng = crate::test_runner::TestRng::for_case(1);
+        for _ in 0..100 {
+            let s = Strategy::generate(&strat, &mut rng);
+            assert!(!s.is_empty() && s.len() <= 10, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Expr {
+            Leaf(i64),
+            Add(Box<Expr>, Box<Expr>),
+        }
+        fn depth(e: &Expr) -> usize {
+            match e {
+                Expr::Leaf(_) => 0,
+                Expr::Add(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0i64..10)
+            .prop_map(Expr::Leaf)
+            .prop_recursive(3, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b)))
+            });
+        let mut rng = crate::test_runner::TestRng::for_case(2);
+        let mut max_depth = 0;
+        for _ in 0..200 {
+            max_depth = max_depth.max(depth(&Strategy::generate(&strat, &mut rng)));
+        }
+        assert!(max_depth >= 1, "recursion never taken");
+        assert!(max_depth <= 3, "depth bound exceeded: {max_depth}");
+    }
+
+    #[test]
+    fn option_strategy_produces_both() {
+        let strat = crate::option::of(0i32..5);
+        let mut rng = crate::test_runner::TestRng::for_case(3);
+        let vals: Vec<Option<i32>> = (0..100)
+            .map(|_| Strategy::generate(&strat, &mut rng))
+            .collect();
+        assert!(vals.iter().any(Option::is_some));
+        assert!(vals.iter().any(Option::is_none));
+    }
+}

@@ -1,0 +1,254 @@
+//! The [`Strategy`] trait and its combinators.
+
+use crate::string::generate_from_pattern;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// A recipe for generating values of one type from a [`TestRng`].
+///
+/// Unlike real proptest there is no value tree: strategies generate final
+/// values directly and failures are not shrunk.
+pub trait Strategy {
+    type Value;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms every generated value through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred`, retrying generation.
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Builds recursive values: `recurse` receives a strategy for the
+    /// structure one level shallower and wraps it one level deeper. The
+    /// result generates structures at most `depth` levels deep, biased
+    /// toward shallow ones. The `_desired_size` and `_expected_branch`
+    /// hints of real proptest are accepted and ignored.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let base = BoxedStrategy(Arc::new(self));
+        let mut current = base.clone();
+        for _ in 0..depth {
+            let deeper = recurse(current);
+            // Bias 2:1 toward the shallower alternative so expected size
+            // stays bounded even at the maximum depth.
+            current = BoxedStrategy(Arc::new(Union {
+                arms: vec![base.0.clone(), base.0.clone(), Arc::new(deeper)],
+            }));
+        }
+        current
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// Helper used by `prop_oneof!` to erase arm types.
+pub fn arc<S: Strategy + 'static>(strategy: S) -> Arc<dyn Strategy<Value = S::Value>> {
+    Arc::new(strategy)
+}
+
+/// Always generates a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..500 {
+            let value = self.inner.generate(rng);
+            if (self.pred)(&value) {
+                return value;
+            }
+        }
+        panic!(
+            "prop_filter({:?}) rejected 500 consecutive generated values",
+            self.reason
+        );
+    }
+}
+
+/// Uniform choice among type-erased strategies (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<Arc<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    pub fn new(arms: Vec<Arc<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Clone for Union<V> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let pick = rng.below(self.arms.len() as u64) as usize;
+        self.arms[pick].generate(rng)
+    }
+}
+
+/// A cloneable, type-erased strategy handle.
+pub struct BoxedStrategy<V>(pub(crate) Arc<dyn Strategy<Value = V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate(rng)
+    }
+}
+
+/// Integer ranges are strategies over their element type.
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128) - (self.start as i128);
+                assert!(span > 0, "empty range strategy");
+                let offset = (rng.next_u64() as u128 % span as u128) as i128;
+                ((self.start as i128) + offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A `&'static str` is a strategy generating strings matching it as a
+/// regex (character-class/quantifier subset — see [`crate::string`]).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+/// Tuples of strategies generate tuples of values.
+macro_rules! impl_tuple_strategy {
+    ($($s:ident $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A 0, B 1);
+impl_tuple_strategy!(A 0, B 1, C 2);
+impl_tuple_strategy!(A 0, B 1, C 2, D 3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn just_clones_its_value() {
+        let mut rng = TestRng::for_case(0);
+        assert_eq!(Just(vec![1, 2]).generate(&mut rng), vec![1, 2]);
+    }
+
+    #[test]
+    fn range_strategy_covers_small_domain() {
+        let mut rng = TestRng::for_case(1);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[(4i32..7).generate(&mut rng) as usize - 4] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rejected 500 consecutive")]
+    fn impossible_filter_panics_with_reason() {
+        let strategy = (0u8..4).prop_filter("never", |_| false);
+        strategy.generate(&mut TestRng::for_case(2));
+    }
+}

@@ -1,0 +1,139 @@
+//! String generation from the regex subset used as strategies here:
+//! literal characters, character classes with ranges (`[A-Za-z0-9_']`),
+//! and `{n}` / `{n,m}` quantifiers on the preceding atom.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug)]
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> Vec<char> {
+    let mut choices = Vec::new();
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated character class in {pattern:?}"));
+        match c {
+            ']' => break,
+            '\\' => {
+                let escaped = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                choices.push(escaped);
+            }
+            _ if chars.peek() == Some(&'-') => {
+                chars.next();
+                match chars.next() {
+                    Some(']') => {
+                        // Trailing literal '-', as in `[a-z-]`.
+                        choices.push(c);
+                        choices.push('-');
+                        break;
+                    }
+                    Some(end) => choices.extend(c..=end),
+                    None => panic!("unterminated character class in {pattern:?}"),
+                }
+            }
+            _ => choices.push(c),
+        }
+    }
+    assert!(!choices.is_empty(), "empty character class in {pattern:?}");
+    choices
+}
+
+fn parse_quantifier(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut spec = String::new();
+    loop {
+        match chars.next() {
+            Some('}') => break,
+            Some(c) => spec.push(c),
+            None => panic!("unterminated quantifier in {pattern:?}"),
+        }
+    }
+    let parse = |s: &str| {
+        s.parse::<usize>()
+            .unwrap_or_else(|_| panic!("bad quantifier {{{spec}}} in {pattern:?}"))
+    };
+    match spec.split_once(',') {
+        Some((lo, hi)) => (parse(lo), parse(hi)),
+        None => {
+            let n = parse(&spec);
+            (n, n)
+        }
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let choices = match c {
+            '[' => parse_class(&mut chars, pattern),
+            '\\' => vec![chars
+                .next()
+                .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"))],
+            _ => vec![c],
+        };
+        let (min, max) = parse_quantifier(&mut chars, pattern);
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+/// Generates a string matching `pattern` (within the supported subset).
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in parse(pattern) {
+        let count = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+        for _ in 0..count {
+            out.push(atom.choices[rng.below(atom.choices.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_ranges_and_quantifiers() {
+        let mut rng = TestRng::for_case(0);
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-c][0-9_]{2,4}x", &mut rng);
+            let chars: Vec<char> = s.chars().collect();
+            assert!((4..=6).contains(&chars.len()), "{s:?}");
+            assert!(('a'..='c').contains(&chars[0]), "{s:?}");
+            assert!(chars[1..chars.len() - 1]
+                .iter()
+                .all(|c| c.is_ascii_digit() || *c == '_'));
+            assert_eq!(*chars.last().unwrap(), 'x');
+        }
+    }
+
+    #[test]
+    fn escapes_inside_classes() {
+        let mut rng = TestRng::for_case(1);
+        for _ in 0..50 {
+            let s = generate_from_pattern(r"[\]a]{1}", &mut rng);
+            assert!(s == "]" || s == "a", "{s:?}");
+        }
+    }
+
+    #[test]
+    fn exact_repeat_count() {
+        let mut rng = TestRng::for_case(2);
+        assert_eq!(generate_from_pattern("[ab]{5}", &mut rng).len(), 5);
+    }
+}

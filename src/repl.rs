@@ -150,8 +150,7 @@ impl Session {
                         format!("v{i} and v{j} are physically identical")
                     }
                     Some(changed) => {
-                        let names: Vec<String> =
-                            changed.iter().map(|n| n.to_string()).collect();
+                        let names: Vec<String> = changed.iter().map(|n| n.to_string()).collect();
                         format!("changed between v{i} and v{j}: {}", names.join(", "))
                     }
                 }
@@ -226,7 +225,9 @@ mod tests {
         let h = s.handle_line(":history");
         assert!(h.contains("v1: create relation R"), "{h}");
         assert!(h.contains("v2: insert (1) into R"), "{h}");
-        assert!(Session::new().handle_line(":history").contains("no transactions"));
+        assert!(Session::new()
+            .handle_line(":history")
+            .contains("no transactions"));
     }
 
     #[test]
@@ -235,9 +236,7 @@ mod tests {
         assert!(s.handle_line(":at 2 count R").contains("count 1"));
         assert!(s.handle_line(":at 3 count R").contains("count 0"));
         assert!(s.handle_line(":at 99 count R").contains("no such version"));
-        assert!(s
-            .handle_line(":at 1 insert 2 into R")
-            .contains("read-only"));
+        assert!(s.handle_line(":at 1 insert 2 into R").contains("read-only"));
         assert!(s.handle_line(":at x count R").contains("usage"));
     }
 
@@ -249,8 +248,12 @@ mod tests {
             "insert 1 into R",
             "count S",
         ]);
-        assert!(s.handle_line(":changed 2 3").contains("changed between v2 and v3: R"));
-        assert!(s.handle_line(":changed 3 4").contains("physically identical"));
+        assert!(s
+            .handle_line(":changed 2 3")
+            .contains("changed between v2 and v3: R"));
+        assert!(s
+            .handle_line(":changed 3 4")
+            .contains("physically identical"));
         assert!(s.handle_line(":changed 0 99").contains("no such version"));
         assert!(s.handle_line(":changed 0").contains("usage"));
     }
@@ -276,7 +279,9 @@ mod tests {
         assert_eq!(s.handle_line(":quit"), ":quit");
         assert_eq!(s.handle_line(":exit"), ":quit");
         assert!(s.handle_line(":help").contains("meta-commands"));
-        assert!(s.handle_line(":frobnicate").contains("unknown meta-command"));
+        assert!(s
+            .handle_line(":frobnicate")
+            .contains("unknown meta-command"));
     }
 
     #[test]

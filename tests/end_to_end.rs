@@ -56,7 +56,9 @@ fn version_stream_is_fully_persistent() {
         assert_eq!(v.find(&"Emp".into(), &(i as i64).into()).unwrap().len(), 1);
         if i + 1 < versions.len() {
             assert_eq!(
-                v.find(&"Emp".into(), &((i + 1) as i64).into()).unwrap().len(),
+                v.find(&"Emp".into(), &((i + 1) as i64).into())
+                    .unwrap()
+                    .len(),
                 0,
                 "version {i} must not see the future"
             );

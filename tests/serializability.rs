@@ -2,19 +2,24 @@
 //! merge-based serializer, distributed cluster, 2PL baseline) agrees with
 //! sequential processing of the same serialization order.
 
-use fundb::core::{process_tagged, route_responses, ClientId, LockingDb, PipelinedEngine};
+use fundb::core::{
+    process_tagged, route_responses, ClassicEngine, ClientId, LockingDb, PipelinedEngine,
+};
 use fundb::lenient::{merge_deterministic, MergeSchedule, Tagged};
 use fundb::net::Cluster;
 use fundb::prelude::*;
+use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 fn base(relations: usize) -> Database {
+    base_with(relations, Repr::List)
+}
+
+fn base_with(relations: usize, repr: Repr) -> Database {
     let mut db = Database::empty();
     for r in 0..relations {
-        db = db
-            .create_relation(format!("R{r}").as_str(), Repr::List)
-            .unwrap();
+        db = db.create_relation(format!("R{r}").as_str(), repr).unwrap();
     }
     db
 }
@@ -89,7 +94,11 @@ fn serializer_round_robin_matches_manual_interleave() {
         .collect();
     let merged = merge_deterministic(vec![s0, s1], MergeSchedule::RoundRobin);
     let responses = process_tagged(merged, db);
-    let all: Vec<Response> = responses.collect_vec().into_iter().map(|t| t.value).collect();
+    let all: Vec<Response> = responses
+        .collect_vec()
+        .into_iter()
+        .map(|t| t.value)
+        .collect();
     assert_eq!(all, expected);
 }
 
@@ -136,11 +145,42 @@ fn locking_baseline_reaches_the_same_final_state_for_commutative_load() {
     let queries: Vec<String> = (0..100)
         .map(|i| format!("insert {i} into R{}", i % 2))
         .collect();
-    let txns: Vec<Transaction> = queries.iter().map(|q| translate(parse(q).unwrap())).collect();
+    let txns: Vec<Transaction> = queries
+        .iter()
+        .map(|q| translate(parse(q).unwrap()))
+        .collect();
     let ldb = LockingDb::from_database(&db);
     let rs = ldb.run_concurrent(&txns, 8);
     assert!(rs.iter().all(|r| !r.is_error()));
     assert_eq!(ldb.tuple_count(), 100);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Write coalescing must be observationally invisible: a read
+    /// interleaved anywhere into a write burst sees exactly the prefix
+    /// state it would see under one-job-per-transaction execution
+    /// ([`ClassicEngine`]) and under sequential application — for every
+    /// relation representation.
+    #[test]
+    fn coalesced_engine_is_prefix_exact_for_every_repr(
+        seed in 0u64..10_000,
+        n in 30usize..100,
+        workers in 1usize..9,
+        repr_idx in 0usize..4,
+    ) {
+        let repr = [Repr::List, Repr::Tree23, Repr::BTree(4), Repr::Paged(8)][repr_idx];
+        let db = base_with(2, repr);
+        let queries = random_queries(seed, n, 2);
+        let txns = || queries.iter().map(|q| translate(parse(q).unwrap()));
+
+        let expected = sequential_responses(&db, &queries);
+        let classic = ClassicEngine::new(workers, &db).run(txns());
+        prop_assert_eq!(&classic, &expected, "classic vs sequential ({repr:?})");
+        let coalesced = PipelinedEngine::new(workers, &db).run(txns());
+        prop_assert_eq!(&coalesced, &expected, "coalesced vs sequential ({repr:?})");
+    }
 }
 
 #[test]

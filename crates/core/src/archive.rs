@@ -43,6 +43,10 @@ pub struct VersionArchive {
     /// The transaction that produced version `i+1`, as query text, plus its
     /// response (aligned: entry `i` produced version `i+1`).
     log: Vec<(String, Response)>,
+    /// If set, [`apply`](Self::apply) prunes so at most `retention + 1`
+    /// versions remain (the head plus its `retention` predecessors); the
+    /// oldest retained version plays the checkpoint role.
+    retention: Option<usize>,
 }
 
 impl fmt::Debug for VersionArchive {
@@ -62,6 +66,20 @@ impl VersionArchive {
         VersionArchive {
             versions: vec![initial],
             log: Vec::new(),
+            retention: None,
+        }
+    }
+
+    /// An archive with bounded memory: after each [`apply`](Self::apply)
+    /// it prunes to the head plus at most `retain` predecessor versions —
+    /// the paper's alternative to complete archives, with the oldest
+    /// retained version acting as the checkpoint the history is cut at.
+    /// (Disk-backed checkpoints of pruned history live in `fundb-durable`.)
+    pub fn with_retention(initial: Database, retain: usize) -> Self {
+        VersionArchive {
+            versions: vec![initial],
+            log: Vec::new(),
+            retention: Some(retain),
         }
     }
 
@@ -72,6 +90,11 @@ impl VersionArchive {
         let (response, next) = tx.apply(self.head());
         self.versions.push(next);
         self.log.push((tx.query().to_string(), response));
+        if let Some(retain) = self.retention {
+            if self.versions.len() > retain + 1 {
+                self.truncate_before(self.versions.len() - 1 - retain);
+            }
+        }
         &self.log.last().expect("just pushed").1
     }
 
@@ -271,6 +294,24 @@ mod tests {
         a.truncate_before(100);
         assert_eq!(a.version_count(), 1);
         assert_eq!(a.head().tuple_count(), 3);
+    }
+
+    #[test]
+    fn retention_bounds_versions_and_keeps_recent_history() {
+        let db = Database::empty().create_relation("R", Repr::List).unwrap();
+        let mut a = VersionArchive::with_retention(db, 3);
+        for i in 0..20 {
+            a.apply(&txn(&format!("insert {i} into R")));
+        }
+        // Head plus its 3 predecessors, never more.
+        assert_eq!(a.version_count(), 4);
+        assert_eq!(a.head().tuple_count(), 20);
+        assert_eq!(a.version(0).unwrap().tuple_count(), 17);
+        // The log is renumbered along with the versions.
+        let (q, _) = a.log_entry(1).unwrap();
+        assert_eq!(q, "insert (17) into R");
+        // Time travel still works within the retained window.
+        assert_eq!(a.query_at(1, &txn("count R")).unwrap(), Response::Count(18));
     }
 
     #[test]

@@ -1,0 +1,50 @@
+//! The durable commit hook: how a storage layer observes the engine's
+//! write batches.
+//!
+//! The pipelined engine already amortizes thread handoffs by coalescing
+//! consecutive writes to one relation into a single batch; a [`CommitSink`]
+//! reuses those same batches as *group-commit* units. The engine calls
+//! [`CommitSink::commit_writes`] exactly once per claimed batch, after the
+//! batch's input version has arrived and before any of its transactions are
+//! answered — so one fsync covers the whole run, and a transaction's
+//! response doubles as its durability acknowledgement.
+//!
+//! Sequence numbers are per relation: the engine assigns consecutive
+//! numbers (from 0, or from the recovery marks passed to
+//! [`PipelinedEngine::with_sink`](crate::PipelinedEngine::with_sink)) at
+//! submission, under the relation's slot lock. A batch's records therefore
+//! carry consecutive sequence numbers, and the log observes each relation's
+//! writes in version order even when batches of different relations
+//! interleave in the file. A checkpoint records, per relation, how many
+//! writes its state folds in; replay skips records below that mark.
+
+use std::io;
+
+use fundb_query::Query;
+use fundb_relational::RelationName;
+
+/// A durability hook invoked on the engine's write path.
+///
+/// Implementations must be thread-safe: batches of *different* relations
+/// commit concurrently from pool workers (and occasionally from a reader
+/// thread forcing a sealed batch). Batches of the *same* relation never
+/// overlap — batch N+1 waits on batch N's output version before claiming.
+///
+/// An `Err` from either method aborts the operation: the engine answers the
+/// affected transactions with an error response and publishes the
+/// *unchanged* predecessor version, so a write that was never durable is
+/// also never visible.
+pub trait CommitSink: Send + Sync {
+    /// Makes one claimed batch of writes durable — the group commit.
+    ///
+    /// `writes` holds the batch's operations in application order, each
+    /// with its per-relation sequence number. Implementations should issue
+    /// a single flush for the whole slice; the engine acknowledges each
+    /// transaction only after this returns `Ok`.
+    fn commit_writes(&self, relation: &RelationName, writes: &[(u64, Query)]) -> io::Result<()>;
+
+    /// Makes a `create relation` durable, *before* it becomes visible in
+    /// the catalog — so on replay every relation exists before its first
+    /// write.
+    fn commit_create(&self, query: &Query) -> io::Result<()>;
+}

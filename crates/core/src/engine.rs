@@ -50,6 +50,8 @@ use fundb_query::{Query, Response, Transaction};
 use fundb_relational::{Database, Relation, RelationName, Schema};
 use parking_lot::{Mutex, MutexGuard, RwLock};
 
+use crate::commit::CommitSink;
+
 /// An open coalescing batch: writes accumulated for one pool job.
 ///
 /// `sealed` flips exactly once — set by the worker when it claims the run
@@ -58,10 +60,53 @@ use parking_lot::{Mutex, MutexGuard, RwLock};
 /// Either way, once sealed no submission may append, and the batch's
 /// output cell is the fold of precisely the ops recorded here.
 struct BatchOps {
+    /// The relation the batch belongs to (for the commit sink).
+    relation: RelationName,
     /// The version cell the batch folds from.
     input: Lenient<Relation>,
-    ops: Vec<(Query, Lenient<Response>)>,
+    /// The run, in application order, each op with its per-relation
+    /// sequence number (assigned at submission under the slot lock).
+    ops: Vec<(u64, Query, Lenient<Response>)>,
     sealed: bool,
+}
+
+/// Commits a claimed run through the sink (if any), then applies it and
+/// fills every response plus the batch's output cell.
+///
+/// This is the group-commit point: one `commit_writes` call — hence one
+/// fsync in a durable sink — covers the whole run, and responses are
+/// filled only afterwards, so an answered write is a durable write. On
+/// commit failure every transaction is answered with an error and the
+/// output version is the *unchanged* input: the run's sequence numbers are
+/// burned, but none of its records reached the log, so recovery still sees
+/// a clean prefix.
+fn commit_and_apply(
+    sink: Option<&Arc<dyn CommitSink>>,
+    relation: &RelationName,
+    first: &Relation,
+    claimed: Vec<(u64, Query, Lenient<Response>)>,
+    output: &Lenient<Relation>,
+) {
+    if let Some(sink) = sink {
+        let records: Vec<(u64, Query)> = claimed.iter().map(|(s, q, _)| (*s, q.clone())).collect();
+        if let Err(e) = sink.commit_writes(relation, &records) {
+            for (_, _, resp_cell) in claimed {
+                resp_cell
+                    .fill(Response::Error(format!("commit failed: {e}")))
+                    .ok();
+            }
+            output.fill(first.clone()).ok();
+            return;
+        }
+    }
+    let mut current: Option<Relation> = None;
+    for (_, q, resp_cell) in claimed {
+        let rel = current.as_ref().unwrap_or(first);
+        let (next, resp) = apply_write(rel, &q);
+        resp_cell.fill(resp).ok();
+        current = Some(next);
+    }
+    output.fill(current.unwrap_or_else(|| first.clone())).ok();
 }
 
 /// Claims and applies a sealed batch *if* its input version is already
@@ -73,8 +118,12 @@ struct BatchOps {
 /// instead of waiting for a pool worker to be scheduled. Claiming is
 /// exactly-once — whoever `mem::take`s the non-empty op list owns the
 /// fill; the pool job that finds the list empty simply returns.
-fn force(batch: &Mutex<BatchOps>, output: &Lenient<Relation>) -> bool {
-    let (mut current, ops) = {
+fn force(
+    batch: &Mutex<BatchOps>,
+    output: &Lenient<Relation>,
+    sink: Option<&Arc<dyn CommitSink>>,
+) -> bool {
+    let (current, relation, ops) = {
         let mut guard = batch.lock();
         let Some(rel) = guard.input.try_map(Relation::clone) else {
             return false;
@@ -85,14 +134,9 @@ fn force(batch: &Mutex<BatchOps>, output: &Lenient<Relation>) -> bool {
             return false;
         }
         guard.sealed = true;
-        (rel, std::mem::take(&mut guard.ops))
+        (rel, guard.relation.clone(), std::mem::take(&mut guard.ops))
     };
-    for (q, resp_cell) in ops {
-        let (next, resp) = apply_write(&current, &q);
-        resp_cell.fill(resp).ok();
-        current = next;
-    }
-    output.fill(current).ok();
+    commit_and_apply(sink, &relation, &current, ops, output);
     true
 }
 
@@ -102,6 +146,10 @@ struct SlotState {
     head: Lenient<Relation>,
     /// The batch currently accepting writes, if any.
     open: Option<Arc<Mutex<BatchOps>>>,
+    /// The next write sequence number: how many writes (including failed
+    /// commits, whose numbers are burned) have been submitted against this
+    /// relation. Checkpoints record this as their replay mark.
+    next_seq: u64,
 }
 
 /// One relation's slot: static schema plus the locked frontier shard.
@@ -159,6 +207,22 @@ fn apply_write(rel: &Relation, query: &Query) -> (Relation, Response) {
     }
 }
 
+/// An atomic cut of the engine's frontier: a database value plus, for each
+/// relation, the number of writes the cut folds in (its replay mark).
+///
+/// Produced by [`PipelinedEngine::consistent_cut`]. A checkpoint of the
+/// `database` paired with the `seq_marks` is exactly enough for recovery:
+/// replay the log, skipping each relation's records below its mark.
+#[derive(Debug, Clone)]
+pub struct ConsistentCut {
+    /// The cut's database value — the engine's actual relation values, so
+    /// structure is physically shared with neighbouring cuts.
+    pub database: Database,
+    /// Per relation, how many writes (sequence numbers `0..mark`) the
+    /// database value accounts for.
+    pub seq_marks: HashMap<RelationName, u64>,
+}
+
 /// A multi-threaded executor with implicit, dependency-only synchronization.
 ///
 /// # Example
@@ -179,6 +243,9 @@ fn apply_write(rel: &Relation, query: &Query) -> (Relation, Response) {
 pub struct PipelinedEngine {
     pool: WorkerPool,
     catalog: RwLock<Catalog>,
+    /// The durable commit hook, if any: called once per claimed write
+    /// batch (group commit) and once per `create`, before responses fill.
+    sink: Option<Arc<dyn CommitSink>>,
 }
 
 impl fmt::Debug for PipelinedEngine {
@@ -196,6 +263,37 @@ impl PipelinedEngine {
     ///
     /// Panics if `workers` is zero.
     pub fn new(workers: usize, initial: &Database) -> Self {
+        Self::build(workers, initial, None, &HashMap::new())
+    }
+
+    /// An engine whose write path is hooked to a durable [`CommitSink`]:
+    /// every claimed write batch is committed (one sink call — one fsync —
+    /// per batch) before any of its transactions are answered, and every
+    /// `create` is committed before it enters the catalog.
+    ///
+    /// `seq_marks` gives each relation's starting write sequence number —
+    /// `0` for a fresh store, or the recovered next-sequence values after a
+    /// restart, so that replayed history and new writes never share a
+    /// number. Relations absent from the map start at `0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn with_sink(
+        workers: usize,
+        initial: &Database,
+        sink: Arc<dyn CommitSink>,
+        seq_marks: &HashMap<RelationName, u64>,
+    ) -> Self {
+        Self::build(workers, initial, Some(sink), seq_marks)
+    }
+
+    fn build(
+        workers: usize,
+        initial: &Database,
+        sink: Option<Arc<dyn CommitSink>>,
+        seq_marks: &HashMap<RelationName, u64>,
+    ) -> Self {
         let order = initial.relation_names();
         let slots = order
             .iter()
@@ -212,6 +310,7 @@ impl PipelinedEngine {
                         state: Mutex::new(SlotState {
                             head: Lenient::ready(rel),
                             open: None,
+                            next_seq: seq_marks.get(n).copied().unwrap_or(0),
                         }),
                     }),
                 )
@@ -220,6 +319,7 @@ impl PipelinedEngine {
         PipelinedEngine {
             pool: WorkerPool::new(workers),
             catalog: RwLock::new(Catalog { slots, order }),
+            sink,
         }
     }
 
@@ -279,6 +379,18 @@ impl PipelinedEngine {
                         }
                     },
                 };
+                // Durable-before-visible: log the create while still
+                // holding the catalog exclusively, so in the log a
+                // relation's create precedes its first write.
+                if let Some(sink) = &self.sink {
+                    if let Err(e) = sink.commit_create(&query) {
+                        drop(catalog);
+                        response
+                            .fill(Response::Error(format!("commit failed: {e}")))
+                            .ok();
+                        return out;
+                    }
+                }
                 catalog.slots.insert(
                     relation.clone(),
                     Arc::new(RelationSlot {
@@ -286,6 +398,7 @@ impl PipelinedEngine {
                         state: Mutex::new(SlotState {
                             head: Lenient::ready(Relation::empty(repr.to_repr())),
                             open: None,
+                            next_seq: 0,
                         }),
                     }),
                 );
@@ -351,7 +464,7 @@ impl PipelinedEngine {
                 // scheduled.
                 if fast {
                     if let Some(batch) = &sealed_batch {
-                        if force(batch, &input) {
+                        if force(batch, &input, self.sink.as_ref()) {
                             if let Some(resp) = input.try_map(|rel| answer(rel, &query)) {
                                 response.fill(resp).ok();
                                 return out;
@@ -456,12 +569,14 @@ impl PipelinedEngine {
                     return out;
                 };
                 let mut state = slot.state.lock();
+                let seq = state.next_seq;
+                state.next_seq += 1;
 
                 // Coalesce: join the open batch if it is still accepting.
                 if let Some(batch) = &state.open {
                     let mut ops = batch.lock();
                     if !ops.sealed {
-                        ops.ops.push((query, response));
+                        ops.ops.push((seq, query, response));
                         return out;
                     }
                     // Sealed mid-flight by its worker: open a successor.
@@ -472,12 +587,14 @@ impl PipelinedEngine {
                 let input = state.head.clone();
                 let output = Lenient::new();
                 let batch = Arc::new(Mutex::new(BatchOps {
+                    relation: relation.clone(),
                     input: input.clone(),
-                    ops: vec![(query, response)],
+                    ops: vec![(seq, query, response)],
                     sealed: false,
                 }));
                 state.head = output.clone();
                 state.open = Some(Arc::clone(&batch));
+                let sink = self.sink.clone();
 
                 // Spawn while still holding the slot lock: enqueue order
                 // must respect version order, or a concurrent submitter
@@ -486,27 +603,22 @@ impl PipelinedEngine {
                 self.pool.spawn(move || {
                     // Wait for the input *before* claiming the run: every
                     // write submitted while the predecessor version was
-                    // still being computed coalesces into this job.
+                    // still being computed coalesces into this job. In a
+                    // durable engine the previous batch's fsync happens in
+                    // that window, so commit latency grows batches instead
+                    // of stalling submitters.
                     let first = input.wait();
-                    let claimed = {
+                    let (relation, claimed) = {
                         let mut guard = batch.lock();
                         guard.sealed = true;
-                        std::mem::take(&mut guard.ops)
+                        (guard.relation.clone(), std::mem::take(&mut guard.ops))
                     };
                     if claimed.is_empty() {
                         // A reader forced this batch already; the claimer
                         // filled `output` and every response.
                         return;
                     }
-                    let mut current: Option<Relation> = None;
-                    for (q, resp_cell) in claimed {
-                        let rel = current.as_ref().unwrap_or(first);
-                        let (next, resp) = apply_write(rel, &q);
-                        resp_cell.fill(resp).ok();
-                        current = Some(next);
-                    }
-                    let result = current.unwrap_or_else(|| first.clone());
-                    output.fill(result).ok();
+                    commit_and_apply(sink.as_ref(), &relation, first, claimed, &output);
                 });
                 out
             }
@@ -522,6 +634,21 @@ impl PipelinedEngine {
     /// Waits for every in-flight write and assembles the current database
     /// value (a barrier; the paper's "complete archive" snapshot).
     pub fn snapshot(&self) -> Database {
+        self.consistent_cut().database
+    }
+
+    /// Captures an atomic cut of the frontier: the database value made of
+    /// every relation's current head, plus each relation's write sequence
+    /// mark (how many writes the cut folds in).
+    ///
+    /// All slot locks are held at once (acquired in name order, the same
+    /// discipline as join) while heads are pinned and marks read, so the
+    /// cut is a consistent prefix of every relation's history and the
+    /// marks align exactly with the contents. The assembled database holds
+    /// the engine's *actual* relation values — physical sharing with prior
+    /// cuts is preserved, which is what makes checkpointing a cut
+    /// incremental.
+    pub fn consistent_cut(&self) -> ConsistentCut {
         let (order, slots) = {
             let catalog = self.catalog.read();
             let slots: Vec<(RelationName, Arc<RelationSlot>)> = catalog
@@ -532,8 +659,6 @@ impl PipelinedEngine {
             (catalog.order.clone(), slots)
         };
 
-        // Capture an atomic cut: hold every slot lock at once (acquired in
-        // name order, the same discipline as join) while pinning heads.
         let mut by_name: Vec<usize> = (0..slots.len()).collect();
         by_name.sort_by(|&a, &b| slots[a].0.as_str().cmp(slots[b].0.as_str()));
         let mut guards: Vec<Option<MutexGuard<'_, SlotState>>> =
@@ -541,31 +666,29 @@ impl PipelinedEngine {
         for &i in &by_name {
             guards[i] = Some(slots[i].1.state.lock());
         }
-        let heads: Vec<Lenient<Relation>> = guards
+        let pinned: Vec<(Lenient<Relation>, u64)> = guards
             .iter_mut()
             .map(|g| {
                 let state = g.as_mut().expect("guard acquired above");
                 seal(state);
-                state.head.clone()
+                (state.head.clone(), state.next_seq)
             })
             .collect();
         drop(guards);
 
         let mut db = Database::empty();
-        for (name, head) in order.iter().zip(heads) {
-            let slot = &slots.iter().find(|(n, _)| n == name).expect("same set").1;
+        let mut seq_marks = HashMap::new();
+        for ((name, (head, mark)), (_, slot)) in order.iter().zip(pinned).zip(&slots) {
             let rel = head.wait_cloned();
             db = db
-                .create_relation_with_schema(name.as_str(), rel.repr(), slot.schema.clone())
-                .expect("snapshot names are unique");
-            // Rebuild content by bulk insert (snapshot is a test/debug aid,
-            // not a hot path).
-            for t in rel.scan() {
-                let (d2, _) = db.insert(name, t).expect("relation just created");
-                db = d2;
-            }
+                .with_relation_value(name.as_str(), rel, slot.schema.clone())
+                .expect("cut names are unique");
+            seq_marks.insert(name.clone(), mark);
         }
-        db
+        ConsistentCut {
+            database: db,
+            seq_marks,
+        }
     }
 
     /// Number of worker threads.
@@ -797,6 +920,176 @@ mod tests {
         let classic = crate::ClassicEngine::new(4, &base()).run(txns.clone());
         let current = PipelinedEngine::new(4, &base()).run(txns);
         assert_eq!(current, classic);
+    }
+
+    /// A sink that records every committed record and can be switched to
+    /// fail, for exercising the commit protocol without a disk.
+    struct RecordingSink {
+        committed: Mutex<Vec<(String, u64, String)>>,
+        creates: Mutex<Vec<String>>,
+        fail: std::sync::atomic::AtomicBool,
+        batch_sizes: Mutex<Vec<usize>>,
+    }
+
+    impl RecordingSink {
+        fn new() -> Self {
+            RecordingSink {
+                committed: Mutex::new(Vec::new()),
+                creates: Mutex::new(Vec::new()),
+                fail: std::sync::atomic::AtomicBool::new(false),
+                batch_sizes: Mutex::new(Vec::new()),
+            }
+        }
+    }
+
+    impl CommitSink for RecordingSink {
+        fn commit_writes(
+            &self,
+            relation: &RelationName,
+            writes: &[(u64, Query)],
+        ) -> std::io::Result<()> {
+            if self.fail.load(std::sync::atomic::Ordering::SeqCst) {
+                return Err(std::io::Error::other("injected commit failure"));
+            }
+            self.batch_sizes.lock().push(writes.len());
+            let mut log = self.committed.lock();
+            for (seq, q) in writes {
+                log.push((relation.to_string(), *seq, q.to_string()));
+            }
+            Ok(())
+        }
+
+        fn commit_create(&self, query: &Query) -> std::io::Result<()> {
+            if self.fail.load(std::sync::atomic::Ordering::SeqCst) {
+                return Err(std::io::Error::other("injected commit failure"));
+            }
+            self.creates.lock().push(query.to_string());
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn sink_sees_every_acknowledged_write_in_sequence_order() {
+        let sink = Arc::new(RecordingSink::new());
+        let engine =
+            PipelinedEngine::with_sink(2, &base(), Arc::clone(&sink) as _, &HashMap::new());
+        let rs = engine.run((0..50).map(|i| {
+            let rel = if i % 2 == 0 { "R" } else { "S" };
+            txn(&format!("insert {i} into {rel}"))
+        }));
+        assert!(rs.iter().all(|r| !r.is_error()));
+
+        // Every acked write is in the log, and each relation's records
+        // carry consecutive sequence numbers 0..25 in order.
+        let log = sink.committed.lock();
+        assert_eq!(log.len(), 50);
+        for rel in ["R", "S"] {
+            let seqs: Vec<u64> = log
+                .iter()
+                .filter(|(r, _, _)| r == rel)
+                .map(|(_, s, _)| *s)
+                .collect();
+            assert_eq!(seqs, (0..25).collect::<Vec<u64>>(), "{rel}");
+        }
+    }
+
+    #[test]
+    fn sink_commits_whole_batches() {
+        // One worker guarantees writes pile into few batches; the sink
+        // must see one commit call per batch, not per transaction.
+        let sink = Arc::new(RecordingSink::new());
+        let engine =
+            PipelinedEngine::with_sink(1, &base(), Arc::clone(&sink) as _, &HashMap::new());
+        let rs = engine.run((0..100).map(|i| txn(&format!("insert {i} into R"))));
+        assert!(rs.iter().all(|r| !r.is_error()));
+        let sizes = sink.batch_sizes.lock();
+        assert_eq!(sizes.iter().sum::<usize>(), 100);
+        assert!(
+            sizes.len() < 100,
+            "writes must coalesce into group commits, got {} calls",
+            sizes.len()
+        );
+    }
+
+    #[test]
+    fn create_commits_before_it_is_visible() {
+        let sink = Arc::new(RecordingSink::new());
+        let engine = PipelinedEngine::with_sink(
+            2,
+            &Database::empty(),
+            Arc::clone(&sink) as _,
+            &HashMap::new(),
+        );
+        let r = engine.submit(txn("create relation T as tree"));
+        assert_eq!(*r.wait(), Response::Created("T".into()));
+        assert_eq!(sink.creates.lock().len(), 1);
+
+        // A failing sink vetoes creation entirely: not durable, not visible.
+        sink.fail.store(true, std::sync::atomic::Ordering::SeqCst);
+        let r = engine.submit(txn("create relation U"));
+        assert!(r.wait().is_error());
+        let names = engine.submit(txn("relations"));
+        assert_eq!(*names.wait(), Response::Names(vec!["T".into()]));
+    }
+
+    #[test]
+    fn failed_commit_answers_error_and_publishes_unchanged_version() {
+        let sink = Arc::new(RecordingSink::new());
+        let engine =
+            PipelinedEngine::with_sink(2, &base(), Arc::clone(&sink) as _, &HashMap::new());
+        engine.run(vec![txn("insert 1 into R")]);
+        sink.fail.store(true, std::sync::atomic::Ordering::SeqCst);
+        let rs = engine.run(vec![txn("insert 2 into R"), txn("count R")]);
+        assert!(rs[0].is_error(), "unacknowledged write must report failure");
+        assert_eq!(
+            rs[1],
+            Response::Count(1),
+            "failed write must not be visible"
+        );
+        // Durability resumes once the sink recovers; burned sequence
+        // numbers leave a gap, which recovery tolerates (the records never
+        // reached the log).
+        sink.fail.store(false, std::sync::atomic::Ordering::SeqCst);
+        let rs = engine.run(vec![txn("insert 3 into R"), txn("count R")]);
+        assert!(!rs[0].is_error());
+        assert_eq!(rs[1], Response::Count(2));
+        let log = sink.committed.lock();
+        let r_seqs: Vec<u64> = log
+            .iter()
+            .filter(|(r, _, _)| r == "R")
+            .map(|(_, s, _)| *s)
+            .collect();
+        assert_eq!(r_seqs, vec![0, 2], "seq 1 burned by the failed commit");
+    }
+
+    #[test]
+    fn consistent_cut_reports_marks_and_shares_structure() {
+        let engine = PipelinedEngine::new(2, &base());
+        engine.run((0..10).map(|i| txn(&format!("insert {i} into R"))));
+        let cut1 = engine.consistent_cut();
+        assert_eq!(cut1.seq_marks[&"R".into()], 10);
+        assert_eq!(cut1.seq_marks[&"S".into()], 0);
+        assert_eq!(cut1.database.tuple_count(), 10);
+
+        engine.run(vec![txn("insert 10 into R")]);
+        let cut2 = engine.consistent_cut();
+        assert_eq!(cut2.seq_marks[&"R".into()], 11);
+        // S untouched between cuts: the two cut databases share its value
+        // physically (which is what checkpointing exploits).
+        assert!(cut1
+            .database
+            .shares_relation_with(&cut2.database, &"S".into()));
+    }
+
+    #[test]
+    fn seq_marks_resume_numbering_after_restart() {
+        let sink = Arc::new(RecordingSink::new());
+        let marks: HashMap<RelationName, u64> = [("R".into(), 7u64)].into_iter().collect();
+        let engine = PipelinedEngine::with_sink(2, &base(), Arc::clone(&sink) as _, &marks);
+        engine.run(vec![txn("insert 99 into R"), txn("insert 1 into S")]);
+        let log = sink.committed.lock();
+        assert!(log.contains(&("R".to_string(), 7, "insert (99) into R".to_string())));
+        assert!(log.contains(&("S".to_string(), 0, "insert (1) into S".to_string())));
     }
 
     #[test]

@@ -22,7 +22,11 @@
 //! * [`locking`] — the conventional two-phase-locking executor the paper
 //!   argues against, as a measurable baseline.
 //! * [`archive`] — complete version archives (Section 3.3): time-travel
-//!   queries over the retained version stream.
+//!   queries over the retained version stream, with optional bounded
+//!   retention.
+//! * [`commit`] — the durable commit hook: a [`CommitSink`] observes the
+//!   engine's coalesced write batches as group-commit units (the
+//!   disk-backed implementation lives in the `fundb-durable` crate).
 //! * [`primary_copy`] — the paper's deferred primary-copy model: optimistic
 //!   transactions over versioned primary copies with abort-and-retry, which
 //!   persistence makes cheap (aborting a pure computation undoes nothing).
@@ -37,6 +41,7 @@
 
 pub mod apply_stream;
 pub mod archive;
+pub mod commit;
 pub mod dataflow;
 pub mod engine;
 pub mod engine_classic;
@@ -47,8 +52,9 @@ pub mod serializer;
 
 pub use apply_stream::{apply_stream, apply_stream_pairs, apply_stream_responses};
 pub use archive::VersionArchive;
+pub use commit::CommitSink;
 pub use dataflow::{AccessShape, CostModel, DataflowCompiler};
-pub use engine::PipelinedEngine;
+pub use engine::{ConsistentCut, PipelinedEngine};
 pub use engine_classic::ClassicEngine;
 pub use locking::LockingDb;
 pub use primary_copy::OptimisticEngine;

@@ -1,0 +1,850 @@
+//! Sharing-aware checkpoints: the persistent structures, content-addressed,
+//! on disk.
+//!
+//! Section 2.2's claim is that version `k+1` shares all but `O(log n)` of
+//! its structure with version `k`. A checkpoint makes that claim pay off on
+//! disk: every physical node (list cell, 2-3 node, B-tree page, data page)
+//! is serialized with its children referenced *by content hash*, and the
+//! node store is append-only with hash-based deduplication. Checkpointing a
+//! cut therefore appends only the nodes the previous checkpoint has never
+//! seen — the copied root-to-leaf paths — so an incremental checkpoint
+//! after `k` updates costs `O(k · log n)` bytes, not a full copy.
+//!
+//! Layout under `<dir>`:
+//!
+//! * `nodes.fns` — the append-only node store. Records are framed
+//!   `[u32 len][u32 crc][u128 id][payload]`, `id = fnv128(payload)`.
+//! * `ckpt-NNNNNN.fck` — immutable manifests: per relation its name,
+//!   representation, schema, write-sequence mark, and root node id.
+//!
+//! Crash safety is by write ordering, not atomicity: nodes are appended
+//! and fsynced *before* their manifest is written and fsynced. A crash
+//! mid-checkpoint leaves either a torn node-store tail (truncated on next
+//! open; the nodes were unreferenced) or a torn manifest (fails its CRC
+//! and is ignored — the loader falls back to the newest *valid* manifest,
+//! whose nodes are all safely in the prefix).
+
+use std::collections::{HashMap, HashSet};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use fundb_core::engine::ConsistentCut;
+use fundb_persist::PList;
+use fundb_relational::{Database, Relation, RelationName, Repr, Schema, Tuple, Value};
+
+use crate::codec::{
+    crc32, fnv128, put_schema, put_str, put_tuple, put_u128, put_u32, put_u64, CodecError, Cursor,
+};
+
+/// The id of the empty subtree. No real node gets this id (it would need a
+/// payload hashing to exactly zero — astronomically unlikely, and checked
+/// at write time).
+pub const NIL_ID: u128 = 0;
+
+const MANIFEST_MAGIC: u32 = 0x4643_4B31; // "FCK1"
+
+/// Node payload tags.
+const TAG_LIST_CELL: u8 = 1;
+const TAG_TREE23: u8 = 2;
+const TAG_BTREE: u8 = 3;
+const TAG_PAGE: u8 = 4;
+const TAG_DIRECTORY: u8 = 5;
+
+fn manifest_name(i: u64) -> String {
+    format!("ckpt-{i:06}.fck")
+}
+
+fn manifest_indices(dir: &Path) -> io::Result<Vec<u64>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let name = name.to_string_lossy();
+        if let Some(num) = name
+            .strip_prefix("ckpt-")
+            .and_then(|s| s.strip_suffix(".fck"))
+        {
+            if let Ok(i) = num.parse::<u64>() {
+                out.push(i);
+            }
+        }
+    }
+    out.sort_unstable();
+    Ok(out)
+}
+
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        d.sync_all().ok();
+    }
+}
+
+/// What one checkpoint cost — the measurable form of the sharing bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// The manifest index written.
+    pub manifest: u64,
+    /// Nodes appended to the store by this checkpoint.
+    pub nodes_written: usize,
+    /// Nodes this checkpoint references that were already on disk — the
+    /// structure shared with earlier checkpoints.
+    pub nodes_deduped: usize,
+    /// Bytes appended to the node store (frames included).
+    pub node_bytes: u64,
+    /// Bytes of the manifest file.
+    pub manifest_bytes: u64,
+}
+
+impl CheckpointStats {
+    /// Total bytes this checkpoint added on disk.
+    pub fn total_bytes(&self) -> u64 {
+        self.node_bytes + self.manifest_bytes
+    }
+}
+
+/// The checkpoint writer: owns the node-store append handle and the
+/// on-disk id set.
+#[derive(Debug)]
+pub struct CheckpointWriter {
+    dir: PathBuf,
+    nodes: File,
+    /// Ids already in the store — the dedup set. Rebuilt by scanning on
+    /// open, maintained incrementally afterwards.
+    on_disk: HashSet<u128>,
+    next_manifest: u64,
+}
+
+/// Encodes a tuple bucket (spine order) into `buf`.
+fn put_bucket(buf: &mut Vec<u8>, bucket: &PList<Tuple>) {
+    put_u32(buf, bucket.len() as u32);
+    for t in bucket.iter() {
+        put_tuple(buf, t);
+    }
+}
+
+fn read_bucket(c: &mut Cursor<'_>) -> Result<PList<Tuple>, CodecError> {
+    let n = c.u32()? as usize;
+    let mut items = Vec::with_capacity(n);
+    for _ in 0..n {
+        items.push(c.tuple()?);
+    }
+    let mut l = PList::nil();
+    for t in items.into_iter().rev() {
+        l = PList::cons(t, l);
+    }
+    Ok(l)
+}
+
+impl CheckpointWriter {
+    /// Opens (or initializes) the checkpoint directory: repairs a torn
+    /// node-store tail, rebuilds the dedup set, and picks the next unused
+    /// manifest index.
+    pub fn open(dir: &Path) -> io::Result<CheckpointWriter> {
+        fs::create_dir_all(dir)?;
+        let store_path = dir.join("nodes.fns");
+        let (on_disk, valid_len) = scan_node_store(&store_path)?;
+        let nodes = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&store_path)?;
+        if nodes.metadata()?.len() > valid_len {
+            // Torn tail from a crash mid-checkpoint: the bytes were never
+            // referenced by a valid manifest (manifests are written after
+            // the node fsync), so cutting them loses nothing.
+            nodes.set_len(valid_len)?;
+            nodes.sync_all()?;
+        }
+        let next_manifest = manifest_indices(dir)?.last().copied().unwrap_or(0) + 1;
+        sync_dir(dir);
+        Ok(CheckpointWriter {
+            dir: dir.to_path_buf(),
+            nodes,
+            on_disk,
+            next_manifest,
+        })
+    }
+
+    /// Writes one checkpoint of `cut`: appends every node the store has
+    /// not seen (one fsync), then writes the manifest (second fsync). The
+    /// returned stats expose how little a mostly-shared cut costs.
+    pub fn write(&mut self, cut: &ConsistentCut) -> io::Result<CheckpointStats> {
+        let mut buf: Vec<u8> = Vec::new();
+        let mut nodes_written = 0usize;
+        let mut nodes_deduped = 0usize;
+
+        // Per-call memo: addresses are stable for the duration because the
+        // cut holds every node alive. Cross-checkpoint savings come from
+        // the on-disk id set, which never goes stale (content-addressed).
+        let mut memo: HashMap<usize, u128> = HashMap::new();
+
+        let names = cut.database.relation_names();
+        let mut entries: Vec<(RelationName, Repr, Option<Schema>, u64, u128)> = Vec::new();
+        for name in &names {
+            let rel = cut.database.relation(name).expect("name from this cut");
+            let schema = cut.database.schema(name).expect("name from this cut");
+            let root = {
+                let emit = &mut |payload: Vec<u8>| -> u128 {
+                    let id = fnv128(&payload);
+                    assert_ne!(id, NIL_ID, "payload hashed to the reserved nil id");
+                    if self.on_disk.insert(id) {
+                        let mut frame = Vec::with_capacity(payload.len() + 24);
+                        put_u32(&mut frame, (payload.len() + 16) as u32);
+                        let mut body = Vec::with_capacity(payload.len() + 16);
+                        put_u128(&mut body, id);
+                        body.extend_from_slice(&payload);
+                        put_u32(&mut frame, crc32(&body));
+                        frame.extend_from_slice(&body);
+                        buf.extend_from_slice(&frame);
+                        nodes_written += 1;
+                    } else {
+                        nodes_deduped += 1;
+                    }
+                    id
+                };
+                fold_relation(rel, &mut memo, emit)
+            };
+            let mark = cut.seq_marks.get(name).copied().unwrap_or(0);
+            entries.push((name.clone(), rel.repr(), schema.cloned(), mark, root));
+        }
+
+        // Nodes first, fsynced, ...
+        let node_bytes = buf.len() as u64;
+        self.nodes.write_all(&buf)?;
+        self.nodes.sync_data()?;
+
+        // ... then the manifest that references them.
+        let mut body = Vec::new();
+        put_u32(&mut body, entries.len() as u32);
+        for (name, repr, schema, mark, root) in &entries {
+            put_str(&mut body, name.as_str());
+            match repr {
+                Repr::List => body.push(0),
+                Repr::Tree23 => body.push(1),
+                Repr::BTree(t) => {
+                    body.push(2);
+                    put_u32(&mut body, *t as u32);
+                }
+                Repr::Paged(c) => {
+                    body.push(3);
+                    put_u32(&mut body, *c as u32);
+                }
+            }
+            put_schema(&mut body, schema.as_ref());
+            put_u64(&mut body, *mark);
+            put_u128(&mut body, *root);
+        }
+        let mut manifest = Vec::with_capacity(body.len() + 12);
+        put_u32(&mut manifest, MANIFEST_MAGIC);
+        put_u32(&mut manifest, body.len() as u32);
+        put_u32(&mut manifest, crc32(&body));
+        manifest.extend_from_slice(&body);
+
+        let index = self.next_manifest;
+        let path = self.dir.join(manifest_name(index));
+        let mut f = OpenOptions::new()
+            .create_new(true)
+            .write(true)
+            .open(&path)?;
+        f.write_all(&manifest)?;
+        f.sync_all()?;
+        sync_dir(&self.dir);
+        self.next_manifest += 1;
+
+        Ok(CheckpointStats {
+            manifest: index,
+            nodes_written,
+            nodes_deduped,
+            node_bytes,
+            manifest_bytes: manifest.len() as u64,
+        })
+    }
+}
+
+/// Folds one relation into the node store via `emit`, returning its root id.
+fn fold_relation(
+    rel: &Relation,
+    memo: &mut HashMap<usize, u128>,
+    emit: &mut impl FnMut(Vec<u8>) -> u128,
+) -> u128 {
+    match rel {
+        Relation::List(l) => l.fold_cells(memo, NIL_ID, &mut |tuple, tail| {
+            let mut p = vec![TAG_LIST_CELL];
+            put_tuple(&mut p, tuple);
+            put_u128(&mut p, *tail);
+            emit(p)
+        }),
+        Relation::Tree(t) => t.fold_nodes(memo, NIL_ID, &mut |entries, children| {
+            let mut p = vec![TAG_TREE23, entries.len() as u8];
+            for (k, bucket) in entries {
+                crate::codec::put_value(&mut p, k);
+                put_bucket(&mut p, bucket);
+            }
+            for c in children {
+                put_u128(&mut p, *c);
+            }
+            emit(p)
+        }),
+        Relation::BTree(b) => b.fold_nodes(memo, &mut |keys, children| {
+            let mut p = vec![TAG_BTREE];
+            put_u32(&mut p, keys.len() as u32);
+            for (k, bucket) in keys {
+                crate::codec::put_value(&mut p, k);
+                put_bucket(&mut p, bucket);
+            }
+            put_u32(&mut p, children.len() as u32);
+            for c in children {
+                put_u128(&mut p, *c);
+            }
+            emit(p)
+        }),
+        Relation::Paged(p) => {
+            // Both fold callbacks need the emitter; RefCell arbitrates
+            // (the fold calls them strictly sequentially).
+            let emit = std::cell::RefCell::new(emit);
+            p.fold_pages(
+                memo,
+                &mut |items| {
+                    let mut pl = vec![TAG_PAGE];
+                    put_u32(&mut pl, items.len() as u32);
+                    for t in items {
+                        put_tuple(&mut pl, t);
+                    }
+                    (emit.borrow_mut())(pl)
+                },
+                &mut |pages| {
+                    let mut pl = vec![TAG_DIRECTORY];
+                    put_u32(&mut pl, pages.len() as u32);
+                    for c in pages {
+                        put_u128(&mut pl, *c);
+                    }
+                    (emit.borrow_mut())(pl)
+                },
+            )
+        }
+    }
+}
+
+/// Scans the node store, returning the set of valid ids and the byte
+/// length of the valid prefix (everything after it is a torn tail).
+fn scan_node_store(path: &Path) -> io::Result<(HashSet<u128>, u64)> {
+    let mut ids = HashSet::new();
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((ids, 0)),
+        Err(e) => return Err(e),
+    }
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let Some((id, end)) = read_frame(&bytes, pos) else {
+            break;
+        };
+        ids.insert(id);
+        pos = end;
+    }
+    Ok((ids, pos as u64))
+}
+
+/// Parses one node frame at `pos`; returns `(id, end)` if valid.
+fn read_frame(bytes: &[u8], pos: usize) -> Option<(u128, usize)> {
+    if bytes.len() - pos < 8 {
+        return None;
+    }
+    let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4")) as usize;
+    let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4"));
+    if len < 16 {
+        return None;
+    }
+    let start = pos + 8;
+    let end = start.checked_add(len).filter(|&e| e <= bytes.len())?;
+    let body = &bytes[start..end];
+    if crc32(body) != crc {
+        return None;
+    }
+    let id = u128::from_le_bytes(body[..16].try_into().expect("16"));
+    Some((id, end))
+}
+
+/// A checkpoint loaded back from disk.
+#[derive(Debug, Clone)]
+pub struct LoadedCheckpoint {
+    /// The checkpointed database value.
+    pub database: Database,
+    /// Per relation, how many writes (sequence numbers below the mark) the
+    /// database value folds in — where log replay resumes.
+    pub seq_marks: HashMap<RelationName, u64>,
+    /// The manifest index this state came from.
+    pub manifest: u64,
+}
+
+/// Loads the newest *valid* checkpoint under `dir`, or `None` if there is
+/// no usable manifest. Manifests that fail their magic/CRC (torn by a
+/// crash) or reference missing nodes are skipped in favour of older ones.
+pub fn load_latest(dir: &Path) -> io::Result<Option<LoadedCheckpoint>> {
+    if !dir.exists() {
+        return Ok(None);
+    }
+    let mut indices = manifest_indices(dir)?;
+    if indices.is_empty() {
+        return Ok(None);
+    }
+    // One pass over the node store serves every manifest candidate.
+    let nodes = load_node_store(&dir.join("nodes.fns"))?;
+    indices.reverse();
+    for index in indices {
+        match try_load_manifest(&dir.join(manifest_name(index)), &nodes) {
+            Ok(Some((database, seq_marks))) => {
+                return Ok(Some(LoadedCheckpoint {
+                    database,
+                    seq_marks,
+                    manifest: index,
+                }));
+            }
+            Ok(None) => continue, // torn or incomplete; try the previous one
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(None)
+}
+
+type ManifestState = (Database, HashMap<RelationName, u64>);
+
+fn load_node_store(path: &Path) -> io::Result<HashMap<u128, Vec<u8>>> {
+    let mut out = HashMap::new();
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(e),
+    }
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let Some((id, end)) = read_frame(&bytes, pos) else {
+            break; // torn tail: nodes past here are unreferenced
+        };
+        out.insert(id, bytes[pos + 24..end].to_vec());
+        pos = end;
+    }
+    Ok(out)
+}
+
+/// Parses and materializes one manifest. `Ok(None)` means "unusable but
+/// not an environment failure" (torn file, missing nodes) — the caller
+/// falls back to an older manifest.
+fn try_load_manifest(
+    path: &Path,
+    nodes: &HashMap<u128, Vec<u8>>,
+) -> io::Result<Option<ManifestState>> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    if bytes.len() < 12 {
+        return Ok(None);
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("4"));
+    let len = u32::from_le_bytes(bytes[4..8].try_into().expect("4")) as usize;
+    let crc = u32::from_le_bytes(bytes[8..12].try_into().expect("4"));
+    if magic != MANIFEST_MAGIC || bytes.len() != 12 + len {
+        return Ok(None);
+    }
+    let body = &bytes[12..];
+    if crc32(body) != crc {
+        return Ok(None);
+    }
+
+    let parse = |body: &[u8]| -> Result<Option<ManifestState>, CodecError> {
+        let mut c = Cursor::new(body);
+        let count = c.u32()? as usize;
+        let mut db = Database::empty();
+        let mut marks = HashMap::new();
+        for _ in 0..count {
+            let name = c.str()?;
+            let repr = match c.u8()? {
+                0 => Repr::List,
+                1 => Repr::Tree23,
+                2 => Repr::BTree(c.u32()? as usize),
+                3 => Repr::Paged(c.u32()? as usize),
+                t => return Err(CodecError(format!("unknown repr tag {t}"))),
+            };
+            let schema = c.schema()?;
+            let mark = c.u64()?;
+            let root = c.u128()?;
+            let Some(rel) = materialize(repr, root, nodes)? else {
+                return Ok(None); // a referenced node is missing
+            };
+            db = db
+                .with_relation_value(name.as_str(), rel, schema)
+                .map_err(|e| CodecError(e.to_string()))?;
+            marks.insert(RelationName::new(&name), mark);
+        }
+        Ok(Some((db, marks)))
+    };
+    match parse(body) {
+        Ok(state) => Ok(state),
+        // The body passed its CRC yet fails to parse: surface it — this is
+        // a bug or tampering, not a torn write to silently skip.
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Rebuilds one relation value from its root id. `Ok(None)` if a
+/// referenced node is absent from the store.
+fn materialize(
+    repr: Repr,
+    root: u128,
+    nodes: &HashMap<u128, Vec<u8>>,
+) -> Result<Option<Relation>, CodecError> {
+    fn node<'a>(
+        nodes: &'a HashMap<u128, Vec<u8>>,
+        id: u128,
+    ) -> Result<Option<Cursor<'a>>, CodecError> {
+        Ok(nodes.get(&id).map(|p| Cursor::new(p)))
+    }
+
+    match repr {
+        Repr::List => {
+            // Iterative: spines can be as long as the relation.
+            let mut items: Vec<Tuple> = Vec::new();
+            let mut cur = root;
+            while cur != NIL_ID {
+                let Some(mut c) = node(nodes, cur)? else {
+                    return Ok(None);
+                };
+                if c.u8()? != TAG_LIST_CELL {
+                    return Err(CodecError("expected list cell".into()));
+                }
+                items.push(c.tuple()?);
+                cur = c.u128()?;
+            }
+            let mut l = PList::nil();
+            for t in items.into_iter().rev() {
+                l = PList::cons(t, l);
+            }
+            Ok(Some(Relation::List(l)))
+        }
+        Repr::Tree23 => {
+            // In-order walk; depth is logarithmic, recursion is fine.
+            fn walk(
+                id: u128,
+                nodes: &HashMap<u128, Vec<u8>>,
+                out: &mut Vec<(Value, PList<Tuple>)>,
+            ) -> Result<bool, CodecError> {
+                if id == NIL_ID {
+                    return Ok(true);
+                }
+                let Some(payload) = nodes.get(&id) else {
+                    return Ok(false);
+                };
+                let mut c = Cursor::new(payload);
+                if c.u8()? != TAG_TREE23 {
+                    return Err(CodecError("expected 2-3 node".into()));
+                }
+                let n = c.u8()? as usize;
+                if !(1..=2).contains(&n) {
+                    return Err(CodecError(format!("2-3 node with {n} entries")));
+                }
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let k = c.value()?;
+                    let b = read_bucket(&mut c)?;
+                    entries.push((k, b));
+                }
+                let mut children = Vec::with_capacity(n + 1);
+                for _ in 0..=n {
+                    children.push(c.u128()?);
+                }
+                for (i, (k, b)) in entries.into_iter().enumerate() {
+                    if !walk(children[i], nodes, out)? {
+                        return Ok(false);
+                    }
+                    out.push((k, b));
+                }
+                walk(children[n], nodes, out)
+            }
+            let mut entries = Vec::new();
+            if !walk(root, nodes, &mut entries)? {
+                return Ok(None);
+            }
+            let mut t = fundb_persist::Tree23::new();
+            for (k, b) in entries {
+                t = t.insert(k, b);
+            }
+            Ok(Some(Relation::Tree(t)))
+        }
+        Repr::BTree(min_degree) => {
+            fn walk(
+                id: u128,
+                nodes: &HashMap<u128, Vec<u8>>,
+                out: &mut Vec<(Value, PList<Tuple>)>,
+            ) -> Result<bool, CodecError> {
+                let Some(payload) = nodes.get(&id) else {
+                    return Ok(false);
+                };
+                let mut c = Cursor::new(payload);
+                if c.u8()? != TAG_BTREE {
+                    return Err(CodecError("expected B-tree page".into()));
+                }
+                let nkeys = c.u32()? as usize;
+                let mut keys = Vec::with_capacity(nkeys);
+                for _ in 0..nkeys {
+                    let k = c.value()?;
+                    let b = read_bucket(&mut c)?;
+                    keys.push((k, b));
+                }
+                let nchildren = c.u32()? as usize;
+                if nchildren != 0 && nchildren != nkeys + 1 {
+                    return Err(CodecError("B-tree page child count mismatch".into()));
+                }
+                let mut children = Vec::with_capacity(nchildren);
+                for _ in 0..nchildren {
+                    children.push(c.u128()?);
+                }
+                for (i, (k, b)) in keys.into_iter().enumerate() {
+                    if let Some(&child) = children.get(i) {
+                        if !walk(child, nodes, out)? {
+                            return Ok(false);
+                        }
+                    }
+                    out.push((k, b));
+                }
+                if let Some(&last) = children.last() {
+                    return walk(last, nodes, out);
+                }
+                Ok(true)
+            }
+            let mut entries = Vec::new();
+            if !walk(root, nodes, &mut entries)? {
+                return Ok(None);
+            }
+            let mut t = fundb_persist::BTree::new(min_degree.max(2));
+            for (k, b) in entries {
+                t = t.insert(k, b);
+            }
+            Ok(Some(Relation::BTree(t)))
+        }
+        Repr::Paged(cap) => {
+            let Some(mut c) = node(nodes, root)? else {
+                return Ok(None);
+            };
+            if c.u8()? != TAG_DIRECTORY {
+                return Err(CodecError("expected directory page".into()));
+            }
+            let npages = c.u32()? as usize;
+            let mut items: Vec<Tuple> = Vec::new();
+            for _ in 0..npages {
+                let page_id = c.u128()?;
+                let Some(mut pc) = node(nodes, page_id)? else {
+                    return Ok(None);
+                };
+                if pc.u8()? != TAG_PAGE {
+                    return Err(CodecError("expected data page".into()));
+                }
+                let n = pc.u32()? as usize;
+                for _ in 0..n {
+                    items.push(pc.tuple()?);
+                }
+            }
+            Ok(Some(Relation::Paged(
+                fundb_persist::PagedStore::with_capacity(cap.max(1), items),
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scratch::ScratchDir;
+    use fundb_query::{parse, translate};
+
+    fn cut_of(db: Database, marks: &[(&str, u64)]) -> ConsistentCut {
+        ConsistentCut {
+            database: db,
+            seq_marks: marks
+                .iter()
+                .map(|(n, m)| (RelationName::new(n), *m))
+                .collect(),
+        }
+    }
+
+    fn db_equal(a: &Database, b: &Database) -> bool {
+        if a.relation_names() != b.relation_names() {
+            return false;
+        }
+        a.relation_names().iter().all(|n| {
+            let ra = a.relation(n).unwrap();
+            let rb = b.relation(n).unwrap();
+            ra.repr() == rb.repr()
+                && ra.scan() == rb.scan()
+                && a.schema(n).unwrap() == b.schema(n).unwrap()
+        })
+    }
+
+    fn populated_db() -> Database {
+        let mut db = Database::empty()
+            .create_relation("L", Repr::List)
+            .unwrap()
+            .create_relation("T", Repr::Tree23)
+            .unwrap()
+            .create_relation("B", Repr::BTree(4))
+            .unwrap()
+            .create_relation("P", Repr::Paged(8))
+            .unwrap();
+        for name in ["L", "T", "B", "P"] {
+            for k in 0..50 {
+                let t = Tuple::new(vec![
+                    (k % 17).into(),
+                    format!("val-{name}-{k}").into(),
+                    (k % 2 == 0).into(),
+                ]);
+                let (next, _) = db.insert(&name.into(), t).unwrap();
+                db = next;
+            }
+        }
+        db
+    }
+
+    #[test]
+    fn roundtrip_all_backends() {
+        let tmp = ScratchDir::new("ckpt-roundtrip");
+        let db = populated_db();
+        let mut w = CheckpointWriter::open(tmp.path()).unwrap();
+        let stats = w
+            .write(&cut_of(
+                db.clone(),
+                &[("L", 50), ("T", 50), ("B", 50), ("P", 50)],
+            ))
+            .unwrap();
+        assert!(stats.nodes_written > 0);
+
+        let loaded = load_latest(tmp.path()).unwrap().expect("checkpoint exists");
+        assert!(db_equal(&loaded.database, &db));
+        assert_eq!(loaded.seq_marks[&"T".into()], 50);
+        assert_eq!(loaded.manifest, stats.manifest);
+    }
+
+    #[test]
+    fn empty_relations_roundtrip() {
+        let tmp = ScratchDir::new("ckpt-empty");
+        let db = Database::empty()
+            .create_relation("L", Repr::List)
+            .unwrap()
+            .create_relation_with_schema(
+                "T",
+                Repr::Tree23,
+                Some(Schema::new(&["id", "name"]).unwrap()),
+            )
+            .unwrap()
+            .create_relation("B", Repr::BTree(3))
+            .unwrap()
+            .create_relation("P", Repr::Paged(4))
+            .unwrap();
+        let mut w = CheckpointWriter::open(tmp.path()).unwrap();
+        w.write(&cut_of(db.clone(), &[])).unwrap();
+        let loaded = load_latest(tmp.path()).unwrap().unwrap();
+        assert!(db_equal(&loaded.database, &db));
+    }
+
+    #[test]
+    fn incremental_checkpoint_is_cheap() {
+        let tmp = ScratchDir::new("ckpt-incremental");
+        let db = populated_db();
+        let mut w = CheckpointWriter::open(tmp.path()).unwrap();
+        let full = w.write(&cut_of(db.clone(), &[])).unwrap();
+
+        // A few updates; checkpoint the successor version.
+        let mut db2 = db;
+        for name in ["T", "B"] {
+            let (next, _) = db2.insert(&name.into(), Tuple::of_key(999)).unwrap();
+            db2 = next;
+        }
+        let incr = w.write(&cut_of(db2, &[])).unwrap();
+        assert!(
+            incr.node_bytes * 5 < full.node_bytes,
+            "incremental ({} B) should be far below full ({} B)",
+            incr.node_bytes,
+            full.node_bytes
+        );
+        assert!(incr.nodes_deduped > 0, "shared structure must dedup");
+    }
+
+    #[test]
+    fn loader_falls_back_over_torn_manifest() {
+        let tmp = ScratchDir::new("ckpt-torn-manifest");
+        let db = populated_db();
+        let mut w = CheckpointWriter::open(tmp.path()).unwrap();
+        w.write(&cut_of(db.clone(), &[("L", 1)])).unwrap();
+        let s2 = w.write(&cut_of(db.clone(), &[("L", 2)])).unwrap();
+
+        // Damage the newest manifest, as a crash mid-write would.
+        let newest = tmp.path().join(manifest_name(s2.manifest));
+        let bytes = fs::read(&newest).unwrap();
+        fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+
+        let loaded = load_latest(tmp.path()).unwrap().unwrap();
+        assert_eq!(loaded.seq_marks[&"L".into()], 1, "fell back to manifest 1");
+        assert!(db_equal(&loaded.database, &db));
+    }
+
+    #[test]
+    fn torn_node_store_tail_is_repaired_on_open() {
+        let tmp = ScratchDir::new("ckpt-torn-nodes");
+        let db = populated_db();
+        {
+            let mut w = CheckpointWriter::open(tmp.path()).unwrap();
+            w.write(&cut_of(db.clone(), &[])).unwrap();
+        }
+        // Append garbage: a crash in the middle of a later checkpoint's
+        // node flush.
+        let store = tmp.path().join("nodes.fns");
+        let mut f = OpenOptions::new().append(true).open(&store).unwrap();
+        f.write_all(&[0xAB; 13]).unwrap();
+        drop(f);
+
+        let mut w = CheckpointWriter::open(tmp.path()).unwrap();
+        // The earlier checkpoint still loads, and new checkpoints append
+        // cleanly after the repair.
+        let loaded = load_latest(tmp.path()).unwrap().unwrap();
+        assert!(db_equal(&loaded.database, &db));
+        let (db2, _) = db.insert(&"L".into(), Tuple::of_key(777)).unwrap();
+        w.write(&cut_of(db2.clone(), &[])).unwrap();
+        let loaded = load_latest(tmp.path()).unwrap().unwrap();
+        assert!(db_equal(&loaded.database, &db2));
+    }
+
+    #[test]
+    fn checkpoint_preserves_scan_order_for_engine_equivalence() {
+        // The materialized relations must answer queries identically —
+        // including tuple order from scans — or recovery would be visible.
+        let tmp = ScratchDir::new("ckpt-order");
+        let mut db = Database::empty().create_relation("R", Repr::List).unwrap();
+        for q in [
+            "insert (3, 'c') into R",
+            "insert (1, 'a') into R",
+            "insert (2, 'b') into R",
+            "insert (1, 'dup') into R",
+        ] {
+            let tx = translate(parse(q).unwrap());
+            let (_, next) = tx.apply(&db);
+            db = next;
+        }
+        let mut w = CheckpointWriter::open(tmp.path()).unwrap();
+        w.write(&cut_of(db.clone(), &[("R", 4)])).unwrap();
+        let loaded = load_latest(tmp.path()).unwrap().unwrap();
+        let probe = translate(parse("find 1 in R").unwrap());
+        assert_eq!(probe.apply(&db).0, probe.apply(&loaded.database).0);
+        assert_eq!(
+            db.relation(&"R".into()).unwrap().scan(),
+            loaded.database.relation(&"R".into()).unwrap().scan()
+        );
+    }
+}

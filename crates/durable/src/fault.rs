@@ -1,0 +1,88 @@
+//! Fault injection: file surgery that simulates what crashes and bad media
+//! actually do to a log.
+//!
+//! Three primitives cover the failure modes the recovery path must handle:
+//!
+//! * [`truncate_at`] — a crash before the tail of a write reached disk
+//!   (the kernel wrote a prefix; the rest of the frame is gone);
+//! * [`append_garbage`] — a crash mid-append that left allocated-but-junk
+//!   bytes past the last full frame (some filesystems do this);
+//! * [`flip_bit`] — media or memory corruption of already-synced history.
+//!
+//! The property tests drive these against a known log and assert the
+//! recovery invariant: the recovered state is the fold of exactly the
+//! records that fully survive, which for tail faults means *every*
+//! acknowledged transaction.
+
+use std::fs::OpenOptions;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Cuts `path` to `len` bytes — a crash that lost everything past `len`.
+pub fn truncate_at(path: &Path, len: u64) -> io::Result<()> {
+    let f = OpenOptions::new().write(true).open(path)?;
+    f.set_len(len)?;
+    f.sync_all()?;
+    Ok(())
+}
+
+/// Appends `junk` to `path` — a crash that left garbage past the last
+/// complete frame.
+pub fn append_garbage(path: &Path, junk: &[u8]) -> io::Result<()> {
+    let mut f = OpenOptions::new().append(true).open(path)?;
+    f.write_all(junk)?;
+    f.sync_all()?;
+    Ok(())
+}
+
+/// Flips bit `bit` (0–7) of the byte at `offset` — silent corruption of
+/// synced history, which recovery must *detect*, never absorb.
+///
+/// # Errors
+///
+/// `InvalidInput` if `offset` is past the end of the file.
+pub fn flip_bit(path: &Path, offset: u64, bit: u8) -> io::Result<()> {
+    let mut f = OpenOptions::new().read(true).write(true).open(path)?;
+    let len = f.metadata()?.len();
+    if offset >= len {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("offset {offset} beyond file length {len}"),
+        ));
+    }
+    f.seek(SeekFrom::Start(offset))?;
+    let mut byte = [0u8; 1];
+    f.read_exact(&mut byte)?;
+    byte[0] ^= 1 << (bit & 7);
+    f.seek(SeekFrom::Start(offset))?;
+    f.write_all(&byte)?;
+    f.sync_all()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scratch::ScratchDir;
+    use std::fs;
+
+    #[test]
+    fn surgery_does_what_it_says() {
+        let tmp = ScratchDir::new("fault-basics");
+        let p = tmp.path().join("victim");
+        fs::write(&p, [1u8, 2, 3, 4, 5]).unwrap();
+
+        truncate_at(&p, 3).unwrap();
+        assert_eq!(fs::read(&p).unwrap(), [1, 2, 3]);
+
+        append_garbage(&p, &[0xFF, 0xFF]).unwrap();
+        assert_eq!(fs::read(&p).unwrap(), [1, 2, 3, 0xFF, 0xFF]);
+
+        flip_bit(&p, 0, 1).unwrap();
+        assert_eq!(fs::read(&p).unwrap()[0], 3);
+        flip_bit(&p, 0, 1).unwrap();
+        assert_eq!(fs::read(&p).unwrap()[0], 1, "flip twice restores");
+
+        assert!(flip_bit(&p, 99, 0).is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! Self-cleaning temporary directories for tests, benches, and examples —
+//! the workspace builds offline, so this stands in for the `tempfile`
+//! crate.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A unique directory under the system temp dir, removed on drop.
+#[derive(Debug)]
+pub struct ScratchDir {
+    path: PathBuf,
+}
+
+impl ScratchDir {
+    /// Creates `"$TMPDIR/fundb-<tag>-<pid>-<n>"`, empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created — scratch space is a test
+    /// precondition, not a recoverable failure.
+    pub fn new(tag: &str) -> Self {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("fundb-{tag}-{}-{n}", std::process::id()));
+        // A stale dir from a previous crashed run with the same pid/counter
+        // would poison the test; start clean.
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create scratch dir");
+        ScratchDir { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Consumes the guard *without* deleting the directory (for examples
+    /// that reopen the same store across simulated restarts).
+    pub fn keep(self) -> PathBuf {
+        let path = self.path.clone();
+        std::mem::forget(self);
+        path
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}

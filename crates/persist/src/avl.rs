@@ -7,6 +7,7 @@
 //! slightly longer paths to copy) than the B-tree.
 
 use std::cmp::Ordering;
+use std::collections::HashMap;
 use std::fmt;
 use std::iter::FromIterator;
 use std::sync::Arc;
@@ -139,6 +140,49 @@ impl<K, V> Avl<K, V> {
             (h == n.height).then_some(h)
         }
         go(&self.root, None, None).is_some() && self.iter().count() == self.len
+    }
+
+    /// Memoized post-order fold over the physical nodes — the serialization
+    /// visitor used by sharing-aware checkpoints.
+    ///
+    /// `f` receives a node's key, value, and the fold results of its left
+    /// and right subtrees; `empty` is the result of the empty subtree.
+    /// Results are memoized by node address, so subtrees shared with
+    /// previously folded versions are pruned at their root and re-folding a
+    /// successor version costs O(copied path).
+    ///
+    /// Addresses are only stable while the nodes are alive — a caller that
+    /// reuses `memo` across calls must keep every previously folded tree
+    /// alive for as long as the memo is.
+    pub fn fold_nodes<R, F>(&self, memo: &mut HashMap<usize, R>, empty: R, f: &mut F) -> R
+    where
+        R: Clone,
+        F: FnMut(&K, &V, &R, &R) -> R,
+    {
+        fn go<K, V, R, F>(
+            link: &Link<K, V>,
+            memo: &mut HashMap<usize, R>,
+            empty: &R,
+            f: &mut F,
+        ) -> R
+        where
+            R: Clone,
+            F: FnMut(&K, &V, &R, &R) -> R,
+        {
+            let Some(node) = link else {
+                return empty.clone();
+            };
+            let addr = Arc::as_ptr(node) as usize;
+            if let Some(r) = memo.get(&addr) {
+                return r.clone();
+            }
+            let rl = go(&node.left, memo, empty, f);
+            let rr = go(&node.right, memo, empty, f);
+            let result = f(&node.key, &node.value, &rl, &rr);
+            memo.insert(addr, result.clone());
+            result
+        }
+        go(&self.root, memo, &empty, f)
     }
 }
 
@@ -430,6 +474,34 @@ impl<'a, K, V> Iterator for Iter<'a, K, V> {
 mod tests {
     use super::*;
     use std::collections::BTreeMap;
+
+    #[test]
+    fn fold_nodes_memoizes_shared_subtrees() {
+        let mut t: Avl<i32, i32> = Avl::new();
+        for i in 0..200 {
+            t = t.insert(i, i);
+        }
+        let mut memo: HashMap<usize, i64> = HashMap::new();
+        let visited = std::cell::Cell::new(0usize);
+        let mut f = |k: &i32, _v: &i32, rl: &i64, rr: &i64| {
+            visited.set(visited.get() + 1);
+            i64::from(*k) + rl + rr
+        };
+        let sum1 = t.fold_nodes(&mut memo, 0i64, &mut f);
+        assert_eq!(sum1, (0..200i64).sum::<i64>());
+        assert_eq!(visited.get(), 200, "first fold visits every node once");
+
+        // Rebalancing copies at most a few nodes per level of one path.
+        let t2 = t.insert(200, 200);
+        visited.set(0);
+        let sum2 = t2.fold_nodes(&mut memo, 0i64, &mut f);
+        assert_eq!(sum2, sum1 + 200);
+        assert!(
+            visited.get() <= 3 * t2.height(),
+            "only the copied path should be revisited, got {} of 201 nodes",
+            visited.get()
+        );
+    }
 
     #[test]
     fn empty() {

@@ -11,6 +11,7 @@
 //! A functional B-tree in this style was implemented for the paper's group
 //! by Paul Hudak (Section 5); this is the Rust equivalent.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::iter::FromIterator;
 use std::sync::Arc;
@@ -158,6 +159,40 @@ impl<K, V> BTree<K, V> {
     /// same tree, by immutability).
     pub fn ptr_eq(&self, other: &BTree<K, V>) -> bool {
         Arc::ptr_eq(&self.root, &other.root)
+    }
+
+    /// Memoized post-order fold over the physical pages — the serialization
+    /// visitor used by sharing-aware checkpoints.
+    ///
+    /// `f` receives a page's entries and its children's fold results (empty
+    /// for leaf pages). Results are memoized by page address, so pages
+    /// shared with previously folded versions are pruned at their root and
+    /// re-folding a successor version costs O(copied path) — the paper's
+    /// "reconstruct one page per level" bound (Section 3.3) on the visitor.
+    ///
+    /// Addresses are only stable while the pages are alive — a caller that
+    /// reuses `memo` across calls must keep every previously folded tree
+    /// alive for as long as the memo is.
+    pub fn fold_nodes<R, F>(&self, memo: &mut HashMap<usize, R>, f: &mut F) -> R
+    where
+        R: Clone,
+        F: FnMut(&[(K, V)], &[R]) -> R,
+    {
+        fn go<K, V, R, F>(node: &Arc<BNode<K, V>>, memo: &mut HashMap<usize, R>, f: &mut F) -> R
+        where
+            R: Clone,
+            F: FnMut(&[(K, V)], &[R]) -> R,
+        {
+            let addr = Arc::as_ptr(node) as usize;
+            if let Some(r) = memo.get(&addr) {
+                return r.clone();
+            }
+            let child_results: Vec<R> = node.children.iter().map(|c| go(c, memo, f)).collect();
+            let result = f(&node.keys, &child_results);
+            memo.insert(addr, result.clone());
+            result
+        }
+        go(&self.root, memo, f)
     }
 
     /// In-order iterator over `(key, value)` pairs.
@@ -726,6 +761,35 @@ impl<'a, K, V> Iterator for Iter<'a, K, V> {
 mod tests {
     use super::*;
     use std::collections::BTreeMap;
+
+    #[test]
+    fn fold_nodes_memoizes_shared_pages() {
+        let mut t: BTree<i32, i32> = BTree::new(3);
+        for i in 0..256 {
+            t = t.insert(i, i);
+        }
+        let mut memo: HashMap<usize, i64> = HashMap::new();
+        let visited = std::cell::Cell::new(0usize);
+        let mut f = |keys: &[(i32, i32)], rs: &[i64]| {
+            visited.set(visited.get() + 1);
+            keys.iter().map(|(k, _)| i64::from(*k)).sum::<i64>() + rs.iter().sum::<i64>()
+        };
+        let sum1 = t.fold_nodes(&mut memo, &mut f);
+        assert_eq!(sum1, (0..256i64).sum::<i64>());
+        assert_eq!(visited.get() as u64, t.node_count());
+
+        let t2 = t.insert(300, 300);
+        visited.set(0);
+        let sum2 = t2.fold_nodes(&mut memo, &mut f);
+        assert_eq!(sum2, sum1 + 300);
+        // An insert copies (and possibly splits) one root-to-leaf path; far
+        // fewer than the ~70 pages of the whole tree.
+        assert!(
+            (visited.get() as u64) <= 2 * t.height() as u64 + 2,
+            "only the copied root-to-leaf path should be revisited, got {}",
+            visited.get()
+        );
+    }
 
     #[test]
     fn empty_tree() {

@@ -7,6 +7,7 @@
 //! it; the paper notes concurrency indications from this representation are
 //! conservative relative to trees.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::iter::FromIterator;
 use std::sync::Arc;
@@ -130,6 +131,51 @@ impl<T> PList<T> {
             (Some(a), Some(b)) => Arc::ptr_eq(a, b),
             _ => false,
         }
+    }
+
+    /// Memoized bottom-up fold over the physical spine cells — the
+    /// serialization visitor used by sharing-aware checkpoints.
+    ///
+    /// `f` is called once per cell whose address is not in `memo`, with the
+    /// cell's element and the fold result of its tail; `nil` is the result
+    /// of the empty list. Results are memoized by cell address, so a suffix
+    /// shared with a previously folded version is *not revisited*: the fold
+    /// costs O(cells new since the memo was last fed), which is how an
+    /// incremental checkpoint stays proportional to the update, not the
+    /// relation.
+    ///
+    /// Addresses are only stable while the cells are alive — a caller that
+    /// reuses `memo` across calls must keep every previously folded list
+    /// alive for as long as the memo is (the checkpoint writer in
+    /// `fundb-durable` retains the last checkpointed database for exactly
+    /// this reason).
+    pub fn fold_cells<R, F>(&self, memo: &mut HashMap<usize, R>, nil: R, f: &mut F) -> R
+    where
+        R: Clone,
+        F: FnMut(&T, &R) -> R,
+    {
+        // Iterative descent: experiment-sized spines would overflow the
+        // stack under recursion (same reason `drop` is iterative).
+        let mut stack: Vec<(usize, &Node<T>)> = Vec::new();
+        let mut cur = &self.node;
+        let mut acc = loop {
+            match cur {
+                None => break nil,
+                Some(arc) => {
+                    let addr = Arc::as_ptr(arc) as usize;
+                    if let Some(r) = memo.get(&addr) {
+                        break r.clone();
+                    }
+                    stack.push((addr, arc));
+                    cur = &arc.tail.node;
+                }
+            }
+        };
+        while let Some((addr, node)) = stack.pop() {
+            acc = f(&node.head, &acc);
+            memo.insert(addr, acc.clone());
+        }
+        acc
     }
 
     /// Length of the longest common shared suffix of the two lists,
@@ -440,6 +486,38 @@ mod tests {
     fn debug_renders_elements() {
         let l: PList<i32> = [1, 2].into_iter().collect();
         assert_eq!(format!("{l:?}"), "[1, 2]");
+    }
+
+    #[test]
+    fn fold_cells_visits_each_cell_once_and_skips_shared_suffix() {
+        let v1: PList<i32> = [1, 2, 3, 4, 5].into_iter().collect();
+        let mut memo: HashMap<usize, i32> = HashMap::new();
+        let mut visited = 0;
+        let sum = v1.fold_cells(&mut memo, 0, &mut |x, tail| {
+            visited += 1;
+            x + tail
+        });
+        assert_eq!(sum, 15);
+        assert_eq!(visited, 5);
+
+        // Inserting at the front shares the whole old spine: folding the
+        // new version with the same memo visits only the new cell.
+        let (v2, _) = v1.insert_sorted_counted(0);
+        let mut new_visits = 0;
+        let sum2 = v2.fold_cells(&mut memo, 0, &mut |x, tail| {
+            new_visits += 1;
+            x + tail
+        });
+        assert_eq!(sum2, 15);
+        assert_eq!(new_visits, 1);
+    }
+
+    #[test]
+    fn fold_cells_survives_long_spines() {
+        let l: PList<u32> = (0..100_000).collect();
+        let mut memo: HashMap<usize, u64> = HashMap::new();
+        let n = l.fold_cells(&mut memo, 0u64, &mut |_, tail| tail + 1);
+        assert_eq!(n, 100_000);
     }
 
     #[test]

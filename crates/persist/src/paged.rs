@@ -13,6 +13,7 @@
 //! versions and reports which pages they physically share — the benches use
 //! it to regenerate the figure.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -157,6 +158,52 @@ impl<T> PagedStore<T> {
             .iter()
             .map(|p| Arc::as_ptr(p) as usize)
             .collect()
+    }
+
+    /// Memoized fold over the physical pages — the serialization visitor
+    /// used by sharing-aware checkpoints.
+    ///
+    /// `page` folds one data page's items; `directory` folds the per-page
+    /// results into the store's result. Both the data pages and the
+    /// directory page are memoized by address, so pages shared with
+    /// previously folded versions are folded once ever: re-folding a
+    /// successor version costs O(pages copied by the update), which for one
+    /// insert is a single data page plus the directory (Figure 2-2).
+    ///
+    /// Addresses are only stable while the pages are alive — a caller that
+    /// reuses `memo` across calls must keep every previously folded store
+    /// alive for as long as the memo is.
+    pub fn fold_pages<R, P, D>(
+        &self,
+        memo: &mut HashMap<usize, R>,
+        page: &mut P,
+        directory: &mut D,
+    ) -> R
+    where
+        R: Clone,
+        P: FnMut(&[T]) -> R,
+        D: FnMut(&[R]) -> R,
+    {
+        let dir_addr = Arc::as_ptr(&self.directory) as usize;
+        if let Some(r) = memo.get(&dir_addr) {
+            return r.clone();
+        }
+        let page_results: Vec<R> = self
+            .directory
+            .iter()
+            .map(|p| {
+                let addr = Arc::as_ptr(p) as usize;
+                if let Some(r) = memo.get(&addr) {
+                    return r.clone();
+                }
+                let r = page(&p.items);
+                memo.insert(addr, r.clone());
+                r
+            })
+            .collect();
+        let result = directory(&page_results);
+        memo.insert(dir_addr, result.clone());
+        result
     }
 }
 
@@ -343,6 +390,37 @@ mod tests {
         let (_, small_copy) = small.insert_counted(1);
         let (_, big_copy) = big.insert_counted(1);
         assert!(big_copy.copied_fraction() < small_copy.copied_fraction());
+    }
+
+    #[test]
+    fn fold_pages_memoizes_shared_pages() {
+        let v1: PagedStore<u32> = PagedStore::with_capacity(4, 0..16);
+        let mut memo: HashMap<usize, u64> = HashMap::new();
+        let pages_folded = std::cell::Cell::new(0usize);
+        let mut page = |items: &[u32]| {
+            pages_folded.set(pages_folded.get() + 1);
+            items.iter().map(|i| u64::from(*i)).sum::<u64>()
+        };
+        let mut dir = |rs: &[u64]| rs.iter().sum::<u64>();
+        let sum1 = v1.fold_pages(&mut memo, &mut page, &mut dir);
+        assert_eq!(sum1, (0..16u64).sum::<u64>());
+        assert_eq!(pages_folded.get(), 4);
+
+        // Inserting into a full store adds one page; only it is new work.
+        let v2 = v1.insert(100);
+        pages_folded.set(0);
+        let sum2 = v2.fold_pages(&mut memo, &mut page, &mut dir);
+        assert_eq!(sum2, sum1 + 100);
+        assert_eq!(
+            pages_folded.get(),
+            1,
+            "only the new page should be folded on the second pass"
+        );
+
+        // Folding the same version again is a pure memo hit.
+        pages_folded.set(0);
+        assert_eq!(v2.fold_pages(&mut memo, &mut page, &mut dir), sum2);
+        assert_eq!(pages_folded.get(), 0);
     }
 
     #[test]

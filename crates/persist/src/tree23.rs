@@ -7,6 +7,7 @@
 //! copying exactly one root-to-leaf path and sharing the rest — the
 //! `(log n)/n` copying bound of Section 2.2.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::iter::FromIterator;
 use std::sync::Arc;
@@ -152,6 +153,62 @@ impl<K, V> Tree23<K, V> {
         let mut iter = Iter { stack: Vec::new() };
         iter.push_left(&self.root);
         iter
+    }
+
+    /// Memoized post-order fold over the physical nodes — the serialization
+    /// visitor used by sharing-aware checkpoints.
+    ///
+    /// `f` receives a node's entries (one for a two-node, two for a
+    /// three-node) and its children's fold results (two or three, matching);
+    /// `leaf` is the result of the empty subtree. Results are memoized by
+    /// node address, so subtrees shared with previously folded versions are
+    /// pruned at their root: folding a successor version costs O(path
+    /// copied), which is the paper's `(log n)/n` bound showing up as
+    /// incremental checkpoint cost.
+    ///
+    /// Addresses are only stable while the nodes are alive — a caller that
+    /// reuses `memo` across calls must keep every previously folded tree
+    /// alive for as long as the memo is.
+    pub fn fold_nodes<R, F>(&self, memo: &mut HashMap<usize, R>, leaf: R, f: &mut F) -> R
+    where
+        R: Clone,
+        F: FnMut(&[(&K, &V)], &[R]) -> R,
+    {
+        fn go<K, V, R, F>(
+            node: &Arc<Node<K, V>>,
+            memo: &mut HashMap<usize, R>,
+            leaf: &R,
+            f: &mut F,
+        ) -> R
+        where
+            R: Clone,
+            F: FnMut(&[(&K, &V)], &[R]) -> R,
+        {
+            if node.is_leaf() {
+                return leaf.clone();
+            }
+            let addr = Arc::as_ptr(node) as usize;
+            if let Some(r) = memo.get(&addr) {
+                return r.clone();
+            }
+            let result = match &**node {
+                Node::Leaf => unreachable!("handled above"),
+                Node::Two(l, (k, v), r) => {
+                    let rl = go(l, memo, leaf, f);
+                    let rr = go(r, memo, leaf, f);
+                    f(&[(k, v)], &[rl, rr])
+                }
+                Node::Three(l, (k1, v1), m, (k2, v2), r) => {
+                    let rl = go(l, memo, leaf, f);
+                    let rm = go(m, memo, leaf, f);
+                    let rr = go(r, memo, leaf, f);
+                    f(&[(k1, v1), (k2, v2)], &[rl, rm, rr])
+                }
+            };
+            memo.insert(addr, result.clone());
+            result
+        }
+        go(&self.root, memo, &leaf, f)
     }
 
     /// Checks the 2-3 invariants: all leaves at equal depth and keys in
@@ -762,6 +819,48 @@ mod tests {
 
     fn entries(t: &Tree23<i32, i32>) -> Vec<(i32, i32)> {
         t.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+
+    #[test]
+    fn fold_nodes_memoizes_shared_subtrees() {
+        let mut t: Tree23<i32, i32> = Tree23::new();
+        for i in 0..128 {
+            t = t.insert(i, i * 10);
+        }
+        let mut memo: HashMap<usize, (i64, usize)> = HashMap::new();
+        let visited = std::cell::Cell::new(0usize);
+        // Fold to (sum of key+value over subtree, node count).
+        let mut f = |es: &[(&i32, &i32)], rs: &[(i64, usize)]| {
+            visited.set(visited.get() + 1);
+            let own: i64 = es
+                .iter()
+                .map(|(k, v)| i64::from(**k) + i64::from(**v))
+                .sum();
+            (
+                own + rs.iter().map(|r| r.0).sum::<i64>(),
+                1 + rs.iter().map(|r| r.1).sum::<usize>(),
+            )
+        };
+        let (sum1, nodes1) = t.fold_nodes(&mut memo, (0, 0), &mut f);
+        let expected: i64 = (0..128).map(|i| i64::from(i) + i64::from(i) * 10).sum();
+        assert_eq!(sum1, expected);
+        assert_eq!(
+            visited.get(),
+            nodes1,
+            "first fold visits every node exactly once"
+        );
+
+        // One more insert copies only a root-to-leaf path; re-folding with
+        // the same memo must revisit only that path, not the whole tree.
+        let t2 = t.insert(128, 1280);
+        visited.set(0);
+        let (sum2, _) = t2.fold_nodes(&mut memo, (0, 0), &mut f);
+        assert_eq!(sum2, expected + 128 + 1280);
+        assert!(
+            visited.get() <= 8,
+            "expected only the copied path to be revisited, got {} of {nodes1} nodes",
+            visited.get()
+        );
     }
 
     #[test]

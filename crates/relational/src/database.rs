@@ -166,6 +166,43 @@ impl Database {
         })
     }
 
+    /// Adds relation `name` holding the given relation *value* (rather
+    /// than an empty one), preserving whatever structure that value
+    /// physically shares with other versions.
+    ///
+    /// This is how an engine cut or a checkpoint loader reassembles a
+    /// database: re-inserting tuples one by one would rebuild every node
+    /// and destroy the sharing that makes incremental checkpoints (and the
+    /// paper's Section 2.2 claim) work.
+    ///
+    /// # Errors
+    ///
+    /// [`DatabaseError::DuplicateRelation`] if the name is taken.
+    pub fn with_relation_value<N: Into<RelationName>>(
+        &self,
+        name: N,
+        relation: Relation,
+        schema: Option<Schema>,
+    ) -> Result<Database, DatabaseError> {
+        let name = name.into();
+        if self.position(&name).is_some() {
+            return Err(DatabaseError::DuplicateRelation(name));
+        }
+        let entries: Vec<Entry> = self
+            .entries
+            .iter()
+            .cloned()
+            .chain(std::iter::once(Entry {
+                name,
+                relation,
+                schema,
+            }))
+            .collect();
+        Ok(Database {
+            entries: entries.into_iter().collect(),
+        })
+    }
+
     /// The schema attached to relation `name`, if any.
     ///
     /// # Errors
@@ -486,6 +523,22 @@ mod tests {
             .insert(&"Emp".into(), Tuple::new(vec![1.into(), "ada".into()]))
             .unwrap();
         assert_eq!(db2.schema(&"Emp".into()).unwrap(), Some(&schema));
+    }
+
+    #[test]
+    fn with_relation_value_preserves_physical_sharing() {
+        let db = db_rs();
+        let (db, _) = db.insert(&"R".into(), Tuple::of_key(1)).unwrap();
+        let rel = db.relation(&"R".into()).unwrap().clone();
+        let rebuilt = Database::empty()
+            .with_relation_value("R", rel, None)
+            .unwrap();
+        // The rebuilt database holds the very same relation value.
+        assert!(rebuilt.shares_relation_with(&db, &"R".into()));
+        assert_eq!(rebuilt.find(&"R".into(), &1.into()).unwrap().len(), 1);
+        // Duplicate names are still rejected.
+        let rel2 = db.relation(&"S".into()).unwrap().clone();
+        assert!(rebuilt.with_relation_value("R", rel2, None).is_err());
     }
 
     #[test]

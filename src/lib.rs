@@ -39,6 +39,7 @@
 //! | [`relational`] | values, tuples, relations, the persistent database |
 //! | [`query`] | the symbolic query language and `translate` |
 //! | [`core`] | `apply-stream`, the serializer, the pipelined engine, the 2PL baseline, the dataflow compiler |
+//! | [`durable`] | group-commit WAL, sharing-aware checkpoints, crash recovery |
 //! | [`net`] | sites, the broadcast medium, `choose`, the primary site, site pragmas |
 //! | [`rediflow`] | task graphs, ply analysis, topologies, the mode-2 scheduler |
 //! | [`workload`] | workload generation and the Table I–III experiment battery |
@@ -68,6 +69,11 @@ pub mod query {
 /// Transactions, streams, engines (re-export of `fundb-core`).
 pub mod core {
     pub use fundb_core::*;
+}
+
+/// Durability: WAL, checkpoints, recovery (re-export of `fundb-durable`).
+pub mod durable {
+    pub use fundb_durable::*;
 }
 
 /// Distribution substrate (re-export of `fundb-net`).

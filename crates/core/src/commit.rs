@@ -34,6 +34,12 @@ use fundb_relational::RelationName;
 /// affected transactions with an error response and publishes the
 /// *unchanged* predecessor version, so a write that was never durable is
 /// also never visible.
+///
+/// A failing implementation must leave its store in a state where *later*
+/// successful commits remain recoverable: either none of the failed
+/// batch's bytes persist past the store's valid prefix, or the sink keeps
+/// failing until the store is repaired. (A sink that let an acknowledged
+/// batch land beyond partial garbage would see recovery truncate it.)
 pub trait CommitSink: Send + Sync {
     /// Makes one claimed batch of writes durable — the group commit.
     ///

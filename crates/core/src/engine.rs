@@ -40,7 +40,7 @@
 //!   the submitting thread ([`Lenient::try_map`]); no job, no handoff, no
 //!   wakeup.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -78,8 +78,10 @@ struct BatchOps {
 /// filled only afterwards, so an answered write is a durable write. On
 /// commit failure every transaction is answered with an error and the
 /// output version is the *unchanged* input: the run's sequence numbers are
-/// burned, but none of its records reached the log, so recovery still sees
-/// a clean prefix.
+/// burned. The sink contract makes this safe: a failing `commit_writes`
+/// leaves none of the run's records in the log's valid prefix and either
+/// repairs its tail or refuses all later commits (see `Wal::append_batch`),
+/// so recovery still sees a clean prefix of acknowledged history.
 fn commit_and_apply(
     sink: Option<&Arc<dyn CommitSink>>,
     relation: &RelationName,
@@ -165,6 +167,10 @@ struct Catalog {
     /// Creation order, so a barrier can rebuild a `Database` with stable
     /// spine positions.
     order: Vec<RelationName>,
+    /// Names claimed by an in-flight `create` whose durable commit is
+    /// still running outside the lock: they collide like existing
+    /// relations but are not yet visible.
+    reserved: HashSet<RelationName>,
 }
 
 /// Seals the open batch (if any): no further writes may coalesce into it.
@@ -318,7 +324,11 @@ impl PipelinedEngine {
             .collect();
         PipelinedEngine {
             pool: WorkerPool::new(workers),
-            catalog: RwLock::new(Catalog { slots, order }),
+            catalog: RwLock::new(Catalog {
+                slots,
+                order,
+                reserved: HashSet::new(),
+            }),
             sink,
         }
     }
@@ -356,41 +366,49 @@ impl PipelinedEngine {
                 repr,
             } => {
                 // Catalog updates are resolved at submission (the catalog is
-                // the spine; relation *contents* stay lenient). The only
-                // write acquisition of the catalog lock.
-                let mut catalog = self.catalog.write();
-                if catalog.slots.contains_key(relation) {
-                    drop(catalog);
-                    response
-                        .fill(Response::Error(format!(
-                            "relation already exists: {relation}"
-                        )))
-                        .ok();
-                    return out;
-                }
+                // the spine; relation *contents* stay lenient).
                 let parsed = match schema {
                     None => None,
                     Some(attrs) => match Schema::new(attrs) {
                         Ok(s) => Some(s),
                         Err(e) => {
-                            drop(catalog);
                             response.fill(Response::Error(e.to_string())).ok();
                             return out;
                         }
                     },
                 };
-                // Durable-before-visible: log the create while still
-                // holding the catalog exclusively, so in the log a
-                // relation's create precedes its first write.
+                // Reserve the name under the write lock, then run the
+                // durable commit with the lock *released*: an fsync here
+                // must not stall every other relation's submissions.
+                // Durable-before-visible still holds — until the slot is
+                // inserted below, no write against this relation can be
+                // accepted, so in the log a relation's create precedes its
+                // first write.
+                {
+                    let mut catalog = self.catalog.write();
+                    if catalog.slots.contains_key(relation)
+                        || !catalog.reserved.insert(relation.clone())
+                    {
+                        drop(catalog);
+                        response
+                            .fill(Response::Error(format!(
+                                "relation already exists: {relation}"
+                            )))
+                            .ok();
+                        return out;
+                    }
+                }
                 if let Some(sink) = &self.sink {
                     if let Err(e) = sink.commit_create(&query) {
-                        drop(catalog);
+                        self.catalog.write().reserved.remove(relation);
                         response
                             .fill(Response::Error(format!("commit failed: {e}")))
                             .ok();
                         return out;
                     }
                 }
+                let mut catalog = self.catalog.write();
+                catalog.reserved.remove(relation);
                 catalog.slots.insert(
                     relation.clone(),
                     Arc::new(RelationSlot {
@@ -1030,6 +1048,56 @@ mod tests {
         assert!(r.wait().is_error());
         let names = engine.submit(txn("relations"));
         assert_eq!(*names.wait(), Response::Names(vec!["T".into()]));
+
+        // The failed create released its name reservation: once the sink
+        // recovers, the same name can be created.
+        sink.fail.store(false, std::sync::atomic::Ordering::SeqCst);
+        let r = engine.submit(txn("create relation U"));
+        assert_eq!(*r.wait(), Response::Created("U".into()));
+    }
+
+    /// A sink whose `commit_create` stalls, exposing the window where the
+    /// create's durable commit runs outside the catalog lock.
+    struct SlowCreateSink;
+
+    impl CommitSink for SlowCreateSink {
+        fn commit_writes(&self, _: &RelationName, _: &[(u64, Query)]) -> std::io::Result<()> {
+            Ok(())
+        }
+
+        fn commit_create(&self, _: &Query) -> std::io::Result<()> {
+            std::thread::sleep(Duration::from_millis(50));
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn concurrent_duplicate_creates_collide_and_other_relations_proceed() {
+        let engine = Arc::new(PipelinedEngine::with_sink(
+            2,
+            &base(),
+            Arc::new(SlowCreateSink) as _,
+            &HashMap::new(),
+        ));
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let engine = Arc::clone(&engine);
+                    s.spawn(move || {
+                        engine
+                            .submit(txn("create relation T as tree"))
+                            .wait_cloned()
+                    })
+                })
+                .collect();
+            // While a create's fsync is in flight, traffic on existing
+            // relations must not be stalled behind the catalog lock.
+            let r = engine.submit(txn("insert 1 into R"));
+            assert!(!r.wait().is_error());
+            let results: Vec<Response> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            let created = results.iter().filter(|r| !r.is_error()).count();
+            assert_eq!(created, 1, "exactly one duplicate create wins: {results:?}");
+        });
     }
 
     #[test]

@@ -223,7 +223,11 @@ impl DurableEngine {
     /// tree costs `O(k · log n)` bytes (see the returned stats).
     pub fn checkpoint(&self) -> io::Result<CheckpointStats> {
         let cut = self.engine.consistent_cut();
-        let stats = self.checkpoints.lock().write(&cut)?;
+        // The guard is held through the log GC below, not just the write:
+        // two concurrent checkpoints racing to delete the same covered
+        // segment would turn one caller's success into a spurious error.
+        let mut writer = self.checkpoints.lock();
+        let stats = writer.write(&cut)?;
 
         // Covered: a write the cut's marks fold in, or a create whose
         // relation the cut carries. The live tail segment is always kept.

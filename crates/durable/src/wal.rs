@@ -12,12 +12,23 @@
 //! as thread-handoff cost already was.
 //!
 //! **Recovery**: [`Wal::scan`] walks the segments in order and stops at the
-//! first invalid frame. An incomplete frame at the very end of the last
-//! segment is a *torn tail* (a crash mid-append — expected); anything else
-//! is *corruption* (surfaced in the report). [`Wal::recover`] repairs the
-//! log to its longest valid prefix: it truncates the offending segment at
-//! the last valid record and deletes any later segments, so the next writer
-//! never extends damaged bytes.
+//! first invalid frame. A physically *incomplete* frame (header short of 8
+//! bytes, or a declared payload running past end-of-file) at the very end
+//! of the last segment is a *torn tail* (a crash mid-append — expected);
+//! anything else — a fully present frame whose CRC or decode fails, or an
+//! incomplete frame in a closed segment — is *corruption* (surfaced in the
+//! report). [`Wal::recover`] repairs the log to its longest valid prefix:
+//! it truncates the offending segment at the last valid record and deletes
+//! any later segments, so the next writer never extends damaged bytes.
+//!
+//! **Failed appends**: a failed `write` or fsync may leave partial bytes
+//! on disk, and a later successful append after them would be invisible to
+//! recovery (the scan stops at the damage). [`Wal::append_batch`] therefore
+//! *quarantines* on any I/O error — it truncates the segment back to its
+//! last durable offset and rotates to a fresh segment — and if that repair
+//! itself fails it poisons the handle, refusing every further append until
+//! the log is reopened (which recovers first). An acknowledged record is
+//! never written after damaged bytes.
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Write};
@@ -131,18 +142,23 @@ pub struct ScannedRecord {
 /// Why (and where) a scan stopped before the end of the log.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ScanStop {
-    /// An incomplete frame at the end of the last segment — the normal
-    /// signature of a crash mid-append. Truncating it loses no
-    /// acknowledged transaction (acks happen only after fsync).
+    /// A physically incomplete frame — a header shorter than 8 bytes, or a
+    /// declared payload extending past end-of-file — at the end of the
+    /// last segment: the normal signature of a crash mid-append.
+    /// Truncating it loses no acknowledged transaction (acks happen only
+    /// after fsync, and a successful fsync leaves only whole frames).
     TornTail {
         /// Segment holding the torn frame.
         segment: u64,
         /// Offset of the last valid record's end (the truncation point).
         valid_up_to: u64,
     },
-    /// A CRC mismatch or malformed frame *not* explained by a torn tail —
-    /// synced history was damaged, so acknowledged transactions after this
-    /// point are lost and the damage must be surfaced, not hidden.
+    /// A fully present frame whose CRC or decode fails (even in the last
+    /// segment — a bit-flip mid-segment is damage, not a tear, and frames
+    /// after it may be acknowledged history), or an incomplete frame in a
+    /// closed segment. Synced history was damaged, so acknowledged
+    /// transactions after this point are lost and the damage must be
+    /// surfaced, not hidden.
     Corruption {
         /// Segment holding the damaged frame.
         segment: u64,
@@ -176,6 +192,15 @@ pub struct Wal {
     /// reaches this size. Rotation only happens *between* batches, so a
     /// batch's records are contiguous in one segment.
     segment_bytes: u64,
+    /// Set when a failed append could not be quarantined: the tail may
+    /// hold damaged bytes, so no further record may be appended (it would
+    /// sit beyond the damage, invisible to recovery). Cleared only by
+    /// reopening the log, which recovers first.
+    poisoned: bool,
+    /// Test hook: fail the next N append I/O attempts, each after writing
+    /// only half its bytes (a short write followed by an error).
+    #[cfg(test)]
+    fail_appends: u32,
 }
 
 impl Wal {
@@ -199,12 +224,29 @@ impl Wal {
             segment: next,
             written: 0,
             segment_bytes: segment_bytes.max(1),
+            poisoned: false,
+            #[cfg(test)]
+            fail_appends: 0,
         })
     }
 
     /// Appends a batch of records with **one** write and **one** fsync —
     /// the group commit. On `Ok`, every record in the batch is durable.
+    ///
+    /// On `Err`, *none* of the batch's records are in the log's valid
+    /// prefix, and the log stays safe to append to: any partial bytes the
+    /// failed write (or failed fsync — which cannot be assumed to have
+    /// written nothing) left behind are truncated away and a fresh segment
+    /// started, or, if that repair fails too, the handle is poisoned and
+    /// every later append refuses. Either way no subsequently acknowledged
+    /// record can land beyond damaged bytes, where recovery's
+    /// stop-at-first-invalid-frame scan would silently drop it.
     pub fn append_batch(&mut self, records: &[WalRecord]) -> io::Result<()> {
+        if self.poisoned {
+            return Err(io::Error::other(
+                "wal poisoned by an unrepairable append failure; reopen to recover",
+            ));
+        }
         let mut buf = Vec::new();
         for rec in records {
             let payload = rec.encode();
@@ -212,22 +254,56 @@ impl Wal {
             put_u32(&mut buf, crc32(&payload));
             buf.extend_from_slice(&payload);
         }
-        self.file.write_all(&buf)?;
-        self.file.sync_data()?;
+        if let Err(e) = self.write_and_sync(&buf) {
+            self.quarantine();
+            return Err(e);
+        }
         self.written += buf.len() as u64;
         if self.written >= self.segment_bytes {
-            self.rotate()?;
+            // The batch is already durable, so a failed rotation must not
+            // fail the append (the caller would answer an error for
+            // transactions recovery will replay); the current segment
+            // simply keeps growing and rotation retries next append.
+            self.rotate().ok();
         }
         Ok(())
     }
 
+    fn write_and_sync(&mut self, buf: &[u8]) -> io::Result<()> {
+        #[cfg(test)]
+        if self.fail_appends > 0 {
+            self.fail_appends -= 1;
+            self.file.write_all(&buf[..buf.len() / 2]).ok();
+            return Err(io::Error::other("injected append failure"));
+        }
+        self.file.write_all(buf)?;
+        self.file.sync_data()
+    }
+
+    /// After a failed append: chop the segment back to its last durable
+    /// offset (everything `written` counts was covered by a successful
+    /// fsync) and start a fresh segment — the old handle's error state is
+    /// untrustworthy after a failed fsync. If either step fails, poison.
+    fn quarantine(&mut self) {
+        let repaired = self
+            .file
+            .set_len(self.written)
+            .and_then(|()| self.file.sync_all())
+            .and_then(|()| self.rotate());
+        if repaired.is_err() {
+            self.poisoned = true;
+        }
+    }
+
     fn rotate(&mut self) -> io::Result<()> {
-        self.segment += 1;
-        self.file = OpenOptions::new()
+        let next = self.segment + 1;
+        let file = OpenOptions::new()
             .create_new(true)
             .write(true)
-            .open(self.dir.join(segment_name(self.segment)))?;
+            .open(self.dir.join(segment_name(next)))?;
         sync_dir(&self.dir);
+        self.file = file;
+        self.segment = next;
         self.written = 0;
         Ok(())
     }
@@ -258,26 +334,34 @@ impl Wal {
                 if pos == bytes.len() {
                     break;
                 }
-                let frame_ok = (|| {
+                // A frame is *incomplete* when the file ends before it
+                // does — the only shape a crash mid-append can leave,
+                // since a successful fsync persists whole frames. A frame
+                // that is fully present but fails its CRC or decode is
+                // *damaged*: that never comes from a torn append, and
+                // complete (acknowledged) frames may follow it.
+                let frame = (|| {
                     if bytes.len() - pos < 8 {
-                        return None;
+                        return Err(true);
                     }
                     let len =
                         u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4")) as usize;
                     let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4"));
                     let start = pos + 8;
-                    let end = start.checked_add(len)?;
+                    let end = start.checked_add(len).ok_or(true)?;
                     if end > bytes.len() {
-                        return None;
+                        return Err(true);
                     }
                     let payload = &bytes[start..end];
                     if crc32(payload) != crc {
-                        return None;
+                        return Err(false);
                     }
-                    WalRecord::decode(payload).ok().map(|r| (r, end))
+                    WalRecord::decode(payload)
+                        .map(|r| (r, end))
+                        .map_err(|_| false)
                 })();
-                match frame_ok {
-                    Some((record, end)) => {
+                match frame {
+                    Ok((record, end)) => {
                         records.push(ScannedRecord {
                             record,
                             segment: seg,
@@ -285,10 +369,11 @@ impl Wal {
                         });
                         pos = end;
                     }
-                    None => {
-                        // Invalid frame. A torn tail is only possible at
-                        // the very end of the very last segment.
-                        let stop = if Some(seg) == last_index {
+                    Err(incomplete) => {
+                        // A torn tail is only an incomplete frame at the
+                        // very end of the very last segment; everything
+                        // else is damage to synced history.
+                        let stop = if incomplete && Some(seg) == last_index {
                             ScanStop::TornTail {
                                 segment: seg,
                                 valid_up_to: pos as u64,
@@ -358,7 +443,14 @@ impl Wal {
                 break;
             }
             let mut bytes = Vec::new();
-            File::open(dir.join(segment_name(seg)))?.read_to_end(&mut bytes)?;
+            match File::open(dir.join(segment_name(seg))) {
+                Ok(mut f) => {
+                    f.read_to_end(&mut bytes)?;
+                }
+                // A concurrent GC or recovery already removed it.
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e),
+            }
             let mut pos = 0usize;
             let mut all_covered = true;
             while pos < bytes.len() {
@@ -385,8 +477,11 @@ impl Wal {
                 }
             }
             if all_covered {
-                fs::remove_file(dir.join(segment_name(seg)))?;
-                removed += 1;
+                match fs::remove_file(dir.join(segment_name(seg))) {
+                    Ok(()) => removed += 1,
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(e),
+                }
             }
         }
         if removed > 0 {
@@ -467,6 +562,85 @@ mod tests {
         let outcome = Wal::scan(tmp.path()).unwrap();
         assert_eq!(outcome.records.len(), 2);
         assert!(outcome.stop.is_none());
+    }
+
+    #[test]
+    fn damaged_frame_in_last_segment_is_corruption_not_torn_tail() {
+        // A bit-flip in a fully present frame of the *last* segment, with
+        // acknowledged records after it, must report Corruption: recovery
+        // will drop synced history, and the report must not call that a
+        // benign tail.
+        let tmp = ScratchDir::new("wal-last-seg-flip");
+        let mut wal = Wal::open(tmp.path(), Wal::DEFAULT_SEGMENT_BYTES).unwrap();
+        for i in 0..3 {
+            wal.append_batch(&[w("R", i, &format!("insert {i} into R"))])
+                .unwrap();
+        }
+        drop(wal);
+        let seg = tmp.path().join(segment_name(1));
+        let mut bytes = fs::read(&seg).unwrap();
+        // Offset 10 sits inside the first record's payload (after its
+        // 8-byte header), so the frame stays complete but its CRC fails.
+        bytes[10] ^= 0x01;
+        fs::write(&seg, &bytes).unwrap();
+
+        let outcome = Wal::scan(tmp.path()).unwrap();
+        assert!(
+            matches!(outcome.stop, Some(ScanStop::Corruption { .. })),
+            "complete-but-damaged frame must be corruption, got {:?}",
+            outcome.stop
+        );
+        assert!(outcome.records.is_empty());
+    }
+
+    #[test]
+    fn failed_append_quarantines_so_later_acks_survive_recovery() {
+        let tmp = ScratchDir::new("wal-quarantine");
+        let mut wal = Wal::open(tmp.path(), Wal::DEFAULT_SEGMENT_BYTES).unwrap();
+        wal.append_batch(&[w("R", 0, "insert 0 into R")]).unwrap();
+
+        // This append short-writes half its bytes and then errors; the
+        // quarantine must chop those bytes and rotate.
+        wal.fail_appends = 1;
+        let before = wal.current_segment();
+        assert!(wal.append_batch(&[w("R", 1, "insert 1 into R")]).is_err());
+        assert!(wal.current_segment() > before, "quarantine rotates");
+
+        // The next batch is acknowledged — and must survive a scan, which
+        // it would not had it landed after the partial bytes.
+        wal.append_batch(&[w("R", 2, "insert 2 into R")]).unwrap();
+        drop(wal);
+        let outcome = Wal::scan(tmp.path()).unwrap();
+        assert!(outcome.stop.is_none(), "no damage left behind");
+        let seqs: Vec<u64> = outcome
+            .records
+            .iter()
+            .map(|r| match &r.record {
+                WalRecord::Write { seq, .. } => *seq,
+                WalRecord::Create { .. } => unreachable!(),
+            })
+            .collect();
+        assert_eq!(seqs, vec![0, 2], "seq 1 failed; 0 and 2 both durable");
+    }
+
+    #[test]
+    fn unrepairable_append_failure_poisons_the_handle() {
+        let tmp = ScratchDir::new("wal-poison");
+        let mut wal = Wal::open(tmp.path(), Wal::DEFAULT_SEGMENT_BYTES).unwrap();
+        wal.append_batch(&[w("R", 0, "insert 0 into R")]).unwrap();
+
+        // Remove the directory out from under the log: the quarantine's
+        // rotation cannot create a fresh segment, so the handle poisons.
+        fs::remove_dir_all(tmp.path()).unwrap();
+        wal.fail_appends = 1;
+        assert!(wal.append_batch(&[w("R", 1, "insert 1 into R")]).is_err());
+
+        // Every further append refuses without touching the file, even
+        // though the underlying handle could still physically write.
+        let err = wal
+            .append_batch(&[w("R", 2, "insert 2 into R")])
+            .unwrap_err();
+        assert!(err.to_string().contains("poisoned"), "got: {err}");
     }
 
     #[test]

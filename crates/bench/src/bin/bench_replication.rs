@@ -1,0 +1,238 @@
+//! Replication benchmark: what shipping the commit log to read replicas
+//! buys, and what it costs.
+//!
+//! Two measurements over the same [`ReplicatedCluster`] harness, same
+//! on-disk durable stores, same tree-backed relation:
+//!
+//! 1. **Read throughput under a concurrent writer.** On the primary,
+//!    durable-before-visible means a point read that lands while a write
+//!    batch is in flight joins the dataflow *behind* that batch — behind
+//!    its group-commit fsync. A replica answers the same read from its
+//!    own database value and never waits for anyone's fsync (its log
+//!    apply is off the reply path entirely). So with a writer hammering
+//!    the relation, primary-served reads stall on commit cadence while
+//!    replica-served reads run at message-round-trip speed — the honest
+//!    reason read replicas exist, and one that does not depend on core
+//!    count. 4 clients issue sequential finds against a writer doing
+//!    acked inserts into the same relation; bar: >= 1.5x reads/sec with
+//!    2 replicas.
+//!
+//! 2. **Quiet commit latency.** Sequential single-transaction inserts,
+//!    acked only after the group-commit fsync, with no readers. The
+//!    sender rides the commit fan-out after the local log and never
+//!    fails or waits, and a replica receiving a batch only queues the
+//!    frames (apply is deferred to the next read): the added ack-path
+//!    cost is encoding the batch and two `send`s. Bar: within 10% of the
+//!    unreplicated latency.
+//!
+//! Repetitions alternate between the two configurations (fsync latency
+//! drifts over seconds; interleaving lands the drift on both sides) and
+//! the best of each is reported, damping scheduler noise. Run from the
+//! repository root to refresh the checked-in record:
+//!
+//! ```text
+//! cargo run --release -p fundb-bench --bin bench_replication
+//! ```
+//!
+//! Output: a table on stdout and `BENCH_replication.json`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use fundb_durable::ScratchDir;
+use fundb_net::ReplicatedCluster;
+use fundb_query::Response;
+
+const N_TUPLES: i64 = 3000;
+const READ_CLIENTS: usize = 4;
+const READS_PER_CLIENT: usize = 1000;
+const LATENCY_OPS: usize = 200;
+const WORKERS: usize = 2;
+const REPETITIONS: usize = 4;
+
+#[derive(Default)]
+struct ConfigResult {
+    replicas: usize,
+    reads_per_sec: f64,
+    commit_latency_us: f64,
+    batches_shipped: u64,
+    medium_messages: u64,
+}
+
+impl ConfigResult {
+    /// Folds one repetition in: best read throughput, best (lowest)
+    /// commit latency.
+    fn fold(&mut self, rep: ConfigResult) {
+        self.replicas = rep.replicas;
+        self.reads_per_sec = self.reads_per_sec.max(rep.reads_per_sec);
+        self.commit_latency_us = if self.commit_latency_us == 0.0 {
+            rep.commit_latency_us
+        } else {
+            self.commit_latency_us.min(rep.commit_latency_us)
+        };
+        self.batches_shipped = rep.batches_shipped;
+        self.medium_messages = rep.medium_messages;
+    }
+}
+
+fn expect_ok(resp: &Response, what: &str) {
+    assert!(!resp.is_error(), "{what} failed: {resp}");
+}
+
+/// One full setup/load/read/write cycle for a replica count (one
+/// repetition).
+fn run(replicas: usize) -> ConfigResult {
+    let tmp = ScratchDir::new("bench-repl");
+    let cluster =
+        ReplicatedCluster::start(tmp.path(), READ_CLIENTS + 1, WORKERS, replicas).unwrap();
+
+    let loader = cluster.client(READ_CLIENTS);
+    expect_ok(
+        &loader.submit("create relation R as tree").wait_cloned(),
+        "create",
+    );
+    for k in 0..N_TUPLES {
+        expect_ok(
+            &loader.submit(&format!("insert {k} into R")).wait_cloned(),
+            "load insert",
+        );
+    }
+    cluster.sync();
+
+    // Read phase: a background writer keeps a commit in flight on R
+    // while 4 clients issue sequential point finds of loaded keys.
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let c = cluster.client(READ_CLIENTS);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            for k in 1_000_000i64.. {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                expect_ok(
+                    &c.submit(&format!("insert {k} into R")).wait_cloned(),
+                    "background insert",
+                );
+            }
+        })
+    };
+    let start = Instant::now();
+    let threads: Vec<_> = (0..READ_CLIENTS)
+        .map(|t| {
+            let c = cluster.client(t);
+            std::thread::spawn(move || {
+                for i in 0..READS_PER_CLIENT {
+                    let k = ((t * 7919 + i * 13) as i64) % N_TUPLES;
+                    expect_ok(&c.submit(&format!("find {k} in R")).wait(), "find");
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let reads = (READ_CLIENTS * READS_PER_CLIENT) as f64 / start.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    writer.join().unwrap();
+
+    // Quiet write phase: sequential acked inserts, one transaction
+    // each, nothing else running.
+    let w = cluster.client(READ_CLIENTS);
+    let start = Instant::now();
+    for k in 0..LATENCY_OPS as i64 {
+        expect_ok(
+            &w.submit(&format!("insert {} into R", 2_000_000 + k)).wait(),
+            "latency insert",
+        );
+    }
+    let latency = start.elapsed().as_secs_f64() * 1e6 / LATENCY_OPS as f64;
+
+    let batches = cluster.batches_shipped();
+    let messages = cluster.message_count();
+    cluster.shutdown();
+    ConfigResult {
+        replicas,
+        reads_per_sec: reads,
+        commit_latency_us: latency,
+        batches_shipped: batches,
+        medium_messages: messages,
+    }
+}
+
+fn main() {
+    println!(
+        "replication bench: {N_TUPLES} tree tuples, {READ_CLIENTS} clients x \
+         {READS_PER_CLIENT} finds vs a live writer, {LATENCY_OPS} quiet acked inserts, \
+         best of {REPETITIONS}"
+    );
+
+    // Interleave the configurations across repetitions: the disk's fsync
+    // latency drifts on the scale of seconds, and alternating runs lands
+    // that drift on both configurations alike instead of biasing the
+    // ratio.
+    let mut base = ConfigResult::default();
+    let mut repl = ConfigResult::default();
+    for _ in 0..REPETITIONS {
+        base.fold(run(0));
+        repl.fold(run(2));
+    }
+
+    let read_speedup = repl.reads_per_sec / base.reads_per_sec;
+    let latency_ratio = repl.commit_latency_us / base.commit_latency_us;
+
+    println!(
+        "  replicas=0  reads/s={:>9.0}  commit latency={:>7.1} us",
+        base.reads_per_sec, base.commit_latency_us
+    );
+    println!(
+        "  replicas=2  reads/s={:>9.0}  commit latency={:>7.1} us  ({} batches shipped)",
+        repl.reads_per_sec, repl.commit_latency_us, repl.batches_shipped
+    );
+    println!(
+        "  read speedup: {read_speedup:.2}x (bar: >= 1.5)   latency ratio: \
+         {latency_ratio:.3} (bar: <= 1.10)"
+    );
+
+    let json = render_json(&base, &repl, read_speedup, latency_ratio);
+    std::fs::write("BENCH_replication.json", &json).expect("write BENCH_replication.json");
+    println!("\nwrote BENCH_replication.json");
+}
+
+fn render_json(base: &ConfigResult, repl: &ConfigResult, speedup: f64, ratio: f64) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"benchmark\": \"replication: read throughput under a concurrent writer (replica \
+         reads never wait for the group-commit fsync) and quiet acked commit latency with and \
+         without log shipping\",\n",
+    );
+    out.push_str(
+        "  \"regenerate\": \"cargo run --release -p fundb-bench --bin bench_replication\",\n",
+    );
+    out.push_str(&format!(
+        "  \"config\": {{\"tuples\": {N_TUPLES}, \"read_clients\": {READ_CLIENTS}, \
+         \"reads_per_client\": {READS_PER_CLIENT}, \"latency_ops\": {LATENCY_OPS}, \
+         \"workers\": {WORKERS}, \"repetitions\": {REPETITIONS}}},\n"
+    ));
+    for r in [base, repl] {
+        out.push_str(&format!(
+            "  \"replicas_{}\": {{\"reads_per_sec\": {:.0}, \"commit_latency_us\": {:.1}, \
+             \"batches_shipped\": {}, \"medium_messages\": {}}},\n",
+            r.replicas, r.reads_per_sec, r.commit_latency_us, r.batches_shipped, r.medium_messages
+        ));
+    }
+    out.push_str(&format!(
+        "  \"read_speedup\": {speedup:.2},\n  \"read_speedup_bar\": 1.5,\n  \
+         \"meets_read_bar\": {},\n",
+        speedup >= 1.5
+    ));
+    out.push_str(&format!(
+        "  \"commit_latency_ratio\": {ratio:.3},\n  \"commit_latency_bar\": 1.10,\n  \
+         \"meets_latency_bar\": {}\n",
+        ratio <= 1.10
+    ));
+    out.push_str("}\n");
+    out
+}

@@ -40,9 +40,16 @@ use fundb_relational::{Database, RelationName};
 /// ```
 pub struct VersionArchive {
     versions: Vec<Database>,
-    /// The transaction that produced version `i+1`, as query text, plus its
-    /// response (aligned: entry `i` produced version `i+1`).
+    /// The transaction that produced retained version `base + i + 1`, as
+    /// query text, plus its response (aligned: `log[i]` produced
+    /// `versions[i + 1]`).
     log: Vec<(String, Response)>,
+    /// Absolute version number of `versions[0]`. Starts at 0 and only
+    /// grows, under pruning — so `version(i)` / `log_entry(i)` keep their
+    /// meaning across [`truncate_before`](Self::truncate_before): a version
+    /// number handed out once refers to the same state forever (or to
+    /// nothing, once pruned).
+    base: usize,
     /// If set, [`apply`](Self::apply) prunes so at most `retention + 1`
     /// versions remain (the head plus its `retention` predecessors); the
     /// oldest retained version plays the checkpoint role.
@@ -66,6 +73,7 @@ impl VersionArchive {
         VersionArchive {
             versions: vec![initial],
             log: Vec::new(),
+            base: 0,
             retention: None,
         }
     }
@@ -79,6 +87,7 @@ impl VersionArchive {
         VersionArchive {
             versions: vec![initial],
             log: Vec::new(),
+            base: 0,
             retention: Some(retain),
         }
     }
@@ -86,21 +95,36 @@ impl VersionArchive {
     /// Applies `tx` to the head, archiving the new version; returns the
     /// response. Failed transactions are archived too (their version equals
     /// the previous one), so the log stays aligned with history.
-    pub fn apply(&mut self, tx: &Transaction) -> &Response {
+    pub fn apply(&mut self, tx: &Transaction) -> Response {
         let (response, next) = tx.apply(self.head());
         self.versions.push(next);
-        self.log.push((tx.query().to_string(), response));
+        self.log.push((tx.query().to_string(), response.clone()));
         if let Some(retain) = self.retention {
-            if self.versions.len() > retain + 1 {
-                self.truncate_before(self.versions.len() - 1 - retain);
+            // With `retain = 0` this prunes everything up to the head —
+            // including the log entry just pushed — which is why the
+            // response is returned by value, not borrowed from the log.
+            if self.head_version() - self.base > retain {
+                self.truncate_before(self.head_version() - retain);
             }
         }
-        &self.log.last().expect("just pushed").1
+        response
     }
 
-    /// Number of versions (at least 1: the initial database).
+    /// Number of *retained* versions (at least 1: the head).
     pub fn version_count(&self) -> usize {
         self.versions.len()
+    }
+
+    /// Absolute version number of the oldest retained version (0 until the
+    /// first pruning).
+    pub fn oldest_version(&self) -> usize {
+        self.base
+    }
+
+    /// Absolute version number of the head. Unlike `version_count() - 1`,
+    /// this stays correct after pruning.
+    pub fn head_version(&self) -> usize {
+        self.base + self.versions.len() - 1
     }
 
     /// The newest version.
@@ -108,14 +132,18 @@ impl VersionArchive {
         self.versions.last().expect("archive never empty")
     }
 
-    /// Version `i` (0 = initial), if it exists.
+    /// Version `i` (0 = initial), if it exists and has not been pruned.
+    /// Version numbers are absolute: they survive
+    /// [`truncate_before`](Self::truncate_before) unchanged.
     pub fn version(&self, i: usize) -> Option<&Database> {
-        self.versions.get(i)
+        self.versions.get(i.checked_sub(self.base)?)
     }
 
-    /// The query text and response that produced version `i` (so `i >= 1`).
+    /// The query text and response that produced version `i` (so `i >= 1`),
+    /// if that entry is still retained. Absolute, like
+    /// [`version`](Self::version) — pruning never re-aligns the log.
     pub fn log_entry(&self, i: usize) -> Option<(&str, &Response)> {
-        let (q, r) = self.log.get(i.checked_sub(1)?)?;
+        let (q, r) = self.log.get(i.checked_sub(self.base + 1)?)?;
         Some((q.as_str(), r))
     }
 
@@ -151,9 +179,10 @@ impl VersionArchive {
         Some(out)
     }
 
-    /// For each version, how many tuples with `key` relation `name` held —
-    /// the key's history through time. Versions where the relation did not
-    /// exist report 0.
+    /// For each *retained* version, oldest first (index 0 is
+    /// [`oldest_version`](Self::oldest_version)), how many tuples with
+    /// `key` relation `name` held — the key's history through time.
+    /// Versions where the relation did not exist report 0.
     pub fn history_of(&self, name: &RelationName, key: &fundb_relational::Value) -> Vec<usize> {
         self.versions
             .iter()
@@ -161,15 +190,19 @@ impl VersionArchive {
             .collect()
     }
 
-    /// Drops all versions before `keep_from` (but never the head),
-    /// renumbering so the oldest retained version becomes version 0 — the
-    /// paper's alternative to complete archives: "garbage collection must
-    /// be used to reclaim data, the access to which is dropped."
+    /// Drops all versions before absolute version `keep_from` (but never
+    /// the head) — the paper's alternative to complete archives: "garbage
+    /// collection must be used to reclaim data, the access to which is
+    /// dropped." Version numbers are *not* renumbered: `version(i)` and
+    /// `log_entry(i)` keep answering for retained `i` and return `None`
+    /// for pruned ones, so version numbers handed out before the
+    /// truncation never silently point at a different state.
     pub fn truncate_before(&mut self, keep_from: usize) {
-        let keep_from = keep_from.min(self.versions.len() - 1);
-        self.versions.drain(..keep_from);
-        let log_drop = keep_from.min(self.log.len());
-        self.log.drain(..log_drop);
+        let keep_from = keep_from.clamp(self.base, self.head_version());
+        let drop = keep_from - self.base;
+        self.versions.drain(..drop);
+        self.log.drain(..drop.min(self.log.len()));
+        self.base = keep_from;
     }
 }
 
@@ -288,11 +321,18 @@ mod tests {
         let mut a = archive_with(&["insert 1 into R", "insert 2 into R", "insert 3 into R"]);
         a.truncate_before(2);
         assert_eq!(a.version_count(), 2);
-        assert_eq!(a.version(0).unwrap().tuple_count(), 2);
+        assert_eq!(a.oldest_version(), 2);
+        assert_eq!(a.head_version(), 3);
+        // Absolute numbering: pruned versions are gone, retained ones keep
+        // their numbers.
+        assert!(a.version(0).is_none());
+        assert!(a.version(1).is_none());
+        assert_eq!(a.version(2).unwrap().tuple_count(), 2);
         assert_eq!(a.head().tuple_count(), 3);
         // Truncating beyond the head keeps the head.
         a.truncate_before(100);
         assert_eq!(a.version_count(), 1);
+        assert_eq!(a.head_version(), 3);
         assert_eq!(a.head().tuple_count(), 3);
     }
 
@@ -305,13 +345,62 @@ mod tests {
         }
         // Head plus its 3 predecessors, never more.
         assert_eq!(a.version_count(), 4);
+        assert_eq!(a.head_version(), 20);
+        assert_eq!(a.oldest_version(), 17);
         assert_eq!(a.head().tuple_count(), 20);
-        assert_eq!(a.version(0).unwrap().tuple_count(), 17);
-        // The log is renumbered along with the versions.
-        let (q, _) = a.log_entry(1).unwrap();
+        assert_eq!(a.version(17).unwrap().tuple_count(), 17);
+        assert!(a.version(16).is_none(), "pruned versions stay pruned");
+        // The log keeps its absolute alignment: entry `i` still describes
+        // the transaction that produced version `i`.
+        let (q, _) = a.log_entry(18).unwrap();
         assert_eq!(q, "insert (17) into R");
+        assert!(a.log_entry(17).is_none(), "entry for a pruned transition");
         // Time travel still works within the retained window.
-        assert_eq!(a.query_at(1, &txn("count R")).unwrap(), Response::Count(18));
+        assert_eq!(
+            a.query_at(18, &txn("count R")).unwrap(),
+            Response::Count(18)
+        );
+    }
+
+    #[test]
+    fn retain_zero_keeps_only_the_head_without_panicking() {
+        // Regression: `apply` used to return a borrow of the last log
+        // entry *after* pruning — at `retain = 0` the pruning drains the
+        // whole log and the borrow panicked.
+        let db = Database::empty().create_relation("R", Repr::List).unwrap();
+        let mut a = VersionArchive::with_retention(db, 0);
+        for i in 0..5 {
+            let r = a.apply(&txn(&format!("insert {i} into R")));
+            assert!(!r.is_error(), "apply must still return the response");
+            assert_eq!(a.version_count(), 1, "only the head survives");
+        }
+        assert_eq!(a.head_version(), 5);
+        assert_eq!(a.head().tuple_count(), 5);
+        assert_eq!(a.version(5).unwrap().tuple_count(), 5);
+        assert!(a.version(4).is_none());
+        // Nothing of the log is retained — and lookups say so instead of
+        // misaligning.
+        assert!(a.log_entry(5).is_none());
+    }
+
+    #[test]
+    fn retain_one_keeps_aligned_head_predecessor_and_log() {
+        let db = Database::empty().create_relation("R", Repr::List).unwrap();
+        let mut a = VersionArchive::with_retention(db, 1);
+        for i in 0..7 {
+            a.apply(&txn(&format!("insert {i} into R")));
+        }
+        assert_eq!(a.version_count(), 2);
+        assert_eq!(a.head_version(), 7);
+        assert_eq!(a.oldest_version(), 6);
+        // The one retained log entry describes the transition the two
+        // retained versions actually differ by.
+        let (q, _) = a.log_entry(7).unwrap();
+        assert_eq!(q, "insert (6) into R");
+        assert!(a.log_entry(6).is_none());
+        assert_eq!(a.version(6).unwrap().tuple_count(), 6);
+        assert_eq!(a.version(7).unwrap().tuple_count(), 7);
+        assert_eq!(a.changed_relations(6, 7).unwrap().len(), 1);
     }
 
     #[test]

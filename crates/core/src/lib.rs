@@ -52,7 +52,7 @@ pub mod serializer;
 
 pub use apply_stream::{apply_stream, apply_stream_pairs, apply_stream_responses};
 pub use archive::VersionArchive;
-pub use commit::CommitSink;
+pub use commit::{CommitSink, FanoutSink};
 pub use dataflow::{AccessShape, CostModel, DataflowCompiler};
 pub use engine::{ConsistentCut, PipelinedEngine};
 pub use engine_classic::ClassicEngine;

@@ -367,6 +367,96 @@ fn read_frame(bytes: &[u8], pos: usize) -> Option<(u128, usize)> {
     Some((id, end))
 }
 
+const EXPORT_MAGIC: u32 = 0x4643_5850; // "FCXP"
+
+/// Packages the newest valid checkpoint as one self-contained blob —
+/// `[magic][u32 manifest len][manifest file][node-store valid prefix]` —
+/// suitable for shipping to a bootstrapping replica in a single message.
+/// `Ok(None)` when no usable checkpoint exists yet.
+///
+/// The node prefix is the whole store, not just the manifest's reachable
+/// set: content addressing makes the extra nodes harmless on import (they
+/// dedup against anything the receiver later checkpoints itself), and the
+/// store is exactly the structure-sharing history the paper says stays
+/// small.
+pub fn export_latest(dir: &Path) -> io::Result<Option<Vec<u8>>> {
+    let Some(loaded) = load_latest(dir)? else {
+        return Ok(None);
+    };
+    let manifest_bytes = fs::read(dir.join(manifest_name(loaded.manifest)))?;
+    let store_path = dir.join("nodes.fns");
+    let (_, valid_len) = scan_node_store(&store_path)?;
+    let mut nodes = Vec::new();
+    match File::open(&store_path) {
+        Ok(f) => {
+            f.take(valid_len).read_to_end(&mut nodes)?;
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    let mut blob = Vec::with_capacity(8 + manifest_bytes.len() + nodes.len());
+    put_u32(&mut blob, EXPORT_MAGIC);
+    put_u32(&mut blob, manifest_bytes.len() as u32);
+    blob.extend_from_slice(&manifest_bytes);
+    blob.extend_from_slice(&nodes);
+    Ok(Some(blob))
+}
+
+/// Installs an [`export_latest`] blob into `dir`: appends every node frame
+/// the local store has not seen (content-addressed dedup — importing into
+/// a non-empty directory is fine), then writes the shipped manifest under
+/// the next local index. After `Ok`, [`load_latest`] returns at least the
+/// shipped state. Same write ordering as a local checkpoint: nodes are
+/// fsynced before the manifest referencing them.
+pub fn import(dir: &Path, blob: &[u8]) -> io::Result<()> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if blob.len() < 8 || u32::from_le_bytes(blob[0..4].try_into().expect("4")) != EXPORT_MAGIC {
+        return Err(bad("not a checkpoint export blob"));
+    }
+    let manifest_len = u32::from_le_bytes(blob[4..8].try_into().expect("4")) as usize;
+    let manifest_end = 8usize
+        .checked_add(manifest_len)
+        .filter(|&e| e <= blob.len())
+        .ok_or_else(|| bad("export blob shorter than its manifest"))?;
+    let manifest = &blob[8..manifest_end];
+    let node_bytes = &blob[manifest_end..];
+    // The manifest must at least frame-validate; a damaged import must not
+    // become the newest manifest (the loader would fall back, but the blob
+    // is a network payload — reject it loudly instead).
+    if manifest.len() < 12
+        || u32::from_le_bytes(manifest[0..4].try_into().expect("4")) != MANIFEST_MAGIC
+        || manifest.len() != 12 + u32::from_le_bytes(manifest[4..8].try_into().expect("4")) as usize
+        || crc32(&manifest[12..]) != u32::from_le_bytes(manifest[8..12].try_into().expect("4"))
+    {
+        return Err(bad("export blob carries a damaged manifest"));
+    }
+
+    let mut writer = CheckpointWriter::open(dir)?;
+    let mut fresh = Vec::new();
+    let mut pos = 0usize;
+    while pos < node_bytes.len() {
+        let Some((id, end)) = read_frame(node_bytes, pos) else {
+            return Err(bad("export blob carries a damaged node frame"));
+        };
+        if writer.on_disk.insert(id) {
+            fresh.extend_from_slice(&node_bytes[pos..end]);
+        }
+        pos = end;
+    }
+    writer.nodes.write_all(&fresh)?;
+    writer.nodes.sync_data()?;
+
+    let path = dir.join(manifest_name(writer.next_manifest));
+    let mut f = OpenOptions::new()
+        .create_new(true)
+        .write(true)
+        .open(&path)?;
+    f.write_all(manifest)?;
+    f.sync_all()?;
+    sync_dir(dir);
+    Ok(())
+}
+
 /// A checkpoint loaded back from disk.
 #[derive(Debug, Clone)]
 pub struct LoadedCheckpoint {
@@ -819,6 +909,79 @@ mod tests {
         w.write(&cut_of(db2.clone(), &[])).unwrap();
         let loaded = load_latest(tmp.path()).unwrap().unwrap();
         assert!(db_equal(&loaded.database, &db2));
+    }
+
+    #[test]
+    fn export_import_bootstraps_a_fresh_directory() {
+        let src = ScratchDir::new("ckpt-export-src");
+        let dst = ScratchDir::new("ckpt-export-dst");
+        assert!(export_latest(src.path()).unwrap().is_none(), "nothing yet");
+
+        let db = populated_db();
+        let mut w = CheckpointWriter::open(src.path()).unwrap();
+        w.write(&cut_of(db.clone(), &[("L", 50), ("T", 50)]))
+            .unwrap();
+        let blob = export_latest(src.path())
+            .unwrap()
+            .expect("checkpoint exists");
+
+        import(dst.path(), &blob).unwrap();
+        let loaded = load_latest(dst.path()).unwrap().expect("imported");
+        assert!(db_equal(&loaded.database, &db));
+        assert_eq!(loaded.seq_marks[&"L".into()], 50);
+
+        // The importer can checkpoint its own progress afterwards.
+        let (db2, _) = db.insert(&"L".into(), Tuple::of_key(1234)).unwrap();
+        let mut w2 = CheckpointWriter::open(dst.path()).unwrap();
+        let stats = w2.write(&cut_of(db2.clone(), &[("L", 51)])).unwrap();
+        assert!(stats.nodes_deduped > 0, "imported nodes must dedup");
+        let loaded = load_latest(dst.path()).unwrap().unwrap();
+        assert!(db_equal(&loaded.database, &db2));
+    }
+
+    #[test]
+    fn import_into_populated_directory_dedups_and_wins() {
+        let src = ScratchDir::new("ckpt-import-src");
+        let dst = ScratchDir::new("ckpt-import-dst");
+        let db = populated_db();
+        let mut ws = CheckpointWriter::open(src.path()).unwrap();
+        ws.write(&cut_of(db.clone(), &[("L", 9)])).unwrap();
+
+        // The destination already has an older checkpoint of the same data.
+        let mut wd = CheckpointWriter::open(dst.path()).unwrap();
+        wd.write(&cut_of(db.clone(), &[("L", 3)])).unwrap();
+        drop(wd);
+
+        let blob = export_latest(src.path()).unwrap().unwrap();
+        import(dst.path(), &blob).unwrap();
+        let loaded = load_latest(dst.path()).unwrap().unwrap();
+        assert_eq!(
+            loaded.seq_marks[&"L".into()],
+            9,
+            "imported manifest becomes the newest"
+        );
+    }
+
+    #[test]
+    fn import_rejects_damaged_blobs() {
+        let src = ScratchDir::new("ckpt-import-damage-src");
+        let dst = ScratchDir::new("ckpt-import-damage-dst");
+        let mut w = CheckpointWriter::open(src.path()).unwrap();
+        w.write(&cut_of(populated_db(), &[])).unwrap();
+        let blob = export_latest(src.path()).unwrap().unwrap();
+
+        assert!(import(dst.path(), &[1, 2, 3]).is_err(), "bad magic");
+        let mut torn = blob.clone();
+        torn.truncate(blob.len() - 5);
+        assert!(import(dst.path(), &torn).is_err(), "torn node frame");
+        let mut flipped = blob;
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x10;
+        assert!(import(dst.path(), &flipped).is_err(), "damaged node frame");
+        assert!(
+            load_latest(dst.path()).unwrap().is_none(),
+            "failed imports must not install a manifest"
+        );
     }
 
     #[test]

@@ -24,14 +24,14 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use fundb_core::engine::ConsistentCut;
-use fundb_core::{CommitSink, PipelinedEngine};
+use fundb_core::{CommitSink, FanoutSink, PipelinedEngine};
 use fundb_lenient::Lenient;
 use fundb_query::{parse, translate, Query, Response, Transaction};
 use fundb_relational::{Database, RelationName};
 use parking_lot::Mutex;
 
 use crate::checkpoint::{self, CheckpointStats, CheckpointWriter};
-use crate::wal::{ScanStop, Wal, WalRecord};
+use crate::wal::{self, ScanStop, Wal, WalCursor, WalRecord};
 
 /// The durable store: one write-ahead log behind a mutex, so batches from
 /// different relations serialize their fsyncs into one tail.
@@ -92,13 +92,131 @@ pub struct RecoveryReport {
     pub wal_stop: Option<ScanStop>,
 }
 
+/// The state rebuilt by [`replay_records`]: a database plus the marks at
+/// which each relation's write numbering resumes.
+#[derive(Debug)]
+pub struct ReplayedState {
+    /// The database after applying every fresh record.
+    pub database: Database,
+    /// Per relation, the next expected write sequence number.
+    pub seq_marks: HashMap<RelationName, u64>,
+    /// Records applied.
+    pub replayed: usize,
+    /// Records skipped as already folded in (below a mark, or a `create`
+    /// whose relation already exists).
+    pub skipped: usize,
+}
+
+/// Replays log records on top of `(db, marks)` — the shared core of crash
+/// recovery and replica apply. `Create` records are idempotent (skipped
+/// when the relation exists); `Write` records below their relation's mark
+/// are skipped, and applying one advances the mark to `seq + 1`, so
+/// overlapping sources (a checkpoint plus a log tail, or a snapshot plus a
+/// shipped stream) fold to the same state.
+pub fn replay_records<'a>(
+    db: Database,
+    marks: HashMap<RelationName, u64>,
+    records: impl IntoIterator<Item = &'a WalRecord>,
+) -> io::Result<ReplayedState> {
+    let mut db = db;
+    let mut marks = marks;
+    let mut replayed = 0usize;
+    let mut skipped = 0usize;
+    for record in records {
+        match record {
+            WalRecord::Create { query } => {
+                let q = parse(query).map_err(invalid_data)?;
+                let target = match &q {
+                    Query::Create { relation, .. } => relation.clone(),
+                    _ => return Err(invalid_data("create record holds a non-create query")),
+                };
+                // Idempotent: the crash may have been after the create
+                // reached a checkpoint but before log GC.
+                if db.relation(&target).is_ok() {
+                    skipped += 1;
+                    continue;
+                }
+                let (_, next) = translate(q).apply(&db);
+                db = next;
+                replayed += 1;
+            }
+            WalRecord::Write {
+                relation,
+                seq,
+                query,
+            } => {
+                let name = RelationName::new(relation);
+                let mark = marks.get(&name).copied().unwrap_or(0);
+                if *seq < mark {
+                    skipped += 1;
+                    continue;
+                }
+                let q = parse(query).map_err(invalid_data)?;
+                let (_, next) = translate(q).apply(&db);
+                db = next;
+                marks.insert(name, seq + 1);
+                replayed += 1;
+            }
+        }
+    }
+    Ok(ReplayedState {
+        database: db,
+        seq_marks: marks,
+        replayed,
+        skipped,
+    })
+}
+
+/// The records of `records` that [`replay_records`] would *apply* on top
+/// of `(db, marks)`, in order — what a replica appends to its own log
+/// before applying, so the log holds each record exactly once even when a
+/// shipped batch overlaps already-applied history.
+pub fn fresh_records(
+    db: &Database,
+    marks: &HashMap<RelationName, u64>,
+    records: &[WalRecord],
+) -> io::Result<Vec<WalRecord>> {
+    let mut marks = marks.clone();
+    let mut created: std::collections::HashSet<RelationName> = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for record in records {
+        match record {
+            WalRecord::Create { query } => {
+                let q = parse(query).map_err(invalid_data)?;
+                let target = match &q {
+                    Query::Create { relation, .. } => relation.clone(),
+                    _ => return Err(invalid_data("create record holds a non-create query")),
+                };
+                if db.relation(&target).is_ok() || !created.insert(target) {
+                    continue;
+                }
+                out.push(record.clone());
+            }
+            WalRecord::Write { relation, seq, .. } => {
+                let name = RelationName::new(relation);
+                if *seq < marks.get(&name).copied().unwrap_or(0) {
+                    continue;
+                }
+                marks.insert(name, seq + 1);
+                out.push(record.clone());
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// A [`PipelinedEngine`] whose acknowledgements are durability receipts.
 #[derive(Debug)]
 pub struct DurableEngine {
     engine: PipelinedEngine,
     store: Arc<DurableStore>,
+    /// The engine's actual sink: the store first, then any sinks attached
+    /// later (a replication sender) — which therefore only ever observe
+    /// batches the local log accepted.
+    fanout: Arc<FanoutSink>,
     checkpoints: Mutex<CheckpointWriter>,
     wal_dir: PathBuf,
+    ckpt_dir: PathBuf,
 }
 
 impl DurableEngine {
@@ -121,7 +239,7 @@ impl DurableEngine {
         let ckpt_dir = dir.join("checkpoints");
 
         let loaded = checkpoint::load_latest(&ckpt_dir)?;
-        let (mut db, mut marks, checkpoint_manifest) = match loaded {
+        let (db, marks, checkpoint_manifest) = match loaded {
             Some(l) => (l.database, l.seq_marks, Some(l.manifest)),
             None => (Database::empty(), HashMap::new(), None),
         };
@@ -129,61 +247,31 @@ impl DurableEngine {
         // Repair the log to its longest valid prefix, then replay what the
         // checkpoint does not already cover.
         let outcome = Wal::recover(&wal_dir)?;
-        let mut replayed = 0usize;
-        let mut skipped = 0usize;
-        for scanned in outcome.records {
-            match scanned.record {
-                WalRecord::Create { query } => {
-                    let q = parse(&query).map_err(invalid_data)?;
-                    let target = match &q {
-                        Query::Create { relation, .. } => relation.clone(),
-                        _ => return Err(invalid_data("create record holds a non-create query")),
-                    };
-                    // Idempotent: the crash may have been after the create
-                    // reached a checkpoint but before log GC.
-                    if db.relation(&target).is_ok() {
-                        skipped += 1;
-                        continue;
-                    }
-                    let (_, next) = translate(q).apply(&db);
-                    db = next;
-                    replayed += 1;
-                }
-                WalRecord::Write {
-                    relation,
-                    seq,
-                    query,
-                } => {
-                    let name = RelationName::new(&relation);
-                    let mark = marks.get(&name).copied().unwrap_or(0);
-                    if seq < mark {
-                        skipped += 1;
-                        continue;
-                    }
-                    let q = parse(&query).map_err(invalid_data)?;
-                    let (_, next) = translate(q).apply(&db);
-                    db = next;
-                    marks.insert(name, seq + 1);
-                    replayed += 1;
-                }
-            }
-        }
+        let records: Vec<WalRecord> = outcome.records.into_iter().map(|s| s.record).collect();
+        let state = replay_records(db, marks, &records)?;
 
         let store = Arc::new(DurableStore::open(&wal_dir, segment_bytes)?);
-        let engine =
-            PipelinedEngine::with_sink(workers, &db, store.clone() as Arc<dyn CommitSink>, &marks);
+        let fanout = Arc::new(FanoutSink::new(vec![store.clone() as Arc<dyn CommitSink>]));
+        let engine = PipelinedEngine::with_sink(
+            workers,
+            &state.database,
+            fanout.clone() as Arc<dyn CommitSink>,
+            &state.seq_marks,
+        );
         let checkpoints = Mutex::new(CheckpointWriter::open(&ckpt_dir)?);
         Ok((
             DurableEngine {
                 engine,
                 store,
+                fanout,
                 checkpoints,
                 wal_dir,
+                ckpt_dir,
             },
             RecoveryReport {
                 checkpoint_manifest,
-                replayed,
-                skipped,
+                replayed: state.replayed,
+                skipped: state.skipped,
                 wal_stop: outcome.stop,
             },
         ))
@@ -213,6 +301,31 @@ impl DurableEngine {
     /// The underlying pipelined engine.
     pub fn engine(&self) -> &PipelinedEngine {
         &self.engine
+    }
+
+    /// Attaches another commit observer *after* the durable store in the
+    /// fan-out: it sees every batch from the next commit on, and only
+    /// batches the local log accepted. This is how a replication sender
+    /// taps the group-commit stream.
+    pub fn attach_sink(&self, sink: Arc<dyn CommitSink>) {
+        self.fanout.push(sink);
+    }
+
+    /// A bootstrap package for a catching-up replica: the newest exported
+    /// checkpoint (if any) plus the frame-encoded log records currently on
+    /// disk. Together they cover everything this engine committed before
+    /// the call that is no longer observable any other way; overlap with
+    /// shipped batches is harmless (sequence marks dedup on apply).
+    ///
+    /// Holds the checkpoint guard across both reads so a concurrent
+    /// [`checkpoint`](Self::checkpoint)'s log GC cannot remove a covered
+    /// segment between the export and the tail scan, which would leave a
+    /// gap neither piece covers.
+    pub fn replication_snapshot(&self) -> io::Result<(Option<Vec<u8>>, Vec<u8>)> {
+        let _guard = self.checkpoints.lock();
+        let checkpoint = checkpoint::export_latest(&self.ckpt_dir)?;
+        let records = WalCursor::new(&self.wal_dir).poll()?;
+        Ok((checkpoint, wal::encode_records(&records)))
     }
 
     /// Writes a checkpoint of the current consistent cut, then garbage-

@@ -37,7 +37,13 @@ pub mod fault;
 pub mod scratch;
 pub mod wal;
 
-pub use checkpoint::{load_latest, CheckpointStats, CheckpointWriter, LoadedCheckpoint};
-pub use engine::{DurableEngine, DurableStore, RecoveryReport};
+pub use checkpoint::{
+    export_latest, import, load_latest, CheckpointStats, CheckpointWriter, LoadedCheckpoint,
+};
+pub use engine::{
+    fresh_records, replay_records, DurableEngine, DurableStore, RecoveryReport, ReplayedState,
+};
 pub use scratch::ScratchDir;
-pub use wal::{ScanOutcome, ScanStop, ScannedRecord, Wal, WalRecord};
+pub use wal::{
+    decode_records, encode_records, ScanOutcome, ScanStop, ScannedRecord, Wal, WalCursor, WalRecord,
+};

@@ -128,6 +128,157 @@ impl WalRecord {
     }
 }
 
+/// Frame-encodes `records` — `[u32 len][u32 crc32][payload]` per record —
+/// exactly the byte run [`Wal::append_batch`] writes. This is the wire
+/// format replication ships: a replica can append the bytes to its own log
+/// or decode them with [`decode_records`].
+pub fn encode_records(records: &[WalRecord]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for rec in records {
+        let payload = rec.encode();
+        put_u32(&mut buf, payload.len() as u32);
+        put_u32(&mut buf, crc32(&payload));
+        buf.extend_from_slice(&payload);
+    }
+    buf
+}
+
+/// Decodes a frame-encoded run produced by [`encode_records`] (or read
+/// from a segment). Unlike the log scan, a partial or damaged frame here
+/// is an error — a message either arrived whole or not at all.
+pub fn decode_records(bytes: &[u8]) -> io::Result<Vec<WalRecord>> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let (record, end) = read_frame(bytes, pos)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "damaged wal frame"))?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "truncated wal frame"))?;
+        out.push(record);
+        pos = end;
+    }
+    Ok(out)
+}
+
+/// Parses one frame at `pos`. `Ok(None)` = the frame is physically
+/// incomplete (the bytes end before it does); `Err(())` = the frame is
+/// fully present but its CRC or decode fails.
+fn read_frame(bytes: &[u8], pos: usize) -> Result<Option<(WalRecord, usize)>, ()> {
+    if bytes.len() - pos < 8 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4")) as usize;
+    let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4"));
+    let start = pos + 8;
+    let end = start.checked_add(len).ok_or(())?;
+    if end > bytes.len() {
+        return Ok(None);
+    }
+    let payload = &bytes[start..end];
+    if crc32(payload) != crc {
+        return Err(());
+    }
+    WalRecord::decode(payload)
+        .map(|r| Some((r, end)))
+        .map_err(|_| ())
+}
+
+/// A read-side position in the log: the shipping cursor.
+///
+/// A cursor remembers `(segment, offset)` and each [`poll`](Self::poll)
+/// returns the complete, valid records appended past it, advancing across
+/// segment boundaries (including gaps left by checkpoint-driven GC). It
+/// reads concurrently with an appender: group commit makes whole frames
+/// durable atomically from the scan's point of view, so the cursor simply
+/// stops before any frame whose bytes have not all landed yet and picks it
+/// up next poll.
+#[derive(Debug, Clone)]
+pub struct WalCursor {
+    dir: PathBuf,
+    segment: u64,
+    offset: u64,
+}
+
+impl WalCursor {
+    /// A cursor at the very start of the log in `dir`.
+    pub fn new(dir: &Path) -> WalCursor {
+        WalCursor {
+            dir: dir.to_path_buf(),
+            segment: 1,
+            offset: 0,
+        }
+    }
+
+    /// Reads every complete valid record past the cursor, in log order.
+    ///
+    /// Stops *benignly* (returns what it has) at an incomplete frame in
+    /// the newest segment — an append in progress or a torn tail, both of
+    /// which the next poll resolves. A damaged frame, or an incomplete one
+    /// in a closed segment, is corruption and errors.
+    pub fn poll(&mut self) -> io::Result<Vec<WalRecord>> {
+        let mut out = Vec::new();
+        loop {
+            let bytes = match fs::read(self.dir.join(segment_name(self.segment))) {
+                Ok(b) => b,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    // GC removed it (all covered), or it was never created:
+                    // skip to the next segment that exists, if any.
+                    match segment_indices(&self.dir)?
+                        .into_iter()
+                        .find(|&s| s > self.segment)
+                    {
+                        Some(next) => {
+                            self.segment = next;
+                            self.offset = 0;
+                            continue;
+                        }
+                        None => return Ok(out),
+                    }
+                }
+                Err(e) => return Err(e),
+            };
+            let mut pos = self.offset as usize;
+            let complete = loop {
+                if pos >= bytes.len() {
+                    break true;
+                }
+                match read_frame(&bytes, pos) {
+                    Ok(Some((record, end))) => {
+                        out.push(record);
+                        pos = end;
+                    }
+                    Ok(None) => break false,
+                    Err(()) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("damaged wal frame in segment {}", self.segment),
+                        ))
+                    }
+                }
+            };
+            self.offset = pos as u64;
+            // Move on only when a higher segment exists — rotation happens
+            // between batches, so the current one is then closed for good.
+            let higher = segment_indices(&self.dir)?
+                .into_iter()
+                .find(|&s| s > self.segment);
+            match higher {
+                Some(next) if complete => {
+                    self.segment = next;
+                    self.offset = 0;
+                }
+                Some(_) => {
+                    // Incomplete frame in a closed segment: not a tail.
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("incomplete frame in closed segment {}", self.segment),
+                    ));
+                }
+                None => return Ok(out),
+            }
+        }
+    }
+}
+
 /// A record recovered by [`Wal::scan`], with its position.
 #[derive(Debug, Clone)]
 pub struct ScannedRecord {
@@ -197,6 +348,14 @@ pub struct Wal {
     /// sit beyond the damage, invisible to recovery). Cleared only by
     /// reopening the log, which recovers first.
     poisoned: bool,
+    /// When `false` (see [`Wal::without_sync`]) the per-batch fsync is
+    /// skipped: appends are handed to the OS but not forced to media, so
+    /// an OS crash may cost the log its tail. Only sound when some other
+    /// copy can restore that tail — the replica position, where the
+    /// primary's log is authoritative and catch-up re-ships what a torn
+    /// tail lost. A primary's log must keep the fsync: its ack *is* the
+    /// fsync receipt.
+    synced: bool,
     /// Test hook: fail the next N append I/O attempts, each after writing
     /// only half its bytes (a short write followed by an error).
     #[cfg(test)]
@@ -225,9 +384,27 @@ impl Wal {
             written: 0,
             segment_bytes: segment_bytes.max(1),
             poisoned: false,
+            synced: true,
             #[cfg(test)]
             fail_appends: 0,
         })
+    }
+
+    /// Relaxes the per-batch fsync (see the `synced` field): appends still
+    /// reach the OS — and stay visible to same-machine scans and reopens —
+    /// but are not forced to media, trading the tail's media-durability for
+    /// commit-path latency. Call [`sync`](Wal::sync) to force the current
+    /// segment down when the relaxed log is about to become authoritative
+    /// (promotion).
+    #[must_use]
+    pub fn without_sync(mut self) -> Wal {
+        self.synced = false;
+        self
+    }
+
+    /// Forces everything appended so far in the current segment to media.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
     }
 
     /// Appends a batch of records with **one** write and **one** fsync —
@@ -247,13 +424,7 @@ impl Wal {
                 "wal poisoned by an unrepairable append failure; reopen to recover",
             ));
         }
-        let mut buf = Vec::new();
-        for rec in records {
-            let payload = rec.encode();
-            put_u32(&mut buf, payload.len() as u32);
-            put_u32(&mut buf, crc32(&payload));
-            buf.extend_from_slice(&payload);
-        }
+        let buf = encode_records(records);
         if let Err(e) = self.write_and_sync(&buf) {
             self.quarantine();
             return Err(e);
@@ -277,7 +448,11 @@ impl Wal {
             return Err(io::Error::other("injected append failure"));
         }
         self.file.write_all(buf)?;
-        self.file.sync_data()
+        if self.synced {
+            self.file.sync_data()
+        } else {
+            Ok(())
+        }
     }
 
     /// After a failed append: chop the segment back to its last durable
@@ -296,6 +471,11 @@ impl Wal {
     }
 
     fn rotate(&mut self) -> io::Result<()> {
+        if !self.synced {
+            // The rotated-away segment is never written again; force it
+            // down now so a later `sync` only owes the live segment.
+            self.file.sync_data()?;
+        }
         let next = self.segment + 1;
         let file = OpenOptions::new()
             .create_new(true)
@@ -340,26 +520,11 @@ impl Wal {
                 // that is fully present but fails its CRC or decode is
                 // *damaged*: that never comes from a torn append, and
                 // complete (acknowledged) frames may follow it.
-                let frame = (|| {
-                    if bytes.len() - pos < 8 {
-                        return Err(true);
-                    }
-                    let len =
-                        u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4")) as usize;
-                    let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4"));
-                    let start = pos + 8;
-                    let end = start.checked_add(len).ok_or(true)?;
-                    if end > bytes.len() {
-                        return Err(true);
-                    }
-                    let payload = &bytes[start..end];
-                    if crc32(payload) != crc {
-                        return Err(false);
-                    }
-                    WalRecord::decode(payload)
-                        .map(|r| (r, end))
-                        .map_err(|_| false)
-                })();
+                let frame = match read_frame(&bytes, pos) {
+                    Ok(Some(hit)) => Ok(hit),
+                    Ok(None) => Err(true),
+                    Err(()) => Err(false),
+                };
                 match frame {
                     Ok((record, end)) => {
                         records.push(ScannedRecord {
@@ -665,6 +830,113 @@ mod tests {
         let clean = Wal::scan(tmp.path()).unwrap();
         assert!(clean.stop.is_none());
         assert_eq!(clean.records.len(), outcome.records.len());
+    }
+
+    #[test]
+    fn frame_codec_roundtrip_and_rejects_damage() {
+        let recs = vec![
+            WalRecord::Create {
+                query: "create relation R".into(),
+            },
+            w("R", 3, "insert 3 into R"),
+        ];
+        let bytes = encode_records(&recs);
+        assert_eq!(decode_records(&bytes).unwrap(), recs);
+        assert!(
+            decode_records(&bytes[..bytes.len() - 1]).is_err(),
+            "truncated"
+        );
+        let mut flipped = bytes.clone();
+        flipped[10] ^= 1;
+        assert!(decode_records(&flipped).is_err(), "bad crc");
+        assert!(decode_records(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn cursor_follows_appends_across_rotations() {
+        let tmp = ScratchDir::new("wal-cursor");
+        let mut wal = Wal::open(tmp.path(), 48).unwrap();
+        let mut cur = WalCursor::new(tmp.path());
+        assert!(cur.poll().unwrap().is_empty(), "empty log, empty poll");
+
+        let mut shipped = Vec::new();
+        for i in 0..10 {
+            wal.append_batch(&[w("R", i, &format!("insert {i} into R"))])
+                .unwrap();
+            shipped.extend(cur.poll().unwrap());
+        }
+        assert!(wal.current_segment() > 1, "rotation must have happened");
+        let expect: Vec<WalRecord> = (0..10)
+            .map(|i| w("R", i, &format!("insert {i} into R")))
+            .collect();
+        assert_eq!(shipped, expect);
+        assert!(cur.poll().unwrap().is_empty(), "caught up");
+    }
+
+    #[test]
+    fn cursor_skips_gc_gaps_and_reopened_logs() {
+        let tmp = ScratchDir::new("wal-cursor-gap");
+        let mut wal = Wal::open(tmp.path(), 32).unwrap();
+        for i in 0..8 {
+            wal.append_batch(&[w("R", i, &format!("insert {i} into R"))])
+                .unwrap();
+        }
+        let tail = wal.current_segment();
+        drop(wal);
+        // GC everything below the tail with seq < 4 covered.
+        Wal::remove_covered_segments(
+            tmp.path(),
+            tail,
+            |rec| matches!(rec, WalRecord::Write { seq, .. } if *seq < 4),
+        )
+        .unwrap();
+        // Reopen starts a fresh segment beyond the tail.
+        let mut wal = Wal::open(tmp.path(), 32).unwrap();
+        wal.append_batch(&[w("R", 8, "insert 8 into R")]).unwrap();
+
+        // A fresh cursor starts at segment 1 (GC'd) and must walk the
+        // gaps: it sees exactly the surviving records, in order.
+        let mut cur = WalCursor::new(tmp.path());
+        let seqs: Vec<u64> = cur
+            .poll()
+            .unwrap()
+            .iter()
+            .map(|r| match r {
+                WalRecord::Write { seq, .. } => *seq,
+                WalRecord::Create { .. } => unreachable!(),
+            })
+            .collect();
+        assert_eq!(seqs, (4..9).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn cursor_stops_benignly_at_torn_tail_and_errors_on_damage() {
+        let tmp = ScratchDir::new("wal-cursor-torn");
+        let mut wal = Wal::open(tmp.path(), Wal::DEFAULT_SEGMENT_BYTES).unwrap();
+        wal.append_batch(&[w("R", 0, "insert 0 into R")]).unwrap();
+        wal.append_batch(&[w("R", 1, "insert 1 into R")]).unwrap();
+        drop(wal);
+        let seg = tmp.path().join(segment_name(1));
+        let len = fs::metadata(&seg).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+
+        let mut cur = WalCursor::new(tmp.path());
+        // Torn tail: the valid prefix comes back, no error.
+        assert_eq!(cur.poll().unwrap().len(), 1);
+        assert!(cur.poll().unwrap().is_empty());
+
+        // But a complete frame with a flipped bit is corruption.
+        let tmp2 = ScratchDir::new("wal-cursor-damage");
+        let mut wal = Wal::open(tmp2.path(), Wal::DEFAULT_SEGMENT_BYTES).unwrap();
+        wal.append_batch(&[w("R", 0, "insert 0 into R")]).unwrap();
+        drop(wal);
+        let seg = tmp2.path().join(segment_name(1));
+        let mut bytes = fs::read(&seg).unwrap();
+        bytes[10] ^= 0x01;
+        fs::write(&seg, &bytes).unwrap();
+        assert!(WalCursor::new(tmp2.path()).poll().is_err());
     }
 
     #[test]

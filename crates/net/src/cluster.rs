@@ -5,14 +5,14 @@
 //! serializes and executes them on the pipelined functional engine; replies
 //! travel back over the medium and each client site `choose`s its own.
 
-use std::collections::VecDeque;
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use fundb_core::ClientId;
 use fundb_lenient::Lenient;
-use fundb_query::Response;
+use fundb_query::{parse, Query, Response};
 use fundb_relational::Database;
 use parking_lot::Mutex;
 
@@ -59,17 +59,33 @@ impl fmt::Debug for Cluster {
     }
 }
 
+/// In-flight requests by message `seq`: the site each was sent to, and
+/// the cell its reply fills.
+type PendingReplies = HashMap<u64, (SiteId, Lenient<Response>)>;
+
 /// A client site's submission handle.
 ///
-/// Each submitted query returns a lenient cell its response will appear in;
-/// responses arrive in submission order per client.
+/// Each submitted query returns a lenient cell its response will appear
+/// in. Replies are matched to their cells by the request's message `seq`
+/// tag (carried back as `in_reply_to`), so cloned handles may submit from
+/// several threads concurrently, and replies may arrive out of submission
+/// order — as they do when reads are served by replicas and writes by the
+/// primary.
 pub struct ClientHandle {
     site: SiteId,
     client: ClientId,
-    primary: SiteId,
+    /// The current primary's site id — shared so a promotion re-points
+    /// every outstanding handle at once.
+    primary: Arc<AtomicU32>,
     medium: SharedMedium<DbPayload>,
     seq: Arc<AtomicU64>,
-    pending: Arc<Mutex<VecDeque<Lenient<Response>>>>,
+    /// In-flight requests by message `seq`: where each was sent, and the
+    /// cell its reply fills.
+    pending: Arc<Mutex<PendingReplies>>,
+    /// Replica sites that serve point reads; empty = everything goes to
+    /// the primary.
+    read_set: Arc<Vec<SiteId>>,
+    rr: Arc<AtomicU64>,
 }
 
 impl Clone for ClientHandle {
@@ -77,10 +93,12 @@ impl Clone for ClientHandle {
         ClientHandle {
             site: self.site,
             client: self.client,
-            primary: self.primary,
+            primary: Arc::clone(&self.primary),
             medium: self.medium.clone(),
             seq: Arc::clone(&self.seq),
             pending: Arc::clone(&self.pending),
+            read_set: Arc::clone(&self.read_set),
+            rr: Arc::clone(&self.rr),
         }
     }
 }
@@ -92,14 +110,69 @@ impl fmt::Debug for ClientHandle {
 }
 
 impl ClientHandle {
+    /// Starts a client site: builds the handle and spawns its receiver,
+    /// which matches incoming replies to pending cells by `in_reply_to`
+    /// and fails whatever is left when the medium closes.
+    pub(crate) fn spawn(
+        medium: &SharedMedium<DbPayload>,
+        site: SiteId,
+        client: ClientId,
+        primary: Arc<AtomicU32>,
+        read_set: Vec<SiteId>,
+    ) -> ClientHandle {
+        let handle = ClientHandle {
+            site,
+            client,
+            primary,
+            medium: medium.clone(),
+            seq: Arc::new(AtomicU64::new(0)),
+            pending: Arc::new(Mutex::new(HashMap::new())),
+            read_set: Arc::new(read_set),
+            rr: Arc::new(AtomicU64::new(0)),
+        };
+        let inbox = medium.choose(site);
+        let pending = Arc::clone(&handle.pending);
+        std::thread::spawn(move || {
+            for msg in inbox.iter() {
+                if let DbPayload::Reply {
+                    in_reply_to,
+                    response,
+                    ..
+                } = msg.payload
+                {
+                    // May be absent: a promotion can fail a cell whose
+                    // (raced) reply arrives afterwards anyway.
+                    if let Some((_, cell)) = pending.lock().remove(&in_reply_to) {
+                        let _ = cell.fill(response);
+                    }
+                }
+            }
+            // Medium closed: no reply is coming for anything still
+            // pending — fail the cells rather than strand waiters.
+            for (_, (_, cell)) in pending.lock().drain() {
+                let _ = cell.fill(Response::Error(
+                    "cluster shut down before a reply arrived".into(),
+                ));
+            }
+        });
+        handle
+    }
+
     /// Submits a symbolic query; returns the cell its response will fill.
+    ///
+    /// Point reads (`find`, `count`) go round-robin to the read set when
+    /// one is configured; everything else — writes, creates, scans whose
+    /// cost is in the engine anyway — goes to the primary.
     pub fn submit(&self, query: &str) -> Lenient<Response> {
         let cell = Lenient::new();
-        self.pending.lock().push_back(cell.clone());
         let seq = self.seq.fetch_add(1, Ordering::SeqCst);
+        let dest = self.route(query);
+        // Register under the seq tag *before* sending: once the request is
+        // on the medium its reply can race in, and must find the cell.
+        self.pending.lock().insert(seq, (dest, cell.clone()));
         self.medium.send(Message::new(
             self.site,
-            self.primary,
+            dest,
             seq,
             DbPayload::Request {
                 client: self.client,
@@ -107,6 +180,36 @@ impl ClientHandle {
             },
         ));
         cell
+    }
+
+    /// Where to send `query`. Unparsable text goes to the primary, whose
+    /// reply carries the parse error.
+    fn route(&self, query: &str) -> SiteId {
+        if !self.read_set.is_empty() {
+            if let Ok(Query::Find { .. } | Query::FindRange { .. } | Query::Count { .. }) =
+                parse(query)
+            {
+                let i = self.rr.fetch_add(1, Ordering::SeqCst) as usize % self.read_set.len();
+                return self.read_set[i];
+            }
+        }
+        SiteId(self.primary.load(Ordering::SeqCst))
+    }
+
+    /// Fails every in-flight request that was sent to `dest` — used at
+    /// promotion, when the halted old primary will never answer them.
+    pub(crate) fn fail_pending_to(&self, dest: SiteId, reason: &str) {
+        let mut pending = self.pending.lock();
+        let doomed: Vec<u64> = pending
+            .iter()
+            .filter(|(_, (d, _))| *d == dest)
+            .map(|(seq, _)| *seq)
+            .collect();
+        for seq in doomed {
+            if let Some((_, cell)) = pending.remove(&seq) {
+                let _ = cell.fill(Response::Error(reason.to_string()));
+            }
+        }
     }
 
     /// This client's site.
@@ -125,43 +228,17 @@ impl Cluster {
     pub fn start(initial: &Database, clients: usize, workers: usize) -> Self {
         assert!(clients > 0, "cluster needs at least one client");
         let medium: SharedMedium<DbPayload> = SharedMedium::new();
-        let primary_site = SiteId(0);
-        let primary = PrimarySite::start(&medium, primary_site, initial, workers);
+        let primary_site = Arc::new(AtomicU32::new(0));
+        let primary = PrimarySite::start(&medium, SiteId(0), initial, workers);
         let clients = (0..clients)
             .map(|i| {
-                let site = SiteId(i as u32 + 1);
-                let client = ClientId(i as u32);
-                let handle = ClientHandle {
-                    site,
-                    client,
-                    primary: primary_site,
-                    medium: medium.clone(),
-                    seq: Arc::new(AtomicU64::new(0)),
-                    pending: Arc::new(Mutex::new(VecDeque::new())),
-                };
-                // The site's receiver: fills pending cells in arrival order
-                // (per-client reply order = per-client submission order).
-                let inbox = medium.choose(site);
-                let pending = Arc::clone(&handle.pending);
-                std::thread::spawn(move || {
-                    for msg in inbox.iter() {
-                        if let DbPayload::Reply { response, .. } = msg.payload {
-                            let cell = pending
-                                .lock()
-                                .pop_front()
-                                .expect("a reply implies a pending request");
-                            let _ = cell.fill(response);
-                        }
-                    }
-                    // Medium closed: no reply is coming for anything still
-                    // pending — fail the cells rather than strand waiters.
-                    for cell in pending.lock().drain(..) {
-                        let _ = cell.fill(Response::Error(
-                            "cluster shut down before a reply arrived".into(),
-                        ));
-                    }
-                });
-                handle
+                ClientHandle::spawn(
+                    &medium,
+                    SiteId(i as u32 + 1),
+                    ClientId(i as u32),
+                    Arc::clone(&primary_site),
+                    Vec::new(),
+                )
             })
             .collect();
         Cluster {
@@ -350,6 +427,70 @@ mod tests {
             Response::Count(0) => {}
             Response::Error(e) => assert!(e.contains("shut down"), "{e}"),
             other => panic!("unexpected response: {other}"),
+        }
+    }
+
+    #[test]
+    fn threads_sharing_a_handle_get_their_own_replies() {
+        // Regression: submit() used to push a pending cell and send the
+        // request as two unsynchronized steps, so two threads could
+        // interleave (push A, push B, send B, send A) and the FIFO receiver
+        // would fill the wrong cells. Replies are now matched by seq tag.
+        let mut db = base();
+        for k in 0..40 {
+            let tx =
+                fundb_query::translate(parse(&format!("insert ({k}, {}) into R", k * 10)).unwrap());
+            db = tx.apply(&db).1;
+        }
+        let cluster = Cluster::start(&db, 1, 4);
+        let threads: Vec<_> = (0..2)
+            .map(|t| {
+                let c = cluster.client(0);
+                std::thread::spawn(move || {
+                    for round in 0..60 {
+                        let k = (t * 20 + round % 20) as i64;
+                        let got = c.submit(&format!("find {k} in R")).wait_cloned();
+                        let tuples = got.tuples().expect("find succeeds");
+                        assert_eq!(tuples.len(), 1);
+                        assert_eq!(
+                            tuples[0],
+                            fundb_relational::Tuple::from(vec![
+                                fundb_relational::Value::from(k),
+                                fundb_relational::Value::from(k * 10),
+                            ]),
+                            "reply for key {k} filled the wrong cell"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn shutdown_resolves_every_in_flight_cell() {
+        let cluster = Cluster::start(&base(), 2, 2);
+        let cells: Vec<_> = (0..2)
+            .flat_map(|i| {
+                let c = cluster.client(i);
+                (0..50)
+                    .map(move |k| c.submit(&format!("insert {k} into R")))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        cluster.shutdown();
+        for cell in cells {
+            // Every cell resolves — a real reply or the shutdown error —
+            // and no waiter is stranded.
+            let got = cell
+                .wait_timeout(std::time::Duration::from_secs(10))
+                .expect("cell must resolve after shutdown");
+            if let Response::Error(e) = got {
+                assert!(e.contains("shut down"), "{e}");
+            }
         }
     }
 

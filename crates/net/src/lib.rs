@@ -21,6 +21,9 @@
 //! * [`pragma`] — the `RESULT-ON` / `MY-SITE` site pragmas of Section 3.2.
 //! * [`Cluster`] — an end-to-end harness wiring client sites to a primary
 //!   site over a medium.
+//! * [`ReplicatedCluster`] — the distributed case: a durable primary ships
+//!   its commit log over the medium to [`ReplicaSite`]s, which serve
+//!   read-only queries locally and can be promoted on primary failure.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -30,6 +33,7 @@ pub mod medium;
 pub mod message;
 pub mod pragma;
 pub mod primary;
+pub mod replica;
 pub mod router;
 
 pub use cluster::{ClientHandle, Cluster, NetworkLoad};
@@ -37,4 +41,5 @@ pub use medium::SharedMedium;
 pub use message::{DbPayload, Message, SiteId};
 pub use pragma::{my_site, SitePool};
 pub use primary::PrimarySite;
+pub use replica::{ReplicaSite, ReplicatedCluster, ReplicationSender};
 pub use router::Router;

@@ -3,21 +3,53 @@
 //! Every send from any site is interleaved, in arrival order, onto a single
 //! persistent message stream (the "Ethernet model" of Section 3.1). The
 //! stream is an ordinary lenient stream, so any number of sites can read it
-//! concurrently, each at its own pace; a site's inbox is the lazy `choose`
+//! concurrently, each at its own pace; a site's inbox is the `choose`
 //! filter over it.
+//!
+//! `choose` *means* `filter(|m| m.to == site || m.to == BROADCAST)` over
+//! the merge, but the pump computes that filter incrementally: each site
+//! gets its own persistent inbox stream and the pump appends every message
+//! to exactly the inboxes whose filter admits it, in merge order. The
+//! observable streams are identical to the lazy formulation; the difference
+//! is mechanical — delivering a message wakes only the sites it is
+//! addressed to, not every reader of the shared stream. A subscriber that
+//! arrives late is seeded from the message log first, so an inbox always
+//! covers the full history from the medium's first message.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use crossbeam::channel::{self, Sender};
-use fundb_lenient::Stream;
+use fundb_lenient::{Stream, StreamWriter};
 
 use crate::message::{Message, SiteId};
 
 enum Ctrl<P> {
     Msg(Message<P>),
     Close,
+}
+
+/// One site's inbox: the writer the pump feeds, and the persistent
+/// stream `choose` hands out (cloned — any number of readers share one).
+type Inbox<P> = (StreamWriter<Message<P>>, Stream<Message<P>>);
+
+/// Pump-side delivery state: the full merge log (seed source for late
+/// subscribers) and the live per-site inboxes.
+struct Exchange<P> {
+    /// Every message the pump accepted, in merge order.
+    log: Vec<Message<P>>,
+    /// One inbox per subscribed site, fed by the pump in merge order.
+    subs: HashMap<SiteId, Inbox<P>>,
+    /// Set when the pump shuts down; inboxes created afterwards are closed
+    /// immediately after seeding, so their readers see end-of-stream.
+    closed: bool,
+}
+
+/// Does `site`'s choose filter admit a message addressed `to`?
+fn admits(site: SiteId, to: SiteId) -> bool {
+    to == site || to == SiteId::BROADCAST
 }
 
 /// The broadcast medium. Cloning yields another handle to the same medium.
@@ -42,6 +74,7 @@ enum Ctrl<P> {
 pub struct SharedMedium<P> {
     sender: Sender<Ctrl<P>>,
     broadcast: Stream<Message<P>>,
+    exchange: Arc<Mutex<Exchange<P>>>,
     sent: Arc<AtomicU64>,
 }
 
@@ -50,6 +83,7 @@ impl<P> Clone for SharedMedium<P> {
         SharedMedium {
             sender: self.sender.clone(),
             broadcast: self.broadcast.clone(),
+            exchange: Arc::clone(&self.exchange),
             sent: Arc::clone(&self.sent),
         }
     }
@@ -70,27 +104,61 @@ impl<P: Clone + Send + Sync + 'static> SharedMedium<P> {
     pub fn new() -> Self {
         let (tx, rx) = channel::unbounded::<Ctrl<P>>();
         let (mut writer, broadcast) = Stream::channel();
+        let sent = Arc::new(AtomicU64::new(0));
+        let counter = Arc::clone(&sent);
+        let exchange = Arc::new(Mutex::new(Exchange {
+            log: Vec::new(),
+            subs: HashMap::new(),
+            closed: false,
+        }));
+        let ex = Arc::clone(&exchange);
         std::thread::spawn(move || {
             for ctrl in rx {
                 match ctrl {
-                    Ctrl::Msg(msg) => writer.push(msg),
+                    Ctrl::Msg(msg) => {
+                        // Count in the pump, not in `send`: a message the
+                        // pump never accepts (sent after `close`) must not
+                        // inflate `message_count`. Incrementing *before*
+                        // the push keeps the old guarantee that a reader
+                        // who has observed a message also observes its
+                        // count.
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        let mut ex = ex.lock().expect("exchange lock");
+                        if msg.to == SiteId::BROADCAST {
+                            for (w, _) in ex.subs.values_mut() {
+                                w.push(msg.clone());
+                            }
+                        } else if let Some((w, _)) = ex.subs.get_mut(&msg.to) {
+                            w.push(msg.clone());
+                        }
+                        ex.log.push(msg.clone());
+                        drop(ex);
+                        writer.push(msg);
+                    }
                     Ctrl::Close => break,
                 }
             }
+            let mut ex = ex.lock().expect("exchange lock");
+            ex.closed = true;
+            for (w, _) in ex.subs.values_mut() {
+                w.close();
+            }
+            drop(ex);
             writer.close();
         });
         SharedMedium {
             sender: tx,
             broadcast,
-            sent: Arc::new(AtomicU64::new(0)),
+            exchange,
+            sent,
         }
     }
 
     /// Puts a message on the medium. Arrival order on the broadcast stream
     /// is the merge order. Messages sent after [`close`](Self::close) are
-    /// silently lost, as on a powered-down segment.
+    /// silently lost, as on a powered-down segment, and are *not* counted
+    /// by [`message_count`](Self::message_count).
     pub fn send(&self, message: Message<P>) {
-        self.sent.fetch_add(1, Ordering::SeqCst);
         let _ = self.sender.send(Ctrl::Msg(message));
     }
 
@@ -107,9 +175,27 @@ impl<P: Clone + Send + Sync + 'static> SharedMedium<P> {
     }
 
     /// The paper's `choose`: the sub-stream of messages destined for
-    /// `site`. Lazy — filtering happens as the inbox is read.
+    /// `site` — plus anything addressed to [`SiteId::BROADCAST`], which
+    /// every inbox admits. The stream always starts at the medium's first
+    /// message: the first `choose` for a site seeds its inbox from the
+    /// merge log, later ones share the same persistent stream.
     pub fn choose(&self, site: SiteId) -> Stream<Message<P>> {
-        self.broadcast.filter(move |m| m.to == site)
+        let mut ex = self.exchange.lock().expect("exchange lock");
+        if let Some((_, stream)) = ex.subs.get(&site) {
+            return stream.clone();
+        }
+        let (mut w, stream) = Stream::channel();
+        for m in &ex.log {
+            if admits(site, m.to) {
+                w.push(m.clone());
+            }
+        }
+        if ex.closed {
+            w.close();
+        }
+        // Register even when closed, so repeat subscribers share the seed.
+        ex.subs.insert(site, (w, stream.clone()));
+        stream
     }
 
     /// Messages sent so far.
@@ -177,6 +263,25 @@ mod tests {
     }
 
     #[test]
+    fn broadcast_reaches_every_inbox() {
+        let medium: SharedMedium<u8> = SharedMedium::new();
+        medium.send(Message::new(SiteId(0), SiteId(1), 0, 1));
+        medium.send(Message::new(SiteId(0), SiteId::BROADCAST, 1, 2));
+        medium.send(Message::new(SiteId(0), SiteId(2), 2, 3));
+        let at = |s: u32| -> Vec<u8> {
+            medium
+                .choose(SiteId(s))
+                .take(2)
+                .collect_vec()
+                .iter()
+                .map(|m| m.payload)
+                .collect()
+        };
+        assert_eq!(at(1), vec![1, 2]);
+        assert_eq!(at(2), vec![2, 3]);
+    }
+
+    #[test]
     fn multiple_readers_see_same_history() {
         let medium: SharedMedium<u8> = SharedMedium::new();
         medium.send(Message::new(SiteId(0), SiteId(1), 0, 7));
@@ -184,6 +289,23 @@ mod tests {
         let b = medium.choose(SiteId(1));
         assert_eq!(a.first().unwrap().payload, 7);
         assert_eq!(b.first().unwrap().payload, 7);
+    }
+
+    #[test]
+    fn send_after_close_is_lost_and_uncounted() {
+        let medium: SharedMedium<u8> = SharedMedium::new();
+        let inbox = medium.choose(SiteId(1));
+        medium.send(Message::new(SiteId(0), SiteId(1), 0, 1));
+        medium.close();
+        medium.send(Message::new(SiteId(0), SiteId(1), 1, 2));
+        // Only the pre-close message arrives; the stream then ends.
+        let got: Vec<u8> = inbox.collect_vec().iter().map(|m| m.payload).collect();
+        assert_eq!(got, vec![1]);
+        assert_eq!(
+            medium.message_count(),
+            1,
+            "a message dropped by close() must not be counted"
+        );
     }
 
     #[test]

@@ -9,6 +9,15 @@ use fundb_query::Response;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SiteId(pub u32);
 
+impl SiteId {
+    /// The broadcast destination: a message addressed here appears in
+    /// *every* site's `choose` stream — the Ethernet model taken at its
+    /// word. One physical send reaches any number of listeners; sites
+    /// that don't care about the payload skip it in their filter walk.
+    /// No real site may use this id.
+    pub const BROADCAST: SiteId = SiteId(u32::MAX);
+}
+
 impl fmt::Display for SiteId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "site{}", self.0)
@@ -46,8 +55,11 @@ impl<P> Message<P> {
 /// The payloads the database cluster exchanges.
 ///
 /// Requests travel as *symbolic* query text — exactly what the paper's
-/// terminals would transmit — and are translated at the primary site.
+/// terminals would transmit — and are translated at the serving site.
 /// Responses travel back as values with the originating client's tag.
+/// The remaining variants carry the replication protocol: committed WAL
+/// batches shipped primary → replica, the catch-up handshake, and the
+/// failover control messages.
 #[derive(Debug, Clone, PartialEq)]
 pub enum DbPayload {
     /// A client's query, still in symbolic form.
@@ -57,12 +69,61 @@ pub enum DbPayload {
         /// Query text, e.g. `"insert (1, 'ada') into R"`.
         query: String,
     },
-    /// The primary site's answer to an earlier request.
+    /// A serving site's answer to an earlier request.
     Reply {
         /// The client the response belongs to.
         client: ClientId,
+        /// The `seq` of the [`Message`] carrying the request this answers.
+        /// Clients match replies to pending cells by this tag, so replies
+        /// arriving out of submission order (reads served by a replica,
+        /// writes by the primary) still land in the right cell.
+        in_reply_to: u64,
         /// The transaction's response.
         response: Response,
+    },
+    /// A committed group of WAL records, shipped by the primary to each
+    /// replica. `frames` is the durable crate's frame encoding
+    /// (`[len][crc][record]` per record), exactly the bytes the primary's
+    /// own log holds.
+    Replicate {
+        /// Frame-encoded [`WalRecord`](fundb_durable::WalRecord)s.
+        frames: Vec<u8>,
+    },
+    /// A sync barrier probe sent to one replica. Because the broadcast
+    /// stream is totally ordered, by the time the replica *processes*
+    /// this message it has applied every `Replicate` that preceded it —
+    /// the probe's stream position is the barrier, so replicas owe no
+    /// per-batch progress traffic at all.
+    SyncPing {
+        /// Echoed in the answering [`ReplicateAck`](Self::ReplicateAck)
+        /// so the syncer ignores answers to earlier probes.
+        token: u64,
+    },
+    /// A replica's answer to [`SyncPing`](Self::SyncPing).
+    ReplicateAck {
+        /// The probe's token, echoed.
+        token: u64,
+        /// Total `Replicate` batches applied by the sender, ever.
+        batches: u64,
+    },
+    /// A replica asking the primary for a bootstrap snapshot.
+    CatchUp,
+    /// The primary's bootstrap snapshot for one replica: the newest
+    /// checkpoint (if any) in the checkpoint crate's export encoding, plus
+    /// the frame-encoded WAL tail the checkpoint does not cover.
+    Snapshot {
+        /// Exported checkpoint blob, `None` when none exists yet.
+        checkpoint: Option<Vec<u8>>,
+        /// Frame-encoded WAL records not folded into the checkpoint.
+        tail: Vec<u8>,
+    },
+    /// Orders the destination site to stop serving (a simulated crash of
+    /// the primary, or a replica's shutdown).
+    Halt,
+    /// Orders a replica to take over as primary, replicating to `peers`.
+    Promote {
+        /// The surviving replica sites the new primary ships batches to.
+        peers: Vec<SiteId>,
     },
 }
 
@@ -92,8 +153,22 @@ mod tests {
         };
         let rep = DbPayload::Reply {
             client: ClientId(0),
+            in_reply_to: 0,
             response: Response::Count(3),
         };
         assert_ne!(req, rep);
+        let ship = DbPayload::Replicate { frames: vec![1, 2] };
+        let ack = DbPayload::ReplicateAck {
+            token: 0,
+            batches: 1,
+        };
+        assert_ne!(ship, ack);
+        assert_ne!(ack, DbPayload::SyncPing { token: 0 });
+        let snap = DbPayload::Snapshot {
+            checkpoint: None,
+            tail: Vec::new(),
+        };
+        assert_ne!(snap, DbPayload::CatchUp);
+        assert_ne!(DbPayload::Halt, DbPayload::Promote { peers: vec![] });
     }
 }

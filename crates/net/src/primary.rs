@@ -56,16 +56,18 @@ impl PrimarySite {
         let (resp_tx, resp_rx) = crossbeam::channel::unbounded::<(
             SiteId,
             fundb_core::ClientId,
+            u64,
             fundb_lenient::Lenient<Response>,
         )>();
         let responder = std::thread::spawn(move || {
-            for (seq, (dest, client, cell)) in resp_rx.into_iter().enumerate() {
+            for (seq, (dest, client, request_seq, cell)) in resp_rx.into_iter().enumerate() {
                 outbound.send(Message::new(
                     site,
                     dest,
                     seq as u64,
                     DbPayload::Reply {
                         client,
+                        in_reply_to: request_seq,
                         response: cell.wait_cloned(),
                     },
                 ));
@@ -74,15 +76,21 @@ impl PrimarySite {
         let pump = std::thread::spawn(move || {
             let mut served = 0u64;
             for msg in inbox.iter() {
-                if let DbPayload::Request { client, query } = msg.payload {
-                    let cell = match parse(&query) {
-                        Ok(q) => engine.submit(translate(q)),
-                        Err(e) => fundb_lenient::Lenient::ready(Response::Error(e.to_string())),
-                    };
-                    if resp_tx.send((msg.from, client, cell)).is_err() {
-                        break; // responder gone; shutting down
+                match msg.payload {
+                    DbPayload::Request { client, query } => {
+                        let cell = match parse(&query) {
+                            Ok(q) => engine.submit(translate(q)),
+                            Err(e) => fundb_lenient::Lenient::ready(Response::Error(e.to_string())),
+                        };
+                        if resp_tx.send((msg.from, client, msg.seq, cell)).is_err() {
+                            break; // responder gone; shutting down
+                        }
+                        served += 1;
                     }
-                    served += 1;
+                    // A simulated crash: stop serving without closing the
+                    // medium, so the rest of the cluster lives on.
+                    DbPayload::Halt => break,
+                    _ => {}
                 }
             }
             drop(resp_tx);
@@ -179,7 +187,9 @@ mod tests {
         ));
         let reply = inbox.first().unwrap();
         match reply.payload {
-            DbPayload::Reply { client, response } => {
+            DbPayload::Reply {
+                client, response, ..
+            } => {
                 assert_eq!(client, ClientId(3));
                 assert!(response.is_error());
             }

@@ -1,0 +1,811 @@
+//! Replicated log shipping over the shared medium — the paper's Section 3
+//! distribution story on top of the durable commit path.
+//!
+//! The primary site's group-commit WAL "is exactly the per-site stream a
+//! replicated log would ship" (DESIGN.md §12): a [`ReplicationSender`]
+//! taps the durable engine's commit fan-out and mails each committed batch
+//! — in the WAL's own frame encoding — to every replica site as a
+//! [`Replicate`](DbPayload::Replicate) message. A [`ReplicaSite`] applies
+//! the batches to its *own* log and database value, and serves read-only
+//! queries locally, so a read-mostly workload scales with the replica
+//! count while writes still serialize through one primary.
+//!
+//! **Why the medium makes this easy.** A `choose` inbox is persistent and
+//! starts at the medium's first message: a replica reading from the
+//! beginning observes *every* batch the primary ever shipped to it, in
+//! merge order, no matter when it starts paying attention. The
+//! only history a replica can miss is what the primary committed before
+//! this medium existed (its recovered disk state) — which is exactly what
+//! the catch-up handshake ships: the newest checkpoint, exported as one
+//! blob, plus the uncovered WAL tail. Overlap between snapshot and stream
+//! is harmless because per-relation write sequence numbers make apply
+//! idempotent (records below a relation's mark are skipped).
+//!
+//! **Read-your-writes.** A batch's `Replicate` hits the medium *before*
+//! any of its transactions are acknowledged (the sender sits in the commit
+//! fan-out, after the local log). A client that saw an ack and then reads
+//! from a replica therefore finds its write already in the replica's inbox
+//! prefix — the merge order of the medium doubles as the consistency
+//! argument, with no extra synchronization.
+//!
+//! **Failover.** [`ReplicatedCluster::kill_primary`] halts the primary
+//! (joining it, so every admitted commit is shipped and answered first);
+//! [`ReplicatedCluster::promote`] then orders a replica to take over. The
+//! replica drains what it has buffered, reopens its local store as a full
+//! [`DurableEngine`] — its log holds every record it applied, so recovery
+//! reproduces its in-memory state exactly — and continues serving from the
+//! same inbox position in primary mode. The promoted state is a prefix of
+//! acknowledged history containing every acknowledged transaction.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use fundb_core::{ClientId, CommitSink};
+use fundb_durable::{
+    decode_records, encode_records, fresh_records, replay_records, DurableEngine, Wal, WalRecord,
+};
+use fundb_lenient::{Lenient, Stream};
+use fundb_query::{parse, translate, Query, Response};
+use fundb_relational::{Database, RelationName};
+use parking_lot::Mutex;
+
+use crate::cluster::ClientHandle;
+use crate::medium::SharedMedium;
+use crate::message::{DbPayload, Message, SiteId};
+
+/// The site id cluster-control messages (`Halt`, `Promote`, `SyncPing`)
+/// originate from. No running site serves it — but the cluster's `sync`
+/// reads its `choose` stream to collect ping answers.
+const CONTROL_SITE: SiteId = SiteId(u32::MAX - 1);
+
+fn invalid_data(e: impl fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+/// A [`CommitSink`] that ships every committed batch to the replica sites.
+///
+/// Registered *after* the durable store in the engine's fan-out, so it
+/// only observes batches the local log accepted; and it never fails the
+/// commit — replication is asynchronous, off the ack path, so group-commit
+/// latency is untouched (the Didona et al. trade: replicas acknowledge
+/// later, via [`ReplicateAck`](DbPayload::ReplicateAck)).
+pub struct ReplicationSender {
+    medium: SharedMedium<DbPayload>,
+    from: SiteId,
+    peers: Vec<SiteId>,
+    seq: AtomicU64,
+    /// Cumulative batches shipped — shared with the cluster so `sync` can
+    /// compare it against replica acks, and carried across promotions.
+    batches: Arc<AtomicU64>,
+}
+
+impl fmt::Debug for ReplicationSender {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ReplicationSender[{} -> {} peers]",
+            self.from,
+            self.peers.len()
+        )
+    }
+}
+
+impl ReplicationSender {
+    /// A sender shipping from `from` to `peers`, counting batches into the
+    /// shared `batches` counter.
+    pub fn new(
+        medium: SharedMedium<DbPayload>,
+        from: SiteId,
+        peers: Vec<SiteId>,
+        batches: Arc<AtomicU64>,
+    ) -> ReplicationSender {
+        ReplicationSender {
+            medium,
+            from,
+            peers,
+            seq: AtomicU64::new(0),
+            batches,
+        }
+    }
+
+    fn ship(&self, records: &[WalRecord]) {
+        if self.peers.is_empty() {
+            return;
+        }
+        // One unicast send per replica, not a broadcast: a broadcast is
+        // admitted by *every* site's inbox, so each batch would needlessly
+        // wake every client receiver on the medium. Addressed sends touch
+        // only the replicas, and the commit path's added cost stays at a
+        // few constant-time enqueues.
+        let frames = encode_records(records);
+        for &peer in &self.peers {
+            let seq = self.seq.fetch_add(1, Ordering::SeqCst);
+            self.medium.send(Message::new(
+                self.from,
+                peer,
+                seq,
+                DbPayload::Replicate {
+                    frames: frames.clone(),
+                },
+            ));
+        }
+        self.batches.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+impl CommitSink for ReplicationSender {
+    fn commit_writes(&self, relation: &RelationName, writes: &[(u64, Query)]) -> io::Result<()> {
+        let records: Vec<WalRecord> = writes
+            .iter()
+            .map(|(seq, q)| WalRecord::Write {
+                relation: relation.as_str().to_string(),
+                seq: *seq,
+                query: q.to_string(),
+            })
+            .collect();
+        self.ship(&records);
+        Ok(())
+    }
+
+    fn commit_create(&self, query: &Query) -> io::Result<()> {
+        self.ship(&[WalRecord::Create {
+            query: query.to_string(),
+        }]);
+        Ok(())
+    }
+}
+
+/// The serving loop of a primary: requests through the durable engine,
+/// catch-up snapshots for bootstrapping replicas. Runs until `Halt` or
+/// end-of-medium; returns the number of requests served.
+///
+/// Both the initial primary and a promoted replica run this — a promoted
+/// replica enters with its inbox already advanced past the `Promote`.
+fn run_primary_loop(
+    mut cur: Stream<Message<DbPayload>>,
+    medium: SharedMedium<DbPayload>,
+    site: SiteId,
+    engine: Arc<DurableEngine>,
+) -> u64 {
+    // (reply destination, client, request seq, response cell) — one entry
+    // per admitted request, in admission order.
+    type PendingReply = (SiteId, ClientId, u64, Lenient<Response>);
+    let outbound = medium.clone();
+    let (resp_tx, resp_rx) = crossbeam::channel::unbounded::<PendingReply>();
+    // Replies go out in admission order, each waiting on its lenient cell —
+    // which fills only after the transaction's batch is durable (and, via
+    // the fan-out, already shipped to every replica).
+    let responder = std::thread::spawn(move || {
+        for (seq, (dest, client, request_seq, cell)) in resp_rx.into_iter().enumerate() {
+            outbound.send(Message::new(
+                site,
+                dest,
+                seq as u64,
+                DbPayload::Reply {
+                    client,
+                    in_reply_to: request_seq,
+                    response: cell.wait_cloned(),
+                },
+            ));
+        }
+    });
+    let mut served = 0u64;
+    // Control replies (snapshots) are sent from this thread, on a seq
+    // range far from the responder's, purely to keep traces readable.
+    let mut ctl_seq = u64::MAX / 2;
+    while let Some((msg, rest)) = cur.uncons() {
+        cur = rest;
+        match msg.payload {
+            DbPayload::Request { client, query } => {
+                let cell = match parse(&query) {
+                    Ok(q) => engine.submit(translate(q)),
+                    Err(e) => Lenient::ready(Response::Error(e.to_string())),
+                };
+                if resp_tx.send((msg.from, client, msg.seq, cell)).is_err() {
+                    break; // responder gone; shutting down
+                }
+                served += 1;
+            }
+            DbPayload::CatchUp => {
+                // On export failure fall back to an empty snapshot: the
+                // replica then converges from the shipped stream alone,
+                // which is complete whenever this primary started fresh on
+                // this medium.
+                let (checkpoint, tail) =
+                    engine.replication_snapshot().unwrap_or((None, Vec::new()));
+                medium.send(Message::new(
+                    site,
+                    msg.from,
+                    ctl_seq,
+                    DbPayload::Snapshot { checkpoint, tail },
+                ));
+                ctl_seq += 1;
+            }
+            // A simulated crash: stop serving; the medium stays open so
+            // the survivors can take over.
+            DbPayload::Halt => break,
+            _ => {}
+        }
+    }
+    drop(resp_tx);
+    let _ = responder.join();
+    served
+}
+
+/// The mutable state a replica thread carries through its inbox.
+struct ReplicaState {
+    dir: PathBuf,
+    ckpt_dir: PathBuf,
+    medium: SharedMedium<DbPayload>,
+    site: SiteId,
+    wal: Wal,
+    db: Database,
+    marks: HashMap<RelationName, u64>,
+    /// Shipped batches received but not yet folded in, oldest first.
+    pending: Vec<Vec<u8>>,
+    /// Replicate batches applied, cumulatively — the value acked back.
+    applied: u64,
+    send_seq: u64,
+}
+
+impl ReplicaState {
+    fn send(&mut self, to: SiteId, payload: DbPayload) {
+        let seq = self.send_seq;
+        self.send_seq += 1;
+        self.medium.send(Message::new(self.site, to, seq, payload));
+    }
+
+    /// Logs then applies the records not already folded into our state.
+    /// Append-before-apply is the promotion invariant: everything visible
+    /// in `db` is in our log, so reopening the store recovers exactly this
+    /// state.
+    fn apply_records(&mut self, records: &[WalRecord]) -> io::Result<()> {
+        let fresh = fresh_records(&self.db, &self.marks, records)?;
+        if !fresh.is_empty() {
+            self.wal.append_batch(&fresh)?;
+        }
+        let db = std::mem::replace(&mut self.db, Database::empty());
+        let marks = std::mem::take(&mut self.marks);
+        let state = replay_records(db, marks, &fresh)?;
+        self.db = state.database;
+        self.marks = state.seq_marks;
+        Ok(())
+    }
+
+    /// Folds an imported checkpoint into our recovered state: per
+    /// relation, the side with the higher write mark wins (the checkpoint
+    /// for anything we lag on; our local replay where it is already ahead
+    /// of the primary's last checkpoint).
+    fn merge_checkpoint(&mut self, loaded: fundb_durable::LoadedCheckpoint) -> io::Result<()> {
+        for name in loaded.database.relation_names() {
+            let ckpt_mark = loaded.seq_marks.get(&name).copied().unwrap_or(0);
+            let local_mark = self.marks.get(&name).copied().unwrap_or(0);
+            if self.db.relation(&name).is_ok() && local_mark > ckpt_mark {
+                continue;
+            }
+            let rel = loaded
+                .database
+                .relation(&name)
+                .map_err(invalid_data)?
+                .clone();
+            let schema = loaded
+                .database
+                .schema(&name)
+                .map_err(invalid_data)?
+                .cloned();
+            self.db = self
+                .db
+                .with_relation_value(name.as_str(), rel, schema)
+                .map_err(invalid_data)?;
+            self.marks.insert(name.clone(), ckpt_mark);
+        }
+        Ok(())
+    }
+
+    /// Folds in every batch queued by [`handle_live`], oldest first.
+    ///
+    /// Applying is deferred to the next point that actually needs the
+    /// state. On one core this is what keeps the primary's ack path
+    /// clean: receiving a batch is a queue push, and the decode/log/apply
+    /// work runs only once a read (or probe) lands here — by which time
+    /// the commit that shipped the batch has long been acknowledged.
+    fn flush_pending(&mut self) -> io::Result<()> {
+        for frames in std::mem::take(&mut self.pending) {
+            let records = decode_records(&frames)?;
+            self.apply_records(&records)?;
+            self.applied += 1;
+        }
+        Ok(())
+    }
+
+    /// One live message: queue a shipped batch, answer a sync probe, or
+    /// answer a read-only query from the local database value.
+    fn handle_live(&mut self, msg: Message<DbPayload>) -> io::Result<()> {
+        match msg.payload {
+            DbPayload::Replicate { frames } => {
+                self.pending.push(frames);
+                // No per-batch ack: progress is only reported when a
+                // SyncPing asks — steady-state shipping costs the medium
+                // exactly one message per batch.
+            }
+            DbPayload::SyncPing { token } => {
+                // Processing the ping means everything shipped before it
+                // is already queued here (inboxes preserve merge order);
+                // flush,
+                // and that positional fact, echoed, is the sync barrier.
+                self.flush_pending()?;
+                let ack = DbPayload::ReplicateAck {
+                    token,
+                    batches: self.applied,
+                };
+                self.send(msg.from, ack);
+            }
+            DbPayload::Request { client, query } => {
+                self.flush_pending()?;
+                let response = match parse(&query) {
+                    Err(e) => Response::Error(e.to_string()),
+                    Ok(q) if !q.is_read_only() => Response::Error(
+                        "replica serves read-only queries; send writes to the primary".into(),
+                    ),
+                    Ok(q) => translate(q).apply(&self.db).0,
+                };
+                let reply = DbPayload::Reply {
+                    client,
+                    in_reply_to: msg.seq,
+                    response,
+                };
+                self.send(msg.from, reply);
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+/// The whole life of a replica thread: local recovery, catch-up, live
+/// apply-and-serve, and possibly a second life as the promoted primary.
+fn run_replica(
+    dir: PathBuf,
+    medium: SharedMedium<DbPayload>,
+    site: SiteId,
+    primary0: SiteId,
+    workers: usize,
+    batches: Arc<AtomicU64>,
+) -> io::Result<u64> {
+    // 1. Local recovery, exactly like DurableEngine::open but without an
+    //    engine: repair our log, load our newest checkpoint, replay.
+    let wal_dir = dir.join("wal");
+    let ckpt_dir = dir.join("checkpoints");
+    let outcome = Wal::recover(&wal_dir)?;
+    let (db0, marks0) = match fundb_durable::load_latest(&ckpt_dir)? {
+        Some(l) => (l.database, l.seq_marks),
+        None => (Database::empty(), HashMap::new()),
+    };
+    let records: Vec<WalRecord> = outcome.records.into_iter().map(|s| s.record).collect();
+    let recovered = replay_records(db0, marks0, &records)?;
+
+    let mut state = ReplicaState {
+        ckpt_dir: ckpt_dir.clone(),
+        medium: medium.clone(),
+        site,
+        // The replica's log skips the per-batch fsync: the primary's log
+        // is the authoritative copy and catch-up re-ships whatever an OS
+        // crash tears off this tail. Promotion syncs once before the log
+        // becomes authoritative. Keeps log shipping off the disk's fsync
+        // queue — the primary's commit latency must not feel the replicas.
+        wal: Wal::open(&wal_dir, Wal::DEFAULT_SEGMENT_BYTES)?.without_sync(),
+        db: recovered.database,
+        marks: recovered.seq_marks,
+        pending: Vec::new(),
+        applied: 0,
+        send_seq: 0,
+        dir,
+    };
+
+    // 2. Ask the primary for the history the medium cannot show us (what
+    //    it committed before this medium existed), then read our inbox
+    //    from the very beginning of the broadcast.
+    state.send(primary0, DbPayload::CatchUp);
+    let mut cur = medium.choose(site);
+    // Until the snapshot lands, batches and queries are buffered in
+    // arrival order — serving a read early could miss history the
+    // snapshot carries.
+    let mut buffered: Vec<Message<DbPayload>> = Vec::new();
+    let mut caught_up = false;
+
+    while let Some((msg, rest)) = cur.uncons() {
+        cur = rest;
+        match msg.payload {
+            DbPayload::Snapshot { .. } if caught_up => {} // duplicate
+            DbPayload::Snapshot { checkpoint, tail } => {
+                if let Some(blob) = &checkpoint {
+                    fundb_durable::import(&state.ckpt_dir, blob)?;
+                    if let Some(l) = fundb_durable::load_latest(&state.ckpt_dir)? {
+                        state.merge_checkpoint(l)?;
+                    }
+                }
+                state.apply_records(&decode_records(&tail)?)?;
+                caught_up = true;
+                for m in std::mem::take(&mut buffered) {
+                    state.handle_live(m)?;
+                }
+            }
+            DbPayload::Replicate { .. }
+            | DbPayload::Request { .. }
+            | DbPayload::SyncPing { .. }
+                if !caught_up =>
+            {
+                buffered.push(msg);
+            }
+            DbPayload::Replicate { .. }
+            | DbPayload::Request { .. }
+            | DbPayload::SyncPing { .. } => {
+                state.handle_live(msg)?;
+            }
+            DbPayload::Promote { peers } => {
+                // The kill-then-promote protocol guarantees every batch
+                // the dead primary acked precedes this message in our
+                // inbox; drain anything still buffered, then take over
+                // from the same stream position.
+                for m in std::mem::take(&mut buffered) {
+                    state.handle_live(m)?;
+                }
+                state.flush_pending()?;
+                return promote_replica(state, cur, peers, workers, batches);
+            }
+            DbPayload::Halt => break,
+            _ => {}
+        }
+    }
+    // Fold any still-queued batches into the local log before the thread
+    // ends, so a restart has the longest possible local prefix.
+    state.flush_pending()?;
+    Ok(0)
+}
+
+/// Turns a caught-up replica into the primary: reopen the local store as
+/// a durable engine (its log replays to exactly the replica's state),
+/// attach a sender for the surviving peers, and serve.
+fn promote_replica(
+    state: ReplicaState,
+    cur: Stream<Message<DbPayload>>,
+    peers: Vec<SiteId>,
+    workers: usize,
+    batches: Arc<AtomicU64>,
+) -> io::Result<u64> {
+    let ReplicaState {
+        dir,
+        medium,
+        site,
+        mut wal,
+        ..
+    } = state;
+    // This log is about to be the cluster's authoritative history: force
+    // its tail to media, then release the handle for the engine to reopen.
+    wal.sync()?;
+    drop(wal);
+    let (engine, _report) = DurableEngine::open(&dir, workers)?;
+    let engine = Arc::new(engine);
+    if !peers.is_empty() {
+        engine.attach_sink(Arc::new(ReplicationSender::new(
+            medium.clone(),
+            site,
+            peers,
+            batches,
+        )));
+    }
+    Ok(run_primary_loop(cur, medium, site, engine))
+}
+
+/// A running replica site (one thread).
+pub struct ReplicaSite {
+    site: SiteId,
+    handle: Option<JoinHandle<io::Result<u64>>>,
+}
+
+impl fmt::Debug for ReplicaSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ReplicaSite[{}]", self.site)
+    }
+}
+
+impl ReplicaSite {
+    /// Starts a replica at `site`, storing under `dir`, bootstrapping
+    /// from `primary0`. Recovery happens on the spawned thread; failures
+    /// surface at [`join`](Self::join).
+    pub fn start(
+        dir: PathBuf,
+        medium: SharedMedium<DbPayload>,
+        site: SiteId,
+        primary0: SiteId,
+        workers: usize,
+        batches: Arc<AtomicU64>,
+    ) -> ReplicaSite {
+        let handle =
+            std::thread::spawn(move || run_replica(dir, medium, site, primary0, workers, batches));
+        ReplicaSite {
+            site,
+            handle: Some(handle),
+        }
+    }
+
+    /// This replica's site id.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Waits for the replica thread (close the medium, or promote and
+    /// halt, first). Returns requests served while acting as primary (0
+    /// for a never-promoted replica); panics on an I/O failure inside the
+    /// replica — a simulation harness wants that loud.
+    pub fn join(mut self) -> u64 {
+        self.handle
+            .take()
+            .expect("join consumes the only handle")
+            .join()
+            .expect("replica thread panicked")
+            .expect("replica I/O failure")
+    }
+}
+
+impl Drop for ReplicaSite {
+    fn drop(&mut self) {
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A cluster with durable primary, N replicas, and read routing: the
+/// distributed case of Figure 3-1, with the commit stream shipped over
+/// the same medium the queries ride.
+///
+/// Site layout: primary at site 0, replicas at `1..=replicas`, clients
+/// after them. Point reads (`find`, `count`) round-robin over the
+/// replicas; everything else goes to the current primary. Storage lives
+/// under `dir/primary` and `dir/replica-<site>`.
+pub struct ReplicatedCluster {
+    medium: SharedMedium<DbPayload>,
+    primary: Arc<AtomicU32>,
+    clients: Vec<ClientHandle>,
+    replicas: Vec<ReplicaSite>,
+    primary_pump: Option<JoinHandle<u64>>,
+    batches_sent: Arc<AtomicU64>,
+    /// Replicas still applying the shipped stream (promotion removes the
+    /// promoted site — it is the stream's source now).
+    active: Mutex<Vec<SiteId>>,
+    ctl_seq: AtomicU64,
+}
+
+impl fmt::Debug for ReplicatedCluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ReplicatedCluster[{} clients, {} replicas, primary site{}]",
+            self.clients.len(),
+            self.replicas.len(),
+            self.primary.load(Ordering::SeqCst)
+        )
+    }
+}
+
+impl ReplicatedCluster {
+    /// Starts the cluster over `dir` (created if needed; reopening a
+    /// previous run's directory recovers it). `replicas` may be 0 — the
+    /// degenerate case is a durable [`Cluster`](crate::Cluster).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` is zero.
+    pub fn start(
+        dir: &Path,
+        clients: usize,
+        workers: usize,
+        replicas: usize,
+    ) -> io::Result<ReplicatedCluster> {
+        assert!(clients > 0, "cluster needs at least one client");
+        let medium: SharedMedium<DbPayload> = SharedMedium::new();
+        let primary = Arc::new(AtomicU32::new(0));
+        let batches_sent = Arc::new(AtomicU64::new(0));
+        let replica_sites: Vec<SiteId> = (1..=replicas).map(|i| SiteId(i as u32)).collect();
+
+        let (engine, _report) = DurableEngine::open(&dir.join("primary"), workers)?;
+        let engine = Arc::new(engine);
+        if !replica_sites.is_empty() {
+            engine.attach_sink(Arc::new(ReplicationSender::new(
+                medium.clone(),
+                SiteId(0),
+                replica_sites.clone(),
+                Arc::clone(&batches_sent),
+            )));
+        }
+        let primary_pump = {
+            let inbox = medium.choose(SiteId(0));
+            let medium = medium.clone();
+            std::thread::spawn(move || run_primary_loop(inbox, medium, SiteId(0), engine))
+        };
+
+        let replicas: Vec<ReplicaSite> = replica_sites
+            .iter()
+            .map(|&site| {
+                ReplicaSite::start(
+                    dir.join(format!("replica-{}", site.0)),
+                    medium.clone(),
+                    site,
+                    SiteId(0),
+                    workers,
+                    Arc::clone(&batches_sent),
+                )
+            })
+            .collect();
+
+        let clients = (0..clients)
+            .map(|i| {
+                ClientHandle::spawn(
+                    &medium,
+                    SiteId((replica_sites.len() + 1 + i) as u32),
+                    ClientId(i as u32),
+                    Arc::clone(&primary),
+                    replica_sites.clone(),
+                )
+            })
+            .collect();
+
+        Ok(ReplicatedCluster {
+            medium,
+            primary,
+            clients,
+            replicas,
+            primary_pump: Some(primary_pump),
+            batches_sent,
+            active: Mutex::new(replica_sites),
+            ctl_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// Handle for client `i` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn client(&self, i: usize) -> ClientHandle {
+        self.clients[i].clone()
+    }
+
+    /// The current primary's site id.
+    pub fn primary_site(&self) -> SiteId {
+        SiteId(self.primary.load(Ordering::SeqCst))
+    }
+
+    /// The replica sites, in site order (promotion does not renumber).
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Batches shipped by every primary so far.
+    pub fn batches_shipped(&self) -> u64 {
+        self.batches_sent.load(Ordering::SeqCst)
+    }
+
+    /// Total messages that crossed the medium so far.
+    pub fn message_count(&self) -> u64 {
+        self.medium.message_count()
+    }
+
+    fn ctl(&self, to: SiteId, payload: DbPayload) {
+        let seq = self.ctl_seq.fetch_add(1, Ordering::SeqCst);
+        self.medium
+            .send(Message::new(CONTROL_SITE, to, seq, payload));
+    }
+
+    /// Blocks until every still-replicating replica has applied all
+    /// batches shipped so far: sends each a [`DbPayload::SyncPing`] and
+    /// waits for the echoes. Inboxes preserve the medium's merge order, so
+    /// a replica *answering* the probe has necessarily processed every
+    /// `Replicate` shipped to it before the probe. Returns early if the
+    /// medium closes mid-sync.
+    pub fn sync(&self) {
+        let active = self.active.lock().clone();
+        if active.is_empty() {
+            return;
+        }
+        let token = self.ctl_seq.fetch_add(1, Ordering::SeqCst);
+        // Subscribe before pinging so no echo can be missed (the stream
+        // is persistent anyway, but the intent should be explicit).
+        let mut cur = self.medium.choose(CONTROL_SITE);
+        for &site in &active {
+            self.ctl(site, DbPayload::SyncPing { token });
+        }
+        let mut waiting: std::collections::HashSet<SiteId> = active.into_iter().collect();
+        while !waiting.is_empty() {
+            let Some((msg, rest)) = cur.uncons() else {
+                return; // medium closed; nothing more is coming
+            };
+            cur = rest;
+            if let DbPayload::ReplicateAck { token: t, .. } = msg.payload {
+                if t == token {
+                    waiting.remove(&msg.from);
+                }
+            }
+        }
+    }
+
+    /// Simulates a primary crash: halts the current primary and waits for
+    /// its serving loop to exit. Because the join drains the responder,
+    /// every transaction admitted before the halt has been committed,
+    /// shipped to the replicas, and answered by the time this returns —
+    /// later messages to the dead site go unanswered until
+    /// [`promote`](Self::promote) re-points the cluster.
+    ///
+    /// Returns the number of requests the dead primary served.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the primary was already killed and not yet replaced.
+    pub fn kill_primary(&mut self) -> u64 {
+        let old = self.primary_site();
+        self.ctl(old, DbPayload::Halt);
+        self.primary_pump
+            .take()
+            .expect("no primary is running")
+            .join()
+            .expect("primary loop panicked")
+    }
+
+    /// Promotes replica `site` to primary: sends `Promote` (with the
+    /// surviving replica set), re-points client routing, and fails the
+    /// in-flight requests the dead primary will never answer. The order
+    /// matters — the promotion message is on the medium *before* any
+    /// client can address the new primary, so the replica sees it before
+    /// the first re-routed write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is not one of this cluster's replicas.
+    pub fn promote(&mut self, site: SiteId) {
+        let mut active = self.active.lock();
+        assert!(
+            self.replicas.iter().any(|r| r.site() == site),
+            "{site} is not a replica of this cluster"
+        );
+        active.retain(|&s| s != site);
+        let peers = active.clone();
+        drop(active);
+        self.ctl(site, DbPayload::Promote { peers });
+        let old = SiteId(self.primary.swap(site.0, Ordering::SeqCst));
+        for client in &self.clients {
+            client.fail_pending_to(old, "primary halted before a reply arrived");
+        }
+        // The promoted replica's serving loop is now the primary pump; a
+        // later kill/shutdown joins it through the ReplicaSite handle.
+    }
+
+    /// Closes the medium and waits for every site; returns the number of
+    /// requests served by primaries over the cluster's lifetime.
+    pub fn shutdown(mut self) -> u64 {
+        self.medium.close();
+        let mut served = 0;
+        if let Some(pump) = self.primary_pump.take() {
+            served += pump.join().expect("primary loop panicked");
+        }
+        for replica in self.replicas.drain(..) {
+            served += replica.join();
+        }
+        served
+    }
+}
+
+impl Drop for ReplicatedCluster {
+    fn drop(&mut self) {
+        self.medium.close();
+        if let Some(pump) = self.primary_pump.take() {
+            let _ = pump.join();
+        }
+        // ReplicaSite::drop joins each replica thread.
+    }
+}

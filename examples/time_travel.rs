@@ -27,13 +27,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "delete 2 from Stock",                // gadgets discontinued
     ];
     for q in day {
-        let r = archive.apply(&translate(parse(q)?)).clone();
-        println!("v{:<2} {q:<40} -> {r}", archive.version_count() - 1);
+        let r = archive.apply(&translate(parse(q)?));
+        println!("v{:<2} {q:<40} -> {r}", archive.head_version());
     }
 
     // 1. Query the past: how many widgets did we have at version 4?
     let probe = translate(parse("find 1 in Stock")?);
-    for v in [1, 4, archive.version_count() - 1] {
+    for v in [1, 4, archive.head_version()] {
         let r = archive.query_at(v, &probe).expect("version exists");
         println!("\nat v{v}: {r}");
     }
@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. The archive's log is the full audit trail.
     println!("\naudit trail:");
-    for v in 1..archive.version_count() {
+    for v in 1..=archive.head_version() {
         let (q, r) = archive.log_entry(v).expect("logged");
         println!("  v{v}: {q}  =>  {r}");
     }

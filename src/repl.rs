@@ -96,8 +96,8 @@ impl Session {
         }
         match parse(line) {
             Ok(q) => {
-                let response = self.archive.apply(&translate(q)).clone();
-                format!("v{}: {response}", self.archive.version_count() - 1)
+                let response = self.archive.apply(&translate(q));
+                format!("v{}: {response}", self.archive.head_version())
             }
             Err(e) => format!("{e}"),
         }
@@ -108,10 +108,10 @@ impl Session {
         match words.next() {
             Some("help") => HELP.to_string(),
             Some("quit") | Some("exit") => ":quit".to_string(),
-            Some("version") => format!("v{}", self.archive.version_count() - 1),
+            Some("version") => format!("v{}", self.archive.head_version()),
             Some("history") => {
                 let mut out = String::new();
-                for v in 1..self.archive.version_count() {
+                for v in self.archive.oldest_version() + 1..=self.archive.head_version() {
                     let (q, r) = self.archive.log_entry(v).expect("version in range");
                     out.push_str(&format!("v{v}: {q}  =>  {r}\n"));
                 }
@@ -172,9 +172,9 @@ impl Session {
                 };
                 self.archive.truncate_before(v);
                 format!(
-                    "retained {} versions; head is now v{}",
+                    "retained {} versions; head is still v{}",
                     self.archive.version_count(),
-                    self.archive.version_count() - 1
+                    self.archive.head_version()
                 )
             }
             _ => format!("unknown meta-command ':{meta}' (try :help)"),

@@ -25,6 +25,9 @@
 //! Output: a table on stdout and `BENCH_engine.json` in the current
 //! directory (ops/sec per workload × worker count × engine, speedup per
 //! row, and a best-speedup summary per workload).
+//!
+//! Pass `--smoke` for a fast correctness pass (tiny op counts, one
+//! repetition, no JSON written) — this is what CI runs.
 
 use std::time::Instant;
 
@@ -37,8 +40,30 @@ use fundb_workload::HotPathSpec;
 const CLIENTS: usize = 4;
 const OPS_PER_CLIENT: usize = 8000;
 const KEY_SPACE: u64 = 64;
+/// `batch_heavy` spreads its writes over a much larger key space: claimed
+/// runs then hold many distinct keys, which is what the one-pass
+/// `merge_batch` kernels and the scattered per-key folds exist for.
+const BATCH_KEY_SPACE: u64 = 1024;
 const REPETITIONS: usize = 7;
 const WORKER_COUNTS: [usize; 3] = [1, 4, 8];
+
+/// Sizing knobs, scaled down by `--smoke` for a fast CI correctness pass.
+struct Config {
+    ops_per_client: usize,
+    repetitions: usize,
+    smoke: bool,
+}
+
+impl Config {
+    fn from_args() -> Self {
+        let smoke = std::env::args().any(|a| a == "--smoke");
+        Config {
+            ops_per_client: if smoke { 300 } else { OPS_PER_CLIENT },
+            repetitions: if smoke { 1 } else { REPETITIONS },
+            smoke,
+        }
+    }
+}
 
 /// Uniform submission interface over both engines under test.
 trait Engine: Sync {
@@ -57,29 +82,60 @@ impl Engine for PipelinedEngine {
     }
 }
 
-fn spec(name: &str, relations: usize, write_pct: u32, seed: u64) -> (&str, HotPathSpec) {
+struct CaseSpec {
+    relations: usize,
+    write_pct: u32,
+    replace_pct: u32,
+    key_space: u64,
+    seed: u64,
+}
+
+fn spec(name: &str, case: CaseSpec, ops_per_client: usize) -> (&str, HotPathSpec) {
     (
         name,
         HotPathSpec {
             clients: CLIENTS,
-            ops_per_client: OPS_PER_CLIENT,
-            relations,
-            key_space: KEY_SPACE,
-            write_pct,
-            seed,
+            ops_per_client,
+            relations: case.relations,
+            key_space: case.key_space,
+            write_pct: case.write_pct,
+            replace_pct: case.replace_pct,
+            seed: case.seed,
         },
     )
 }
 
-fn cases() -> Vec<(&'static str, HotPathSpec)> {
+fn cases(ops_per_client: usize) -> Vec<(&'static str, HotPathSpec)> {
+    let case = |relations, write_pct, replace_pct, key_space, seed| CaseSpec {
+        relations,
+        write_pct,
+        replace_pct,
+        key_space,
+        seed,
+    };
     vec![
         // Every client hammers the same single relation with writes: the
-        // coalescing stress case (ISSUE acceptance: >= 2x).
-        spec("write_heavy", 1, 100, 0xbe51),
-        // 4% writes across two relations: the fast-path stress case
-        // (ISSUE acceptance: >= 1.5x).
-        spec("read_mostly", 2, 4, 0xbe52),
-        spec("mixed", 3, 50, 0xbe53),
+        // coalescing stress case.
+        spec(
+            "write_heavy",
+            case(1, 100, 0, KEY_SPACE, 0xbe51),
+            ops_per_client,
+        ),
+        // 4% writes across two relations: the fast-path stress case.
+        spec(
+            "read_mostly",
+            case(2, 4, 0, KEY_SPACE, 0xbe52),
+            ops_per_client,
+        ),
+        spec("mixed", case(3, 50, 0, KEY_SPACE, 0xbe53), ops_per_client),
+        // Pure writes (with replaces mixed in) over a wide key space: each
+        // coalesced run carries many distinct keys, exercising the one-pass
+        // merge_batch kernels and the scattered per-key folds.
+        spec(
+            "batch_heavy",
+            case(1, 100, 25, BATCH_KEY_SPACE, 0xbe54),
+            ops_per_client,
+        ),
     ]
 }
 
@@ -119,9 +175,10 @@ fn measure(
     classic: impl Fn() -> Box<dyn Engine>,
     current: impl Fn() -> Box<dyn Engine>,
     clients: &[Vec<Transaction>],
+    repetitions: usize,
 ) -> (f64, f64) {
     let (mut best_classic, mut best_current) = (0.0f64, 0.0f64);
-    for _ in 0..REPETITIONS {
+    for _ in 0..repetitions {
         best_classic = best_classic.max(timed(classic(), clients));
         best_current = best_current.max(timed(current(), clients));
     }
@@ -129,10 +186,10 @@ fn measure(
 }
 
 /// The no-engine floor: one thread folding every transaction in sequence.
-fn sequential_floor(db: &Database, clients: &[Vec<Transaction>]) -> f64 {
+fn sequential_floor(db: &Database, clients: &[Vec<Transaction>], repetitions: usize) -> f64 {
     let total: usize = clients.iter().map(Vec::len).sum();
     let mut best = 0.0f64;
-    for _ in 0..REPETITIONS {
+    for _ in 0..repetitions {
         let batch = clients.to_vec();
         let mut db = db.clone();
         let start = Instant::now();
@@ -162,12 +219,13 @@ impl Row {
 }
 
 fn main() {
+    let config = Config::from_args();
     let mut rows = Vec::new();
     let mut floors = Vec::new();
-    for (name, case) in cases() {
+    for (name, case) in cases(config.ops_per_client) {
         let db = case.initial();
         let clients = case.all_clients();
-        let floor = sequential_floor(&db, &clients);
+        let floor = sequential_floor(&db, &clients, config.repetitions);
         println!("{name:<12} sequential floor: {floor:>12.0} ops/s");
         floors.push((name, floor));
         for &workers in &WORKER_COUNTS {
@@ -175,6 +233,7 @@ fn main() {
                 || Box::new(ClassicEngine::new(workers, &db)),
                 || Box::new(PipelinedEngine::new(workers, &db)),
                 &clients,
+                config.repetitions,
             );
             let row = Row {
                 workload: name,
@@ -194,12 +253,19 @@ fn main() {
         }
     }
 
-    let json = render_json(&rows, &floors);
+    if config.smoke {
+        println!(
+            "\nsmoke run complete ({} cases); JSON not written",
+            rows.len()
+        );
+        return;
+    }
+    let json = render_json(&rows, &floors, &config);
     std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
     println!("\nwrote BENCH_engine.json ({} cases)", rows.len());
 }
 
-fn render_json(rows: &[Row], floors: &[(&str, f64)]) -> String {
+fn render_json(rows: &[Row], floors: &[(&str, f64)], config: &Config) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(
@@ -208,8 +274,9 @@ fn render_json(rows: &[Row], floors: &[(&str, f64)]) -> String {
     );
     out.push_str("  \"regenerate\": \"cargo run --release -p fundb-bench --bin bench_engine\",\n");
     out.push_str(&format!(
-        "  \"clients\": {CLIENTS},\n  \"transactions_per_client\": {OPS_PER_CLIENT},\n  \
-         \"repetitions\": {REPETITIONS},\n"
+        "  \"clients\": {CLIENTS},\n  \"transactions_per_client\": {},\n  \
+         \"repetitions\": {},\n",
+        config.ops_per_client, config.repetitions
     ));
     out.push_str("  \"summary\": [\n");
     for (i, (name, floor)) in floors.iter().enumerate() {

@@ -51,6 +51,40 @@ const LATENCY_OPS: usize = 200;
 const WORKERS: usize = 2;
 const REPETITIONS: usize = 4;
 
+/// Sizing knobs, scaled down by `--smoke` for a fast CI correctness pass
+/// (no JSON written in that mode).
+#[derive(Clone, Copy)]
+struct Config {
+    tuples: i64,
+    reads_per_client: usize,
+    latency_ops: usize,
+    repetitions: usize,
+    smoke: bool,
+}
+
+impl Config {
+    fn from_args() -> Self {
+        let smoke = std::env::args().any(|a| a == "--smoke");
+        if smoke {
+            Config {
+                tuples: 100,
+                reads_per_client: 40,
+                latency_ops: 20,
+                repetitions: 1,
+                smoke,
+            }
+        } else {
+            Config {
+                tuples: N_TUPLES,
+                reads_per_client: READS_PER_CLIENT,
+                latency_ops: LATENCY_OPS,
+                repetitions: REPETITIONS,
+                smoke,
+            }
+        }
+    }
+}
+
 #[derive(Default)]
 struct ConfigResult {
     replicas: usize,
@@ -82,7 +116,7 @@ fn expect_ok(resp: &Response, what: &str) {
 
 /// One full setup/load/read/write cycle for a replica count (one
 /// repetition).
-fn run(replicas: usize) -> ConfigResult {
+fn run(replicas: usize, config: Config) -> ConfigResult {
     let tmp = ScratchDir::new("bench-repl");
     let cluster =
         ReplicatedCluster::start(tmp.path(), READ_CLIENTS + 1, WORKERS, replicas).unwrap();
@@ -92,7 +126,7 @@ fn run(replicas: usize) -> ConfigResult {
         &loader.submit("create relation R as tree").wait_cloned(),
         "create",
     );
-    for k in 0..N_TUPLES {
+    for k in 0..config.tuples {
         expect_ok(
             &loader.submit(&format!("insert {k} into R")).wait_cloned(),
             "load insert",
@@ -123,9 +157,9 @@ fn run(replicas: usize) -> ConfigResult {
         .map(|t| {
             let c = cluster.client(t);
             std::thread::spawn(move || {
-                for i in 0..READS_PER_CLIENT {
-                    let k = ((t * 7919 + i * 13) as i64) % N_TUPLES;
-                    expect_ok(&c.submit(&format!("find {k} in R")).wait(), "find");
+                for i in 0..config.reads_per_client {
+                    let k = ((t * 7919 + i * 13) as i64) % config.tuples;
+                    expect_ok(c.submit(&format!("find {k} in R")).wait(), "find");
                 }
             })
         })
@@ -133,7 +167,7 @@ fn run(replicas: usize) -> ConfigResult {
     for t in threads {
         t.join().unwrap();
     }
-    let reads = (READ_CLIENTS * READS_PER_CLIENT) as f64 / start.elapsed().as_secs_f64();
+    let reads = (READ_CLIENTS * config.reads_per_client) as f64 / start.elapsed().as_secs_f64();
     stop.store(true, Ordering::Relaxed);
     writer.join().unwrap();
 
@@ -141,13 +175,13 @@ fn run(replicas: usize) -> ConfigResult {
     // each, nothing else running.
     let w = cluster.client(READ_CLIENTS);
     let start = Instant::now();
-    for k in 0..LATENCY_OPS as i64 {
+    for k in 0..config.latency_ops as i64 {
         expect_ok(
-            &w.submit(&format!("insert {} into R", 2_000_000 + k)).wait(),
+            w.submit(&format!("insert {} into R", 2_000_000 + k)).wait(),
             "latency insert",
         );
     }
-    let latency = start.elapsed().as_secs_f64() * 1e6 / LATENCY_OPS as f64;
+    let latency = start.elapsed().as_secs_f64() * 1e6 / config.latency_ops as f64;
 
     let batches = cluster.batches_shipped();
     let messages = cluster.message_count();
@@ -162,10 +196,12 @@ fn run(replicas: usize) -> ConfigResult {
 }
 
 fn main() {
+    let config = Config::from_args();
     println!(
-        "replication bench: {N_TUPLES} tree tuples, {READ_CLIENTS} clients x \
-         {READS_PER_CLIENT} finds vs a live writer, {LATENCY_OPS} quiet acked inserts, \
-         best of {REPETITIONS}"
+        "replication bench: {} tree tuples, {READ_CLIENTS} clients x \
+         {} finds vs a live writer, {} quiet acked inserts, \
+         best of {}",
+        config.tuples, config.reads_per_client, config.latency_ops, config.repetitions
     );
 
     // Interleave the configurations across repetitions: the disk's fsync
@@ -174,9 +210,9 @@ fn main() {
     // ratio.
     let mut base = ConfigResult::default();
     let mut repl = ConfigResult::default();
-    for _ in 0..REPETITIONS {
-        base.fold(run(0));
-        repl.fold(run(2));
+    for _ in 0..config.repetitions {
+        base.fold(run(0, config));
+        repl.fold(run(2, config));
     }
 
     let read_speedup = repl.reads_per_sec / base.reads_per_sec;
@@ -195,12 +231,22 @@ fn main() {
          {latency_ratio:.3} (bar: <= 1.10)"
     );
 
-    let json = render_json(&base, &repl, read_speedup, latency_ratio);
+    if config.smoke {
+        println!("\nsmoke run complete; JSON not written");
+        return;
+    }
+    let json = render_json(&base, &repl, read_speedup, latency_ratio, &config);
     std::fs::write("BENCH_replication.json", &json).expect("write BENCH_replication.json");
     println!("\nwrote BENCH_replication.json");
 }
 
-fn render_json(base: &ConfigResult, repl: &ConfigResult, speedup: f64, ratio: f64) -> String {
+fn render_json(
+    base: &ConfigResult,
+    repl: &ConfigResult,
+    speedup: f64,
+    ratio: f64,
+    config: &Config,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(
@@ -212,9 +258,10 @@ fn render_json(base: &ConfigResult, repl: &ConfigResult, speedup: f64, ratio: f6
         "  \"regenerate\": \"cargo run --release -p fundb-bench --bin bench_replication\",\n",
     );
     out.push_str(&format!(
-        "  \"config\": {{\"tuples\": {N_TUPLES}, \"read_clients\": {READ_CLIENTS}, \
-         \"reads_per_client\": {READS_PER_CLIENT}, \"latency_ops\": {LATENCY_OPS}, \
-         \"workers\": {WORKERS}, \"repetitions\": {REPETITIONS}}},\n"
+        "  \"config\": {{\"tuples\": {}, \"read_clients\": {READ_CLIENTS}, \
+         \"reads_per_client\": {}, \"latency_ops\": {}, \
+         \"workers\": {WORKERS}, \"repetitions\": {}}},\n",
+        config.tuples, config.reads_per_client, config.latency_ops, config.repetitions
     ));
     for r in [base, repl] {
         out.push_str(&format!(

@@ -44,10 +44,10 @@ use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
-use fundb_lenient::{Lenient, WorkerPool};
+use fundb_lenient::{scatter, Lenient, WorkerPool};
 use fundb_query::ast::{apply_select, compute_aggregate};
 use fundb_query::{Query, Response, Transaction};
-use fundb_relational::{Database, Relation, RelationName, Schema};
+use fundb_relational::{BatchOp, BatchOutcome, Database, Relation, RelationName, Schema};
 use parking_lot::{Mutex, MutexGuard, RwLock};
 
 use crate::commit::CommitSink;
@@ -101,14 +101,59 @@ fn commit_and_apply(
             return;
         }
     }
-    let mut current: Option<Relation> = None;
-    for (_, q, resp_cell) in claimed {
-        let rel = current.as_ref().unwrap_or(first);
-        let (next, resp) = apply_write(rel, &q);
+    // A run of one op — the common case when a read seals every batch
+    // immediately, as in 50/50 mixed traffic — skips the batch machinery
+    // entirely: no op vector, no outcome vector, no extra tuple clone.
+    if claimed.len() == 1 {
+        let (_, q, resp_cell) = claimed.into_iter().next().expect("len checked");
+        let (next, resp) = match q {
+            Query::Insert { relation, tuple } => {
+                let (next, _) = first.insert(tuple.clone());
+                (next, Response::Inserted { relation, tuple })
+            }
+            Query::Replace { relation, tuple } => {
+                let (mid, _, _) = first.delete(tuple.key());
+                let (next, _) = mid.insert(tuple.clone());
+                (next, Response::Inserted { relation, tuple })
+            }
+            Query::Delete { key, .. } => {
+                let (next, removed, _) = first.delete(&key);
+                (next, Response::Deleted(removed.len()))
+            }
+            _ => unreachable!("write arm"),
+        };
         resp_cell.fill(resp).ok();
-        current = Some(next);
+        output.fill(next).ok();
+        return;
     }
-    output.fill(current.unwrap_or_else(|| first.clone())).ok();
+    // Apply the whole run as one structural merge: the batch kernel groups
+    // the ops per key (stably — submission order within a key is preserved,
+    // so the result equals tuple-at-a-time application in submission order)
+    // and copies each touched node once instead of once per op. Large
+    // per-key folds are scattered over idle pool workers; called from a
+    // reader's force() off the pool, `scatter` degrades to inline.
+    let ops: Vec<BatchOp> = claimed
+        .iter()
+        .map(|(_, q, _)| match q {
+            Query::Insert { tuple, .. } => BatchOp::Insert(tuple.clone()),
+            Query::Delete { key, .. } => BatchOp::Delete(key.clone()),
+            Query::Replace { tuple, .. } => BatchOp::Replace(tuple.clone()),
+            _ => unreachable!("write arm"),
+        })
+        .collect();
+    let (next, outcomes, _) = first.apply_batch_scattered(&ops, &scatter);
+    for ((_, q, resp_cell), outcome) in claimed.into_iter().zip(outcomes) {
+        let resp = match (q, outcome) {
+            (
+                Query::Insert { relation, tuple } | Query::Replace { relation, tuple },
+                BatchOutcome::Inserted,
+            ) => Response::Inserted { relation, tuple },
+            (Query::Delete { .. }, BatchOutcome::Deleted(n)) => Response::Deleted(n),
+            _ => unreachable!("outcomes align with their ops"),
+        };
+        resp_cell.fill(resp).ok();
+    }
+    output.fill(next).ok();
 }
 
 /// Claims and applies a sealed batch *if* its input version is already
@@ -177,39 +222,6 @@ struct Catalog {
 fn seal(state: &mut SlotState) {
     if let Some(batch) = state.open.take() {
         batch.lock().sealed = true;
-    }
-}
-
-/// Applies one write query to a relation value, producing the successor
-/// and the transaction's response.
-fn apply_write(rel: &Relation, query: &Query) -> (Relation, Response) {
-    match query {
-        Query::Insert { relation, tuple } => {
-            let (r2, _) = rel.insert(tuple.clone());
-            (
-                r2,
-                Response::Inserted {
-                    relation: relation.clone(),
-                    tuple: tuple.clone(),
-                },
-            )
-        }
-        Query::Delete { key, .. } => {
-            let (r2, removed, _) = rel.delete(key);
-            (r2, Response::Deleted(removed.len()))
-        }
-        Query::Replace { relation, tuple } => {
-            let (r2, _removed, _) = rel.delete(tuple.key());
-            let (r3, _) = r2.insert(tuple.clone());
-            (
-                r3,
-                Response::Inserted {
-                    relation: relation.clone(),
-                    tuple: tuple.clone(),
-                },
-            )
-        }
-        _ => unreachable!("write arm"),
     }
 }
 

@@ -622,17 +622,25 @@ fn materialize(
             Ok(Some(Relation::List(l)))
         }
         Repr::Tree23 => {
-            // In-order walk; depth is logarithmic, recursion is fine.
-            fn walk(
+            // Rebuild the *exact* stored shape (post-order, memoized by
+            // content id so shared subtrees stay physically shared). An
+            // entry-collect-and-reinsert walk would canonicalize the shape,
+            // and the next checkpoint would then re-store every node
+            // instead of deduplicating against what is already on disk.
+            type Tree = fundb_persist::Tree23<Value, PList<Tuple>>;
+            fn build(
                 id: u128,
                 nodes: &HashMap<u128, Vec<u8>>,
-                out: &mut Vec<(Value, PList<Tuple>)>,
-            ) -> Result<bool, CodecError> {
+                memo: &mut HashMap<u128, Tree>,
+            ) -> Result<Option<Tree>, CodecError> {
                 if id == NIL_ID {
-                    return Ok(true);
+                    return Ok(Some(Tree::new()));
+                }
+                if let Some(t) = memo.get(&id) {
+                    return Ok(Some(t.clone()));
                 }
                 let Some(payload) = nodes.get(&id) else {
-                    return Ok(false);
+                    return Ok(None);
                 };
                 let mut c = Cursor::new(payload);
                 if c.u8()? != TAG_TREE23 {
@@ -650,34 +658,44 @@ fn materialize(
                 }
                 let mut children = Vec::with_capacity(n + 1);
                 for _ in 0..=n {
-                    children.push(c.u128()?);
+                    let Some(child) = build(c.u128()?, nodes, memo)? else {
+                        return Ok(None);
+                    };
+                    children.push(child);
                 }
-                for (i, (k, b)) in entries.into_iter().enumerate() {
-                    if !walk(children[i], nodes, out)? {
-                        return Ok(false);
-                    }
-                    out.push((k, b));
-                }
-                walk(children[n], nodes, out)
+                let t = Tree::from_parts(entries, children)
+                    .ok_or_else(|| CodecError("2-3 node arity mismatch".into()))?;
+                memo.insert(id, t.clone());
+                Ok(Some(t))
             }
-            let mut entries = Vec::new();
-            if !walk(root, nodes, &mut entries)? {
+            let mut memo = HashMap::new();
+            let Some(t) = build(root, nodes, &mut memo)? else {
                 return Ok(None);
-            }
-            let mut t = fundb_persist::Tree23::new();
-            for (k, b) in entries {
-                t = t.insert(k, b);
+            };
+            if !t.check_invariants() {
+                return Err(CodecError(
+                    "checkpointed 2-3 tree violates search-tree invariants".into(),
+                ));
             }
             Ok(Some(Relation::Tree(t)))
         }
         Repr::BTree(min_degree) => {
-            fn walk(
+            // Same shape-exact rebuild as the 2-3 arm: pages come back with
+            // the stored occupancy, not whatever sequential reinsertion
+            // would produce, so recovery does not defeat the node store's
+            // deduplication.
+            type Tree = fundb_persist::BTree<Value, PList<Tuple>>;
+            fn build(
                 id: u128,
                 nodes: &HashMap<u128, Vec<u8>>,
-                out: &mut Vec<(Value, PList<Tuple>)>,
-            ) -> Result<bool, CodecError> {
+                min_degree: usize,
+                memo: &mut HashMap<u128, Tree>,
+            ) -> Result<Option<Tree>, CodecError> {
+                if let Some(t) = memo.get(&id) {
+                    return Ok(Some(t.clone()));
+                }
                 let Some(payload) = nodes.get(&id) else {
-                    return Ok(false);
+                    return Ok(None);
                 };
                 let mut c = Cursor::new(payload);
                 if c.u8()? != TAG_BTREE {
@@ -696,28 +714,24 @@ fn materialize(
                 }
                 let mut children = Vec::with_capacity(nchildren);
                 for _ in 0..nchildren {
-                    children.push(c.u128()?);
+                    let Some(child) = build(c.u128()?, nodes, min_degree, memo)? else {
+                        return Ok(None);
+                    };
+                    children.push(child);
                 }
-                for (i, (k, b)) in keys.into_iter().enumerate() {
-                    if let Some(&child) = children.get(i) {
-                        if !walk(child, nodes, out)? {
-                            return Ok(false);
-                        }
-                    }
-                    out.push((k, b));
-                }
-                if let Some(&last) = children.last() {
-                    return walk(last, nodes, out);
-                }
-                Ok(true)
+                let t = Tree::from_parts(min_degree, keys, children)
+                    .ok_or_else(|| CodecError("B-tree page arity mismatch".into()))?;
+                memo.insert(id, t.clone());
+                Ok(Some(t))
             }
-            let mut entries = Vec::new();
-            if !walk(root, nodes, &mut entries)? {
+            let mut memo = HashMap::new();
+            let Some(t) = build(root, nodes, min_degree.max(2), &mut memo)? else {
                 return Ok(None);
-            }
-            let mut t = fundb_persist::BTree::new(min_degree.max(2));
-            for (k, b) in entries {
-                t = t.insert(k, b);
+            };
+            if !t.check_invariants() {
+                return Err(CodecError(
+                    "checkpointed B-tree violates search-tree invariants".into(),
+                ));
             }
             Ok(Some(Relation::BTree(t)))
         }
@@ -865,6 +879,44 @@ mod tests {
             full.node_bytes
         );
         assert!(incr.nodes_deduped > 0, "shared structure must dedup");
+    }
+
+    #[test]
+    fn reload_rebuilds_stored_shape_so_recheckpoint_dedups_everything() {
+        // Build the trees in descending key order: a loader that collected
+        // entries and re-inserted them (ascending) would come back with a
+        // different shape, and re-checkpointing the loaded cut would then
+        // write fresh nodes instead of deduplicating. Shape-exact reload
+        // must make the second checkpoint a pure no-op.
+        let tmp = ScratchDir::new("ckpt-shape-exact");
+        let mut db = Database::empty()
+            .create_relation("T", Repr::Tree23)
+            .unwrap()
+            .create_relation("B", Repr::BTree(3))
+            .unwrap();
+        for name in ["T", "B"] {
+            for k in (0..60).rev() {
+                let (next, _) = db.insert(&name.into(), Tuple::of_key(k)).unwrap();
+                db = next;
+            }
+        }
+        let mut w = CheckpointWriter::open(tmp.path()).unwrap();
+        let first = w.write(&cut_of(db.clone(), &[])).unwrap();
+        assert!(first.nodes_written > 0);
+
+        let loaded = load_latest(tmp.path()).unwrap().expect("checkpoint exists");
+        assert!(db_equal(&loaded.database, &db));
+
+        // A fresh writer learns what is on disk only from the node store;
+        // re-checkpointing the loaded database must add nothing to it.
+        let mut w2 = CheckpointWriter::open(tmp.path()).unwrap();
+        let second = w2.write(&cut_of(loaded.database, &[])).unwrap();
+        assert_eq!(
+            second.nodes_written, 0,
+            "reload changed node shapes: {} nodes re-written",
+            second.nodes_written
+        );
+        assert!(second.nodes_deduped > 0);
     }
 
     #[test]

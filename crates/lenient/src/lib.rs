@@ -50,7 +50,7 @@ pub mod thunk;
 
 pub use cell::{FillError, Lenient};
 pub use merge::{merge, merge_deterministic, merge_tagged, MergeSchedule};
-pub use pool::WorkerPool;
+pub use pool::{scatter, Job, WorkerPool};
 pub use stream::{Stream, StreamWriter};
 pub use tagged::Tagged;
 pub use thunk::Thunk;

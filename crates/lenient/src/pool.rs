@@ -13,6 +13,7 @@
 //! in version-capture order, so the oldest queued job never waits on a cell
 //! produced by a younger one.
 
+use std::cell::RefCell;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -21,7 +22,32 @@ use std::thread::JoinHandle;
 use crossbeam::channel::{self, Sender};
 use parking_lot::{Condvar, Mutex};
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
+/// A boxed unit of work, as accepted by [`WorkerPool::spawn`] and [`scatter`].
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A message to a worker: run a job, or exit (the shutdown pill `Drop`
+/// sends, one per worker — workers hold sender clones in their thread-local
+/// [`PoolHandle`], so closing the channel alone would never terminate them).
+enum Msg {
+    Run(Job),
+    Shutdown,
+}
+
+/// A lightweight handle a worker thread keeps to its own pool: enough to
+/// spawn sibling jobs ([`scatter`]) without a back-reference to the
+/// [`WorkerPool`] itself (which would make drop order circular).
+#[derive(Clone)]
+struct PoolHandle {
+    sender: Sender<Msg>,
+    pending: Arc<Pending>,
+    workers: usize,
+}
+
+thread_local! {
+    /// Set for the lifetime of each pool worker thread; [`scatter`] uses it
+    /// to discover the pool it is running on.
+    static CURRENT_POOL: RefCell<Option<PoolHandle>> = const { RefCell::new(None) };
+}
 
 struct Pending {
     count: AtomicUsize,
@@ -73,7 +99,7 @@ impl Pending {
 /// assert_eq!(hits.load(Ordering::SeqCst), 100);
 /// ```
 pub struct WorkerPool {
-    sender: Option<Sender<Job>>,
+    sender: Option<Sender<Msg>>,
     workers: Vec<JoinHandle<()>>,
     pending: Arc<Pending>,
 }
@@ -96,7 +122,7 @@ impl WorkerPool {
     /// deadlock every caller of [`wait_idle`](Self::wait_idle).
     pub fn new(workers: usize) -> Self {
         assert!(workers > 0, "worker pool requires at least one worker");
-        let (tx, rx) = channel::unbounded::<Job>();
+        let (tx, rx) = channel::unbounded::<Msg>();
         let pending = Arc::new(Pending {
             count: AtomicUsize::new(0),
             lock: Mutex::new(()),
@@ -106,8 +132,18 @@ impl WorkerPool {
             .map(|_| {
                 let rx = rx.clone();
                 let pending = Arc::clone(&pending);
+                let handle = PoolHandle {
+                    sender: tx.clone(),
+                    pending: Arc::clone(&pending),
+                    workers,
+                };
                 std::thread::spawn(move || {
-                    for job in rx {
+                    CURRENT_POOL.with(|c| *c.borrow_mut() = Some(handle));
+                    for msg in rx {
+                        let job = match msg {
+                            Msg::Run(job) => job,
+                            Msg::Shutdown => break,
+                        };
                         // A panicking job must not kill the worker (or the
                         // pool would silently shrink) nor leak a pending
                         // count (or wait_idle would hang).
@@ -134,7 +170,7 @@ impl WorkerPool {
         self.sender
             .as_ref()
             .expect("worker pool sender alive until drop")
-            .send(Box::new(job))
+            .send(Msg::Run(Box::new(job)))
             .expect("worker threads alive until drop");
     }
 
@@ -159,12 +195,98 @@ impl WorkerPool {
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        // Closing the channel lets workers drain the queue and exit.
-        self.sender.take();
+        // One shutdown pill per worker, behind all queued work (FIFO), so
+        // the queue drains before the workers exit. A closed channel would
+        // not do: workers hold sender clones in their thread-local handles.
+        if let Some(sender) = self.sender.take() {
+            for _ in &self.workers {
+                let _ = sender.send(Msg::Shutdown);
+            }
+        }
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
     }
+}
+
+/// Runs every task to completion, using the surrounding pool's idle
+/// workers opportunistically.
+///
+/// When called on a [`WorkerPool`] worker thread, the tasks go into a
+/// shared work list; helper jobs are spawned for the other workers, and
+/// the *calling thread drains the same list itself*, so completion never
+/// depends on any other worker being free — on a fully loaded or
+/// single-worker pool the caller simply does all the work. This makes the
+/// primitive safe to use from inside a pool job on the strictly FIFO queue
+/// (a blocking fork-join would deadlock there). Called from a non-pool
+/// thread, it runs the tasks inline.
+///
+/// Panics in a task claimed by a helper are swallowed by the pool's job
+/// isolation; panics in a task the caller drains propagate to the caller.
+/// Either way the in-flight accounting is released, so `scatter` returns.
+pub fn scatter(tasks: Vec<Job>) {
+    let handle = CURRENT_POOL.with(|c| c.borrow().clone());
+    let Some(handle) = handle else {
+        for t in tasks {
+            t();
+        }
+        return;
+    };
+    if tasks.len() <= 1 || handle.workers <= 1 {
+        for t in tasks {
+            t();
+        }
+        return;
+    }
+    struct ScatterState {
+        tasks: Mutex<Vec<Job>>,
+        running: Pending,
+    }
+    /// Claims one task, registering it as running *under the list lock* so
+    /// an empty list implies every claimed task is counted in `running`.
+    fn claim(state: &ScatterState) -> Option<Job> {
+        let mut tasks = state.tasks.lock();
+        let job = tasks.pop()?;
+        state.running.incr();
+        Some(job)
+    }
+    /// Decrements on drop, so a panicking task still releases its claim.
+    struct RunningGuard<'a>(&'a Pending);
+    impl Drop for RunningGuard<'_> {
+        fn drop(&mut self) {
+            self.0.decr();
+        }
+    }
+    fn drain(state: &ScatterState) {
+        while let Some(job) = claim(state) {
+            let _guard = RunningGuard(&state.running);
+            job();
+        }
+    }
+
+    let helpers = (handle.workers - 1).min(tasks.len() - 1);
+    let state = Arc::new(ScatterState {
+        tasks: Mutex::new(tasks),
+        running: Pending {
+            count: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            cond: Condvar::new(),
+        },
+    });
+    for _ in 0..helpers {
+        let state = Arc::clone(&state);
+        handle.pending.incr();
+        if handle
+            .sender
+            .send(Msg::Run(Box::new(move || drain(&state))))
+            .is_err()
+        {
+            handle.pending.decr();
+        }
+    }
+    drain(&state);
+    // The list is empty; wait only for tasks helpers already claimed.
+    state.running.wait_zero();
 }
 
 #[cfg(test)]
@@ -257,5 +379,98 @@ mod tests {
     fn worker_count_reported() {
         let pool = WorkerPool::new(5);
         assert_eq!(pool.worker_count(), 5);
+    }
+
+    #[test]
+    fn scatter_off_pool_runs_inline() {
+        let n = Arc::new(AtomicUsize::new(0));
+        let tasks: Vec<Job> = (0..10)
+            .map(|_| {
+                let n = n.clone();
+                Box::new(move || {
+                    n.fetch_add(1, Ordering::SeqCst);
+                }) as Job
+            })
+            .collect();
+        scatter(tasks);
+        assert_eq!(n.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn scatter_on_pool_completes_all_tasks() {
+        let pool = WorkerPool::new(4);
+        let n = Arc::new(AtomicUsize::new(0));
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let n = n.clone();
+            let done = done.clone();
+            pool.spawn(move || {
+                let tasks: Vec<Job> = (0..32)
+                    .map(|_| {
+                        let n = n.clone();
+                        Box::new(move || {
+                            n.fetch_add(1, Ordering::SeqCst);
+                        }) as Job
+                    })
+                    .collect();
+                scatter(tasks);
+                // All 32 sub-tasks must be complete before scatter returns.
+                assert!(n.load(Ordering::SeqCst) >= 32);
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(n.load(Ordering::SeqCst), 8 * 32);
+        assert_eq!(done.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn scatter_on_single_worker_pool_cannot_deadlock() {
+        let pool = WorkerPool::new(1);
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = n.clone();
+        pool.spawn(move || {
+            let tasks: Vec<Job> = (0..16)
+                .map(|_| {
+                    let n = n2.clone();
+                    Box::new(move || {
+                        n.fetch_add(1, Ordering::SeqCst);
+                    }) as Job
+                })
+                .collect();
+            scatter(tasks);
+        });
+        pool.wait_idle();
+        assert_eq!(n.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn scatter_survives_panicking_helper_tasks() {
+        let pool = WorkerPool::new(4);
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = n.clone();
+        pool.spawn(move || {
+            let tasks: Vec<Job> = (0..20)
+                .map(|i| {
+                    let n = n2.clone();
+                    Box::new(move || {
+                        n.fetch_add(1, Ordering::SeqCst);
+                        if i % 7 == 3 {
+                            panic!("injected scatter failure {i}");
+                        }
+                    }) as Job
+                })
+                .collect();
+            scatter(tasks);
+        });
+        pool.wait_idle();
+        assert_eq!(n.load(Ordering::SeqCst), 20);
+        // The pool still works afterwards.
+        let n3 = n.clone();
+        pool.spawn(move || {
+            n3.fetch_add(1, Ordering::SeqCst);
+        });
+        pool.wait_idle();
+        assert_eq!(n.load(Ordering::SeqCst), 21);
     }
 }

@@ -394,10 +394,138 @@ fn remove_link<K: Ord + Clone, V: Clone>(
     }
 }
 
+fn link_ptr_eq<K, V>(a: &Link<K, V>, b: &Link<K, V>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(x), Some(y)) => Arc::ptr_eq(x, y),
+        _ => false,
+    }
+}
+
+/// Joins `left`, an entry, and `right` (every key in `left` < `key` < every
+/// key in `right`) into one balanced tree, copying O(|h(left) − h(right)|)
+/// nodes: the spine of the taller side down to the height of the shorter.
+fn join_link<K: Ord + Clone, V: Clone>(
+    left: Link<K, V>,
+    key: K,
+    value: V,
+    right: Link<K, V>,
+    copied: &mut u64,
+) -> Link<K, V> {
+    let hl = height(&left) as i16;
+    let hr = height(&right) as i16;
+    if (hl - hr).abs() <= 1 {
+        *copied += 1;
+        return mk(key, value, left, right);
+    }
+    if hl > hr {
+        let l = left.as_deref().expect("taller side is non-empty");
+        let r2 = join_link(l.right.clone(), key, value, right, copied);
+        balance(l.key.clone(), l.value.clone(), l.left.clone(), r2, copied)
+    } else {
+        let r = right.as_deref().expect("taller side is non-empty");
+        let l2 = join_link(left, key, value, r.left.clone(), copied);
+        balance(r.key.clone(), r.value.clone(), l2, r.right.clone(), copied)
+    }
+}
+
+/// Joins two trees with no separating entry (every key in `left` < every
+/// key in `right`) by popping the minimum of `right` as the separator.
+fn join2_link<K: Ord + Clone, V: Clone>(
+    left: Link<K, V>,
+    right: Link<K, V>,
+    copied: &mut u64,
+) -> Link<K, V> {
+    match right.as_deref() {
+        None => left,
+        Some(r) => {
+            let ((k, v), rest) = take_min(r, copied);
+            join_link(left, k, v, rest, copied)
+        }
+    }
+}
+
+/// Builds a height-balanced tree from strictly ascending entries by
+/// midpoint split; allocates exactly `entries.len()` nodes.
+fn build_sorted<K: Clone, V: Clone>(entries: &[(K, V)], copied: &mut u64) -> Link<K, V> {
+    if entries.is_empty() {
+        return None;
+    }
+    let mid = entries.len() / 2;
+    let (k, v) = entries[mid].clone();
+    *copied += 1;
+    mk(
+        k,
+        v,
+        build_sorted(&entries[..mid], copied),
+        build_sorted(&entries[mid + 1..], copied),
+    )
+}
+
+fn merge_link<K: Ord + Clone, V: Clone>(
+    link: &Link<K, V>,
+    batch: &[(K, Option<V>)],
+    copied: &mut u64,
+    delta: &mut i64,
+) -> Link<K, V> {
+    if batch.is_empty() {
+        return link.clone();
+    }
+    let Some(n) = link.as_deref() else {
+        let entries: Vec<(K, V)> = batch
+            .iter()
+            .filter_map(|(k, v)| v.clone().map(|v| (k.clone(), v)))
+            .collect();
+        *delta += entries.len() as i64;
+        return build_sorted(&entries, copied);
+    };
+    let (lo, matched, hi) = crate::batch::split_batch(batch, &n.key);
+    let l = merge_link(&n.left, lo, copied, delta);
+    let r = merge_link(&n.right, hi, copied, delta);
+    match matched {
+        None => {
+            // All effects were no-op deletes of absent keys: share wholesale.
+            if link_ptr_eq(&l, &n.left) && link_ptr_eq(&r, &n.right) {
+                return link.clone();
+            }
+            join_link(l, n.key.clone(), n.value.clone(), r, copied)
+        }
+        Some(Some(v)) => join_link(l, n.key.clone(), v.clone(), r, copied),
+        Some(None) => {
+            *delta -= 1;
+            join2_link(l, r, copied)
+        }
+    }
+}
+
 impl<K: Ord + Clone, V: Clone> Avl<K, V> {
     /// Inserts or replaces `key`, returning the new tree.
     pub fn insert(&self, key: K, value: V) -> Avl<K, V> {
         self.insert_counted(key, value).0
+    }
+
+    /// Merges a strictly-ascending batch of per-key effects in one
+    /// structural pass: `Some(v)` sets `key` to `v` (insert or replace),
+    /// `None` removes `key` if present (and is a no-op otherwise).
+    ///
+    /// Untouched subtrees are shared wholesale and each touched node is
+    /// copied once, so k effects cost O(k + touched·log n) node copies
+    /// instead of the k·O(log n) of tuple-at-a-time updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if keys are not strictly ascending.
+    pub fn merge_batch(&self, batch: &[(K, Option<V>)]) -> (Avl<K, V>, CopyReport) {
+        crate::batch::assert_ascending(batch);
+        let mut copied = 0u64;
+        let mut delta = 0i64;
+        let root = merge_link(&self.root, batch, &mut copied, &mut delta);
+        let out = Avl {
+            root,
+            len: (self.len as i64 + delta) as usize,
+        };
+        let shared = out.node_count().saturating_sub(copied);
+        (out, CopyReport::new(copied, shared))
     }
 
     /// [`insert`](Self::insert) plus a [`CopyReport`] (O(n) `shared` walk).
@@ -637,5 +765,90 @@ mod tests {
         let b: Avl<i32, i32> = [(1, 1)].into_iter().collect();
         assert_eq!(a, b);
         assert_eq!(format!("{a:?}"), "{1: 1}");
+    }
+
+    #[test]
+    fn merge_batch_matches_sequential_application() {
+        let mut state = 0x5eed_cafe_u64;
+        let mut rand = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for round in 0..50 {
+            let mut t: Avl<u32, u32> = (0..100).map(|i| (i * 3, i)).collect();
+            let mut model: BTreeMap<u32, Option<u32>> = BTreeMap::new();
+            for _ in 0..(rand() % 40) {
+                let k = rand() % 400;
+                if rand() % 3 == 0 {
+                    model.insert(k, None);
+                } else {
+                    model.insert(k, Some(rand()));
+                }
+            }
+            let batch: Vec<(u32, Option<u32>)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+            let (merged, report) = t.merge_batch(&batch);
+            for (k, v) in &batch {
+                t = match v {
+                    Some(v) => t.insert(*k, *v),
+                    None => t.remove(k).map(|(t2, _)| t2).unwrap_or(t),
+                };
+            }
+            assert!(merged.check_invariants(), "round {round}");
+            assert_eq!(merged, t, "round {round}");
+            assert_eq!(report.total(), merged.node_count(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn merge_batch_on_empty_builds_balanced() {
+        let batch: Vec<(u32, Option<u32>)> = (0..500)
+            .map(|k| (k, if k % 7 == 0 { None } else { Some(k) }))
+            .collect();
+        let (t, report) = Avl::new().merge_batch(&batch);
+        assert!(t.check_invariants());
+        assert_eq!(t.len(), batch.iter().filter(|(_, v)| v.is_some()).count());
+        assert_eq!(report.copied, t.node_count());
+    }
+
+    #[test]
+    fn merge_batch_shares_untouched_subtrees() {
+        let t: Avl<u32, u32> = (0..10_000).map(|i| (i * 2, i)).collect();
+        // 256 adjacent fresh odd keys: one hot region.
+        let batch: Vec<(u32, Option<u32>)> =
+            (0..256).map(|i| (4000 + i * 2 + 1, Some(i))).collect();
+        let (merged, report) = t.merge_batch(&batch);
+        assert!(merged.check_invariants());
+        assert_eq!(merged.len(), 10_000 + 256);
+        let mut singles = 0u64;
+        let mut seq = t.clone();
+        for (k, v) in &batch {
+            let (next, r) = seq.insert_counted(*k, v.unwrap());
+            singles += r.copied;
+            seq = next;
+        }
+        assert!(
+            report.copied * 2 <= singles,
+            "merge copied {} vs sequential {}",
+            report.copied,
+            singles
+        );
+    }
+
+    #[test]
+    fn merge_batch_noop_deletes_share_everything() {
+        let t: Avl<u32, u32> = (0..100).map(|i| (i * 2, i)).collect();
+        let batch: Vec<(u32, Option<u32>)> = (0..50).map(|i| (i * 4 + 1, None)).collect();
+        let (merged, report) = t.merge_batch(&batch);
+        assert_eq!(merged, t);
+        assert_eq!(report.copied, 0, "{report}");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending keys (violated at index 2)")]
+    fn merge_batch_rejects_unsorted() {
+        let t: Avl<u32, u32> = Avl::new();
+        let _ = t.merge_batch(&[(1, Some(1)), (5, Some(5)), (5, Some(6))]);
     }
 }

@@ -1,0 +1,38 @@
+//! Shared plumbing for the `merge_batch` kernels.
+//!
+//! Every backend takes the same batch shape: a strictly-ascending run of
+//! `(key, Option<value>)` final per-key effects, where `Some(v)` sets the
+//! key and `None` removes it if present. These helpers validate and split
+//! such runs; the structural work lives with each backend.
+
+/// Panics unless `batch` keys are strictly ascending, naming the first
+/// offending index.
+pub(crate) fn assert_ascending<K: Ord, V>(batch: &[(K, Option<V>)]) {
+    for (i, w) in batch.windows(2).enumerate() {
+        assert!(
+            w[0].0 < w[1].0,
+            "merge_batch requires strictly ascending keys (violated at index {})",
+            i + 1
+        );
+    }
+}
+
+/// Splits `batch` around `key` into (effects below, the effect on `key` if
+/// any, effects above). `batch` is strictly ascending, so this is one
+/// binary search.
+#[allow(clippy::type_complexity)]
+pub(crate) fn split_batch<'a, K: Ord, V>(
+    batch: &'a [(K, Option<V>)],
+    key: &K,
+) -> (
+    &'a [(K, Option<V>)],
+    Option<&'a Option<V>>,
+    &'a [(K, Option<V>)],
+) {
+    let idx = batch.partition_point(|(k, _)| k < key);
+    let (lo, rest) = batch.split_at(idx);
+    match rest.first() {
+        Some((k, v)) if k == key => (lo, Some(v), &rest[1..]),
+        _ => (lo, None, rest),
+    }
+}

@@ -161,6 +161,37 @@ impl<K, V> BTree<K, V> {
         Arc::ptr_eq(&self.root, &other.root)
     }
 
+    /// Reassembles a page from its parts — the inverse of one `fold_nodes`
+    /// step. Checkpoint load uses this to rebuild the *exact* stored page
+    /// layout (rather than re-inserting entries, which canonicalizes it),
+    /// so the first checkpoint after recovery re-deduplicates against the
+    /// node store instead of rewriting every page.
+    ///
+    /// `children` must be empty (a leaf page) or hold `keys.len() + 1`
+    /// subtrees; `min_degree` must be at least 2. Only arity is checked
+    /// here; occupancy, ordering, and depth are whole-tree properties, so
+    /// the caller is expected to run
+    /// [`check_invariants`](Self::check_invariants) on the finished root.
+    pub fn from_parts(
+        min_degree: usize,
+        keys: Vec<(K, V)>,
+        children: Vec<BTree<K, V>>,
+    ) -> Option<BTree<K, V>> {
+        if min_degree < 2 || (!children.is_empty() && children.len() != keys.len() + 1) {
+            return None;
+        }
+        let len = keys.len() + children.iter().map(|c| c.len).sum::<usize>();
+        let root = Arc::new(BNode {
+            keys,
+            children: children.into_iter().map(|c| c.root).collect(),
+        });
+        Some(BTree {
+            root,
+            len,
+            min_degree,
+        })
+    }
+
     /// Memoized post-order fold over the physical pages — the serialization
     /// visitor used by sharing-aware checkpoints.
     ///
@@ -389,7 +420,8 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
         }
         let t = self.min_degree;
         let mut removed = None;
-        let mut root = delete_from(&self.root, key, t, &mut removed);
+        let mut copied = 0u64;
+        let mut root = delete_from(&self.root, key, t, &mut removed, &mut copied);
         // Shrink the root if it emptied out.
         if root.keys.is_empty() && !root.is_leaf() {
             root = root.children[0].clone();
@@ -480,8 +512,10 @@ fn delete_from<K: Ord + Clone, V: Clone>(
     key: &K,
     t: usize,
     removed: &mut Option<V>,
+    copied: &mut u64,
 ) -> Arc<BNode<K, V>> {
     let mut page: BNode<K, V> = (**node).clone();
+    *copied += 1;
     match page.keys.binary_search_by(|(k, _)| k.cmp(key)) {
         Ok(i) => {
             if page.is_leaf() {
@@ -491,7 +525,8 @@ fn delete_from<K: Ord + Clone, V: Clone>(
                 // Replace with predecessor from the left child.
                 let (pk, pv) = max_entry(&page.children[i]);
                 let mut pred_removed = None;
-                page.children[i] = delete_from(&page.children[i], &pk, t, &mut pred_removed);
+                page.children[i] =
+                    delete_from(&page.children[i], &pk, t, &mut pred_removed, copied);
                 *removed = Some(std::mem::replace(&mut page.keys[i], (pk, pv)).1);
                 debug_assert!(pred_removed.is_some());
             } else if page.children[i + 1].keys.len() >= t {
@@ -499,23 +534,24 @@ fn delete_from<K: Ord + Clone, V: Clone>(
                 let (sk, sv) = min_entry(&page.children[i + 1]);
                 let mut succ_removed = None;
                 page.children[i + 1] =
-                    delete_from(&page.children[i + 1], &sk, t, &mut succ_removed);
+                    delete_from(&page.children[i + 1], &sk, t, &mut succ_removed, copied);
                 *removed = Some(std::mem::replace(&mut page.keys[i], (sk, sv)).1);
                 debug_assert!(succ_removed.is_some());
             } else {
                 // Both neighbours minimal: merge them around the key, then
                 // delete from the merged child.
-                let merged = merge_children(&mut page, i);
-                page.children[i] = delete_from(&merged, key, t, removed);
+                let merged = merge_children(&mut page, i, copied);
+                page.children[i] = delete_from(&merged, key, t, removed, copied);
             }
         }
         Err(i) => {
             if page.is_leaf() {
                 // Key absent; caller checks presence first, but stay safe.
+                *copied -= 1;
                 return node.clone();
             }
-            let i = ensure_rich_child(&mut page, i, t);
-            page.children[i] = delete_from(&page.children[i], key, t, removed);
+            let i = ensure_rich_child(&mut page, i, t, copied);
+            page.children[i] = delete_from(&page.children[i], key, t, removed, copied);
         }
     }
     Arc::new(page)
@@ -539,7 +575,12 @@ fn min_entry<K: Clone, V: Clone>(node: &Arc<BNode<K, V>>) -> (K, V) {
 
 /// Merges child `i`, separator key `i`, and child `i+1` into a single child
 /// placed at index `i`. Returns the merged child.
-fn merge_children<K: Clone, V: Clone>(page: &mut BNode<K, V>, i: usize) -> Arc<BNode<K, V>> {
+fn merge_children<K: Clone, V: Clone>(
+    page: &mut BNode<K, V>,
+    i: usize,
+    copied: &mut u64,
+) -> Arc<BNode<K, V>> {
+    *copied += 1;
     let sep = page.keys.remove(i);
     let right = page.children.remove(i + 1);
     let left = &page.children[i];
@@ -560,7 +601,12 @@ fn merge_children<K: Clone, V: Clone>(page: &mut BNode<K, V>, i: usize) -> Arc<B
 
 /// Guarantees `page.children[i]` has at least `t` entries, borrowing from a
 /// sibling or merging; returns the (possibly shifted) child index.
-fn ensure_rich_child<K: Clone, V: Clone>(page: &mut BNode<K, V>, i: usize, t: usize) -> usize {
+fn ensure_rich_child<K: Clone, V: Clone>(
+    page: &mut BNode<K, V>,
+    i: usize,
+    t: usize,
+    copied: &mut u64,
+) -> usize {
     if page.children[i].keys.len() >= t {
         return i;
     }
@@ -568,6 +614,7 @@ fn ensure_rich_child<K: Clone, V: Clone>(page: &mut BNode<K, V>, i: usize, t: us
     if i > 0 && page.children[i - 1].keys.len() >= t {
         let mut left = (*page.children[i - 1]).clone();
         let mut child = (*page.children[i]).clone();
+        *copied += 2;
         let moved = left.keys.pop().expect("rich sibling nonempty");
         let sep = std::mem::replace(&mut page.keys[i - 1], moved);
         child.keys.insert(0, sep);
@@ -583,6 +630,7 @@ fn ensure_rich_child<K: Clone, V: Clone>(page: &mut BNode<K, V>, i: usize, t: us
     if i + 1 < page.children.len() && page.children[i + 1].keys.len() >= t {
         let mut right = (*page.children[i + 1]).clone();
         let mut child = (*page.children[i]).clone();
+        *copied += 2;
         let moved = right.keys.remove(0);
         let sep = std::mem::replace(&mut page.keys[i], moved);
         child.keys.push(sep);
@@ -596,11 +644,438 @@ fn ensure_rich_child<K: Clone, V: Clone>(page: &mut BNode<K, V>, i: usize, t: us
     }
     // Merge with a sibling.
     if i > 0 {
-        merge_children(page, i - 1);
+        merge_children(page, i - 1, copied);
         i - 1
     } else {
-        merge_children(page, i);
+        merge_children(page, i, copied);
         i
+    }
+}
+
+/// Result of joining along a spine: either the subtree still fits in one
+/// node, or it overflowed and split around a promoted separator.
+enum JoinRes<K, V> {
+    Fit(Arc<BNode<K, V>>),
+    Split(Arc<BNode<K, V>>, (K, V), Arc<BNode<K, V>>),
+}
+
+/// Joins two same-height subtrees around a separator by fusing their root
+/// pages: one merged page if the entries fit, otherwise a redistribution
+/// around a new median.
+fn fuse_pages<K: Clone, V: Clone>(
+    l: &Arc<BNode<K, V>>,
+    sep: (K, V),
+    r: &Arc<BNode<K, V>>,
+    t: usize,
+    copied: &mut u64,
+) -> JoinRes<K, V> {
+    let total = l.keys.len() + 1 + r.keys.len();
+    if total < 2 * t {
+        let mut keys = l.keys.clone();
+        keys.push(sep);
+        keys.extend(r.keys.iter().cloned());
+        let mut children = l.children.clone();
+        children.extend(r.children.iter().cloned());
+        *copied += 1;
+        return JoinRes::Fit(Arc::new(BNode { keys, children }));
+    }
+    // Redistribute around the overall median. With total >= 2t both sides
+    // keep at least t - 1 entries.
+    let mut keys = l.keys.clone();
+    keys.push(sep);
+    keys.extend(r.keys.iter().cloned());
+    let mut children = l.children.clone();
+    children.extend(r.children.iter().cloned());
+    let m = (total - 1) / 2;
+    let right = BNode {
+        keys: keys[m + 1..].to_vec(),
+        children: if children.is_empty() {
+            Vec::new()
+        } else {
+            children[m + 1..].to_vec()
+        },
+    };
+    let mid = keys[m].clone();
+    keys.truncate(m);
+    if !children.is_empty() {
+        children.truncate(m + 1);
+    }
+    *copied += 2;
+    JoinRes::Split(Arc::new(BNode { keys, children }), mid, Arc::new(right))
+}
+
+/// Splits a page that ended up with more than `2t - 1` keys after a child
+/// split landed in it. The page has at most `2t` keys, so both halves are
+/// legal.
+fn split_overfull<K: Clone, V: Clone>(page: BNode<K, V>, copied: &mut u64) -> JoinRes<K, V> {
+    let m = page.keys.len() / 2;
+    let right = BNode {
+        keys: page.keys[m + 1..].to_vec(),
+        children: if page.is_leaf() {
+            Vec::new()
+        } else {
+            page.children[m + 1..].to_vec()
+        },
+    };
+    let mid = page.keys[m].clone();
+    let mut left = page;
+    left.keys.truncate(m);
+    if !left.is_leaf() {
+        left.children.truncate(m + 1);
+    }
+    *copied += 1;
+    JoinRes::Split(Arc::new(left), mid, Arc::new(right))
+}
+
+/// Joins `node` (height `h`) with the shorter subtree `r` (height `rh <=
+/// h`) around `sep`, descending `node`'s right spine until the heights
+/// meet.
+fn join_right<K: Clone, V: Clone>(
+    node: &Arc<BNode<K, V>>,
+    h: usize,
+    sep: (K, V),
+    r: &Arc<BNode<K, V>>,
+    rh: usize,
+    t: usize,
+    copied: &mut u64,
+) -> JoinRes<K, V> {
+    if h == rh {
+        return fuse_pages(node, sep, r, t, copied);
+    }
+    let mut page: BNode<K, V> = (**node).clone();
+    *copied += 1;
+    let last = page.children.len() - 1;
+    match join_right(&page.children[last], h - 1, sep, r, rh, t, copied) {
+        JoinRes::Fit(n) => {
+            page.children[last] = n;
+        }
+        JoinRes::Split(a, s, b) => {
+            page.children[last] = a;
+            page.keys.push(s);
+            page.children.push(b);
+        }
+    }
+    if page.keys.len() > 2 * t - 1 {
+        split_overfull(page, copied)
+    } else {
+        JoinRes::Fit(Arc::new(page))
+    }
+}
+
+/// Mirror of [`join_right`]: joins the shorter subtree `l` (height `lh <=
+/// h`) on the left of `node` (height `h`), descending the left spine.
+fn join_left<K: Clone, V: Clone>(
+    l: &Arc<BNode<K, V>>,
+    lh: usize,
+    sep: (K, V),
+    node: &Arc<BNode<K, V>>,
+    h: usize,
+    t: usize,
+    copied: &mut u64,
+) -> JoinRes<K, V> {
+    if h == lh {
+        return fuse_pages(l, sep, node, t, copied);
+    }
+    let mut page: BNode<K, V> = (**node).clone();
+    *copied += 1;
+    match join_left(l, lh, sep, &page.children[0], h - 1, t, copied) {
+        JoinRes::Fit(n) => {
+            page.children[0] = n;
+        }
+        JoinRes::Split(a, s, b) => {
+            page.children[0] = b;
+            page.keys.insert(0, s);
+            page.children.insert(0, a);
+        }
+    }
+    if page.keys.len() > 2 * t - 1 {
+        split_overfull(page, copied)
+    } else {
+        JoinRes::Fit(Arc::new(page))
+    }
+}
+
+/// Inserts one entry into a standalone subtree of height `h`, returning the
+/// new subtree and its height. Used when one side of a join is empty.
+fn insert_entry<K: Ord + Clone, V: Clone>(
+    node: &Arc<BNode<K, V>>,
+    h: usize,
+    key: K,
+    value: V,
+    t: usize,
+    copied: &mut u64,
+) -> (Arc<BNode<K, V>>, usize) {
+    if node.keys.is_empty() {
+        *copied += 1;
+        return (
+            Arc::new(BNode {
+                keys: vec![(key, value)],
+                children: Vec::new(),
+            }),
+            1,
+        );
+    }
+    if node.keys.len() == 2 * t - 1 {
+        let (left, mid, right) = split_page(node, t, copied);
+        let new_root = Arc::new(BNode {
+            keys: vec![mid],
+            children: vec![left, right],
+        });
+        *copied += 1;
+        (insert_nonfull(&new_root, key, value, t, copied), h + 1)
+    } else {
+        (insert_nonfull(node, key, value, t, copied), h)
+    }
+}
+
+/// Joins two subtrees of arbitrary heights around a separator entry,
+/// returning the joined subtree and its height.
+fn join_nodes<K: Ord + Clone, V: Clone>(
+    l: &Arc<BNode<K, V>>,
+    lh: usize,
+    sep: (K, V),
+    r: &Arc<BNode<K, V>>,
+    rh: usize,
+    t: usize,
+    copied: &mut u64,
+) -> (Arc<BNode<K, V>>, usize) {
+    if l.keys.is_empty() {
+        return insert_entry(r, rh, sep.0, sep.1, t, copied);
+    }
+    if r.keys.is_empty() {
+        return insert_entry(l, lh, sep.0, sep.1, t, copied);
+    }
+    let res = match lh.cmp(&rh) {
+        std::cmp::Ordering::Equal => fuse_pages(l, sep, r, t, copied),
+        std::cmp::Ordering::Greater => join_right(l, lh, sep, r, rh, t, copied),
+        std::cmp::Ordering::Less => join_left(l, lh, sep, r, rh, t, copied),
+    };
+    let base = lh.max(rh);
+    match res {
+        JoinRes::Fit(n) => (n, base),
+        JoinRes::Split(a, s, b) => {
+            *copied += 1;
+            (
+                Arc::new(BNode {
+                    keys: vec![s],
+                    children: vec![a, b],
+                }),
+                base + 1,
+            )
+        }
+    }
+}
+
+/// Joins two subtrees with no separator: pops the minimum of the right side
+/// to serve as one.
+fn join2_nodes<K: Ord + Clone, V: Clone>(
+    l: &Arc<BNode<K, V>>,
+    lh: usize,
+    r: &Arc<BNode<K, V>>,
+    rh: usize,
+    t: usize,
+    copied: &mut u64,
+) -> (Arc<BNode<K, V>>, usize) {
+    if r.keys.is_empty() {
+        return (l.clone(), lh);
+    }
+    if l.keys.is_empty() {
+        return (r.clone(), rh);
+    }
+    let (k, v) = min_entry(r);
+    let mut removed = None;
+    let mut rest = delete_from(r, &k, t, &mut removed, copied);
+    let mut rest_h = rh;
+    if rest.keys.is_empty() && !rest.is_leaf() {
+        rest = rest.children[0].clone();
+        rest_h -= 1;
+    }
+    join_nodes(l, lh, (k, v), &rest, rest_h, t, copied)
+}
+
+/// Rebuilds a subtree from scratch out of sorted entries, counting every
+/// page it allocates.
+fn build_subtree<K: Ord + Clone, V: Clone>(
+    entries: Vec<(K, V)>,
+    t: usize,
+    copied: &mut u64,
+) -> (Arc<BNode<K, V>>, usize) {
+    let tree = BTree::from_sorted_entries(t, entries);
+    *copied += tree.node_count();
+    let h = tree.height().max(1);
+    (tree.root, h)
+}
+
+/// One-pass batch merge over a subtree of height `h`. Returns the merged
+/// subtree and its height; `delta` accumulates the net entry-count change.
+fn merge_page<K: Ord + Clone, V: Clone>(
+    node: &Arc<BNode<K, V>>,
+    h: usize,
+    batch: &[(K, Option<V>)],
+    t: usize,
+    copied: &mut u64,
+    delta: &mut i64,
+) -> (Arc<BNode<K, V>>, usize) {
+    if batch.is_empty() {
+        return (node.clone(), h);
+    }
+    if h == 1 {
+        // Leaf page: two-pointer merge of the page entries with the batch.
+        let mut entries: Vec<(K, V)> = Vec::with_capacity(node.keys.len() + batch.len());
+        let mut changed = false;
+        let mut bi = 0;
+        for (k, v) in &node.keys {
+            while bi < batch.len() && batch[bi].0 < *k {
+                if let Some(nv) = &batch[bi].1 {
+                    entries.push((batch[bi].0.clone(), nv.clone()));
+                    *delta += 1;
+                    changed = true;
+                }
+                bi += 1;
+            }
+            if bi < batch.len() && batch[bi].0 == *k {
+                match &batch[bi].1 {
+                    Some(nv) => entries.push((k.clone(), nv.clone())),
+                    None => *delta -= 1,
+                }
+                changed = true;
+                bi += 1;
+            } else {
+                entries.push((k.clone(), v.clone()));
+            }
+        }
+        while bi < batch.len() {
+            if let Some(nv) = &batch[bi].1 {
+                entries.push((batch[bi].0.clone(), nv.clone()));
+                *delta += 1;
+                changed = true;
+            }
+            bi += 1;
+        }
+        if !changed {
+            return (node.clone(), h);
+        }
+        return build_subtree(entries, t, copied);
+    }
+    // Internal page: split the batch per child slot and merge recursively.
+    let k = node.keys.len();
+    let mut rest = batch;
+    let mut child_batches: Vec<&[(K, Option<V>)]> = Vec::with_capacity(k + 1);
+    let mut key_effects: Vec<Option<&Option<V>>> = Vec::with_capacity(k);
+    for (key, _) in &node.keys {
+        let (lo, eff, hi) = crate::batch::split_batch(rest, key);
+        child_batches.push(lo);
+        key_effects.push(eff);
+        rest = hi;
+    }
+    child_batches.push(rest);
+    let merged: Vec<(Arc<BNode<K, V>>, usize)> = node
+        .children
+        .iter()
+        .zip(&child_batches)
+        .map(|(c, b)| merge_page(c, h - 1, b, t, copied, delta))
+        .collect();
+    // Fast path: no page-key deletes, every child kept its height, and no
+    // child fell under the occupancy floor — the page skeleton survives, so
+    // copy it once and swap the children in.
+    let children_legal = merged
+        .iter()
+        .all(|(m, ch)| *ch == h - 1 && m.keys.len() >= t - 1);
+    let any_delete = key_effects.iter().any(|e| matches!(e, Some(None)));
+    if children_legal && !any_delete {
+        let all_shared = key_effects.iter().all(|e| e.is_none())
+            && merged
+                .iter()
+                .zip(&node.children)
+                .all(|((m, _), c)| Arc::ptr_eq(m, c));
+        if all_shared {
+            return (node.clone(), h);
+        }
+        let mut page: BNode<K, V> = (**node).clone();
+        *copied += 1;
+        for (i, (m, _)) in merged.iter().enumerate() {
+            page.children[i] = m.clone();
+        }
+        for (i, eff) in key_effects.iter().enumerate() {
+            if let Some(Some(nv)) = eff {
+                page.keys[i] = (page.keys[i].0.clone(), (*nv).clone());
+            }
+        }
+        return (Arc::new(page), h);
+    }
+    // Fallback: fold the merged children back together with joins.
+    let mut it = merged.into_iter();
+    let (mut acc, mut acc_h) = it.next().expect("at least one child");
+    for (i, (m, mh)) in it.enumerate() {
+        let (key, value) = &node.keys[i];
+        match key_effects[i] {
+            None => {
+                let e = (key.clone(), value.clone());
+                let (n, nh) = join_nodes(&acc, acc_h, e, &m, mh, t, copied);
+                acc = n;
+                acc_h = nh;
+            }
+            Some(Some(nv)) => {
+                let e = (key.clone(), nv.clone());
+                let (n, nh) = join_nodes(&acc, acc_h, e, &m, mh, t, copied);
+                acc = n;
+                acc_h = nh;
+            }
+            Some(None) => {
+                *delta -= 1;
+                let (n, nh) = join2_nodes(&acc, acc_h, &m, mh, t, copied);
+                acc = n;
+                acc_h = nh;
+            }
+        }
+    }
+    (acc, acc_h)
+}
+
+impl<K: Ord + Clone, V: Clone> BTree<K, V> {
+    /// Folds a strictly ascending batch of per-key effects into the tree in
+    /// one structural pass: `Some(v)` sets the key, `None` removes it if
+    /// present. Each page is copied at most once per batch, so `k` nearby
+    /// effects cost O(k + touched pages) copies instead of `k` full
+    /// root-to-leaf path copies.
+    ///
+    /// An empty tree routes through [`BTree::from_sorted_entries`] — the
+    /// bulk-load path — so initial loads are O(n).
+    ///
+    /// # Panics
+    ///
+    /// Panics if batch keys are not strictly ascending.
+    pub fn merge_batch(&self, batch: &[(K, Option<V>)]) -> (BTree<K, V>, CopyReport) {
+        crate::batch::assert_ascending(batch);
+        let t = self.min_degree;
+        if self.is_empty() {
+            let entries: Vec<(K, V)> = batch
+                .iter()
+                .filter_map(|(k, v)| v.as_ref().map(|v| (k.clone(), v.clone())))
+                .collect();
+            let out = BTree::from_sorted_entries(t, entries);
+            let copied = out.node_count();
+            return (out, CopyReport::new(copied, 0));
+        }
+        let mut copied = 0u64;
+        let mut delta = 0i64;
+        let h = self.height();
+        let (mut root, _) = merge_page(&self.root, h, batch, t, &mut copied, &mut delta);
+        if root.keys.is_empty() && !root.is_leaf() {
+            root = root.children[0].clone();
+        }
+        let len = (self.len as i64 + delta) as usize;
+        let out = BTree {
+            root: if len == 0 {
+                Arc::new(BNode::leaf())
+            } else {
+                root
+            },
+            len,
+            min_degree: t,
+        };
+        let shared = out.node_count().saturating_sub(copied);
+        (out, CopyReport::new(copied, shared))
     }
 }
 
@@ -621,10 +1096,11 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
     {
         assert!(min_degree >= 2, "B-tree minimum degree must be at least 2");
         let entries: Vec<(K, V)> = entries.into_iter().collect();
-        for w in entries.windows(2) {
+        for (i, w) in entries.windows(2).enumerate() {
             assert!(
                 w[0].0 < w[1].0,
-                "bulk load requires strictly ascending keys"
+                "bulk load requires strictly ascending keys (violated at index {})",
+                i + 1
             );
         }
         let len = entries.len();
@@ -1016,5 +1492,140 @@ mod tests {
         let t: BTree<i32, i32> = BTree::new(8);
         assert_eq!(t.min_degree(), 8);
         assert_eq!(t.page_capacity(), 15);
+    }
+
+    #[test]
+    fn merge_batch_matches_sequential_application() {
+        for t in [2usize, 3, 4] {
+            let mut state = 0xabcd_1234u64 ^ (t as u64);
+            let mut rand = move || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as u32
+            };
+            let mut tree: BTree<u32, u32> = BTree::new(t);
+            let mut model: BTreeMap<u32, u32> = BTreeMap::new();
+            for round in 0..40 {
+                let mut batch: Vec<(u32, Option<u32>)> = Vec::new();
+                let mut last = 0u32;
+                for _ in 0..(1 + rand() % 40) {
+                    last += 1 + rand() % 25;
+                    let eff = if rand() % 3 == 0 { None } else { Some(rand()) };
+                    batch.push((last, eff));
+                }
+                let (merged, report) = tree.merge_batch(&batch);
+                for (k, eff) in &batch {
+                    match eff {
+                        Some(v) => {
+                            model.insert(*k, *v);
+                        }
+                        None => {
+                            model.remove(k);
+                        }
+                    }
+                }
+                assert!(merged.check_invariants(), "t={t} round {round}");
+                assert_eq!(merged.len(), model.len(), "t={t} round {round}");
+                let got: Vec<(u32, u32)> = merged.iter().map(|(k, v)| (*k, *v)).collect();
+                let want: Vec<(u32, u32)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+                assert_eq!(got, want, "t={t} round {round}");
+                // `copied` counts page allocations (work done); on
+                // delete-heavy rounds intermediate pages are allocated and
+                // then re-joined, so it may exceed the retained page count.
+                assert!(
+                    report.total() >= merged.node_count(),
+                    "t={t} round {round}: report must cover every page"
+                );
+                tree = merged;
+            }
+        }
+    }
+
+    #[test]
+    fn merge_batch_on_empty_bulk_loads() {
+        for t in [2usize, 4] {
+            let batch: Vec<(u32, Option<u32>)> = (0..300)
+                .map(|k| (k, if k % 5 == 0 { None } else { Some(k * 2) }))
+                .collect();
+            let empty: BTree<u32, u32> = BTree::new(t);
+            let (built, report) = empty.merge_batch(&batch);
+            assert!(built.check_invariants(), "t={t}");
+            assert_eq!(built.len(), 240, "t={t}");
+            assert_eq!(report.copied, built.node_count(), "t={t}");
+            assert_eq!(report.shared, 0, "t={t}");
+        }
+    }
+
+    #[test]
+    fn merge_batch_copies_far_less_than_singles() {
+        let tree: BTree<u32, u32> =
+            BTree::from_sorted_entries(4, (0..10_000u32).map(|k| (k * 2, k)));
+        // 256 inserts into one adjacent odd-key region.
+        let batch: Vec<(u32, Option<u32>)> =
+            (0..256u32).map(|i| (8_000 + i * 2 + 1, Some(i))).collect();
+        let (merged, report) = tree.merge_batch(&batch);
+        assert!(merged.check_invariants());
+        assert_eq!(merged.len(), 10_256);
+
+        let mut singles = 0u64;
+        let mut seq = tree.clone();
+        for (k, v) in &batch {
+            let (next, r) = seq.insert_counted(*k, v.unwrap());
+            singles += r.copied;
+            seq = next;
+        }
+        assert_eq!(merged, seq);
+        assert!(
+            report.copied * 2 <= singles,
+            "batch copied {} vs {} for singles",
+            report.copied,
+            singles
+        );
+    }
+
+    #[test]
+    fn merge_batch_noop_deletes_share_everything() {
+        let tree: BTree<u32, u32> = BTree::from_sorted_entries(3, (0..500u32).map(|k| (k * 2, k)));
+        let batch: Vec<(u32, Option<u32>)> = (0..100u32).map(|i| (i * 2 + 1, None)).collect();
+        let (merged, report) = tree.merge_batch(&batch);
+        assert!(tree.ptr_eq(&merged));
+        assert_eq!(report.copied, 0);
+    }
+
+    #[test]
+    fn merge_batch_mixed_inserts_and_deletes() {
+        let tree: BTree<u32, u32> = BTree::from_sorted_entries(3, (0..1000u32).map(|k| (k, k)));
+        let mut batch: Vec<(u32, Option<u32>)> = Vec::new();
+        for k in (0..400u32).step_by(2) {
+            batch.push((k, None)); // delete evens below 400
+        }
+        for k in 500..600u32 {
+            batch.push((k, Some(k + 7))); // replace a run
+        }
+        for k in 2000..2050u32 {
+            batch.push((k, Some(k))); // append new keys
+        }
+        let (merged, report) = tree.merge_batch(&batch);
+        assert!(merged.check_invariants());
+        assert_eq!(merged.len(), 1000 - 200 + 50);
+        assert_eq!(merged.get(&0), None);
+        assert_eq!(merged.get(&1), Some(&1));
+        assert_eq!(merged.get(&550), Some(&557));
+        assert_eq!(merged.get(&2049), Some(&2049));
+        assert!(report.copied > 0 && report.copied < merged.node_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending keys (violated at index 1)")]
+    fn merge_batch_rejects_unsorted() {
+        let tree: BTree<u32, u32> = BTree::new(2);
+        let _ = tree.merge_batch(&[(5, Some(0)), (1, Some(0))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending keys (violated at index 2)")]
+    fn bulk_load_names_offending_index() {
+        let _ = BTree::from_sorted_entries(2, vec![(1u32, 0u32), (5, 0), (5, 0)]);
     }
 }

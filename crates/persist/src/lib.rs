@@ -22,11 +22,17 @@
 //! additionally return a [`CopyReport`] stating how many nodes were created
 //! anew versus shared, which is how the benches quantify the paper's
 //! "(log n)/n of a relation is copied" argument.
+//!
+//! Each backend also provides a `merge_batch` kernel that folds a strictly
+//! ascending run of per-key effects (`Some(v)` sets, `None` removes) into
+//! the structure in one structural pass, copying each touched node once —
+//! the batch-level form of the paper's partial-physical-update bound.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod avl;
+mod batch;
 pub mod btree;
 pub mod list;
 pub mod paged;

@@ -255,6 +255,90 @@ impl<T: Clone> PList<T> {
     }
 }
 
+impl<T: Clone> PList<T> {
+    /// One-pass batch merge for a list sorted by `key_of`: replaces each
+    /// key's maximal run of elements in a single walk, copying the spine up
+    /// to the last affected run and sharing everything after it.
+    ///
+    /// `batch` is a strictly-ascending (by key) run of per-key effects:
+    /// `Some(items)` replaces the key's run with `items` (in the given
+    /// order, inserting the run if absent), `None` removes the run if
+    /// present. `k` effects cost one spine walk instead of `k`, which is
+    /// the batch-level form of the prefix-copy bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if batch keys are not strictly ascending.
+    pub fn merge_runs_by<K: Ord, KF: Fn(&T) -> K>(
+        &self,
+        key_of: KF,
+        batch: &[(K, Option<Vec<T>>)],
+    ) -> (PList<T>, CopyReport) {
+        crate::batch::assert_ascending(batch);
+        let mut prefix: Vec<T> = Vec::new();
+        let mut bi = 0;
+        let mut cur = self.clone();
+        let mut changed = false;
+        loop {
+            if bi == batch.len() {
+                // Past the last batch key: the rest of the spine is shared.
+                break;
+            }
+            let Some(node) = cur.node.as_deref() else {
+                break;
+            };
+            let k = key_of(&node.head);
+            if batch[bi].0 < k {
+                // A batch key below this element: a brand-new run.
+                if let Some(items) = &batch[bi].1 {
+                    prefix.extend(items.iter().cloned());
+                    changed = true;
+                }
+                bi += 1;
+            } else if batch[bi].0 == k {
+                // Start of an affected run: emit the replacement, then skip
+                // every element of the old run.
+                if let Some(items) = &batch[bi].1 {
+                    prefix.extend(items.iter().cloned());
+                }
+                bi += 1;
+                changed = true;
+                let mut next = node.tail.clone();
+                while let Some(n) = next.node.as_deref() {
+                    if key_of(&n.head) == k {
+                        let t = n.tail.clone();
+                        next = t;
+                    } else {
+                        break;
+                    }
+                }
+                cur = next;
+            } else {
+                prefix.push(node.head.clone());
+                cur = node.tail.clone();
+            }
+        }
+        // Batch keys beyond the end of the list: trailing new runs.
+        while bi < batch.len() {
+            if let Some(items) = &batch[bi].1 {
+                prefix.extend(items.iter().cloned());
+                changed = true;
+            }
+            bi += 1;
+        }
+        if !changed {
+            return (self.clone(), CopyReport::new(0, self.len() as u64));
+        }
+        let copied = prefix.len() as u64;
+        let shared = cur.len() as u64;
+        let mut out = cur;
+        for x in prefix.into_iter().rev() {
+            out = PList::cons(x, out);
+        }
+        (out, CopyReport::new(copied, shared))
+    }
+}
+
 impl<T: Clone + Ord> PList<T> {
     /// Inserts `item` keeping the list ascending, sharing the suffix from
     /// the insertion point on. Duplicates are inserted before their equals.
@@ -518,6 +602,73 @@ mod tests {
         let mut memo: HashMap<usize, u64> = HashMap::new();
         let n = l.fold_cells(&mut memo, 0u64, &mut |_, tail| tail + 1);
         assert_eq!(n, 100_000);
+    }
+
+    #[test]
+    fn merge_runs_replaces_and_shares() {
+        // Pairs (key, payload); runs are contiguous by key.
+        let v1: PList<(u32, u32)> = [(1, 10), (2, 20), (2, 21), (3, 30), (4, 40)]
+            .into_iter()
+            .collect();
+        let (v2, report) = v1.merge_runs_by(
+            |x| x.0,
+            &[
+                (2, Some(vec![(2, 99)])), // replace the run of key 2
+                (3, None),                // delete key 3's run
+            ],
+        );
+        assert_eq!(to_vec(&v2), vec![(1, 10), (2, 99), (4, 40)]);
+        assert_eq!(report.copied, 2); // cells (1,10) and (2,99)
+        assert_eq!(report.shared, 1); // cell (4,40)
+        assert_eq!(v1.len(), 5);
+    }
+
+    #[test]
+    fn merge_runs_inserts_new_keys_and_trailing() {
+        let v1: PList<(u32, u32)> = [(2, 20), (4, 40)].into_iter().collect();
+        let (v2, _) = v1.merge_runs_by(
+            |x| x.0,
+            &[
+                (1, Some(vec![(1, 1)])),
+                (3, Some(vec![(3, 3), (3, 33)])),
+                (9, Some(vec![(9, 9)])),
+            ],
+        );
+        assert_eq!(
+            to_vec(&v2),
+            vec![(1, 1), (2, 20), (3, 3), (3, 33), (4, 40), (9, 9)]
+        );
+    }
+
+    #[test]
+    fn merge_runs_noop_deletes_share_everything() {
+        let v1: PList<(u32, u32)> = [(2, 20), (4, 40)].into_iter().collect();
+        let (v2, report) = v1.merge_runs_by(|x| x.0, &[(1, None), (3, None), (9, None)]);
+        assert!(v1.ptr_eq(&v2));
+        assert_eq!(report.copied, 0);
+        assert_eq!(report.shared, 2);
+    }
+
+    #[test]
+    fn merge_runs_single_walk_vs_sequential_cost() {
+        // Many adjacent edits near the end: one batch walk copies the
+        // prefix once, where sequential edits copy it per edit.
+        let v1: PList<(u32, u32)> = (0..1000u32).map(|k| (k, k)).collect();
+        #[allow(clippy::type_complexity)]
+        let batch: Vec<(u32, Option<Vec<(u32, u32)>>)> =
+            (900..950u32).map(|k| (k, Some(vec![(k, k + 1)]))).collect();
+        let (v2, report) = v1.merge_runs_by(|x| x.0, &batch);
+        assert_eq!(v2.len(), 1000);
+        // Prefix of 900 + 50 replaced cells copied once.
+        assert_eq!(report.copied, 950);
+        assert_eq!(report.shared, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending keys (violated at index 1)")]
+    fn merge_runs_rejects_unsorted() {
+        let v1: PList<(u32, u32)> = [(1, 1)].into_iter().collect();
+        let _ = v1.merge_runs_by(|x| x.0, &[(5, None), (2, None)]);
     }
 
     #[test]

@@ -245,6 +245,59 @@ impl<T: Clone> PagedStore<T> {
         )
     }
 
+    /// Appends a whole run of items in one step: the trailing partial page
+    /// is copied once (not once per item) and full pages are minted
+    /// directly, so `k` appends cost O(k / page_capacity + 1) page builds.
+    pub fn append_batch<I: IntoIterator<Item = T>>(&self, items: I) -> (PagedStore<T>, CopyReport) {
+        let mut items = items.into_iter().peekable();
+        if items.peek().is_none() {
+            return (
+                self.clone(),
+                CopyReport::new(0, self.directory.len() as u64),
+            );
+        }
+        let mut pages: Vec<Arc<Page<T>>> = self.directory.as_ref().clone();
+        let mut copied = 0u64;
+        let mut len = self.len;
+        // Top up the trailing partial page, copying it once.
+        let mut current: Vec<T> = match pages.last() {
+            Some(last) if last.items.len() < self.page_capacity => {
+                let c = last.items.clone();
+                pages.pop();
+                copied += 1;
+                c
+            }
+            _ => {
+                copied += 1;
+                Vec::new()
+            }
+        };
+        for item in items {
+            len += 1;
+            current.push(item);
+            if current.len() == self.page_capacity {
+                pages.push(Arc::new(Page {
+                    items: std::mem::take(&mut current),
+                }));
+                copied += 1;
+            }
+        }
+        if current.is_empty() {
+            copied -= 1; // the last minted page was already counted
+        } else {
+            pages.push(Arc::new(Page { items: current }));
+        }
+        let shared = (pages.len() as u64).saturating_sub(copied);
+        (
+            PagedStore {
+                directory: Arc::new(pages),
+                page_capacity: self.page_capacity,
+                len,
+            },
+            CopyReport::new(copied, shared),
+        )
+    }
+
     /// Replaces the item at `index`, returning the new version, or `None`
     /// if out of bounds. Copies exactly the page containing `index`.
     pub fn replace(&self, index: usize, item: T) -> Option<PagedStore<T>> {
@@ -363,6 +416,51 @@ mod tests {
         assert_eq!(report.shared_pages, 2);
         assert_eq!(report.new_pages, 1);
         assert_eq!(report.superseded_pages, 0);
+    }
+
+    #[test]
+    fn append_batch_copies_trailing_page_once() {
+        let v1: PagedStore<u32> = PagedStore::with_capacity(4, 0..10);
+        let (v2, report) = v1.append_batch(10..21);
+        assert_eq!(v2.len(), 21);
+        assert_eq!(
+            v2.iter().copied().collect::<Vec<_>>(),
+            (0..21).collect::<Vec<_>>()
+        );
+        // Pages: [0..4][4..8] shared; [8..12][12..16][16..20][20] new.
+        assert_eq!(report.copied, 4);
+        assert_eq!(report.shared, 2);
+        let sharing = PageSharingReport::between(&v1, &v2);
+        assert_eq!(sharing.shared_pages, 2);
+        // The old trailing partial page was superseded, not copied per item.
+        assert_eq!(sharing.superseded_pages, 1);
+    }
+
+    #[test]
+    fn append_batch_empty_shares_all() {
+        let v1: PagedStore<u32> = PagedStore::with_capacity(4, 0..8);
+        let (v2, report) = v1.append_batch(std::iter::empty());
+        assert!(v1.ptr_eq(&v2));
+        assert_eq!(report.copied, 0);
+        assert_eq!(report.shared, 2);
+    }
+
+    #[test]
+    fn append_batch_matches_sequential_inserts() {
+        for n in [0usize, 1, 3, 4, 5, 9, 16] {
+            let base: PagedStore<u32> = PagedStore::with_capacity(4, 0..6);
+            let (batched, _) = base.append_batch((0..n as u32).map(|i| 100 + i));
+            let mut seq = base.clone();
+            for i in 0..n as u32 {
+                seq = seq.insert(100 + i);
+            }
+            assert_eq!(
+                batched.iter().collect::<Vec<_>>(),
+                seq.iter().collect::<Vec<_>>(),
+                "n={n}"
+            );
+            assert_eq!(batched.len(), seq.len(), "n={n}");
+        }
     }
 
     #[test]

@@ -148,6 +148,38 @@ impl<K, V> Tree23<K, V> {
         Arc::ptr_eq(&self.root, &other.root)
     }
 
+    /// Reassembles a node from its parts — the inverse of one `fold_nodes`
+    /// step. Checkpoint load uses this to rebuild the *exact* stored shape
+    /// (rather than re-inserting entries, which canonicalizes the shape),
+    /// so the first checkpoint after recovery re-deduplicates against the
+    /// node store instead of rewriting every node.
+    ///
+    /// Returns `None` unless `entries.len()` is 1 or 2 with
+    /// `children.len() == entries.len() + 1`. Only arity is checked here;
+    /// ordering and balance are whole-tree properties, so the caller is
+    /// expected to run [`check_invariants`](Self::check_invariants) on the
+    /// finished root.
+    pub fn from_parts(entries: Vec<(K, V)>, children: Vec<Tree23<K, V>>) -> Option<Tree23<K, V>> {
+        let len = entries.len() + children.iter().map(|c| c.len).sum::<usize>();
+        let mut es = entries.into_iter();
+        let mut cs = children.into_iter().map(|c| c.root);
+        let root = match (es.len(), cs.len()) {
+            (1, 2) => {
+                let (l, r) = (cs.next().unwrap(), cs.next().unwrap());
+                Node::Two(l, es.next().unwrap(), r)
+            }
+            (2, 3) => {
+                let (l, m, r) = (cs.next().unwrap(), cs.next().unwrap(), cs.next().unwrap());
+                Node::Three(l, es.next().unwrap(), m, es.next().unwrap(), r)
+            }
+            _ => return None,
+        };
+        Some(Tree23 {
+            root: Arc::new(root),
+            len,
+        })
+    }
+
     /// In-order iterator over `(key, value)` pairs.
     pub fn iter(&self) -> Iter<'_, K, V> {
         let mut iter = Iter { stack: Vec::new() };
@@ -393,7 +425,8 @@ impl<K: Ord + Clone, V: Clone> Tree23<K, V> {
     /// `None` if absent.
     pub fn remove(&self, key: &K) -> Option<(Tree23<K, V>, V)> {
         let mut removed = None;
-        let root = match delete_node(&self.root, key, &mut removed) {
+        let mut copied = 0u64;
+        let root = match delete_node(&self.root, key, &mut removed, &mut copied) {
             Del::Same(n) | Del::Hole(n) => n,
         };
         let value = removed?;
@@ -404,6 +437,31 @@ impl<K: Ord + Clone, V: Clone> Tree23<K, V> {
             },
             value,
         ))
+    }
+
+    /// Merges a strictly-ascending batch of per-key effects in one
+    /// structural pass: `Some(v)` sets `key` to `v` (insert or replace),
+    /// `None` removes `key` if present (and is a no-op otherwise).
+    ///
+    /// Untouched subtrees are shared wholesale and each touched node is
+    /// copied once, so k effects cost O(k + touched·log n) node copies
+    /// instead of the k·O(log n) of tuple-at-a-time updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if keys are not strictly ascending.
+    pub fn merge_batch(&self, batch: &[(K, Option<V>)]) -> (Tree23<K, V>, CopyReport) {
+        crate::batch::assert_ascending(batch);
+        let mut copied = 0u64;
+        let mut delta = 0i64;
+        let h = self.height();
+        let (root, _) = merge_node(&self.root, h, batch, &mut copied, &mut delta);
+        let out = Tree23 {
+            root,
+            len: (self.len as i64 + delta) as usize,
+        };
+        let shared = out.node_count().saturating_sub(copied);
+        (out, CopyReport::new(copied, shared))
     }
 }
 
@@ -537,14 +595,17 @@ fn fix_two_left<K: Clone, V: Clone>(
     hole: Arc<Node<K, V>>,
     e: Entry<K, V>,
     right: &Arc<Node<K, V>>,
+    copied: &mut u64,
 ) -> Del<K, V> {
     match &**right {
         Node::Two(rl, b, rr) => {
             // Merge: parent becomes a hole of a Three node.
+            *copied += 1;
             Del::Hole(three(hole, e, rl.clone(), b.clone(), rr.clone()))
         }
         Node::Three(rl, b, rm, c, rr) => {
             // Borrow from the rich sibling.
+            *copied += 3;
             Del::Same(two(
                 two(hole, e, rl.clone()),
                 b.clone(),
@@ -560,14 +621,21 @@ fn fix_two_right<K: Clone, V: Clone>(
     left: &Arc<Node<K, V>>,
     e: Entry<K, V>,
     hole: Arc<Node<K, V>>,
+    copied: &mut u64,
 ) -> Del<K, V> {
     match &**left {
-        Node::Two(ll, a, lr) => Del::Hole(three(ll.clone(), a.clone(), lr.clone(), e, hole)),
-        Node::Three(ll, a, lm, b, lr) => Del::Same(two(
-            two(ll.clone(), a.clone(), lm.clone()),
-            b.clone(),
-            two(lr.clone(), e, hole),
-        )),
+        Node::Two(ll, a, lr) => {
+            *copied += 1;
+            Del::Hole(three(ll.clone(), a.clone(), lr.clone(), e, hole))
+        }
+        Node::Three(ll, a, lm, b, lr) => {
+            *copied += 3;
+            Del::Same(two(
+                two(ll.clone(), a.clone(), lm.clone()),
+                b.clone(),
+                two(lr.clone(), e, hole),
+            ))
+        }
         Node::Leaf => unreachable!("hole sibling cannot be a leaf"),
     }
 }
@@ -580,46 +648,59 @@ fn fix_three<K: Clone, V: Clone>(
     b: Arc<Node<K, V>>,
     e2: Entry<K, V>,
     c: Arc<Node<K, V>>,
+    copied: &mut u64,
 ) -> Del<K, V> {
     // pos: 0 => a is the hole, 1 => b, 2 => c.
     match pos {
         0 => match &*b {
             Node::Two(bl, x, br) => {
+                *copied += 2;
                 Del::Same(two(three(a, e1, bl.clone(), x.clone(), br.clone()), e2, c))
             }
-            Node::Three(bl, x, bm, y, br) => Del::Same(three(
-                two(a, e1, bl.clone()),
-                x.clone(),
-                two(bm.clone(), y.clone(), br.clone()),
-                e2,
-                c,
-            )),
+            Node::Three(bl, x, bm, y, br) => {
+                *copied += 3;
+                Del::Same(three(
+                    two(a, e1, bl.clone()),
+                    x.clone(),
+                    two(bm.clone(), y.clone(), br.clone()),
+                    e2,
+                    c,
+                ))
+            }
             Node::Leaf => unreachable!("hole sibling cannot be a leaf"),
         },
         1 => match &*a {
             Node::Two(al, x, ar) => {
+                *copied += 2;
                 Del::Same(two(three(al.clone(), x.clone(), ar.clone(), e1, b), e2, c))
             }
-            Node::Three(al, x, am, y, ar) => Del::Same(three(
-                two(al.clone(), x.clone(), am.clone()),
-                y.clone(),
-                two(ar.clone(), e1, b),
-                e2,
-                c,
-            )),
+            Node::Three(al, x, am, y, ar) => {
+                *copied += 3;
+                Del::Same(three(
+                    two(al.clone(), x.clone(), am.clone()),
+                    y.clone(),
+                    two(ar.clone(), e1, b),
+                    e2,
+                    c,
+                ))
+            }
             Node::Leaf => unreachable!("hole sibling cannot be a leaf"),
         },
         _ => match &*b {
             Node::Two(bl, x, br) => {
+                *copied += 2;
                 Del::Same(two(a, e1, three(bl.clone(), x.clone(), br.clone(), e2, c)))
             }
-            Node::Three(bl, x, bm, y, br) => Del::Same(three(
-                a,
-                e1,
-                two(bl.clone(), x.clone(), bm.clone()),
-                y.clone(),
-                two(br.clone(), e2, c),
-            )),
+            Node::Three(bl, x, bm, y, br) => {
+                *copied += 3;
+                Del::Same(three(
+                    a,
+                    e1,
+                    two(bl.clone(), x.clone(), bm.clone()),
+                    y.clone(),
+                    two(br.clone(), e2, c),
+                ))
+            }
             Node::Leaf => unreachable!("hole sibling cannot be a leaf"),
         },
     }
@@ -627,31 +708,43 @@ fn fix_three<K: Clone, V: Clone>(
 
 /// Removes the minimum entry of a subtree, returning it alongside the
 /// shrunken-or-not subtree.
-fn delete_min<K: Ord + Clone, V: Clone>(node: &Arc<Node<K, V>>) -> (Del<K, V>, Entry<K, V>) {
+fn delete_min<K: Ord + Clone, V: Clone>(
+    node: &Arc<Node<K, V>>,
+    copied: &mut u64,
+) -> (Del<K, V>, Entry<K, V>) {
     match &**node {
         Node::Leaf => unreachable!("delete_min on empty subtree"),
         Node::Two(l, e, r) => {
             if l.is_leaf() {
                 return (Del::Hole(Arc::new(Node::Leaf)), e.clone());
             }
-            let (dl, min) = delete_min(l);
+            let (dl, min) = delete_min(l, copied);
             let del = match dl {
-                Del::Same(nl) => Del::Same(two(nl, e.clone(), r.clone())),
-                Del::Hole(nl) => fix_two_left(nl, e.clone(), r),
+                Del::Same(nl) => {
+                    *copied += 1;
+                    Del::Same(two(nl, e.clone(), r.clone()))
+                }
+                Del::Hole(nl) => fix_two_left(nl, e.clone(), r, copied),
             };
             (del, min)
         }
         Node::Three(l, e1, m, e2, r) => {
             if l.is_leaf() {
+                *copied += 1;
                 return (
                     Del::Same(two(Arc::new(Node::Leaf), e2.clone(), Arc::new(Node::Leaf))),
                     e1.clone(),
                 );
             }
-            let (dl, min) = delete_min(l);
+            let (dl, min) = delete_min(l, copied);
             let del = match dl {
-                Del::Same(nl) => Del::Same(three(nl, e1.clone(), m.clone(), e2.clone(), r.clone())),
-                Del::Hole(nl) => fix_three(0, nl, e1.clone(), m.clone(), e2.clone(), r.clone()),
+                Del::Same(nl) => {
+                    *copied += 1;
+                    Del::Same(three(nl, e1.clone(), m.clone(), e2.clone(), r.clone()))
+                }
+                Del::Hole(nl) => {
+                    fix_three(0, nl, e1.clone(), m.clone(), e2.clone(), r.clone(), copied)
+                }
             };
             (del, min)
         }
@@ -662,6 +755,7 @@ fn delete_node<K: Ord + Clone, V: Clone>(
     node: &Arc<Node<K, V>>,
     key: &K,
     removed: &mut Option<V>,
+    copied: &mut u64,
 ) -> Del<K, V> {
     match &**node {
         Node::Leaf => Del::Same(node.clone()),
@@ -675,21 +769,30 @@ fn delete_node<K: Ord + Clone, V: Clone>(
                         return Del::Hole(Arc::new(Node::Leaf));
                     }
                     // Replace with the successor, then fix up.
-                    let (dr, succ) = delete_min(r);
+                    let (dr, succ) = delete_min(r, copied);
                     match dr {
-                        Del::Same(nr) => Del::Same(two(l.clone(), succ, nr)),
-                        Del::Hole(nr) => fix_two_right(l, succ, nr),
+                        Del::Same(nr) => {
+                            *copied += 1;
+                            Del::Same(two(l.clone(), succ, nr))
+                        }
+                        Del::Hole(nr) => fix_two_right(l, succ, nr, copied),
                     }
                 }
-                Less => match delete_node(l, key, removed) {
+                Less => match delete_node(l, key, removed, copied) {
                     _ if removed.is_none() => Del::Same(node.clone()),
-                    Del::Same(nl) => Del::Same(two(nl, e.clone(), r.clone())),
-                    Del::Hole(nl) => fix_two_left(nl, e.clone(), r),
+                    Del::Same(nl) => {
+                        *copied += 1;
+                        Del::Same(two(nl, e.clone(), r.clone()))
+                    }
+                    Del::Hole(nl) => fix_two_left(nl, e.clone(), r, copied),
                 },
-                Greater => match delete_node(r, key, removed) {
+                Greater => match delete_node(r, key, removed, copied) {
                     _ if removed.is_none() => Del::Same(node.clone()),
-                    Del::Same(nr) => Del::Same(two(l.clone(), e.clone(), nr)),
-                    Del::Hole(nr) => fix_two_right(l, e.clone(), nr),
+                    Del::Same(nr) => {
+                        *copied += 1;
+                        Del::Same(two(l.clone(), e.clone(), nr))
+                    }
+                    Del::Hole(nr) => fix_two_right(l, e.clone(), nr, copied),
                 },
             }
         }
@@ -698,50 +801,345 @@ fn delete_node<K: Ord + Clone, V: Clone>(
             if key == &e1.0 {
                 *removed = Some(e1.1.clone());
                 if bottom {
+                    *copied += 1;
                     return Del::Same(two(Arc::new(Node::Leaf), e2.clone(), Arc::new(Node::Leaf)));
                 }
-                let (dm, succ) = delete_min(m);
+                let (dm, succ) = delete_min(m, copied);
                 return match dm {
-                    Del::Same(nm) => Del::Same(three(l.clone(), succ, nm, e2.clone(), r.clone())),
-                    Del::Hole(nm) => fix_three(1, l.clone(), succ, nm, e2.clone(), r.clone()),
+                    Del::Same(nm) => {
+                        *copied += 1;
+                        Del::Same(three(l.clone(), succ, nm, e2.clone(), r.clone()))
+                    }
+                    Del::Hole(nm) => {
+                        fix_three(1, l.clone(), succ, nm, e2.clone(), r.clone(), copied)
+                    }
                 };
             }
             if key == &e2.0 {
                 *removed = Some(e2.1.clone());
                 if bottom {
+                    *copied += 1;
                     return Del::Same(two(Arc::new(Node::Leaf), e1.clone(), Arc::new(Node::Leaf)));
                 }
-                let (dr, succ) = delete_min(r);
+                let (dr, succ) = delete_min(r, copied);
                 return match dr {
-                    Del::Same(nr) => Del::Same(three(l.clone(), e1.clone(), m.clone(), succ, nr)),
-                    Del::Hole(nr) => fix_three(2, l.clone(), e1.clone(), m.clone(), succ, nr),
+                    Del::Same(nr) => {
+                        *copied += 1;
+                        Del::Same(three(l.clone(), e1.clone(), m.clone(), succ, nr))
+                    }
+                    Del::Hole(nr) => {
+                        fix_three(2, l.clone(), e1.clone(), m.clone(), succ, nr, copied)
+                    }
                 };
             }
             if key < &e1.0 {
-                match delete_node(l, key, removed) {
+                match delete_node(l, key, removed, copied) {
                     _ if removed.is_none() => Del::Same(node.clone()),
                     Del::Same(nl) => {
+                        *copied += 1;
                         Del::Same(three(nl, e1.clone(), m.clone(), e2.clone(), r.clone()))
                     }
-                    Del::Hole(nl) => fix_three(0, nl, e1.clone(), m.clone(), e2.clone(), r.clone()),
+                    Del::Hole(nl) => {
+                        fix_three(0, nl, e1.clone(), m.clone(), e2.clone(), r.clone(), copied)
+                    }
                 }
             } else if key < &e2.0 {
-                match delete_node(m, key, removed) {
+                match delete_node(m, key, removed, copied) {
                     _ if removed.is_none() => Del::Same(node.clone()),
                     Del::Same(nm) => {
+                        *copied += 1;
                         Del::Same(three(l.clone(), e1.clone(), nm, e2.clone(), r.clone()))
                     }
-                    Del::Hole(nm) => fix_three(1, l.clone(), e1.clone(), nm, e2.clone(), r.clone()),
+                    Del::Hole(nm) => {
+                        fix_three(1, l.clone(), e1.clone(), nm, e2.clone(), r.clone(), copied)
+                    }
                 }
             } else {
-                match delete_node(r, key, removed) {
+                match delete_node(r, key, removed, copied) {
                     _ if removed.is_none() => Del::Same(node.clone()),
                     Del::Same(nr) => {
+                        *copied += 1;
                         Del::Same(three(l.clone(), e1.clone(), m.clone(), e2.clone(), nr))
                     }
-                    Del::Hole(nr) => fix_three(2, l.clone(), e1.clone(), m.clone(), e2.clone(), nr),
+                    Del::Hole(nr) => {
+                        fix_three(2, l.clone(), e1.clone(), m.clone(), e2.clone(), nr, copied)
+                    }
                 }
             }
+        }
+    }
+}
+
+/// Joins `l` (height `hl`), a separating entry, and `r` (height `hr`) —
+/// every key in `l` < `e.0` < every key in `r` — into one uniform-depth
+/// tree, copying O(|hl − hr| + 1) nodes along the taller side's spine.
+fn join_nodes<K: Ord + Clone, V: Clone>(
+    l: Arc<Node<K, V>>,
+    hl: usize,
+    e: Entry<K, V>,
+    r: Arc<Node<K, V>>,
+    hr: usize,
+    copied: &mut u64,
+) -> (Arc<Node<K, V>>, usize) {
+    use std::cmp::Ordering::*;
+    let finish = |ins: Ins<K, V>, h: usize, copied: &mut u64| match ins {
+        Ins::Fit(n) => (n, h),
+        Ins::Split(a, up, b) => {
+            *copied += 1;
+            (two(a, up, b), h + 1)
+        }
+    };
+    match hl.cmp(&hr) {
+        Equal => {
+            *copied += 1;
+            (two(l, e, r), hl + 1)
+        }
+        Greater => {
+            let ins = join_right(&l, hl, e, r, hr, copied);
+            finish(ins, hl, copied)
+        }
+        Less => {
+            let ins = join_left(l, hl, e, &r, hr, copied);
+            finish(ins, hr, copied)
+        }
+    }
+}
+
+/// Descends the right spine of `node` (height `h` > `rh`) and grafts `r`
+/// beside the height-`rh` subtree, propagating splits exactly like insert.
+fn join_right<K: Ord + Clone, V: Clone>(
+    node: &Arc<Node<K, V>>,
+    h: usize,
+    e: Entry<K, V>,
+    r: Arc<Node<K, V>>,
+    rh: usize,
+    copied: &mut u64,
+) -> Ins<K, V> {
+    if h == rh {
+        return Ins::Split(node.clone(), e, r);
+    }
+    match &**node {
+        Node::Leaf => unreachable!("h > rh implies an interior node"),
+        Node::Two(a, e1, b) => match join_right(b, h - 1, e, r, rh, copied) {
+            Ins::Fit(nb) => {
+                *copied += 1;
+                Ins::Fit(two(a.clone(), e1.clone(), nb))
+            }
+            Ins::Split(x, up, y) => {
+                *copied += 1;
+                Ins::Fit(three(a.clone(), e1.clone(), x, up, y))
+            }
+        },
+        Node::Three(a, e1, b, e2, c) => match join_right(c, h - 1, e, r, rh, copied) {
+            Ins::Fit(nc) => {
+                *copied += 1;
+                Ins::Fit(three(a.clone(), e1.clone(), b.clone(), e2.clone(), nc))
+            }
+            Ins::Split(x, up, y) => {
+                *copied += 2;
+                Ins::Split(
+                    two(a.clone(), e1.clone(), b.clone()),
+                    e2.clone(),
+                    two(x, up, y),
+                )
+            }
+        },
+    }
+}
+
+/// Mirror of [`join_right`]: descends the left spine of `node`
+/// (height `h` > `lh`) and grafts `l` beside the height-`lh` subtree.
+fn join_left<K: Ord + Clone, V: Clone>(
+    l: Arc<Node<K, V>>,
+    lh: usize,
+    e: Entry<K, V>,
+    node: &Arc<Node<K, V>>,
+    h: usize,
+    copied: &mut u64,
+) -> Ins<K, V> {
+    if h == lh {
+        return Ins::Split(l, e, node.clone());
+    }
+    match &**node {
+        Node::Leaf => unreachable!("h > lh implies an interior node"),
+        Node::Two(a, e1, b) => match join_left(l, lh, e, a, h - 1, copied) {
+            Ins::Fit(na) => {
+                *copied += 1;
+                Ins::Fit(two(na, e1.clone(), b.clone()))
+            }
+            Ins::Split(x, up, y) => {
+                *copied += 1;
+                Ins::Fit(three(x, up, y, e1.clone(), b.clone()))
+            }
+        },
+        Node::Three(a, e1, b, e2, c) => match join_left(l, lh, e, a, h - 1, copied) {
+            Ins::Fit(na) => {
+                *copied += 1;
+                Ins::Fit(three(na, e1.clone(), b.clone(), e2.clone(), c.clone()))
+            }
+            Ins::Split(x, up, y) => {
+                *copied += 2;
+                Ins::Split(
+                    two(x, up, y),
+                    e1.clone(),
+                    two(b.clone(), e2.clone(), c.clone()),
+                )
+            }
+        },
+    }
+}
+
+/// Joins two trees with no separating entry by popping the minimum of the
+/// right side as the separator.
+fn join2_nodes<K: Ord + Clone, V: Clone>(
+    l: Arc<Node<K, V>>,
+    hl: usize,
+    r: Arc<Node<K, V>>,
+    hr: usize,
+    copied: &mut u64,
+) -> (Arc<Node<K, V>>, usize) {
+    if r.is_leaf() {
+        return (l, hl);
+    }
+    let (dr, min) = delete_min(&r, copied);
+    match dr {
+        Del::Same(nr) => join_nodes(l, hl, min, nr, hr, copied),
+        Del::Hole(nr) => join_nodes(l, hl, min, nr, hr - 1, copied),
+    }
+}
+
+/// Builds a uniform-depth 2-3 tree of exactly height `h` from strictly
+/// ascending entries; `h` must admit `entries.len()` (between `2^h − 1`
+/// and `3^h − 1`).
+fn build_to_height<K: Clone, V: Clone>(
+    entries: &[Entry<K, V>],
+    h: usize,
+    copied: &mut u64,
+) -> Arc<Node<K, V>> {
+    let n = entries.len();
+    if h == 0 {
+        debug_assert_eq!(n, 0, "height 0 holds no entries");
+        return Arc::new(Node::Leaf);
+    }
+    // Child capacity at height h − 1.
+    let min = (1usize << (h - 1)) - 1;
+    let max = 3usize.pow((h - 1) as u32) - 1;
+    if n > 2 * min && n - 1 <= 2 * max {
+        // Two node: split n − 1 entries evenly across both children.
+        let nl = ((n - 1) / 2).clamp(min, max.min(n - 1 - min));
+        *copied += 1;
+        two(
+            build_to_height(&entries[..nl], h - 1, copied),
+            entries[nl].clone(),
+            build_to_height(&entries[nl + 1..], h - 1, copied),
+        )
+    } else {
+        // Three node: split n − 2 entries across three children.
+        let rem = n - 2;
+        let na = (rem / 3).clamp(min, max.min(rem - 2 * min));
+        let rem2 = rem - na;
+        let nb = (rem2 / 2).clamp(min, max.min(rem2 - min));
+        *copied += 1;
+        three(
+            build_to_height(&entries[..na], h - 1, copied),
+            entries[na].clone(),
+            build_to_height(&entries[na + 1..na + 1 + nb], h - 1, copied),
+            entries[na + 1 + nb].clone(),
+            build_to_height(&entries[na + 2 + nb..], h - 1, copied),
+        )
+    }
+}
+
+/// Builds a minimal-height 2-3 tree from strictly ascending entries,
+/// allocating exactly one node per 1–2 entries.
+fn build_sorted<K: Clone, V: Clone>(
+    entries: &[Entry<K, V>],
+    copied: &mut u64,
+) -> (Arc<Node<K, V>>, usize) {
+    if entries.is_empty() {
+        return (Arc::new(Node::Leaf), 0);
+    }
+    let (mut h, mut max) = (0usize, 0usize);
+    while max < entries.len() {
+        h += 1;
+        max = 3 * max + 2;
+    }
+    (build_to_height(entries, h, copied), h)
+}
+
+/// The one-pass batch merge: splits the batch around each node's keys,
+/// recurses, and reassembles with joins. Subtrees whose batch slice is
+/// empty are shared wholesale.
+fn merge_node<K: Ord + Clone, V: Clone>(
+    node: &Arc<Node<K, V>>,
+    h: usize,
+    batch: &[(K, Option<V>)],
+    copied: &mut u64,
+    delta: &mut i64,
+) -> (Arc<Node<K, V>>, usize) {
+    if batch.is_empty() {
+        return (node.clone(), h);
+    }
+    // Applies one key's effect while joining its flanking subtrees.
+    #[allow(clippy::too_many_arguments)]
+    fn reattach<K: Ord + Clone, V: Clone>(
+        l: Arc<Node<K, V>>,
+        hl: usize,
+        e: &Entry<K, V>,
+        effect: Option<&Option<V>>,
+        r: Arc<Node<K, V>>,
+        hr: usize,
+        copied: &mut u64,
+        delta: &mut i64,
+    ) -> (Arc<Node<K, V>>, usize) {
+        match effect {
+            None => join_nodes(l, hl, e.clone(), r, hr, copied),
+            Some(Some(v)) => join_nodes(l, hl, (e.0.clone(), v.clone()), r, hr, copied),
+            Some(None) => {
+                *delta -= 1;
+                join2_nodes(l, hl, r, hr, copied)
+            }
+        }
+    }
+    match &**node {
+        Node::Leaf => {
+            let entries: Vec<Entry<K, V>> = batch
+                .iter()
+                .filter_map(|(k, v)| v.clone().map(|v| (k.clone(), v)))
+                .collect();
+            if entries.is_empty() {
+                // Nothing but no-op deletes of absent keys: share the leaf.
+                return (node.clone(), 0);
+            }
+            *delta += entries.len() as i64;
+            build_sorted(&entries, copied)
+        }
+        Node::Two(l, e, r) => {
+            let (lo, me, hi) = crate::batch::split_batch(batch, &e.0);
+            let (nl, hl) = merge_node(l, h - 1, lo, copied, delta);
+            let (nr, hr) = merge_node(r, h - 1, hi, copied, delta);
+            if me.is_none() && Arc::ptr_eq(&nl, l) && Arc::ptr_eq(&nr, r) {
+                // Every effect was a no-op delete: share wholesale.
+                return (node.clone(), h);
+            }
+            reattach(nl, hl, e, me, nr, hr, copied, delta)
+        }
+        Node::Three(l, e1, m, e2, r) => {
+            let (lo, m1, rest) = crate::batch::split_batch(batch, &e1.0);
+            let (mid, m2, hi) = crate::batch::split_batch(rest, &e2.0);
+            let (nl, hl) = merge_node(l, h - 1, lo, copied, delta);
+            let (nm, hm) = merge_node(m, h - 1, mid, copied, delta);
+            let (nr, hr) = merge_node(r, h - 1, hi, copied, delta);
+            if m1.is_none()
+                && m2.is_none()
+                && Arc::ptr_eq(&nl, l)
+                && Arc::ptr_eq(&nm, m)
+                && Arc::ptr_eq(&nr, r)
+            {
+                return (node.clone(), h);
+            }
+            let (t, ht) = reattach(nl, hl, e1, m1, nm, hm, copied, delta);
+            reattach(t, ht, e2, m2, nr, hr, copied, delta)
         }
     }
 }
@@ -1044,5 +1442,114 @@ mod tests {
     fn entries_helper_roundtrip() {
         let t: Tree23<i32, i32> = (0..7).map(|i| (i, i)).collect();
         assert_eq!(entries(&t), (0..7).map(|i| (i, i)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn merge_batch_matches_sequential_application() {
+        let mut state = 0xfeed_f00d_u64;
+        let mut rand = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for round in 0..60 {
+            let size = rand() % 150;
+            let mut t: Tree23<u32, u32> = (0..size).map(|i| (i * 3, i)).collect();
+            let mut model: BTreeMap<u32, Option<u32>> = BTreeMap::new();
+            for _ in 0..(rand() % 50) {
+                let k = rand() % 500;
+                if rand() % 3 == 0 {
+                    model.insert(k, None);
+                } else {
+                    model.insert(k, Some(rand()));
+                }
+            }
+            let batch: Vec<(u32, Option<u32>)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+            let (merged, _) = t.merge_batch(&batch);
+            for (k, v) in &batch {
+                t = match v {
+                    Some(v) => t.insert(*k, *v),
+                    None => t.remove(k).map(|(t2, _)| t2).unwrap_or(t),
+                };
+            }
+            assert!(merged.check_invariants(), "round {round}");
+            assert_eq!(merged, t, "round {round}");
+        }
+    }
+
+    #[test]
+    fn merge_batch_on_empty_builds_uniform_depth() {
+        for n in [0u32, 1, 2, 3, 7, 26, 27, 100, 500] {
+            let batch: Vec<(u32, Option<u32>)> = (0..n).map(|k| (k, Some(k))).collect();
+            let (t, report) = Tree23::new().merge_batch(&batch);
+            assert!(t.check_invariants(), "n={n}");
+            assert_eq!(t.len(), n as usize);
+            assert_eq!(report.copied, t.node_count(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn merge_batch_copies_far_less_than_singles() {
+        let t: Tree23<u32, u32> = (0..10_000).map(|i| (i * 2, i)).collect();
+        // 256 fresh odd keys in one adjacent region.
+        let batch: Vec<(u32, Option<u32>)> =
+            (0..256).map(|i| (4000 + i * 2 + 1, Some(i))).collect();
+        let (merged, report) = t.merge_batch(&batch);
+        assert!(merged.check_invariants());
+        assert_eq!(merged.len(), 10_000 + 256);
+        let mut singles = 0u64;
+        let mut seq = t.clone();
+        for (k, v) in &batch {
+            let (next, r) = seq.insert_counted(*k, v.unwrap());
+            singles += r.copied;
+            seq = next;
+        }
+        assert!(
+            report.copied * 2 <= singles,
+            "merge copied {} vs sequential {}",
+            report.copied,
+            singles
+        );
+        assert_eq!(merged, seq);
+    }
+
+    #[test]
+    fn merge_batch_noop_deletes_share_everything() {
+        let t: Tree23<u32, u32> = (0..100).map(|i| (i * 2, i)).collect();
+        let batch: Vec<(u32, Option<u32>)> = (0..50).map(|i| (i * 4 + 1, None)).collect();
+        let (merged, report) = t.merge_batch(&batch);
+        assert!(t.ptr_eq(&merged));
+        assert_eq!(report.copied, 0, "{report}");
+    }
+
+    #[test]
+    fn merge_batch_mixed_inserts_and_deletes() {
+        let t: Tree23<u32, u32> = (0..1000).map(|i| (i, i)).collect();
+        // Delete all evens, replace 100..200, insert beyond the max key.
+        let mut batch: Vec<(u32, Option<u32>)> = Vec::new();
+        for k in 0..1000 {
+            if (100..200).contains(&k) {
+                batch.push((k, Some(k + 7)));
+            } else if k % 2 == 0 {
+                batch.push((k, None));
+            }
+        }
+        for k in 2000..2050 {
+            batch.push((k, Some(k)));
+        }
+        let (merged, _) = t.merge_batch(&batch);
+        assert!(merged.check_invariants());
+        assert_eq!(merged.get(&150), Some(&157));
+        assert_eq!(merged.get(&48), None);
+        assert_eq!(merged.get(&49), Some(&49));
+        assert_eq!(merged.get(&2049), Some(&2049));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending keys (violated at index 1)")]
+    fn merge_batch_rejects_unsorted() {
+        let t: Tree23<u32, u32> = Tree23::new();
+        let _ = t.merge_batch(&[(5, Some(5)), (1, Some(1))]);
     }
 }

@@ -20,12 +20,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 pub mod database;
 pub mod relation;
 pub mod schema;
 pub mod tuple;
 pub mod value;
 
+pub use batch::{BatchOp, BatchOutcome, BatchTask};
 pub use database::{Database, DatabaseError, RelationName};
 pub use relation::{Relation, Repr};
 pub use schema::{Schema, SchemaError};

@@ -181,6 +181,56 @@ impl Relation {
         }
     }
 
+    /// Like [`find`](Self::find), but also reports how many stored cells the
+    /// probe examined — the instrumented form behind the sublinear-probe
+    /// guarantees.
+    ///
+    /// For the key-ordered list this counts visited list cells: the scan
+    /// stops at the first key past the probe, so a miss "early" in key space
+    /// touches far fewer cells than the relation holds. Tree representations
+    /// count the entries compared along the root-to-leaf descent plus the
+    /// matched bucket's length; paged stores scan fully.
+    pub fn find_counted(&self, key: &Value) -> (Vec<Tuple>, usize) {
+        match self {
+            Relation::List(l) => {
+                let mut out = Vec::new();
+                let mut visited = 0usize;
+                for t in l.iter() {
+                    visited += 1;
+                    match t.key().cmp(key) {
+                        std::cmp::Ordering::Less => continue,
+                        std::cmp::Ordering::Equal => out.push(t.clone()),
+                        std::cmp::Ordering::Greater => break,
+                    }
+                }
+                (out, visited)
+            }
+            Relation::Tree(t) => {
+                // Each descent level compares against at most 2 keys.
+                let visited = 2 * t.height();
+                let out: Vec<Tuple> = t
+                    .get(key)
+                    .map(|b| b.iter().cloned().collect())
+                    .unwrap_or_default();
+                let visited = visited + out.len();
+                (out, visited)
+            }
+            Relation::BTree(t) => {
+                let visited = (2 * t.min_degree() - 1) * t.height();
+                let out: Vec<Tuple> = t
+                    .get(key)
+                    .map(|b| b.iter().cloned().collect())
+                    .unwrap_or_default();
+                let visited = visited + out.len();
+                (out, visited)
+            }
+            Relation::Paged(p) => {
+                let out: Vec<Tuple> = p.iter().filter(|t| t.key() == key).cloned().collect();
+                (out, p.len())
+            }
+        }
+    }
+
     /// Every tuple whose key lies in `lo..=hi`, in key order.
     ///
     /// List relations stop scanning once keys pass `hi`; tree relations
@@ -526,6 +576,31 @@ mod tests {
             assert!(r.find_range(&13.into(), &5.into()).is_empty(), "{repr}");
             assert_eq!(r.find_range(&0.into(), &100.into()).len(), 20, "{repr}");
         }
+    }
+
+    #[test]
+    fn list_miss_probe_is_sublinear_in_cell_visits() {
+        // 2000 tuples with even keys; probing an absent odd key near the
+        // front must terminate at the first greater key rather than walk the
+        // whole list.
+        let n = 2000i64;
+        let r = Relation::from_tuples(Repr::List, (0..n).map(|k| Tuple::of_key(k * 2)));
+        let (found, visited) = r.find_counted(&31.into());
+        assert!(found.is_empty());
+        // Keys 0..=30 (16 cells) plus the terminating cell holding 32.
+        assert_eq!(visited, 17);
+        assert!(
+            visited * 10 < n as usize,
+            "miss probe visited {visited} of {n} cells"
+        );
+        // A hit probe also stops at the first greater key.
+        let (found, visited) = r.find_counted(&30.into());
+        assert_eq!(found.len(), 1);
+        assert_eq!(visited, 17);
+        // Tree probes visit O(log n) entries.
+        let tree = Relation::from_tuples(Repr::Tree23, (0..n).map(|k| Tuple::of_key(k * 2)));
+        let (_, visited) = tree.find_counted(&31.into());
+        assert!(visited * 10 < n as usize, "tree probe visited {visited}");
     }
 
     #[test]

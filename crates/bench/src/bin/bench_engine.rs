@@ -16,6 +16,12 @@
 //! engine overhead, not relation-representation cost. A no-engine
 //! sequential fold of the same transactions is printed as the floor.
 //!
+//! A fifth workload, `selective` ([`fundb_workload::SelectiveSpec`]),
+//! measures the query planner rather than the engine: equality and range
+//! selects on a non-key attribute of a 100k-tuple relation, run against
+//! the same pipelined engine over a database without (full scan) and with
+//! (index pushdown) a secondary index on that attribute.
+//!
 //! Run from the repository root to refresh the checked-in record:
 //!
 //! ```text
@@ -35,7 +41,7 @@ use fundb_core::{ClassicEngine, PipelinedEngine};
 use fundb_lenient::Lenient;
 use fundb_query::{Response, Transaction};
 use fundb_relational::Database;
-use fundb_workload::HotPathSpec;
+use fundb_workload::{HotPathSpec, SelectiveSpec};
 
 const CLIENTS: usize = 4;
 const OPS_PER_CLIENT: usize = 8000;
@@ -44,12 +50,20 @@ const KEY_SPACE: u64 = 64;
 /// runs then hold many distinct keys, which is what the one-pass
 /// `merge_batch` kernels and the scattered per-key folds exist for.
 const BATCH_KEY_SPACE: u64 = 1024;
+/// `selective` probes a non-key attribute of one large relation: the scan
+/// side pays a full pass per query, the indexed side a posting lookup.
+const SELECTIVE_TUPLES: usize = 100_000;
+const SELECTIVE_GROUPS: i64 = 1_000;
+const SELECTIVE_OPS_PER_CLIENT: usize = 200;
 const REPETITIONS: usize = 7;
 const WORKER_COUNTS: [usize; 3] = [1, 4, 8];
 
 /// Sizing knobs, scaled down by `--smoke` for a fast CI correctness pass.
 struct Config {
     ops_per_client: usize,
+    selective_tuples: usize,
+    selective_groups: i64,
+    selective_ops_per_client: usize,
     repetitions: usize,
     smoke: bool,
 }
@@ -59,6 +73,9 @@ impl Config {
         let smoke = std::env::args().any(|a| a == "--smoke");
         Config {
             ops_per_client: if smoke { 300 } else { OPS_PER_CLIENT },
+            selective_tuples: if smoke { 2_000 } else { SELECTIVE_TUPLES },
+            selective_groups: if smoke { 50 } else { SELECTIVE_GROUPS },
+            selective_ops_per_client: if smoke { 25 } else { SELECTIVE_OPS_PER_CLIENT },
             repetitions: if smoke { 1 } else { REPETITIONS },
             smoke,
         }
@@ -216,6 +233,17 @@ impl Row {
     fn speedup(&self) -> f64 {
         self.current / self.classic
     }
+
+    /// What the two measured sides are. The hot-path workloads compare
+    /// engines on one database; `selective` compares one engine (the
+    /// current one, which plans) on scan-only vs indexed databases.
+    fn side_labels(&self) -> (&'static str, &'static str) {
+        if self.workload == "selective" {
+            ("scan", "indexed")
+        } else {
+            ("classic", "current")
+        }
+    }
 }
 
 fn main() {
@@ -235,23 +263,19 @@ fn main() {
                 &clients,
                 config.repetitions,
             );
-            let row = Row {
-                workload: name,
-                workers,
-                classic,
-                current,
-            };
-            println!(
-                "{:<12} workers={} classic={:>12.0} ops/s  current={:>12.0} ops/s  speedup={:.2}x",
-                row.workload,
-                row.workers,
-                row.classic,
-                row.current,
-                row.speedup()
+            push_row(
+                Row {
+                    workload: name,
+                    workers,
+                    classic,
+                    current,
+                },
+                &mut rows,
             );
-            rows.push(row);
         }
     }
+
+    run_selective(&config, &mut rows, &mut floors);
 
     if config.smoke {
         println!(
@@ -265,12 +289,67 @@ fn main() {
     println!("\nwrote BENCH_engine.json ({} cases)", rows.len());
 }
 
+/// Prints one measured row with its side labels and records it.
+fn push_row(row: Row, rows: &mut Vec<Row>) {
+    let (left, right) = row.side_labels();
+    println!(
+        "{:<12} workers={} {left}={:>12.0} ops/s  {right}={:>12.0} ops/s  speedup={:.2}x",
+        row.workload,
+        row.workers,
+        row.classic,
+        row.current,
+        row.speedup()
+    );
+    rows.push(row);
+}
+
+/// The `selective` workload: equality and range selects on a non-key
+/// attribute of a large relation, measured against the same pipelined
+/// engine twice — once over a database without an index (full-scan
+/// fallback) and once with a secondary index on the probed attribute
+/// (planner pushdown). The ratio is the index win, holding the engine
+/// constant.
+fn run_selective(config: &Config, rows: &mut Vec<Row>, floors: &mut Vec<(&'static str, f64)>) {
+    let spec = SelectiveSpec {
+        clients: CLIENTS,
+        ops_per_client: config.selective_ops_per_client,
+        tuples: config.selective_tuples,
+        groups: config.selective_groups,
+        seed: 0xbe55,
+    };
+    let scan_db = spec.initial();
+    let indexed_db = SelectiveSpec::index(&scan_db);
+    let clients = spec.all_clients();
+    let floor = sequential_floor(&scan_db, &clients, config.repetitions);
+    println!("{:<12} sequential floor: {floor:>12.0} ops/s", "selective");
+    floors.push(("selective", floor));
+    for &workers in &WORKER_COUNTS {
+        let (scan, indexed) = measure(
+            || Box::new(PipelinedEngine::new(workers, &scan_db)),
+            || Box::new(PipelinedEngine::new(workers, &indexed_db)),
+            &clients,
+            config.repetitions,
+        );
+        push_row(
+            Row {
+                workload: "selective",
+                workers,
+                classic: scan,
+                current: indexed,
+            },
+            rows,
+        );
+    }
+}
+
 fn render_json(rows: &[Row], floors: &[(&str, f64)], config: &Config) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(
         "  \"benchmark\": \"pipelined engine hot path: classic (coarse lock, job-per-txn) \
-         vs current (sharded frontier, write coalescing, read fast-path)\",\n",
+         vs current (sharded frontier, write coalescing, read fast-path); the selective \
+         workload instead holds the current engine fixed and compares full-scan vs \
+         secondary-index access paths\",\n",
     );
     out.push_str("  \"regenerate\": \"cargo run --release -p fundb-bench --bin bench_engine\",\n");
     out.push_str(&format!(
@@ -298,9 +377,10 @@ fn render_json(rows: &[Row], floors: &[(&str, f64)], config: &Config) -> String 
     out.push_str("  ],\n");
     out.push_str("  \"cases\": [\n");
     for (i, row) in rows.iter().enumerate() {
+        let (left, right) = row.side_labels();
         out.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"workers\": {}, \"classic_ops_per_sec\": {:.0}, \
-             \"current_ops_per_sec\": {:.0}, \"speedup\": {:.2}}}{}\n",
+            "    {{\"workload\": \"{}\", \"workers\": {}, \"{left}_ops_per_sec\": {:.0}, \
+             \"{right}_ops_per_sec\": {:.0}, \"speedup\": {:.2}}}{}\n",
             row.workload,
             row.workers,
             row.classic,

@@ -228,18 +228,21 @@ impl DataflowCompiler {
                 }
                 Query::Select { relation, .. }
                 | Query::Count { relation }
-                | Query::Aggregate { relation, .. } => index.get(relation).copied().and_then(|p| {
-                    let cursor = self.walk_spine(&mut g, entry, &spine, p, group);
-                    let visited = rels[p].keys.len();
-                    match self.model.shape {
-                        AccessShape::LinearList => {
-                            self.walk_cells(&mut g, cursor, &rels[p].avail, visited, group)
+                | Query::Aggregate { relation, .. }
+                | Query::CreateIndex { relation, .. } => {
+                    index.get(relation).copied().and_then(|p| {
+                        let cursor = self.walk_spine(&mut g, entry, &spine, p, group);
+                        let visited = rels[p].keys.len();
+                        match self.model.shape {
+                            AccessShape::LinearList => {
+                                self.walk_cells(&mut g, cursor, &rels[p].avail, visited, group)
+                            }
+                            AccessShape::BalancedTree => {
+                                self.walk_tree_path(&mut g, cursor, rels[p].root, visited, group)
+                            }
                         }
-                        AccessShape::BalancedTree => {
-                            self.walk_tree_path(&mut g, cursor, rels[p].root, visited, group)
-                        }
-                    }
-                }),
+                    })
+                }
                 Query::Insert { relation, tuple } => index.get(relation).copied().and_then(|p| {
                     let cursor = self.walk_spine(&mut g, entry, &spine, p, group);
                     // Spine copy proceeds from the unfold, in parallel with

@@ -45,8 +45,9 @@ use std::fmt;
 use std::sync::Arc;
 
 use fundb_lenient::{scatter, Lenient, WorkerPool};
-use fundb_query::ast::{apply_select, compute_aggregate};
-use fundb_query::{Query, Response, Transaction};
+use fundb_query::ast::compute_aggregate;
+use fundb_query::plan::execute_select;
+use fundb_query::{FieldRef, Query, Response, Transaction};
 use fundb_relational::{BatchOp, BatchOutcome, Database, Relation, RelationName, Schema};
 use parking_lot::{Mutex, MutexGuard, RwLock};
 
@@ -119,6 +120,26 @@ fn commit_and_apply(
             Query::Delete { key, .. } => {
                 let (next, removed, _) = first.delete(&key);
                 (next, Response::Deleted(removed.len()))
+            }
+            Query::CreateIndex {
+                relation,
+                name,
+                field,
+            } => {
+                // Submission normalized the field to a position, so the
+                // index definition needs no schema here. A duplicate is
+                // answered with the same error string as the translate
+                // path; its logged record replays as the same no-op.
+                let pos = field
+                    .resolve(None)
+                    .expect("index field normalized to a position at submission");
+                match first.create_index(&name, pos) {
+                    Some(next) => (next, Response::IndexCreated { relation, name }),
+                    None => (
+                        first.clone(),
+                        Response::Error(format!("index already exists on {relation}: {name}")),
+                    ),
+                }
             }
             _ => unreachable!("write arm"),
         };
@@ -512,8 +533,7 @@ impl PipelinedEngine {
                             projection,
                             predicate,
                             ..
-                        } => match apply_select(rel.scan(), schema.as_ref(), projection, predicate)
-                        {
+                        } => match execute_select(rel, schema.as_ref(), projection, predicate) {
                             Ok(tuples) => Response::Tuples(tuples),
                             Err(e) => Response::Error(e),
                         },
@@ -580,6 +600,72 @@ impl PipelinedEngine {
                     response
                         .fill(Response::Tuples(left_rel.join_by_key(right_rel)))
                         .ok();
+                });
+                out
+            }
+            Query::CreateIndex {
+                relation,
+                name,
+                field,
+            } => {
+                let catalog = self.catalog.read();
+                let Some(slot) = catalog.slots.get(relation) else {
+                    drop(catalog);
+                    response
+                        .fill(Response::Error(format!("no such relation: {relation}")))
+                        .ok();
+                    return out;
+                };
+                // Resolve the field against the slot's static schema at
+                // submission, so the logged record and the apply arm agree
+                // on a position regardless of how the schema is spelled.
+                let pos = match field.resolve(slot.schema.as_ref()) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        drop(catalog);
+                        response.fill(Response::Error(e)).ok();
+                        return out;
+                    }
+                };
+                let normalized = Query::CreateIndex {
+                    relation: relation.clone(),
+                    name: name.clone(),
+                    field: FieldRef::Index(pos),
+                };
+                let mut state = slot.state.lock();
+                let seq = state.next_seq;
+                state.next_seq += 1;
+                // DDL never coalesces with data writes: seal the open batch
+                // and run the create in its own already-sealed single-op
+                // batch. The batch kernel folds Insert/Delete/Replace only,
+                // and the sealed run keeps the WAL record at this exact
+                // sequence position — logged before visibility, the same
+                // rule as `create relation`.
+                seal(&mut state);
+                let input = state.head.clone();
+                let output = Lenient::new();
+                let batch = Arc::new(Mutex::new(BatchOps {
+                    relation: relation.clone(),
+                    input: input.clone(),
+                    ops: vec![(seq, normalized, response)],
+                    sealed: true,
+                }));
+                state.head = output.clone();
+                state.open = Some(Arc::clone(&batch));
+                let sink = self.sink.clone();
+                // Spawn while still holding the slot lock (see the write
+                // arm below for why enqueue order must match version order).
+                self.pool.spawn(move || {
+                    let first = input.wait();
+                    let (relation, claimed) = {
+                        let mut guard = batch.lock();
+                        (guard.relation.clone(), std::mem::take(&mut guard.ops))
+                    };
+                    if claimed.is_empty() {
+                        // A reader forced this batch already.
+                        return;
+                    }
+                    commit_and_apply(sink.as_ref(), &relation, first, claimed, &output);
                 });
                 out
             }
@@ -1170,6 +1256,65 @@ mod tests {
         let log = sink.committed.lock();
         assert!(log.contains(&("R".to_string(), 7, "insert (99) into R".to_string())));
         assert!(log.contains(&("S".to_string(), 0, "insert (1) into S".to_string())));
+    }
+
+    #[test]
+    fn create_index_through_engine() {
+        let sink = Arc::new(RecordingSink::new());
+        let engine =
+            PipelinedEngine::with_sink(2, &base(), Arc::clone(&sink) as _, &HashMap::new());
+        let rs = engine.run(vec![
+            txn("insert (1, 'eng', 10) into R"),
+            txn("insert (2, 'ops', 20) into R"),
+            txn("insert (3, 'eng', 30) into R"),
+            txn("create index by_tag on R (#1)"),
+            txn("select from R where #1 = 'eng'"),
+            txn("create index by_tag on R (#1)"),
+            txn("create index nope on Missing (#1)"),
+        ]);
+        assert_eq!(
+            rs[3],
+            Response::IndexCreated {
+                relation: "R".into(),
+                name: "by_tag".into()
+            }
+        );
+        assert_eq!(rs[4].tuples().unwrap().len(), 2);
+        assert_eq!(
+            rs[5],
+            Response::Error("index already exists on R: by_tag".into())
+        );
+        assert_eq!(rs[6], Response::Error("no such relation: Missing".into()));
+        {
+            // The create rode the write path: one logged record at its own
+            // sequence position, field normalized to a position.
+            let log = sink.committed.lock();
+            assert!(log.contains(&(
+                "R".to_string(),
+                3,
+                "create index by_tag on R (#1)".to_string()
+            )));
+        }
+        // Writes after the create keep the index current.
+        engine.run(vec![txn("insert (4, 'eng', 40) into R")]);
+        let r = engine.submit(txn("select from R where #1 = 'eng'"));
+        assert_eq!(r.wait().tuples().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn classic_and_pipelined_agree_on_create_index() {
+        let queries = [
+            "insert (1, 'a') into R",
+            "insert (2, 'b') into R",
+            "create index by_val on R (#1)",
+            "select from R where #1 = 'b'",
+            "create index by_val on R (#1)",
+            "create index nope on Missing (#0)",
+        ];
+        let txns: Vec<Transaction> = queries.iter().map(|q| txn(q)).collect();
+        let classic = crate::ClassicEngine::new(2, &base()).run(txns.to_vec());
+        let current = PipelinedEngine::new(2, &base()).run(txns.to_vec());
+        assert_eq!(current, classic);
     }
 
     #[test]

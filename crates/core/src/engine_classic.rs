@@ -136,6 +136,47 @@ impl ClassicEngine {
                 response.fill(Response::Names(names)).ok();
                 out
             }
+            Query::CreateIndex {
+                relation,
+                name,
+                field,
+            } => {
+                let Some(input) = frontier.slots.get(relation).cloned() else {
+                    drop(frontier);
+                    response
+                        .fill(Response::Error(format!("no such relation: {relation}")))
+                        .ok();
+                    return out;
+                };
+                let schema = frontier.schemas.get(relation).cloned().flatten();
+                let pos = match field.resolve(schema.as_ref()) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        drop(frontier);
+                        response.fill(Response::Error(e)).ok();
+                        return out;
+                    }
+                };
+                // Index creation versions the relation like any write: new
+                // output cell, one pool job building the index.
+                let output = Lenient::new();
+                frontier.slots.insert(relation.clone(), output.clone());
+                let relation = relation.clone();
+                let name = name.clone();
+                self.pool.spawn(move || {
+                    let rel = input.wait();
+                    let (new_rel, resp) = match rel.create_index(&name, pos) {
+                        Some(r2) => (r2, Response::IndexCreated { relation, name }),
+                        None => {
+                            let msg = format!("index already exists on {relation}: {name}");
+                            (rel.clone(), Response::Error(msg))
+                        }
+                    };
+                    output.fill(new_rel).ok();
+                    response.fill(resp).ok();
+                });
+                out
+            }
             Query::Find { relation, .. }
             | Query::FindRange { relation, .. }
             | Query::Select { relation, .. }

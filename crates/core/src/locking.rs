@@ -68,7 +68,9 @@ impl LockingDb {
     /// rejected.
     pub fn execute(&self, tx: &Transaction) -> Response {
         match tx.query() {
-            Query::Create { .. } => Response::Error("locking baseline has a fixed catalog".into()),
+            Query::Create { .. } | Query::CreateIndex { .. } => {
+                Response::Error("locking baseline has a fixed catalog".into())
+            }
             Query::Names => Response::Names(self.relations.keys().cloned().collect()),
             Query::Find { relation, key } => match self.relations.get(relation) {
                 None => Response::Error(format!("no such relation: {relation}")),

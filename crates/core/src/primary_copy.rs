@@ -251,10 +251,12 @@ impl OptimisticEngine {
                 0,
             );
         }
-        if queries
-            .iter()
-            .any(|q| matches!(q, Query::Create { .. } | Query::Names))
-        {
+        if queries.iter().any(|q| {
+            matches!(
+                q,
+                Query::Create { .. } | Query::CreateIndex { .. } | Query::Names
+            )
+        }) {
             return (
                 queries
                     .iter()
@@ -360,7 +362,7 @@ fn apply_query(
                 Err(e) => Response::Error(e),
             }
         }
-        Query::Create { .. } | Query::Names => {
+        Query::Create { .. } | Query::CreateIndex { .. } | Query::Names => {
             Response::Error("catalog queries are not transactional here".into())
         }
     }

@@ -31,7 +31,7 @@ use std::path::{Path, PathBuf};
 
 use fundb_core::engine::ConsistentCut;
 use fundb_persist::PList;
-use fundb_relational::{Database, Relation, RelationName, Repr, Schema, Tuple, Value};
+use fundb_relational::{Database, Relation, RelationName, Repr, Schema, Store, Tuple, Value};
 
 use crate::codec::{
     crc32, fnv128, put_schema, put_str, put_tuple, put_u128, put_u32, put_u64, CodecError, Cursor,
@@ -177,8 +177,20 @@ impl CheckpointWriter {
         // the on-disk id set, which never goes stale (content-addressed).
         let mut memo: HashMap<usize, u128> = HashMap::new();
 
+        struct ManifestEntry {
+            name: RelationName,
+            repr: Repr,
+            schema: Option<Schema>,
+            mark: u64,
+            root: u128,
+            /// Index *definitions* (name, field). Contents are rebuilt from
+            /// the materialized store on load, so indexes cost the manifest
+            /// a few bytes and the node store nothing.
+            indexes: Vec<(String, u32)>,
+        }
+
         let names = cut.database.relation_names();
-        let mut entries: Vec<(RelationName, Repr, Option<Schema>, u64, u128)> = Vec::new();
+        let mut entries: Vec<ManifestEntry> = Vec::new();
         for name in &names {
             let rel = cut.database.relation(name).expect("name from this cut");
             let schema = cut.database.schema(name).expect("name from this cut");
@@ -204,7 +216,19 @@ impl CheckpointWriter {
                 fold_relation(rel, &mut memo, emit)
             };
             let mark = cut.seq_marks.get(name).copied().unwrap_or(0);
-            entries.push((name.clone(), rel.repr(), schema.cloned(), mark, root));
+            let indexes = rel
+                .indexes()
+                .iter()
+                .map(|ix| (ix.name().to_string(), ix.field() as u32))
+                .collect();
+            entries.push(ManifestEntry {
+                name: name.clone(),
+                repr: rel.repr(),
+                schema: schema.cloned(),
+                mark,
+                root,
+                indexes,
+            });
         }
 
         // Nodes first, fsynced, ...
@@ -215,23 +239,28 @@ impl CheckpointWriter {
         // ... then the manifest that references them.
         let mut body = Vec::new();
         put_u32(&mut body, entries.len() as u32);
-        for (name, repr, schema, mark, root) in &entries {
-            put_str(&mut body, name.as_str());
-            match repr {
+        for e in &entries {
+            put_str(&mut body, e.name.as_str());
+            match e.repr {
                 Repr::List => body.push(0),
                 Repr::Tree23 => body.push(1),
                 Repr::BTree(t) => {
                     body.push(2);
-                    put_u32(&mut body, *t as u32);
+                    put_u32(&mut body, t as u32);
                 }
                 Repr::Paged(c) => {
                     body.push(3);
-                    put_u32(&mut body, *c as u32);
+                    put_u32(&mut body, c as u32);
                 }
             }
-            put_schema(&mut body, schema.as_ref());
-            put_u64(&mut body, *mark);
-            put_u128(&mut body, *root);
+            put_schema(&mut body, e.schema.as_ref());
+            put_u64(&mut body, e.mark);
+            put_u128(&mut body, e.root);
+            put_u32(&mut body, e.indexes.len() as u32);
+            for (iname, ifield) in &e.indexes {
+                put_str(&mut body, iname);
+                put_u32(&mut body, *ifield);
+            }
         }
         let mut manifest = Vec::with_capacity(body.len() + 12);
         put_u32(&mut manifest, MANIFEST_MAGIC);
@@ -266,14 +295,14 @@ fn fold_relation(
     memo: &mut HashMap<usize, u128>,
     emit: &mut impl FnMut(Vec<u8>) -> u128,
 ) -> u128 {
-    match rel {
-        Relation::List(l) => l.fold_cells(memo, NIL_ID, &mut |tuple, tail| {
+    match rel.store() {
+        Store::List(l) => l.fold_cells(memo, NIL_ID, &mut |tuple, tail| {
             let mut p = vec![TAG_LIST_CELL];
             put_tuple(&mut p, tuple);
             put_u128(&mut p, *tail);
             emit(p)
         }),
-        Relation::Tree(t) => t.fold_nodes(memo, NIL_ID, &mut |entries, children| {
+        Store::Tree(t) => t.fold_nodes(memo, NIL_ID, &mut |entries, children| {
             let mut p = vec![TAG_TREE23, entries.len() as u8];
             for (k, bucket) in entries {
                 crate::codec::put_value(&mut p, k);
@@ -284,7 +313,7 @@ fn fold_relation(
             }
             emit(p)
         }),
-        Relation::BTree(b) => b.fold_nodes(memo, &mut |keys, children| {
+        Store::BTree(b) => b.fold_nodes(memo, &mut |keys, children| {
             let mut p = vec![TAG_BTREE];
             put_u32(&mut p, keys.len() as u32);
             for (k, bucket) in keys {
@@ -297,7 +326,7 @@ fn fold_relation(
             }
             emit(p)
         }),
-        Relation::Paged(p) => {
+        Store::Paged(p) => {
             // Both fold callbacks need the emitter; RefCell arbitrates
             // (the fold calls them strictly sequentially).
             let emit = std::cell::RefCell::new(emit);
@@ -568,9 +597,26 @@ fn try_load_manifest(
             let schema = c.schema()?;
             let mark = c.u64()?;
             let root = c.u128()?;
-            let Some(rel) = materialize(repr, root, nodes)? else {
+            let n_indexes = c.u32()? as usize;
+            let mut index_defs = Vec::with_capacity(n_indexes);
+            for _ in 0..n_indexes {
+                let iname = c.str()?;
+                let ifield = c.u32()? as usize;
+                index_defs.push((iname, ifield));
+            }
+            let Some(mut rel) = materialize(repr, root, nodes)? else {
                 return Ok(None); // a referenced node is missing
             };
+            // Definitions only were persisted; rebuild each index's
+            // contents from the materialized store. This keeps the node
+            // store free of derived structure — and makes the rebuild
+            // mandatory here, because log GC drops `create index` records
+            // once a checkpoint's marks cover them.
+            for (iname, ifield) in index_defs {
+                rel = rel
+                    .create_index(&iname, ifield)
+                    .ok_or_else(|| CodecError(format!("manifest repeats index '{iname}'")))?;
+            }
             db = db
                 .with_relation_value(name.as_str(), rel, schema)
                 .map_err(|e| CodecError(e.to_string()))?;
@@ -619,7 +665,7 @@ fn materialize(
             for t in items.into_iter().rev() {
                 l = PList::cons(t, l);
             }
-            Ok(Some(Relation::List(l)))
+            Ok(Some(Relation::from(Store::List(l))))
         }
         Repr::Tree23 => {
             // Rebuild the *exact* stored shape (post-order, memoized by
@@ -677,7 +723,7 @@ fn materialize(
                     "checkpointed 2-3 tree violates search-tree invariants".into(),
                 ));
             }
-            Ok(Some(Relation::Tree(t)))
+            Ok(Some(Relation::from(Store::Tree(t))))
         }
         Repr::BTree(min_degree) => {
             // Same shape-exact rebuild as the 2-3 arm: pages come back with
@@ -733,7 +779,7 @@ fn materialize(
                     "checkpointed B-tree violates search-tree invariants".into(),
                 ));
             }
-            Ok(Some(Relation::BTree(t)))
+            Ok(Some(Relation::from(Store::BTree(t))))
         }
         Repr::Paged(cap) => {
             let Some(mut c) = node(nodes, root)? else {
@@ -757,9 +803,9 @@ fn materialize(
                     items.push(pc.tuple()?);
                 }
             }
-            Ok(Some(Relation::Paged(
+            Ok(Some(Relation::from(Store::Paged(
                 fundb_persist::PagedStore::with_capacity(cap.max(1), items),
-            )))
+            ))))
         }
     }
 }
@@ -834,6 +880,43 @@ mod tests {
         assert!(db_equal(&loaded.database, &db));
         assert_eq!(loaded.seq_marks[&"T".into()], 50);
         assert_eq!(loaded.manifest, stats.manifest);
+    }
+
+    #[test]
+    fn index_definitions_roundtrip_without_node_bytes() {
+        let tmp = ScratchDir::new("ckpt-indexes");
+        let db = populated_db();
+        let mut w = CheckpointWriter::open(tmp.path()).unwrap();
+        let plain = w.write(&cut_of(db.clone(), &[("T", 50)])).unwrap();
+        assert!(plain.nodes_written > 0);
+
+        // Adding indexes changes no store bytes: only the manifest grows.
+        let db = db.create_index(&"T".into(), "by_name", 1).unwrap();
+        let db = db.create_index(&"T".into(), "by_flag", 2).unwrap();
+        let indexed = w.write(&cut_of(db.clone(), &[("T", 50)])).unwrap();
+        assert_eq!(
+            indexed.nodes_written, 0,
+            "index definitions must not touch the node store"
+        );
+
+        let loaded = load_latest(tmp.path()).unwrap().unwrap();
+        assert!(db_equal(&loaded.database, &db));
+        let orig = db.relation(&"T".into()).unwrap();
+        let back = loaded.database.relation(&"T".into()).unwrap();
+        assert_eq!(back.indexes().len(), 2);
+        let ix = back.index_on(1).expect("definition recovered");
+        assert_eq!(ix.name(), "by_name");
+        // Rebuilt contents answer exactly like the originals.
+        let orig_ix = orig.index_on(1).unwrap();
+        assert_eq!(ix.distinct_values(), orig_ix.distinct_values());
+        for k in 0..50 {
+            let v: Value = format!("val-T-{k}").into();
+            assert_eq!(ix.keys_eq(&v), orig_ix.keys_eq(&v), "postings for {v:?}");
+        }
+        assert_eq!(
+            back.index_on(2).unwrap().keys_eq(&true.into()),
+            orig.index_on(2).unwrap().keys_eq(&true.into())
+        );
     }
 
     #[test]

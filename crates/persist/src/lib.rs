@@ -32,7 +32,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod avl;
-mod batch;
+pub mod batch;
 pub mod btree;
 pub mod list;
 pub mod paged;

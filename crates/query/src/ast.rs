@@ -368,6 +368,17 @@ pub enum Query {
         /// Physical representation.
         repr: ReprSpec,
     },
+    /// `create index <name> on <rel> (<field>)` — attaches a persistent
+    /// secondary index over one attribute. DDL, routed like any other
+    /// write: logged before visibility, applied in sequence order.
+    CreateIndex {
+        /// Relation the index covers.
+        relation: RelationName,
+        /// Name of the new index.
+        name: String,
+        /// The indexed attribute.
+        field: FieldRef,
+    },
     /// `join <left> with <right>` — natural join on tuple keys: the
     /// paper's intra-transaction *flooding* case ("the search of several
     /// relations within one transaction").
@@ -409,7 +420,7 @@ impl Query {
             Query::Insert { relation, .. }
             | Query::Delete { relation, .. }
             | Query::Replace { relation, .. } => vec![relation.clone()],
-            Query::Create { .. } | Query::Names => Vec::new(),
+            Query::Create { .. } | Query::CreateIndex { .. } | Query::Names => Vec::new(),
         }
     }
 
@@ -419,7 +430,9 @@ impl Query {
             Query::Insert { relation, .. }
             | Query::Delete { relation, .. }
             | Query::Replace { relation, .. } => vec![relation.clone()],
-            Query::Create { relation, .. } => vec![relation.clone()],
+            Query::Create { relation, .. } | Query::CreateIndex { relation, .. } => {
+                vec![relation.clone()]
+            }
             _ => Vec::new(),
         }
     }
@@ -470,6 +483,11 @@ impl fmt::Display for Query {
                 }
                 write!(f, " as {repr}")
             }
+            Query::CreateIndex {
+                relation,
+                name,
+                field,
+            } => write!(f, "create index {name} on {relation} ({field})"),
             Query::Join { left, right } => write!(f, "join {left} with {right}"),
             Query::Count { relation } => write!(f, "count {relation}"),
             Query::Aggregate {
@@ -674,6 +692,24 @@ mod tests {
             repr: ReprSpec::Tree,
         };
         assert_eq!(q.to_string(), "create relation Emp(id, name) as tree");
+        let q = Query::CreateIndex {
+            relation: "Emp".into(),
+            name: "by_dept".into(),
+            field: FieldRef::Index(2),
+        };
+        assert_eq!(q.to_string(), "create index by_dept on Emp (#2)");
+    }
+
+    #[test]
+    fn create_index_is_a_write() {
+        let q = Query::CreateIndex {
+            relation: "Emp".into(),
+            name: "ix".into(),
+            field: FieldRef::Name("dept".into()),
+        };
+        assert_eq!(q.writes(), vec![RelationName::from("Emp")]);
+        assert!(q.reads().is_empty());
+        assert!(!q.is_read_only());
     }
 
     #[test]

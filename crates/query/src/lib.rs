@@ -28,6 +28,7 @@
 //! replace := "replace" tuple "in" NAME
 //! select  := "select" [ field { "," field } ] "from" NAME [ "where" pred ]
 //! create  := "create" "relation" NAME [ "(" NAME { "," NAME } ")" ] [ "as" repr ]
+//!          | "create" "index" NAME "on" NAME "(" field ")"
 //! count   := "count" NAME
 //! agg     := ( "sum" | "min" | "max" ) field "of" NAME
 //! join    := "join" NAME "with" NAME
@@ -63,6 +64,7 @@
 pub mod ast;
 pub mod error;
 pub mod parser;
+pub mod plan;
 pub mod response;
 pub mod token;
 pub mod translate;
@@ -70,5 +72,6 @@ pub mod translate;
 pub use ast::{apply_select, compute_aggregate, AggOp, FieldRef, Predicate, Query, ReprSpec};
 pub use error::ParseError;
 pub use parser::parse;
+pub use plan::{choose_access_path, execute_select, AccessPath};
 pub use response::Response;
 pub use translate::{translate, Transaction};

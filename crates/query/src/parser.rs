@@ -184,6 +184,26 @@ impl Parser {
             }
             "create" => {
                 self.next();
+                if self.peek_keyword("index") {
+                    self.next();
+                    let name = self.attr_name()?;
+                    self.keyword("on")?;
+                    let relation = self.relation_name()?;
+                    match self.next() {
+                        Some(Token::LParen) => {}
+                        _ => return Err(self.err("expected '(' before the indexed field")),
+                    }
+                    let field = self.field_ref()?;
+                    match self.next() {
+                        Some(Token::RParen) => {}
+                        _ => return Err(self.err("expected ')' after the indexed field")),
+                    }
+                    return Ok(Query::CreateIndex {
+                        relation,
+                        name,
+                        field,
+                    });
+                }
                 self.keyword("relation")?;
                 let relation = self.relation_name()?;
                 let schema = if self.peek() == Some(&Token::LParen) {
@@ -465,6 +485,35 @@ mod tests {
             parse("create relation R as paged(16)").unwrap().to_string(),
             "create relation R as paged(16)"
         );
+    }
+
+    #[test]
+    fn create_index_forms() {
+        assert_eq!(
+            parse("create index by_dept on Emp (#2)").unwrap(),
+            Query::CreateIndex {
+                relation: "Emp".into(),
+                name: "by_dept".into(),
+                field: FieldRef::Index(2),
+            }
+        );
+        // Named fields and round-tripping through Display (the WAL replay
+        // path re-parses the displayed form).
+        for q in [
+            "create index by_dept on Emp (#2)",
+            "create index by_name on Emp (name)",
+        ] {
+            assert_eq!(parse(q).unwrap().to_string(), q);
+        }
+        for bad in [
+            "create index on Emp (#2)",
+            "create index ix Emp (#2)",
+            "create index ix on Emp #2",
+            "create index ix on Emp (#2",
+            "create index ix on Emp ()",
+        ] {
+            assert!(parse(bad).is_err(), "should reject: {bad}");
+        }
     }
 
     #[test]

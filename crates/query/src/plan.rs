@@ -1,0 +1,372 @@
+//! Access-path selection and index-aware select execution.
+//!
+//! Every executor used to run `select` the same way: scan the whole
+//! relation, then filter. This module classifies the (resolved) predicate
+//! and picks the cheapest access path the relation's structure supports:
+//!
+//! 1. **Key equality** (`#0 = v`) — a primary `find`, O(log n).
+//! 2. **Indexed equality** (`#i = v` with a secondary index on `i`) — one
+//!    posting-list lookup, then one key probe per posting entry.
+//! 3. **Key range** (`#0 > lo and #0 < hi`) — a primary `find_range`.
+//! 4. **Indexed range** (`#i > lo` / `#i < hi` with an index on `i`) — a
+//!    posting-range union, then key probes.
+//! 5. **Scan** — the streaming fallback ([`Relation::scan_iter`]); nothing
+//!    is materialized before the filter runs.
+//!
+//! The classifier only decomposes `and` conjunctions; any `or` at the top
+//! level forces a scan (a disjunct might match anything). The *full*
+//! predicate is always re-applied to the candidates as a residual filter,
+//! so a path only has to produce a superset of the matching tuples —
+//! which is why strict bounds can ride the inclusive `find_range`.
+//!
+//! Candidate tuples are fetched with [`Relation::key_group`], so on
+//! key-ordered representations an index-assisted select returns exactly
+//! the sequence a full scan-and-filter would. Arrival-order (paged) stores
+//! are the exception: the index path yields key order, so equivalence
+//! there is as a multiset (documented in DESIGN.md §13).
+
+use fundb_relational::{Relation, Schema, Tuple, Value};
+
+use crate::ast::{apply_select, FieldRef, Predicate};
+
+/// The chosen way to fetch candidate tuples for a select.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessPath {
+    /// Primary-key equality: `find(value)`.
+    KeyEq(Value),
+    /// Primary-key range: `find_range(lo, hi)` (inclusive superset of the
+    /// strict predicate bounds).
+    KeyRange(Value, Value),
+    /// Secondary-index equality on `field` via the named index.
+    IndexEq {
+        /// Index used.
+        index: String,
+        /// Attribute position it covers.
+        field: usize,
+        /// The probed attribute value.
+        value: Value,
+    },
+    /// Secondary-index range on `field`; `None` bounds are open.
+    IndexRange {
+        /// Index used.
+        index: String,
+        /// Attribute position it covers.
+        field: usize,
+        /// Lower bound, if the predicate supplies one.
+        lo: Option<Value>,
+        /// Upper bound, if the predicate supplies one.
+        hi: Option<Value>,
+    },
+    /// Full streaming scan with inline filtering.
+    Scan,
+}
+
+/// Flattens nested `and`s into a conjunct list; any other node (including
+/// `or`) is a single conjunct.
+fn conjuncts(p: &Predicate) -> Vec<&Predicate> {
+    match p {
+        Predicate::And(a, b) => {
+            let mut out = conjuncts(a);
+            out.extend(conjuncts(b));
+            out
+        }
+        _ => vec![p],
+    }
+}
+
+/// Picks the access path for a *resolved* (positional-only) predicate
+/// against `rel`. Classification happens at execution time, not at
+/// translate time: the relation's indexes may have been created after the
+/// query was translated, and each database version carries its own.
+pub fn choose_access_path(rel: &Relation, predicate: Option<&Predicate>) -> AccessPath {
+    let Some(p) = predicate else {
+        return AccessPath::Scan;
+    };
+    let cs = conjuncts(p);
+    // Key equality beats everything: one O(log n) probe.
+    for c in &cs {
+        if let Predicate::FieldEq(FieldRef::Index(0), v) = c {
+            return AccessPath::KeyEq(v.clone());
+        }
+    }
+    // Indexed equality: first conjunct whose field carries an index.
+    for c in &cs {
+        if let Predicate::FieldEq(FieldRef::Index(i), v) = c {
+            if let Some(ix) = rel.index_on(*i) {
+                return AccessPath::IndexEq {
+                    index: ix.name().to_string(),
+                    field: *i,
+                    value: v.clone(),
+                };
+            }
+        }
+    }
+    // Key range: needs both bounds (an open-ended primary range saves
+    // nothing over the ordered scan it would become).
+    let (mut key_lo, mut key_hi) = (None, None);
+    for c in &cs {
+        match c {
+            Predicate::FieldGt(FieldRef::Index(0), v) => key_lo = Some(v),
+            Predicate::FieldLt(FieldRef::Index(0), v) => key_hi = Some(v),
+            _ => {}
+        }
+    }
+    if let (Some(lo), Some(hi)) = (key_lo, key_hi) {
+        return AccessPath::KeyRange(lo.clone(), hi.clone());
+    }
+    // Indexed range: any bound on an indexed non-key field qualifies
+    // (the posting tree serves open ends directly).
+    let mut bounds: Vec<(usize, Option<&Value>, Option<&Value>)> = Vec::new();
+    for c in &cs {
+        let (i, v, is_lo) = match c {
+            Predicate::FieldGt(FieldRef::Index(i), v) => (*i, v, true),
+            Predicate::FieldLt(FieldRef::Index(i), v) => (*i, v, false),
+            _ => continue,
+        };
+        if i == 0 || rel.index_on(i).is_none() {
+            continue;
+        }
+        match bounds.iter_mut().find(|(f, _, _)| *f == i) {
+            Some((_, lo, hi)) => {
+                if is_lo {
+                    *lo = Some(v);
+                } else {
+                    *hi = Some(v);
+                }
+            }
+            None if is_lo => bounds.push((i, Some(v), None)),
+            None => bounds.push((i, None, Some(v))),
+        }
+    }
+    if let Some((field, lo, hi)) = bounds.into_iter().next() {
+        let ix = rel
+            .index_on(field)
+            .expect("bound only recorded when indexed");
+        return AccessPath::IndexRange {
+            index: ix.name().to_string(),
+            field,
+            lo: lo.cloned(),
+            hi: hi.cloned(),
+        };
+    }
+    AccessPath::Scan
+}
+
+/// Executes a select against one relation: resolves the predicate, picks
+/// an access path, fetches candidates, then applies the full predicate as
+/// a residual filter plus the projection. Shared by every executor (the
+/// sequential `translate` closure and the pipelined engine) so plans
+/// cannot drift between them.
+///
+/// # Errors
+///
+/// The same messages as [`apply_select`]: unresolvable named references
+/// or out-of-range projected fields.
+pub fn execute_select(
+    rel: &Relation,
+    schema: Option<&Schema>,
+    projection: &Option<Vec<FieldRef>>,
+    predicate: &Option<Predicate>,
+) -> Result<Vec<Tuple>, String> {
+    let resolved = match predicate {
+        None => None,
+        Some(p) => Some(p.resolve(schema)?),
+    };
+    match choose_access_path(rel, resolved.as_ref()) {
+        AccessPath::Scan => {
+            // Stream-and-filter: the full relation is never materialized.
+            let candidates: Vec<Tuple> = match &resolved {
+                None => rel.scan_iter().collect(),
+                Some(p) => rel.scan_iter().filter(|t| p.eval(t)).collect(),
+            };
+            apply_select(candidates, schema, projection, &None)
+        }
+        AccessPath::KeyEq(v) => apply_select(rel.key_group(&v), schema, projection, &resolved),
+        AccessPath::KeyRange(lo, hi) => {
+            apply_select(rel.find_range(&lo, &hi), schema, projection, &resolved)
+        }
+        AccessPath::IndexEq { field, value, .. } => {
+            let ix = rel.index_on(field).expect("path chosen from this index");
+            let mut candidates = Vec::new();
+            for pk in ix.keys_eq(&value) {
+                candidates.extend(rel.key_group(&pk));
+            }
+            apply_select(candidates, schema, projection, &resolved)
+        }
+        AccessPath::IndexRange { field, lo, hi, .. } => {
+            let ix = rel.index_on(field).expect("path chosen from this index");
+            let mut candidates = Vec::new();
+            for pk in ix.keys_in_range(lo.as_ref(), hi.as_ref()) {
+                candidates.extend(rel.key_group(&pk));
+            }
+            apply_select(candidates, schema, projection, &resolved)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fundb_relational::Repr;
+
+    fn rel() -> Relation {
+        // (id, group, score)
+        Relation::from_tuples(
+            Repr::Tree23,
+            (0..50).map(|k| {
+                Tuple::new(vec![
+                    k.into(),
+                    format!("g{}", k % 5).as_str().into(),
+                    (k * 10).into(),
+                ])
+            }),
+        )
+        .create_index("by_group", 1)
+        .unwrap()
+    }
+
+    fn eq(i: usize, v: Value) -> Predicate {
+        Predicate::FieldEq(FieldRef::Index(i), v)
+    }
+
+    #[test]
+    fn path_priorities() {
+        let r = rel();
+        assert_eq!(
+            choose_access_path(&r, Some(&eq(0, 7.into()))),
+            AccessPath::KeyEq(7.into())
+        );
+        // Key equality wins even when an indexed conjunct is present.
+        let both = Predicate::And(Box::new(eq(1, "g1".into())), Box::new(eq(0, 7.into())));
+        assert_eq!(
+            choose_access_path(&r, Some(&both)),
+            AccessPath::KeyEq(7.into())
+        );
+        assert_eq!(
+            choose_access_path(&r, Some(&eq(1, "g1".into()))),
+            AccessPath::IndexEq {
+                index: "by_group".into(),
+                field: 1,
+                value: "g1".into()
+            }
+        );
+        // Unindexed non-key equality scans.
+        assert_eq!(
+            choose_access_path(&r, Some(&eq(2, 10.into()))),
+            AccessPath::Scan
+        );
+        // Or forces a scan.
+        let or = Predicate::Or(Box::new(eq(0, 1.into())), Box::new(eq(1, "g1".into())));
+        assert_eq!(choose_access_path(&r, Some(&or)), AccessPath::Scan);
+        assert_eq!(choose_access_path(&r, None), AccessPath::Scan);
+    }
+
+    #[test]
+    fn range_paths() {
+        let r = rel();
+        let key_range = Predicate::And(
+            Box::new(Predicate::FieldGt(FieldRef::Index(0), 10.into())),
+            Box::new(Predicate::FieldLt(FieldRef::Index(0), 20.into())),
+        );
+        assert_eq!(
+            choose_access_path(&r, Some(&key_range)),
+            AccessPath::KeyRange(10.into(), 20.into())
+        );
+        // One-sided key range: scan (ordered scan is as good).
+        let half = Predicate::FieldGt(FieldRef::Index(0), 10.into());
+        assert_eq!(choose_access_path(&r, Some(&half)), AccessPath::Scan);
+        // One-sided indexed range is worth it.
+        let ixr = Predicate::FieldGt(FieldRef::Index(1), "g2".into());
+        assert_eq!(
+            choose_access_path(&r, Some(&ixr)),
+            AccessPath::IndexRange {
+                index: "by_group".into(),
+                field: 1,
+                lo: Some("g2".into()),
+                hi: None
+            }
+        );
+    }
+
+    #[test]
+    fn indexed_select_matches_scan_select() {
+        let r = rel();
+        for pred in [
+            eq(1, "g3".into()),
+            Predicate::And(
+                Box::new(eq(1, "g3".into())),
+                Box::new(Predicate::FieldGt(FieldRef::Index(2), 100.into())),
+            ),
+            Predicate::FieldGt(FieldRef::Index(1), "g3".into()),
+            Predicate::And(
+                Box::new(Predicate::FieldGt(FieldRef::Index(0), 5.into())),
+                Box::new(Predicate::FieldLt(FieldRef::Index(0), 25.into())),
+            ),
+            eq(0, 12.into()),
+        ] {
+            let planned = execute_select(&r, None, &None, &Some(pred.clone())).unwrap();
+            let scanned: Vec<Tuple> = r.scan().into_iter().filter(|t| pred.eval(t)).collect();
+            assert_eq!(planned, scanned, "{pred}");
+        }
+    }
+
+    #[test]
+    fn residual_filters_strict_bounds() {
+        // find_range is inclusive; the residual must trim the endpoints.
+        let r = rel();
+        let pred = Predicate::And(
+            Box::new(Predicate::FieldGt(FieldRef::Index(0), 10.into())),
+            Box::new(Predicate::FieldLt(FieldRef::Index(0), 13.into())),
+        );
+        let got = execute_select(&r, None, &None, &Some(pred)).unwrap();
+        let keys: Vec<i64> = got.iter().map(|t| t.key().as_int().unwrap()).collect();
+        assert_eq!(keys, vec![11, 12]);
+    }
+
+    #[test]
+    fn projection_and_errors_pass_through() {
+        let r = rel();
+        let got = execute_select(
+            &r,
+            None,
+            &Some(vec![FieldRef::Index(2)]),
+            &Some(eq(1, "g0".into())),
+        )
+        .unwrap();
+        assert_eq!(got.len(), 10);
+        assert!(got.iter().all(|t| t.arity() == 1));
+        // Named refs without a schema error the same way apply_select does.
+        let err = execute_select(
+            &r,
+            None,
+            &None,
+            &Some(Predicate::FieldEq(
+                FieldRef::Name("group".into()),
+                "g0".into(),
+            )),
+        )
+        .unwrap_err();
+        assert!(err.contains("no schema"), "{err}");
+    }
+
+    #[test]
+    fn index_created_after_translate_is_still_used() {
+        // Classification is per-execution: the same predicate scans on an
+        // unindexed version and probes on an indexed one.
+        let plain = Relation::from_tuples(
+            Repr::List,
+            (0..10).map(|k| Tuple::new(vec![k.into(), (k % 2).into()])),
+        );
+        let pred = eq(1, 1.into());
+        assert_eq!(choose_access_path(&plain, Some(&pred)), AccessPath::Scan);
+        let indexed = plain.create_index("parity", 1).unwrap();
+        assert!(matches!(
+            choose_access_path(&indexed, Some(&pred)),
+            AccessPath::IndexEq { .. }
+        ));
+        assert_eq!(
+            execute_select(&plain, None, &None, &Some(pred.clone())).unwrap(),
+            execute_select(&indexed, None, &None, &Some(pred)).unwrap()
+        );
+    }
+}

@@ -24,6 +24,13 @@ pub enum Response {
     Deleted(usize),
     /// A relation was created.
     Created(RelationName),
+    /// A secondary index was created.
+    IndexCreated {
+        /// Relation the index covers.
+        relation: RelationName,
+        /// Name of the new index.
+        name: String,
+    },
     /// Result of a `count`.
     Count(usize),
     /// Result of an aggregate (`None` for an empty relation).
@@ -80,6 +87,9 @@ impl fmt::Display for Response {
             }
             Response::Deleted(n) => write!(f, "deleted {n}"),
             Response::Created(r) => write!(f, "created relation {r}"),
+            Response::IndexCreated { relation, name } => {
+                write!(f, "created index {name} on {relation}")
+            }
             Response::Count(n) => write!(f, "count {n}"),
             Response::Aggregate { op, value } => match value {
                 Some(v) => write!(f, "{op} = {v}"),
@@ -125,6 +135,14 @@ mod tests {
         assert_eq!(
             Response::Created("R".into()).to_string(),
             "created relation R"
+        );
+        assert_eq!(
+            Response::IndexCreated {
+                relation: "R".into(),
+                name: "ix".into()
+            }
+            .to_string(),
+            "created index ix on R"
         );
         assert_eq!(Response::Count(5).to_string(), "count 5");
         assert_eq!(

@@ -12,7 +12,8 @@ use std::sync::Arc;
 
 use fundb_relational::{Database, RelationName};
 
-use crate::ast::{apply_select, compute_aggregate, Query};
+use crate::ast::{compute_aggregate, Query};
+use crate::plan::execute_select;
 use crate::response::Response;
 
 type TransactionFn = dyn Fn(&Database) -> (Response, Database) + Send + Sync;
@@ -151,7 +152,7 @@ pub fn translate(query: Query) -> Transaction {
                 Err(e) => return (Response::Error(e.to_string()), db.clone()),
             };
             let schema = db.schema(&relation).ok().flatten();
-            match apply_select(rel.scan(), schema, &projection, &predicate) {
+            match execute_select(rel, schema, &projection, &predicate) {
                 Ok(tuples) => (Response::Tuples(tuples), db.clone()),
                 Err(e) => (Response::Error(e), db.clone()),
             }
@@ -170,6 +171,30 @@ pub fn translate(query: Query) -> Transaction {
             };
             match db.create_relation_with_schema(relation.clone(), repr.to_repr(), parsed_schema) {
                 Ok(db2) => (Response::Created(relation.clone()), db2),
+                Err(e) => (Response::Error(e.to_string()), db.clone()),
+            }
+        }),
+        Query::CreateIndex {
+            relation,
+            name,
+            field,
+        } => Arc::new(move |db| {
+            let schema = match db.schema(&relation) {
+                Ok(s) => s,
+                Err(e) => return (Response::Error(e.to_string()), db.clone()),
+            };
+            let pos = match field.resolve(schema) {
+                Ok(pos) => pos,
+                Err(e) => return (Response::Error(e), db.clone()),
+            };
+            match db.create_index(&relation, &name, pos) {
+                Ok(db2) => (
+                    Response::IndexCreated {
+                        relation: relation.clone(),
+                        name: name.clone(),
+                    },
+                    db2,
+                ),
                 Err(e) => (Response::Error(e.to_string()), db.clone()),
             }
         }),
@@ -343,6 +368,27 @@ mod tests {
         assert_eq!(r, Response::Count(1));
         let (r, _) = run(&d, "relations");
         assert_eq!(r, Response::Names(vec!["Emp".into()]));
+    }
+
+    #[test]
+    fn create_index_end_to_end() {
+        let d = Database::empty();
+        let (_, d) = run(&d, "create relation Emp(id, dept) as tree");
+        let (_, d) = run(&d, "insert (1, 'eng') into Emp");
+        let (_, d) = run(&d, "insert (2, 'ops') into Emp");
+        let (r, d) = run(&d, "create index by_dept on Emp (dept)");
+        assert_eq!(r.to_string(), "created index by_dept on Emp");
+        // Subsequent writes maintain it; selects can use it.
+        let (_, d) = run(&d, "insert (3, 'eng') into Emp");
+        let (r, d) = run(&d, "select from Emp where dept = 'eng'");
+        assert_eq!(r.tuples().unwrap().len(), 2);
+        // Duplicate index and bad field/relation are errors, not panics.
+        let (r, d) = run(&d, "create index by_dept on Emp (dept)");
+        assert_eq!(r.to_string(), "error: index already exists on Emp: by_dept");
+        let (r, d) = run(&d, "create index other on Emp (salary)");
+        assert!(r.is_error());
+        let (r, _) = run(&d, "create index ix on Nope (#1)");
+        assert_eq!(r.to_string(), "error: no such relation: Nope");
     }
 
     #[test]

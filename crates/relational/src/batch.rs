@@ -24,7 +24,8 @@ use std::sync::{Arc, Mutex};
 
 use fundb_persist::{CopyReport, PList, PagedStore};
 
-use crate::relation::Relation;
+use crate::index::KeyTransition;
+use crate::relation::{Relation, Store};
 use crate::tuple::Tuple;
 use crate::value::Value;
 
@@ -275,6 +276,33 @@ where
     (effects, outcomes)
 }
 
+/// The per-key before/after transitions a multi-op batch induces, in the
+/// ascending key order secondary-index maintenance requires. Reuses the same
+/// stable sort + key-run decomposition as the structural merge, so the index
+/// deltas are derived from exactly the per-key folds the kernels commit.
+fn batch_transitions(rel: &Relation, ops: &[BatchOp]) -> Vec<KeyTransition> {
+    let idx = sorted_indices(ops);
+    let runs = key_runs(ops, &idx);
+    let mut out = Vec::with_capacity(runs.len());
+    for &(start, end) in &runs {
+        let key = ops[idx[start]].key();
+        let before = rel.store.key_group(key);
+        let mut after = before.clone();
+        for &i in &idx[start..end] {
+            match &ops[i] {
+                BatchOp::Insert(t) => after.push(t.clone()),
+                BatchOp::Delete(_) => after.clear(),
+                BatchOp::Replace(t) => {
+                    after.clear();
+                    after.push(t.clone());
+                }
+            }
+        }
+        out.push(KeyTransition::new(key.clone(), before, after));
+    }
+    out
+}
+
 fn tree23_bucket(t: &fundb_persist::Tree23<Value, PList<Tuple>>, key: &Value) -> PList<Tuple> {
     t.get(key).cloned().unwrap_or_default()
 }
@@ -412,26 +440,36 @@ impl Relation {
         if ops.len() <= SMALL_BATCH_MAX {
             return apply_small_batch(self, ops);
         }
-        match self {
-            Relation::List(l) => {
+        // Index maintenance rides the same per-key decomposition: the
+        // ascending before/after transitions become one `merge_batch` pass
+        // per index. Computed against the pre-batch store, before it moves.
+        let indexes = if self.indexes.is_empty() {
+            self.indexes.clone()
+        } else {
+            self.indexes
+                .apply_transitions(&batch_transitions(self, ops))
+        };
+        let (store, outcomes, report) = match &self.store {
+            Store::List(l) => {
                 let (l2, outcomes, report) = apply_list_batch(l, ops);
-                (Relation::List(l2), outcomes, report)
+                (Store::List(l2), outcomes, report)
             }
-            Relation::Tree(t) => {
+            Store::Tree(t) => {
                 let (effects, outcomes) = tree_effects(t, tree23_bucket, ops, run);
                 let (t2, report) = t.merge_batch(&effects);
-                (Relation::Tree(t2), outcomes, report)
+                (Store::Tree(t2), outcomes, report)
             }
-            Relation::BTree(t) => {
+            Store::BTree(t) => {
                 let (effects, outcomes) = tree_effects(t, btree_bucket, ops, run);
                 let (t2, report) = t.merge_batch(&effects);
-                (Relation::BTree(t2), outcomes, report)
+                (Store::BTree(t2), outcomes, report)
             }
-            Relation::Paged(p) => {
+            Store::Paged(p) => {
                 let (p2, outcomes, report) = apply_paged_batch(p, ops);
-                (Relation::Paged(p2), outcomes, report)
+                (Store::Paged(p2), outcomes, report)
             }
-        }
+        };
+        (Relation { store, indexes }, outcomes, report)
     }
 }
 
@@ -575,6 +613,43 @@ mod tests {
             let (seq, seq_outcomes) = apply_sequentially(&base, &ops);
             assert_eq!(outcomes, seq_outcomes, "{repr}");
             assert_eq!(batched.scan(), seq.scan(), "{repr}");
+        }
+    }
+
+    #[test]
+    fn batch_maintains_indexes_like_sequential() {
+        for repr in all_reprs() {
+            let base = Relation::from_tuples(repr, (0..30).map(|k| tup(k * 2, "seed")))
+                .create_index("by_tag", 1)
+                .unwrap();
+            let ops = vec![
+                BatchOp::Insert(tup(5, "a")),
+                BatchOp::Insert(tup(5, "b")),
+                BatchOp::Delete(4.into()),
+                BatchOp::Replace(tup(10, "r")),
+                BatchOp::Insert(tup(61, "z")),
+                BatchOp::Delete(5.into()),
+                BatchOp::Insert(tup(5, "c")),
+            ];
+            assert!(ops.len() > SMALL_BATCH_MAX, "must exercise the merge path");
+            let (batched, _, _) = base.apply_batch(&ops);
+            let (seq, _) = apply_sequentially(&base, &ops);
+            let bix = batched.index_on(1).expect("index survives batches");
+            let six = seq.index_on(1).expect("index survives singles");
+            for tag in ["seed", "a", "b", "c", "r", "z"] {
+                assert_eq!(
+                    bix.keys_eq(&tag.into()),
+                    six.keys_eq(&tag.into()),
+                    "{repr}: posting for {tag:?}"
+                );
+            }
+            // The index answers must agree with a scan of the new store.
+            for t in batched.scan() {
+                assert!(
+                    bix.keys_eq(t.get(1).unwrap()).contains(t.key()),
+                    "{repr}: {t:?} missing from index"
+                );
+            }
         }
     }
 

@@ -51,6 +51,8 @@ pub enum DatabaseError {
     NoSuchRelation(RelationName),
     /// A relation with this name already exists.
     DuplicateRelation(RelationName),
+    /// The relation already has an index with this name.
+    DuplicateIndex(RelationName, String),
 }
 
 impl fmt::Display for DatabaseError {
@@ -58,6 +60,9 @@ impl fmt::Display for DatabaseError {
         match self {
             DatabaseError::NoSuchRelation(n) => write!(f, "no such relation: {n}"),
             DatabaseError::DuplicateRelation(n) => write!(f, "relation already exists: {n}"),
+            DatabaseError::DuplicateIndex(n, ix) => {
+                write!(f, "index already exists on {n}: {ix}")
+            }
         }
     }
 }
@@ -325,6 +330,36 @@ impl Database {
         .map(|(db, _, removed)| (db, removed))
     }
 
+    /// Attaches (and builds) a secondary index named `index` on attribute
+    /// position `field` of relation `name`. The relation's store is shared
+    /// with the receiver; only the index set (and the spine up to the entry)
+    /// is new. The report covers the index build.
+    ///
+    /// # Errors
+    ///
+    /// [`DatabaseError::NoSuchRelation`] if the relation is absent,
+    /// [`DatabaseError::DuplicateIndex`] if it already has an index with
+    /// this name.
+    pub fn create_index(
+        &self,
+        name: &RelationName,
+        index: &str,
+        field: usize,
+    ) -> Result<Database, DatabaseError> {
+        let (db, _, ok) =
+            self.update_relation(name, |rel| match rel.create_index(index, field) {
+                Some(r2) => (r2, CopyReport::default(), true),
+                None => (rel.clone(), CopyReport::default(), false),
+            })?;
+        if !ok {
+            return Err(DatabaseError::DuplicateIndex(
+                name.clone(),
+                index.to_string(),
+            ));
+        }
+        Ok(db)
+    }
+
     /// Applies a functional update to one relation, re-consing the spine up
     /// to its entry (the paper's partial physical reconstruction).
     fn update_relation<T>(
@@ -542,6 +577,43 @@ mod tests {
     }
 
     #[test]
+    fn create_index_via_database() {
+        let db = db_rs();
+        let (db, _) = db
+            .insert(&"R".into(), Tuple::new(vec![1.into(), "red".into()]))
+            .unwrap();
+        let db2 = db.create_index(&"R".into(), "by_color", 1).unwrap();
+        let ix = db2
+            .relation(&"R".into())
+            .unwrap()
+            .index_on(1)
+            .expect("index attached");
+        assert_eq!(ix.keys_eq(&"red".into()), vec![1.into()]);
+        // The store is shared with the pre-index version; "S" is untouched.
+        assert!(db2
+            .relation(&"R".into())
+            .unwrap()
+            .store()
+            .ptr_eq(db.relation(&"R".into()).unwrap().store()));
+        assert!(db.shares_relation_with(&db2, &"S".into()));
+        // Duplicates and missing relations are rejected.
+        assert_eq!(
+            db2.create_index(&"R".into(), "by_color", 0).err(),
+            Some(DatabaseError::DuplicateIndex("R".into(), "by_color".into()))
+        );
+        assert_eq!(
+            db2.create_index(&"Nope".into(), "ix", 0).err(),
+            Some(DatabaseError::NoSuchRelation("Nope".into()))
+        );
+        // Subsequent writes through the database maintain the index.
+        let (db3, _) = db2
+            .insert(&"R".into(), Tuple::new(vec![2.into(), "red".into()]))
+            .unwrap();
+        let ix = db3.relation(&"R".into()).unwrap().index_on(1).unwrap();
+        assert_eq!(ix.keys_eq(&"red".into()), vec![1.into(), 2.into()]);
+    }
+
+    #[test]
     fn relation_name_display_and_conversion() {
         let n: RelationName = "Emp".into();
         assert_eq!(n.as_str(), "Emp");
@@ -558,6 +630,10 @@ mod tests {
         assert_eq!(
             DatabaseError::DuplicateRelation("X".into()).to_string(),
             "relation already exists: X"
+        );
+        assert_eq!(
+            DatabaseError::DuplicateIndex("X".into(), "ix".into()).to_string(),
+            "index already exists on X: ix"
         );
     }
 

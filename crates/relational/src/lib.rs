@@ -22,6 +22,7 @@
 
 pub mod batch;
 pub mod database;
+pub mod index;
 pub mod relation;
 pub mod schema;
 pub mod tuple;
@@ -29,7 +30,8 @@ pub mod value;
 
 pub use batch::{BatchOp, BatchOutcome, BatchTask};
 pub use database::{Database, DatabaseError, RelationName};
-pub use relation::{Relation, Repr};
+pub use index::{IndexSet, KeyTransition, SecondaryIndex};
+pub use relation::{Relation, Repr, Store};
 pub use schema::{Schema, SchemaError};
 pub use tuple::Tuple;
 pub use value::Value;

@@ -6,13 +6,18 @@
 //! update returns the new relation plus a [`CopyReport`] quantifying how
 //! little of it was physically rebuilt.
 //!
-//! Four representations are provided. The paper's experiments used linked
-//! lists and projected better results for trees; benches compare them.
+//! Four representations are provided (the [`Store`]). The paper's
+//! experiments used linked lists and projected better results for trees;
+//! benches compare them. A relation additionally carries an [`IndexSet`] of
+//! secondary indexes — persistent derived structures maintained
+//! incrementally by every write path (see [`crate::index`]); a relation
+//! with no indexes pays nothing for the capability.
 
 use std::fmt;
 
 use fundb_persist::{BTree, CopyReport, PList, PagedStore, Tree23};
 
+use crate::index::{IndexSet, KeyTransition, SecondaryIndex};
 use crate::tuple::Tuple;
 use crate::value::Value;
 
@@ -41,27 +46,10 @@ impl fmt::Display for Repr {
     }
 }
 
-/// A persistent relation: a multiset of tuples addressed by key (first
-/// field). Duplicated keys are allowed; `find` returns every match.
-///
-/// Copy reports use representation-specific units (list cells, tree nodes,
-/// or pages) — they compare *within* a representation, which is how the
-/// sharing benches use them.
-///
-/// # Example
-///
-/// ```
-/// use fundb_relational::{Relation, Repr, Tuple};
-///
-/// let r0 = Relation::empty(Repr::List);
-/// let (r1, _) = r0.insert(Tuple::new(vec![1.into(), "ada".into()]));
-/// let (r2, _) = r1.insert(Tuple::new(vec![2.into(), "bob".into()]));
-/// assert_eq!(r2.len(), 2);
-/// assert_eq!(r2.find(&1.into()).len(), 1);
-/// assert_eq!(r1.len(), 1); // old version intact
-/// ```
+/// The physical tuple store behind a [`Relation`]: one of the persistent
+/// representations of `fundb_persist`. Cloning is O(1) for every variant.
 #[derive(Clone)]
-pub enum Relation {
+pub enum Store {
     /// Key-ordered linked list.
     List(PList<Tuple>),
     /// 2-3 tree of key → bucket of tuples with that key.
@@ -72,84 +60,82 @@ pub enum Relation {
     Paged(PagedStore<Tuple>),
 }
 
-impl fmt::Debug for Relation {
+impl fmt::Debug for Store {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Relation[{}; {} tuples]", self.repr(), self.len())
+        write!(f, "Store[{}; {} tuples]", self.repr(), self.len())
     }
 }
 
-impl Relation {
-    /// An empty relation with the chosen representation.
+/// A tree bucket is consed newest-first; scanning restores arrival order.
+fn bucket_in_arrival_order(b: &PList<Tuple>) -> Vec<Tuple> {
+    let mut bucket: Vec<Tuple> = b.iter().cloned().collect();
+    bucket.reverse();
+    bucket
+}
+
+impl Store {
+    /// An empty store with the chosen representation.
     pub fn empty(repr: Repr) -> Self {
         match repr {
-            Repr::List => Relation::List(PList::nil()),
-            Repr::Tree23 => Relation::Tree(Tree23::new()),
-            Repr::BTree(t) => Relation::BTree(BTree::new(t)),
-            Repr::Paged(c) => Relation::Paged(PagedStore::new(c)),
+            Repr::List => Store::List(PList::nil()),
+            Repr::Tree23 => Store::Tree(Tree23::new()),
+            Repr::BTree(t) => Store::BTree(BTree::new(t)),
+            Repr::Paged(c) => Store::Paged(PagedStore::new(c)),
         }
-    }
-
-    /// Builds a relation of the chosen representation from tuples.
-    pub fn from_tuples<I: IntoIterator<Item = Tuple>>(repr: Repr, tuples: I) -> Self {
-        let mut rel = Relation::empty(repr);
-        for t in tuples {
-            rel = rel.insert(t).0;
-        }
-        rel
     }
 
     /// The representation in use.
     pub fn repr(&self) -> Repr {
         match self {
-            Relation::List(_) => Repr::List,
-            Relation::Tree(_) => Repr::Tree23,
-            Relation::BTree(b) => Repr::BTree(b.min_degree()),
-            Relation::Paged(p) => Repr::Paged(p.page_capacity()),
+            Store::List(_) => Repr::List,
+            Store::Tree(_) => Repr::Tree23,
+            Store::BTree(b) => Repr::BTree(b.min_degree()),
+            Store::Paged(p) => Repr::Paged(p.page_capacity()),
         }
     }
 
     /// Number of tuples.
     pub fn len(&self) -> usize {
         match self {
-            Relation::List(l) => l.len(),
-            Relation::Tree(t) => t.iter().map(|(_, b)| b.len()).sum(),
-            Relation::BTree(t) => t.iter().map(|(_, b)| b.len()).sum(),
-            Relation::Paged(p) => p.len(),
+            Store::List(l) => l.len(),
+            Store::Tree(t) => t.iter().map(|(_, b)| b.len()).sum(),
+            Store::BTree(t) => t.iter().map(|(_, b)| b.len()).sum(),
+            Store::Paged(p) => p.len(),
         }
     }
 
-    /// `true` if the relation holds no tuples.
+    /// `true` if the store holds no tuples.
     pub fn is_empty(&self) -> bool {
         match self {
-            Relation::List(l) => l.is_empty(),
-            Relation::Tree(t) => t.is_empty(),
-            Relation::BTree(t) => t.is_empty(),
-            Relation::Paged(p) => p.is_empty(),
+            Store::List(l) => l.is_empty(),
+            Store::Tree(t) => t.is_empty(),
+            Store::BTree(t) => t.is_empty(),
+            Store::Paged(p) => p.is_empty(),
         }
     }
 
-    /// Inserts a tuple, returning the new relation and a copy report.
-    pub fn insert(&self, tuple: Tuple) -> (Relation, CopyReport) {
+    /// Inserts a tuple, returning the new store and a copy report.
+    pub fn insert(&self, tuple: Tuple) -> (Store, CopyReport) {
         match self {
-            Relation::List(l) => {
+            Store::List(l) => {
                 let (l2, report) = l.insert_sorted_counted(tuple);
-                (Relation::List(l2), report)
+                (Store::List(l2), report)
             }
-            Relation::Tree(t) => {
+            Store::Tree(t) => {
                 let key = tuple.key().clone();
                 let bucket = t.get(&key).cloned().unwrap_or_default();
                 let (t2, report) = t.insert_counted(key, PList::cons(tuple, bucket));
-                (Relation::Tree(t2), report)
+                (Store::Tree(t2), report)
             }
-            Relation::BTree(t) => {
+            Store::BTree(t) => {
                 let key = tuple.key().clone();
                 let bucket = t.get(&key).cloned().unwrap_or_else(PList::nil);
                 let (t2, report) = t.insert_counted(key, PList::cons(tuple, bucket));
-                (Relation::BTree(t2), report)
+                (Store::BTree(t2), report)
             }
-            Relation::Paged(p) => {
+            Store::Paged(p) => {
                 let (p2, report) = p.insert_counted(tuple);
-                (Relation::Paged(p2), report)
+                (Store::Paged(p2), report)
             }
         }
     }
@@ -157,7 +143,7 @@ impl Relation {
     /// Every tuple whose key equals `key`.
     pub fn find(&self, key: &Value) -> Vec<Tuple> {
         match self {
-            Relation::List(l) => {
+            Store::List(l) => {
                 // Key-ordered: stop as soon as keys pass the target.
                 let mut out = Vec::new();
                 for t in l.iter() {
@@ -169,15 +155,27 @@ impl Relation {
                 }
                 out
             }
-            Relation::Tree(t) => t
+            Store::Tree(t) => t
                 .get(key)
                 .map(|b| b.iter().cloned().collect())
                 .unwrap_or_default(),
-            Relation::BTree(t) => t
+            Store::BTree(t) => t
                 .get(key)
                 .map(|b| b.iter().cloned().collect())
                 .unwrap_or_default(),
-            Relation::Paged(p) => p.iter().filter(|t| t.key() == key).cloned().collect(),
+            Store::Paged(p) => p.iter().filter(|t| t.key() == key).cloned().collect(),
+        }
+    }
+
+    /// The tuples with key `key` in this store's *scan* order (tree buckets
+    /// are consed newest-first; this restores arrival order, unlike
+    /// [`find`](Self::find)). Index-assisted reads and the merge join use
+    /// this so their per-key output matches a full scan's.
+    pub fn key_group(&self, key: &Value) -> Vec<Tuple> {
+        match self {
+            Store::Tree(t) => t.get(key).map(bucket_in_arrival_order).unwrap_or_default(),
+            Store::BTree(t) => t.get(key).map(bucket_in_arrival_order).unwrap_or_default(),
+            _ => self.find(key),
         }
     }
 
@@ -192,7 +190,7 @@ impl Relation {
     /// matched bucket's length; paged stores scan fully.
     pub fn find_counted(&self, key: &Value) -> (Vec<Tuple>, usize) {
         match self {
-            Relation::List(l) => {
+            Store::List(l) => {
                 let mut out = Vec::new();
                 let mut visited = 0usize;
                 for t in l.iter() {
@@ -205,7 +203,7 @@ impl Relation {
                 }
                 (out, visited)
             }
-            Relation::Tree(t) => {
+            Store::Tree(t) => {
                 // Each descent level compares against at most 2 keys.
                 let visited = 2 * t.height();
                 let out: Vec<Tuple> = t
@@ -215,7 +213,7 @@ impl Relation {
                 let visited = visited + out.len();
                 (out, visited)
             }
-            Relation::BTree(t) => {
+            Store::BTree(t) => {
                 let visited = (2 * t.min_degree() - 1) * t.height();
                 let out: Vec<Tuple> = t
                     .get(key)
@@ -224,7 +222,7 @@ impl Relation {
                 let visited = visited + out.len();
                 (out, visited)
             }
-            Relation::Paged(p) => {
+            Store::Paged(p) => {
                 let out: Vec<Tuple> = p.iter().filter(|t| t.key() == key).cloned().collect();
                 (out, p.len())
             }
@@ -233,14 +231,14 @@ impl Relation {
 
     /// Every tuple whose key lies in `lo..=hi`, in key order.
     ///
-    /// List relations stop scanning once keys pass `hi`; tree relations
-    /// prune subtrees (O(log n + answer)); paged relations scan fully.
+    /// List stores stop scanning once keys pass `hi`; tree stores prune
+    /// subtrees (O(log n + answer)); paged stores scan fully.
     pub fn find_range(&self, lo: &Value, hi: &Value) -> Vec<Tuple> {
         if lo > hi {
             return Vec::new();
         }
         match self {
-            Relation::List(l) => {
+            Store::List(l) => {
                 let mut out = Vec::new();
                 for t in l.iter() {
                     if t.key() > hi {
@@ -252,25 +250,17 @@ impl Relation {
                 }
                 out
             }
-            Relation::Tree(t) => t
+            Store::Tree(t) => t
                 .range(lo, hi)
                 .into_iter()
-                .flat_map(|(_, bucket)| {
-                    let mut b: Vec<Tuple> = bucket.iter().cloned().collect();
-                    b.reverse();
-                    b
-                })
+                .flat_map(|(_, bucket)| bucket_in_arrival_order(bucket))
                 .collect(),
-            Relation::BTree(t) => t
+            Store::BTree(t) => t
                 .range(lo, hi)
                 .into_iter()
-                .flat_map(|(_, bucket)| {
-                    let mut b: Vec<Tuple> = bucket.iter().cloned().collect();
-                    b.reverse();
-                    b
-                })
+                .flat_map(|(_, bucket)| bucket_in_arrival_order(bucket))
                 .collect(),
-            Relation::Paged(p) => {
+            Store::Paged(p) => {
                 let mut out: Vec<Tuple> = p
                     .iter()
                     .filter(|t| t.key() >= lo && t.key() <= hi)
@@ -285,80 +275,53 @@ impl Relation {
     /// `true` if any tuple has this key.
     pub fn contains_key(&self, key: &Value) -> bool {
         match self {
-            Relation::Tree(t) => t.contains_key(key),
-            Relation::BTree(t) => t.contains_key(key),
+            Store::Tree(t) => t.contains_key(key),
+            Store::BTree(t) => t.contains_key(key),
             _ => !self.find(key).is_empty(),
+        }
+    }
+
+    /// Streams every tuple in the store's natural order (key order for
+    /// list/tree, arrival order for paged) without materializing the whole
+    /// relation; at most one tree bucket is buffered at a time.
+    pub fn scan_iter(&self) -> Box<dyn Iterator<Item = Tuple> + '_> {
+        match self {
+            Store::List(l) => Box::new(l.iter().cloned()),
+            Store::Tree(t) => Box::new(t.iter().flat_map(|(_, b)| bucket_in_arrival_order(b))),
+            Store::BTree(t) => Box::new(t.iter().flat_map(|(_, b)| bucket_in_arrival_order(b))),
+            Store::Paged(p) => Box::new(p.iter().cloned()),
         }
     }
 
     /// All tuples, in the representation's natural order (key order for
     /// list/tree, arrival order for paged).
     pub fn scan(&self) -> Vec<Tuple> {
-        match self {
-            Relation::List(l) => l.iter().cloned().collect(),
-            Relation::Tree(t) => t
-                .iter()
-                .flat_map(|(_, b)| {
-                    let mut bucket: Vec<Tuple> = b.iter().cloned().collect();
-                    bucket.reverse(); // buckets are consed, restore arrival order
-                    bucket
-                })
-                .collect(),
-            Relation::BTree(t) => t
-                .iter()
-                .flat_map(|(_, b)| {
-                    let mut bucket: Vec<Tuple> = b.iter().cloned().collect();
-                    bucket.reverse();
-                    bucket
-                })
-                .collect(),
-            Relation::Paged(p) => p.iter().cloned().collect(),
-        }
+        self.scan_iter().collect()
     }
 
-    /// The tuples satisfying `pred`.
-    pub fn select<F: Fn(&Tuple) -> bool>(&self, pred: F) -> Vec<Tuple> {
-        self.scan().into_iter().filter(|t| pred(t)).collect()
+    /// `true` when scan order is key order — the property the merge join
+    /// relies on. Only arrival-order paged stores lack it.
+    pub fn is_key_ordered(&self) -> bool {
+        !matches!(self, Store::Paged(_))
     }
 
-    /// Natural join on keys: for every pair of tuples (one from `self`, one
-    /// from `other`) with equal keys, emits their concatenation (the key
-    /// appears once, followed by the remaining fields of both sides).
-    /// Output follows `self`'s scan order.
-    pub fn join_by_key(&self, other: &Relation) -> Vec<Tuple> {
-        let mut out = Vec::new();
-        for left in self.scan() {
-            for right in other.find(left.key()) {
-                let fields: Vec<Value> = left
-                    .iter()
-                    .cloned()
-                    .chain(right.iter().skip(1).cloned())
-                    .collect();
-                out.push(Tuple::new(fields));
-            }
-        }
-        out
-    }
-
-    /// `true` if `self` and `other` are physically the same relation value
-    /// (same root/spine pointer). Used to *prove* the paper's sharing claims
-    /// across database versions.
-    pub fn ptr_eq(&self, other: &Relation) -> bool {
+    /// `true` if `self` and `other` are physically the same store value
+    /// (same root/spine pointer).
+    pub fn ptr_eq(&self, other: &Store) -> bool {
         match (self, other) {
-            (Relation::List(a), Relation::List(b)) => a.ptr_eq(b),
-            (Relation::Tree(a), Relation::Tree(b)) => a.ptr_eq(b),
-            (Relation::BTree(a), Relation::BTree(b)) => a.ptr_eq(b),
-            (Relation::Paged(a), Relation::Paged(b)) => a.ptr_eq(b),
+            (Store::List(a), Store::List(b)) => a.ptr_eq(b),
+            (Store::Tree(a), Store::Tree(b)) => a.ptr_eq(b),
+            (Store::BTree(a), Store::BTree(b)) => a.ptr_eq(b),
+            (Store::Paged(a), Store::Paged(b)) => a.ptr_eq(b),
             _ => false,
         }
     }
 
-    /// Removes every tuple with key `key`, returning the new relation, the
-    /// removed tuples, and a copy report. Returns an unchanged relation and
-    /// no tuples if the key is absent.
-    pub fn delete(&self, key: &Value) -> (Relation, Vec<Tuple>, CopyReport) {
+    /// Removes every tuple with key `key`, returning the new store, the
+    /// removed tuples, and a copy report.
+    pub fn delete(&self, key: &Value) -> (Store, Vec<Tuple>, CopyReport) {
         match self {
-            Relation::List(l) => {
+            Store::List(l) => {
                 // Matching keys are contiguous in the sorted list: copy the
                 // prefix, drop the run, share the suffix.
                 let mut prefix: Vec<Tuple> = Vec::new();
@@ -386,31 +349,25 @@ impl Relation {
                 for t in prefix.into_iter().rev() {
                     out = PList::cons(t, out);
                 }
-                (
-                    Relation::List(out),
-                    removed,
-                    CopyReport::new(copied, shared),
-                )
+                (Store::List(out), removed, CopyReport::new(copied, shared))
             }
-            Relation::Tree(t) => match t.remove(key) {
+            Store::Tree(t) => match t.remove(key) {
                 None => (self.clone(), Vec::new(), CopyReport::default()),
                 Some((t2, bucket)) => {
-                    let mut removed: Vec<Tuple> = bucket.iter().cloned().collect();
-                    removed.reverse();
+                    let removed = bucket_in_arrival_order(&bucket);
                     let report = CopyReport::new(0, t2.node_count());
-                    (Relation::Tree(t2), removed, report)
+                    (Store::Tree(t2), removed, report)
                 }
             },
-            Relation::BTree(t) => match t.remove(key) {
+            Store::BTree(t) => match t.remove(key) {
                 None => (self.clone(), Vec::new(), CopyReport::default()),
                 Some((t2, bucket)) => {
-                    let mut removed: Vec<Tuple> = bucket.iter().cloned().collect();
-                    removed.reverse();
+                    let removed = bucket_in_arrival_order(&bucket);
                     let report = CopyReport::new(0, t2.node_count());
-                    (Relation::BTree(t2), removed, report)
+                    (Store::BTree(t2), removed, report)
                 }
             },
-            Relation::Paged(p) => {
+            Store::Paged(p) => {
                 // Paged stores have no key order: rebuild (pessimistic, and
                 // documented as such — arrival-order stores are an archive
                 // format in the paper's sense).
@@ -428,10 +385,272 @@ impl Relation {
                 }
                 let store = PagedStore::with_capacity(p.page_capacity(), kept);
                 let copied = store.page_count() as u64;
-                (Relation::Paged(store), removed, CopyReport::new(copied, 0))
+                (Store::Paged(store), removed, CopyReport::new(copied, 0))
             }
         }
     }
+}
+
+/// A persistent relation: a multiset of tuples addressed by key (first
+/// field). Duplicated keys are allowed; `find` returns every match.
+///
+/// Copy reports use representation-specific units (list cells, tree nodes,
+/// or pages) — they compare *within* a representation, which is how the
+/// sharing benches use them.
+///
+/// # Example
+///
+/// ```
+/// use fundb_relational::{Relation, Repr, Tuple};
+///
+/// let r0 = Relation::empty(Repr::List);
+/// let (r1, _) = r0.insert(Tuple::new(vec![1.into(), "ada".into()]));
+/// let (r2, _) = r1.insert(Tuple::new(vec![2.into(), "bob".into()]));
+/// assert_eq!(r2.len(), 2);
+/// assert_eq!(r2.find(&1.into()).len(), 1);
+/// assert_eq!(r1.len(), 1); // old version intact
+/// ```
+#[derive(Clone)]
+pub struct Relation {
+    pub(crate) store: Store,
+    pub(crate) indexes: IndexSet,
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Relation[{}; {} tuples]", self.repr(), self.len())?;
+        if !self.indexes.is_empty() {
+            write!(f, " + {} indexes", self.indexes.len())?;
+        }
+        Ok(())
+    }
+}
+
+impl From<Store> for Relation {
+    /// Wraps a bare store as an unindexed relation — the constructor the
+    /// checkpoint loader uses after materializing a store shape.
+    fn from(store: Store) -> Self {
+        Relation {
+            store,
+            indexes: IndexSet::empty(),
+        }
+    }
+}
+
+impl Relation {
+    /// An empty relation with the chosen representation.
+    pub fn empty(repr: Repr) -> Self {
+        Relation::from(Store::empty(repr))
+    }
+
+    /// Builds a relation of the chosen representation from tuples.
+    pub fn from_tuples<I: IntoIterator<Item = Tuple>>(repr: Repr, tuples: I) -> Self {
+        let mut rel = Relation::empty(repr);
+        for t in tuples {
+            rel = rel.insert(t).0;
+        }
+        rel
+    }
+
+    /// The physical tuple store.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// The secondary indexes attached to this relation.
+    pub fn indexes(&self) -> &IndexSet {
+        &self.indexes
+    }
+
+    /// The first index covering attribute `field`, if any.
+    pub fn index_on(&self, field: usize) -> Option<&SecondaryIndex> {
+        self.indexes.on_field(field)
+    }
+
+    /// Attaches (and builds, with one full pass) a secondary index named
+    /// `name` on attribute position `field`. Returns `None` if an index
+    /// with that name already exists. The store is shared, not copied.
+    pub fn create_index(&self, name: &str, field: usize) -> Option<Relation> {
+        if self.indexes.get(name).is_some() {
+            return None;
+        }
+        let ix = SecondaryIndex::build(name, field, self.store.scan_iter());
+        let indexes = self.indexes.with(ix).expect("duplicate name checked above");
+        Some(Relation {
+            store: self.store.clone(),
+            indexes,
+        })
+    }
+
+    /// The representation in use.
+    pub fn repr(&self) -> Repr {
+        self.store.repr()
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// `true` if the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Inserts a tuple, returning the new relation and a copy report.
+    /// Attached indexes are maintained incrementally: one posting-list
+    /// touch per index, nothing at all when no indexes exist.
+    pub fn insert(&self, tuple: Tuple) -> (Relation, CopyReport) {
+        let indexes = if self.indexes.is_empty() {
+            self.indexes.clone()
+        } else {
+            let before = self.store.key_group(tuple.key());
+            let mut after = before.clone();
+            after.push(tuple.clone());
+            self.indexes.apply_transitions(&[KeyTransition::new(
+                tuple.key().clone(),
+                before,
+                after,
+            )])
+        };
+        let (store, report) = self.store.insert(tuple);
+        (Relation { store, indexes }, report)
+    }
+
+    /// Every tuple whose key equals `key`.
+    pub fn find(&self, key: &Value) -> Vec<Tuple> {
+        self.store.find(key)
+    }
+
+    /// The tuples with key `key`, in this relation's scan order (see
+    /// [`Store::key_group`]).
+    pub fn key_group(&self, key: &Value) -> Vec<Tuple> {
+        self.store.key_group(key)
+    }
+
+    /// Like [`find`](Self::find), but also reports how many stored cells
+    /// the probe examined (see [`Store::find_counted`]).
+    pub fn find_counted(&self, key: &Value) -> (Vec<Tuple>, usize) {
+        self.store.find_counted(key)
+    }
+
+    /// Every tuple whose key lies in `lo..=hi`, in key order (see
+    /// [`Store::find_range`]).
+    pub fn find_range(&self, lo: &Value, hi: &Value) -> Vec<Tuple> {
+        self.store.find_range(lo, hi)
+    }
+
+    /// `true` if any tuple has this key.
+    pub fn contains_key(&self, key: &Value) -> bool {
+        self.store.contains_key(key)
+    }
+
+    /// Streams every tuple without materializing the relation (see
+    /// [`Store::scan_iter`]).
+    pub fn scan_iter(&self) -> Box<dyn Iterator<Item = Tuple> + '_> {
+        self.store.scan_iter()
+    }
+
+    /// All tuples, in the representation's natural order (key order for
+    /// list/tree, arrival order for paged).
+    pub fn scan(&self) -> Vec<Tuple> {
+        self.store.scan()
+    }
+
+    /// The tuples satisfying `pred`, filtered while streaming — no full
+    /// materialized copy of the relation is built first.
+    pub fn select<F: Fn(&Tuple) -> bool>(&self, pred: F) -> Vec<Tuple> {
+        self.scan_iter().filter(|t| pred(t)).collect()
+    }
+
+    /// Natural join on keys: for every pair of tuples (one from `self`, one
+    /// from `other`) with equal keys, emits their concatenation (the key
+    /// appears once, followed by the remaining fields of both sides).
+    /// Output follows `self`'s scan order.
+    ///
+    /// When both sides scan in key order (list and tree stores) this is a
+    /// single merge pass over the two scan streams — O(n + m + output) with
+    /// no per-tuple lookups. If either side is an arrival-order paged
+    /// store, it falls back to the scan-and-probe loop.
+    pub fn join_by_key(&self, other: &Relation) -> Vec<Tuple> {
+        if self.store.is_key_ordered() && other.store.is_key_ordered() {
+            return self.merge_join(other);
+        }
+        let mut out = Vec::new();
+        for left in self.scan() {
+            for right in other.find(left.key()) {
+                out.push(concat_join(&left, &right));
+            }
+        }
+        out
+    }
+
+    /// The merge-join pass: both scan streams are key-ordered, so one
+    /// synchronized walk finds every matching key group.
+    fn merge_join(&self, other: &Relation) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        let mut left = self.scan_iter().peekable();
+        let mut right = other.scan_iter().peekable();
+        while let (Some(l), Some(r)) = (left.peek(), right.peek()) {
+            match l.key().cmp(r.key()) {
+                std::cmp::Ordering::Less => {
+                    left.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    right.next();
+                }
+                std::cmp::Ordering::Equal => {
+                    let key = left.peek().expect("peeked above").key().clone();
+                    let mut group: Vec<Tuple> = Vec::new();
+                    while right.peek().is_some_and(|t| *t.key() == key) {
+                        group.push(right.next().expect("peeked above"));
+                    }
+                    while left.peek().is_some_and(|t| *t.key() == key) {
+                        let l = left.next().expect("peeked above");
+                        for r in &group {
+                            out.push(concat_join(&l, r));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// `true` if `self` and `other` are physically the same relation value
+    /// (same store pointer and same index set). Used to *prove* the
+    /// paper's sharing claims across database versions.
+    pub fn ptr_eq(&self, other: &Relation) -> bool {
+        self.store.ptr_eq(&other.store) && self.indexes.ptr_eq(&other.indexes)
+    }
+
+    /// Removes every tuple with key `key`, returning the new relation, the
+    /// removed tuples, and a copy report. Returns an unchanged relation and
+    /// no tuples if the key is absent. Attached indexes drop the key from
+    /// the postings of every removed tuple's indexed values.
+    pub fn delete(&self, key: &Value) -> (Relation, Vec<Tuple>, CopyReport) {
+        let (store, removed, report) = self.store.delete(key);
+        let indexes = if self.indexes.is_empty() || removed.is_empty() {
+            self.indexes.clone()
+        } else {
+            self.indexes.apply_transitions(&[KeyTransition::new(
+                key.clone(),
+                removed.clone(),
+                Vec::new(),
+            )])
+        };
+        (Relation { store, indexes }, removed, report)
+    }
+}
+
+/// The joined tuple: all of `left`, then `right` minus its key.
+fn concat_join(left: &Tuple, right: &Tuple) -> Tuple {
+    let fields: Vec<Value> = left
+        .iter()
+        .cloned()
+        .chain(right.iter().skip(1).cloned())
+        .collect();
+    Tuple::new(fields)
 }
 
 #[cfg(test)]
@@ -517,6 +736,34 @@ mod tests {
             .map(|t| t.key().as_int().unwrap())
             .collect();
         assert_eq!(keys, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn scan_iter_matches_scan() {
+        for repr in all_reprs() {
+            let r = Relation::from_tuples(repr, tuples());
+            let streamed: Vec<Tuple> = r.scan_iter().collect();
+            assert_eq!(streamed, r.scan(), "{repr}");
+        }
+    }
+
+    #[test]
+    fn key_group_follows_scan_order() {
+        for repr in all_reprs() {
+            let r = Relation::from_tuples(
+                repr,
+                vec![
+                    Tuple::new(vec![1.into(), "first".into()]),
+                    Tuple::new(vec![1.into(), "second".into()]),
+                ],
+            );
+            let in_scan: Vec<Tuple> = r
+                .scan()
+                .into_iter()
+                .filter(|t| t.key() == &1.into())
+                .collect();
+            assert_eq!(r.key_group(&1.into()), in_scan, "{repr}");
+        }
     }
 
     #[test]
@@ -643,11 +890,98 @@ mod tests {
     }
 
     #[test]
+    fn merge_join_matches_probe_join() {
+        // Key-ordered sides take the merge path; pairing a paged side
+        // forces the probe fallback. Both must produce the same multiset,
+        // and ordered sides the same sequence.
+        let pairs: Vec<(i64, &str)> = vec![(1, "a"), (2, "b"), (2, "c"), (5, "d"), (9, "e")];
+        let rights: Vec<(i64, &str)> = vec![(2, "x"), (2, "y"), (5, "z"), (7, "w")];
+        let mk = |repr, data: &[(i64, &str)]| {
+            Relation::from_tuples(
+                repr,
+                data.iter()
+                    .map(|(k, s)| Tuple::new(vec![(*k).into(), (*s).into()])),
+            )
+        };
+        let reference = {
+            let left = mk(Repr::List, &pairs);
+            let right = mk(Repr::List, &rights);
+            left.join_by_key(&right)
+        };
+        for repr in [Repr::Tree23, Repr::BTree(4)] {
+            let left = mk(repr, &pairs);
+            let right = mk(repr, &rights);
+            assert_eq!(left.join_by_key(&right), reference, "{repr}");
+        }
+        // Paged fallback: same rows, arrival order on the left.
+        let left = mk(Repr::Paged(2), &pairs);
+        let right = mk(Repr::Tree23, &rights);
+        let mut got = left.join_by_key(&right);
+        let mut want = reference.clone();
+        got.sort();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
     fn join_with_empty_is_empty() {
         let left = Relation::from_tuples(Repr::List, (0..3).map(Tuple::of_key));
         let empty = Relation::empty(Repr::List);
         assert!(left.join_by_key(&empty).is_empty());
         assert!(empty.join_by_key(&left).is_empty());
+    }
+
+    #[test]
+    fn indexes_follow_single_tuple_writes() {
+        for repr in all_reprs() {
+            let r = Relation::from_tuples(
+                repr,
+                vec![
+                    Tuple::new(vec![1.into(), "red".into()]),
+                    Tuple::new(vec![2.into(), "blue".into()]),
+                ],
+            );
+            let r = r.create_index("by_color", 1).unwrap();
+            let ix = r.index_on(1).unwrap();
+            assert_eq!(ix.keys_eq(&"red".into()), vec![1.into()], "{repr}");
+
+            // Insert: a new key joins its value's posting.
+            let (r2, _) = r.insert(Tuple::new(vec![3.into(), "red".into()]));
+            assert_eq!(
+                r2.index_on(1).unwrap().keys_eq(&"red".into()),
+                vec![1.into(), 3.into()],
+                "{repr}"
+            );
+            // The old version's index is untouched (persistence).
+            assert_eq!(r.index_on(1).unwrap().keys_eq(&"red".into()).len(), 1);
+
+            // Delete: the key leaves every posting it was in.
+            let (r3, removed, _) = r2.delete(&1.into());
+            assert_eq!(removed.len(), 1, "{repr}");
+            assert_eq!(
+                r3.index_on(1).unwrap().keys_eq(&"red".into()),
+                vec![3.into()],
+                "{repr}"
+            );
+        }
+    }
+
+    #[test]
+    fn create_index_rejects_duplicates_and_shares_store() {
+        let r = Relation::from_tuples(Repr::Tree23, tuples());
+        let r1 = r.create_index("ix", 1).unwrap();
+        assert!(r1.create_index("ix", 0).is_none());
+        // The store itself is shared, not copied.
+        assert!(r.store().ptr_eq(r1.store()));
+        // But the relation values differ (index set changed).
+        assert!(!r.ptr_eq(&r1));
+    }
+
+    #[test]
+    fn unindexed_relation_ptr_eq_unchanged() {
+        let r = Relation::from_tuples(Repr::List, tuples());
+        let same = r.clone();
+        assert!(r.ptr_eq(&same));
     }
 
     #[test]

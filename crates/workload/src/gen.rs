@@ -256,6 +256,101 @@ impl HotPathSpec {
     }
 }
 
+/// Parameters for the selective-query benchmark workload: read-only
+/// equality and range selects over a *non-key* attribute of one large
+/// relation.
+///
+/// The relation `S` holds `tuples` rows of the form `(id, id % groups,
+/// id)`: the key is unique, attribute `#1` is low-cardinality. Every
+/// generated query filters on `#1`, so against [`Self::initial`] the
+/// planner has no applicable index and falls back to a full scan, while
+/// against [`Self::index`]'s database the same queries take the
+/// secondary-index path. The ratio between the two measures planner
+/// pushdown, not engine overhead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelectiveSpec {
+    /// Concurrent submitting clients.
+    pub clients: usize,
+    /// Queries per client (all read-only selects).
+    pub ops_per_client: usize,
+    /// Rows in relation `S`; row `i` is `(i, i % groups, i)`.
+    pub tuples: usize,
+    /// Distinct values of the filtered attribute `#1`. An equality query
+    /// matches `tuples / groups` rows; a range query matches a few times
+    /// that.
+    pub groups: i64,
+    /// RNG seed; equal specs generate equal workloads.
+    pub seed: u64,
+}
+
+impl SelectiveSpec {
+    /// The benchmark relation's name.
+    pub const RELATION: &'static str = "S";
+    /// The secondary-index name [`Self::index`] attaches to `#1`.
+    pub const INDEX: &'static str = "by_group";
+
+    /// The pre-seeded database *without* the index: every generated
+    /// query falls back to a full scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is not positive.
+    pub fn initial(&self) -> Database {
+        assert!(self.groups > 0, "need at least one group");
+        let name = Self::RELATION.into();
+        let mut db = Database::empty()
+            .create_relation(Self::RELATION, Repr::BTree(16))
+            .expect("fresh database has no relations");
+        for i in 0..self.tuples {
+            let id = i as i64;
+            let tuple = Tuple::new(vec![id.into(), (id % self.groups).into(), id.into()]);
+            let (d2, _) = db.insert(&name, tuple).expect("relation exists");
+            db = d2;
+        }
+        db
+    }
+
+    /// The same database with a secondary index on `#1`: the planner
+    /// serves every generated query through the index.
+    pub fn index(db: &Database) -> Database {
+        db.create_index(&Self::RELATION.into(), Self::INDEX, 1)
+            .expect("initial database has no indexes")
+    }
+
+    /// One client's deterministic query stream: three quarters equality
+    /// probes on `#1`, one quarter narrow ranges over it.
+    pub fn client_ops(&self, client: usize) -> Vec<Transaction> {
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            self.seed ^ (client as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        let rel = Self::RELATION;
+        (0..self.ops_per_client)
+            .map(|_| {
+                let q = if rng.gen_range(0u32..100) < 75 {
+                    let g = rng.gen_range(0..self.groups);
+                    format!("select from {rel} where #1 = {g}")
+                } else {
+                    // A window of a few groups: still well under 1% of the
+                    // relation, so the scan side's cost stays dominated by
+                    // the scan itself.
+                    let width = (self.groups / 200).max(2);
+                    let lo = rng.gen_range(0..self.groups);
+                    format!(
+                        "select from {rel} where #1 > {lo} and #1 < {}",
+                        lo + width + 1
+                    )
+                };
+                translate(parse(&q).expect("generated queries parse"))
+            })
+            .collect()
+    }
+
+    /// Every client's stream, indexed by client.
+    pub fn all_clients(&self) -> Vec<Vec<Transaction>> {
+        (0..self.clients).map(|c| self.client_ops(c)).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -421,6 +516,55 @@ mod tests {
             a.iter().map(|t| t.query().to_string()).collect::<Vec<_>>(),
             c.iter().map(|t| t.query().to_string()).collect::<Vec<_>>(),
         );
+    }
+
+    fn selective() -> SelectiveSpec {
+        SelectiveSpec {
+            clients: 2,
+            ops_per_client: 40,
+            tuples: 600,
+            groups: 12,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn selective_streams_are_deterministic_and_all_selects() {
+        let spec = selective();
+        let a: Vec<String> = spec
+            .client_ops(0)
+            .iter()
+            .map(|t| t.query().to_string())
+            .collect();
+        let b: Vec<String> = spec
+            .client_ops(0)
+            .iter()
+            .map(|t| t.query().to_string())
+            .collect();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|q| q.starts_with("select from S where ")));
+        assert!(a.iter().any(|q| q.contains("#1 = ")));
+        assert!(a.iter().any(|q| q.contains(" and ")));
+    }
+
+    #[test]
+    fn selective_indexed_and_scan_databases_answer_identically() {
+        let spec = selective();
+        let scan_db = spec.initial();
+        assert_eq!(scan_db.tuple_count(), 600);
+        let indexed_db = SelectiveSpec::index(&scan_db);
+        let rel = indexed_db
+            .relation(&SelectiveSpec::RELATION.into())
+            .unwrap();
+        assert_eq!(rel.indexes().len(), 1);
+        for ops in spec.all_clients() {
+            for tx in ops {
+                let (scan, _) = tx.apply(&scan_db);
+                assert!(!scan.is_error(), "{scan}");
+                let (indexed, _) = tx.apply(&indexed_db);
+                assert_eq!(scan, indexed, "{}", tx.query());
+            }
+        }
     }
 
     #[test]

@@ -33,7 +33,19 @@
 //! row, and a best-speedup summary per workload).
 //!
 //! Pass `--smoke` for a fast correctness pass (tiny op counts, one
-//! repetition, no JSON written) — this is what CI runs.
+//! repetition, no JSON written) — this is what CI runs — and
+//! `--only <workload>` to restrict the run to one workload.
+//!
+//! Besides throughput, every workload gets one *instrumented* repetition
+//! per side at a fixed pool width: per-transaction submit→response
+//! latency is recorded and reported as p50/p99 (µs). Waits happen in
+//! submission order, so a response that filled while an earlier one was
+//! being awaited is charged the wait-return time — the numbers are
+//! observed-completion upper bounds, comparable across engines because
+//! both sides are measured the same way. The current engine's hot-path
+//! counters ([`fundb_core::EngineStats`]) are printed after the
+//! instrumented run, which is how the adaptive regime decisions are
+//! checked against real traffic.
 
 use std::time::Instant;
 
@@ -57,6 +69,8 @@ const SELECTIVE_GROUPS: i64 = 1_000;
 const SELECTIVE_OPS_PER_CLIENT: usize = 200;
 const REPETITIONS: usize = 7;
 const WORKER_COUNTS: [usize; 3] = [1, 4, 8];
+/// Pool width for the instrumented latency repetition.
+const LATENCY_WORKERS: usize = 4;
 
 /// Sizing knobs, scaled down by `--smoke` for a fast CI correctness pass.
 struct Config {
@@ -66,11 +80,18 @@ struct Config {
     selective_ops_per_client: usize,
     repetitions: usize,
     smoke: bool,
+    /// `--only <workload>`: restrict the run to one workload by name.
+    only: Option<String>,
 }
 
 impl Config {
     fn from_args() -> Self {
-        let smoke = std::env::args().any(|a| a == "--smoke");
+        let args: Vec<String> = std::env::args().collect();
+        let smoke = args.iter().any(|a| a == "--smoke");
+        let only = args
+            .iter()
+            .position(|a| a == "--only")
+            .and_then(|i| args.get(i + 1).cloned());
         Config {
             ops_per_client: if smoke { 300 } else { OPS_PER_CLIENT },
             selective_tuples: if smoke { 2_000 } else { SELECTIVE_TUPLES },
@@ -78,6 +99,14 @@ impl Config {
             selective_ops_per_client: if smoke { 25 } else { SELECTIVE_OPS_PER_CLIENT },
             repetitions: if smoke { 1 } else { REPETITIONS },
             smoke,
+            only,
+        }
+    }
+
+    fn runs(&self, workload: &str) -> bool {
+        match self.only.as_deref() {
+            None => true,
+            Some(w) => w == workload,
         }
     }
 }
@@ -202,6 +231,58 @@ fn measure(
     (best_classic, best_current)
 }
 
+/// One instrumented repetition: per-transaction submit→response latency
+/// in microseconds, waits taken in submission order per client (see the
+/// module docs for why this is an observed-completion upper bound).
+fn latency_side(engine: &dyn Engine, clients: &[Vec<Transaction>]) -> (f64, f64) {
+    let batch = clients.to_vec();
+    let mut lats: Vec<f64> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = batch
+            .into_iter()
+            .map(|ops| {
+                s.spawn(move || {
+                    let submitted: Vec<(Instant, Lenient<Response>)> = ops
+                        .into_iter()
+                        .map(|tx| (Instant::now(), engine.submit_tx(tx)))
+                        .collect();
+                    submitted
+                        .into_iter()
+                        .map(|(at, cell)| {
+                            cell.wait();
+                            at.elapsed().as_secs_f64() * 1e6
+                        })
+                        .collect::<Vec<f64>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            lats.extend(h.join().expect("latency client panicked"));
+        }
+    });
+    lats.sort_by(f64::total_cmp);
+    (percentile(&lats, 50.0), percentile(&lats, 99.0))
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// p50/p99 latency (µs) for both sides of one workload, measured at
+/// [`LATENCY_WORKERS`] workers.
+struct LatencyRow {
+    workload: &'static str,
+    left_p50: f64,
+    left_p99: f64,
+    right_p50: f64,
+    right_p99: f64,
+}
+
 /// The no-engine floor: one thread folding every transaction in sequence.
 fn sequential_floor(db: &Database, clients: &[Vec<Transaction>], repetitions: usize) -> f64 {
     let total: usize = clients.iter().map(Vec::len).sum();
@@ -250,7 +331,11 @@ fn main() {
     let config = Config::from_args();
     let mut rows = Vec::new();
     let mut floors = Vec::new();
+    let mut latencies = Vec::new();
     for (name, case) in cases(config.ops_per_client) {
+        if !config.runs(name) {
+            continue;
+        }
         let db = case.initial();
         let clients = case.all_clients();
         let floor = sequential_floor(&db, &clients, config.repetitions);
@@ -273,9 +358,29 @@ fn main() {
                 &mut rows,
             );
         }
+        // The instrumented repetition: latency percentiles for both
+        // sides, plus the current engine's hot-path counters.
+        let classic_engine = ClassicEngine::new(LATENCY_WORKERS, &db);
+        let (left_p50, left_p99) = latency_side(&classic_engine, &clients);
+        let current_engine = PipelinedEngine::new(LATENCY_WORKERS, &db);
+        let (right_p50, right_p99) = latency_side(&current_engine, &clients);
+        println!(
+            "{name:<12} latency µs (p50/p99) classic={left_p50:.0}/{left_p99:.0}  \
+             current={right_p50:.0}/{right_p99:.0}"
+        );
+        println!("{name:<12} stats: {}", current_engine.stats());
+        latencies.push(LatencyRow {
+            workload: name,
+            left_p50,
+            left_p99,
+            right_p50,
+            right_p99,
+        });
     }
 
-    run_selective(&config, &mut rows, &mut floors);
+    if config.runs("selective") {
+        run_selective(&config, &mut rows, &mut floors, &mut latencies);
+    }
 
     if config.smoke {
         println!(
@@ -284,7 +389,7 @@ fn main() {
         );
         return;
     }
-    let json = render_json(&rows, &floors, &config);
+    let json = render_json(&rows, &floors, &latencies, &config);
     std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
     println!("\nwrote BENCH_engine.json ({} cases)", rows.len());
 }
@@ -309,7 +414,12 @@ fn push_row(row: Row, rows: &mut Vec<Row>) {
 /// fallback) and once with a secondary index on the probed attribute
 /// (planner pushdown). The ratio is the index win, holding the engine
 /// constant.
-fn run_selective(config: &Config, rows: &mut Vec<Row>, floors: &mut Vec<(&'static str, f64)>) {
+fn run_selective(
+    config: &Config,
+    rows: &mut Vec<Row>,
+    floors: &mut Vec<(&'static str, f64)>,
+    latencies: &mut Vec<LatencyRow>,
+) {
     let spec = SelectiveSpec {
         clients: CLIENTS,
         ops_per_client: config.selective_ops_per_client,
@@ -340,9 +450,31 @@ fn run_selective(config: &Config, rows: &mut Vec<Row>, floors: &mut Vec<(&'stati
             rows,
         );
     }
+    let scan_engine = PipelinedEngine::new(LATENCY_WORKERS, &scan_db);
+    let (left_p50, left_p99) = latency_side(&scan_engine, &clients);
+    let indexed_engine = PipelinedEngine::new(LATENCY_WORKERS, &indexed_db);
+    let (right_p50, right_p99) = latency_side(&indexed_engine, &clients);
+    println!(
+        "{:<12} latency µs (p50/p99) scan={left_p50:.0}/{left_p99:.0}  \
+         indexed={right_p50:.0}/{right_p99:.0}",
+        "selective"
+    );
+    println!("{:<12} stats: {}", "selective", indexed_engine.stats());
+    latencies.push(LatencyRow {
+        workload: "selective",
+        left_p50,
+        left_p99,
+        right_p50,
+        right_p99,
+    });
 }
 
-fn render_json(rows: &[Row], floors: &[(&str, f64)], config: &Config) -> String {
+fn render_json(
+    rows: &[Row],
+    floors: &[(&str, f64)],
+    latencies: &[LatencyRow],
+    config: &Config,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(
@@ -372,6 +504,30 @@ fn render_json(rows: &[Row], floors: &[(&str, f64)], config: &Config) -> String 
             best.workers,
             floor,
             if i + 1 == floors.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"latency_note\": \"submit-to-response percentiles in µs from one instrumented \
+         repetition at {LATENCY_WORKERS} workers; waits are taken in submission order, so \
+         values are observed-completion upper bounds\",\n"
+    ));
+    out.push_str("  \"latency_us\": [\n");
+    for (i, lat) in latencies.iter().enumerate() {
+        let (left, right) = if lat.workload == "selective" {
+            ("scan", "indexed")
+        } else {
+            ("classic", "current")
+        };
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"{left}_p50\": {:.1}, \"{left}_p99\": {:.1}, \
+             \"{right}_p50\": {:.1}, \"{right}_p99\": {:.1}}}{}\n",
+            lat.workload,
+            lat.left_p50,
+            lat.left_p99,
+            lat.right_p50,
+            lat.right_p99,
+            if i + 1 == latencies.len() { "" } else { "," }
         ));
     }
     out.push_str("  ],\n");

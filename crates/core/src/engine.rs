@@ -17,9 +17,10 @@
 //!
 //! # Hot path
 //!
-//! Three mechanisms keep the submission path short (see `DESIGN.md` for
+//! The submission path is kept short by a sharded frontier plus an
+//! *adaptive* per-slot choice between three regimes (see `DESIGN.md` for
 //! the full argument; [`crate::ClassicEngine`] is the version without
-//! them, kept for before/after measurement):
+//! any of this, kept for before/after measurement):
 //!
 //! * **Sharded frontier** — the frontier is a map of independent slots,
 //!   one lock per relation, behind an `RwLock` catalog that only `create`
@@ -27,24 +28,39 @@
 //!   contend. Multi-relation captures (join, snapshot) take the involved
 //!   slot locks together in name order, so the captured version vector is
 //!   an atomic cut and lock acquisition cannot cycle.
-//! * **Write coalescing** — consecutive writes to the same relation join
-//!   one open *batch*: a single pool job that waits on a single input
-//!   cell, applies the whole run in submission order, and answers each
-//!   transaction individually. N writes cost one thread handoff and one
-//!   relation cell instead of N of each. A read *seals* the open batch,
-//!   because it pins the batch's output cell as its version: sealing
-//!   guarantees that cell contains exactly the writes submitted before the
-//!   read, and later writes start a new batch against it.
-//! * **Read fast-path** — when the pinned input cell is already filled and
-//!   the query is cheap (`find`/`count`), the answer is computed inline on
-//!   the submitting thread ([`Lenient::try_map`]); no job, no handoff, no
-//!   wakeup.
+//! * **Coalesce regime** — under write bursts or queue pressure,
+//!   consecutive writes to the same relation join one open *batch* that
+//!   waits on a single input cell, applies the whole run in submission
+//!   order, and answers each transaction individually. N writes cost one
+//!   relation cell instead of N. A read *seals* the open batch, because
+//!   it pins the batch's output cell as its version: sealing guarantees
+//!   that cell contains exactly the writes submitted before the read, and
+//!   later writes start a new batch against it. A batch opened while its
+//!   predecessor is still computing is *chained* — it gets no pool job of
+//!   its own; the predecessor's worker claims it when the input arrives,
+//!   so a whole multi-batch run costs one pool handoff.
+//! * **Bypass regime** — when the slot's [`TrafficTracker`] says recent
+//!   traffic is read-interleaved (so a batch would be sealed after ~1 op
+//!   and amortize nothing) and the head version is ready, a write applies
+//!   inline under the slot lock: no batch, no cell, no job, no wakeup —
+//!   and the same submission-order sequence numbers, so serializability
+//!   is untouched by regime switches.
+//! * **Lock-free read frontier** — each slot publishes its newest *ready*
+//!   version in an [`AtomicArc`] alongside a `submitted` write counter.
+//!   A cheap read (`find`/`count`) loads both without the slot mutex; if
+//!   the published version covers every submitted write, the answer is
+//!   computed right there — no lock, no seal, no job. Otherwise it falls
+//!   back to the slow path (answer from a filled head under the lock —
+//!   *repairing* the frontier in passing, so publication is demand-driven
+//!   and writers never pay for it — then pin-and-force).
 
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use fundb_lenient::{scatter, Lenient, WorkerPool};
+use fundb_lenient::{scatter, spawn_on_current_pool, AtomicArc, Lenient, WorkerPool};
 use fundb_query::ast::compute_aggregate;
 use fundb_query::plan::execute_select;
 use fundb_query::{FieldRef, Query, Response, Transaction};
@@ -52,23 +68,111 @@ use fundb_relational::{BatchOp, BatchOutcome, Database, Relation, RelationName, 
 use parking_lot::{Mutex, MutexGuard, RwLock};
 
 use crate::commit::CommitSink;
+use crate::fasthash::BuildFnv;
+use crate::schedule::{BatchRegime, TrafficTracker};
+use crate::stats::{EngineStats, EngineStatsSnapshot};
 
-/// An open coalescing batch: writes accumulated for one pool job.
+/// An open coalescing batch: writes accumulated for one claimed run.
 ///
-/// `sealed` flips exactly once — set by the worker when it claims the run
-/// (claiming as late as possible, after its input arrives, maximizes
-/// coalescing), or by a reader pinning the batch's output as its version.
-/// Either way, once sealed no submission may append, and the batch's
-/// output cell is the fold of precisely the ops recorded here.
+/// `sealed` flips exactly once — set by whoever claims the run (the
+/// batch's own pool job, a predecessor's chain drain, claiming as late as
+/// possible so the run keeps growing until its input arrives), or by a
+/// reader pinning the batch's output as its version. Either way, once
+/// sealed no submission may append, and the batch's output cell is the
+/// fold of precisely the ops recorded here.
 struct BatchOps {
     /// The relation the batch belongs to (for the commit sink).
     relation: RelationName,
     /// The version cell the batch folds from.
     input: Lenient<Relation>,
+    /// The version cell the batch fills: the slot's head while the batch
+    /// is the newest.
+    output: Lenient<Relation>,
     /// The run, in application order, each op with its per-relation
     /// sequence number (assigned at submission under the slot lock).
     ops: Vec<(u64, Query, Lenient<Response>)>,
     sealed: bool,
+    /// Whether a pool job exists (or a drain has committed) to run this
+    /// batch. A batch opened behind a pending predecessor starts with
+    /// `false` — *chained* — and is claimed by the predecessor's worker
+    /// when its input fills; the first reader to seal a chained batch
+    /// promotes it by spawning the job itself (under the slot lock, so
+    /// enqueue order still matches version-capture order).
+    has_job: bool,
+}
+
+/// What a slot's lock-free frontier publishes: the newest *ready*
+/// relation value, stamped with how many submitted writes it folds in.
+struct FrontierEntry {
+    /// Sequence numbers `0..covers` are folded into `value` (burned
+    /// numbers from failed commits included).
+    covers: u64,
+    /// The ready relation value.
+    value: Relation,
+}
+
+/// Publishes `(covers, value)` on a slot's frontier, monotonically: a
+/// late publisher (a batch worker finishing after a reader already
+/// repaired the frontier past it) never regresses the published version.
+///
+/// Publication is demand-driven: batch claimers publish once per claimed
+/// run (amortized over the whole batch), and readers that answer under
+/// the slot lock repair the frontier in passing. Bypass writers publish
+/// nothing — paying an allocation per write to pre-warm a frontier no
+/// reader may ever probe is exactly the coalescing tax the bypass regime
+/// exists to avoid.
+fn publish_frontier(frontier: &AtomicArc<FrontierEntry>, covers: u64, value: &Relation) {
+    frontier.store_if(
+        |current| current.covers >= covers,
+        || {
+            Arc::new(FrontierEntry {
+                covers,
+                value: value.clone(),
+            })
+        },
+    );
+}
+
+/// Applies one write query to `first`, returning the successor relation
+/// and the response — the shared single-op arm of the bypass regime and
+/// single-op claimed runs.
+fn apply_single(first: &Relation, q: Query) -> (Relation, Response) {
+    match q {
+        Query::Insert { relation, tuple } => {
+            let (next, _) = first.insert(tuple.clone());
+            (next, Response::Inserted { relation, tuple })
+        }
+        Query::Replace { relation, tuple } => {
+            let (mid, _, _) = first.delete(tuple.key());
+            let (next, _) = mid.insert(tuple.clone());
+            (next, Response::Inserted { relation, tuple })
+        }
+        Query::Delete { key, .. } => {
+            let (next, removed, _) = first.delete(&key);
+            (next, Response::Deleted(removed.len()))
+        }
+        Query::CreateIndex {
+            relation,
+            name,
+            field,
+        } => {
+            // Submission normalized the field to a position, so the
+            // index definition needs no schema here. A duplicate is
+            // answered with the same error string as the translate
+            // path; its logged record replays as the same no-op.
+            let pos = field
+                .resolve(None)
+                .expect("index field normalized to a position at submission");
+            match first.create_index(&name, pos) {
+                Some(next) => (next, Response::IndexCreated { relation, name }),
+                None => (
+                    first.clone(),
+                    Response::Error(format!("index already exists on {relation}: {name}")),
+                ),
+            }
+        }
+        _ => unreachable!("write arm"),
+    }
 }
 
 /// Commits a claimed run through the sink (if any), then applies it and
@@ -89,10 +193,23 @@ fn commit_and_apply(
     first: &Relation,
     claimed: Vec<(u64, Query, Lenient<Response>)>,
     output: &Lenient<Relation>,
+    frontier: &AtomicArc<FrontierEntry>,
+    stats: &EngineStats,
 ) {
+    EngineStats::bump(&stats.batches_claimed);
+    EngineStats::add(&stats.ops_claimed, claimed.len() as u64);
+    // The run's sequence numbers end here; the frontier entry published
+    // below covers them all (burned on failure, folded on success). The
+    // publish happens *before* the output cell fills: a successor batch
+    // starts applying only once this output is filled, so batch
+    // publications are ordered along each slot's version chain and
+    // `publish_frontier`'s monotonic guard only ever resolves races with
+    // readers repairing the frontier from a newer head.
+    let covers = claimed.last().map(|(s, _, _)| s + 1).expect("nonempty run");
     if let Some(sink) = sink {
         let records: Vec<(u64, Query)> = claimed.iter().map(|(s, q, _)| (*s, q.clone())).collect();
         if let Err(e) = sink.commit_writes(relation, &records) {
+            publish_frontier(frontier, covers, first);
             for (_, _, resp_cell) in claimed {
                 resp_cell
                     .fill(Response::Error(format!("commit failed: {e}")))
@@ -102,47 +219,12 @@ fn commit_and_apply(
             return;
         }
     }
-    // A run of one op — the common case when a read seals every batch
-    // immediately, as in 50/50 mixed traffic — skips the batch machinery
-    // entirely: no op vector, no outcome vector, no extra tuple clone.
+    // A run of one op — a batch sealed by a reader right away — skips the
+    // batch machinery: no op vector, no outcome vector, no extra clone.
     if claimed.len() == 1 {
         let (_, q, resp_cell) = claimed.into_iter().next().expect("len checked");
-        let (next, resp) = match q {
-            Query::Insert { relation, tuple } => {
-                let (next, _) = first.insert(tuple.clone());
-                (next, Response::Inserted { relation, tuple })
-            }
-            Query::Replace { relation, tuple } => {
-                let (mid, _, _) = first.delete(tuple.key());
-                let (next, _) = mid.insert(tuple.clone());
-                (next, Response::Inserted { relation, tuple })
-            }
-            Query::Delete { key, .. } => {
-                let (next, removed, _) = first.delete(&key);
-                (next, Response::Deleted(removed.len()))
-            }
-            Query::CreateIndex {
-                relation,
-                name,
-                field,
-            } => {
-                // Submission normalized the field to a position, so the
-                // index definition needs no schema here. A duplicate is
-                // answered with the same error string as the translate
-                // path; its logged record replays as the same no-op.
-                let pos = field
-                    .resolve(None)
-                    .expect("index field normalized to a position at submission");
-                match first.create_index(&name, pos) {
-                    Some(next) => (next, Response::IndexCreated { relation, name }),
-                    None => (
-                        first.clone(),
-                        Response::Error(format!("index already exists on {relation}: {name}")),
-                    ),
-                }
-            }
-            _ => unreachable!("write arm"),
-        };
+        let (next, resp) = apply_single(first, q);
+        publish_frontier(frontier, covers, &next);
         resp_cell.fill(resp).ok();
         output.fill(next).ok();
         return;
@@ -163,6 +245,7 @@ fn commit_and_apply(
         })
         .collect();
     let (next, outcomes, _) = first.apply_batch_scattered(&ops, &scatter);
+    publish_frontier(frontier, covers, &next);
     for ((_, q, resp_cell), outcome) in claimed.into_iter().zip(outcomes) {
         let resp = match (q, outcome) {
             (
@@ -188,48 +271,263 @@ fn commit_and_apply(
 /// fill; the pool job that finds the list empty simply returns.
 fn force(
     batch: &Mutex<BatchOps>,
-    output: &Lenient<Relation>,
+    slot: &RelationSlot,
     sink: Option<&Arc<dyn CommitSink>>,
+    stats: &EngineStats,
 ) -> bool {
-    let (current, relation, ops) = {
+    let (current, relation, ops, output) = {
         let mut guard = batch.lock();
         let Some(rel) = guard.input.try_map(Relation::clone) else {
             return false;
         };
         if guard.ops.is_empty() {
             // Already claimed (the pool job got there first); its owner
-            // fills `output`.
+            // fills the output.
             return false;
         }
         guard.sealed = true;
-        (rel, guard.relation.clone(), std::mem::take(&mut guard.ops))
+        (
+            rel,
+            guard.relation.clone(),
+            std::mem::take(&mut guard.ops),
+            guard.output.clone(),
+        )
     };
-    commit_and_apply(sink, &relation, &current, ops, output);
+    commit_and_apply(
+        sink,
+        &relation,
+        &current,
+        ops,
+        &output,
+        &slot.frontier,
+        stats,
+    );
     true
+}
+
+/// The body of a batch's pool job: wait for the input version, claim and
+/// apply the run (or, if a forcing reader claimed it first, wait for the
+/// reader's fill), then drain any chained successors.
+fn run_batch_job(
+    slot: &Arc<RelationSlot>,
+    batch: &Arc<Mutex<BatchOps>>,
+    sink: Option<&Arc<dyn CommitSink>>,
+    stats: &Arc<EngineStats>,
+) {
+    let (input, output) = {
+        let guard = batch.lock();
+        (guard.input.clone(), guard.output.clone())
+    };
+    // Wait for the input *before* claiming the run: every write submitted
+    // while the predecessor version was still being computed coalesces
+    // into this claim. In a durable engine the previous batch's fsync
+    // happens in that window, so commit latency grows batches instead of
+    // stalling submitters.
+    let first = input.wait();
+    let (relation, claimed) = {
+        let mut guard = batch.lock();
+        if !guard.sealed {
+            guard.sealed = true;
+            EngineStats::bump(&stats.seals_by_worker);
+        }
+        (guard.relation.clone(), std::mem::take(&mut guard.ops))
+    };
+    if claimed.is_empty() {
+        // A reader forced this batch; the claimer fills the output and
+        // every response. Wait for the fill (the reader is a live client
+        // thread mid-`force`, not a queued job, so this cannot stall the
+        // FIFO queue) — the chain drain below must start from a filled
+        // head.
+        output.wait();
+    } else {
+        commit_and_apply(
+            sink,
+            &relation,
+            first,
+            claimed,
+            &output,
+            &slot.frontier,
+            stats,
+        );
+    }
+    drain_chain(slot, sink, stats);
+}
+
+/// Claims and applies chained batches — successors opened while this
+/// worker's run was still computing, which got no pool job of their own —
+/// until the slot quiesces or another runner takes over.
+///
+/// After `MAX_DRAIN` batches the rest of the drain is re-enqueued at the
+/// pool's tail, so one relation's write storm cannot monopolize a narrow
+/// pool. Liveness: a chained batch is only ever created while its
+/// predecessor's runner is active (the open happens under the slot lock,
+/// and so does this probe), so every chained batch is eventually claimed
+/// here or promoted by a sealing reader.
+fn drain_chain(
+    slot: &Arc<RelationSlot>,
+    sink: Option<&Arc<dyn CommitSink>>,
+    stats: &Arc<EngineStats>,
+) {
+    const MAX_DRAIN: u32 = 64;
+    let mut drained = 0u32;
+    loop {
+        let work = {
+            let state = slot.state.lock();
+            state.open.as_ref().and_then(|batch| {
+                let mut guard = batch.lock();
+                if !guard.has_job && guard.input.is_filled() && !guard.ops.is_empty() {
+                    guard.has_job = true;
+                    guard.sealed = true;
+                    EngineStats::bump(&stats.seals_by_worker);
+                    EngineStats::bump(&stats.chained_claims);
+                    Some((
+                        guard.relation.clone(),
+                        guard.input.clone(),
+                        std::mem::take(&mut guard.ops),
+                        guard.output.clone(),
+                    ))
+                } else {
+                    None
+                }
+            })
+        };
+        let Some((relation, input, claimed, output)) = work else {
+            return;
+        };
+        let first = input.try_map(Relation::clone).expect("probed filled above");
+        commit_and_apply(
+            sink,
+            &relation,
+            &first,
+            claimed,
+            &output,
+            &slot.frontier,
+            stats,
+        );
+        drained += 1;
+        if drained >= MAX_DRAIN {
+            let slot = Arc::clone(slot);
+            let sink = sink.cloned();
+            let stats = Arc::clone(stats);
+            if spawn_on_current_pool(move || {
+                drain_chain(&slot, sink.as_ref(), &stats);
+            }) {
+                return;
+            }
+            // Not on a pool thread: keep draining inline — correctness
+            // over fairness.
+            drained = 0;
+        }
+    }
+}
+
+/// A slot's newest version: either a settled value held inline, or a cell
+/// that may still be pending.
+///
+/// The inline form is the bypass regime's steady state — each bypass write
+/// replaces the value wholesale, allocating nothing. A cell appears only
+/// when a version is genuinely deferred (an open batch's output) or when a
+/// consumer needs a shareable handle (a batch input, a join pin), at which
+/// point [`share`](Head::share) converts the inline value into a ready
+/// cell *once* and keeps it, so repeated shares don't re-allocate.
+enum Head {
+    /// Settled, held inline; replaced by the next bypass write.
+    Ready(Relation),
+    /// Deferred or shared: the usual lenient cell.
+    Cell(Lenient<Relation>),
+}
+
+impl Head {
+    /// The value, if settled — without blocking.
+    fn try_get(&self) -> Option<&Relation> {
+        match self {
+            Head::Ready(rel) => Some(rel),
+            Head::Cell(cell) => cell.try_get(),
+        }
+    }
+
+    /// Whether the newest version has been computed.
+    fn is_filled(&self) -> bool {
+        match self {
+            Head::Ready(_) => true,
+            Head::Cell(cell) => cell.is_filled(),
+        }
+    }
+
+    /// A shareable handle to this version, materializing a cell on first
+    /// demand. `Relation` clones are a handful of `Arc` bumps.
+    fn share(&mut self) -> Lenient<Relation> {
+        match self {
+            Head::Cell(cell) => cell.clone(),
+            Head::Ready(rel) => {
+                let cell = Lenient::ready(rel.clone());
+                *self = Head::Cell(cell.clone());
+                cell
+            }
+        }
+    }
 }
 
 /// Per-relation mutable state: one shard of the frontier.
 struct SlotState {
-    /// The newest version's cell (the open batch's output while one exists).
-    head: Lenient<Relation>,
+    /// The newest version (the open batch's output while one exists).
+    head: Head,
     /// The batch currently accepting writes, if any.
     open: Option<Arc<Mutex<BatchOps>>>,
     /// The next write sequence number: how many writes (including failed
     /// commits, whose numbers are burned) have been submitted against this
     /// relation. Checkpoints record this as their replay mark.
     next_seq: u64,
+    /// Recent read/write interleaving; decides bypass vs coalesce.
+    tracker: TrafficTracker,
 }
 
-/// One relation's slot: static schema plus the locked frontier shard.
+/// One relation's slot: static schema plus the locked frontier shard and
+/// the lock-free read-side publications.
 struct RelationSlot {
     schema: Option<Schema>,
     state: Mutex<SlotState>,
+    /// The newest *ready* version, readable without the slot lock.
+    frontier: AtomicArc<FrontierEntry>,
+    /// Mirror of `next_seq`, stored (Release) at every submission while
+    /// the slot lock is held; the lock-free read path compares it against
+    /// the frontier's `covers` to prove no submitted write is missing.
+    submitted: AtomicU64,
+    /// Read traffic flag, set (Relaxed) by every read — including frontier
+    /// hits, which never take the slot lock; writers sample-and-clear it
+    /// into the slot's [`TrafficTracker`]. A flag instead of a counter
+    /// keeps the read side to a plain store (no RMW); a mark lost to the
+    /// load/clear race only nudges the regime heuristic, never correctness.
+    read_seen: AtomicBool,
+}
+
+impl RelationSlot {
+    /// A slot whose frontier starts at `value`, covering `start_seq`
+    /// already-accounted writes (nonzero after recovery).
+    fn new(schema: Option<Schema>, value: Relation, start_seq: u64) -> Self {
+        RelationSlot {
+            schema,
+            frontier: AtomicArc::new(Arc::new(FrontierEntry {
+                covers: start_seq,
+                value: value.clone(),
+            })),
+            submitted: AtomicU64::new(start_seq),
+            read_seen: AtomicBool::new(false),
+            state: Mutex::new(SlotState {
+                head: Head::Ready(value),
+                open: None,
+                next_seq: start_seq,
+                tracker: TrafficTracker::new(),
+            }),
+        }
+    }
 }
 
 /// The catalog: relation name resolution and creation order. Only
-/// `create relation` takes this exclusively; every data operation reads.
+/// `create relation` takes this exclusively; data operations resolve
+/// through the per-thread slot cache and read it only on a cache miss.
 struct Catalog {
-    slots: HashMap<RelationName, Arc<RelationSlot>>,
+    slots: HashMap<RelationName, Arc<RelationSlot>, BuildFnv>,
     /// Creation order, so a barrier can rebuild a `Database` with stable
     /// spine positions.
     order: Vec<RelationName>,
@@ -237,13 +535,6 @@ struct Catalog {
     /// still running outside the lock: they collide like existing
     /// relations but are not yet visible.
     reserved: HashSet<RelationName>,
-}
-
-/// Seals the open batch (if any): no further writes may coalesce into it.
-fn seal(state: &mut SlotState) {
-    if let Some(batch) = state.open.take() {
-        batch.lock().sealed = true;
-    }
 }
 
 /// An atomic cut of the engine's frontier: a database value plus, for each
@@ -285,6 +576,23 @@ pub struct PipelinedEngine {
     /// The durable commit hook, if any: called once per claimed write
     /// batch (group commit) and once per `create`, before responses fill.
     sink: Option<Arc<dyn CommitSink>>,
+    /// Hot-path event counters (relaxed atomics; see [`EngineStats`]).
+    stats: Arc<EngineStats>,
+    /// Identity for the per-thread slot cache (see [`Self::slot`]).
+    id: u64,
+}
+
+/// Monotonic engine identities, so the per-thread slot cache can tell two
+/// engines' relations apart.
+static ENGINE_IDS: AtomicU64 = AtomicU64::new(0);
+
+/// One engine's name → slot memo (keyed by the owning engine's id).
+type SlotMemo = (u64, HashMap<RelationName, Arc<RelationSlot>, BuildFnv>);
+
+thread_local! {
+    /// One engine's name → slot memo for this thread; reset whenever the
+    /// thread submits to a different engine (see [`PipelinedEngine::slot`]).
+    static SLOT_CACHE: RefCell<SlotMemo> = RefCell::new((u64::MAX, HashMap::default()));
 }
 
 impl fmt::Debug for PipelinedEngine {
@@ -334,7 +642,7 @@ impl PipelinedEngine {
         seq_marks: &HashMap<RelationName, u64>,
     ) -> Self {
         let order = initial.relation_names();
-        let slots = order
+        let slots: HashMap<RelationName, Arc<RelationSlot>, BuildFnv> = order
             .iter()
             .map(|n| {
                 let rel = initial
@@ -344,14 +652,11 @@ impl PipelinedEngine {
                 let schema = initial.schema(n).expect("name from this database").cloned();
                 (
                     n.clone(),
-                    Arc::new(RelationSlot {
+                    Arc::new(RelationSlot::new(
                         schema,
-                        state: Mutex::new(SlotState {
-                            head: Lenient::ready(rel),
-                            open: None,
-                            next_seq: seq_marks.get(n).copied().unwrap_or(0),
-                        }),
-                    }),
+                        rel,
+                        seq_marks.get(n).copied().unwrap_or(0),
+                    )),
                 )
             })
             .collect();
@@ -363,20 +668,92 @@ impl PipelinedEngine {
                 reserved: HashSet::new(),
             }),
             sink,
+            stats: Arc::new(EngineStats::default()),
+            id: ENGINE_IDS.fetch_add(1, Ordering::Relaxed),
         }
+    }
+
+    /// A snapshot of the engine's hot-path counters.
+    pub fn stats(&self) -> EngineStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Resolves a relation name to its slot through a per-thread cache, so
+    /// the data hot paths skip both the catalog `RwLock` and a SipHash
+    /// probe on every hit.
+    ///
+    /// Sound because a name's binding is immutable: relations are only
+    /// ever *added* to the catalog, never dropped or rebound, so a cached
+    /// `Arc` can never point at the wrong slot. Misses are not cached (a
+    /// later `create` must become visible), and the cache belongs to one
+    /// engine at a time — a thread that submits to a different engine
+    /// resets it wholesale.
+    fn slot(&self, name: &RelationName) -> Option<Arc<RelationSlot>> {
+        SLOT_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            let (owner, map) = &mut *cache;
+            if *owner != self.id {
+                *owner = self.id;
+                map.clear();
+            }
+            if let Some(slot) = map.get(name) {
+                return Some(Arc::clone(slot));
+            }
+            let slot = Arc::clone(self.catalog.read().slots.get(name)?);
+            map.insert(name.clone(), Arc::clone(&slot));
+            Some(slot)
+        })
+    }
+
+    /// Enqueues the pool job for `batch`. Must be called while the slot's
+    /// state lock is held: enqueue order must respect version-capture
+    /// order, or a FIFO worker could stall behind a job whose producer
+    /// sits after it in the queue.
+    fn spawn_batch_job(&self, slot: &Arc<RelationSlot>, batch: &Arc<Mutex<BatchOps>>) {
+        let slot = Arc::clone(slot);
+        let batch = Arc::clone(batch);
+        let sink = self.sink.clone();
+        let stats = Arc::clone(&self.stats);
+        self.pool
+            .spawn(move || run_batch_job(&slot, &batch, sink.as_ref(), &stats));
+    }
+
+    /// Seals the open batch (if any): no further writes may coalesce into
+    /// it, so the slot's head cell is the fold of exactly the writes
+    /// submitted so far. A *chained* batch (one with no pool job) is
+    /// promoted here — its job is spawned under the slot lock — because
+    /// the sealer is about to queue work that waits on the batch's
+    /// output, and the FIFO deadlock-freedom argument needs the producer
+    /// job enqueued first.
+    fn seal_and_promote(
+        &self,
+        slot: &Arc<RelationSlot>,
+        state: &mut SlotState,
+    ) -> Option<Arc<Mutex<BatchOps>>> {
+        let batch = state.open.take()?;
+        {
+            let mut guard = batch.lock();
+            if !guard.sealed {
+                guard.sealed = true;
+                EngineStats::bump(&self.stats.seals_by_reader);
+                if !guard.has_job {
+                    guard.has_job = true;
+                    drop(guard);
+                    self.spawn_batch_job(slot, &batch);
+                }
+            }
+        }
+        Some(batch)
     }
 
     /// Pins the current version of one relation for a reader: seals the
     /// open batch (so the pinned cell's value is exactly the writes
     /// submitted so far) and returns its cell, plus the batch itself so
     /// the reader may [`force`] it.
-    fn pin(slot: &RelationSlot) -> (Lenient<Relation>, Option<Arc<Mutex<BatchOps>>>) {
+    fn pin(&self, slot: &Arc<RelationSlot>) -> (Lenient<Relation>, Option<Arc<Mutex<BatchOps>>>) {
         let mut state = slot.state.lock();
-        let batch = state.open.take();
-        if let Some(b) = &batch {
-            b.lock().sealed = true;
-        }
-        (state.head.clone(), batch)
+        let batch = self.seal_and_promote(slot, &mut state);
+        (state.head.share(), batch)
     }
 
     /// Submits a transaction; the call returns immediately with the cell
@@ -388,10 +765,12 @@ impl PipelinedEngine {
     /// unfinished job always has every input available — the engine cannot
     /// deadlock regardless of pool width.
     pub fn submit(&self, tx: Transaction) -> Lenient<Response> {
-        let response = Lenient::new();
-        let out = response.clone();
         let query = tx.into_query();
 
+        // Response cells are made lazily, per arm: a path that resolves its
+        // answer inline (fast reads, bypass writes, errors) returns an
+        // already-filled cell and skips the empty-cell handshake — the
+        // allocation, the clone, and the fill's lock-and-notify — entirely.
         match &query {
             Query::Create {
                 relation,
@@ -405,8 +784,7 @@ impl PipelinedEngine {
                     Some(attrs) => match Schema::new(attrs) {
                         Ok(s) => Some(s),
                         Err(e) => {
-                            response.fill(Response::Error(e.to_string())).ok();
-                            return out;
+                            return Lenient::ready(Response::Error(e.to_string()));
                         }
                     },
                 };
@@ -423,45 +801,34 @@ impl PipelinedEngine {
                         || !catalog.reserved.insert(relation.clone())
                     {
                         drop(catalog);
-                        response
-                            .fill(Response::Error(format!(
-                                "relation already exists: {relation}"
-                            )))
-                            .ok();
-                        return out;
+                        return Lenient::ready(Response::Error(format!(
+                            "relation already exists: {relation}"
+                        )));
                     }
                 }
                 if let Some(sink) = &self.sink {
                     if let Err(e) = sink.commit_create(&query) {
                         self.catalog.write().reserved.remove(relation);
-                        response
-                            .fill(Response::Error(format!("commit failed: {e}")))
-                            .ok();
-                        return out;
+                        return Lenient::ready(Response::Error(format!("commit failed: {e}")));
                     }
                 }
                 let mut catalog = self.catalog.write();
                 catalog.reserved.remove(relation);
                 catalog.slots.insert(
                     relation.clone(),
-                    Arc::new(RelationSlot {
-                        schema: parsed,
-                        state: Mutex::new(SlotState {
-                            head: Lenient::ready(Relation::empty(repr.to_repr())),
-                            open: None,
-                            next_seq: 0,
-                        }),
-                    }),
+                    Arc::new(RelationSlot::new(
+                        parsed,
+                        Relation::empty(repr.to_repr()),
+                        0,
+                    )),
                 );
                 catalog.order.push(relation.clone());
                 drop(catalog);
-                response.fill(Response::Created(relation.clone())).ok();
-                out
+                Lenient::ready(Response::Created(relation.clone()))
             }
             Query::Names => {
                 let names = self.catalog.read().order.clone();
-                response.fill(Response::Names(names)).ok();
-                out
+                Lenient::ready(Response::Names(names))
             }
             Query::Find { relation, .. }
             | Query::FindRange { relation, .. }
@@ -476,37 +843,65 @@ impl PipelinedEngine {
                 };
 
                 // Pin via a borrow under the catalog read guard: the hot
-                // read path never clones the slot handle.
-                let (input, sealed_batch, schema) = {
-                    let catalog = self.catalog.read();
-                    let Some(slot) = catalog.slots.get(relation) else {
-                        drop(catalog);
-                        response
-                            .fill(Response::Error(format!("no such relation: {relation}")))
-                            .ok();
-                        return out;
-                    };
+                // read path never clones the slot handle — and, on a
+                // frontier hit, never takes the slot lock either.
+                let Some(slot) = self.slot(relation) else {
+                    return Lenient::ready(Response::Error(format!(
+                        "no such relation: {relation}"
+                    )));
+                };
+                // Every read marks the slot's traffic tracker, so writers
+                // learn their bursts are being interrupted.
+                slot.read_seen.store(true, Ordering::Relaxed);
+                // Lock-free fast path: if the published frontier entry
+                // covers every submitted write, it *is* the version this
+                // read must observe (submission order positions the read
+                // after exactly those writes), and cheap queries answer
+                // from it without the slot mutex, a seal, or a job.
+                // `submitted` is stored before any write's response fills,
+                // so a client that saw a write acknowledged cannot hit a
+                // frontier that misses it.
+                if fast {
+                    // Borrow-only probe: answer while registered on the
+                    // publication side, skipping the `Arc` clone a `load`
+                    // would pay.
+                    let hit = slot.frontier.with(|entry| {
+                        if entry.covers == slot.submitted.load(Ordering::Acquire) {
+                            Some(answer(&entry.value, &query))
+                        } else {
+                            None
+                        }
+                    });
+                    if let Some(resp) = hit {
+                        EngineStats::bump(&self.stats.frontier_hits);
+                        return Lenient::ready(resp);
+                    }
+                    EngineStats::bump(&self.stats.frontier_misses);
+                }
+                let (input, sealed_batch, schema, slot_arc) = {
                     let mut state = slot.state.lock();
-                    // Fast path: a filled head already reflects every write
-                    // sealed so far (an unsealed open batch's output *is*
-                    // the head and would still be pending), so a cheap
-                    // query is answered right here on the submitting
-                    // thread — no pin, no clone, no job, no handoff.
+                    // Second chance under the lock: a filled head already
+                    // reflects every write submitted so far (an unsealed
+                    // open batch's output *is* the head and would still be
+                    // pending), so a cheap query that missed the frontier
+                    // can still answer inline — and it *repairs* the
+                    // frontier while it is here. Publication is
+                    // demand-driven: writers never pay for readers that
+                    // may not come; the first read after a write run
+                    // publishes once and every read until the next write
+                    // takes the lock-free path.
                     if fast {
-                        if let Some(resp) = state.head.try_map(|rel| answer(rel, &query)) {
-                            drop(state);
-                            drop(catalog);
-                            response.fill(resp).ok();
-                            return out;
+                        if let Some(rel) = state.head.try_get() {
+                            let resp = answer(rel, &query);
+                            publish_frontier(&slot.frontier, state.next_seq, rel);
+                            return Lenient::ready(resp);
                         }
                     }
-                    let batch = state.open.take();
-                    if let Some(b) = &batch {
-                        b.lock().sealed = true;
-                    }
-                    let input = state.head.clone();
+                    let batch = self.seal_and_promote(&slot, &mut state);
+                    let input = state.head.share();
                     drop(state);
-                    (input, batch, slot.schema.clone())
+                    let slot_arc = batch.is_some().then(|| Arc::clone(&slot));
+                    (input, batch, slot.schema.clone(), slot_arc)
                 };
 
                 // The pinned version is still pending. If its own input has
@@ -514,16 +909,17 @@ impl PipelinedEngine {
                 // evaluation) rather than waiting on a worker to be
                 // scheduled.
                 if fast {
-                    if let Some(batch) = &sealed_batch {
-                        if force(batch, &input, self.sink.as_ref()) {
+                    if let (Some(batch), Some(slot)) = (&sealed_batch, &slot_arc) {
+                        if force(batch, slot, self.sink.as_ref(), &self.stats) {
                             if let Some(resp) = input.try_map(|rel| answer(rel, &query)) {
-                                response.fill(resp).ok();
-                                return out;
+                                return Lenient::ready(resp);
                             }
                         }
                     }
                 }
 
+                let response = Lenient::new();
+                let out = response.clone();
                 self.pool.spawn(move || {
                     let rel = input.wait();
                     let resp = match &query {
@@ -554,44 +950,38 @@ impl PipelinedEngine {
                 out
             }
             Query::Join { left, right } => {
-                let (l_slot, r_slot) = {
-                    let catalog = self.catalog.read();
-                    match (
-                        catalog.slots.get(left).cloned(),
-                        catalog.slots.get(right).cloned(),
-                    ) {
-                        (Some(l), Some(r)) => (l, r),
-                        _ => {
-                            drop(catalog);
-                            response
-                                .fill(Response::Error(format!(
-                                    "no such relation in: join {left} with {right}"
-                                )))
-                                .ok();
-                            return out;
-                        }
+                let (l_slot, r_slot) = match (self.slot(left), self.slot(right)) {
+                    (Some(l), Some(r)) => (l, r),
+                    _ => {
+                        return Lenient::ready(Response::Error(format!(
+                            "no such relation in: join {left} with {right}"
+                        )));
                     }
                 };
                 // Pin both sides as one atomic cut, locking in name order so
                 // concurrent multi-relation pins cannot form a lock cycle —
                 // and so the pair of pinned versions is a consistent prefix
                 // of both relations' histories.
+                l_slot.read_seen.store(true, Ordering::Relaxed);
+                r_slot.read_seen.store(true, Ordering::Relaxed);
                 let (l, r) = if left == right {
-                    let (cell, _) = Self::pin(&l_slot);
+                    let (cell, _) = self.pin(&l_slot);
                     (cell.clone(), cell)
                 } else if left.as_str() < right.as_str() {
                     let mut lg = l_slot.state.lock();
                     let mut rg = r_slot.state.lock();
-                    seal(&mut lg);
-                    seal(&mut rg);
-                    (lg.head.clone(), rg.head.clone())
+                    self.seal_and_promote(&l_slot, &mut lg);
+                    self.seal_and_promote(&r_slot, &mut rg);
+                    (lg.head.share(), rg.head.share())
                 } else {
                     let mut rg = r_slot.state.lock();
                     let mut lg = l_slot.state.lock();
-                    seal(&mut lg);
-                    seal(&mut rg);
-                    (lg.head.clone(), rg.head.clone())
+                    self.seal_and_promote(&l_slot, &mut lg);
+                    self.seal_and_promote(&r_slot, &mut rg);
+                    (lg.head.share(), rg.head.share())
                 };
+                let response = Lenient::new();
+                let out = response.clone();
                 self.pool.spawn(move || {
                     // Intra-transaction flooding: both sides' availability
                     // is awaited, but each was produced independently.
@@ -608,13 +998,10 @@ impl PipelinedEngine {
                 name,
                 field,
             } => {
-                let catalog = self.catalog.read();
-                let Some(slot) = catalog.slots.get(relation) else {
-                    drop(catalog);
-                    response
-                        .fill(Response::Error(format!("no such relation: {relation}")))
-                        .ok();
-                    return out;
+                let Some(slot) = self.slot(relation) else {
+                    return Lenient::ready(Response::Error(format!(
+                        "no such relation: {relation}"
+                    )));
                 };
                 // Resolve the field against the slot's static schema at
                 // submission, so the logged record and the apply arm agree
@@ -622,9 +1009,7 @@ impl PipelinedEngine {
                 let pos = match field.resolve(slot.schema.as_ref()) {
                     Ok(p) => p,
                     Err(e) => {
-                        drop(catalog);
-                        response.fill(Response::Error(e)).ok();
-                        return out;
+                        return Lenient::ready(Response::Error(e));
                     }
                 };
                 let normalized = Query::CreateIndex {
@@ -635,107 +1020,138 @@ impl PipelinedEngine {
                 let mut state = slot.state.lock();
                 let seq = state.next_seq;
                 state.next_seq += 1;
+                slot.submitted.store(state.next_seq, Ordering::Release);
+                let interrupted = slot.read_seen.load(Ordering::Relaxed);
+                if interrupted {
+                    slot.read_seen.store(false, Ordering::Relaxed);
+                }
+                state.tracker.on_write(interrupted);
                 // DDL never coalesces with data writes: seal the open batch
                 // and run the create in its own already-sealed single-op
                 // batch. The batch kernel folds Insert/Delete/Replace only,
                 // and the sealed run keeps the WAL record at this exact
                 // sequence position — logged before visibility, the same
                 // rule as `create relation`.
-                seal(&mut state);
-                let input = state.head.clone();
+                self.seal_and_promote(&slot, &mut state);
+                let input = state.head.share();
                 let output = Lenient::new();
+                let response = Lenient::new();
+                let out = response.clone();
                 let batch = Arc::new(Mutex::new(BatchOps {
                     relation: relation.clone(),
-                    input: input.clone(),
+                    input,
+                    output: output.clone(),
                     ops: vec![(seq, normalized, response)],
                     sealed: true,
+                    has_job: true,
                 }));
-                state.head = output.clone();
+                state.head = Head::Cell(output);
                 state.open = Some(Arc::clone(&batch));
-                let sink = self.sink.clone();
+                EngineStats::bump(&self.stats.batches_opened);
                 // Spawn while still holding the slot lock (see the write
                 // arm below for why enqueue order must match version order).
-                self.pool.spawn(move || {
-                    let first = input.wait();
-                    let (relation, claimed) = {
-                        let mut guard = batch.lock();
-                        (guard.relation.clone(), std::mem::take(&mut guard.ops))
-                    };
-                    if claimed.is_empty() {
-                        // A reader forced this batch already.
-                        return;
-                    }
-                    commit_and_apply(sink.as_ref(), &relation, first, claimed, &output);
-                });
+                self.spawn_batch_job(&slot, &batch);
                 out
             }
             Query::Insert { relation, .. }
             | Query::Delete { relation, .. }
             | Query::Replace { relation, .. } => {
-                // Borrow the slot under the catalog read guard (held for the
-                // rest of the arm — no pool job ever takes the catalog lock,
-                // so holding it across the spawn is cycle-free) instead of
-                // cloning the handle out.
-                let catalog = self.catalog.read();
-                let Some(slot) = catalog.slots.get(relation) else {
-                    drop(catalog);
-                    response
-                        .fill(Response::Error(format!("no such relation: {relation}")))
-                        .ok();
-                    return out;
+                let Some(slot) = self.slot(relation) else {
+                    return Lenient::ready(Response::Error(format!(
+                        "no such relation: {relation}"
+                    )));
                 };
                 let mut state = slot.state.lock();
                 let seq = state.next_seq;
                 state.next_seq += 1;
+                // Mirror the submission mark for the lock-free read path
+                // *before* this write can be answered: a client that saw
+                // the acknowledgement cannot then hit a frontier entry that
+                // predates the write.
+                slot.submitted.store(state.next_seq, Ordering::Release);
+                let interrupted = slot.read_seen.load(Ordering::Relaxed);
+                if interrupted {
+                    slot.read_seen.store(false, Ordering::Relaxed);
+                }
+                state.tracker.on_write(interrupted);
 
                 // Coalesce: join the open batch if it is still accepting.
                 if let Some(batch) = &state.open {
                     let mut ops = batch.lock();
                     if !ops.sealed {
+                        let response = Lenient::new();
+                        let out = response.clone();
                         ops.ops.push((seq, query, response));
+                        EngineStats::bump(&self.stats.coalesced_writes);
                         return out;
                     }
                     // Sealed mid-flight by its worker: open a successor.
                 }
 
-                // Open a new batch: one output cell and one pool job for
-                // this write and every unsealed write that follows it.
-                let input = state.head.clone();
+                // Adaptive regime decision. Queue pressure (a pending head:
+                // the predecessor version is still being computed) always
+                // coalesces — piling writes into a batch behind the pending
+                // version is exactly where batching wins. A quiescent slot
+                // with read-interleaved history bypasses instead.
+                let pressure = !state.head.is_filled();
+                if state.tracker.regime(pressure) == BatchRegime::Bypass {
+                    // Bypass: apply inline under the slot lock. No cell, no
+                    // batch, no pool job, no worker handoff — mixed
+                    // workloads pay one lock and one structural update per
+                    // write, like the classic engine, while keeping the
+                    // engine-wide submission-order serialization.
+                    EngineStats::bump(&self.stats.bypass_writes);
+                    if let Some(sink) = &self.sink {
+                        if let Err(e) = sink.commit_writes(relation, &[(seq, query.clone())]) {
+                            // The sequence number is burned: the head keeps
+                            // the unchanged value, which covers it.
+                            state.open = None;
+                            drop(state);
+                            return Lenient::ready(Response::Error(format!("commit failed: {e}")));
+                        }
+                    }
+                    let (next, resp) = {
+                        let first = state
+                            .head
+                            .try_get()
+                            .expect("bypass regime requires a filled head");
+                        apply_single(first, query)
+                    };
+                    state.head = Head::Ready(next);
+                    state.open = None;
+                    drop(state);
+                    return Lenient::ready(resp);
+                }
+
+                // Coalesce: open a new batch for this write and every
+                // unsealed write that follows it. Under queue pressure the
+                // batch is *chained* — it gets no pool job of its own; the
+                // predecessor's runner claims it when that version fills,
+                // so a claimed multi-batch run costs one pool job total.
+                let input = state.head.share();
                 let output = Lenient::new();
+                let response = Lenient::new();
+                let out = response.clone();
                 let batch = Arc::new(Mutex::new(BatchOps {
                     relation: relation.clone(),
-                    input: input.clone(),
+                    input,
+                    output: output.clone(),
                     ops: vec![(seq, query, response)],
                     sealed: false,
+                    has_job: !pressure,
                 }));
-                state.head = output.clone();
+                state.head = Head::Cell(output);
                 state.open = Some(Arc::clone(&batch));
-                let sink = self.sink.clone();
+                EngineStats::bump(&self.stats.batches_opened);
 
-                // Spawn while still holding the slot lock: enqueue order
-                // must respect version order, or a concurrent submitter
-                // could enqueue a job that waits on `output` ahead of this
-                // one, and a FIFO worker would stall behind it forever.
-                self.pool.spawn(move || {
-                    // Wait for the input *before* claiming the run: every
-                    // write submitted while the predecessor version was
-                    // still being computed coalesces into this job. In a
-                    // durable engine the previous batch's fsync happens in
-                    // that window, so commit latency grows batches instead
-                    // of stalling submitters.
-                    let first = input.wait();
-                    let (relation, claimed) = {
-                        let mut guard = batch.lock();
-                        guard.sealed = true;
-                        (guard.relation.clone(), std::mem::take(&mut guard.ops))
-                    };
-                    if claimed.is_empty() {
-                        // A reader forced this batch already; the claimer
-                        // filled `output` and every response.
-                        return;
-                    }
-                    commit_and_apply(sink.as_ref(), &relation, first, claimed, &output);
-                });
+                if !pressure {
+                    // Spawn while still holding the slot lock: enqueue order
+                    // must respect version order, or a concurrent submitter
+                    // could enqueue a job that waits on `output` ahead of
+                    // this one, and a FIFO worker would stall behind it
+                    // forever.
+                    self.spawn_batch_job(&slot, &batch);
+                }
                 out
             }
         }
@@ -784,10 +1200,11 @@ impl PipelinedEngine {
         }
         let pinned: Vec<(Lenient<Relation>, u64)> = guards
             .iter_mut()
-            .map(|g| {
+            .zip(&slots)
+            .map(|(g, (_, slot))| {
                 let state = g.as_mut().expect("guard acquired above");
-                seal(state);
-                (state.head.clone(), state.next_seq)
+                self.seal_and_promote(slot, state);
+                (state.head.share(), state.next_seq)
             })
             .collect();
         drop(guards);

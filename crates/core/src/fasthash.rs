@@ -1,0 +1,68 @@
+//! A minimal FNV-1a hasher for the engine's hot-path maps.
+//!
+//! The catalog and the per-thread slot cache are keyed by short relation
+//! names and probed on every data operation; SipHash's per-call setup
+//! dominates at those key sizes. FNV-1a is a two-instruction-per-byte
+//! fold — not DoS-resistant, which is fine for maps whose keys come from
+//! the schema (a handful of trusted names), never from tuple data.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FNV-1a, 64-bit.
+#[derive(Debug)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+/// `BuildHasher` for [`Fnv1a`]: plug into `HashMap::with_hasher` or the
+/// third type parameter.
+pub type BuildFnv = BuildHasherDefault<Fnv1a>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a test vectors (64-bit).
+        let hash = |s: &str| {
+            let mut h = Fnv1a::default();
+            h.write(s.as_bytes());
+            h.finish()
+        };
+        assert_eq!(hash(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(hash("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(hash("foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn usable_as_map_hasher() {
+        let mut map: HashMap<String, u32, BuildFnv> = HashMap::default();
+        for i in 0..100u32 {
+            map.insert(format!("rel{i}"), i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(map.get(&format!("rel{i}")), Some(&i));
+        }
+    }
+}

@@ -45,10 +45,12 @@ pub mod commit;
 pub mod dataflow;
 pub mod engine;
 pub mod engine_classic;
+pub mod fasthash;
 pub mod locking;
 pub mod primary_copy;
 pub mod schedule;
 pub mod serializer;
+pub mod stats;
 
 pub use apply_stream::{apply_stream, apply_stream_pairs, apply_stream_responses};
 pub use archive::VersionArchive;
@@ -58,5 +60,6 @@ pub use engine::{ConsistentCut, PipelinedEngine};
 pub use engine_classic::ClassicEngine;
 pub use locking::LockingDb;
 pub use primary_copy::OptimisticEngine;
-pub use schedule::TxnSchedule;
+pub use schedule::{BatchRegime, TrafficTracker, TxnSchedule};
 pub use serializer::{process_tagged, route_responses, ClientId};
+pub use stats::{EngineStats, EngineStatsSnapshot};

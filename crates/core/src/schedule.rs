@@ -9,6 +9,13 @@
 //! writes a relation the other reads or writes, in merged order) induce an
 //! earliest execution level per transaction; transactions at the same level
 //! run concurrently.
+//!
+//! The same conflict reasoning drives a *runtime* decision in the pipelined
+//! engine: [`TrafficTracker`] watches one relation's recent read/write
+//! interleaving and, together with queue pressure, picks the
+//! [`BatchRegime`] for each write — coalesce into a batch when writes run
+//! in uninterrupted bursts (deferral amortizes), bypass the batch machinery
+//! when reads keep cutting the bursts short (deferral only adds tax).
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -110,6 +117,83 @@ impl TxnSchedule {
     }
 }
 
+/// The execution regime the engine picks, per write, per relation slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchRegime {
+    /// Apply the write inline under the slot lock: no batch, no cell, no
+    /// pool job. Right when reads interleave so densely that a batch would
+    /// be sealed after ~1 op anyway — the coalescing tax with none of the
+    /// amortization.
+    Bypass,
+    /// The deferred path: coalesce into an open batch (or chain a new one
+    /// behind the in-flight predecessor) and let a worker fold the run.
+    Coalesce,
+}
+
+/// Minimum number of read-interrupted gaps, out of the last
+/// [`TrafficTracker::WINDOW`] writes, for a slot to count as
+/// read-interleaved. At 4/16 the boundary sits near 75%-write traffic:
+/// above it, bursts are long enough that batches amortize their
+/// bookkeeping; below it, most batches would seal after a single op.
+const READ_MIX_BITS: u32 = 4;
+
+/// A per-relation sliding window of read/write interleaving.
+///
+/// The engine sets a relaxed per-slot read flag on every read (including
+/// lock-free frontier hits, which never take the slot lock — a plain
+/// store, cheaper than a counter's RMW); each write, submitted under the
+/// slot lock, samples-and-clears that flag and shifts one bit into the
+/// window: 1 if any read arrived since the previous write, 0 for an
+/// uninterrupted write burst. The popcount of the window is the regime
+/// signal.
+#[derive(Debug, Clone)]
+pub struct TrafficTracker {
+    /// Bit per recent write: 1 = at least one read in the preceding gap.
+    interleave: u16,
+}
+
+impl TrafficTracker {
+    /// Writes remembered by the window (bits in `interleave`).
+    pub const WINDOW: u32 = u16::BITS;
+
+    /// A fresh tracker, biased to [`BatchRegime::Bypass`]: until a write
+    /// burst proves otherwise, single writes apply inline (cheap either
+    /// way), and [`Self::WINDOW`] consecutive uninterrupted writes flip
+    /// the slot into coalescing.
+    pub fn new() -> Self {
+        TrafficTracker {
+            interleave: u16::MAX,
+        }
+    }
+
+    /// Records a write submission; `interrupted` is whether any read
+    /// arrived at the slot since the previous write.
+    pub fn on_write(&mut self, interrupted: bool) {
+        self.interleave = (self.interleave << 1) | u16::from(interrupted);
+    }
+
+    /// Picks the regime for the write just recorded.
+    ///
+    /// Queue pressure (the slot's head version still pending) forces
+    /// [`BatchRegime::Coalesce`] — it is both the profitable case (the
+    /// batch grows while the predecessor computes) and the correctness
+    /// precondition for its converse: bypass applies against the head
+    /// value, so it requires every earlier write to be folded in already.
+    pub fn regime(&self, queue_pressure: bool) -> BatchRegime {
+        if queue_pressure || self.interleave.count_ones() < READ_MIX_BITS {
+            BatchRegime::Coalesce
+        } else {
+            BatchRegime::Bypass
+        }
+    }
+}
+
+impl Default for TrafficTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +274,46 @@ mod tests {
         assert_eq!(sched.depth(), 0);
         assert_eq!(sched.max_width(), 0);
         assert_eq!(sched.render(), "");
+    }
+
+    #[test]
+    fn tracker_starts_in_bypass_and_write_bursts_flip_it() {
+        let mut t = TrafficTracker::new();
+        assert_eq!(t.regime(false), BatchRegime::Bypass, "cold start");
+        // An uninterrupted write burst drains the window to all zeros.
+        let mut flipped_at = None;
+        for i in 0..TrafficTracker::WINDOW {
+            t.on_write(false);
+            if t.regime(false) == BatchRegime::Coalesce && flipped_at.is_none() {
+                flipped_at = Some(i);
+            }
+        }
+        assert_eq!(t.regime(false), BatchRegime::Coalesce);
+        assert!(
+            flipped_at.is_some(),
+            "a full window of uninterrupted writes must flip to coalesce"
+        );
+    }
+
+    #[test]
+    fn tracker_interleaved_reads_restore_bypass() {
+        let mut t = TrafficTracker::new();
+        for _ in 0..TrafficTracker::WINDOW {
+            t.on_write(false); // burst: no reads between writes
+        }
+        assert_eq!(t.regime(false), BatchRegime::Coalesce);
+        // Now every write is preceded by fresh reads.
+        for _ in 0..TrafficTracker::WINDOW {
+            t.on_write(true);
+        }
+        assert_eq!(t.regime(false), BatchRegime::Bypass);
+    }
+
+    #[test]
+    fn queue_pressure_always_coalesces() {
+        let t = TrafficTracker::new();
+        assert_eq!(t.regime(false), BatchRegime::Bypass);
+        assert_eq!(t.regime(true), BatchRegime::Coalesce);
     }
 
     #[test]

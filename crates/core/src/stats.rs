@@ -1,0 +1,155 @@
+//! Engine observability: cheap relaxed-atomic counters for the hot path.
+//!
+//! [`EngineStats`] is a bag of monotonically increasing counters the
+//! pipelined engine bumps with `Relaxed` atomics — a handful of
+//! nanoseconds per event, never a lock — and
+//! [`EngineStats::snapshot`] reads them into a plain
+//! [`EngineStatsSnapshot`] for reporting. `bench_engine --smoke` prints a
+//! snapshot per workload, which is how the adaptive-batching regime
+//! decisions (`DESIGN.md` §9.5) are verified against real traffic rather
+//! than guessed at.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Hot-path event counters; every field is bumped with relaxed atomics.
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    /// Reads answered from the lock-free frontier (no slot mutex).
+    pub frontier_hits: AtomicU64,
+    /// Fast-eligible reads that missed the frontier and fell back to the
+    /// locked path (a write was in flight).
+    pub frontier_misses: AtomicU64,
+    /// Writes applied inline under the slot lock (bypass regime).
+    pub bypass_writes: AtomicU64,
+    /// Writes appended to an already-open batch (coalesce regime).
+    pub coalesced_writes: AtomicU64,
+    /// Batches opened (each is the head of a coalescing run).
+    pub batches_opened: AtomicU64,
+    /// Batches claimed and applied (by a worker, a drain, or a forcing
+    /// reader).
+    pub batches_claimed: AtomicU64,
+    /// Write ops folded by claimed batches; `ops_claimed /
+    /// batches_claimed` is the achieved batch length.
+    pub ops_claimed: AtomicU64,
+    /// Batches sealed at submission time — by a reader pinning the output,
+    /// a join, a DDL barrier, or a consistent cut.
+    pub seals_by_reader: AtomicU64,
+    /// Batches sealed by their claimer (worker job or chain drain): the
+    /// run grew until its input arrived.
+    pub seals_by_worker: AtomicU64,
+    /// Batches that never got their own pool job: opened behind a pending
+    /// predecessor and claimed by the predecessor's worker drain, so a
+    /// multi-batch run costs one job.
+    pub chained_claims: AtomicU64,
+}
+
+/// A point-in-time copy of [`EngineStats`], plus derived ratios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // field meanings documented on EngineStats
+pub struct EngineStatsSnapshot {
+    pub frontier_hits: u64,
+    pub frontier_misses: u64,
+    pub bypass_writes: u64,
+    pub coalesced_writes: u64,
+    pub batches_opened: u64,
+    pub batches_claimed: u64,
+    pub ops_claimed: u64,
+    pub seals_by_reader: u64,
+    pub seals_by_worker: u64,
+    pub chained_claims: u64,
+}
+
+impl EngineStats {
+    /// Bumps `counter` by one, relaxed: callers record events, never
+    /// synchronize through them.
+    #[inline]
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bumps `counter` by `n`, relaxed.
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Reads every counter (relaxed — values are advisory, not a cut).
+    pub fn snapshot(&self) -> EngineStatsSnapshot {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        EngineStatsSnapshot {
+            frontier_hits: get(&self.frontier_hits),
+            frontier_misses: get(&self.frontier_misses),
+            bypass_writes: get(&self.bypass_writes),
+            coalesced_writes: get(&self.coalesced_writes),
+            batches_opened: get(&self.batches_opened),
+            batches_claimed: get(&self.batches_claimed),
+            ops_claimed: get(&self.ops_claimed),
+            seals_by_reader: get(&self.seals_by_reader),
+            seals_by_worker: get(&self.seals_by_worker),
+            chained_claims: get(&self.chained_claims),
+        }
+    }
+}
+
+impl EngineStatsSnapshot {
+    /// Achieved ops per claimed batch (0.0 before any batch ran).
+    pub fn avg_batch_len(&self) -> f64 {
+        if self.batches_claimed == 0 {
+            0.0
+        } else {
+            self.ops_claimed as f64 / self.batches_claimed as f64
+        }
+    }
+
+    /// Total writes submitted, across both regimes. Writes that *opened* a
+    /// batch are counted through `ops_claimed` alongside the coalesced
+    /// joiners, so the sum avoids double counting.
+    pub fn writes(&self) -> u64 {
+        self.bypass_writes + self.ops_claimed
+    }
+}
+
+impl fmt::Display for EngineStatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "frontier {}/{} hit/miss · writes {} bypass / {} batched in {} batches (avg {:.1}/batch) · seals {} reader / {} worker · {} chained claims",
+            self.frontier_hits,
+            self.frontier_misses,
+            self.bypass_writes,
+            self.ops_claimed,
+            self.batches_claimed,
+            self.avg_batch_len(),
+            self.seals_by_reader,
+            self.seals_by_worker,
+            self.chained_claims,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reads_bumped_counters() {
+        let stats = EngineStats::default();
+        EngineStats::bump(&stats.frontier_hits);
+        EngineStats::bump(&stats.frontier_hits);
+        EngineStats::add(&stats.ops_claimed, 7);
+        EngineStats::bump(&stats.batches_claimed);
+        let snap = stats.snapshot();
+        assert_eq!(snap.frontier_hits, 2);
+        assert_eq!(snap.ops_claimed, 7);
+        assert!((snap.avg_batch_len() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_one_line() {
+        let snap = EngineStats::default().snapshot();
+        let line = snap.to_string();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("frontier"));
+    }
+}

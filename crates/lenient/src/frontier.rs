@@ -1,0 +1,293 @@
+//! A lock-free publication slot for `Arc`-shared values.
+//!
+//! [`AtomicArc<T>`] holds one `Arc<T>` and lets any number of readers
+//! [`load`](AtomicArc::load) a clone of it without taking a lock, while
+//! writers [`store`](AtomicArc::store) replacements. The engine uses one
+//! per relation slot to publish the newest *ready* version of the
+//! relation: read fast-paths hit the frontier with three atomic
+//! operations instead of a mutex acquisition, so readers never contend
+//! with writers holding the slot lock (see `DESIGN.md` §9.5).
+//!
+//! # How it works
+//!
+//! The cell is a miniature left/right structure (an `ArcSwap` stand-in —
+//! this repo builds offline, so the primitive lives here next to the
+//! other lenient building blocks):
+//!
+//! * two pointer slots, of which the one selected by the low bit of a
+//!   monotonic `version` counter is *active*;
+//! * a per-side reader count.
+//!
+//! A reader snapshots `version`, registers on the side it selects, then
+//! re-checks `version`. If it moved, the registration is abandoned and
+//! the reader retries — crucially *before* touching the pointer, so a
+//! registration on a side the writer is about to reuse is harmless. If
+//! it is unchanged, the side cannot be recycled until the reader
+//! deregisters (writers wait for the inactive side's count to drain
+//! before swapping a new pointer in), so bumping the `Arc`'s strong
+//! count through the raw pointer is sound.
+//!
+//! Writers serialize among themselves with an internal mutex; the wait
+//! for stragglers is bounded by a reader's critical section, which is a
+//! handful of atomic ops — there is no syscall and no unbounded spin.
+
+use std::fmt;
+use std::hint::spin_loop;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// A lock-free readable, mutex-writable `Arc<T>` slot.
+pub struct AtomicArc<T> {
+    /// The two publication sides; `slots[version & 1]` is current.
+    slots: [AtomicPtr<T>; 2],
+    /// Readers currently dereferencing each side.
+    readers: [AtomicUsize; 2],
+    /// Monotonic; the low bit selects the active side.
+    version: AtomicUsize,
+    /// Serializes writers (readers never touch it).
+    writer: Mutex<()>,
+}
+
+// The cell hands out `Arc<T>` clones across threads.
+unsafe impl<T: Send + Sync> Send for AtomicArc<T> {}
+unsafe impl<T: Send + Sync> Sync for AtomicArc<T> {}
+
+impl<T> AtomicArc<T> {
+    /// A slot initially publishing `value`.
+    pub fn new(value: Arc<T>) -> Self {
+        AtomicArc {
+            slots: [
+                AtomicPtr::new(Arc::into_raw(value) as *mut T),
+                AtomicPtr::new(std::ptr::null_mut()),
+            ],
+            readers: [AtomicUsize::new(0), AtomicUsize::new(0)],
+            version: AtomicUsize::new(0),
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// Clones the currently published `Arc` without locking.
+    ///
+    /// Wait-free against other readers; a concurrent `store` can force at
+    /// most one retry per version bump it performs.
+    pub fn load(&self) -> Arc<T> {
+        loop {
+            let v = self.version.load(Ordering::Acquire);
+            let side = v & 1;
+            self.readers[side].fetch_add(1, Ordering::SeqCst);
+            if self.version.load(Ordering::SeqCst) == v {
+                // The side cannot be republished while we are registered
+                // on it: a writer targets the *inactive* side and waits
+                // for its reader count to reach zero first. A writer that
+                // flipped `version` before our registration is exactly
+                // the case the re-check above rejects.
+                let ptr = self.slots[side].load(Ordering::Acquire);
+                let arc = unsafe {
+                    Arc::increment_strong_count(ptr);
+                    Arc::from_raw(ptr)
+                };
+                self.readers[side].fetch_sub(1, Ordering::SeqCst);
+                return arc;
+            }
+            self.readers[side].fetch_sub(1, Ordering::SeqCst);
+            spin_loop();
+        }
+    }
+
+    /// Runs `f` against the currently published value without cloning the
+    /// `Arc` — the borrow-only counterpart of [`load`](Self::load).
+    ///
+    /// Skips the strong-count round-trip (two contended RMWs on the
+    /// `Arc`'s counter), but the reader stays registered on its side for
+    /// the duration of `f`, so a writer swapping onto that side spins
+    /// until `f` returns: keep `f` short and never let it store into this
+    /// same slot.
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        loop {
+            let v = self.version.load(Ordering::Acquire);
+            let side = v & 1;
+            self.readers[side].fetch_add(1, Ordering::SeqCst);
+            if self.version.load(Ordering::SeqCst) == v {
+                let ptr = self.slots[side].load(Ordering::Acquire);
+                // Same pinning argument as `load`: registered and
+                // verified, so the side cannot be recycled under us.
+                let out = f(unsafe { &*ptr });
+                self.readers[side].fetch_sub(1, Ordering::SeqCst);
+                return out;
+            }
+            self.readers[side].fetch_sub(1, Ordering::SeqCst);
+            spin_loop();
+        }
+    }
+
+    /// Publishes `value`, retiring the previous `Arc`.
+    pub fn store(&self, value: Arc<T>) {
+        let _guard = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        self.store_locked(value);
+    }
+
+    /// Publishes the value produced by `make` unless `keep` says the
+    /// currently published value should stay.
+    ///
+    /// The decision and the swap happen under the writer mutex, so two
+    /// racing conditional stores cannot interleave their checks — the
+    /// engine uses this to keep a slot's frontier monotonic when a late
+    /// batch worker races a bypass writer.
+    pub fn store_if<F, G>(&self, keep: F, make: G)
+    where
+        F: FnOnce(&T) -> bool,
+        G: FnOnce() -> Arc<T>,
+    {
+        let _guard = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let side = self.version.load(Ordering::Relaxed) & 1;
+        let current = self.slots[side].load(Ordering::Acquire);
+        // Sound without registering as a reader: we hold the writer
+        // mutex, so no store can retire `current` while we look at it.
+        if keep(unsafe { &*current }) {
+            return;
+        }
+        self.store_locked(make());
+    }
+
+    /// The swap itself; caller holds the writer mutex.
+    fn store_locked(&self, value: Arc<T>) {
+        let v = self.version.load(Ordering::Relaxed);
+        let target = (v + 1) & 1;
+        // Drain stragglers still registered on the side we are about to
+        // reuse. Any such reader loaded a version at least two bumps old
+        // and will fail its re-check; registered-and-verified readers
+        // finish their (tiny) critical section and deregister.
+        let mut spins = 0u32;
+        while self.readers[target].load(Ordering::SeqCst) != 0 {
+            spins += 1;
+            if spins > 1 << 12 {
+                std::thread::yield_now();
+            } else {
+                spin_loop();
+            }
+        }
+        let old = self.slots[target].swap(Arc::into_raw(value) as *mut T, Ordering::AcqRel);
+        self.version.store(v + 1, Ordering::Release);
+        if !old.is_null() {
+            // Retired at the flip before last; no verified reader can
+            // still hold it (the drain above proved the side quiet).
+            unsafe { drop(Arc::from_raw(old)) };
+        }
+    }
+}
+
+impl<T> Drop for AtomicArc<T> {
+    fn drop(&mut self) {
+        for slot in &self.slots {
+            let ptr = slot.load(Ordering::Acquire);
+            if !ptr.is_null() {
+                unsafe { drop(Arc::from_raw(ptr)) };
+            }
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for AtomicArc<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AtomicArc")
+            .field("value", &self.load())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn load_returns_initial_value() {
+        let slot = AtomicArc::new(Arc::new(7u64));
+        assert_eq!(*slot.load(), 7);
+        assert_eq!(*slot.load(), 7);
+    }
+
+    #[test]
+    fn store_replaces_and_drops_old() {
+        let slot = AtomicArc::new(Arc::new(1u64));
+        for i in 2..100u64 {
+            slot.store(Arc::new(i));
+            assert_eq!(*slot.load(), i);
+        }
+    }
+
+    #[test]
+    fn held_loads_survive_later_stores() {
+        let slot = AtomicArc::new(Arc::new(String::from("first")));
+        let pinned = slot.load();
+        for i in 0..10 {
+            slot.store(Arc::new(format!("v{i}")));
+        }
+        assert_eq!(*pinned, "first");
+        assert_eq!(*slot.load(), "v9");
+    }
+
+    #[test]
+    fn store_if_keeps_newer_value() {
+        let slot = AtomicArc::new(Arc::new(10u64));
+        slot.store_if(|cur| *cur >= 5, || Arc::new(5));
+        assert_eq!(*slot.load(), 10, "older value must not replace newer");
+        slot.store_if(|cur| *cur >= 20, || Arc::new(20));
+        assert_eq!(*slot.load(), 20);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_see_only_published_values() {
+        // Hammer the slot from reader threads while a writer publishes a
+        // monotonically increasing sequence; every load must observe a
+        // value the writer actually published, and values a reader holds
+        // must stay alive (Arc counting is exercised by Drop at the end).
+        let slot = Arc::new(AtomicArc::new(Arc::new(0u64)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let slot = Arc::clone(&slot);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut last = 0u64;
+                    let mut held = Vec::new();
+                    while !stop.load(Ordering::Relaxed) {
+                        let v = slot.load();
+                        assert!(*v >= last, "published sequence ran backwards");
+                        last = *v;
+                        if v.is_multiple_of(97) {
+                            held.push(v); // keep some old versions alive
+                        }
+                    }
+                    held.len()
+                })
+            })
+            .collect();
+        for i in 1..=20_000u64 {
+            slot.store(Arc::new(i));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(*slot.load(), 20_000);
+    }
+
+    #[test]
+    fn racing_writers_serialize() {
+        let slot = Arc::new(AtomicArc::new(Arc::new(0u64)));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let slot = Arc::clone(&slot);
+                s.spawn(move || {
+                    for i in 0..2_000u64 {
+                        let val = t * 1_000_000 + i;
+                        slot.store_if(|cur| *cur >= val, move || Arc::new(val));
+                    }
+                });
+            }
+        });
+        // The maximum published value wins under the monotonic policy.
+        assert_eq!(*slot.load(), 3_001_999);
+    }
+}

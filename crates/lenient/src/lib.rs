@@ -17,6 +17,10 @@
 //!   data objects". Streams support the paper's operators: `followed-by`
 //!   ([`Stream::cons`]), `first`/`rest`, and apply-to-all ([`Stream::map`]).
 //!
+//! Two execution-support primitives ride along: [`WorkerPool`], the FIFO
+//! pool the pipelined engine hands batch jobs to, and [`AtomicArc<T>`], a
+//! lock-free publication slot the engine uses as its read frontier.
+//!
 //! On top of these the crate provides the one *pseudo-functional* component
 //! the paper permits itself: the nondeterministic [`merge`](merge::merge) of
 //! several tagged streams, which interleaves them in arrival order while
@@ -42,6 +46,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cell;
+pub mod frontier;
 pub mod merge;
 pub mod pool;
 pub mod stream;
@@ -49,8 +54,9 @@ pub mod tagged;
 pub mod thunk;
 
 pub use cell::{FillError, Lenient};
+pub use frontier::AtomicArc;
 pub use merge::{merge, merge_deterministic, merge_tagged, MergeSchedule};
-pub use pool::{scatter, Job, WorkerPool};
+pub use pool::{scatter, spawn_on_current_pool, Job, WorkerPool};
 pub use stream::{Stream, StreamWriter};
 pub use tagged::Tagged;
 pub use thunk::Thunk;

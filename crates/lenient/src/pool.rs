@@ -51,6 +51,12 @@ thread_local! {
 
 struct Pending {
     count: AtomicUsize,
+    /// Threads blocked in [`wait_zero`](Self::wait_zero); registered under
+    /// `lock`, so a `decr` that drops the count to zero cannot miss one.
+    /// When nobody waits — every job completion in a run with no barrier
+    /// in sight — `decr` is a single uncontended atomic and never touches
+    /// the mutex, keeping idle-pool bookkeeping off the read fast-path.
+    waiters: AtomicUsize,
     lock: Mutex<()>,
     cond: Condvar,
 }
@@ -61,7 +67,8 @@ impl Pending {
     }
 
     fn decr(&self) {
-        if self.count.fetch_sub(1, Ordering::SeqCst) == 1 {
+        if self.count.fetch_sub(1, Ordering::SeqCst) == 1 && self.waiters.load(Ordering::SeqCst) > 0
+        {
             let _guard = self.lock.lock();
             self.cond.notify_all();
         }
@@ -69,9 +76,11 @@ impl Pending {
 
     fn wait_zero(&self) {
         let mut guard = self.lock.lock();
+        self.waiters.fetch_add(1, Ordering::SeqCst);
         while self.count.load(Ordering::SeqCst) != 0 {
             self.cond.wait(&mut guard);
         }
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -125,6 +134,7 @@ impl WorkerPool {
         let (tx, rx) = channel::unbounded::<Msg>();
         let pending = Arc::new(Pending {
             count: AtomicUsize::new(0),
+            waiters: AtomicUsize::new(0),
             lock: Mutex::new(()),
             cond: Condvar::new(),
         });
@@ -209,6 +219,29 @@ impl Drop for WorkerPool {
     }
 }
 
+/// Queues `job` at the tail of the pool the *calling worker thread*
+/// belongs to. Returns `false` (and does not run the job) when the caller
+/// is not a pool worker.
+///
+/// The engine's chain drain uses this to yield: after claiming a long run
+/// of chained batches, it re-enqueues the rest of the drain behind
+/// whatever other slots have queued, so one relation's write storm cannot
+/// monopolize a narrow pool. The continuation waits on nothing before
+/// probing (it claims only batches whose inputs are filled), so it is
+/// always safe to place anywhere in the FIFO queue.
+pub fn spawn_on_current_pool<F: FnOnce() + Send + 'static>(job: F) -> bool {
+    let handle = CURRENT_POOL.with(|c| c.borrow().clone());
+    let Some(handle) = handle else {
+        return false;
+    };
+    handle.pending.incr();
+    if handle.sender.send(Msg::Run(Box::new(job))).is_err() {
+        handle.pending.decr();
+        return false;
+    }
+    true
+}
+
 /// Runs every task to completion, using the surrounding pool's idle
 /// workers opportunistically.
 ///
@@ -269,6 +302,7 @@ pub fn scatter(tasks: Vec<Job>) {
         tasks: Mutex::new(tasks),
         running: Pending {
             count: AtomicUsize::new(0),
+            waiters: AtomicUsize::new(0),
             lock: Mutex::new(()),
             cond: Condvar::new(),
         },

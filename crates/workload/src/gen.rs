@@ -256,6 +256,125 @@ impl HotPathSpec {
     }
 }
 
+/// One phase of a [`PhasedSpec`] workload: a run of ops at a fixed write
+/// percentage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Phase {
+    /// Transactions per client in this phase.
+    pub ops_per_client: usize,
+    /// Percentage (0–100) of this phase's transactions that are writes.
+    pub write_pct: u32,
+}
+
+/// Parameters for a *phased* hot-path workload: each client's stream moves
+/// through several [`Phase`]s with different read/write mixes.
+///
+/// This is the adaptive-batching torture test: an engine that picks a
+/// batching regime from observed traffic (see `DESIGN.md` §9.5) must stay
+/// serializable — and fast — while the traffic shape shifts under it. The
+/// canonical [`PhasedSpec::regime_shifts`] shape walks read-dominated →
+/// write-burst → evenly mixed, crossing every regime boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhasedSpec {
+    /// Concurrent submitting clients.
+    pub clients: usize,
+    /// Number of relations, named `R0..`.
+    pub relations: usize,
+    /// Keys per relation; also the initial tuple count of each.
+    pub key_space: u64,
+    /// The phases, applied in order by every client.
+    pub phases: Vec<Phase>,
+    /// RNG seed; equal specs generate equal workloads.
+    pub seed: u64,
+}
+
+impl PhasedSpec {
+    /// The canonical regime-boundary walk: a read-dominated phase (5%
+    /// writes), a write burst (95%), then an even mix (50%), each of
+    /// `ops_per_phase` transactions per client.
+    pub fn regime_shifts(clients: usize, ops_per_phase: usize, seed: u64) -> Self {
+        PhasedSpec {
+            clients,
+            relations: 2,
+            key_space: 64,
+            phases: vec![
+                Phase {
+                    ops_per_client: ops_per_phase,
+                    write_pct: 5,
+                },
+                Phase {
+                    ops_per_client: ops_per_phase,
+                    write_pct: 95,
+                },
+                Phase {
+                    ops_per_client: ops_per_phase,
+                    write_pct: 50,
+                },
+            ],
+            seed,
+        }
+    }
+
+    /// The pre-seeded database: `relations` relations of representation
+    /// `repr` with keys `0..key_space` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `relations` is zero.
+    pub fn initial(&self, repr: Repr) -> Database {
+        assert!(self.relations > 0, "need at least one relation");
+        let mut db = Database::empty();
+        for r in 0..self.relations {
+            db = db
+                .create_relation(format!("R{r}").as_str(), repr)
+                .expect("generated names are unique");
+        }
+        for r in 0..self.relations {
+            let name = format!("R{r}").as_str().into();
+            for k in 0..self.key_space {
+                let (d2, _) = db
+                    .insert(&name, Tuple::of_key(k as i64))
+                    .expect("relation exists");
+                db = d2;
+            }
+        }
+        db
+    }
+
+    /// One client's deterministic transaction stream, all phases
+    /// concatenated in order.
+    pub fn client_ops(&self, client: usize) -> Vec<Transaction> {
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            self.seed ^ (client as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        let mut out = Vec::with_capacity(self.phases.iter().map(|p| p.ops_per_client).sum());
+        for phase in &self.phases {
+            for i in 0..phase.ops_per_client {
+                let rel = format!("R{}", rng.gen_range(0..self.relations));
+                let key = rng.gen_range(0..self.key_space);
+                let q = if rng.gen_range(0u32..100) < phase.write_pct {
+                    if i % 2 == 0 {
+                        format!("insert {key} into {rel}")
+                    } else {
+                        format!("delete {key} from {rel}")
+                    }
+                } else if rng.gen_range(0..5) == 0 {
+                    format!("count {rel}")
+                } else {
+                    format!("find {key} in {rel}")
+                };
+                out.push(translate(parse(&q).expect("generated queries parse")));
+            }
+        }
+        out
+    }
+
+    /// Every client's stream, indexed by client.
+    pub fn all_clients(&self) -> Vec<Vec<Transaction>> {
+        (0..self.clients).map(|c| self.client_ops(c)).collect()
+    }
+}
+
 /// Parameters for the selective-query benchmark workload: read-only
 /// equality and range selects over a *non-key* attribute of one large
 /// relation.
@@ -563,6 +682,52 @@ mod tests {
                 assert!(!scan.is_error(), "{scan}");
                 let (indexed, _) = tx.apply(&indexed_db);
                 assert_eq!(scan, indexed, "{}", tx.query());
+            }
+        }
+    }
+
+    #[test]
+    fn phased_streams_are_deterministic_and_shift_mix() {
+        let spec = PhasedSpec::regime_shifts(2, 40, 9);
+        let a: Vec<String> = spec
+            .client_ops(0)
+            .iter()
+            .map(|t| t.query().to_string())
+            .collect();
+        let b: Vec<String> = spec
+            .client_ops(0)
+            .iter()
+            .map(|t| t.query().to_string())
+            .collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 120);
+        let writes = |slice: &[String]| {
+            slice
+                .iter()
+                .filter(|q| q.starts_with("insert") || q.starts_with("delete"))
+                .count()
+        };
+        // The mix actually shifts phase to phase: few writes, then mostly
+        // writes, then roughly half.
+        assert!(writes(&a[..40]) < 10, "read phase: {}", writes(&a[..40]));
+        assert!(
+            writes(&a[40..80]) > 30,
+            "burst phase: {}",
+            writes(&a[40..80])
+        );
+        let mixed = writes(&a[80..]);
+        assert!((10..=30).contains(&mixed), "mixed phase: {mixed}");
+    }
+
+    #[test]
+    fn phased_streams_execute_cleanly() {
+        let spec = PhasedSpec::regime_shifts(2, 30, 3);
+        let mut db = spec.initial(Repr::List);
+        for ops in spec.all_clients() {
+            for tx in ops {
+                let (resp, d2) = tx.apply(&db);
+                assert!(!resp.is_error(), "{resp}");
+                db = d2;
             }
         }
     }

@@ -24,4 +24,4 @@ pub use experiment::{
     run_scaling, run_table1, run_table2, run_table3, ScalingRow, SpeedupRow, Table1Row,
     PAPER_RELATION_COLUMNS, PAPER_UPDATE_PERCENTS,
 };
-pub use gen::{HotPathSpec, SelectiveSpec, Workload, WorkloadSpec};
+pub use gen::{HotPathSpec, Phase, PhasedSpec, SelectiveSpec, Workload, WorkloadSpec};

@@ -45,5 +45,6 @@ pub use engine::{
 };
 pub use scratch::ScratchDir;
 pub use wal::{
-    decode_records, encode_records, ScanOutcome, ScanStop, ScannedRecord, Wal, WalCursor, WalRecord,
+    decode_records, encode_records, set_modeled_flush_latency, ScanOutcome, ScanStop,
+    ScannedRecord, Wal, WalCursor, WalRecord,
 };

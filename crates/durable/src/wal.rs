@@ -33,8 +33,33 @@
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 use crate::codec::{crc32, put_str, put_u32, put_u64, Cursor};
+
+/// Extra per-commit latency modeled on top of the real device, in
+/// nanoseconds. Zero — the default, and the value in every non-bench
+/// process — means an append pays only the real fsync cost.
+static MODELED_FLUSH_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// Models a slower commit device: every synced [`Wal::append_batch`] in
+/// this process sleeps `latency` *after* its real fsync. `None` restores
+/// the default (no pad).
+///
+/// This is a **benchmark modeling knob**, not a production setting. Write
+/// scaling across shards is a statement about independent commit devices,
+/// but a single-disk host serializes concurrent flushes in its journal, so
+/// the device hides the architectural scaling no matter how the workload
+/// is shaped. Padding every commit by a fixed, honest latency — applied
+/// identically to every configuration under comparison — restores the
+/// modeled device (one independent commit channel per WAL) that the
+/// scaling claim is about. Benchmarks that use it must say so in their
+/// recorded output.
+pub fn set_modeled_flush_latency(latency: Option<Duration>) {
+    let nanos = latency.map_or(0, |d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    MODELED_FLUSH_NANOS.store(nanos, Ordering::Relaxed);
+}
 
 /// Segment filename for index `i`.
 fn segment_name(i: u64) -> String {
@@ -449,10 +474,13 @@ impl Wal {
         }
         self.file.write_all(buf)?;
         if self.synced {
-            self.file.sync_data()
-        } else {
-            Ok(())
+            self.file.sync_data()?;
+            let pad = MODELED_FLUSH_NANOS.load(Ordering::Relaxed);
+            if pad > 0 {
+                std::thread::sleep(Duration::from_nanos(pad));
+            }
         }
+        Ok(())
     }
 
     /// After a failed append: chop the segment back to its last durable

@@ -5,7 +5,7 @@
 //! serializes and executes them on the pipelined functional engine; replies
 //! travel back over the medium and each client site `choose`s its own.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -18,8 +18,10 @@ use parking_lot::Mutex;
 
 use crate::medium::SharedMedium;
 use crate::message::{DbPayload, Message, SiteId};
+use crate::pragma;
 use crate::primary::PrimarySite;
-use crate::router::Router;
+use crate::router::{combine_gather, plan_route, GatherKind, RoutePlan, Router};
+use crate::shard::{ClusterStats, ShardRoutes};
 
 /// Network load observed on a cluster mapped onto a topology.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,9 +61,53 @@ impl fmt::Debug for Cluster {
     }
 }
 
-/// In-flight requests by message `seq`: the site each was sent to, and
-/// the cell its reply fills.
-type PendingReplies = HashMap<u64, (SiteId, Lenient<Response>)>;
+/// One in-flight submission, keyed in the pending map by message `seq`.
+enum Pending {
+    /// An ordinary request with a single serving site.
+    Single {
+        dest: SiteId,
+        cell: Lenient<Response>,
+    },
+    /// A scattered read/DDL: one request per shard under a shared `seq`,
+    /// replies told apart by their sending site.
+    Gather {
+        kind: GatherKind,
+        waiting: HashSet<SiteId>,
+        partials: Vec<(SiteId, Response)>,
+        cell: Lenient<Response>,
+    },
+    /// A sequenced transaction: fsync receipts outstanding per shard.
+    /// `direct` is the owning primary for the single-shard fast path
+    /// (`None` = broadcast; a promoted primary will answer for a dead
+    /// one, so broadcasts survive failover and must not be failed).
+    Txn {
+        waiting: HashSet<u32>,
+        direct: Option<SiteId>,
+        ops: usize,
+        shards: usize,
+        error: Option<String>,
+        cell: Lenient<Response>,
+    },
+}
+
+impl Pending {
+    fn cell(self) -> Lenient<Response> {
+        match self {
+            Pending::Single { cell, .. }
+            | Pending::Gather { cell, .. }
+            | Pending::Txn { cell, .. } => cell,
+        }
+    }
+
+    /// Whether the halt of `dest` makes this entry unanswerable.
+    fn doomed_by(&self, dest: SiteId) -> bool {
+        match self {
+            Pending::Single { dest: d, .. } => *d == dest,
+            Pending::Gather { waiting, .. } => waiting.contains(&dest),
+            Pending::Txn { direct, .. } => *direct == Some(dest),
+        }
+    }
+}
 
 /// A client site's submission handle.
 ///
@@ -71,20 +117,23 @@ type PendingReplies = HashMap<u64, (SiteId, Lenient<Response>)>;
 /// several threads concurrently, and replies may arrive out of submission
 /// order — as they do when reads are served by replicas and writes by the
 /// primary.
+///
+/// On a sharded cluster the handle routes by key: single-key reads and
+/// writes go directly to the owning shard (reads round-robin over that
+/// shard's — and only that shard's — replicas), scans scatter-gather, and
+/// [`submit_txn`](Self::submit_txn) sequences multi-shard writes through
+/// the medium.
 pub struct ClientHandle {
     site: SiteId,
     client: ClientId,
-    /// The current primary's site id — shared so a promotion re-points
-    /// every outstanding handle at once.
-    primary: Arc<AtomicU32>,
     medium: SharedMedium<DbPayload>,
     seq: Arc<AtomicU64>,
-    /// In-flight requests by message `seq`: where each was sent, and the
-    /// cell its reply fills.
-    pending: Arc<Mutex<PendingReplies>>,
-    /// Replica sites that serve point reads; empty = everything goes to
-    /// the primary.
-    read_set: Arc<Vec<SiteId>>,
+    /// In-flight submissions by message `seq`.
+    pending: Arc<Mutex<HashMap<u64, Pending>>>,
+    /// Shard partitioning + per-shard primaries and read sets. A
+    /// one-shard instance reproduces the unsharded clusters exactly.
+    routes: Arc<ShardRoutes>,
+    stats: Arc<ClusterStats>,
     rr: Arc<AtomicU64>,
 }
 
@@ -93,11 +142,11 @@ impl Clone for ClientHandle {
         ClientHandle {
             site: self.site,
             client: self.client,
-            primary: Arc::clone(&self.primary),
             medium: self.medium.clone(),
             seq: Arc::clone(&self.seq),
             pending: Arc::clone(&self.pending),
-            read_set: Arc::clone(&self.read_set),
+            routes: Arc::clone(&self.routes),
+            stats: Arc::clone(&self.stats),
             rr: Arc::clone(&self.rr),
         }
     }
@@ -111,46 +160,109 @@ impl fmt::Debug for ClientHandle {
 
 impl ClientHandle {
     /// Starts a client site: builds the handle and spawns its receiver,
-    /// which matches incoming replies to pending cells by `in_reply_to`
-    /// and fails whatever is left when the medium closes.
+    /// which matches incoming replies and sequenced acks to pending
+    /// entries by `in_reply_to` and fails whatever is left when the
+    /// medium closes.
     pub(crate) fn spawn(
         medium: &SharedMedium<DbPayload>,
         site: SiteId,
         client: ClientId,
-        primary: Arc<AtomicU32>,
-        read_set: Vec<SiteId>,
+        routes: Arc<ShardRoutes>,
+        stats: Arc<ClusterStats>,
     ) -> ClientHandle {
         let handle = ClientHandle {
             site,
             client,
-            primary,
             medium: medium.clone(),
             seq: Arc::new(AtomicU64::new(0)),
             pending: Arc::new(Mutex::new(HashMap::new())),
-            read_set: Arc::new(read_set),
+            routes,
+            stats,
             rr: Arc::new(AtomicU64::new(0)),
         };
         let inbox = medium.choose(site);
         let pending = Arc::clone(&handle.pending);
+        let stats = Arc::clone(&handle.stats);
         std::thread::spawn(move || {
             for msg in inbox.iter() {
-                if let DbPayload::Reply {
-                    in_reply_to,
-                    response,
-                    ..
-                } = msg.payload
-                {
-                    // May be absent: a promotion can fail a cell whose
-                    // (raced) reply arrives afterwards anyway.
-                    if let Some((_, cell)) = pending.lock().remove(&in_reply_to) {
-                        let _ = cell.fill(response);
+                match msg.payload {
+                    DbPayload::Reply {
+                        in_reply_to,
+                        response,
+                        ..
+                    } => {
+                        let mut p = pending.lock();
+                        // Entries may be absent: a promotion can fail a
+                        // cell whose (raced) reply arrives afterwards.
+                        match p.get_mut(&in_reply_to) {
+                            Some(Pending::Single { .. }) => {
+                                let cell = p.remove(&in_reply_to).expect("just matched").cell();
+                                drop(p);
+                                let _ = cell.fill(response);
+                            }
+                            Some(Pending::Gather {
+                                waiting, partials, ..
+                            }) => {
+                                if waiting.remove(&msg.from) {
+                                    partials.push((msg.from, response));
+                                }
+                                if waiting.is_empty() {
+                                    if let Some(Pending::Gather {
+                                        kind,
+                                        partials,
+                                        cell,
+                                        ..
+                                    }) = p.remove(&in_reply_to)
+                                    {
+                                        drop(p);
+                                        let _ = cell.fill(combine_gather(kind, partials));
+                                    }
+                                }
+                            }
+                            _ => {}
+                        }
                     }
+                    DbPayload::SequencedAck {
+                        in_reply_to,
+                        shard,
+                        response,
+                        ..
+                    } => {
+                        let mut p = pending.lock();
+                        if let Some(Pending::Txn { waiting, error, .. }) = p.get_mut(&in_reply_to) {
+                            if waiting.remove(&shard) {
+                                stats.sequencer_acks.fetch_add(1, Ordering::Relaxed);
+                                if error.is_none() {
+                                    if let Response::Error(e) = &response {
+                                        *error = Some(e.clone());
+                                    }
+                                }
+                            }
+                            if waiting.is_empty() {
+                                if let Some(Pending::Txn {
+                                    ops,
+                                    shards,
+                                    error,
+                                    cell,
+                                    ..
+                                }) = p.remove(&in_reply_to)
+                                {
+                                    drop(p);
+                                    let _ = cell.fill(match error {
+                                        Some(e) => Response::Error(e),
+                                        None => Response::Applied { ops, shards },
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
                 }
             }
             // Medium closed: no reply is coming for anything still
             // pending — fail the cells rather than strand waiters.
-            for (_, (_, cell)) in pending.lock().drain() {
-                let _ = cell.fill(Response::Error(
+            for (_, entry) in pending.lock().drain() {
+                let _ = entry.cell().fill(Response::Error(
                     "cluster shut down before a reply arrived".into(),
                 ));
             }
@@ -160,16 +272,146 @@ impl ClientHandle {
 
     /// Submits a symbolic query; returns the cell its response will fill.
     ///
-    /// Point reads (`find`, `count`) go round-robin to the read set when
-    /// one is configured; everything else — writes, creates, scans whose
-    /// cost is in the engine anyway — goes to the primary.
+    /// A `result-on siteN:` prefix ([`pragma::result_on_prefix`]) pins
+    /// the query to that site. Otherwise, on one shard: point reads
+    /// (`find`, `count`) go round-robin to the read set when one is
+    /// configured, everything else to the primary. On a sharded cluster
+    /// the query routes by [`plan_route`]: keyed operations to the
+    /// owning shard, scans as a scatter-gather over every shard's read
+    /// set, DDL to every primary.
     pub fn submit(&self, query: &str) -> Lenient<Response> {
+        if let Some((pinned, rest)) = pragma::strip_result_on(query) {
+            self.stats.pragma_pinned.fetch_add(1, Ordering::Relaxed);
+            return self.send_single(pinned, rest);
+        }
+        if self.routes.shard_count() == 1 {
+            let dest = self.route_one_shard(query);
+            return self.send_single(dest, query);
+        }
+        let Ok(parsed) = parse(query) else {
+            // Unparsable text: shard 0's primary answers with the error.
+            return self.send_single(self.routes.primary_of(0), query);
+        };
+        match plan_route(&parsed) {
+            RoutePlan::WriteKey(key) => {
+                self.stats
+                    .single_shard_writes
+                    .fetch_add(1, Ordering::Relaxed);
+                let shard = self.routes.shard_of(&key);
+                self.send_single(self.routes.primary_of(shard), query)
+            }
+            RoutePlan::ReadKey(key) => {
+                self.stats
+                    .single_shard_reads
+                    .fetch_add(1, Ordering::Relaxed);
+                let shard = self.routes.shard_of(&key);
+                let ticket = self.rr.fetch_add(1, Ordering::SeqCst);
+                self.send_single(self.routes.read_site(shard, ticket), query)
+            }
+            RoutePlan::GatherRead(kind) => {
+                self.stats.gather_reads.fetch_add(1, Ordering::Relaxed);
+                let ticket = self.rr.fetch_add(1, Ordering::SeqCst);
+                let dests: Vec<SiteId> = (0..self.routes.shard_count())
+                    .map(|s| self.routes.read_site(s, ticket))
+                    .collect();
+                self.send_gather(kind, dests, query)
+            }
+            RoutePlan::AllPrimaries(kind) => {
+                self.stats.ddl_broadcasts.fetch_add(1, Ordering::Relaxed);
+                self.send_gather(kind, self.routes.all_primaries(), query)
+            }
+            RoutePlan::AnyShard => self.send_single(self.routes.primary_of(0), query),
+        }
+    }
+
+    /// Submits a multi-write transaction: every query must be a
+    /// single-key write (`insert`, `delete`, `replace`). The writes are
+    /// partitioned by owning shard and sequenced through the medium —
+    /// sent directly to the owning primary when one shard holds every
+    /// key, broadcast otherwise, with each participant applying its
+    /// sub-batch at the broadcast's merge position. The returned cell
+    /// fills with [`Response::Applied`] only after *every* participant's
+    /// fsync receipt (or with the first error).
+    pub fn submit_txn(&self, queries: &[&str]) -> Lenient<Response> {
+        if queries.is_empty() {
+            return Lenient::ready(Response::Error("empty transaction".into()));
+        }
+        let mut subs: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+        for q in queries {
+            let parsed = match parse(q) {
+                Ok(p) => p,
+                Err(e) => return Lenient::ready(Response::Error(e.to_string())),
+            };
+            match plan_route(&parsed) {
+                RoutePlan::WriteKey(key) => subs
+                    .entry(self.routes.shard_of(&key))
+                    .or_default()
+                    .push((*q).to_string()),
+                _ => {
+                    return Lenient::ready(Response::Error(format!(
+                        "transactions sequence single-key writes only; `{q}` is not one"
+                    )))
+                }
+            }
+        }
+        let ops = queries.len();
+        let shards = subs.len();
+        let waiting: HashSet<u32> = subs.keys().copied().collect();
+        let (dest, direct) = if shards == 1 {
+            // Didona et al.'s rule: a transaction whose keys live on one
+            // shard must not touch any global path — direct unicast.
+            self.stats.single_shard_txns.fetch_add(1, Ordering::Relaxed);
+            let d = self
+                .routes
+                .primary_of(*waiting.iter().next().expect("one shard"));
+            (d, Some(d))
+        } else {
+            self.stats.cross_shard_txns.fetch_add(1, Ordering::Relaxed);
+            (SiteId::BROADCAST, None)
+        };
+        self.stats
+            .sequencer_waits
+            .fetch_add(shards as u64, Ordering::Relaxed);
         let cell = Lenient::new();
         let seq = self.seq.fetch_add(1, Ordering::SeqCst);
-        let dest = self.route(query);
+        self.pending.lock().insert(
+            seq,
+            Pending::Txn {
+                waiting,
+                direct,
+                ops,
+                shards,
+                error: None,
+                cell: cell.clone(),
+            },
+        );
+        self.medium.send(Message::new(
+            self.site,
+            dest,
+            seq,
+            DbPayload::Sequenced {
+                origin: self.site,
+                client: self.client,
+                txn: seq,
+                subs: subs.into_iter().collect(),
+            },
+        ));
+        cell
+    }
+
+    /// Registers a [`Pending::Single`] and sends the request.
+    fn send_single(&self, dest: SiteId, query: &str) -> Lenient<Response> {
+        let cell = Lenient::new();
+        let seq = self.seq.fetch_add(1, Ordering::SeqCst);
         // Register under the seq tag *before* sending: once the request is
         // on the medium its reply can race in, and must find the cell.
-        self.pending.lock().insert(seq, (dest, cell.clone()));
+        self.pending.lock().insert(
+            seq,
+            Pending::Single {
+                dest,
+                cell: cell.clone(),
+            },
+        );
         self.medium.send(Message::new(
             self.site,
             dest,
@@ -182,32 +424,72 @@ impl ClientHandle {
         cell
     }
 
-    /// Where to send `query`. Unparsable text goes to the primary, whose
-    /// reply carries the parse error.
-    fn route(&self, query: &str) -> SiteId {
-        if !self.read_set.is_empty() {
+    /// Registers a [`Pending::Gather`] and sends one request per site,
+    /// all under the same seq tag (replies are told apart by sender).
+    fn send_gather(&self, kind: GatherKind, dests: Vec<SiteId>, query: &str) -> Lenient<Response> {
+        let cell = Lenient::new();
+        let seq = self.seq.fetch_add(1, Ordering::SeqCst);
+        self.pending.lock().insert(
+            seq,
+            Pending::Gather {
+                kind,
+                waiting: dests.iter().copied().collect(),
+                partials: Vec::new(),
+                cell: cell.clone(),
+            },
+        );
+        for dest in dests {
+            self.medium.send(Message::new(
+                self.site,
+                dest,
+                seq,
+                DbPayload::Request {
+                    client: self.client,
+                    query: query.to_string(),
+                },
+            ));
+        }
+        cell
+    }
+
+    /// The unsharded routing rule, unchanged from the replicated cluster:
+    /// point reads round-robin over the read set; everything else —
+    /// writes, creates, scans whose cost is in the engine anyway — goes
+    /// to the primary. Unparsable text goes to the primary, whose reply
+    /// carries the parse error.
+    fn route_one_shard(&self, query: &str) -> SiteId {
+        let replicas = self.routes.replicas_of(0);
+        if !replicas.is_empty() {
             if let Ok(Query::Find { .. } | Query::FindRange { .. } | Query::Count { .. }) =
                 parse(query)
             {
-                let i = self.rr.fetch_add(1, Ordering::SeqCst) as usize % self.read_set.len();
-                return self.read_set[i];
+                self.stats
+                    .single_shard_reads
+                    .fetch_add(1, Ordering::Relaxed);
+                let i = self.rr.fetch_add(1, Ordering::SeqCst) as usize % replicas.len();
+                return replicas[i];
             }
         }
-        SiteId(self.primary.load(Ordering::SeqCst))
+        self.stats
+            .single_shard_writes
+            .fetch_add(1, Ordering::Relaxed);
+        self.routes.primary_of(0)
     }
 
-    /// Fails every in-flight request that was sent to `dest` — used at
-    /// promotion, when the halted old primary will never answer them.
+    /// Fails every in-flight submission that the halt of `dest` leaves
+    /// unanswerable — used at promotion, when the halted old primary will
+    /// never reply. Broadcast transactions survive: the promoted primary
+    /// replays and acks whatever the dead one left unapplied.
     pub(crate) fn fail_pending_to(&self, dest: SiteId, reason: &str) {
         let mut pending = self.pending.lock();
         let doomed: Vec<u64> = pending
             .iter()
-            .filter(|(_, (d, _))| *d == dest)
+            .filter(|(_, entry)| entry.doomed_by(dest))
             .map(|(seq, _)| *seq)
             .collect();
         for seq in doomed {
-            if let Some((_, cell)) = pending.remove(&seq) {
-                let _ = cell.fill(Response::Error(reason.to_string()));
+            if let Some(entry) = pending.remove(&seq) {
+                let _ = entry.cell().fill(Response::Error(reason.to_string()));
             }
         }
     }
@@ -228,16 +510,17 @@ impl Cluster {
     pub fn start(initial: &Database, clients: usize, workers: usize) -> Self {
         assert!(clients > 0, "cluster needs at least one client");
         let medium: SharedMedium<DbPayload> = SharedMedium::new();
-        let primary_site = Arc::new(AtomicU32::new(0));
         let primary = PrimarySite::start(&medium, SiteId(0), initial, workers);
+        let routes = Arc::new(ShardRoutes::single(Arc::new(AtomicU32::new(0)), Vec::new()));
+        let stats = Arc::new(ClusterStats::new(1));
         let clients = (0..clients)
             .map(|i| {
                 ClientHandle::spawn(
                     &medium,
                     SiteId(i as u32 + 1),
                     ClientId(i as u32),
-                    Arc::clone(&primary_site),
-                    Vec::new(),
+                    Arc::clone(&routes),
+                    Arc::clone(&stats),
                 )
             })
             .collect();

@@ -24,6 +24,9 @@
 //! * [`ReplicatedCluster`] — the distributed case: a durable primary ships
 //!   its commit log over the medium to [`ReplicaSite`]s, which serve
 //!   read-only queries locally and can be promoted on primary failure.
+//! * [`ShardedCluster`] — hash-partitioned shard groups (each a full
+//!   replication group) behind shard-aware clients; the medium's merge
+//!   order doubles as the sequencer for cross-shard transactions.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -35,11 +38,13 @@ pub mod pragma;
 pub mod primary;
 pub mod replica;
 pub mod router;
+pub mod shard;
 
 pub use cluster::{ClientHandle, Cluster, NetworkLoad};
 pub use medium::SharedMedium;
 pub use message::{DbPayload, Message, SiteId};
-pub use pragma::{my_site, SitePool};
+pub use pragma::{my_site, result_on_prefix, strip_result_on, SitePool};
 pub use primary::PrimarySite;
 pub use replica::{ReplicaSite, ReplicatedCluster, ReplicationSender};
-pub use router::Router;
+pub use router::{combine_gather, plan_route, GatherKind, RoutePlan, Router};
+pub use shard::{ClusterStats, ClusterStatsSnapshot, ShardMap, ShardedCluster};

@@ -125,6 +125,42 @@ pub enum DbPayload {
         /// The surviving replica sites the new primary ships batches to.
         peers: Vec<SiteId>,
     },
+    /// A multi-write transaction serialized through the medium: the merge
+    /// order of this message *is* its global sequence position. Sent
+    /// directly to the owning shard's primary when every write lands on
+    /// one shard (no global hop), broadcast when the writes span shards —
+    /// each participant applies its own sub-batch at the position this
+    /// message occupies in its inbox, interleaved with its direct traffic.
+    Sequenced {
+        /// The site the transaction originated at (acks route back here;
+        /// `(origin, txn)` identifies the transaction cluster-wide).
+        origin: SiteId,
+        /// The submitting client.
+        client: ClientId,
+        /// The origin's request seq — acks echo it as `in_reply_to`.
+        txn: u64,
+        /// Per-shard sub-batches: `(shard, write queries in order)`.
+        /// Shards without an entry are not participants and ignore the
+        /// message.
+        subs: Vec<(u32, Vec<String>)>,
+    },
+    /// One participant shard's fsync receipt for a [`Sequenced`]
+    /// transaction: sent to the origin site once every write of the
+    /// shard's sub-batch is durable, and copied to the shard's replica
+    /// peers so a promoted replica knows which sequenced transactions the
+    /// dead primary already applied.
+    SequencedAck {
+        /// The originating site of the transaction (echoed).
+        origin: SiteId,
+        /// The client the transaction belongs to.
+        client: ClientId,
+        /// The transaction's `txn` tag, echoed.
+        in_reply_to: u64,
+        /// The acking shard.
+        shard: u32,
+        /// The sub-batch's outcome: the first error, or a success summary.
+        response: Response,
+    },
 }
 
 #[cfg(test)]
@@ -170,5 +206,19 @@ mod tests {
         };
         assert_ne!(snap, DbPayload::CatchUp);
         assert_ne!(DbPayload::Halt, DbPayload::Promote { peers: vec![] });
+        let seq = DbPayload::Sequenced {
+            origin: SiteId(9),
+            client: ClientId(1),
+            txn: 3,
+            subs: vec![(0, vec!["insert 1 into R".into()])],
+        };
+        let ack = DbPayload::SequencedAck {
+            origin: SiteId(9),
+            client: ClientId(1),
+            in_reply_to: 3,
+            shard: 0,
+            response: Response::Count(1),
+        };
+        assert_ne!(seq, ack);
     }
 }

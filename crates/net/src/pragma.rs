@@ -24,6 +24,35 @@ thread_local! {
     static MY_SITE: Cell<Option<u32>> = const { Cell::new(None) };
 }
 
+/// Renders a query pinned to `site` with the `RESULT-ON` pragma, as a
+/// textual prefix: `result-on site3: find 7 in R`.
+///
+/// The paper's `RESULT-ON:[expr, site]` "yields the value of the first
+/// argument, but requires the outermost function to be computed on the
+/// specified site". On the cluster the outermost function of a query is
+/// its execution, so the prefix directs *routing*: the client strips it
+/// with [`strip_result_on`] and sends the bare query to exactly that
+/// site, bypassing shard routing. [`ShardedCluster::owning_site`]
+/// (crate::ShardedCluster::owning_site) gives the site that owns a key,
+/// so a caller can pin follow-up queries where the data lives.
+pub fn result_on_prefix(site: SiteId, query: &str) -> String {
+    format!("result-on {site}: {query}")
+}
+
+/// Parses a [`result_on_prefix`]-shaped pragma off the front of `query`:
+/// `result-on site<N>: <rest>` → `(site, rest)`. Returns `None` when the
+/// prefix is absent or malformed — the text then routes as an ordinary
+/// query (and the server answers with its parse error if it really was a
+/// botched pragma).
+pub fn strip_result_on(query: &str) -> Option<(SiteId, &str)> {
+    let rest = query.trim_start().strip_prefix("result-on")?;
+    let rest = rest.trim_start().strip_prefix("site")?;
+    let digits = rest.len() - rest.trim_start_matches(|c: char| c.is_ascii_digit()).len();
+    let n: u32 = rest[..digits].parse().ok()?;
+    let rest = rest[digits..].trim_start().strip_prefix(':')?;
+    Some((SiteId(n), rest.trim_start()))
+}
+
 /// The paper's `MY-SITE:[]`: the site whose executor is running the current
 /// code, or `None` outside any site (e.g. on the test's main thread).
 pub fn my_site() -> Option<SiteId> {
@@ -178,5 +207,24 @@ mod tests {
     fn out_of_range_site_panics() {
         let pool = SitePool::new(1);
         pool.result_on(SiteId(5), || ());
+    }
+
+    #[test]
+    fn result_on_prefix_round_trips() {
+        let q = result_on_prefix(SiteId(3), "find 7 in R");
+        assert_eq!(q, "result-on site3: find 7 in R");
+        assert_eq!(strip_result_on(&q), Some((SiteId(3), "find 7 in R")));
+        assert_eq!(
+            strip_result_on("  result-on  site10 :  count R"),
+            Some((SiteId(10), "count R"))
+        );
+    }
+
+    #[test]
+    fn strip_result_on_rejects_malformed() {
+        assert_eq!(strip_result_on("find 7 in R"), None);
+        assert_eq!(strip_result_on("result-on site: find 7 in R"), None);
+        assert_eq!(strip_result_on("result-on 3: find 7 in R"), None);
+        assert_eq!(strip_result_on("result-on site3 find 7 in R"), None);
     }
 }

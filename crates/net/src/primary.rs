@@ -15,12 +15,84 @@
 use std::fmt;
 use std::thread::JoinHandle;
 
-use fundb_core::PipelinedEngine;
+use fundb_core::{ClientId, PipelinedEngine};
+use fundb_lenient::Lenient;
 use fundb_query::{parse, translate, Response};
 use fundb_relational::Database;
 
 use crate::medium::SharedMedium;
 use crate::message::{DbPayload, Message, SiteId};
+
+/// One sequenced transaction's local work, handed from a primary's pump
+/// to its acker thread: the response cells of the sub-batch the shard
+/// applied (in sub-batch order), plus the identity the fsync receipt must
+/// carry back.
+pub(crate) struct SequencedWork {
+    /// Site the transaction originated at — where the receipt goes.
+    pub origin: SiteId,
+    /// The submitting client.
+    pub client: ClientId,
+    /// The origin's transaction tag, echoed as `in_reply_to`.
+    pub txn: u64,
+    /// One cell per write of this shard's sub-batch; each fills only when
+    /// its write is durable (committed through the engine's WAL).
+    pub cells: Vec<Lenient<Response>>,
+}
+
+/// Spawns a primary's acker: for each [`SequencedWork`], waits out every
+/// cell (i.e. the whole sub-batch's fsync), then mails a
+/// [`SequencedAck`](DbPayload::SequencedAck) to the transaction's origin
+/// and a copy to each replica peer of this shard.
+///
+/// The peer copies are what make failover exact: the engine's commit
+/// fan-out puts a sub-batch's `Replicate` on the medium *before* its
+/// cells fill, so in merge order every copy follows the shipped writes it
+/// acknowledges — a replica that processes the copy has the corresponding
+/// data already queued, and can strike the transaction off its
+/// might-need-replay buffer.
+pub(crate) fn spawn_acker(
+    medium: SharedMedium<DbPayload>,
+    site: SiteId,
+    shard: u32,
+    peers: Vec<SiteId>,
+) -> (crossbeam::channel::Sender<SequencedWork>, JoinHandle<()>) {
+    let (tx, rx) = crossbeam::channel::unbounded::<SequencedWork>();
+    let handle = std::thread::spawn(move || {
+        // Own seq range, far from the responder's, for trace readability.
+        let mut seq = u64::MAX / 4;
+        for work in rx {
+            let mut ops = 0usize;
+            let mut err: Option<Response> = None;
+            for cell in &work.cells {
+                let r = cell.wait_cloned();
+                if r.is_error() {
+                    if err.is_none() {
+                        err = Some(r);
+                    }
+                } else {
+                    ops += 1;
+                }
+            }
+            let response = err.unwrap_or(Response::Applied { ops, shards: 1 });
+            for dest in std::iter::once(work.origin).chain(peers.iter().copied()) {
+                medium.send(Message::new(
+                    site,
+                    dest,
+                    seq,
+                    DbPayload::SequencedAck {
+                        origin: work.origin,
+                        client: work.client,
+                        in_reply_to: work.txn,
+                        shard,
+                        response: response.clone(),
+                    },
+                ));
+                seq += 1;
+            }
+        }
+    });
+    (tx, handle)
+}
 
 /// A running primary site.
 pub struct PrimarySite {
@@ -73,6 +145,10 @@ impl PrimarySite {
                 ));
             }
         });
+        // An unsharded primary is shard 0 of a one-shard cluster with no
+        // replica peers; sequenced transactions still work (every sub goes
+        // to shard 0), so `submit_txn` is exercisable without durability.
+        let (ack_tx, acker) = spawn_acker(medium.clone(), site, 0, Vec::new());
         let pump = std::thread::spawn(move || {
             let mut served = 0u64;
             for msg in inbox.iter() {
@@ -87,6 +163,36 @@ impl PrimarySite {
                         }
                         served += 1;
                     }
+                    DbPayload::Sequenced {
+                        origin,
+                        client,
+                        txn,
+                        subs,
+                    } => {
+                        if let Some((_, queries)) = subs.iter().find(|(s, _)| *s == 0) {
+                            let cells = queries
+                                .iter()
+                                .map(|q| match parse(q) {
+                                    Ok(pq) => engine.submit(translate(pq)),
+                                    Err(e) => fundb_lenient::Lenient::ready(Response::Error(
+                                        e.to_string(),
+                                    )),
+                                })
+                                .collect();
+                            if ack_tx
+                                .send(SequencedWork {
+                                    origin,
+                                    client,
+                                    txn,
+                                    cells,
+                                })
+                                .is_err()
+                            {
+                                break; // acker gone; shutting down
+                            }
+                            served += 1;
+                        }
+                    }
                     // A simulated crash: stop serving without closing the
                     // medium, so the rest of the cluster lives on.
                     DbPayload::Halt => break,
@@ -94,7 +200,9 @@ impl PrimarySite {
                 }
             }
             drop(resp_tx);
+            drop(ack_tx);
             let _ = responder.join();
+            let _ = acker.join();
             served
         });
         PrimarySite {

@@ -57,11 +57,13 @@ use parking_lot::Mutex;
 use crate::cluster::ClientHandle;
 use crate::medium::SharedMedium;
 use crate::message::{DbPayload, Message, SiteId};
+use crate::primary::{spawn_acker, SequencedWork};
+use crate::shard::{ClusterStats, ShardRoutes};
 
 /// The site id cluster-control messages (`Halt`, `Promote`, `SyncPing`)
 /// originate from. No running site serves it — but the cluster's `sync`
 /// reads its `choose` stream to collect ping answers.
-const CONTROL_SITE: SiteId = SiteId(u32::MAX - 1);
+pub(crate) const CONTROL_SITE: SiteId = SiteId(u32::MAX - 1);
 
 fn invalid_data(e: impl fmt::Display) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, e.to_string())
@@ -160,21 +162,121 @@ impl CommitSink for ReplicationSender {
     }
 }
 
+/// Which shard a primary serves, and who gets copies of its sequenced
+/// acks. The unsharded [`ReplicatedCluster`] is shard 0 of a one-shard
+/// cluster — same loop, same protocol.
+#[derive(Debug, Clone)]
+pub(crate) struct PrimaryRole {
+    /// The shard this primary owns: it applies exactly the sub-batches
+    /// tagged with this id in [`Sequenced`](DbPayload::Sequenced) traffic.
+    pub shard: u32,
+    /// Replica peers that receive [`SequencedAck`](DbPayload::SequencedAck)
+    /// copies (so a later promotion knows what was already applied).
+    pub ack_peers: Vec<SiteId>,
+}
+
+/// (reply destination, client, request seq, response cell) — one entry
+/// per admitted request, in admission order.
+type PendingReply = (SiteId, ClientId, u64, Lenient<Response>);
+
+/// One message of a primary's serving loop. Returns `false` on `Halt`
+/// (or when a downstream thread is gone) — the caller stops pumping.
+#[allow(clippy::too_many_arguments)]
+fn primary_step(
+    msg: Message<DbPayload>,
+    engine: &Arc<DurableEngine>,
+    medium: &SharedMedium<DbPayload>,
+    site: SiteId,
+    shard: u32,
+    resp_tx: &crossbeam::channel::Sender<PendingReply>,
+    ack_tx: &crossbeam::channel::Sender<SequencedWork>,
+    ctl_seq: &mut u64,
+    served: &mut u64,
+) -> bool {
+    let (from, seq) = (msg.from, msg.seq);
+    match msg.payload {
+        DbPayload::Request { client, query } => {
+            let cell = match parse(&query) {
+                Ok(q) => engine.submit(translate(q)),
+                Err(e) => Lenient::ready(Response::Error(e.to_string())),
+            };
+            if resp_tx.send((from, client, seq, cell)).is_err() {
+                return false; // responder gone; shutting down
+            }
+            *served += 1;
+        }
+        DbPayload::Sequenced {
+            origin,
+            client,
+            txn,
+            subs,
+        } => {
+            // Apply our sub-batch — if we are a participant — right here,
+            // at this message's position in the inbox: the medium's merge
+            // order is the sequence, so these writes land exactly between
+            // the direct traffic that precedes and follows the broadcast.
+            if let Some((_, queries)) = subs.iter().find(|(s, _)| *s == shard) {
+                let cells: Vec<Lenient<Response>> = queries
+                    .iter()
+                    .map(|q| match parse(q) {
+                        Ok(pq) => engine.submit(translate(pq)),
+                        Err(e) => Lenient::ready(Response::Error(e.to_string())),
+                    })
+                    .collect();
+                if ack_tx
+                    .send(SequencedWork {
+                        origin,
+                        client,
+                        txn,
+                        cells,
+                    })
+                    .is_err()
+                {
+                    return false; // acker gone; shutting down
+                }
+                *served += 1;
+            }
+        }
+        DbPayload::CatchUp => {
+            // On export failure fall back to an empty snapshot: the
+            // replica then converges from the shipped stream alone,
+            // which is complete whenever this primary started fresh on
+            // this medium.
+            let (checkpoint, tail) = engine.replication_snapshot().unwrap_or((None, Vec::new()));
+            medium.send(Message::new(
+                site,
+                from,
+                *ctl_seq,
+                DbPayload::Snapshot { checkpoint, tail },
+            ));
+            *ctl_seq += 1;
+        }
+        // A simulated crash: stop serving; the medium stays open so
+        // the survivors can take over.
+        DbPayload::Halt => return false,
+        _ => {}
+    }
+    true
+}
+
 /// The serving loop of a primary: requests through the durable engine,
-/// catch-up snapshots for bootstrapping replicas. Runs until `Halt` or
-/// end-of-medium; returns the number of requests served.
+/// sequenced sub-batches for its shard, catch-up snapshots for
+/// bootstrapping replicas. Runs until `Halt` or end-of-medium; returns
+/// the number of requests served.
 ///
 /// Both the initial primary and a promoted replica run this — a promoted
-/// replica enters with its inbox already advanced past the `Promote`.
-fn run_primary_loop(
+/// replica enters with its inbox already advanced past the `Promote`,
+/// and hands in as `backlog` the sequenced transactions the dead primary
+/// never applied (buffered broadcasts with no observed ack); they are
+/// applied and acked before any newly-routed traffic.
+pub(crate) fn run_primary_loop(
     mut cur: Stream<Message<DbPayload>>,
     medium: SharedMedium<DbPayload>,
     site: SiteId,
     engine: Arc<DurableEngine>,
+    role: PrimaryRole,
+    backlog: Vec<Message<DbPayload>>,
 ) -> u64 {
-    // (reply destination, client, request seq, response cell) — one entry
-    // per admitted request, in admission order.
-    type PendingReply = (SiteId, ClientId, u64, Lenient<Response>);
     let outbound = medium.clone();
     let (resp_tx, resp_rx) = crossbeam::channel::unbounded::<PendingReply>();
     // Replies go out in admission order, each waiting on its lenient cell —
@@ -194,46 +296,49 @@ fn run_primary_loop(
             ));
         }
     });
+    let (ack_tx, acker) = spawn_acker(medium.clone(), site, role.shard, role.ack_peers);
     let mut served = 0u64;
     // Control replies (snapshots) are sent from this thread, on a seq
     // range far from the responder's, purely to keep traces readable.
     let mut ctl_seq = u64::MAX / 2;
-    while let Some((msg, rest)) = cur.uncons() {
-        cur = rest;
-        match msg.payload {
-            DbPayload::Request { client, query } => {
-                let cell = match parse(&query) {
-                    Ok(q) => engine.submit(translate(q)),
-                    Err(e) => Lenient::ready(Response::Error(e.to_string())),
-                };
-                if resp_tx.send((msg.from, client, msg.seq, cell)).is_err() {
-                    break; // responder gone; shutting down
-                }
-                served += 1;
-            }
-            DbPayload::CatchUp => {
-                // On export failure fall back to an empty snapshot: the
-                // replica then converges from the shipped stream alone,
-                // which is complete whenever this primary started fresh on
-                // this medium.
-                let (checkpoint, tail) =
-                    engine.replication_snapshot().unwrap_or((None, Vec::new()));
-                medium.send(Message::new(
-                    site,
-                    msg.from,
-                    ctl_seq,
-                    DbPayload::Snapshot { checkpoint, tail },
-                ));
-                ctl_seq += 1;
-            }
-            // A simulated crash: stop serving; the medium stays open so
-            // the survivors can take over.
-            DbPayload::Halt => break,
-            _ => {}
+    let mut live = true;
+    for msg in backlog {
+        if !primary_step(
+            msg,
+            &engine,
+            &medium,
+            site,
+            role.shard,
+            &resp_tx,
+            &ack_tx,
+            &mut ctl_seq,
+            &mut served,
+        ) {
+            live = false;
+            break;
         }
     }
+    while live {
+        let Some((msg, rest)) = cur.uncons() else {
+            break;
+        };
+        cur = rest;
+        live = primary_step(
+            msg,
+            &engine,
+            &medium,
+            site,
+            role.shard,
+            &resp_tx,
+            &ack_tx,
+            &mut ctl_seq,
+            &mut served,
+        );
+    }
     drop(resp_tx);
+    drop(ack_tx);
     let _ = responder.join();
+    let _ = acker.join();
     served
 }
 
@@ -243,6 +348,8 @@ struct ReplicaState {
     ckpt_dir: PathBuf,
     medium: SharedMedium<DbPayload>,
     site: SiteId,
+    /// The shard this replica belongs to (0 on an unsharded cluster).
+    shard: u32,
     wal: Wal,
     db: Database,
     marks: HashMap<RelationName, u64>,
@@ -250,6 +357,14 @@ struct ReplicaState {
     pending: Vec<Vec<u8>>,
     /// Replicate batches applied, cumulatively — the value acked back.
     applied: u64,
+    /// Broadcast [`Sequenced`](DbPayload::Sequenced) transactions with a
+    /// sub-batch for our shard whose primary ack we have *not* seen yet,
+    /// in arrival order. The primary's ack copy always follows the
+    /// `Replicate` that ships the same writes (the acker waits the
+    /// commit, the commit fan-out ships first), so an entry still here at
+    /// promotion is precisely a transaction the dead primary never
+    /// applied — the promoted primary replays this buffer as its backlog.
+    seq_buf: Vec<Message<DbPayload>>,
     send_seq: u64,
 }
 
@@ -323,10 +438,50 @@ impl ReplicaState {
         Ok(())
     }
 
-    /// One live message: queue a shipped batch, answer a sync probe, or
-    /// answer a read-only query from the local database value.
+    /// One live message: queue a shipped batch, answer a sync probe,
+    /// track sequenced transactions for our shard, or answer a read-only
+    /// query from the local database value.
     fn handle_live(&mut self, msg: Message<DbPayload>) -> io::Result<()> {
+        let (from, to, seq) = (msg.from, msg.to, msg.seq);
         match msg.payload {
+            // Buffer participant broadcasts until the primary's ack copy
+            // confirms they were applied (and shipped to us as ordinary
+            // `Replicate` traffic). Non-participant broadcasts are other
+            // shards' business.
+            DbPayload::Sequenced {
+                origin,
+                client,
+                txn,
+                subs,
+            } if subs.iter().any(|(s, _)| *s == self.shard) => {
+                self.seq_buf.push(Message::new(
+                    from,
+                    to,
+                    seq,
+                    DbPayload::Sequenced {
+                        origin,
+                        client,
+                        txn,
+                        subs,
+                    },
+                ));
+            }
+            DbPayload::Sequenced { .. } => {}
+            DbPayload::SequencedAck {
+                origin,
+                in_reply_to,
+                shard,
+                ..
+            } if shard == self.shard => {
+                self.seq_buf.retain(|m| {
+                    !matches!(
+                        &m.payload,
+                        DbPayload::Sequenced { origin: o, txn, .. }
+                            if *o == origin && *txn == in_reply_to
+                    )
+                });
+            }
+            DbPayload::SequencedAck { .. } => {}
             DbPayload::Replicate { frames } => {
                 self.pending.push(frames);
                 // No per-batch ack: progress is only reported when a
@@ -374,6 +529,7 @@ fn run_replica(
     medium: SharedMedium<DbPayload>,
     site: SiteId,
     primary0: SiteId,
+    shard: u32,
     workers: usize,
     batches: Arc<AtomicU64>,
 ) -> io::Result<u64> {
@@ -393,6 +549,7 @@ fn run_replica(
         ckpt_dir: ckpt_dir.clone(),
         medium: medium.clone(),
         site,
+        shard,
         // The replica's log skips the per-batch fsync: the primary's log
         // is the authoritative copy and catch-up re-ships whatever an OS
         // crash tears off this tail. Promotion syncs once before the log
@@ -403,6 +560,7 @@ fn run_replica(
         marks: recovered.seq_marks,
         pending: Vec::new(),
         applied: 0,
+        seq_buf: Vec::new(),
         send_seq: 0,
         dir,
     };
@@ -438,13 +596,17 @@ fn run_replica(
             DbPayload::Replicate { .. }
             | DbPayload::Request { .. }
             | DbPayload::SyncPing { .. }
+            | DbPayload::Sequenced { .. }
+            | DbPayload::SequencedAck { .. }
                 if !caught_up =>
             {
                 buffered.push(msg);
             }
             DbPayload::Replicate { .. }
             | DbPayload::Request { .. }
-            | DbPayload::SyncPing { .. } => {
+            | DbPayload::SyncPing { .. }
+            | DbPayload::Sequenced { .. }
+            | DbPayload::SequencedAck { .. } => {
                 state.handle_live(msg)?;
             }
             DbPayload::Promote { peers } => {
@@ -482,7 +644,9 @@ fn promote_replica(
         dir,
         medium,
         site,
+        shard,
         mut wal,
+        seq_buf,
         ..
     } = state;
     // This log is about to be the cluster's authoritative history: force
@@ -495,11 +659,26 @@ fn promote_replica(
         engine.attach_sink(Arc::new(ReplicationSender::new(
             medium.clone(),
             site,
-            peers,
+            peers.clone(),
             batches,
         )));
     }
-    Ok(run_primary_loop(cur, medium, site, engine))
+    // `seq_buf` holds exactly the sequenced transactions the dead primary
+    // admitted to the medium but never applied (applied ones were struck
+    // off by its ack copies, which the clean halt flushed out before the
+    // promotion was sent). Apply them first — their origins are still
+    // waiting on this shard's receipt.
+    Ok(run_primary_loop(
+        cur,
+        medium,
+        site,
+        engine,
+        PrimaryRole {
+            shard,
+            ack_peers: peers,
+        },
+        seq_buf,
+    ))
 }
 
 /// A running replica site (one thread).
@@ -516,18 +695,21 @@ impl fmt::Debug for ReplicaSite {
 
 impl ReplicaSite {
     /// Starts a replica at `site`, storing under `dir`, bootstrapping
-    /// from `primary0`. Recovery happens on the spawned thread; failures
-    /// surface at [`join`](Self::join).
+    /// from `primary0` and tracking `shard`'s sequenced traffic (0 on an
+    /// unsharded cluster). Recovery happens on the spawned thread;
+    /// failures surface at [`join`](Self::join).
     pub fn start(
         dir: PathBuf,
         medium: SharedMedium<DbPayload>,
         site: SiteId,
         primary0: SiteId,
+        shard: u32,
         workers: usize,
         batches: Arc<AtomicU64>,
     ) -> ReplicaSite {
-        let handle =
-            std::thread::spawn(move || run_replica(dir, medium, site, primary0, workers, batches));
+        let handle = std::thread::spawn(move || {
+            run_replica(dir, medium, site, primary0, shard, workers, batches)
+        });
         ReplicaSite {
             site,
             handle: Some(handle),
@@ -627,7 +809,13 @@ impl ReplicatedCluster {
         let primary_pump = {
             let inbox = medium.choose(SiteId(0));
             let medium = medium.clone();
-            std::thread::spawn(move || run_primary_loop(inbox, medium, SiteId(0), engine))
+            let role = PrimaryRole {
+                shard: 0,
+                ack_peers: replica_sites.clone(),
+            };
+            std::thread::spawn(move || {
+                run_primary_loop(inbox, medium, SiteId(0), engine, role, Vec::new())
+            })
         };
 
         let replicas: Vec<ReplicaSite> = replica_sites
@@ -638,20 +826,26 @@ impl ReplicatedCluster {
                     medium.clone(),
                     site,
                     SiteId(0),
+                    0,
                     workers,
                     Arc::clone(&batches_sent),
                 )
             })
             .collect();
 
+        let routes = Arc::new(ShardRoutes::single(
+            Arc::clone(&primary),
+            replica_sites.clone(),
+        ));
+        let stats = Arc::new(ClusterStats::new(1));
         let clients = (0..clients)
             .map(|i| {
                 ClientHandle::spawn(
                     &medium,
                     SiteId((replica_sites.len() + 1 + i) as u32),
                     ClientId(i as u32),
-                    Arc::clone(&primary),
-                    replica_sites.clone(),
+                    Arc::clone(&routes),
+                    Arc::clone(&stats),
                 )
             })
             .collect();

@@ -1,17 +1,185 @@
-//! Multi-hop routing over explicit topologies.
+//! Routing: shard-aware query dispatch, and multi-hop paths over explicit
+//! topologies.
 //!
-//! "Nodes which route information within the network must, of course, take
-//! the physical topology into account." (Section 3.4.) On the broadcast
-//! medium routing is trivial; [`Router`] provides the point-to-point view
-//! used when the cluster is mapped onto one of the simulator topologies —
-//! it computes greedy shortest next-hops and whole paths, and accounts hop
-//! counts for delay models.
+//! Two kinds of routing live here. [`plan_route`] is the *logical* kind: a
+//! pure function from a parsed query to where it must execute on a
+//! partitioned cluster — the owning shard for keyed operations, a
+//! scatter-gather over every shard for scans, every primary for DDL. It is
+//! pure so the shard-aware client can be tested without a cluster: a
+//! miswired round-robin (reads for a key bouncing to a sibling shard's
+//! replicas) is caught by a unit test on the plan, not by a flaky empty
+//! read. [`combine_gather`] folds the per-shard partial responses of a
+//! scattered read back into one response.
+//!
+//! [`Router`] is the *physical* kind: "Nodes which route information
+//! within the network must, of course, take the physical topology into
+//! account." (Section 3.4.) On the broadcast medium routing is trivial;
+//! `Router` provides the point-to-point view used when the cluster is
+//! mapped onto one of the simulator topologies — it computes greedy
+//! shortest next-hops and whole paths, and accounts hop counts for delay
+//! models.
 
 use std::fmt;
 
+use fundb_query::{AggOp, Query, Response};
 use fundb_rediflow::Topology;
+use fundb_relational::{Tuple, Value};
 
 use crate::message::SiteId;
+
+/// How the partial responses of a scattered read are folded into one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GatherKind {
+    /// Concatenate tuple sets and sort by value order (hash partitioning
+    /// interleaves keys across shards, so a deterministic merged order has
+    /// to be re-established; value order matches what a single key-ordered
+    /// store would scan).
+    Tuples,
+    /// Sum the counts.
+    Count,
+    /// Fold the per-shard aggregates with the same operation.
+    Agg(AggOp),
+    /// Every shard must succeed (DDL); the first response stands in for
+    /// all of them.
+    AllOk,
+}
+
+/// Where a query must execute on a partitioned cluster.
+///
+/// The plan is in terms of *shards*, not sites: the client maps the owning
+/// shard to its primary (writes) or round-robins over that shard's — and
+/// only that shard's — replicas (reads).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoutePlan {
+    /// A single-key write: the owning shard's primary, directly.
+    WriteKey(Value),
+    /// A single-key read: the owning shard's read set.
+    ReadKey(Value),
+    /// A read that touches every partition: scatter to each shard's read
+    /// set, gather with the given combine.
+    GatherRead(GatherKind),
+    /// DDL that must hold on every shard: scatter to every primary.
+    AllPrimaries(GatherKind),
+    /// A catalog read any single shard can answer (every shard holds the
+    /// full catalog).
+    AnyShard,
+}
+
+/// Routes a parsed query on a hash-partitioned cluster.
+///
+/// Keyed operations go to the key's owner; scans and aggregates scatter;
+/// DDL broadcasts to every primary (every shard holds every relation —
+/// only the tuples are partitioned). `join` stays a *gather*, not a
+/// flood: keys are hash-partitioned identically for every relation, so a
+/// key-join is shard-local and the partial joins just concatenate.
+pub fn plan_route(query: &Query) -> RoutePlan {
+    match query {
+        Query::Insert { tuple, .. } | Query::Replace { tuple, .. } => {
+            RoutePlan::WriteKey(tuple.key().clone())
+        }
+        Query::Delete { key, .. } => RoutePlan::WriteKey(key.clone()),
+        Query::Find { key, .. } => RoutePlan::ReadKey(key.clone()),
+        Query::FindRange { .. } | Query::Select { .. } | Query::Join { .. } => {
+            RoutePlan::GatherRead(GatherKind::Tuples)
+        }
+        Query::Count { .. } => RoutePlan::GatherRead(GatherKind::Count),
+        Query::Aggregate { op, .. } => RoutePlan::GatherRead(GatherKind::Agg(*op)),
+        Query::Create { .. } | Query::CreateIndex { .. } => {
+            RoutePlan::AllPrimaries(GatherKind::AllOk)
+        }
+        Query::Names => RoutePlan::AnyShard,
+    }
+}
+
+/// Folds per-shard partial responses into the response the client sees.
+///
+/// `partials` is sorted by responding site first, so the fold — in
+/// particular which error surfaces when several shards fail — does not
+/// depend on reply arrival order.
+pub fn combine_gather(kind: GatherKind, mut partials: Vec<(SiteId, Response)>) -> Response {
+    partials.sort_by_key(|(site, _)| *site);
+    if let Some((_, err)) = partials.iter().find(|(_, r)| r.is_error()) {
+        return err.clone();
+    }
+    match kind {
+        GatherKind::Tuples => {
+            let mut tuples: Vec<Tuple> = Vec::new();
+            for (site, r) in partials {
+                match r {
+                    Response::Tuples(ts) => tuples.extend(ts),
+                    other => {
+                        return Response::Error(format!(
+                            "{site} answered a tuple gather with {other}"
+                        ))
+                    }
+                }
+            }
+            tuples.sort();
+            Response::Tuples(tuples)
+        }
+        GatherKind::Count => {
+            let mut total = 0usize;
+            for (site, r) in partials {
+                match r {
+                    Response::Count(n) => total += n,
+                    other => {
+                        return Response::Error(format!(
+                            "{site} answered a count gather with {other}"
+                        ))
+                    }
+                }
+            }
+            Response::Count(total)
+        }
+        GatherKind::Agg(op) => {
+            let mut acc: Option<Value> = None;
+            let mut op_name = op.to_string();
+            for (site, r) in partials {
+                match r {
+                    Response::Aggregate { op: name, value } => {
+                        op_name = name;
+                        acc = match (acc, value) {
+                            (a, None) => a,
+                            (None, Some(v)) => Some(v),
+                            (Some(a), Some(v)) => Some(match op {
+                                AggOp::Sum => {
+                                    Value::Int(a.as_int().unwrap_or(0) + v.as_int().unwrap_or(0))
+                                }
+                                AggOp::Min => {
+                                    if v < a {
+                                        v
+                                    } else {
+                                        a
+                                    }
+                                }
+                                AggOp::Max => {
+                                    if v > a {
+                                        v
+                                    } else {
+                                        a
+                                    }
+                                }
+                            }),
+                        };
+                    }
+                    other => {
+                        return Response::Error(format!(
+                            "{site} answered an aggregate gather with {other}"
+                        ))
+                    }
+                }
+            }
+            Response::Aggregate {
+                op: op_name,
+                value: acc,
+            }
+        }
+        GatherKind::AllOk => match partials.into_iter().next() {
+            Some((_, first)) => first,
+            None => Response::Error("gather over zero shards".into()),
+        },
+    }
+}
 
 /// Computes routes over a [`Topology`].
 pub struct Router<'a> {

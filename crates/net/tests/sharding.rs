@@ -1,0 +1,318 @@
+//! End-to-end sharding properties: key-routed reads and writes, the
+//! RESULT-ON pragma pinning execution to the owning site, scatter-gather
+//! reads, sequenced transaction atomicity as observed from each shard's
+//! read path, and shard-local failover under cross-shard load.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use fundb_durable::ScratchDir;
+use fundb_net::{result_on_prefix, ShardedCluster};
+use fundb_query::Response;
+use fundb_relational::{Tuple, Value};
+use proptest::prelude::*;
+
+fn assert_found(resp: &Response, key: i64) {
+    match resp {
+        Response::Tuples(ts) => {
+            assert_eq!(
+                ts.as_slice(),
+                &[Tuple::of_key(key)],
+                "key {key} not present"
+            );
+        }
+        other => panic!("find {key} answered {other:?}"),
+    }
+}
+
+fn is_present(resp: &Response) -> bool {
+    match resp {
+        Response::Tuples(ts) => !ts.is_empty(),
+        other => panic!("find answered {other:?}"),
+    }
+}
+
+/// Writes route to the owning shard's primary and reads to the owning
+/// shard's replicas — so every key written is found again without any
+/// sync, the gathered count covers both shards, and a RESULT-ON pinned
+/// query executes on the owning site.
+#[test]
+fn keyed_traffic_routes_to_owning_shards() {
+    let tmp = ScratchDir::new("shard-routes");
+    let cluster = ShardedCluster::start(tmp.path(), 2, 2, 2, 1).unwrap();
+    let c = cluster.client(0);
+    assert!(!c.submit("create relation R").wait().is_error());
+    for k in 0..40 {
+        assert!(!c.submit(&format!("insert {k} into R")).wait().is_error());
+    }
+    // Per-shard read-your-writes, bare: the owning shard ships before it
+    // acks, so its replica has the write queued ahead of any later read.
+    for k in 0..40 {
+        assert_found(&c.submit(&format!("find {k} in R")).wait_cloned(), k);
+    }
+    // A scan must gather over every shard — no single shard holds all 40.
+    assert_eq!(*c.submit("count R").wait(), Response::Count(40));
+
+    // RESULT-ON: pin a query to the site that owns its key.
+    let pinned = result_on_prefix(cluster.owning_site(&Value::from(7i64)), "find 7 in R");
+    assert_found(&cluster.client(1).submit(&pinned).wait_cloned(), 7);
+
+    // Sanity on the partitioning: both shards actually own some keys.
+    let on_shard_1 = (0..40i64)
+        .filter(|&k| cluster.shard_of(&Value::from(k)) == 1)
+        .count();
+    assert!(on_shard_1 > 0 && on_shard_1 < 40, "degenerate partitioning");
+
+    cluster.sync();
+    let stats = cluster.stats();
+    assert_eq!(stats.single_shard_writes, 40);
+    assert_eq!(stats.single_shard_reads, 40);
+    assert!(stats.gather_reads >= 1, "{stats}");
+    assert_eq!(stats.ddl_broadcasts, 1);
+    assert_eq!(stats.pragma_pinned, 1);
+    for (shard, &(shipped, applied)) in stats.shard_lag.iter().enumerate() {
+        assert!(shipped > 0, "shard {shard} never shipped");
+        assert_eq!(applied, shipped, "shard {shard} lagging after sync");
+    }
+    cluster.shutdown();
+}
+
+/// `submit_txn` reports how many shards sequenced the writes, takes the
+/// direct path when one shard owns every key, and rejects non-writes.
+#[test]
+fn transactions_classify_and_apply() {
+    let tmp = ScratchDir::new("shard-txn");
+    let cluster = ShardedCluster::start(tmp.path(), 2, 1, 2, 0).unwrap();
+    let c = cluster.client(0);
+    assert!(!c.submit("create relation R").wait().is_error());
+
+    // Two keys on different shards → a broadcast, acked by both.
+    let k0 = (0..)
+        .find(|&k| cluster.shard_of(&Value::from(k)) == 0)
+        .unwrap();
+    let k1 = (0..)
+        .find(|&k| cluster.shard_of(&Value::from(k)) == 1)
+        .unwrap();
+    let cross = c.submit_txn(&[
+        &format!("insert {k0} into R"),
+        &format!("insert {k1} into R"),
+    ]);
+    assert_eq!(*cross.wait(), Response::Applied { ops: 2, shards: 2 });
+
+    // Two keys on one shard → unicast to the owning primary only.
+    let k2 = (k0 + 1..)
+        .find(|&k| cluster.shard_of(&Value::from(k)) == 0)
+        .unwrap();
+    let k3 = (k2 + 1..)
+        .find(|&k| cluster.shard_of(&Value::from(k)) == 0)
+        .unwrap();
+    let single = c.submit_txn(&[
+        &format!("insert {k2} into R"),
+        &format!("insert {k3} into R"),
+    ]);
+    assert_eq!(*single.wait(), Response::Applied { ops: 2, shards: 1 });
+
+    for k in [k0, k1, k2, k3] {
+        assert_found(&c.submit(&format!("find {k} in R")).wait_cloned(), k);
+    }
+
+    // Only single-key writes may be sequenced.
+    let bad = c.submit_txn(&["count R"]).wait_cloned();
+    match bad {
+        Response::Error(e) => assert!(e.contains("single-key writes only"), "{e}"),
+        other => panic!("expected rejection, got {other}"),
+    }
+    let stats = cluster.stats();
+    assert_eq!(stats.cross_shard_txns, 1);
+    assert_eq!(stats.single_shard_txns, 1);
+    assert_eq!(stats.sequencer_acks, stats.sequencer_waits);
+    cluster.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Atomicity as each shard's read path observes it: a sequenced
+    /// transaction's sub-batch applies at one merge position, so a
+    /// concurrent reader polling the transaction's keys on a shard may
+    /// see none of them or all of them — never a strict subset. The
+    /// reader reads each shard's keys in a fixed order; once any key of
+    /// the group is present, every later read in that round must find
+    /// its key too (presence is monotone: nothing deletes).
+    #[test]
+    fn sequenced_txns_read_all_or_nothing_per_shard(
+        txn_sizes in prop::collection::vec(2usize..6, 1..4)
+    ) {
+        let tmp = ScratchDir::new("shard-atomic");
+        let cluster = ShardedCluster::start(tmp.path(), 2, 2, 2, 0).unwrap();
+        let c = cluster.client(0);
+        prop_assert!(!c.submit("create relation R").wait().is_error());
+
+        for (t, &size) in txn_sizes.iter().enumerate() {
+            let keys: Vec<i64> = (0..size as i64).map(|j| t as i64 * 100 + j).collect();
+            let queries: Vec<String> =
+                keys.iter().map(|k| format!("insert {k} into R")).collect();
+            let query_refs: Vec<&str> = queries.iter().map(String::as_str).collect();
+
+            // Group the keys as the sequencer will: by owning shard.
+            let mut by_shard: Vec<Vec<i64>> = vec![Vec::new(); 2];
+            for &k in &keys {
+                by_shard[cluster.shard_of(&Value::from(k)) as usize].push(k);
+            }
+
+            let done = Arc::new(AtomicBool::new(false));
+            let reader = {
+                let done = Arc::clone(&done);
+                let r = cluster.client(1);
+                let by_shard = by_shard.clone();
+                std::thread::spawn(move || {
+                    let mut rounds = 0u32;
+                    while !done.load(Ordering::SeqCst) {
+                        for group in by_shard.iter().filter(|g| !g.is_empty()) {
+                            let mut seen_present = false;
+                            for &k in group {
+                                let present = is_present(
+                                    &r.submit(&format!("find {k} in R")).wait_cloned(),
+                                );
+                                assert!(
+                                    present || !seen_present,
+                                    "shard applied a partial sub-batch: key {k} absent \
+                                     while an earlier key of the same transaction is present"
+                                );
+                                seen_present |= present;
+                            }
+                        }
+                        rounds += 1;
+                    }
+                    rounds
+                })
+            };
+
+            let resp = c.submit_txn(&query_refs).wait_cloned();
+            done.store(true, Ordering::SeqCst);
+            let shards = by_shard.iter().filter(|g| !g.is_empty()).count();
+            prop_assert_eq!(resp, Response::Applied { ops: keys.len(), shards });
+            reader.join().unwrap();
+
+            // Acked ⇒ durable and visible on every participant.
+            for &k in &keys {
+                assert_found(&c.submit(&format!("find {k} in R")).wait_cloned(), k);
+            }
+        }
+        cluster.shutdown();
+    }
+}
+
+/// Shard-local failover under cross-shard load: kill shard 0's primary
+/// mid-stream, keep submitting broadcast transactions, promote the
+/// replica — every broadcast transaction ever submitted still completes
+/// (the promoted primary replays and acks the ones the dead primary
+/// never applied), every acked key is present, and the *other* shard
+/// never hiccups.
+#[test]
+fn killing_one_shard_primary_preserves_cross_shard_transactions() {
+    let tmp = ScratchDir::new("shard-failover");
+    let mut cluster = ShardedCluster::start(tmp.path(), 2, 2, 2, 1).unwrap();
+    let c = cluster.client(0);
+    assert!(!c.submit("create relation R").wait().is_error());
+
+    // One key per shard per transaction, so every one is a broadcast.
+    let shard0: Vec<i64> = (0..)
+        .filter(|&k| cluster.shard_of(&Value::from(k)) == 0)
+        .take(500)
+        .collect();
+    let shard1: Vec<i64> = (0..)
+        .filter(|&k| cluster.shard_of(&Value::from(k)) == 1)
+        .take(500)
+        .collect();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let c = cluster.client(0);
+        let stop = Arc::clone(&stop);
+        let (shard0, shard1) = (shard0.clone(), shard1.clone());
+        std::thread::spawn(move || {
+            let mut submitted = Vec::new();
+            for i in 0.. {
+                if stop.load(Ordering::SeqCst) || i >= shard0.len() {
+                    break;
+                }
+                let (a, b) = (shard0[i], shard1[i]);
+                let cell =
+                    c.submit_txn(&[&format!("insert {a} into R"), &format!("insert {b} into R")]);
+                submitted.push((cell, a, b));
+                // Pace: leave the failover window some in-flight traffic
+                // rather than one txn hogging the sequencer.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            submitted
+        })
+    };
+
+    std::thread::sleep(Duration::from_millis(50));
+    cluster.kill_primary(0);
+    // The medium is headless for shard 0: broadcasts buffer on its
+    // replica while shard 1 keeps acking its halves.
+    std::thread::sleep(Duration::from_millis(20));
+    let replica = cluster.replica_sites(0)[0];
+    cluster.promote(0, replica);
+    std::thread::sleep(Duration::from_millis(50));
+    stop.store(true, Ordering::SeqCst);
+    let submitted = writer.join().unwrap();
+    assert!(submitted.len() > 10, "writer barely ran");
+
+    // Every broadcast transaction completes — before, across, and after
+    // the failover — because the promoted primary answers for the dead
+    // one.
+    for (cell, a, b) in &submitted {
+        let resp = cell
+            .wait_timeout(Duration::from_secs(30))
+            .unwrap_or_else(|| panic!("txn ({a},{b}) never resolved"));
+        assert_eq!(
+            *resp,
+            Response::Applied { ops: 2, shards: 2 },
+            "txn ({a},{b})"
+        );
+    }
+    let reader = cluster.client(1);
+    for (_, a, b) in &submitted {
+        assert_found(&reader.submit(&format!("find {a} in R")).wait_cloned(), *a);
+        assert_found(&reader.submit(&format!("find {b} in R")).wait_cloned(), *b);
+    }
+
+    // The cluster is live on both shards: a fresh cross-shard txn lands.
+    let (a, b) = (shard0[499], shard1[499]);
+    let resp = reader
+        .submit_txn(&[&format!("insert {a} into R"), &format!("insert {b} into R")])
+        .wait_cloned();
+    assert_eq!(resp, Response::Applied { ops: 2, shards: 2 });
+
+    let stats = cluster.stats();
+    assert!(stats.cross_shard_txns > 10, "{stats}");
+    assert_eq!(stats.sequencer_acks, stats.sequencer_waits, "{stats}");
+    cluster.shutdown();
+}
+
+/// A sharded cluster reopened over the same directories recovers every
+/// shard's durable state.
+#[test]
+fn sharded_cluster_recovers_all_shards_after_restart() {
+    let tmp = ScratchDir::new("shard-restart");
+    {
+        let cluster = ShardedCluster::start(tmp.path(), 2, 1, 2, 0).unwrap();
+        let c = cluster.client(0);
+        assert!(!c.submit("create relation R").wait().is_error());
+        for k in 0..30 {
+            assert!(!c.submit(&format!("insert {k} into R")).wait().is_error());
+        }
+        cluster.shutdown();
+    }
+    let cluster = ShardedCluster::start(tmp.path(), 2, 1, 2, 0).unwrap();
+    let c = cluster.client(0);
+    for k in 0..30 {
+        assert_found(&c.submit(&format!("find {k} in R")).wait_cloned(), k);
+    }
+    assert_eq!(*c.submit("count R").wait(), Response::Count(30));
+    cluster.shutdown();
+}

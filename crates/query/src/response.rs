@@ -42,6 +42,17 @@ pub enum Response {
     },
     /// The relation names in the database.
     Names(Vec<RelationName>),
+    /// A multi-write transaction was applied in full: `ops` writes, made
+    /// durable by `shards` participant(s). This is the acknowledgement a
+    /// sequenced (possibly cross-shard) transaction fills with — it exists
+    /// because the per-write responses live on different shards and only
+    /// their fsync receipts travel back.
+    Applied {
+        /// Total writes applied across every participant.
+        ops: usize,
+        /// Participant count (1 = the single-shard fast path).
+        shards: usize,
+    },
     /// The transaction failed; the database is returned unchanged.
     Error(String),
 }
@@ -102,6 +113,14 @@ impl fmt::Display for Response {
                 }
                 Ok(())
             }
+            Response::Applied { ops, shards } => {
+                write!(
+                    f,
+                    "applied {ops} write{} on {shards} shard{}",
+                    if *ops == 1 { "" } else { "s" },
+                    if *shards == 1 { "" } else { "s" }
+                )
+            }
             Response::Error(msg) => write!(f, "error: {msg}"),
         }
     }
@@ -150,6 +169,14 @@ mod tests {
             "relations: R S"
         );
         assert_eq!(Response::Error("boom".into()).to_string(), "error: boom");
+        assert_eq!(
+            Response::Applied { ops: 1, shards: 1 }.to_string(),
+            "applied 1 write on 1 shard"
+        );
+        assert_eq!(
+            Response::Applied { ops: 4, shards: 2 }.to_string(),
+            "applied 4 writes on 2 shards"
+        );
     }
 
     #[test]

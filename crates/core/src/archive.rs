@@ -404,6 +404,38 @@ mod tests {
     }
 
     #[test]
+    fn retention_equal_to_history_length_is_exact_not_off_by_one() {
+        // Boundary: with `retain = n`, the archive holds the head plus n
+        // predecessors. Pruning must start exactly when the history first
+        // *exceeds* that — at `head_version == retain + 1` — not one apply
+        // earlier (losing a version the contract promises) or later
+        // (retaining `retain + 2` versions).
+        let retain = 5;
+        let db = Database::empty().create_relation("R", Repr::List).unwrap();
+        let mut a = VersionArchive::with_retention(db, retain);
+        for i in 0..retain {
+            a.apply(&txn(&format!("insert {i} into R")));
+            assert_eq!(a.version_count(), i + 2, "no pruning within the window");
+            assert_eq!(a.oldest_version(), 0);
+        }
+        // head_version == retain: exactly retain + 1 versions, still intact.
+        assert_eq!(a.head_version(), retain);
+        assert_eq!(a.version_count(), retain + 1);
+        assert!(
+            a.version(0).is_some(),
+            "the initial version is the checkpoint"
+        );
+        // One more apply crosses the boundary: the initial version (and only
+        // it) is pruned.
+        a.apply(&txn(&format!("insert {retain} into R")));
+        assert_eq!(a.head_version(), retain + 1);
+        assert_eq!(a.version_count(), retain + 1);
+        assert_eq!(a.oldest_version(), 1);
+        assert!(a.version(0).is_none());
+        assert_eq!(a.version(1).unwrap().tuple_count(), 1);
+    }
+
+    #[test]
     fn debug_format() {
         let a = archive_with(&["insert 1 into R"]);
         assert_eq!(

@@ -787,6 +787,39 @@ mod tests {
     }
 
     #[test]
+    fn incomplete_frame_in_non_last_segment_is_corruption_not_torn_tail() {
+        // A physically incomplete frame is benign only at the end of the
+        // *last* segment (crash mid-append). The same incomplete frame at
+        // the end of an earlier segment — a crash during rotation, or
+        // post-hoc damage — sits before acknowledged history and must be
+        // reported as Corruption, never as a reusable TornTail.
+        let tmp = ScratchDir::new("wal-rotation-crash");
+        // Tiny segments force rotation.
+        let mut wal = Wal::open(tmp.path(), 64).unwrap();
+        for i in 0..12 {
+            wal.append_batch(&[w("R", i, &format!("insert {i} into R"))])
+                .unwrap();
+        }
+        assert!(wal.current_segment() > 1, "rotation must have happened");
+        drop(wal);
+
+        let seg = tmp.path().join(segment_name(1));
+        let len = fs::metadata(&seg).unwrap().len();
+        crate::fault::truncate_at(&seg, len - 3).unwrap();
+
+        let outcome = Wal::scan(tmp.path()).unwrap();
+        match outcome.stop {
+            Some(ScanStop::Corruption { segment, .. }) => assert_eq!(segment, 1),
+            other => {
+                panic!("incomplete frame in a non-last segment must be Corruption, got {other:?}")
+            }
+        }
+        // Only the frames before the damage survive; nothing from later
+        // segments is surfaced past a corruption stop.
+        assert!(outcome.records.len() < 12);
+    }
+
+    #[test]
     fn failed_append_quarantines_so_later_acks_survive_recovery() {
         let tmp = ScratchDir::new("wal-quarantine");
         let mut wal = Wal::open(tmp.path(), Wal::DEFAULT_SEGMENT_BYTES).unwrap();

@@ -480,6 +480,12 @@ impl ClientHandle {
     /// unanswerable — used at promotion, when the halted old primary will
     /// never reply. Broadcast transactions survive: the promoted primary
     /// replays and acks whatever the dead one left unapplied.
+    ///
+    /// Scope is exactly the dead site: single requests are doomed by
+    /// their destination, gathers by still awaiting `dest`'s partial.
+    /// Requests in flight to *other* sites — another shard's primary, a
+    /// replica read — are untouched, however delayed they are (pinned by
+    /// `tests/sharding.rs::promotion_fails_only_requests_bound_for_the_dead_primary`).
     pub(crate) fn fail_pending_to(&self, dest: SiteId, reason: &str) {
         let mut pending = self.pending.lock();
         let doomed: Vec<u64> = pending

@@ -1,0 +1,482 @@
+//! Client-visible history recording and invariant checking.
+//!
+//! A [`HistoryChecker`] is the chaos harness's witness: the test driver
+//! records every client-visible event — write acknowledgements, reads,
+//! cross-shard transaction acks, kills and promotions — and each event gets
+//! a logical timestamp (its index in the log). After the run, [`check`]
+//! replays the log against the three invariants the design promises
+//! (DESIGN.md §15):
+//!
+//! 1. **Read-your-writes** — a read a client submits after its own write
+//!    was acknowledged observes that write.
+//! 2. **Acked prefix under promotion** — every acknowledged write (any
+//!    client, including cross-shard transaction sub-writes) is observed by
+//!    every read submitted after the ack; in particular the history a
+//!    promoted primary serves is a prefix of acknowledged history that
+//!    contains *all* of it, kills and promotions notwithstanding.
+//! 3. **Cross-shard all-or-nothing** — a reader scanning one transaction's
+//!    keys on one shard, in write order, never observes a later key without
+//!    an earlier one: sub-batches apply atomically at one merge position.
+//!
+//! The checker assumes an insert-only workload (keys are never deleted), so
+//! visibility is monotone: once a key is readable it stays readable. The
+//! chaos drivers in `crates/net/tests/chaos.rs` generate exactly such
+//! workloads.
+//!
+//! Reads carry the logical time they were *submitted* ([`now`] before the
+//! request goes out), not the time the response arrived — an ack that lands
+//! while a read is in flight imposes no visibility obligation on it.
+//!
+//! [`check`]: HistoryChecker::check
+//! [`now`]: HistoryChecker::now
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Mutex;
+
+/// One client-visible event. Timestamps are implicit: an event's logical
+/// time is its index in the checker's log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HistoryEvent {
+    /// A single-key write was acknowledged to `client`.
+    WriteAcked {
+        /// Client that issued the write.
+        client: u32,
+        /// Shard the key hashes to.
+        shard: u32,
+        /// The written key.
+        key: String,
+        /// Whether the ack reported success.
+        ok: bool,
+    },
+    /// A (possibly cross-shard) sequenced transaction was acknowledged.
+    TxnAcked {
+        /// Client that issued the transaction.
+        client: u32,
+        /// Every key the transaction wrote, with its shard.
+        keys: Vec<(u32, String)>,
+        /// Whether the ack reported success.
+        ok: bool,
+    },
+    /// A single-key read completed.
+    Read {
+        /// Client that issued the read.
+        client: u32,
+        /// Shard the key hashes to.
+        shard: u32,
+        /// The key read.
+        key: String,
+        /// Logical time the read was submitted ([`HistoryChecker::now`]
+        /// captured before sending the request).
+        submitted_at: u64,
+        /// Whether the key was present.
+        found: bool,
+    },
+    /// One atomic-visibility probe: a reader scanned one transaction's
+    /// keys on one shard, in the transaction's write order.
+    ReadGroup {
+        /// Client that scanned.
+        client: u32,
+        /// Shard scanned.
+        shard: u32,
+        /// `(key, present)` in write order.
+        keys: Vec<(String, bool)>,
+    },
+    /// A shard's primary was killed.
+    Kill {
+        /// The shard whose primary halted.
+        shard: u32,
+    },
+    /// A replica was promoted to primary for a shard.
+    Promote {
+        /// The shard that failed over.
+        shard: u32,
+    },
+    /// Free-form marker (phase labels for transcript readability).
+    Note {
+        /// Marker text.
+        text: String,
+    },
+}
+
+impl fmt::Display for HistoryEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistoryEvent::WriteAcked {
+                client,
+                shard,
+                key,
+                ok,
+            } => write!(
+                f,
+                "W c{client} s{shard} {key} {}",
+                if *ok { "ok" } else { "err" }
+            ),
+            HistoryEvent::TxnAcked { client, keys, ok } => {
+                write!(f, "T c{client} {}", if *ok { "ok" } else { "err" })?;
+                for (s, k) in keys {
+                    write!(f, " s{s}:{k}")?;
+                }
+                Ok(())
+            }
+            HistoryEvent::Read {
+                client,
+                shard,
+                key,
+                submitted_at,
+                found,
+            } => write!(
+                f,
+                "R c{client} s{shard} {key} @{submitted_at} {}",
+                if *found { "hit" } else { "miss" }
+            ),
+            HistoryEvent::ReadGroup {
+                client,
+                shard,
+                keys,
+            } => {
+                write!(f, "G c{client} s{shard}")?;
+                for (k, present) in keys {
+                    write!(f, " {k}{}", if *present { "+" } else { "-" })?;
+                }
+                Ok(())
+            }
+            HistoryEvent::Kill { shard } => write!(f, "K s{shard}"),
+            HistoryEvent::Promote { shard } => write!(f, "P s{shard}"),
+            HistoryEvent::Note { text } => write!(f, "# {text}"),
+        }
+    }
+}
+
+/// Counts reported by a successful [`HistoryChecker::check`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistorySummary {
+    /// Total events recorded.
+    pub events: usize,
+    /// Successful write acks (single-key plus transaction sub-writes).
+    pub acked_writes: usize,
+    /// Single-key reads checked.
+    pub reads: usize,
+    /// Atomic-visibility probes checked.
+    pub read_groups: usize,
+}
+
+/// Thread-safe event log plus invariant checker. See the module docs.
+#[derive(Debug, Default)]
+pub struct HistoryChecker {
+    log: Mutex<Vec<HistoryEvent>>,
+}
+
+impl HistoryChecker {
+    /// An empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current logical time: the next event's timestamp. Capture this
+    /// *before* submitting a read and pass it to [`read`](Self::read).
+    pub fn now(&self) -> u64 {
+        self.log.lock().expect("history lock").len() as u64
+    }
+
+    /// Append any event.
+    pub fn record(&self, ev: HistoryEvent) {
+        self.log.lock().expect("history lock").push(ev);
+    }
+
+    /// Record a single-key write acknowledgement.
+    pub fn write_acked(&self, client: u32, shard: u32, key: impl Into<String>, ok: bool) {
+        self.record(HistoryEvent::WriteAcked {
+            client,
+            shard,
+            key: key.into(),
+            ok,
+        });
+    }
+
+    /// Record a sequenced-transaction acknowledgement.
+    pub fn txn_acked(&self, client: u32, keys: Vec<(u32, String)>, ok: bool) {
+        self.record(HistoryEvent::TxnAcked { client, keys, ok });
+    }
+
+    /// Record a completed read; `submitted_at` is [`now`](Self::now)
+    /// captured before the request was sent.
+    pub fn read(
+        &self,
+        client: u32,
+        shard: u32,
+        key: impl Into<String>,
+        submitted_at: u64,
+        found: bool,
+    ) {
+        self.record(HistoryEvent::Read {
+            client,
+            shard,
+            key: key.into(),
+            submitted_at,
+            found,
+        });
+    }
+
+    /// Record an atomic-visibility probe over one transaction's keys on
+    /// one shard, in the transaction's write order.
+    pub fn read_group(&self, client: u32, shard: u32, keys: Vec<(String, bool)>) {
+        self.record(HistoryEvent::ReadGroup {
+            client,
+            shard,
+            keys,
+        });
+    }
+
+    /// Record a primary kill.
+    pub fn kill(&self, shard: u32) {
+        self.record(HistoryEvent::Kill { shard });
+    }
+
+    /// Record a promotion.
+    pub fn promote(&self, shard: u32) {
+        self.record(HistoryEvent::Promote { shard });
+    }
+
+    /// Record a phase marker.
+    pub fn note(&self, text: impl Into<String>) {
+        self.record(HistoryEvent::Note { text: text.into() });
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.log.lock().expect("history lock").len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The full event log, one `"{ts:06} {event}"` line per event. Two
+    /// runs of the same seeded chaos scenario must produce byte-identical
+    /// transcripts — that is the replayability contract.
+    pub fn transcript(&self) -> String {
+        let log = self.log.lock().expect("history lock");
+        let mut out = String::new();
+        for (ts, ev) in log.iter().enumerate() {
+            out.push_str(&format!("{ts:06} {ev}\n"));
+        }
+        out
+    }
+
+    /// Checks the three invariants over the recorded history. Returns the
+    /// summary on success, or every violation found (never just the first:
+    /// a chaos run should report the full damage).
+    pub fn check(&self) -> Result<HistorySummary, Vec<String>> {
+        let log = self.log.lock().expect("history lock");
+        let mut violations = Vec::new();
+        let mut summary = HistorySummary {
+            events: log.len(),
+            ..HistorySummary::default()
+        };
+        // First ack timestamp per key (globally and per client), folding
+        // transaction sub-writes in at the transaction's ack time.
+        let mut acked_at: HashMap<&str, u64> = HashMap::new();
+        let mut client_acked_at: HashMap<(u32, &str), u64> = HashMap::new();
+        for (ts, ev) in log.iter().enumerate() {
+            let ts = ts as u64;
+            match ev {
+                HistoryEvent::WriteAcked {
+                    client,
+                    key,
+                    ok: true,
+                    ..
+                } => {
+                    summary.acked_writes += 1;
+                    acked_at.entry(key.as_str()).or_insert(ts);
+                    client_acked_at.entry((*client, key.as_str())).or_insert(ts);
+                }
+                HistoryEvent::TxnAcked {
+                    client,
+                    keys,
+                    ok: true,
+                } => {
+                    for (_, key) in keys {
+                        summary.acked_writes += 1;
+                        acked_at.entry(key.as_str()).or_insert(ts);
+                        client_acked_at.entry((*client, key.as_str())).or_insert(ts);
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (ts, ev) in log.iter().enumerate() {
+            match ev {
+                HistoryEvent::Read {
+                    client,
+                    shard,
+                    key,
+                    submitted_at,
+                    found: false,
+                } => {
+                    summary.reads += 1;
+                    // Invariant 1: the client's own acked write must be
+                    // visible to its later reads.
+                    if let Some(&ack_ts) = client_acked_at.get(&(*client, key.as_str())) {
+                        if *submitted_at > ack_ts {
+                            violations.push(format!(
+                                "read-your-writes: c{client} read {key} (s{shard}) at ts {ts} \
+                                 (submitted @{submitted_at}) missed its own write acked @{ack_ts}"
+                            ));
+                            continue;
+                        }
+                    }
+                    // Invariant 2: any acked write is visible to any read
+                    // submitted after the ack — so the history surviving a
+                    // promotion is the *whole* acked prefix.
+                    if let Some(&ack_ts) = acked_at.get(key.as_str()) {
+                        if *submitted_at > ack_ts {
+                            violations.push(format!(
+                                "acked-prefix: {key} (s{shard}) acked @{ack_ts} but invisible to \
+                                 read at ts {ts} (submitted @{submitted_at})"
+                            ));
+                        }
+                    }
+                }
+                HistoryEvent::Read { found: true, .. } => summary.reads += 1,
+                HistoryEvent::ReadGroup {
+                    client,
+                    shard,
+                    keys,
+                } => {
+                    summary.read_groups += 1;
+                    // Invariant 3: scanning a transaction's keys in write
+                    // order, a present key followed by an absent one means
+                    // the sub-batch was visible partially. (The converse —
+                    // absent then present — is the batch landing between
+                    // the two probes, which atomicity allows.)
+                    let mut seen_present: Option<&str> = None;
+                    for (key, present) in keys {
+                        if *present {
+                            seen_present = Some(key.as_str());
+                        } else if let Some(prev) = seen_present {
+                            violations.push(format!(
+                                "all-or-nothing: c{client} s{shard} probe at ts {ts} saw {prev} \
+                                 but not {key} from the same transaction"
+                            ));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if violations.is_empty() {
+            Ok(summary)
+        } else {
+            Err(violations)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_history_passes_all_invariants() {
+        let h = HistoryChecker::new();
+        h.note("phase: load");
+        h.write_acked(0, 0, "k1", true);
+        let t = h.now();
+        h.read(0, 0, "k1", t, true);
+        h.txn_acked(1, vec![(0, "a".into()), (1, "b".into())], true);
+        let t = h.now();
+        h.read(1, 0, "a", t, true);
+        h.read_group(2, 1, vec![("b".into(), true)]);
+        let s = h.check().expect("no violations");
+        assert_eq!(s.acked_writes, 3);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.read_groups, 1);
+    }
+
+    #[test]
+    fn read_your_writes_violation_is_reported() {
+        let h = HistoryChecker::new();
+        h.write_acked(0, 0, "k1", true);
+        let t = h.now();
+        h.read(0, 0, "k1", t, false);
+        let errs = h.check().unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("read-your-writes")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn read_submitted_before_ack_owes_nothing() {
+        let h = HistoryChecker::new();
+        let t = h.now(); // submitted before the ack below
+        h.write_acked(0, 0, "k1", true);
+        h.read(1, 0, "k1", t, false);
+        h.check().expect("in-flight read owes no visibility");
+    }
+
+    #[test]
+    fn cross_client_acked_write_must_be_visible() {
+        let h = HistoryChecker::new();
+        h.write_acked(0, 0, "k1", true);
+        h.promote(0);
+        let t = h.now();
+        h.read(1, 0, "k1", t, false);
+        let errs = h.check().unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("acked-prefix")), "{errs:?}");
+    }
+
+    #[test]
+    fn txn_sub_writes_count_as_acked() {
+        let h = HistoryChecker::new();
+        h.txn_acked(0, vec![(0, "a".into()), (1, "b".into())], true);
+        let t = h.now();
+        h.read(1, 1, "b", t, false);
+        assert!(h.check().is_err());
+    }
+
+    #[test]
+    fn partial_txn_visibility_is_flagged() {
+        let h = HistoryChecker::new();
+        h.read_group(0, 0, vec![("a".into(), true), ("b".into(), false)]);
+        let errs = h.check().unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("all-or-nothing")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn absent_then_present_is_allowed() {
+        // The batch landed between the two probes: not a violation.
+        let h = HistoryChecker::new();
+        h.read_group(0, 0, vec![("a".into(), false), ("b".into(), true)]);
+        h.check()
+            .expect("absent-then-present is a racing probe, not partial visibility");
+    }
+
+    #[test]
+    fn failed_acks_impose_no_obligation() {
+        let h = HistoryChecker::new();
+        h.write_acked(0, 0, "k1", false);
+        let t = h.now();
+        h.read(0, 0, "k1", t, false);
+        h.check().expect("nacked write owes nothing");
+    }
+
+    #[test]
+    fn transcript_is_line_per_event_with_timestamps() {
+        let h = HistoryChecker::new();
+        h.write_acked(2, 1, "k9", true);
+        h.kill(1);
+        h.promote(1);
+        let t = h.now();
+        h.read(2, 1, "k9", t, true);
+        assert_eq!(
+            h.transcript(),
+            "000000 W c2 s1 k9 ok\n000001 K s1\n000002 P s1\n000003 R c2 s1 k9 @3 hit\n"
+        );
+    }
+}

@@ -27,11 +27,20 @@
 //! * [`ShardedCluster`] — hash-partitioned shard groups (each a full
 //!   replication group) behind shard-aware clients; the medium's merge
 //!   order doubles as the sequencer for cross-shard transactions.
+//! * [`chaos`] — deterministic fault injection for the medium: a seeded
+//!   [`FaultPlan`] of per-edge drop/duplicate/delay/reorder rules and
+//!   partitions, interposed in the pump so every run replays from
+//!   `(seed, plan)`.
+//! * [`history`] — the [`HistoryChecker`]: records client-visible
+//!   acks/reads with logical timestamps and checks read-your-writes,
+//!   acked-prefix-under-promotion, and cross-shard all-or-nothing.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chaos;
 pub mod cluster;
+pub mod history;
 pub mod medium;
 pub mod message;
 pub mod pragma;
@@ -40,7 +49,9 @@ pub mod replica;
 pub mod router;
 pub mod shard;
 
+pub use chaos::{ChaosSnapshot, EdgeRule, FaultPlan, Partition, SiteSel};
 pub use cluster::{ClientHandle, Cluster, NetworkLoad};
+pub use history::{HistoryChecker, HistoryEvent};
 pub use medium::SharedMedium;
 pub use message::{DbPayload, Message, SiteId};
 pub use pragma::{my_site, result_on_prefix, strip_result_on, SitePool};

@@ -24,10 +24,12 @@ use std::sync::{Arc, Mutex};
 use crossbeam::channel::{self, Sender};
 use fundb_lenient::{Stream, StreamWriter};
 
+use crate::chaos::{ChaosSnapshot, ChaosStats, FaultPlan, Injector};
 use crate::message::{Message, SiteId};
 
 enum Ctrl<P> {
     Msg(Message<P>),
+    Tick,
     Close,
 }
 
@@ -76,6 +78,7 @@ pub struct SharedMedium<P> {
     broadcast: Stream<Message<P>>,
     exchange: Arc<Mutex<Exchange<P>>>,
     sent: Arc<AtomicU64>,
+    chaos: Arc<ChaosStats>,
 }
 
 impl<P> Clone for SharedMedium<P> {
@@ -85,6 +88,7 @@ impl<P> Clone for SharedMedium<P> {
             broadcast: self.broadcast.clone(),
             exchange: Arc::clone(&self.exchange),
             sent: Arc::clone(&self.sent),
+            chaos: Arc::clone(&self.chaos),
         }
     }
 }
@@ -99,13 +103,54 @@ impl<P> fmt::Debug for SharedMedium<P> {
     }
 }
 
+/// Delivers one message onto the merge: bump the count, feed matching
+/// inboxes, append to the log, push the broadcast stream. Pump-thread only.
+fn deliver_one<P: Clone>(
+    ex: &Mutex<Exchange<P>>,
+    writer: &mut StreamWriter<Message<P>>,
+    counter: &AtomicU64,
+    msg: Message<P>,
+) {
+    // Count in the pump, not in `send`: a message the pump never accepts
+    // (sent after `close`, or dropped by a fault plan) must not inflate
+    // `message_count`. Incrementing *before* the push keeps the old
+    // guarantee that a reader who has observed a message also observes
+    // its count.
+    counter.fetch_add(1, Ordering::SeqCst);
+    let mut ex = ex.lock().expect("exchange lock");
+    if msg.to == SiteId::BROADCAST {
+        for (w, _) in ex.subs.values_mut() {
+            w.push(msg.clone());
+        }
+    } else if let Some((w, _)) = ex.subs.get_mut(&msg.to) {
+        w.push(msg.clone());
+    }
+    ex.log.push(msg.clone());
+    drop(ex);
+    writer.push(msg);
+}
+
 impl<P: Clone + Send + Sync + 'static> SharedMedium<P> {
     /// Creates a medium and starts its pump.
     pub fn new() -> Self {
+        Self::with_faults(FaultPlan::none())
+    }
+
+    /// Creates a medium whose pump runs every accepted message through
+    /// `plan` before inbox delivery. A faulted message never reaches the
+    /// merge log (drop), reaches it twice (duplicate), or reaches it at a
+    /// later pump step than it arrived (delay, reorder, partition) — so
+    /// late subscribers seeded from the log see exactly the post-fault
+    /// history, gapless and in delivered order. An empty plan adds no
+    /// overhead. Held messages still in flight when the medium closes are
+    /// flushed, in order, before end-of-stream ("links heal at shutdown").
+    pub fn with_faults(plan: FaultPlan) -> Self {
         let (tx, rx) = channel::unbounded::<Ctrl<P>>();
         let (mut writer, broadcast) = Stream::channel();
         let sent = Arc::new(AtomicU64::new(0));
         let counter = Arc::clone(&sent);
+        let chaos = Arc::new(ChaosStats::default());
+        let mut injector = (!plan.is_empty()).then(|| Injector::new(plan, Arc::clone(&chaos)));
         let exchange = Arc::new(Mutex::new(Exchange {
             log: Vec::new(),
             subs: HashMap::new(),
@@ -115,27 +160,27 @@ impl<P: Clone + Send + Sync + 'static> SharedMedium<P> {
         std::thread::spawn(move || {
             for ctrl in rx {
                 match ctrl {
-                    Ctrl::Msg(msg) => {
-                        // Count in the pump, not in `send`: a message the
-                        // pump never accepts (sent after `close`) must not
-                        // inflate `message_count`. Incrementing *before*
-                        // the push keeps the old guarantee that a reader
-                        // who has observed a message also observes its
-                        // count.
-                        counter.fetch_add(1, Ordering::SeqCst);
-                        let mut ex = ex.lock().expect("exchange lock");
-                        if msg.to == SiteId::BROADCAST {
-                            for (w, _) in ex.subs.values_mut() {
-                                w.push(msg.clone());
+                    Ctrl::Msg(msg) => match injector.as_mut() {
+                        None => deliver_one(&ex, &mut writer, &counter, msg),
+                        Some(inj) => {
+                            for m in inj.admit(msg) {
+                                deliver_one(&ex, &mut writer, &counter, m);
                             }
-                        } else if let Some((w, _)) = ex.subs.get_mut(&msg.to) {
-                            w.push(msg.clone());
                         }
-                        ex.log.push(msg.clone());
-                        drop(ex);
-                        writer.push(msg);
+                    },
+                    Ctrl::Tick => {
+                        if let Some(inj) = injector.as_mut() {
+                            for m in inj.tick() {
+                                deliver_one(&ex, &mut writer, &counter, m);
+                            }
+                        }
                     }
                     Ctrl::Close => break,
+                }
+            }
+            if let Some(inj) = injector.as_mut() {
+                for m in inj.drain() {
+                    deliver_one(&ex, &mut writer, &counter, m);
                 }
             }
             let mut ex = ex.lock().expect("exchange lock");
@@ -151,7 +196,23 @@ impl<P: Clone + Send + Sync + 'static> SharedMedium<P> {
             broadcast,
             exchange,
             sent,
+            chaos,
         }
+    }
+
+    /// Point-in-time fault counters (all zero without a fault plan).
+    pub fn chaos_stats(&self) -> ChaosSnapshot {
+        self.chaos.snapshot()
+    }
+
+    /// Advances the fault plan's logical clock by one pump step without
+    /// sending a message, releasing any held message that comes due. A
+    /// quiesced system — every client blocked on a reply a fault is
+    /// holding — generates no traffic, so pump steps would never advance;
+    /// a waiting driver calls `tick` to make logical time pass instead.
+    /// No-op without a fault plan.
+    pub fn tick(&self) {
+        let _ = self.sender.send(Ctrl::Tick);
     }
 
     /// Puts a message on the medium. Arrival order on the broadcast stream
@@ -198,7 +259,9 @@ impl<P: Clone + Send + Sync + 'static> SharedMedium<P> {
         stream
     }
 
-    /// Messages sent so far.
+    /// Messages delivered onto the merge so far. Under a fault plan a
+    /// dropped message is never counted and a duplicated one counts twice;
+    /// without faults this is exactly the number of accepted sends.
     pub fn message_count(&self) -> u64 {
         self.sent.load(Ordering::SeqCst)
     }
@@ -306,6 +369,65 @@ mod tests {
             1,
             "a message dropped by close() must not be counted"
         );
+    }
+
+    #[test]
+    fn late_subscriber_seeding_races_concurrent_sends() {
+        // Pins the `choose` seeding contract under contention: a subscriber
+        // arriving while senders are mid-burst must see every already-logged
+        // message exactly once (seeded from `ex.log`) followed by the rest
+        // (live delivery), with no gap or duplicate at the handoff. The
+        // seeding and the pump's delivery hold the same exchange mutex, so
+        // per-sender sequences must come out contiguous regardless of when
+        // the subscription lands.
+        let medium: SharedMedium<u64> = SharedMedium::new();
+        let senders: Vec<_> = (0..4)
+            .map(|s| {
+                let m = medium.clone();
+                thread::spawn(move || {
+                    for i in 0..100 {
+                        m.send(Message::new(SiteId(s), SiteId(5), i, i));
+                    }
+                })
+            })
+            .collect();
+        // Subscribe repeatedly mid-flight; each subscription is an
+        // independent late subscriber.
+        let inboxes: Vec<_> = (0..8).map(|_| medium.choose(SiteId(5))).collect();
+        for h in senders {
+            h.join().unwrap();
+        }
+        for inbox in inboxes {
+            let msgs = inbox.take(400).collect_vec();
+            assert_eq!(msgs.len(), 400);
+            for s in 0..4 {
+                let seqs: Vec<u64> = msgs
+                    .iter()
+                    .filter(|m| m.from == SiteId(s))
+                    .map(|m| m.seq)
+                    .collect();
+                assert_eq!(
+                    seqs,
+                    (0..100).collect::<Vec<_>>(),
+                    "late subscriber lost or duplicated messages from sender {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn choose_after_close_seeds_full_admitted_history() {
+        // A subscriber that arrives only after the medium has closed still
+        // gets the complete admitted history for its site — `choose` seeds
+        // from `ex.log` and the closed flag terminates the stream after it.
+        let medium: SharedMedium<u8> = SharedMedium::new();
+        for i in 0..5 {
+            medium.send(Message::new(SiteId(0), SiteId(7), i, i as u8));
+        }
+        medium.close();
+        let inbox = medium.choose(SiteId(7));
+        let got: Vec<u8> = inbox.collect_vec().iter().map(|m| m.payload).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
     }
 
     #[test]

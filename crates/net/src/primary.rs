@@ -50,6 +50,11 @@ pub(crate) struct SequencedWork {
 /// acknowledges — a replica that processes the copy has the corresponding
 /// data already queued, and can strike the transaction off its
 /// might-need-replay buffer.
+///
+/// Every ack is also idempotent at its receiver — the client removes the
+/// pending entry, the replica's strike is a no-op the second time — so a
+/// duplicating or reordering link (the chaos harness's stock faults,
+/// DESIGN.md §15) cannot double-apply a sequenced transaction.
 pub(crate) fn spawn_acker(
     medium: SharedMedium<DbPayload>,
     site: SiteId,

@@ -54,6 +54,7 @@ use fundb_query::{parse, translate, Query, Response};
 use fundb_relational::{Database, RelationName};
 use parking_lot::Mutex;
 
+use crate::chaos::FaultPlan;
 use crate::cluster::ClientHandle;
 use crate::medium::SharedMedium;
 use crate::message::{DbPayload, Message, SiteId};
@@ -790,8 +791,25 @@ impl ReplicatedCluster {
         workers: usize,
         replicas: usize,
     ) -> io::Result<ReplicatedCluster> {
+        Self::start_with_faults(dir, clients, workers, replicas, FaultPlan::none())
+    }
+
+    /// Like [`start`](Self::start), but the medium runs every message
+    /// through `plan` (see [`SharedMedium::with_faults`]) — the chaos
+    /// harness's single-shard entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` is zero.
+    pub fn start_with_faults(
+        dir: &Path,
+        clients: usize,
+        workers: usize,
+        replicas: usize,
+        plan: FaultPlan,
+    ) -> io::Result<ReplicatedCluster> {
         assert!(clients > 0, "cluster needs at least one client");
-        let medium: SharedMedium<DbPayload> = SharedMedium::new();
+        let medium: SharedMedium<DbPayload> = SharedMedium::with_faults(plan);
         let primary = Arc::new(AtomicU32::new(0));
         let batches_sent = Arc::new(AtomicU64::new(0));
         let replica_sites: Vec<SiteId> = (1..=replicas).map(|i| SiteId(i as u32)).collect();
@@ -889,6 +907,17 @@ impl ReplicatedCluster {
     /// Total messages that crossed the medium so far.
     pub fn message_count(&self) -> u64 {
         self.medium.message_count()
+    }
+
+    /// Advances the fault plan's logical clock one pump step (see
+    /// [`SharedMedium::tick`]). No-op without a fault plan.
+    pub fn tick(&self) {
+        self.medium.tick();
+    }
+
+    /// Point-in-time fault counters (all zero without a fault plan).
+    pub fn chaos_stats(&self) -> crate::chaos::ChaosSnapshot {
+        self.medium.chaos_stats()
     }
 
     fn ctl(&self, to: SiteId, payload: DbPayload) {

@@ -55,6 +55,7 @@ use fundb_durable::DurableEngine;
 use fundb_relational::Value;
 use parking_lot::Mutex;
 
+use crate::chaos::{ChaosSnapshot, FaultPlan};
 use crate::cluster::ClientHandle;
 use crate::medium::SharedMedium;
 use crate::message::{DbPayload, Message, SiteId};
@@ -283,6 +284,7 @@ impl ClusterStats {
                     )
                 })
                 .collect(),
+            chaos: ChaosSnapshot::default(),
         }
     }
 }
@@ -311,6 +313,10 @@ pub struct ClusterStatsSnapshot {
     pub sequencer_acks: u64,
     /// Per shard, at the last `sync`: (batches shipped, batches applied).
     pub shard_lag: Vec<(u64, u64)>,
+    /// Fault-injection counters from the medium (all zero without a
+    /// [`FaultPlan`]). Filled by [`ShardedCluster::stats`];
+    /// [`ClusterStats::snapshot`] has no medium and reports zeros.
+    pub chaos: ChaosSnapshot,
 }
 
 impl fmt::Display for ClusterStatsSnapshot {
@@ -332,7 +338,7 @@ impl fmt::Display for ClusterStatsSnapshot {
         for (shard, (shipped, applied)) in self.shard_lag.iter().enumerate() {
             write!(f, " s{shard}:{applied}/{shipped}")?;
         }
-        Ok(())
+        write!(f, " · {}", self.chaos)
     }
 }
 
@@ -398,9 +404,34 @@ impl ShardedCluster {
         workers: usize,
         replicas_per_shard: usize,
     ) -> io::Result<ShardedCluster> {
+        Self::start_with_faults(
+            dir,
+            shards,
+            clients,
+            workers,
+            replicas_per_shard,
+            FaultPlan::none(),
+        )
+    }
+
+    /// Like [`start`](Self::start), but the medium runs every message
+    /// through `plan` — the chaos harness's entry point. Fault counters
+    /// surface through [`stats`](Self::stats).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `clients` is zero.
+    pub fn start_with_faults(
+        dir: &Path,
+        shards: u32,
+        clients: usize,
+        workers: usize,
+        replicas_per_shard: usize,
+        plan: FaultPlan,
+    ) -> io::Result<ShardedCluster> {
         assert!(shards > 0, "cluster needs at least one shard");
         assert!(clients > 0, "cluster needs at least one client");
-        let medium: SharedMedium<DbPayload> = SharedMedium::new();
+        let medium: SharedMedium<DbPayload> = SharedMedium::with_faults(plan);
         let map = ShardMap::new(shards);
         let stride = replicas_per_shard as u32 + 1;
         let mut groups = Vec::with_capacity(shards as usize);
@@ -541,6 +572,12 @@ impl ShardedCluster {
         self.medium.message_count()
     }
 
+    /// Advances the fault plan's logical clock one pump step (see
+    /// [`SharedMedium::tick`]). No-op without a fault plan.
+    pub fn tick(&self) {
+        self.medium.tick();
+    }
+
     /// A snapshot of the cluster's traffic counters, with each shard's
     /// shipped count refreshed (applied counts refresh at [`sync`]).
     ///
@@ -550,7 +587,9 @@ impl ShardedCluster {
             self.stats
                 .record_shipped(g.shard as usize, g.batches.load(Ordering::SeqCst));
         }
-        self.stats.snapshot()
+        let mut snap = self.stats.snapshot();
+        snap.chaos = self.medium.chaos_stats();
+        snap
     }
 
     fn ctl(&self, to: SiteId, payload: DbPayload) {

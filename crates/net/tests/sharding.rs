@@ -8,7 +8,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use fundb_durable::ScratchDir;
-use fundb_net::{result_on_prefix, ShardedCluster};
+use fundb_net::{result_on_prefix, FaultPlan, Partition, ShardedCluster, SiteId};
 use fundb_query::Response;
 use fundb_relational::{Tuple, Value};
 use proptest::prelude::*;
@@ -314,5 +314,86 @@ fn sharded_cluster_recovers_all_shards_after_restart() {
         assert_found(&c.submit(&format!("find {k} in R")).wait_cloned(), k);
     }
     assert_eq!(*c.submit("count R").wait(), Response::Count(30));
+    cluster.shutdown();
+}
+
+/// Pins the scope of `fail_pending_to` at promotion: only requests whose
+/// destination is the *dead* primary are failed. A request in flight to a
+/// healthy shard's primary — here held up by a one-way client partition,
+/// the network equivalent of a slow link — must survive the other shard's
+/// failover untouched and complete once the link heals.
+///
+/// Site layout (2 shards, 1 replica each): shard 0 = sites 0/1, shard 1 =
+/// sites 2/3, clients = sites 4/5.
+#[test]
+fn promotion_fails_only_requests_bound_for_the_dead_primary() {
+    let tmp = ScratchDir::new("shard-fail-scope");
+    // Hold client 1's traffic toward shard 1's primary until step 600;
+    // everything else flows normally.
+    let plan = FaultPlan::seeded(0xFA11).partition(
+        Partition::between(vec![SiteId(5)], vec![SiteId(2)])
+            .one_way()
+            .heal_at(600),
+    );
+    let mut cluster = ShardedCluster::start_with_faults(tmp.path(), 2, 2, 2, 1, plan).unwrap();
+    let c0 = cluster.client(0);
+    let c1 = cluster.client(1);
+    assert!(!c0.submit("create relation R").wait().is_error());
+
+    let k_shard1 = (0..)
+        .find(|&k| cluster.shard_of(&Value::from(k)) == 1)
+        .unwrap();
+    let k_shard0 = (0..)
+        .find(|&k| cluster.shard_of(&Value::from(k)) == 0)
+        .unwrap();
+
+    // Client 1's write to the *healthy* shard is admitted but held by the
+    // partition — pending against site 2 when the failover happens.
+    let held = c1.submit(&format!("insert {k_shard1} into R"));
+
+    // Kill shard 0's primary, then submit a write that routes to the dead
+    // site — pending against site 0 with no reply ever coming.
+    cluster.kill_primary(0);
+    let doomed = c0.submit(&format!("insert {k_shard0} into R"));
+    assert!(
+        doomed.try_get().is_none(),
+        "nothing should answer for a dead primary"
+    );
+
+    cluster.promote(0, SiteId(1));
+
+    // fail_pending_to(site 0) resolves the doomed request with an error...
+    let resp = doomed
+        .wait_timeout(Duration::from_secs(10))
+        .expect("promotion must fail requests bound for the dead primary")
+        .clone();
+    assert!(
+        matches!(&resp, Response::Error(e) if e.contains("halted")),
+        "expected the promotion error, got {resp:?}"
+    );
+    // ...but must NOT touch client 1's request to the healthy shard: the
+    // step clock is far from 600, so it is still pending, not failed.
+    assert!(
+        held.try_get().is_none(),
+        "a request to a healthy primary was failed by an unrelated promotion: {:?}",
+        held.try_get()
+    );
+
+    // Tick the fault clock past the heal; the held request is released,
+    // shard 1's primary answers, and the write lands.
+    let resp = loop {
+        if let Some(r) = held.wait_timeout(Duration::from_millis(1)) {
+            break r.clone();
+        }
+        cluster.tick();
+    };
+    assert!(
+        !resp.is_error(),
+        "the surviving request must complete after the heal: {resp:?}"
+    );
+    assert_found(
+        &c0.submit(&format!("find {k_shard1} in R")).wait_cloned(),
+        k_shard1,
+    );
     cluster.shutdown();
 }

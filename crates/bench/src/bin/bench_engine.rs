@@ -22,6 +22,14 @@
 //! the same pipelined engine over a database without (full scan) and with
 //! (index pushdown) a secondary index on that attribute.
 //!
+//! The `analytic` pair ([`fundb_workload::AnalyticSpec`]) extends that to
+//! the cost-based planner's richer access paths over a TPC-H-flavored
+//! order/lineitem schema: `analytic_join` measures the star join
+//! (build-and-probe vs index nested loop over the join index) and
+//! `analytic_point` measures composite point selections (single-column
+//! index plus residual filter vs one composite-index probe). Both hold
+//! the engine fixed and compare `baseline` vs `planned` databases.
+//!
 //! Run from the repository root to refresh the checked-in record:
 //!
 //! ```text
@@ -53,7 +61,7 @@ use fundb_core::{ClassicEngine, PipelinedEngine};
 use fundb_lenient::Lenient;
 use fundb_query::{Response, Transaction};
 use fundb_relational::Database;
-use fundb_workload::{HotPathSpec, SelectiveSpec};
+use fundb_workload::{AnalyticSpec, HotPathSpec, SelectiveSpec};
 
 const CLIENTS: usize = 4;
 const OPS_PER_CLIENT: usize = 8000;
@@ -67,6 +75,18 @@ const BATCH_KEY_SPACE: u64 = 1024;
 const SELECTIVE_TUPLES: usize = 100_000;
 const SELECTIVE_GROUPS: i64 = 1_000;
 const SELECTIVE_OPS_PER_CLIENT: usize = 200;
+/// `analytic` joins a 500-row order relation against a million-tuple fact
+/// relation and point-probes composite attributes of the latter; the
+/// baseline side pays a build-and-probe pass (joins) or a residual filter
+/// over wide postings (points) per query, so per-query op counts stay
+/// small.
+const ANALYTIC_ORDERS: usize = 500;
+const ANALYTIC_ORDER_SPAN: i64 = 50_000;
+const ANALYTIC_LINEITEMS: usize = 1_000_000;
+const ANALYTIC_PARTS: i64 = 1_000;
+const ANALYTIC_SUPPS: i64 = 10;
+const ANALYTIC_JOIN_OPS: usize = 4;
+const ANALYTIC_POINT_OPS: usize = 200;
 const REPETITIONS: usize = 7;
 const WORKER_COUNTS: [usize; 3] = [1, 4, 8];
 /// Pool width for the instrumented latency repetition.
@@ -78,6 +98,13 @@ struct Config {
     selective_tuples: usize,
     selective_groups: i64,
     selective_ops_per_client: usize,
+    analytic_orders: usize,
+    analytic_order_span: i64,
+    analytic_lineitems: usize,
+    analytic_parts: i64,
+    analytic_supps: i64,
+    analytic_join_ops: usize,
+    analytic_point_ops: usize,
     repetitions: usize,
     smoke: bool,
     /// `--only <workload>`: restrict the run to one workload by name.
@@ -97,6 +124,13 @@ impl Config {
             selective_tuples: if smoke { 2_000 } else { SELECTIVE_TUPLES },
             selective_groups: if smoke { 50 } else { SELECTIVE_GROUPS },
             selective_ops_per_client: if smoke { 25 } else { SELECTIVE_OPS_PER_CLIENT },
+            analytic_orders: if smoke { 50 } else { ANALYTIC_ORDERS },
+            analytic_order_span: if smoke { 500 } else { ANALYTIC_ORDER_SPAN },
+            analytic_lineitems: if smoke { 5_000 } else { ANALYTIC_LINEITEMS },
+            analytic_parts: if smoke { 50 } else { ANALYTIC_PARTS },
+            analytic_supps: if smoke { 5 } else { ANALYTIC_SUPPS },
+            analytic_join_ops: if smoke { 3 } else { ANALYTIC_JOIN_OPS },
+            analytic_point_ops: if smoke { 25 } else { ANALYTIC_POINT_OPS },
             repetitions: if smoke { 1 } else { REPETITIONS },
             smoke,
             only,
@@ -283,6 +317,17 @@ struct LatencyRow {
     right_p99: f64,
 }
 
+/// Side labels for a workload name (see [`Row::side_labels`]).
+fn side_labels_of(workload: &str) -> (&'static str, &'static str) {
+    if workload == "selective" {
+        ("scan", "indexed")
+    } else if workload.starts_with("analytic") {
+        ("baseline", "planned")
+    } else {
+        ("classic", "current")
+    }
+}
+
 /// The no-engine floor: one thread folding every transaction in sequence.
 fn sequential_floor(db: &Database, clients: &[Vec<Transaction>], repetitions: usize) -> f64 {
     let total: usize = clients.iter().map(Vec::len).sum();
@@ -316,14 +361,11 @@ impl Row {
     }
 
     /// What the two measured sides are. The hot-path workloads compare
-    /// engines on one database; `selective` compares one engine (the
-    /// current one, which plans) on scan-only vs indexed databases.
+    /// engines on one database; `selective` and the `analytic` pair
+    /// compare one engine (the current one, which plans) across databases
+    /// offering different access paths.
     fn side_labels(&self) -> (&'static str, &'static str) {
-        if self.workload == "selective" {
-            ("scan", "indexed")
-        } else {
-            ("classic", "current")
-        }
+        side_labels_of(self.workload)
     }
 }
 
@@ -380,6 +422,10 @@ fn main() {
 
     if config.runs("selective") {
         run_selective(&config, &mut rows, &mut floors, &mut latencies);
+    }
+
+    if config.runs("analytic") {
+        run_analytic(&config, &mut rows, &mut floors, &mut latencies);
     }
 
     if config.smoke {
@@ -469,6 +515,83 @@ fn run_selective(
     });
 }
 
+/// The `analytic` pair: a TPC-H-flavored star join and composite point
+/// selections, both run against the same pipelined engine over a
+/// `baseline` database (single-column index on `Lineitem#2` only — joins
+/// fall back to build-and-probe, composite selections to a residual
+/// filter) and a `planned` database (join index plus composite index —
+/// index-nested-loop joins and one-probe composite lookups). Each ratio
+/// isolates one cost-based planner decision.
+fn run_analytic(
+    config: &Config,
+    rows: &mut Vec<Row>,
+    floors: &mut Vec<(&'static str, f64)>,
+    latencies: &mut Vec<LatencyRow>,
+) {
+    let join_spec = AnalyticSpec {
+        clients: CLIENTS,
+        ops_per_client: config.analytic_join_ops,
+        orders: config.analytic_orders,
+        order_span: config.analytic_order_span,
+        lineitems: config.analytic_lineitems,
+        parts: config.analytic_parts,
+        supps: config.analytic_supps,
+        seed: 0xbe56,
+    };
+    let point_spec = AnalyticSpec {
+        ops_per_client: config.analytic_point_ops,
+        ..join_spec
+    };
+    let baseline_db = AnalyticSpec::baseline(&join_spec.initial());
+    let planned_db = AnalyticSpec::planned(&baseline_db);
+    // Baseline joins rebuild an inner map per query, so the whole pair is
+    // capped at a few repetitions: best-of-3 is stable for queries this
+    // long, and the floor (equally dominated by per-query work) runs once.
+    let reps = config.repetitions.min(3);
+    let streams: [(&'static str, Vec<Vec<Transaction>>); 2] = [
+        ("analytic_join", join_spec.all_join_clients()),
+        ("analytic_point", point_spec.all_point_clients()),
+    ];
+    for (name, clients) in streams {
+        let floor = sequential_floor(&baseline_db, &clients, 1);
+        println!("{name:<12} sequential floor: {floor:>12.0} ops/s");
+        floors.push((name, floor));
+        for &workers in &WORKER_COUNTS {
+            let (baseline, planned) = measure(
+                || Box::new(PipelinedEngine::new(workers, &baseline_db)),
+                || Box::new(PipelinedEngine::new(workers, &planned_db)),
+                &clients,
+                reps,
+            );
+            push_row(
+                Row {
+                    workload: name,
+                    workers,
+                    classic: baseline,
+                    current: planned,
+                },
+                rows,
+            );
+        }
+        let baseline_engine = PipelinedEngine::new(LATENCY_WORKERS, &baseline_db);
+        let (left_p50, left_p99) = latency_side(&baseline_engine, &clients);
+        let planned_engine = PipelinedEngine::new(LATENCY_WORKERS, &planned_db);
+        let (right_p50, right_p99) = latency_side(&planned_engine, &clients);
+        println!(
+            "{name:<12} latency µs (p50/p99) baseline={left_p50:.0}/{left_p99:.0}  \
+             planned={right_p50:.0}/{right_p99:.0}"
+        );
+        println!("{name:<12} stats: {}", planned_engine.stats());
+        latencies.push(LatencyRow {
+            workload: name,
+            left_p50,
+            left_p99,
+            right_p50,
+            right_p99,
+        });
+    }
+}
+
 fn render_json(
     rows: &[Row],
     floors: &[(&str, f64)],
@@ -481,7 +604,9 @@ fn render_json(
         "  \"benchmark\": \"pipelined engine hot path: classic (coarse lock, job-per-txn) \
          vs current (sharded frontier, write coalescing, read fast-path); the selective \
          workload instead holds the current engine fixed and compares full-scan vs \
-         secondary-index access paths\",\n",
+         secondary-index access paths, and the analytic pair compares baseline vs planned \
+         access paths (build-and-probe vs index-nested-loop joins, single-column-plus-\
+         residual vs composite point probes)\",\n",
     );
     out.push_str("  \"regenerate\": \"cargo run --release -p fundb-bench --bin bench_engine\",\n");
     out.push_str(&format!(
@@ -514,11 +639,7 @@ fn render_json(
     ));
     out.push_str("  \"latency_us\": [\n");
     for (i, lat) in latencies.iter().enumerate() {
-        let (left, right) = if lat.workload == "selective" {
-            ("scan", "indexed")
-        } else {
-            ("classic", "current")
-        };
+        let (left, right) = side_labels_of(lat.workload);
         out.push_str(&format!(
             "    {{\"workload\": \"{}\", \"{left}_p50\": {:.1}, \"{left}_p99\": {:.1}, \
              \"{right}_p50\": {:.1}, \"{right}_p99\": {:.1}}}{}\n",

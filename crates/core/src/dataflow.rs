@@ -362,7 +362,7 @@ impl DataflowCompiler {
                         }
                     }
                 }),
-                Query::Join { left, right } => {
+                Query::Join { left, right, .. } => {
                     // Intra-transaction flooding: the two relations' scans
                     // proceed independently (each gated only on its own
                     // spine entry and cells), then a join step consumes
@@ -433,7 +433,9 @@ impl DataflowCompiler {
                         cell
                     }
                 }
-                Query::Names => entry,
+                // Planning touches no cells: like `relations`, it gates only
+                // on the spine entry.
+                Query::Explain(_) | Query::Names => entry,
             };
 
             // Cons the response onto the reply stream.

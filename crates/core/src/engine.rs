@@ -62,7 +62,9 @@ use std::sync::Arc;
 
 use fundb_lenient::{scatter, spawn_on_current_pool, AtomicArc, Lenient, WorkerPool};
 use fundb_query::ast::compute_aggregate;
-use fundb_query::plan::execute_select;
+use fundb_query::plan::{
+    choose_join_strategy, execute_join_explained, execute_select_explained, explain_select,
+};
 use fundb_query::{FieldRef, Query, Response, Transaction};
 use fundb_relational::{BatchOp, BatchOutcome, Database, Relation, RelationName, Schema};
 use parking_lot::{Mutex, MutexGuard, RwLock};
@@ -154,16 +156,20 @@ fn apply_single(first: &Relation, q: Query) -> (Relation, Response) {
         Query::CreateIndex {
             relation,
             name,
-            field,
+            fields,
         } => {
-            // Submission normalized the field to a position, so the
+            // Submission normalized every field to a position, so the
             // index definition needs no schema here. A duplicate is
             // answered with the same error string as the translate
             // path; its logged record replays as the same no-op.
-            let pos = field
-                .resolve(None)
-                .expect("index field normalized to a position at submission");
-            match first.create_index(&name, pos) {
+            let positions: Vec<usize> = fields
+                .iter()
+                .map(|f| {
+                    f.resolve(None)
+                        .expect("index fields normalized to positions at submission")
+                })
+                .collect();
+            match first.create_index_multi(&name, &positions) {
                 Some(next) => (next, Response::IndexCreated { relation, name }),
                 None => (
                     first.clone(),
@@ -920,6 +926,7 @@ impl PipelinedEngine {
 
                 let response = Lenient::new();
                 let out = response.clone();
+                let stats = Arc::clone(&self.stats);
                 self.pool.spawn(move || {
                     let rel = input.wait();
                     let resp = match &query {
@@ -929,8 +936,16 @@ impl PipelinedEngine {
                             projection,
                             predicate,
                             ..
-                        } => match execute_select(rel, schema.as_ref(), projection, predicate) {
-                            Ok(tuples) => Response::Tuples(tuples),
+                        } => match execute_select_explained(
+                            rel,
+                            schema.as_ref(),
+                            projection,
+                            predicate,
+                        ) {
+                            Ok((tuples, path)) => {
+                                stats.record_path(&path);
+                                Response::Tuples(tuples)
+                            }
                             Err(e) => Response::Error(e),
                         },
                         Query::Count { .. } => Response::Count(rel.len()),
@@ -949,13 +964,30 @@ impl PipelinedEngine {
                 });
                 out
             }
-            Query::Join { left, right } => {
+            Query::Join { left, right, on } => {
                 let (l_slot, r_slot) = match (self.slot(left), self.slot(right)) {
                     (Some(l), Some(r)) => (l, r),
                     _ => {
                         return Lenient::ready(Response::Error(format!(
                             "no such relation in: join {left} with {right}"
                         )));
+                    }
+                };
+                // Resolve the join attributes against the static schemas at
+                // submission — name errors answer before any version is
+                // pinned, like every other schema failure.
+                let on = match on {
+                    None => None,
+                    Some((lf, rf)) => {
+                        let lp = match lf.resolve(l_slot.schema.as_ref()) {
+                            Ok(p) => p,
+                            Err(e) => return Lenient::ready(Response::Error(e)),
+                        };
+                        let rp = match rf.resolve(r_slot.schema.as_ref()) {
+                            Ok(p) => p,
+                            Err(e) => return Lenient::ready(Response::Error(e)),
+                        };
+                        Some((lp, rp))
                     }
                 };
                 // Pin both sides as one atomic cut, locking in name order so
@@ -982,40 +1014,169 @@ impl PipelinedEngine {
                 };
                 let response = Lenient::new();
                 let out = response.clone();
+                let stats = Arc::clone(&self.stats);
                 self.pool.spawn(move || {
                     // Intra-transaction flooding: both sides' availability
                     // is awaited, but each was produced independently.
                     let left_rel = l.wait();
                     let right_rel = r.wait();
-                    response
-                        .fill(Response::Tuples(left_rel.join_by_key(right_rel)))
-                        .ok();
+                    let (tuples, strategy) = execute_join_explained(left_rel, right_rel, on);
+                    stats.record_join(&strategy);
+                    response.fill(Response::Tuples(tuples)).ok();
                 });
                 out
             }
+            Query::Explain(inner) => match inner.as_ref() {
+                // Planning still pins a version: estimates come from the
+                // same relation value the read would have run against.
+                Query::Select {
+                    relation,
+                    predicate,
+                    ..
+                } => {
+                    let Some(slot) = self.slot(relation) else {
+                        return Lenient::ready(Response::Error(format!(
+                            "no such relation: {relation}"
+                        )));
+                    };
+                    slot.read_seen.store(true, Ordering::Relaxed);
+                    let (input, _batch) = self.pin(&slot);
+                    let schema = slot.schema.clone();
+                    let predicate = predicate.clone();
+                    let response = Lenient::new();
+                    let out = response.clone();
+                    self.pool.spawn(move || {
+                        let rel = input.wait();
+                        let resp = match explain_select(rel, schema.as_ref(), &predicate) {
+                            Ok((path, est)) => Response::Plan {
+                                plan: path.to_string(),
+                                estimated_rows: est,
+                            },
+                            Err(e) => Response::Error(e),
+                        };
+                        response.fill(resp).ok();
+                    });
+                    out
+                }
+                Query::Find { relation, key } => {
+                    if self.slot(relation).is_none() {
+                        return Lenient::ready(Response::Error(format!(
+                            "no such relation: {relation}"
+                        )));
+                    }
+                    Lenient::ready(Response::Plan {
+                        plan: format!("key eq find (#0 = {key})"),
+                        estimated_rows: 1,
+                    })
+                }
+                Query::FindRange { relation, lo, hi } => {
+                    let Some(slot) = self.slot(relation) else {
+                        return Lenient::ready(Response::Error(format!(
+                            "no such relation: {relation}"
+                        )));
+                    };
+                    slot.read_seen.store(true, Ordering::Relaxed);
+                    let (input, _batch) = self.pin(&slot);
+                    let plan = format!("key range find (#0 in {lo}..{hi})");
+                    let response = Lenient::new();
+                    let out = response.clone();
+                    self.pool.spawn(move || {
+                        let rel = input.wait();
+                        response
+                            .fill(Response::Plan {
+                                plan,
+                                estimated_rows: (rel.len() / 4).max(1),
+                            })
+                            .ok();
+                    });
+                    out
+                }
+                Query::Join { left, right, on } => {
+                    let (l_slot, r_slot) = match (self.slot(left), self.slot(right)) {
+                        (Some(l), Some(r)) => (l, r),
+                        _ => {
+                            return Lenient::ready(Response::Error(format!(
+                                "no such relation in: join {left} with {right}"
+                            )));
+                        }
+                    };
+                    let on = match on {
+                        None => None,
+                        Some((lf, rf)) => {
+                            let lp = match lf.resolve(l_slot.schema.as_ref()) {
+                                Ok(p) => p,
+                                Err(e) => return Lenient::ready(Response::Error(e)),
+                            };
+                            let rp = match rf.resolve(r_slot.schema.as_ref()) {
+                                Ok(p) => p,
+                                Err(e) => return Lenient::ready(Response::Error(e)),
+                            };
+                            Some((lp, rp))
+                        }
+                    };
+                    l_slot.read_seen.store(true, Ordering::Relaxed);
+                    r_slot.read_seen.store(true, Ordering::Relaxed);
+                    let (l, r) = if left == right {
+                        let (cell, _) = self.pin(&l_slot);
+                        (cell.clone(), cell)
+                    } else if left.as_str() < right.as_str() {
+                        let mut lg = l_slot.state.lock();
+                        let mut rg = r_slot.state.lock();
+                        self.seal_and_promote(&l_slot, &mut lg);
+                        self.seal_and_promote(&r_slot, &mut rg);
+                        (lg.head.share(), rg.head.share())
+                    } else {
+                        let mut rg = r_slot.state.lock();
+                        let mut lg = l_slot.state.lock();
+                        self.seal_and_promote(&l_slot, &mut lg);
+                        self.seal_and_promote(&r_slot, &mut rg);
+                        (lg.head.share(), rg.head.share())
+                    };
+                    let response = Lenient::new();
+                    let out = response.clone();
+                    self.pool.spawn(move || {
+                        let left_rel = l.wait();
+                        let right_rel = r.wait();
+                        let (strategy, est) = choose_join_strategy(left_rel, right_rel, on);
+                        response
+                            .fill(Response::Plan {
+                                plan: strategy.to_string(),
+                                estimated_rows: est,
+                            })
+                            .ok();
+                    });
+                    out
+                }
+                other => Lenient::ready(Response::Error(format!(
+                    "explain supports select, join and find, not '{other}'"
+                ))),
+            },
             Query::CreateIndex {
                 relation,
                 name,
-                field,
+                fields,
             } => {
                 let Some(slot) = self.slot(relation) else {
                     return Lenient::ready(Response::Error(format!(
                         "no such relation: {relation}"
                     )));
                 };
-                // Resolve the field against the slot's static schema at
+                // Resolve every field against the slot's static schema at
                 // submission, so the logged record and the apply arm agree
-                // on a position regardless of how the schema is spelled.
-                let pos = match field.resolve(slot.schema.as_ref()) {
-                    Ok(p) => p,
-                    Err(e) => {
-                        return Lenient::ready(Response::Error(e));
+                // on positions regardless of how the schema is spelled.
+                let mut normalized_fields = Vec::with_capacity(fields.len());
+                for field in fields {
+                    match field.resolve(slot.schema.as_ref()) {
+                        Ok(p) => normalized_fields.push(FieldRef::Index(p)),
+                        Err(e) => {
+                            return Lenient::ready(Response::Error(e));
+                        }
                     }
-                };
+                }
                 let normalized = Query::CreateIndex {
                     relation: relation.clone(),
                     name: name.clone(),
-                    field: FieldRef::Index(pos),
+                    fields: normalized_fields,
                 };
                 let mut state = slot.state.lock();
                 let seq = state.next_seq;
@@ -1349,6 +1510,46 @@ mod tests {
         assert_eq!(j.wait().tuples().unwrap().len(), 1);
         let bad = engine.submit(txn("join R with Nope"));
         assert!(bad.wait().is_error());
+    }
+
+    #[test]
+    fn explain_through_engine() {
+        let engine = PipelinedEngine::new(2, &base());
+        engine.run(vec![
+            txn("insert (1, 'a') into R"),
+            txn("insert (2, 'b') into R"),
+            txn("create index by_val on R (#1)"),
+        ]);
+        let rs = engine.run(vec![
+            txn("explain find 1 in R"),
+            txn("explain select from R where #1 = 'a'"),
+            txn("explain join R with R on #0 = #1"),
+            txn("explain count R"),
+        ]);
+        match &rs[0] {
+            Response::Plan {
+                plan,
+                estimated_rows,
+            } => {
+                assert!(plan.contains("key eq find"), "{plan}");
+                assert_eq!(*estimated_rows, 1);
+            }
+            other => panic!("expected a plan, got {other}"),
+        }
+        match &rs[1] {
+            Response::Plan { plan, .. } => {
+                assert!(plan.contains("index eq probe on by_val"), "{plan}")
+            }
+            other => panic!("expected a plan, got {other}"),
+        }
+        match &rs[2] {
+            Response::Plan { plan, .. } => assert!(plan.contains("join"), "{plan}"),
+            other => panic!("expected a plan, got {other}"),
+        }
+        // Only select, join and find are explainable.
+        assert!(rs[3].is_error());
+        // Explaining must not execute: no path counters recorded.
+        assert_eq!(engine.stats().path_index_eq, 0);
     }
 
     #[test]

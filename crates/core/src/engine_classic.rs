@@ -14,7 +14,8 @@ use std::fmt;
 
 use fundb_lenient::{Lenient, WorkerPool};
 use fundb_query::ast::{apply_select, compute_aggregate};
-use fundb_query::{Query, Response, Transaction};
+use fundb_query::plan::{choose_join_strategy, execute_join, explain_select};
+use fundb_query::{FieldRef, Query, Response, Transaction};
 use fundb_relational::{Database, Relation, RelationName, Schema};
 use parking_lot::Mutex;
 
@@ -26,6 +27,23 @@ struct Frontier {
     /// Creation order, so a barrier can rebuild a `Database` with stable
     /// spine positions.
     order: Vec<RelationName>,
+}
+
+/// Resolves a join's optional `on` clause against the static schemas.
+fn resolve_on(
+    frontier: &Frontier,
+    left: &RelationName,
+    right: &RelationName,
+    on: &Option<(FieldRef, FieldRef)>,
+) -> Result<Option<(usize, usize)>, String> {
+    match on {
+        None => Ok(None),
+        Some((lf, rf)) => {
+            let ls = frontier.schemas.get(left).cloned().flatten();
+            let rs = frontier.schemas.get(right).cloned().flatten();
+            Ok(Some((lf.resolve(ls.as_ref())?, rf.resolve(rs.as_ref())?)))
+        }
+    }
 }
 
 /// The pre-optimization pipelined executor: coarse frontier lock, one job
@@ -139,7 +157,7 @@ impl ClassicEngine {
             Query::CreateIndex {
                 relation,
                 name,
-                field,
+                fields,
             } => {
                 let Some(input) = frontier.slots.get(relation).cloned() else {
                     drop(frontier);
@@ -149,14 +167,17 @@ impl ClassicEngine {
                     return out;
                 };
                 let schema = frontier.schemas.get(relation).cloned().flatten();
-                let pos = match field.resolve(schema.as_ref()) {
-                    Ok(p) => p,
-                    Err(e) => {
-                        drop(frontier);
-                        response.fill(Response::Error(e)).ok();
-                        return out;
+                let mut positions = Vec::with_capacity(fields.len());
+                for field in fields {
+                    match field.resolve(schema.as_ref()) {
+                        Ok(p) => positions.push(p),
+                        Err(e) => {
+                            drop(frontier);
+                            response.fill(Response::Error(e)).ok();
+                            return out;
+                        }
                     }
-                };
+                }
                 // Index creation versions the relation like any write: new
                 // output cell, one pool job building the index.
                 let output = Lenient::new();
@@ -165,7 +186,7 @@ impl ClassicEngine {
                 let name = name.clone();
                 self.pool.spawn(move || {
                     let rel = input.wait();
-                    let (new_rel, resp) = match rel.create_index(&name, pos) {
+                    let (new_rel, resp) = match rel.create_index_multi(&name, &positions) {
                         Some(r2) => (r2, Response::IndexCreated { relation, name }),
                         None => {
                             let msg = format!("index already exists on {relation}: {name}");
@@ -221,7 +242,7 @@ impl ClassicEngine {
                 });
                 out
             }
-            Query::Join { left, right } => {
+            Query::Join { left, right, on } => {
                 let (Some(l), Some(r)) = (
                     frontier.slots.get(left).cloned(),
                     frontier.slots.get(right).cloned(),
@@ -234,6 +255,14 @@ impl ClassicEngine {
                         .ok();
                     return out;
                 };
+                let on = match resolve_on(&frontier, left, right, on) {
+                    Ok(on) => on,
+                    Err(e) => {
+                        drop(frontier);
+                        response.fill(Response::Error(e)).ok();
+                        return out;
+                    }
+                };
                 drop(frontier);
                 self.pool.spawn(move || {
                     // Intra-transaction flooding: both sides' availability
@@ -241,11 +270,119 @@ impl ClassicEngine {
                     let left_rel = l.wait();
                     let right_rel = r.wait();
                     response
-                        .fill(Response::Tuples(left_rel.join_by_key(right_rel)))
+                        .fill(Response::Tuples(execute_join(left_rel, right_rel, on)))
                         .ok();
                 });
                 out
             }
+            Query::Explain(inner) => match inner.as_ref() {
+                Query::Select {
+                    relation,
+                    predicate,
+                    ..
+                } => {
+                    let Some(input) = frontier.slots.get(relation).cloned() else {
+                        drop(frontier);
+                        response
+                            .fill(Response::Error(format!("no such relation: {relation}")))
+                            .ok();
+                        return out;
+                    };
+                    let schema = frontier.schemas.get(relation).cloned().flatten();
+                    let predicate = predicate.clone();
+                    drop(frontier);
+                    self.pool.spawn(move || {
+                        let rel = input.wait();
+                        let resp = match explain_select(rel, schema.as_ref(), &predicate) {
+                            Ok((path, est)) => Response::Plan {
+                                plan: path.to_string(),
+                                estimated_rows: est,
+                            },
+                            Err(e) => Response::Error(e),
+                        };
+                        response.fill(resp).ok();
+                    });
+                    out
+                }
+                Query::Find { relation, key } => {
+                    let resp = if frontier.slots.contains_key(relation) {
+                        Response::Plan {
+                            plan: format!("key eq find (#0 = {key})"),
+                            estimated_rows: 1,
+                        }
+                    } else {
+                        Response::Error(format!("no such relation: {relation}"))
+                    };
+                    drop(frontier);
+                    response.fill(resp).ok();
+                    out
+                }
+                Query::FindRange { relation, lo, hi } => {
+                    let Some(input) = frontier.slots.get(relation).cloned() else {
+                        drop(frontier);
+                        response
+                            .fill(Response::Error(format!("no such relation: {relation}")))
+                            .ok();
+                        return out;
+                    };
+                    drop(frontier);
+                    let plan = format!("key range find (#0 in {lo}..{hi})");
+                    self.pool.spawn(move || {
+                        let rel = input.wait();
+                        response
+                            .fill(Response::Plan {
+                                plan,
+                                estimated_rows: (rel.len() / 4).max(1),
+                            })
+                            .ok();
+                    });
+                    out
+                }
+                Query::Join { left, right, on } => {
+                    let (Some(l), Some(r)) = (
+                        frontier.slots.get(left).cloned(),
+                        frontier.slots.get(right).cloned(),
+                    ) else {
+                        drop(frontier);
+                        response
+                            .fill(Response::Error(format!(
+                                "no such relation in: join {left} with {right}"
+                            )))
+                            .ok();
+                        return out;
+                    };
+                    let on = match resolve_on(&frontier, left, right, on) {
+                        Ok(on) => on,
+                        Err(e) => {
+                            drop(frontier);
+                            response.fill(Response::Error(e)).ok();
+                            return out;
+                        }
+                    };
+                    drop(frontier);
+                    self.pool.spawn(move || {
+                        let left_rel = l.wait();
+                        let right_rel = r.wait();
+                        let (strategy, est) = choose_join_strategy(left_rel, right_rel, on);
+                        response
+                            .fill(Response::Plan {
+                                plan: strategy.to_string(),
+                                estimated_rows: est,
+                            })
+                            .ok();
+                    });
+                    out
+                }
+                other => {
+                    drop(frontier);
+                    response
+                        .fill(Response::Error(format!(
+                            "explain supports select, join and find, not '{other}'"
+                        )))
+                        .ok();
+                    out
+                }
+            },
             Query::Insert { relation, .. }
             | Query::Delete { relation, .. }
             | Query::Replace { relation, .. } => {
@@ -395,6 +532,36 @@ mod tests {
             let got = engine.run(txns.clone());
             assert_eq!(got, expected, "workers={workers}");
         }
+    }
+
+    #[test]
+    fn explain_matches_pipelined_answers() {
+        let engine = ClassicEngine::new(2, &base());
+        engine.run(vec![
+            txn("insert (1, 'a') into R"),
+            txn("create index by_val on R (#1)"),
+        ]);
+        let rs = engine.run(vec![
+            txn("explain find 1 in R"),
+            txn("explain select from R where #1 = 'a'"),
+            txn("explain join R with S on #1 = #1"),
+            txn("explain count R"),
+        ]);
+        match &rs[0] {
+            Response::Plan { plan, .. } => assert!(plan.contains("key eq find"), "{plan}"),
+            other => panic!("expected a plan, got {other}"),
+        }
+        match &rs[1] {
+            Response::Plan { plan, .. } => {
+                assert!(plan.contains("index eq probe on by_val"), "{plan}")
+            }
+            other => panic!("expected a plan, got {other}"),
+        }
+        match &rs[2] {
+            Response::Plan { plan, .. } => assert!(plan.contains("join"), "{plan}"),
+            other => panic!("expected a plan, got {other}"),
+        }
+        assert!(rs[3].is_error());
     }
 
     #[test]

@@ -71,6 +71,7 @@ impl LockingDb {
             Query::Create { .. } | Query::CreateIndex { .. } => {
                 Response::Error("locking baseline has a fixed catalog".into())
             }
+            Query::Explain(_) => Response::Error("locking baseline does not plan queries".into()),
             Query::Names => Response::Names(self.relations.keys().cloned().collect()),
             Query::Find { relation, key } => match self.relations.get(relation) {
                 None => Response::Error(format!("no such relation: {relation}")),
@@ -107,35 +108,59 @@ impl LockingDb {
                     }
                 }
             },
-            Query::Join { left, right } => {
+            Query::Join { left, right, on } => {
                 match (self.relations.get(left), self.relations.get(right)) {
                     (Some(l), Some(r)) => {
-                        // 2PL: acquire read locks in global (name) order to
-                        // stay deadlock-free.
-                        let (_first, _second, lg, rg);
-                        if left <= right {
-                            lg = l.read();
-                            rg = r.read();
-                            _first = &lg;
-                            _second = &rg;
-                        } else {
-                            rg = r.read();
-                            lg = l.read();
-                            _first = &rg;
-                            _second = &lg;
-                        }
-                        let mut out = Vec::new();
-                        for lt in lg.iter() {
-                            for rt in rg.iter().filter(|t| t.key() == lt.key()) {
-                                let fields: Vec<fundb_relational::Value> = lt
-                                    .iter()
-                                    .cloned()
-                                    .chain(rt.iter().skip(1).cloned())
-                                    .collect();
-                                out.push(Tuple::new(fields));
+                        let ls = self.schemas.get(left).and_then(Option::as_ref);
+                        let rs = self.schemas.get(right).and_then(Option::as_ref);
+                        // `on` resolves to tuple positions; absent means the
+                        // key-key join, i.e. positions (0, 0).
+                        let resolved = match on {
+                            None => Ok((0usize, 0usize)),
+                            Some((lf, rf)) => {
+                                lf.resolve(ls).and_then(|a| rf.resolve(rs).map(|b| (a, b)))
+                            }
+                        };
+                        match resolved {
+                            Err(e) => Response::Error(e),
+                            Ok((lp, rp)) => {
+                                // 2PL: acquire read locks in global (name)
+                                // order to stay deadlock-free.
+                                let (_first, _second, lg, rg);
+                                if left <= right {
+                                    lg = l.read();
+                                    rg = r.read();
+                                    _first = &lg;
+                                    _second = &rg;
+                                } else {
+                                    rg = r.read();
+                                    lg = l.read();
+                                    _first = &rg;
+                                    _second = &lg;
+                                }
+                                let mut out = Vec::new();
+                                for lt in lg.iter() {
+                                    let Some(lv) = lt.get(lp) else { continue };
+                                    for rt in rg.iter().filter(|t| t.get(rp) == Some(lv)) {
+                                        // The joined tuple drops the right
+                                        // side's join attribute, matching the
+                                        // planner's concatenation.
+                                        let fields: Vec<fundb_relational::Value> = lt
+                                            .iter()
+                                            .cloned()
+                                            .chain(
+                                                rt.iter()
+                                                    .enumerate()
+                                                    .filter(|&(i, _)| i != rp)
+                                                    .map(|(_, v)| v.clone()),
+                                            )
+                                            .collect();
+                                        out.push(Tuple::new(fields));
+                                    }
+                                }
+                                Response::Tuples(out)
                             }
                         }
-                        Response::Tuples(out)
                     }
                     _ => Response::Error(format!("no such relation in: join {left} with {right}")),
                 }

@@ -26,6 +26,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use fundb_query::ast::{apply_select, compute_aggregate};
+use fundb_query::plan::execute_join;
 use fundb_query::{Query, Response};
 use fundb_relational::{Database, Relation, RelationName, Schema, Tuple};
 use parking_lot::{Mutex, RwLock};
@@ -343,9 +344,24 @@ fn apply_query(
                 Err(e) => Response::Error(e),
             }
         }
-        Query::Join { left, right } => {
-            let joined = ws.relation(left).clone().join_by_key(ws.relation(right));
-            Response::Tuples(joined)
+        Query::Join { left, right, on } => {
+            let resolved = match on {
+                None => Ok(None),
+                Some((lf, rf)) => {
+                    let ls = schemas.get(left).and_then(Option::as_ref);
+                    let rs = schemas.get(right).and_then(Option::as_ref);
+                    lf.resolve(ls)
+                        .and_then(|a| rf.resolve(rs).map(|b| Some((a, b))))
+                }
+            };
+            match resolved {
+                Err(e) => Response::Error(e),
+                Ok(on) => Response::Tuples(execute_join(
+                    &ws.relation(left).clone(),
+                    ws.relation(right),
+                    on,
+                )),
+            }
         }
         Query::Count { relation } => Response::Count(ws.relation(relation).len()),
         Query::Aggregate {
@@ -365,6 +381,7 @@ fn apply_query(
         Query::Create { .. } | Query::CreateIndex { .. } | Query::Names => {
             Response::Error("catalog queries are not transactional here".into())
         }
+        Query::Explain(_) => Response::Error("explain is not transactional here".into()),
     }
 }
 

@@ -12,6 +12,8 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use fundb_query::{AccessPath, JoinStrategy};
+
 /// Hot-path event counters; every field is bumped with relaxed atomics.
 #[derive(Debug, Default)]
 pub struct EngineStats {
@@ -42,6 +44,26 @@ pub struct EngineStats {
     /// predecessor and claimed by the predecessor's worker drain, so a
     /// multi-batch run costs one job.
     pub chained_claims: AtomicU64,
+    /// Selects served by a primary-key equality probe.
+    pub path_key_eq: AtomicU64,
+    /// Selects served by a composite-index equality (or prefix) probe.
+    pub path_composite_eq: AtomicU64,
+    /// Selects served by a single-column secondary-index probe.
+    pub path_index_eq: AtomicU64,
+    /// Selects served by a primary-key range.
+    pub path_key_range: AtomicU64,
+    /// Selects served by a secondary-index range.
+    pub path_index_range: AtomicU64,
+    /// Selects that fell back to the full streaming scan.
+    pub path_scan: AtomicU64,
+    /// Joins executed by the key-key merge pass.
+    pub join_merge: AtomicU64,
+    /// Joins executed by per-left-tuple primary-key probes.
+    pub join_key_probe: AtomicU64,
+    /// Joins executed as index nested loops over an inner secondary index.
+    pub join_index_nested_loop: AtomicU64,
+    /// Joins executed by building a value map over the inner relation.
+    pub join_scan_build: AtomicU64,
 }
 
 /// A point-in-time copy of [`EngineStats`], plus derived ratios.
@@ -58,6 +80,16 @@ pub struct EngineStatsSnapshot {
     pub seals_by_reader: u64,
     pub seals_by_worker: u64,
     pub chained_claims: u64,
+    pub path_key_eq: u64,
+    pub path_composite_eq: u64,
+    pub path_index_eq: u64,
+    pub path_key_range: u64,
+    pub path_index_range: u64,
+    pub path_scan: u64,
+    pub join_merge: u64,
+    pub join_key_probe: u64,
+    pub join_index_nested_loop: u64,
+    pub join_scan_build: u64,
 }
 
 impl EngineStats {
@@ -74,6 +106,28 @@ impl EngineStats {
         counter.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records which access path a select ran on.
+    pub fn record_path(&self, path: &AccessPath) {
+        Self::bump(match path {
+            AccessPath::KeyEq(_) => &self.path_key_eq,
+            AccessPath::CompositeEq { .. } => &self.path_composite_eq,
+            AccessPath::IndexEq { .. } => &self.path_index_eq,
+            AccessPath::KeyRange(_, _) => &self.path_key_range,
+            AccessPath::IndexRange { .. } => &self.path_index_range,
+            AccessPath::Scan => &self.path_scan,
+        });
+    }
+
+    /// Records which strategy a join ran on.
+    pub fn record_join(&self, strategy: &JoinStrategy) {
+        Self::bump(match strategy {
+            JoinStrategy::MergeKeys => &self.join_merge,
+            JoinStrategy::KeyProbe => &self.join_key_probe,
+            JoinStrategy::IndexNestedLoop { .. } => &self.join_index_nested_loop,
+            JoinStrategy::ScanBuild => &self.join_scan_build,
+        });
+    }
+
     /// Reads every counter (relaxed — values are advisory, not a cut).
     pub fn snapshot(&self) -> EngineStatsSnapshot {
         let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
@@ -88,6 +142,16 @@ impl EngineStats {
             seals_by_reader: get(&self.seals_by_reader),
             seals_by_worker: get(&self.seals_by_worker),
             chained_claims: get(&self.chained_claims),
+            path_key_eq: get(&self.path_key_eq),
+            path_composite_eq: get(&self.path_composite_eq),
+            path_index_eq: get(&self.path_index_eq),
+            path_key_range: get(&self.path_key_range),
+            path_index_range: get(&self.path_index_range),
+            path_scan: get(&self.path_scan),
+            join_merge: get(&self.join_merge),
+            join_key_probe: get(&self.join_key_probe),
+            join_index_nested_loop: get(&self.join_index_nested_loop),
+            join_scan_build: get(&self.join_scan_build),
         }
     }
 }
@@ -114,7 +178,7 @@ impl fmt::Display for EngineStatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "frontier {}/{} hit/miss · writes {} bypass / {} batched in {} batches (avg {:.1}/batch) · seals {} reader / {} worker · {} chained claims",
+            "frontier {}/{} hit/miss · writes {} bypass / {} batched in {} batches (avg {:.1}/batch) · seals {} reader / {} worker · {} chained claims · paths key:{} comp:{} ix:{} krange:{} ixrange:{} scan:{} · joins merge:{} probe:{} inl:{} build:{}",
             self.frontier_hits,
             self.frontier_misses,
             self.bypass_writes,
@@ -124,6 +188,16 @@ impl fmt::Display for EngineStatsSnapshot {
             self.seals_by_reader,
             self.seals_by_worker,
             self.chained_claims,
+            self.path_key_eq,
+            self.path_composite_eq,
+            self.path_index_eq,
+            self.path_key_range,
+            self.path_index_range,
+            self.path_scan,
+            self.join_merge,
+            self.join_key_probe,
+            self.join_index_nested_loop,
+            self.join_scan_build,
         )
     }
 }
@@ -143,6 +217,24 @@ mod tests {
         assert_eq!(snap.frontier_hits, 2);
         assert_eq!(snap.ops_claimed, 7);
         assert!((snap.avg_batch_len() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_and_join_counters() {
+        let stats = EngineStats::default();
+        stats.record_path(&AccessPath::Scan);
+        stats.record_path(&AccessPath::KeyEq(fundb_relational::Value::Int(1)));
+        stats.record_join(&JoinStrategy::MergeKeys);
+        stats.record_join(&JoinStrategy::IndexNestedLoop {
+            index: "ix".into(),
+            field: 1,
+        });
+        let snap = stats.snapshot();
+        assert_eq!(snap.path_scan, 1);
+        assert_eq!(snap.path_key_eq, 1);
+        assert_eq!(snap.join_merge, 1);
+        assert_eq!(snap.join_index_nested_loop, 1);
+        assert!(snap.to_string().contains("inl:1"));
     }
 
     #[test]

@@ -183,10 +183,11 @@ impl CheckpointWriter {
             schema: Option<Schema>,
             mark: u64,
             root: u128,
-            /// Index *definitions* (name, field). Contents are rebuilt from
-            /// the materialized store on load, so indexes cost the manifest
-            /// a few bytes and the node store nothing.
-            indexes: Vec<(String, u32)>,
+            /// Index *definitions* (name, fields). Contents are rebuilt
+            /// from the materialized store on load, so indexes — composite
+            /// or single-column — cost the manifest a few bytes and the
+            /// node store nothing.
+            indexes: Vec<(String, Vec<u32>)>,
         }
 
         let names = cut.database.relation_names();
@@ -219,7 +220,12 @@ impl CheckpointWriter {
             let indexes = rel
                 .indexes()
                 .iter()
-                .map(|ix| (ix.name().to_string(), ix.field() as u32))
+                .map(|ix| {
+                    (
+                        ix.name().to_string(),
+                        ix.fields().iter().map(|&f| f as u32).collect(),
+                    )
+                })
                 .collect();
             entries.push(ManifestEntry {
                 name: name.clone(),
@@ -257,9 +263,12 @@ impl CheckpointWriter {
             put_u64(&mut body, e.mark);
             put_u128(&mut body, e.root);
             put_u32(&mut body, e.indexes.len() as u32);
-            for (iname, ifield) in &e.indexes {
+            for (iname, ifields) in &e.indexes {
                 put_str(&mut body, iname);
-                put_u32(&mut body, *ifield);
+                put_u32(&mut body, ifields.len() as u32);
+                for f in ifields {
+                    put_u32(&mut body, *f);
+                }
             }
         }
         let mut manifest = Vec::with_capacity(body.len() + 12);
@@ -601,8 +610,12 @@ fn try_load_manifest(
             let mut index_defs = Vec::with_capacity(n_indexes);
             for _ in 0..n_indexes {
                 let iname = c.str()?;
-                let ifield = c.u32()? as usize;
-                index_defs.push((iname, ifield));
+                let n_fields = c.u32()? as usize;
+                let mut ifields = Vec::with_capacity(n_fields);
+                for _ in 0..n_fields {
+                    ifields.push(c.u32()? as usize);
+                }
+                index_defs.push((iname, ifields));
             }
             let Some(mut rel) = materialize(repr, root, nodes)? else {
                 return Ok(None); // a referenced node is missing
@@ -612,9 +625,9 @@ fn try_load_manifest(
             // store free of derived structure — and makes the rebuild
             // mandatory here, because log GC drops `create index` records
             // once a checkpoint's marks cover them.
-            for (iname, ifield) in index_defs {
+            for (iname, ifields) in index_defs {
                 rel = rel
-                    .create_index(&iname, ifield)
+                    .create_index_multi(&iname, &ifields)
                     .ok_or_else(|| CodecError(format!("manifest repeats index '{iname}'")))?;
             }
             db = db
@@ -893,6 +906,9 @@ mod tests {
         // Adding indexes changes no store bytes: only the manifest grows.
         let db = db.create_index(&"T".into(), "by_name", 1).unwrap();
         let db = db.create_index(&"T".into(), "by_flag", 2).unwrap();
+        let db = db
+            .create_index_multi(&"T".into(), "by_name_flag", &[1, 2])
+            .unwrap();
         let indexed = w.write(&cut_of(db.clone(), &[("T", 50)])).unwrap();
         assert_eq!(
             indexed.nodes_written, 0,
@@ -903,7 +919,17 @@ mod tests {
         assert!(db_equal(&loaded.database, &db));
         let orig = db.relation(&"T".into()).unwrap();
         let back = loaded.database.relation(&"T".into()).unwrap();
-        assert_eq!(back.indexes().len(), 2);
+        assert_eq!(back.indexes().len(), 3);
+        // The composite definition survives with its full field list, and
+        // its rebuilt postings answer prefix probes like the original.
+        let comp = back.indexes().get("by_name_flag").expect("composite back");
+        assert_eq!(comp.fields(), &[1, 2]);
+        let orig_comp = orig.indexes().get("by_name_flag").unwrap();
+        let probe: Value = "val-T-7".into();
+        assert_eq!(
+            comp.keys_prefix(std::slice::from_ref(&probe)),
+            orig_comp.keys_prefix(std::slice::from_ref(&probe))
+        );
         let ix = back.index_on(1).expect("definition recovered");
         assert_eq!(ix.name(), "by_name");
         // Rebuilt contents answer exactly like the originals.

@@ -87,7 +87,9 @@ pub fn plan_route(query: &Query) -> RoutePlan {
         Query::Create { .. } | Query::CreateIndex { .. } => {
             RoutePlan::AllPrimaries(GatherKind::AllOk)
         }
-        Query::Names => RoutePlan::AnyShard,
+        // A plan is advisory: any shard can produce one from its local
+        // catalog and (partition-local) cardinalities.
+        Query::Explain(_) | Query::Names => RoutePlan::AnyShard,
     }
 }
 

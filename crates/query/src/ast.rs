@@ -368,26 +368,34 @@ pub enum Query {
         /// Physical representation.
         repr: ReprSpec,
     },
-    /// `create index <name> on <rel> (<field>)` — attaches a persistent
-    /// secondary index over one attribute. DDL, routed like any other
-    /// write: logged before visibility, applied in sequence order.
+    /// `create index <name> on <rel> (<field>, …)` — attaches a persistent
+    /// secondary index over one or more attributes (lexicographic order for
+    /// composites). DDL, routed like any other write: logged before
+    /// visibility, applied in sequence order.
     CreateIndex {
         /// Relation the index covers.
         relation: RelationName,
         /// Name of the new index.
         name: String,
-        /// The indexed attribute.
-        field: FieldRef,
+        /// The indexed attributes, in significance order.
+        fields: Vec<FieldRef>,
     },
-    /// `join <left> with <right>` — natural join on tuple keys: the
+    /// `join <left> with <right> [on <field> = <field>]` — equi-join: the
     /// paper's intra-transaction *flooding* case ("the search of several
-    /// relations within one transaction").
+    /// relations within one transaction"). Without `on`, a natural join on
+    /// tuple keys; with it, arbitrary attributes on either side.
     Join {
         /// Left relation (drives output order).
         left: RelationName,
-        /// Right relation (probed by key).
+        /// Right relation (probed by key or index).
         right: RelationName,
+        /// Join attributes `(left field, right field)`; `None` = both keys.
+        on: Option<(FieldRef, FieldRef)>,
     },
+    /// `explain <query>` — plan the inner read without executing it,
+    /// answering with the chosen access path / join strategy and its
+    /// estimated cardinality.
+    Explain(Box<Query>),
     /// `count <rel>`
     Count {
         /// Relation counted.
@@ -416,7 +424,8 @@ impl Query {
             | Query::Select { relation, .. }
             | Query::Count { relation }
             | Query::Aggregate { relation, .. } => vec![relation.clone()],
-            Query::Join { left, right } => vec![left.clone(), right.clone()],
+            Query::Join { left, right, .. } => vec![left.clone(), right.clone()],
+            Query::Explain(inner) => inner.reads(),
             Query::Insert { relation, .. }
             | Query::Delete { relation, .. }
             | Query::Replace { relation, .. } => vec![relation.clone()],
@@ -486,9 +495,22 @@ impl fmt::Display for Query {
             Query::CreateIndex {
                 relation,
                 name,
-                field,
-            } => write!(f, "create index {name} on {relation} ({field})"),
-            Query::Join { left, right } => write!(f, "join {left} with {right}"),
+                fields,
+            } => {
+                write!(f, "create index {name} on {relation} (")?;
+                for (i, fr) in fields.iter().enumerate() {
+                    write!(f, "{}{fr}", if i == 0 { "" } else { ", " })?;
+                }
+                f.write_str(")")
+            }
+            Query::Join { left, right, on } => {
+                write!(f, "join {left} with {right}")?;
+                if let Some((l, r)) = on {
+                    write!(f, " on {l} = {r}")?;
+                }
+                Ok(())
+            }
+            Query::Explain(inner) => write!(f, "explain {inner}"),
             Query::Count { relation } => write!(f, "count {relation}"),
             Query::Aggregate {
                 relation,
@@ -658,9 +680,32 @@ mod tests {
         let q = Query::Join {
             left: "R".into(),
             right: "S".into(),
+            on: None,
         };
         assert_eq!(q.to_string(), "join R with S");
         assert_eq!(q.reads().len(), 2);
+        assert!(q.is_read_only());
+
+        let q = Query::Join {
+            left: "R".into(),
+            right: "S".into(),
+            on: Some((FieldRef::Index(2), FieldRef::Index(1))),
+        };
+        assert_eq!(q.to_string(), "join R with S on #2 = #1");
+        assert_eq!(q.reads().len(), 2);
+        assert!(q.is_read_only());
+    }
+
+    #[test]
+    fn explain_wraps_reads_and_stays_read_only() {
+        let q = Query::Explain(Box::new(Query::Select {
+            relation: "R".into(),
+            projection: None,
+            predicate: Some(Predicate::index_eq(1, 7.into())),
+        }));
+        assert_eq!(q.to_string(), "explain select from R where #1 = 7");
+        assert_eq!(q.reads(), vec![RelationName::from("R")]);
+        assert!(q.writes().is_empty());
         assert!(q.is_read_only());
     }
 
@@ -695,9 +740,15 @@ mod tests {
         let q = Query::CreateIndex {
             relation: "Emp".into(),
             name: "by_dept".into(),
-            field: FieldRef::Index(2),
+            fields: vec![FieldRef::Index(2)],
         };
         assert_eq!(q.to_string(), "create index by_dept on Emp (#2)");
+        let q = Query::CreateIndex {
+            relation: "Emp".into(),
+            name: "by_dept_name".into(),
+            fields: vec![FieldRef::Index(2), FieldRef::Name("name".into())],
+        };
+        assert_eq!(q.to_string(), "create index by_dept_name on Emp (#2, name)");
     }
 
     #[test]
@@ -705,7 +756,7 @@ mod tests {
         let q = Query::CreateIndex {
             relation: "Emp".into(),
             name: "ix".into(),
-            field: FieldRef::Name("dept".into()),
+            fields: vec![FieldRef::Name("dept".into())],
         };
         assert_eq!(q.writes(), vec![RelationName::from("Emp")]);
         assert!(q.reads().is_empty());

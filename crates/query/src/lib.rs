@@ -21,17 +21,18 @@
 //!
 //! ```text
 //! query   := insert | find | delete | replace | select | create | count
-//!          | agg | join | names
+//!          | agg | join | explain | names
 //! insert  := "insert" tuple "into" NAME
 //! find    := "find" value [ "to" value ] "in" NAME
 //! delete  := "delete" value "from" NAME
 //! replace := "replace" tuple "in" NAME
 //! select  := "select" [ field { "," field } ] "from" NAME [ "where" pred ]
 //! create  := "create" "relation" NAME [ "(" NAME { "," NAME } ")" ] [ "as" repr ]
-//!          | "create" "index" NAME "on" NAME "(" field ")"
+//!          | "create" "index" NAME "on" NAME "(" field { "," field } ")"
 //! count   := "count" NAME
 //! agg     := ( "sum" | "min" | "max" ) field "of" NAME
-//! join    := "join" NAME "with" NAME
+//! join    := "join" NAME "with" NAME [ "on" field "=" field ]
+//! explain := "explain" query
 //! names   := "relations"
 //! tuple   := value | "(" value { "," value } ")"
 //! value   := INT | STRING | "true" | "false"
@@ -72,6 +73,10 @@ pub mod translate;
 pub use ast::{apply_select, compute_aggregate, AggOp, FieldRef, Predicate, Query, ReprSpec};
 pub use error::ParseError;
 pub use parser::parse;
-pub use plan::{choose_access_path, execute_select, AccessPath};
+pub use plan::{
+    choose_access_path, choose_access_path_with_estimate, choose_join_strategy, execute_join,
+    execute_join_explained, execute_select, execute_select_explained, explain_select, AccessPath,
+    JoinStrategy,
+};
 pub use response::Response;
 pub use translate::{translate, Transaction};

@@ -191,17 +191,23 @@ impl Parser {
                     let relation = self.relation_name()?;
                     match self.next() {
                         Some(Token::LParen) => {}
-                        _ => return Err(self.err("expected '(' before the indexed field")),
+                        _ => return Err(self.err("expected '(' before the indexed fields")),
                     }
-                    let field = self.field_ref()?;
-                    match self.next() {
-                        Some(Token::RParen) => {}
-                        _ => return Err(self.err("expected ')' after the indexed field")),
+                    let mut fields = vec![self.field_ref()?];
+                    loop {
+                        match self.next() {
+                            Some(Token::Comma) => fields.push(self.field_ref()?),
+                            Some(Token::RParen) => break,
+                            Some(t) => {
+                                return Err(self.err(format!("expected ',' or ')', found '{t}'")))
+                            }
+                            None => return Err(self.err("unterminated indexed field list")),
+                        }
                     }
                     return Ok(Query::CreateIndex {
                         relation,
                         name,
-                        field,
+                        fields,
                     });
                 }
                 self.keyword("relation")?;
@@ -261,7 +267,24 @@ impl Parser {
                 let left = self.relation_name()?;
                 self.keyword("with")?;
                 let right = self.relation_name()?;
-                Ok(Query::Join { left, right })
+                let on = if self.peek_keyword("on") {
+                    self.next();
+                    let l = self.field_ref()?;
+                    match self.next() {
+                        Some(Token::Eq) => {}
+                        _ => return Err(self.err("expected '=' between join fields")),
+                    }
+                    let r = self.field_ref()?;
+                    Some((l, r))
+                } else {
+                    None
+                };
+                Ok(Query::Join { left, right, on })
+            }
+            "explain" => {
+                self.next();
+                let inner = self.query()?;
+                Ok(Query::Explain(Box::new(inner)))
             }
             "relations" => {
                 self.next();
@@ -494,7 +517,15 @@ mod tests {
             Query::CreateIndex {
                 relation: "Emp".into(),
                 name: "by_dept".into(),
-                field: FieldRef::Index(2),
+                fields: vec![FieldRef::Index(2)],
+            }
+        );
+        assert_eq!(
+            parse("create index by_dept_name on Emp (#2, name)").unwrap(),
+            Query::CreateIndex {
+                relation: "Emp".into(),
+                name: "by_dept_name".into(),
+                fields: vec![FieldRef::Index(2), FieldRef::Name("name".into())],
             }
         );
         // Named fields and round-tripping through Display (the WAL replay
@@ -502,6 +533,8 @@ mod tests {
         for q in [
             "create index by_dept on Emp (#2)",
             "create index by_name on Emp (name)",
+            "create index by_dept_name on Emp (#2, name)",
+            "create index wide on R (#1, #2, #3)",
         ] {
             assert_eq!(parse(q).unwrap().to_string(), q);
         }
@@ -511,6 +544,8 @@ mod tests {
             "create index ix on Emp #2",
             "create index ix on Emp (#2",
             "create index ix on Emp ()",
+            "create index ix on Emp (#1,)",
+            "create index ix on Emp (#1 #2)",
         ] {
             assert!(parse(bad).is_err(), "should reject: {bad}");
         }
@@ -531,8 +566,46 @@ mod tests {
     #[test]
     fn join_form() {
         assert_eq!(parse("join R with S").unwrap().to_string(), "join R with S");
+        assert_eq!(
+            parse("join R with S on #2 = #0").unwrap(),
+            Query::Join {
+                left: "R".into(),
+                right: "S".into(),
+                on: Some((FieldRef::Index(2), FieldRef::Index(0))),
+            }
+        );
+        assert_eq!(
+            parse("join Emp with Dept on dept = #0")
+                .unwrap()
+                .to_string(),
+            "join Emp with Dept on dept = #0"
+        );
         assert!(parse("join R S").is_err());
         assert!(parse("join R with").is_err());
+        assert!(parse("join R with S on #1").is_err());
+        assert!(parse("join R with S on #1 = ").is_err());
+        assert!(parse("join R with S on #1 < #2").is_err());
+    }
+
+    #[test]
+    fn explain_forms() {
+        for q in [
+            "explain select from R where #1 = 7",
+            "explain join R with S on #2 = #0",
+            "explain find 5 in R",
+        ] {
+            assert_eq!(parse(q).unwrap().to_string(), q);
+        }
+        assert_eq!(
+            parse("explain join R with S").unwrap(),
+            Query::Explain(Box::new(Query::Join {
+                left: "R".into(),
+                right: "S".into(),
+                on: None,
+            }))
+        );
+        assert!(parse("explain").is_err());
+        assert!(parse("explain frobnicate R").is_err());
     }
 
     #[test]

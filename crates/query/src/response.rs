@@ -42,6 +42,13 @@ pub enum Response {
     },
     /// The relation names in the database.
     Names(Vec<RelationName>),
+    /// Result of an `explain`: the chosen plan, without executing it.
+    Plan {
+        /// Human-readable plan: access path or join strategy.
+        plan: String,
+        /// Estimated result cardinality the planner compared on.
+        estimated_rows: usize,
+    },
     /// A multi-write transaction was applied in full: `ops` writes, made
     /// durable by `shards` participant(s). This is the acknowledgement a
     /// sequenced (possibly cross-shard) transaction fills with — it exists
@@ -113,6 +120,10 @@ impl fmt::Display for Response {
                 }
                 Ok(())
             }
+            Response::Plan {
+                plan,
+                estimated_rows,
+            } => write!(f, "plan: {plan} (~{estimated_rows} rows)"),
             Response::Applied { ops, shards } => {
                 write!(
                     f,
@@ -169,6 +180,14 @@ mod tests {
             "relations: R S"
         );
         assert_eq!(Response::Error("boom".into()).to_string(), "error: boom");
+        assert_eq!(
+            Response::Plan {
+                plan: "index eq probe on by_dept (#1 = 'sales')".into(),
+                estimated_rows: 10
+            }
+            .to_string(),
+            "plan: index eq probe on by_dept (#1 = 'sales') (~10 rows)"
+        );
         assert_eq!(
             Response::Applied { ops: 1, shards: 1 }.to_string(),
             "applied 1 write on 1 shard"

@@ -12,9 +12,65 @@ use std::sync::Arc;
 
 use fundb_relational::{Database, RelationName};
 
-use crate::ast::{compute_aggregate, Query};
-use crate::plan::execute_select;
+use crate::ast::{compute_aggregate, FieldRef, Query};
+use crate::plan::{choose_join_strategy, execute_join, execute_select, explain_select};
 use crate::response::Response;
+
+/// Resolves a join's `on` clause to positions: the left field against the
+/// left schema, the right field against the right schema.
+fn resolve_join_on(
+    db: &Database,
+    left: &RelationName,
+    right: &RelationName,
+    on: &Option<(FieldRef, FieldRef)>,
+) -> Result<Option<(usize, usize)>, String> {
+    match on {
+        None => Ok(None),
+        Some((lf, rf)) => {
+            let ls = db.schema(left).map_err(|e| e.to_string())?;
+            let rs = db.schema(right).map_err(|e| e.to_string())?;
+            Ok(Some((lf.resolve(ls)?, rf.resolve(rs)?)))
+        }
+    }
+}
+
+/// Plans (without executing) the query inside an `explain`, returning the
+/// chosen access path or join strategy and its estimated cardinality.
+fn explain_query(db: &Database, inner: &Query) -> Result<(String, usize), String> {
+    match inner {
+        Query::Select {
+            relation,
+            predicate,
+            ..
+        } => {
+            let rel = db.relation(relation).map_err(|e| e.to_string())?;
+            let schema = db.schema(relation).ok().flatten();
+            let (path, est) = explain_select(rel, schema, predicate)?;
+            Ok((path.to_string(), est))
+        }
+        Query::Join { left, right, on } => {
+            let on = resolve_join_on(db, left, right, on)?;
+            let l = db.relation(left).map_err(|e| e.to_string())?;
+            let r = db.relation(right).map_err(|e| e.to_string())?;
+            let (strategy, est) = choose_join_strategy(l, r, on);
+            Ok((strategy.to_string(), est))
+        }
+        Query::Find { relation, key } => {
+            db.relation(relation).map_err(|e| e.to_string())?;
+            Ok((format!("key eq find (#0 = {key})"), 1))
+        }
+        Query::FindRange { relation, lo, hi } => {
+            let rel = db.relation(relation).map_err(|e| e.to_string())?;
+            Ok((
+                format!("key range find (#0 in {lo}..{hi})"),
+                (rel.len() / 4).max(1),
+            ))
+        }
+        other => Err(format!(
+            "explain supports select, join and find, not '{other}'"
+        )),
+    }
+}
 
 type TransactionFn = dyn Fn(&Database) -> (Response, Database) + Send + Sync;
 
@@ -177,17 +233,20 @@ pub fn translate(query: Query) -> Transaction {
         Query::CreateIndex {
             relation,
             name,
-            field,
+            fields,
         } => Arc::new(move |db| {
             let schema = match db.schema(&relation) {
                 Ok(s) => s,
                 Err(e) => return (Response::Error(e.to_string()), db.clone()),
             };
-            let pos = match field.resolve(schema) {
-                Ok(pos) => pos,
-                Err(e) => return (Response::Error(e), db.clone()),
-            };
-            match db.create_index(&relation, &name, pos) {
+            let mut positions = Vec::with_capacity(fields.len());
+            for field in &fields {
+                match field.resolve(schema) {
+                    Ok(pos) => positions.push(pos),
+                    Err(e) => return (Response::Error(e), db.clone()),
+                }
+            }
+            match db.create_index_multi(&relation, &name, &positions) {
                 Ok(db2) => (
                     Response::IndexCreated {
                         relation: relation.clone(),
@@ -198,9 +257,30 @@ pub fn translate(query: Query) -> Transaction {
                 Err(e) => (Response::Error(e.to_string()), db.clone()),
             }
         }),
-        Query::Join { left, right } => Arc::new(move |db| match db.join(&left, &right) {
-            Ok(tuples) => (Response::Tuples(tuples), db.clone()),
-            Err(e) => (Response::Error(e.to_string()), db.clone()),
+        Query::Join { left, right, on } => Arc::new(move |db| {
+            let on = match resolve_join_on(db, &left, &right, &on) {
+                Ok(on) => on,
+                Err(e) => return (Response::Error(e), db.clone()),
+            };
+            let l = match db.relation(&left) {
+                Ok(rel) => rel,
+                Err(e) => return (Response::Error(e.to_string()), db.clone()),
+            };
+            let r = match db.relation(&right) {
+                Ok(rel) => rel,
+                Err(e) => return (Response::Error(e.to_string()), db.clone()),
+            };
+            (Response::Tuples(execute_join(l, r, on)), db.clone())
+        }),
+        Query::Explain(inner) => Arc::new(move |db| match explain_query(db, &inner) {
+            Ok((plan, estimated_rows)) => (
+                Response::Plan {
+                    plan,
+                    estimated_rows,
+                },
+                db.clone(),
+            ),
+            Err(e) => (Response::Error(e), db.clone()),
         }),
         Query::Count { relation } => Arc::new(move |db| match db.relation(&relation) {
             Ok(rel) => (Response::Count(rel.len()), db.clone()),
@@ -389,6 +469,71 @@ mod tests {
         assert!(r.is_error());
         let (r, _) = run(&d, "create index ix on Nope (#1)");
         assert_eq!(r.to_string(), "error: no such relation: Nope");
+    }
+
+    #[test]
+    fn composite_index_end_to_end() {
+        let d = Database::empty();
+        let (_, d) = run(&d, "create relation Emp(id, dept, grade) as tree");
+        let (_, d) = run(&d, "insert (1, 'eng', 3) into Emp");
+        let (_, d) = run(&d, "insert (2, 'eng', 4) into Emp");
+        let (_, d) = run(&d, "insert (3, 'ops', 3) into Emp");
+        let (_, d) = run(&d, "insert (4, 'eng', 3) into Emp");
+        let (r, d) = run(&d, "create index by_dept_grade on Emp (dept, grade)");
+        assert_eq!(r.to_string(), "created index by_dept_grade on Emp");
+        let (r, d) = run(&d, "select from Emp where dept = 'eng' and grade = 3");
+        assert_eq!(r.tuples().unwrap().len(), 2);
+        // A prefix probe serves dept alone.
+        let (r, d) = run(&d, "select from Emp where dept = 'eng'");
+        assert_eq!(r.tuples().unwrap().len(), 3);
+        // Subsequent writes maintain the composite postings.
+        let (_, d) = run(&d, "insert (5, 'eng', 3) into Emp");
+        let (r, d) = run(&d, "select from Emp where dept = 'eng' and grade = 3");
+        assert_eq!(r.tuples().unwrap().len(), 3);
+        let (r, _) = run(
+            &d,
+            "explain select from Emp where dept = 'eng' and grade = 3",
+        );
+        assert!(
+            r.to_string()
+                .contains("composite eq probe on by_dept_grade"),
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn join_on_end_to_end() {
+        let d = db();
+        let (_, d) = run(&d, "insert (1, 7) into R");
+        let (_, d) = run(&d, "insert (2, 8) into R");
+        let (_, d) = run(&d, "insert (10, 7, 'x') into S");
+        let (_, d) = run(&d, "insert (11, 9, 'y') into S");
+        let (r, d) = run(&d, "join R with S on #1 = #1");
+        let tuples = r.tuples().unwrap();
+        assert_eq!(tuples.len(), 1);
+        assert_eq!(
+            tuples[0],
+            Tuple::new(vec![1.into(), 7.into(), 10.into(), "x".into()])
+        );
+        let (r, _) = run(&d, "join R with Nope on #1 = #1");
+        assert!(r.is_error());
+    }
+
+    #[test]
+    fn explain_end_to_end() {
+        let d = db();
+        let (_, d) = run(&d, "insert (1, 'a') into R");
+        let (r, d) = run(&d, "explain select from R where #0 = 1");
+        assert_eq!(r.to_string(), "plan: key eq find (#0 = 1) (~1 rows)");
+        let (r, d) = run(&d, "explain join R with S");
+        assert!(matches!(r, Response::Plan { .. }), "{r}");
+        assert!(r.to_string().starts_with("plan: merge join on keys"), "{r}");
+        let (r, d) = run(&d, "explain find 5 in R");
+        assert_eq!(r.to_string(), "plan: key eq find (#0 = 5) (~1 rows)");
+        let (r, d) = run(&d, "explain count R");
+        assert!(r.is_error());
+        let (r, _) = run(&d, "explain select from Nope");
+        assert!(r.is_error());
     }
 
     #[test]

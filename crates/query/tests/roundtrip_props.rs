@@ -101,6 +101,22 @@ fn query_strategy() -> impl Strategy<Value = Query> {
         name_strategy().prop_map(|relation| Query::Count { relation }),
         (
             name_strategy(),
+            name_strategy(),
+            prop::option::of((field_ref_strategy(), field_ref_strategy()))
+        )
+            .prop_map(|(left, right, on)| Query::Join { left, right, on }),
+        (
+            name_strategy(),
+            "[a-z][a-z0-9_]{0,7}",
+            prop::collection::vec(field_ref_strategy(), 1..4)
+        )
+            .prop_map(|(relation, name, fields)| Query::CreateIndex {
+                relation,
+                name,
+                fields
+            }),
+        (
+            name_strategy(),
             prop_oneof![Just(AggOp::Sum), Just(AggOp::Min), Just(AggOp::Max)],
             field_ref_strategy()
         )
@@ -141,7 +157,26 @@ fn ambiguous(q: &Query) -> bool {
                 })
         }
         Query::Create { relation, .. } => keywordish(relation.as_str()),
-        Query::Join { left, right } => keywordish(left.as_str()) || keywordish(right.as_str()),
+        // A right relation named "on" would swallow an absent join clause's
+        // keyword; join field names that are connectives are equally shifty.
+        Query::Join { left, right, on } => {
+            keywordish(left.as_str())
+                || keywordish(right.as_str())
+                || right.as_str().eq_ignore_ascii_case("on")
+                || on.as_ref().is_some_and(|(l, r)| {
+                    [l, r].iter().any(
+                        |f| matches!(f, FieldRef::Name(n) if keywordish(n) || n.eq_ignore_ascii_case("on")),
+                    )
+                })
+        }
+        Query::CreateIndex {
+            relation, fields, ..
+        } => {
+            keywordish(relation.as_str())
+                || fields
+                    .iter()
+                    .any(|f| matches!(f, FieldRef::Name(n) if keywordish(n)))
+        }
         Query::Aggregate {
             relation, field, ..
         } => keywordish(relation.as_str()) || matches!(field, FieldRef::Name(n) if keywordish(n)),

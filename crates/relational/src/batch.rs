@@ -125,17 +125,19 @@ fn group_ops(ops: &[BatchOp]) -> BTreeMap<Value, Vec<usize>> {
 }
 
 /// Folds one key's ops (in submission order) over its existing bucket,
-/// producing the final bucket effect (`None` = key ends up absent) and each
-/// op's outcome.
+/// producing the final bucket effect (`None` = key ends up absent), each
+/// op's outcome, and the key's net tuple-count change (feeding the
+/// relation's cached length).
 fn fold_bucket<'a, I>(
     existing: PList<Tuple>,
     ops: I,
-) -> (Option<PList<Tuple>>, Vec<(usize, BatchOutcome)>)
+) -> (Option<PList<Tuple>>, Vec<(usize, BatchOutcome)>, isize)
 where
     I: IntoIterator<Item = (usize, &'a BatchOp)>,
 {
     let mut bucket = existing;
     let mut count = bucket.len();
+    let before = count;
     let mut outcomes = Vec::new();
     for (i, op) in ops {
         match op {
@@ -157,7 +159,7 @@ where
         }
     }
     let effect = (count > 0).then_some(bucket);
-    (effect, outcomes)
+    (effect, outcomes, count as isize - before as isize)
 }
 
 /// The ascending per-key effect run handed to a tree backend's
@@ -199,7 +201,7 @@ fn tree_effects<T, G>(
     get: G,
     ops: &[BatchOp],
     run: &dyn Fn(Vec<BatchTask>),
-) -> (EffectRun, Vec<BatchOutcome>)
+) -> (EffectRun, Vec<BatchOutcome>, isize)
 where
     T: Clone + Send + Sync + 'static,
     G: Fn(&T, &Value) -> PList<Tuple> + Copy + Send + Sync + 'static,
@@ -208,19 +210,21 @@ where
     let runs = key_runs(ops, &idx);
     let mut outcomes: Vec<Option<BatchOutcome>> = vec![None; ops.len()];
     let mut effects = Vec::with_capacity(runs.len());
+    let mut delta = 0isize;
     if runs.len() < SCATTER_MIN_KEYS {
         for &(start, end) in &runs {
             let key = ops[idx[start]].key();
             let existing = get(tree, key);
-            let (effect, outs) =
+            let (effect, outs, d) =
                 fold_bucket(existing, idx[start..end].iter().map(|&i| (i, &ops[i])));
             for (i, o) in outs {
                 outcomes[i] = Some(o);
             }
+            delta += d;
             effects.push((key.clone(), effect));
         }
     } else {
-        type ChunkOut = (EffectRun, Vec<(usize, BatchOutcome)>);
+        type ChunkOut = (EffectRun, Vec<(usize, BatchOutcome)>, isize);
         let entries: Vec<(Value, Vec<(usize, BatchOp)>)> = runs
             .iter()
             .map(|&(start, end)| {
@@ -246,24 +250,27 @@ where
             tasks.push(Box::new(move || {
                 let mut effs = Vec::with_capacity(chunk.len());
                 let mut outs = Vec::new();
+                let mut d = 0isize;
                 for (key, kops) in chunk {
                     let existing = get(&tree, &key);
-                    let (effect, mut key_outs) =
+                    let (effect, mut key_outs, key_d) =
                         fold_bucket(existing, kops.iter().map(|(i, op)| (*i, op)));
                     effs.push((key, effect));
                     outs.append(&mut key_outs);
+                    d += key_d;
                 }
-                *slot.lock().expect("chunk slot lock") = Some((effs, outs));
+                *slot.lock().expect("chunk slot lock") = Some((effs, outs, d));
             }));
         }
         run(tasks);
         for slot in slots {
-            let (effs, outs) = slot
+            let (effs, outs, d) = slot
                 .lock()
                 .expect("chunk slot lock")
                 .take()
                 .expect("batch fold task must complete before the runner returns");
             effects.extend(effs);
+            delta += d;
             for (i, o) in outs {
                 outcomes[i] = Some(o);
             }
@@ -273,7 +280,7 @@ where
         .into_iter()
         .map(|o| o.expect("every op belongs to exactly one key group"))
         .collect();
-    (effects, outcomes)
+    (effects, outcomes, delta)
 }
 
 /// The per-key before/after transitions a multi-op batch induces, in the
@@ -318,7 +325,7 @@ fn btree_bucket(t: &fundb_persist::BTree<Value, PList<Tuple>>, key: &Value) -> P
 fn apply_list_batch(
     list: &PList<Tuple>,
     ops: &[BatchOp],
-) -> (PList<Tuple>, Vec<BatchOutcome>, CopyReport) {
+) -> (PList<Tuple>, Vec<BatchOutcome>, CopyReport, isize) {
     let grouped = group_ops(ops);
     let mut runs: BTreeMap<&Value, Vec<Tuple>> = grouped.keys().map(|k| (k, Vec::new())).collect();
     for t in list.iter() {
@@ -328,8 +335,10 @@ fn apply_list_batch(
     }
     let mut outcomes: Vec<Option<BatchOutcome>> = vec![None; ops.len()];
     let mut effects: Vec<(Value, Option<Vec<Tuple>>)> = Vec::with_capacity(grouped.len());
+    let mut delta = 0isize;
     for (key, indices) in &grouped {
         let mut run = runs.remove(key).expect("runs seeded from grouped keys");
+        let before = run.len();
         for &i in indices {
             match &ops[i] {
                 BatchOp::Insert(t) => {
@@ -349,6 +358,7 @@ fn apply_list_batch(
                 }
             }
         }
+        delta += run.len() as isize - before as isize;
         let effect = (!run.is_empty()).then_some(run);
         effects.push((key.clone(), effect));
     }
@@ -357,7 +367,7 @@ fn apply_list_batch(
         .into_iter()
         .map(|o| o.expect("every op belongs to exactly one key group"))
         .collect();
-    (l2, outcomes, report)
+    (l2, outcomes, report, delta)
 }
 
 /// Batch application for the arrival-order paged store. Operations do NOT
@@ -449,27 +459,37 @@ impl Relation {
             self.indexes
                 .apply_transitions(&batch_transitions(self, ops))
         };
-        let (store, outcomes, report) = match &self.store {
+        let (store, outcomes, report, delta) = match &self.store {
             Store::List(l) => {
-                let (l2, outcomes, report) = apply_list_batch(l, ops);
-                (Store::List(l2), outcomes, report)
+                let (l2, outcomes, report, delta) = apply_list_batch(l, ops);
+                (Store::List(l2), outcomes, report, delta)
             }
             Store::Tree(t) => {
-                let (effects, outcomes) = tree_effects(t, tree23_bucket, ops, run);
+                let (effects, outcomes, delta) = tree_effects(t, tree23_bucket, ops, run);
                 let (t2, report) = t.merge_batch(&effects);
-                (Store::Tree(t2), outcomes, report)
+                (Store::Tree(t2), outcomes, report, delta)
             }
             Store::BTree(t) => {
-                let (effects, outcomes) = tree_effects(t, btree_bucket, ops, run);
+                let (effects, outcomes, delta) = tree_effects(t, btree_bucket, ops, run);
                 let (t2, report) = t.merge_batch(&effects);
-                (Store::BTree(t2), outcomes, report)
+                (Store::BTree(t2), outcomes, report, delta)
             }
             Store::Paged(p) => {
                 let (p2, outcomes, report) = apply_paged_batch(p, ops);
-                (Store::Paged(p2), outcomes, report)
+                let delta = p2.len() as isize - p.len() as isize;
+                (Store::Paged(p2), outcomes, report, delta)
             }
         };
-        (Relation { store, indexes }, outcomes, report)
+        let len = (self.len as isize + delta) as usize;
+        (
+            Relation {
+                store,
+                indexes,
+                len,
+            },
+            outcomes,
+            report,
+        )
     }
 }
 

@@ -346,8 +346,23 @@ impl Database {
         index: &str,
         field: usize,
     ) -> Result<Database, DatabaseError> {
+        self.create_index_multi(name, index, &[field])
+    }
+
+    /// Attaches (and builds) a composite secondary index over `fields` in
+    /// lexicographic order (see [`Relation::create_index_multi`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`create_index`](Self::create_index).
+    pub fn create_index_multi(
+        &self,
+        name: &RelationName,
+        index: &str,
+        fields: &[usize],
+    ) -> Result<Database, DatabaseError> {
         let (db, _, ok) =
-            self.update_relation(name, |rel| match rel.create_index(index, field) {
+            self.update_relation(name, |rel| match rel.create_index_multi(index, fields) {
                 Some(r2) => (r2, CopyReport::default(), true),
                 None => (rel.clone(), CopyReport::default(), false),
             })?;

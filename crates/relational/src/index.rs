@@ -48,23 +48,49 @@ impl KeyTransition {
     }
 }
 
-/// A persistent secondary index on one attribute: attribute value →
-/// ascending posting list of primary keys holding at least one tuple with
-/// that value.
+/// One component of a composite index key: an attribute value, or the
+/// supremum sentinel. `Sup` is declared after `Val` so the derived order
+/// places it above every value — appending it to a prefix yields an upper
+/// bound covering every full key with that prefix.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum IxVal {
+    /// An actual attribute value.
+    Val(Value),
+    /// Greater than every value (prefix-range upper bound).
+    Sup,
+}
+
+/// The composite key a tuple contributes to an index over `fields`, or
+/// `None` when the tuple is too narrow for any indexed attribute.
+fn composite_key(fields: &[usize], t: &Tuple) -> Option<Vec<IxVal>> {
+    fields
+        .iter()
+        .map(|&f| t.get(f).cloned().map(IxVal::Val))
+        .collect()
+}
+
+/// A persistent secondary index on one or more attributes: a lexicographic
+/// value tuple → ascending posting list of primary keys holding at least
+/// one tuple with those values.
 #[derive(Clone)]
 pub struct SecondaryIndex {
     name: Arc<str>,
-    field: usize,
-    map: Tree23<Value, PList<Value>>,
+    fields: Arc<[usize]>,
+    map: Tree23<Vec<IxVal>, PList<Value>>,
+    /// Total posting entries (sum of posting-list lengths): together with
+    /// [`distinct_values`](Self::distinct_values) this gives the planner
+    /// an average-fanout hint without an O(n) walk.
+    entries: usize,
 }
 
 impl fmt::Debug for SecondaryIndex {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols: Vec<String> = self.fields.iter().map(|f| format!("#{f}")).collect();
         write!(
             f,
-            "SecondaryIndex[{} on #{}; {} values]",
+            "SecondaryIndex[{} on {}; {} values]",
             self.name,
-            self.field,
+            cols.join(","),
             self.map.len()
         )
     }
@@ -75,24 +101,41 @@ impl SecondaryIndex {
     /// over `tuples` — the path used by `create index` DDL and by crash
     /// recovery, which rebuilds contents from the recovered relation.
     pub fn build<I: IntoIterator<Item = Tuple>>(name: &str, field: usize, tuples: I) -> Self {
-        let mut entries: BTreeMap<Value, BTreeSet<Value>> = BTreeMap::new();
+        Self::build_multi(name, &[field], tuples)
+    }
+
+    /// Builds a (possibly composite) index over `fields` in lexicographic
+    /// order. Tuples missing *any* indexed attribute are unindexed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fields` is empty.
+    pub fn build_multi<I: IntoIterator<Item = Tuple>>(
+        name: &str,
+        fields: &[usize],
+        tuples: I,
+    ) -> Self {
+        assert!(!fields.is_empty(), "an index needs at least one field");
+        let mut grouped: BTreeMap<Vec<IxVal>, BTreeSet<Value>> = BTreeMap::new();
         for t in tuples {
-            if let Some(v) = t.get(field) {
-                entries
-                    .entry(v.clone())
-                    .or_default()
-                    .insert(t.key().clone());
+            if let Some(k) = composite_key(fields, &t) {
+                grouped.entry(k).or_default().insert(t.key().clone());
             }
         }
-        let effects: Vec<(Value, Option<PList<Value>>)> = entries
+        let mut entries = 0usize;
+        let effects: Vec<(Vec<IxVal>, Option<PList<Value>>)> = grouped
             .into_iter()
-            .map(|(v, keys)| (v, Some(posting_from(&keys))))
+            .map(|(v, keys)| {
+                entries += keys.len();
+                (v, Some(posting_from(&keys)))
+            })
             .collect();
         let (map, _) = Tree23::new().merge_batch(&effects);
         SecondaryIndex {
             name: Arc::from(name),
-            field,
+            fields: fields.into(),
             map,
+            entries,
         }
     }
 
@@ -101,39 +144,96 @@ impl SecondaryIndex {
         &self.name
     }
 
-    /// The attribute position the index covers.
+    /// The first (or only) attribute position the index covers.
     pub fn field(&self) -> usize {
-        self.field
+        self.fields[0]
     }
 
-    /// Number of distinct attribute values currently indexed.
+    /// The attribute positions the index covers, in key order.
+    pub fn fields(&self) -> &[usize] {
+        &self.fields
+    }
+
+    /// Number of indexed columns.
+    pub fn width(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Number of distinct (composite) attribute values currently indexed.
     pub fn distinct_values(&self) -> usize {
         self.map.len()
     }
 
-    /// The primary keys holding at least one tuple whose indexed attribute
-    /// equals `value`, in ascending key order.
-    pub fn keys_eq(&self, value: &Value) -> Vec<Value> {
-        self.map
-            .get(value)
-            .map(|p| p.iter().cloned().collect())
-            .unwrap_or_default()
+    /// Total posting entries across all values (≥ `distinct_values`);
+    /// `entries / distinct_values` is the average posting fanout.
+    pub fn entries(&self) -> usize {
+        self.entries
     }
 
-    /// The primary keys holding at least one tuple whose indexed attribute
-    /// lies in the (inclusive) range, deduplicated and ascending. Open
-    /// bounds default to the smallest/largest indexed value.
+    /// The primary keys holding at least one tuple whose first indexed
+    /// attribute equals `value`, in ascending key order. On a composite
+    /// index this is a width-1 prefix probe.
+    pub fn keys_eq(&self, value: &Value) -> Vec<Value> {
+        self.keys_prefix(std::slice::from_ref(value))
+    }
+
+    /// The primary keys matching `values` against the leading index
+    /// columns. A full-width match is one tree descent to a single
+    /// posting; a strict prefix is a range probe over the contiguous run
+    /// of keys sharing the prefix, deduplicated and ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `values` is empty or wider than the index.
+    pub fn keys_prefix(&self, values: &[Value]) -> Vec<Value> {
+        assert!(
+            !values.is_empty() && values.len() <= self.fields.len(),
+            "prefix width {} outside 1..={}",
+            values.len(),
+            self.fields.len()
+        );
+        let lo: Vec<IxVal> = values.iter().cloned().map(IxVal::Val).collect();
+        if values.len() == self.fields.len() {
+            return self
+                .map
+                .get(&lo)
+                .map(|p| p.iter().cloned().collect())
+                .unwrap_or_default();
+        }
+        let mut hi = lo.clone();
+        hi.push(IxVal::Sup);
+        let mut keys: BTreeSet<Value> = BTreeSet::new();
+        for (_, posting) in self.map.range(&lo, &hi) {
+            keys.extend(posting.iter().cloned());
+        }
+        keys.into_iter().collect()
+    }
+
+    /// The primary keys holding at least one tuple whose first indexed
+    /// attribute lies in the (inclusive) range, deduplicated and
+    /// ascending. Open bounds default to the smallest/largest indexed
+    /// value.
     pub fn keys_in_range(&self, lo: Option<&Value>, hi: Option<&Value>) -> Vec<Value> {
-        let lo = lo.or_else(|| self.map.min().map(|(k, _)| k));
-        let hi = hi.or_else(|| self.map.max().map(|(k, _)| k));
-        let (Some(lo), Some(hi)) = (lo, hi) else {
-            return Vec::new();
+        let lo_key: Vec<IxVal> = match lo {
+            // A bare prefix sorts below every full key sharing it.
+            Some(v) => vec![IxVal::Val(v.clone())],
+            None => match self.map.min() {
+                Some((k, _)) => k.clone(),
+                None => return Vec::new(),
+            },
         };
-        if lo > hi {
+        let hi_key: Vec<IxVal> = match hi {
+            Some(v) => vec![IxVal::Val(v.clone()), IxVal::Sup],
+            None => match self.map.max() {
+                Some((k, _)) => k.clone(),
+                None => return Vec::new(),
+            },
+        };
+        if lo_key > hi_key {
             return Vec::new();
         }
         let mut keys: BTreeSet<Value> = BTreeSet::new();
-        for (_, posting) in self.map.range(lo, hi) {
+        for (_, posting) in self.map.range(&lo_key, &hi_key) {
             keys.extend(posting.iter().cloned());
         }
         keys.into_iter().collect()
@@ -142,7 +242,7 @@ impl SecondaryIndex {
     /// `true` when both indexes are physically the same value.
     pub fn ptr_eq(&self, other: &SecondaryIndex) -> bool {
         Arc::ptr_eq(&self.name, &other.name)
-            && self.field == other.field
+            && self.fields == other.fields
             && self.map.ptr_eq(&other.map)
     }
 
@@ -150,31 +250,35 @@ impl SecondaryIndex {
     /// `merge_batch` pass. Postings are rebuilt per touched attribute
     /// value (they are short); the tree shares every untouched path.
     fn apply_transitions(&self, runs: &[KeyTransition]) -> SecondaryIndex {
-        // attribute value → (keys gaining the value, keys losing it)
-        let mut delta: BTreeMap<&Value, (BTreeSet<&Value>, BTreeSet<&Value>)> = BTreeMap::new();
+        // composite value → (keys gaining the value, keys losing it)
+        let mut delta: BTreeMap<Vec<IxVal>, (BTreeSet<&Value>, BTreeSet<&Value>)> = BTreeMap::new();
         for run in runs {
-            let before: BTreeSet<&Value> = run
+            let before: BTreeSet<Vec<IxVal>> = run
                 .before
                 .iter()
-                .filter_map(|t| t.get(self.field))
+                .filter_map(|t| composite_key(&self.fields, t))
                 .collect();
-            let after: BTreeSet<&Value> =
-                run.after.iter().filter_map(|t| t.get(self.field)).collect();
+            let after: BTreeSet<Vec<IxVal>> = run
+                .after
+                .iter()
+                .filter_map(|t| composite_key(&self.fields, t))
+                .collect();
             for v in after.difference(&before) {
-                delta.entry(*v).or_default().0.insert(&run.key);
+                delta.entry(v.clone()).or_default().0.insert(&run.key);
             }
             for v in before.difference(&after) {
-                delta.entry(*v).or_default().1.insert(&run.key);
+                delta.entry(v.clone()).or_default().1.insert(&run.key);
             }
         }
         if delta.is_empty() {
             return self.clone();
         }
-        let mut effects: Vec<(Value, Option<PList<Value>>)> = Vec::with_capacity(delta.len());
+        let mut entries = self.entries;
+        let mut effects: Vec<(Vec<IxVal>, Option<PList<Value>>)> = Vec::with_capacity(delta.len());
         for (value, (add, del)) in delta {
             let mut keys: BTreeSet<Value> = self
                 .map
-                .get(value)
+                .get(&value)
                 .map(|p| p.iter().cloned().collect())
                 .unwrap_or_default();
             let old_len = keys.len();
@@ -188,12 +292,13 @@ impl SecondaryIndex {
             if !changed {
                 continue;
             }
+            entries = entries - old_len + keys.len();
             let effect = if keys.is_empty() {
                 None
             } else {
                 Some(posting_from(&keys))
             };
-            effects.push((value.clone(), effect));
+            effects.push((value, effect));
         }
         if effects.is_empty() {
             return self.clone();
@@ -201,8 +306,9 @@ impl SecondaryIndex {
         let (map, _) = self.map.merge_batch(&effects);
         SecondaryIndex {
             name: self.name.clone(),
-            field: self.field,
+            fields: self.fields.clone(),
             map,
+            entries,
         }
     }
 }
@@ -396,6 +502,80 @@ mod tests {
             KeyTransition::new(3.into(), vec![], vec![t(3, "a")]),
             KeyTransition::new(3.into(), vec![], vec![t(3, "b")]),
         ]);
+    }
+
+    fn t3(key: i64, group: &str, score: i64) -> Tuple {
+        Tuple::new(vec![key.into(), group.into(), score.into()])
+    }
+
+    #[test]
+    fn composite_point_and_prefix_lookup() {
+        let ix = SecondaryIndex::build_multi(
+            "by_gs",
+            &[1, 2],
+            vec![
+                t3(1, "a", 10),
+                t3(2, "a", 20),
+                t3(3, "b", 10),
+                t3(4, "a", 10),
+            ],
+        );
+        assert_eq!(ix.width(), 2);
+        assert_eq!(ix.field(), 1);
+        assert_eq!(ix.fields(), &[1, 2]);
+        // Full-width: one posting lookup.
+        assert_eq!(
+            ix.keys_prefix(&["a".into(), 10.into()]),
+            vec![1.into(), 4.into()]
+        );
+        assert!(ix.keys_prefix(&["b".into(), 99.into()]).is_empty());
+        // Width-1 prefix: range probe over the contiguous run.
+        assert_eq!(
+            ix.keys_prefix(&["a".into()]),
+            vec![1.into(), 2.into(), 4.into()]
+        );
+        assert_eq!(ix.keys_eq(&"b".into()), vec![3.into()]);
+        // First-column range still works on a composite index.
+        assert_eq!(
+            ix.keys_in_range(Some(&"a".into()), Some(&"b".into())).len(),
+            4
+        );
+        assert_eq!(ix.distinct_values(), 3);
+        assert_eq!(ix.entries(), 4);
+    }
+
+    #[test]
+    fn composite_transitions_maintain_entries() {
+        let set = IndexSet::empty()
+            .with(SecondaryIndex::build_multi(
+                "by_gs",
+                &[1, 2],
+                vec![t3(1, "a", 10)],
+            ))
+            .unwrap();
+        // Key 2 arrives at (a, 10); key 1 moves to (b, 10).
+        let set = set.apply_transitions(&[
+            KeyTransition::new(1.into(), vec![t3(1, "a", 10)], vec![t3(1, "b", 10)]),
+            KeyTransition::new(2.into(), vec![], vec![t3(2, "a", 10)]),
+        ]);
+        let ix = set.get("by_gs").unwrap();
+        assert_eq!(ix.keys_prefix(&["a".into(), 10.into()]), vec![2.into()]);
+        assert_eq!(ix.keys_prefix(&["b".into(), 10.into()]), vec![1.into()]);
+        assert_eq!(ix.entries(), 2);
+        // Deleting key 2 drops its posting and the entry count.
+        let set =
+            set.apply_transitions(&[KeyTransition::new(2.into(), vec![t3(2, "a", 10)], vec![])]);
+        let ix = set.get("by_gs").unwrap();
+        assert!(ix.keys_prefix(&["a".into(), 10.into()]).is_empty());
+        assert_eq!(ix.entries(), 1);
+        assert_eq!(ix.distinct_values(), 1);
+    }
+
+    #[test]
+    fn composite_skips_narrow_tuples() {
+        let narrow = Tuple::new(vec![7.into(), "g".into()]);
+        let ix = SecondaryIndex::build_multi("by_gs", &[1, 2], vec![narrow, t3(1, "a", 10)]);
+        assert_eq!(ix.distinct_values(), 1);
     }
 
     #[test]

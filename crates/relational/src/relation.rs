@@ -414,6 +414,11 @@ impl Store {
 pub struct Relation {
     pub(crate) store: Store,
     pub(crate) indexes: IndexSet,
+    /// Cached tuple count. The tree stores' `len` is a full iteration
+    /// (their O(1) lengths count distinct keys, not bucket contents), so
+    /// the relation tracks its own — the planner's cardinality estimates
+    /// and the batched probe threshold ask for it on every query.
+    pub(crate) len: usize,
 }
 
 impl fmt::Debug for Relation {
@@ -430,9 +435,11 @@ impl From<Store> for Relation {
     /// Wraps a bare store as an unindexed relation — the constructor the
     /// checkpoint loader uses after materializing a store shape.
     fn from(store: Store) -> Self {
+        let len = store.len();
         Relation {
             store,
             indexes: IndexSet::empty(),
+            len,
         }
     }
 }
@@ -471,14 +478,22 @@ impl Relation {
     /// `name` on attribute position `field`. Returns `None` if an index
     /// with that name already exists. The store is shared, not copied.
     pub fn create_index(&self, name: &str, field: usize) -> Option<Relation> {
+        self.create_index_multi(name, &[field])
+    }
+
+    /// Attaches a (possibly composite) secondary index over `fields` in
+    /// lexicographic order (see [`SecondaryIndex::build_multi`]). Returns
+    /// `None` if an index with that name already exists.
+    pub fn create_index_multi(&self, name: &str, fields: &[usize]) -> Option<Relation> {
         if self.indexes.get(name).is_some() {
             return None;
         }
-        let ix = SecondaryIndex::build(name, field, self.store.scan_iter());
+        let ix = SecondaryIndex::build_multi(name, fields, self.store.scan_iter());
         let indexes = self.indexes.with(ix).expect("duplicate name checked above");
         Some(Relation {
             store: self.store.clone(),
             indexes,
+            len: self.len,
         })
     }
 
@@ -487,14 +502,15 @@ impl Relation {
         self.store.repr()
     }
 
-    /// Number of tuples.
+    /// Number of tuples. O(1): the count is carried through every write
+    /// rather than recounted from the store.
     pub fn len(&self) -> usize {
-        self.store.len()
+        self.len
     }
 
     /// `true` if the relation holds no tuples.
     pub fn is_empty(&self) -> bool {
-        self.store.is_empty()
+        self.len == 0
     }
 
     /// Inserts a tuple, returning the new relation and a copy report.
@@ -514,7 +530,15 @@ impl Relation {
             )])
         };
         let (store, report) = self.store.insert(tuple);
-        (Relation { store, indexes }, report)
+        let len = self.len + 1;
+        (
+            Relation {
+                store,
+                indexes,
+                len,
+            },
+            report,
+        )
     }
 
     /// Every tuple whose key equals `key`.
@@ -526,6 +550,48 @@ impl Relation {
     /// [`Store::key_group`]).
     pub fn key_group(&self, key: &Value) -> Vec<Tuple> {
         self.store.key_group(key)
+    }
+
+    /// The tuples of every key in `keys` (a strictly ascending run, as the
+    /// index posting lookups produce) — the batched form of
+    /// [`key_group`](Self::key_group). Tree stores probe per key while the
+    /// run is small and switch to one merged ordered pass when `k·log n`
+    /// would exceed a scan; list and paged stores, whose per-key probes
+    /// are already O(n), always take the single pass.
+    pub fn key_groups_sorted(&self, keys: &[Value]) -> Vec<Tuple> {
+        if keys.is_empty() {
+            return Vec::new();
+        }
+        if let Store::Tree(_) | Store::BTree(_) = &self.store {
+            let n = self.len();
+            let per_probe = (usize::BITS - n.max(1).leading_zeros()) as usize;
+            if keys.len() * per_probe < n {
+                return keys.iter().flat_map(|k| self.store.key_group(k)).collect();
+            }
+        }
+        if self.store.is_key_ordered() {
+            // Both runs ascend: one synchronized walk, one tree descent
+            // total (the scan) amortized across every probed key.
+            let mut out = Vec::new();
+            let mut i = 0usize;
+            for t in self.scan_iter() {
+                while i < keys.len() && keys[i] < *t.key() {
+                    i += 1;
+                }
+                if i == keys.len() {
+                    break;
+                }
+                if keys[i] == *t.key() {
+                    out.push(t);
+                }
+            }
+            out
+        } else {
+            // Arrival order: filter the scan against the sorted run.
+            self.scan_iter()
+                .filter(|t| keys.binary_search(t.key()).is_ok())
+                .collect()
+        }
     }
 
     /// Like [`find`](Self::find), but also reports how many stored cells
@@ -639,7 +705,16 @@ impl Relation {
                 Vec::new(),
             )])
         };
-        (Relation { store, indexes }, removed, report)
+        let len = self.len - removed.len();
+        (
+            Relation {
+                store,
+                indexes,
+                len,
+            },
+            removed,
+            report,
+        )
     }
 }
 
@@ -964,6 +1039,58 @@ mod tests {
                 "{repr}"
             );
         }
+    }
+
+    #[test]
+    fn key_groups_sorted_matches_per_key_probes() {
+        for repr in all_reprs() {
+            // 300 tuples over 30 keys so the tree path crosses the
+            // merged-pass threshold for wide runs and stays under it for
+            // narrow ones.
+            let r = Relation::from_tuples(
+                repr,
+                (0..300).map(|i| Tuple::new(vec![(i % 30).into(), i.into()])),
+            );
+            for keys in [
+                vec![Value::from(3), 7.into(), 11.into()],
+                (0..30).map(Value::from).collect::<Vec<_>>(),
+                vec![Value::from(-5), 99.into()],
+                Vec::new(),
+            ] {
+                let mut batched = r.key_groups_sorted(&keys);
+                let mut per_key: Vec<Tuple> = keys.iter().flat_map(|k| r.key_group(k)).collect();
+                if !r.store().is_key_ordered() {
+                    batched.sort();
+                    per_key.sort();
+                }
+                assert_eq!(batched, per_key, "{repr} keys={keys:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn create_index_multi_attaches_composite() {
+        let r = Relation::from_tuples(
+            Repr::Tree23,
+            vec![
+                Tuple::new(vec![1.into(), "a".into(), 10.into()]),
+                Tuple::new(vec![2.into(), "a".into(), 20.into()]),
+                Tuple::new(vec![3.into(), "b".into(), 10.into()]),
+            ],
+        );
+        let r = r.create_index_multi("by_gs", &[1, 2]).unwrap();
+        let ix = r.index_on(1).unwrap();
+        assert_eq!(ix.fields(), &[1, 2]);
+        assert_eq!(ix.keys_prefix(&["a".into(), 20.into()]), vec![2.into()]);
+        assert!(r.create_index_multi("by_gs", &[2]).is_none());
+        // Composite indexes follow single-tuple writes too.
+        let (r2, _) = r.insert(Tuple::new(vec![4.into(), "a".into(), 20.into()]));
+        assert_eq!(
+            r2.index_on(1)
+                .unwrap()
+                .keys_prefix(&["a".into(), 20.into()]),
+            vec![2.into(), 4.into()]
+        );
     }
 
     #[test]

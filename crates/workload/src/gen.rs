@@ -470,6 +470,158 @@ impl SelectiveSpec {
     }
 }
 
+/// Parameters for the TPC-H-flavored analytic benchmark workload: an
+/// order/lineitem star join plus composite point selections over a large
+/// fact relation.
+///
+/// Two relations model a warehouse slice. `Orders` is small: `orders` rows
+/// `(okey, okey % 100, okey)` whose keys are spread evenly over
+/// `0..order_span` — the "open orders" currently being analyzed.
+/// `Lineitem` is large: `lineitems` rows `(i, i % order_span, i % parts,
+/// (i / parts) % supps, i % 50)` — line id, order key, part, supplier,
+/// quantity. Generated queries come in two measured streams:
+///
+/// * [`Self::join_ops`] — `join Orders with Lineitem on #0 = #1`. Against
+///   [`Self::baseline`] the planner has no index on `Lineitem#1` and runs
+///   the build-and-probe pass over every fact row; against
+///   [`Self::planned`] the same query probes the join index once per
+///   order, touching only matching lines.
+/// * [`Self::point_ops`] — mostly `#2 = p and #3 = s` point selections
+///   (plus some single-group projections standing in for group-by cells,
+///   summed client-side). The baseline serves them from the single-column
+///   index on `#2` with a residual filter; the planned database serves
+///   them from the composite `(#2, #3)` index in one probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyticSpec {
+    /// Concurrent submitting clients.
+    pub clients: usize,
+    /// Queries per client per stream (all read-only).
+    pub ops_per_client: usize,
+    /// Rows in `Orders` (the small side of the join).
+    pub orders: usize,
+    /// Key space `Lineitem#1` draws from; only `orders / order_span` of
+    /// the fact rows join, so an index probe beats touching all of them.
+    pub order_span: i64,
+    /// Rows in `Lineitem` (the large fact side).
+    pub lineitems: usize,
+    /// Distinct values of `Lineitem#2`; a single-column probe matches
+    /// `lineitems / parts` rows.
+    pub parts: i64,
+    /// Distinct values of `Lineitem#3` *per part*; the composite probe
+    /// matches `lineitems / (parts * supps)` rows.
+    pub supps: i64,
+    /// RNG seed; equal specs generate equal workloads.
+    pub seed: u64,
+}
+
+impl AnalyticSpec {
+    /// The small dimension relation's name.
+    pub const ORDERS: &'static str = "Orders";
+    /// The large fact relation's name.
+    pub const LINEITEM: &'static str = "Lineitem";
+    /// The baseline single-column index on `Lineitem#2`.
+    pub const SINGLE_INDEX: &'static str = "li_by_part";
+    /// The planned join index on `Lineitem#1`.
+    pub const JOIN_INDEX: &'static str = "li_by_order";
+    /// The planned composite index on `(Lineitem#2, Lineitem#3)`.
+    pub const COMPOSITE_INDEX: &'static str = "li_by_part_supp";
+
+    /// The pre-seeded, index-free database.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order_span`, `parts` or `supps` is not positive.
+    pub fn initial(&self) -> Database {
+        assert!(self.order_span > 0, "need a positive order span");
+        assert!(self.parts > 0 && self.supps > 0, "need positive domains");
+        let mut db = Database::empty()
+            .create_relation(Self::ORDERS, Repr::BTree(16))
+            .expect("fresh database has no relations")
+            .create_relation(Self::LINEITEM, Repr::BTree(16))
+            .expect("generated names are unique");
+        let orders_name = Self::ORDERS.into();
+        let stride = (self.order_span / self.orders.max(1) as i64).max(1);
+        for o in 0..self.orders {
+            let okey = o as i64 * stride;
+            let tuple = Tuple::new(vec![okey.into(), (okey % 100).into(), okey.into()]);
+            let (d2, _) = db.insert(&orders_name, tuple).expect("relation exists");
+            db = d2;
+        }
+        let lineitem_name = Self::LINEITEM.into();
+        for i in 0..self.lineitems {
+            let id = i as i64;
+            let tuple = Tuple::new(vec![
+                id.into(),
+                (id % self.order_span).into(),
+                (id % self.parts).into(),
+                ((id / self.parts) % self.supps).into(),
+                (id % 50).into(),
+            ]);
+            let (d2, _) = db.insert(&lineitem_name, tuple).expect("relation exists");
+            db = d2;
+        }
+        db
+    }
+
+    /// The baseline access paths: only the single-column index on `#2`.
+    /// Joins fall back to build-and-probe; composite selections pay a
+    /// residual filter over the wider single-column postings.
+    pub fn baseline(db: &Database) -> Database {
+        db.create_index(&Self::LINEITEM.into(), Self::SINGLE_INDEX, 2)
+            .expect("initial database has no indexes")
+    }
+
+    /// The planned access paths on top of [`Self::baseline`]: the join
+    /// index on `#1` and the composite index on `(#2, #3)`.
+    pub fn planned(db: &Database) -> Database {
+        db.create_index(&Self::LINEITEM.into(), Self::JOIN_INDEX, 1)
+            .expect("join index is fresh")
+            .create_index_multi(&Self::LINEITEM.into(), Self::COMPOSITE_INDEX, &[2, 3])
+            .expect("composite index is fresh")
+    }
+
+    /// One client's join stream: the star join, repeated. The query takes
+    /// no parameters, so the stream needs no RNG; per-client streams exist
+    /// to drive the engine concurrently.
+    pub fn join_ops(&self, _client: usize) -> Vec<Transaction> {
+        let q = format!("join {} with {} on #0 = #1", Self::ORDERS, Self::LINEITEM);
+        let tx = translate(parse(&q).expect("generated queries parse"));
+        (0..self.ops_per_client).map(|_| tx.clone()).collect()
+    }
+
+    /// One client's point-selection stream: four fifths composite
+    /// equality probes, one fifth single-group projections (a group-by
+    /// cell, summed client-side).
+    pub fn point_ops(&self, client: usize) -> Vec<Transaction> {
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            self.seed ^ (client as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        let rel = Self::LINEITEM;
+        (0..self.ops_per_client)
+            .map(|_| {
+                let p = rng.gen_range(0..self.parts);
+                let q = if rng.gen_range(0u32..100) < 80 {
+                    let s = rng.gen_range(0..self.supps);
+                    format!("select from {rel} where #2 = {p} and #3 = {s}")
+                } else {
+                    format!("select #4 from {rel} where #2 = {p}")
+                };
+                translate(parse(&q).expect("generated queries parse"))
+            })
+            .collect()
+    }
+
+    /// Every client's join stream, indexed by client.
+    pub fn all_join_clients(&self) -> Vec<Vec<Transaction>> {
+        (0..self.clients).map(|c| self.join_ops(c)).collect()
+    }
+
+    /// Every client's point stream, indexed by client.
+    pub fn all_point_clients(&self) -> Vec<Vec<Transaction>> {
+        (0..self.clients).map(|c| self.point_ops(c)).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -684,6 +836,83 @@ mod tests {
                 assert_eq!(scan, indexed, "{}", tx.query());
             }
         }
+    }
+
+    fn analytic() -> AnalyticSpec {
+        AnalyticSpec {
+            clients: 2,
+            ops_per_client: 30,
+            orders: 20,
+            order_span: 100,
+            lineitems: 1_000,
+            parts: 10,
+            supps: 5,
+            seed: 17,
+        }
+    }
+
+    #[test]
+    fn analytic_streams_are_deterministic_and_read_only() {
+        let spec = analytic();
+        let points: Vec<String> = spec
+            .point_ops(0)
+            .iter()
+            .map(|t| t.query().to_string())
+            .collect();
+        let again: Vec<String> = spec
+            .point_ops(0)
+            .iter()
+            .map(|t| t.query().to_string())
+            .collect();
+        assert_eq!(points, again);
+        assert!(points.iter().all(|q| q.starts_with("select")));
+        assert!(points
+            .iter()
+            .any(|q| q.contains("#2 = ") && q.contains("#3 = ")));
+        assert!(points.iter().any(|q| q.starts_with("select #4")));
+        let joins = spec.join_ops(0);
+        assert_eq!(joins.len(), 30);
+        assert_eq!(
+            joins[0].query().to_string(),
+            "join Orders with Lineitem on #0 = #1"
+        );
+    }
+
+    #[test]
+    fn analytic_baseline_and_planned_answer_identically() {
+        let spec = analytic();
+        let base_db = AnalyticSpec::baseline(&spec.initial());
+        let planned_db = AnalyticSpec::planned(&base_db);
+        let li = planned_db.relation(&AnalyticSpec::LINEITEM.into()).unwrap();
+        assert_eq!(li.indexes().len(), 3);
+        for ops in spec
+            .all_join_clients()
+            .into_iter()
+            .chain(spec.all_point_clients())
+        {
+            for tx in ops {
+                let (base, _) = tx.apply(&base_db);
+                assert!(!base.is_error(), "{base}");
+                let (planned, _) = tx.apply(&planned_db);
+                assert_eq!(base, planned, "{}", tx.query());
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_join_is_selective() {
+        // Only orders / order_span of the fact rows participate: the join
+        // output stays far smaller than Lineitem, which is what makes an
+        // index nested loop pay off.
+        let spec = analytic();
+        let db = AnalyticSpec::baseline(&spec.initial());
+        let (resp, _) = spec.join_ops(0)[0].apply(&db);
+        let joined = resp.tuples().expect("join answers tuples").len();
+        assert!(joined > 0, "join matched nothing");
+        assert!(
+            joined <= spec.lineitems / 2,
+            "join output {joined} is not selective"
+        );
     }
 
     #[test]

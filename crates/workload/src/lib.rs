@@ -24,4 +24,6 @@ pub use experiment::{
     run_scaling, run_table1, run_table2, run_table3, ScalingRow, SpeedupRow, Table1Row,
     PAPER_RELATION_COLUMNS, PAPER_UPDATE_PERCENTS,
 };
-pub use gen::{HotPathSpec, Phase, PhasedSpec, SelectiveSpec, Workload, WorkloadSpec};
+pub use gen::{
+    AnalyticSpec, HotPathSpec, Phase, PhasedSpec, SelectiveSpec, Workload, WorkloadSpec,
+};

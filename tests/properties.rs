@@ -172,6 +172,29 @@ fn ix_ops() -> impl Strategy<Value = Vec<(IxOp, bool)>> {
     )
 }
 
+/// Like [`IxOp`], with a third attribute so a composite index over
+/// `(#1, #2)` and an equi-join over `#1` have real work to do.
+#[derive(Debug, Clone)]
+enum PlanOp {
+    Insert(i64, i64, i64),
+    Delete(i64),
+    Replace(i64, i64, i64),
+}
+
+fn plan_ops() -> impl Strategy<Value = Vec<(PlanOp, bool)>> {
+    prop::collection::vec(
+        (
+            prop_oneof![
+                (0i64..24, 0i64..5, 0i64..3).prop_map(|(k, g, h)| PlanOp::Insert(k, g, h)),
+                (0i64..24).prop_map(PlanOp::Delete),
+                (0i64..24, 0i64..5, 0i64..3).prop_map(|(k, g, h)| PlanOp::Replace(k, g, h)),
+            ],
+            any::<bool>(),
+        ),
+        0..60,
+    )
+}
+
 proptest! {
     #[test]
     fn database_matches_multiset_model(ops in db_ops(), use_tree in any::<bool>()) {
@@ -329,6 +352,105 @@ proptest! {
     }
 
     #[test]
+    fn planned_access_paths_equal_full_scan_on_every_backend(
+        ops in plan_ops(),
+    ) {
+        use fundb::query::plan::execute_join_explained;
+        use fundb::query::{apply_select, execute_select, FieldRef, Predicate};
+        use fundb::relational::BatchOp;
+
+        // A fixed outer relation for the join: one tuple per group value,
+        // so `on #1 = #1` exercises every posting the index may hold.
+        let left = Relation::from_tuples(
+            Repr::Tree23,
+            (0..5i64).map(|g| Tuple::new(vec![(100 + g).into(), g.into()])),
+        );
+        let sorted = |mut ts: Vec<Tuple>| {
+            ts.sort_by_key(|t| format!("{t:?}"));
+            ts
+        };
+
+        for repr in [Repr::List, Repr::Tree23, Repr::BTree(3), Repr::Paged(4)] {
+            // `indexed` carries a single-column and a composite index, so
+            // the planner has real paths to pick; `plain` forces the scan
+            // semantics the plans must reproduce.
+            let mut indexed = Relation::empty(repr)
+                .create_index("by_g", 1)
+                .and_then(|r| r.create_index_multi("by_gh", &[1, 2]))
+                .expect("fresh relation has no index yet");
+            let mut plain = Relation::empty(repr);
+            let mut pending: Vec<BatchOp> = Vec::new();
+
+            let flush = |indexed: &mut Relation,
+                         plain: &mut Relation,
+                         pending: &mut Vec<BatchOp>| {
+                if pending.is_empty() {
+                    return;
+                }
+                let (next, _, _) = indexed.apply_batch(pending);
+                *indexed = next;
+                let (next, _, _) = plain.apply_batch(pending);
+                *plain = next;
+                pending.clear();
+            };
+
+            for (op, boundary) in &ops {
+                let bop = match op {
+                    PlanOp::Insert(k, g, h) => BatchOp::Insert(Tuple::new(vec![
+                        (*k).into(),
+                        (*g).into(),
+                        (*h).into(),
+                    ])),
+                    PlanOp::Delete(k) => BatchOp::Delete((*k).into()),
+                    PlanOp::Replace(k, g, h) => BatchOp::Replace(Tuple::new(vec![
+                        (*k).into(),
+                        (*g).into(),
+                        (*h).into(),
+                    ])),
+                };
+                if *boundary {
+                    flush(&mut indexed, &mut plain, &mut pending);
+                    let (i2, _, _) = indexed.apply_batch(std::slice::from_ref(&bop));
+                    let (p2, _, _) = plain.apply_batch(&[bop]);
+                    indexed = i2;
+                    plain = p2;
+                } else {
+                    pending.push(bop);
+                }
+            }
+            flush(&mut indexed, &mut plain, &mut pending);
+
+            // Composite point predicates: whatever path the planner picks
+            // must answer exactly like the reference scan.
+            for g in 0..5i64 {
+                for h in 0..3i64 {
+                    let pred = Some(Predicate::And(
+                        Box::new(Predicate::FieldEq(FieldRef::Index(1), Value::from(g))),
+                        Box::new(Predicate::FieldEq(FieldRef::Index(2), Value::from(h))),
+                    ));
+                    let fast = execute_select(&indexed, None, &None, &pred).unwrap();
+                    let slow = apply_select(plain.scan(), None, &None, &pred).unwrap();
+                    prop_assert_eq!(
+                        sorted(fast),
+                        sorted(slow),
+                        "{:?} #1={} #2={}",
+                        repr,
+                        g,
+                        h
+                    );
+                }
+            }
+
+            // Non-key equi-join: the indexed side may run the index
+            // nested loop, the plain side always scan-builds — same
+            // multiset either way.
+            let (fast, _) = execute_join_explained(&left, &indexed, Some((1, 1)));
+            let (slow, _) = execute_join_explained(&left, &plain, Some((1, 1)));
+            prop_assert_eq!(sorted(fast), sorted(slow), "join on {:?}", repr);
+        }
+    }
+
+    #[test]
     fn merge_preserves_subsequences(
         a in prop::collection::vec(any::<u16>(), 0..40),
         b in prop::collection::vec(any::<u16>(), 0..40),
@@ -364,9 +486,14 @@ proptest! {
         use fundb::durable::scratch::ScratchDir;
 
         let tmp = ScratchDir::new("prop-index-recovery");
-        let probes: Vec<String> = (0..5)
+        let mut probes: Vec<String> = (0..5)
             .map(|g| format!("select from R where #1 = {g}"))
             .collect();
+        // Composite probes: the recovered engine must rebuild the
+        // multi-column definition, not just single-attribute ones.
+        for g in 0..5 {
+            probes.push(format!("select from R where #1 = {g} and #2 = {}", g % 2));
+        }
         let before = {
             let (engine, _) = DurableEngine::open(tmp.path(), 2).unwrap();
             engine.run([
@@ -374,11 +501,20 @@ proptest! {
                 translate(parse("create index by_group on R (#1)").unwrap()),
             ]);
             let cut = checkpoint_at as usize % ops.len();
+            // The composite index lands before or after the checkpoint,
+            // covering both the manifest-carried and the WAL-replayed
+            // definition path.
+            let composite_at = (checkpoint_at >> 8) as usize % ops.len();
             for (i, (k, g, delete)) in ops.iter().enumerate() {
+                if i == composite_at {
+                    engine.run([translate(
+                        parse("create index by_gh on R (#1, #2)").unwrap(),
+                    )]);
+                }
                 let q = if *delete {
                     format!("delete {k} from R")
                 } else {
-                    format!("insert ({k}, {g}) into R")
+                    format!("insert ({k}, {g}, {}) into R", g % 2)
                 };
                 engine.run([translate(parse(&q).unwrap())]);
                 if i == cut {

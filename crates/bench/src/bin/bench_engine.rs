@@ -30,6 +30,16 @@
 //! index plus residual filter vs one composite-index probe). Both hold
 //! the engine fixed and compare `baseline` vs `planned` databases.
 //!
+//! The `standing` workload ([`fundb_workload::StandingSpec`]) measures
+//! incremental view maintenance: one analytic join repeated over a
+//! million-tuple fact relation mutating under it, against the same
+//! pipelined engine without (every query recomputes with a full
+//! build-and-probe pass) and with (the query scans the differentially
+//! maintained `Standing` view) the view materialized. It also measures
+//! what maintenance costs the writers: p50/p99 write-path latency for a
+//! pure-write fact stream with 0, 1 and 4 views attached, recorded in
+//! the JSON as `view_write_overhead`.
+//!
 //! Run from the repository root to refresh the checked-in record:
 //!
 //! ```text
@@ -61,7 +71,7 @@ use fundb_core::{ClassicEngine, PipelinedEngine};
 use fundb_lenient::Lenient;
 use fundb_query::{Response, Transaction};
 use fundb_relational::Database;
-use fundb_workload::{AnalyticSpec, HotPathSpec, SelectiveSpec};
+use fundb_workload::{AnalyticSpec, HotPathSpec, SelectiveSpec, StandingSpec};
 
 const CLIENTS: usize = 4;
 const OPS_PER_CLIENT: usize = 8000;
@@ -87,6 +97,20 @@ const ANALYTIC_PARTS: i64 = 1_000;
 const ANALYTIC_SUPPS: i64 = 10;
 const ANALYTIC_JOIN_OPS: usize = 4;
 const ANALYTIC_POINT_OPS: usize = 200;
+/// `standing` repeats one analytic join over a million-tuple fact
+/// relation mutating under it: the recompute side pays a build-and-probe
+/// pass over all of `Fact` per query, the view side scans the
+/// incrementally-maintained `Standing` view. Per-query costs mirror the
+/// analytic join's, so query counts stay small.
+const STANDING_DIMS: usize = 500;
+const STANDING_DIM_SPAN: i64 = 50_000;
+const STANDING_FACTS: usize = 1_000_000;
+const STANDING_GROUPS: i64 = 1_000;
+const STANDING_ROUNDS: usize = 5;
+const STANDING_WRITES: usize = 20;
+/// Pure-write stream length per client for the 0/1/4-view write-path
+/// overhead measurement.
+const OVERHEAD_WRITES: usize = 1_000;
 const REPETITIONS: usize = 7;
 const WORKER_COUNTS: [usize; 3] = [1, 4, 8];
 /// Pool width for the instrumented latency repetition.
@@ -105,6 +129,13 @@ struct Config {
     analytic_supps: i64,
     analytic_join_ops: usize,
     analytic_point_ops: usize,
+    standing_dims: usize,
+    standing_dim_span: i64,
+    standing_facts: usize,
+    standing_groups: i64,
+    standing_rounds: usize,
+    standing_writes: usize,
+    overhead_writes: usize,
     repetitions: usize,
     smoke: bool,
     /// `--only <workload>`: restrict the run to one workload by name.
@@ -131,6 +162,13 @@ impl Config {
             analytic_supps: if smoke { 5 } else { ANALYTIC_SUPPS },
             analytic_join_ops: if smoke { 3 } else { ANALYTIC_JOIN_OPS },
             analytic_point_ops: if smoke { 25 } else { ANALYTIC_POINT_OPS },
+            standing_dims: if smoke { 50 } else { STANDING_DIMS },
+            standing_dim_span: if smoke { 500 } else { STANDING_DIM_SPAN },
+            standing_facts: if smoke { 5_000 } else { STANDING_FACTS },
+            standing_groups: if smoke { 50 } else { STANDING_GROUPS },
+            standing_rounds: if smoke { 2 } else { STANDING_ROUNDS },
+            standing_writes: if smoke { 10 } else { STANDING_WRITES },
+            overhead_writes: if smoke { 50 } else { OVERHEAD_WRITES },
             repetitions: if smoke { 1 } else { REPETITIONS },
             smoke,
             only,
@@ -323,8 +361,27 @@ fn side_labels_of(workload: &str) -> (&'static str, &'static str) {
         ("scan", "indexed")
     } else if workload.starts_with("analytic") {
         ("baseline", "planned")
+    } else if workload == "standing" {
+        ("recompute", "view")
     } else {
         ("classic", "current")
+    }
+}
+
+/// Write-path latency (µs) under the pure-write fact stream with 0, 1
+/// and 4 maintained views ([`ViewOverhead::VIEW_COUNTS`]), best of the
+/// instrumented repetitions per view count.
+struct ViewOverhead {
+    p50: [f64; 3],
+    p99: [f64; 3],
+}
+
+impl ViewOverhead {
+    const VIEW_COUNTS: [usize; 3] = [0, 1, 4];
+
+    /// p99 write latency increase over the view-free side, in percent.
+    fn p99_overhead_pct(&self, i: usize) -> f64 {
+        (self.p99[i] - self.p99[0]) / self.p99[0] * 100.0
     }
 }
 
@@ -428,6 +485,16 @@ fn main() {
         run_analytic(&config, &mut rows, &mut floors, &mut latencies);
     }
 
+    let mut overhead = None;
+    if config.runs("standing") {
+        overhead = Some(run_standing(
+            &config,
+            &mut rows,
+            &mut floors,
+            &mut latencies,
+        ));
+    }
+
     if config.smoke {
         println!(
             "\nsmoke run complete ({} cases); JSON not written",
@@ -435,7 +502,7 @@ fn main() {
         );
         return;
     }
-    let json = render_json(&rows, &floors, &latencies, &config);
+    let json = render_json(&rows, &floors, &latencies, overhead.as_ref(), &config);
     std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
     println!("\nwrote BENCH_engine.json ({} cases)", rows.len());
 }
@@ -592,10 +659,120 @@ fn run_analytic(
     }
 }
 
+/// The `standing` workload: the incremental-view-maintenance measurement.
+///
+/// Each client interleaves fact-relation writes with the standing join
+/// query (see [`StandingSpec`]), against the same pipelined engine over
+/// a `recompute` database (no view — every query pays a build-and-probe
+/// pass over the whole fact relation) and a `view` database (the
+/// `Standing` join view is materialized — each write pays one
+/// differential maintenance pass over its own transitions, and the query
+/// substitutes the view). The ratio is the incremental-maintenance win.
+///
+/// The returned [`ViewOverhead`] is the companion write-path cost: p50
+/// and p99 submit→response latency of a pure-write fact stream with 0,
+/// 1 and 4 views attached to the written relation.
+fn run_standing(
+    config: &Config,
+    rows: &mut Vec<Row>,
+    floors: &mut Vec<(&'static str, f64)>,
+    latencies: &mut Vec<LatencyRow>,
+) -> ViewOverhead {
+    let spec = StandingSpec {
+        clients: CLIENTS,
+        rounds_per_client: config.standing_rounds,
+        writes_per_round: config.standing_writes,
+        dims: config.standing_dims,
+        dim_span: config.standing_dim_span,
+        facts: config.standing_facts,
+        groups: config.standing_groups,
+        seed: 0xbe57,
+    };
+    let recompute_db = spec.initial();
+    let view_db = StandingSpec::materialize(&recompute_db);
+    let clients = spec.all_clients();
+    // Recompute-side queries pay a full pass over the fact relation per
+    // query, so repetitions are capped like the analytic pair's.
+    let reps = config.repetitions.min(3);
+    let floor = sequential_floor(&recompute_db, &clients, 1);
+    println!("{:<12} sequential floor: {floor:>12.0} ops/s", "standing");
+    floors.push(("standing", floor));
+    for &workers in &WORKER_COUNTS {
+        let (recompute, view) = measure(
+            || Box::new(PipelinedEngine::new(workers, &recompute_db)),
+            || Box::new(PipelinedEngine::new(workers, &view_db)),
+            &clients,
+            reps,
+        );
+        push_row(
+            Row {
+                workload: "standing",
+                workers,
+                classic: recompute,
+                current: view,
+            },
+            rows,
+        );
+    }
+    let recompute_engine = PipelinedEngine::new(LATENCY_WORKERS, &recompute_db);
+    let (left_p50, left_p99) = latency_side(&recompute_engine, &clients);
+    let view_engine = PipelinedEngine::new(LATENCY_WORKERS, &view_db);
+    let (right_p50, right_p99) = latency_side(&view_engine, &clients);
+    println!(
+        "{:<12} latency µs (p50/p99) recompute={left_p50:.0}/{left_p99:.0}  \
+         view={right_p50:.0}/{right_p99:.0}",
+        "standing"
+    );
+    println!("{:<12} stats: {}", "standing", view_engine.stats());
+    latencies.push(LatencyRow {
+        workload: "standing",
+        left_p50,
+        left_p99,
+        right_p50,
+        right_p99,
+    });
+
+    // What maintenance costs the writers: the same fact relation hammered
+    // by a pure-write stream with 0, 1 and 4 views attached. Best-of-reps
+    // per view count — p99 on a shared host is noisy, and the overhead
+    // ratio needs stable tails on both sides of the division.
+    let write_spec = StandingSpec {
+        rounds_per_client: 1,
+        writes_per_round: config.overhead_writes,
+        ..spec
+    };
+    let write_clients = write_spec.all_write_clients();
+    let mut overhead = ViewOverhead {
+        p50: [f64::INFINITY; 3],
+        p99: [f64::INFINITY; 3],
+    };
+    for (i, &views) in ViewOverhead::VIEW_COUNTS.iter().enumerate() {
+        let db = StandingSpec::maintenance_views(&recompute_db, views);
+        for _ in 0..reps {
+            let engine = PipelinedEngine::new(LATENCY_WORKERS, &db);
+            let (p50, p99) = latency_side(&engine, &write_clients);
+            overhead.p50[i] = overhead.p50[i].min(p50);
+            overhead.p99[i] = overhead.p99[i].min(p99);
+        }
+        println!(
+            "{:<12} write latency µs (p50/p99) views={views}: {:.0}/{:.0}",
+            "standing", overhead.p50[i], overhead.p99[i]
+        );
+    }
+    println!(
+        "{:<12} write-path p99 overhead: 1 view {:+.1}%, 4 views {:+.1}%",
+        "standing",
+        overhead.p99_overhead_pct(1),
+        overhead.p99_overhead_pct(2)
+    );
+    overhead
+}
+
 fn render_json(
     rows: &[Row],
     floors: &[(&str, f64)],
     latencies: &[LatencyRow],
+    overhead: Option<&ViewOverhead>,
     config: &Config,
 ) -> String {
     let mut out = String::new();
@@ -604,9 +781,11 @@ fn render_json(
         "  \"benchmark\": \"pipelined engine hot path: classic (coarse lock, job-per-txn) \
          vs current (sharded frontier, write coalescing, read fast-path); the selective \
          workload instead holds the current engine fixed and compares full-scan vs \
-         secondary-index access paths, and the analytic pair compares baseline vs planned \
+         secondary-index access paths, the analytic pair compares baseline vs planned \
          access paths (build-and-probe vs index-nested-loop joins, single-column-plus-\
-         residual vs composite point probes)\",\n",
+         residual vs composite point probes), and the standing workload compares \
+         recomputing an analytic join per query vs scanning an incrementally-maintained \
+         materialized view while the fact relation mutates\",\n",
     );
     out.push_str("  \"regenerate\": \"cargo run --release -p fundb-bench --bin bench_engine\",\n");
     out.push_str(&format!(
@@ -652,6 +831,29 @@ fn render_json(
         ));
     }
     out.push_str("  ],\n");
+    if let Some(o) = overhead {
+        out.push_str(&format!(
+            "  \"view_write_overhead\": {{\n    \"note\": \"write-path submit-to-response \
+             latency (µs) of a pure-write fact stream with 0, 1 and 4 materialized views \
+             attached to the written relation; best of {} instrumented repetitions at {} \
+             workers\",\n",
+            config.repetitions.min(3),
+            LATENCY_WORKERS
+        ));
+        out.push_str(&format!(
+            "    \"p50_us\": {{\"views_0\": {:.1}, \"views_1\": {:.1}, \"views_4\": {:.1}}},\n",
+            o.p50[0], o.p50[1], o.p50[2]
+        ));
+        out.push_str(&format!(
+            "    \"p99_us\": {{\"views_0\": {:.1}, \"views_1\": {:.1}, \"views_4\": {:.1}}},\n",
+            o.p99[0], o.p99[1], o.p99[2]
+        ));
+        out.push_str(&format!(
+            "    \"p99_overhead_pct\": {{\"views_1\": {:.1}, \"views_4\": {:.1}}}\n  }},\n",
+            o.p99_overhead_pct(1),
+            o.p99_overhead_pct(2)
+        ));
+    }
     out.push_str("  \"cases\": [\n");
     for (i, row) in rows.iter().enumerate() {
         let (left, right) = row.side_labels();

@@ -226,6 +226,30 @@ impl DataflowCompiler {
                         }
                     })
                 }
+                // A view creation costs a full pass over its first base,
+                // like an index build.
+                Query::CreateView { spec, .. } => {
+                    let bases = spec.reads();
+                    bases
+                        .first()
+                        .and_then(|r| index.get(r).copied())
+                        .and_then(|p| {
+                            let cursor = self.walk_spine(&mut g, entry, &spine, p, group);
+                            let visited = rels[p].keys.len();
+                            match self.model.shape {
+                                AccessShape::LinearList => {
+                                    self.walk_cells(&mut g, cursor, &rels[p].avail, visited, group)
+                                }
+                                AccessShape::BalancedTree => self.walk_tree_path(
+                                    &mut g,
+                                    cursor,
+                                    rels[p].root,
+                                    visited,
+                                    group,
+                                ),
+                            }
+                        })
+                }
                 Query::Select { relation, .. }
                 | Query::Count { relation }
                 | Query::Aggregate { relation, .. }

@@ -61,13 +61,16 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use fundb_lenient::{scatter, spawn_on_current_pool, AtomicArc, Lenient, WorkerPool};
-use fundb_query::ast::compute_aggregate;
+use fundb_query::ast::{compute_aggregate, ViewSpec};
 use fundb_query::plan::{
     choose_join_strategy, execute_join_explained, execute_select_explained, explain_select,
 };
-use fundb_query::{FieldRef, Query, Response, Transaction};
-use fundb_relational::{BatchOp, BatchOutcome, Database, Relation, RelationName, Schema};
-use parking_lot::{Mutex, MutexGuard, RwLock};
+use fundb_query::{FieldRef, Predicate, Query, Response, Transaction};
+use fundb_relational::{
+    batch_transitions, derive_delta, eval_view, BatchOp, BatchOutcome, Database, Relation,
+    RelationName, Repr, Schema, ViewDef,
+};
+use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
 
 use crate::commit::CommitSink;
 use crate::fasthash::BuildFnv;
@@ -101,6 +104,149 @@ struct BatchOps {
     /// promotes it by spawning the job itself (under the slot lock, so
     /// enqueue order still matches version-capture order).
     has_job: bool,
+}
+
+/// Which side of a view's definition a base relation feeds: the single
+/// base of a select/aggregate view, or one side of a join view (the side
+/// decides which delta-derivation rule a transition run goes through).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum DepRole {
+    /// The only base of a select or grouped-aggregate view.
+    Base,
+    /// The left (driving) side of a join view.
+    JoinLeft,
+    /// The right (probed) side of a join view.
+    JoinRight,
+}
+
+/// A registration on a base relation's slot: every claimed run committed
+/// against the slot forwards its per-key transitions to `view` — the
+/// differential maintenance pass. Runs whose sequence numbers lie below
+/// `from_seq` were already folded into the view's initial materialization
+/// (their batch was sealed when the view registered) and are skipped.
+#[derive(Clone)]
+struct Dependent {
+    view: Arc<ViewHandle>,
+    role: DepRole,
+    from_seq: u64,
+}
+
+/// A materialized view's contents plus the cached last-committed values of
+/// its base relations. The caches are what makes join maintenance safe
+/// under concurrency: a left-side delta probes the *right base as of its
+/// last propagated commit* (and vice versa), both read and replaced under
+/// the one `inner` lock, so interleaved left/right commits converge to the
+/// join of the final bases regardless of propagation order.
+struct ViewState {
+    /// The view's current contents — a full [`Relation`].
+    current: Relation,
+    /// The single base (select/aggregate) or join-left base, as of the
+    /// last commit propagated from it.
+    left: Relation,
+    /// The join-right base likewise; mirrors `left` for one-base views.
+    right: Relation,
+}
+
+/// One materialized view: its definition, schema, and state. `inner` is
+/// `None` between the view's registration on its base slots and the end of
+/// its initial materialization (which runs on the creating client's
+/// thread); a propagation arriving in that window blocks on `init_cv` —
+/// never the other way round, since materialization waits only on base
+/// head cells, which fill independently.
+struct ViewHandle {
+    name: RelationName,
+    def: ViewDef,
+    schema: Option<Schema>,
+    inner: Mutex<Option<ViewState>>,
+    init_cv: Condvar,
+}
+
+impl ViewHandle {
+    /// Runs `f` on the view's state under its lock, blocking until the
+    /// initial materialization has filled it.
+    fn with_state<T>(&self, f: impl FnOnce(&mut ViewState) -> T) -> T {
+        let mut guard = self.inner.lock();
+        while guard.is_none() {
+            self.init_cv.wait(&mut guard);
+        }
+        f(guard.as_mut().expect("waited for init above"))
+    }
+
+    /// Applies one base commit's transition runs to the view: derive the
+    /// view's own transitions (per the definition's delta rule) and merge
+    /// them in — O(touched · log n), never a rescan. A self-join is the
+    /// one case with no sound incremental rule here (both sides change at
+    /// once) and falls back to re-evaluation.
+    fn apply_delta(
+        &self,
+        role: DepRole,
+        base: &RelationName,
+        runs: &[fundb_relational::KeyTransition],
+        base_after: &Relation,
+        stats: &EngineStats,
+    ) {
+        self.with_state(|st| {
+            if let ViewDef::Join { left, right, .. } = &self.def {
+                if left == right {
+                    st.current = fundb_relational::rebuilt_like(
+                        &st.current,
+                        eval_view(&self.def, base_after, Some(base_after)),
+                    );
+                    st.left = base_after.clone();
+                    st.right = base_after.clone();
+                    EngineStats::bump(&stats.view_updates);
+                    return;
+                }
+            }
+            let other = match role {
+                DepRole::JoinLeft => Some(&st.right),
+                DepRole::JoinRight => Some(&st.left),
+                DepRole::Base => None,
+            };
+            let delta = derive_delta(&self.def, base, &st.current, runs, other);
+            st.current = st.current.apply_transitions(&delta);
+            match role {
+                DepRole::Base | DepRole::JoinLeft => st.left = base_after.clone(),
+                DepRole::JoinRight => st.right = base_after.clone(),
+            }
+            EngineStats::bump(&stats.view_updates);
+        })
+    }
+}
+
+/// Forwards a committed run's transitions to every dependent view
+/// registered on `slot`. Runs inside the commit, *before* any response or
+/// the output cell fills, so an acknowledged base write is already visible
+/// in its views — which is what lets a view read prove freshness by
+/// waiting on base head cells alone.
+fn propagate_to_views(
+    slot: &RelationSlot,
+    relation: &RelationName,
+    first: &Relation,
+    next: &Relation,
+    first_seq: u64,
+    data_ops: &[BatchOp],
+    stats: &EngineStats,
+) {
+    if data_ops.is_empty() {
+        return;
+    }
+    let runs = batch_transitions(first, data_ops);
+    if runs.is_empty() {
+        return;
+    }
+    // Snapshot the registration list, then apply outside its lock: a
+    // propagation may block briefly on a view's initial materialization,
+    // and that wait must not hold up concurrent view creation.
+    let deps: Vec<Dependent> = slot.dependents.lock().clone();
+    for dep in &deps {
+        if first_seq < dep.from_seq {
+            // This run was sealed when the view registered: its effects
+            // are part of the initial materialization already.
+            continue;
+        }
+        dep.view.apply_delta(dep.role, relation, &runs, next, stats);
+    }
 }
 
 /// What a slot's lock-free frontier publishes: the newest *ready*
@@ -199,9 +345,14 @@ fn commit_and_apply(
     first: &Relation,
     claimed: Vec<(u64, Query, Lenient<Response>)>,
     output: &Lenient<Relation>,
-    frontier: &AtomicArc<FrontierEntry>,
+    slot: &RelationSlot,
     stats: &EngineStats,
 ) {
+    let frontier = &slot.frontier;
+    // Sampled once per run: registration happens under the slot's state
+    // lock before any post-registration batch can open, so a run that
+    // must propagate always sees the flag.
+    let wants_views = slot.has_dependents.load(Ordering::Acquire);
     EngineStats::bump(&stats.batches_claimed);
     EngineStats::add(&stats.ops_claimed, claimed.len() as u64);
     // The run's sequence numbers end here; the frontier entry published
@@ -228,8 +379,22 @@ fn commit_and_apply(
     // A run of one op — a batch sealed by a reader right away — skips the
     // batch machinery: no op vector, no outcome vector, no extra clone.
     if claimed.len() == 1 {
-        let (_, q, resp_cell) = claimed.into_iter().next().expect("len checked");
+        let (seq, q, resp_cell) = claimed.into_iter().next().expect("len checked");
+        let data_op = if wants_views {
+            match &q {
+                Query::Insert { tuple, .. } => Some(BatchOp::Insert(tuple.clone())),
+                Query::Replace { tuple, .. } => Some(BatchOp::Replace(tuple.clone())),
+                Query::Delete { key, .. } => Some(BatchOp::Delete(key.clone())),
+                // Index DDL changes no rows: nothing to propagate.
+                _ => None,
+            }
+        } else {
+            None
+        };
         let (next, resp) = apply_single(first, q);
+        if let Some(op) = data_op {
+            propagate_to_views(slot, relation, first, &next, seq, &[op], stats);
+        }
         publish_frontier(frontier, covers, &next);
         resp_cell.fill(resp).ok();
         output.fill(next).ok();
@@ -251,6 +416,10 @@ fn commit_and_apply(
         })
         .collect();
     let (next, outcomes, _) = first.apply_batch_scattered(&ops, &scatter);
+    if wants_views {
+        let first_seq = claimed.first().map(|(s, _, _)| *s).expect("nonempty run");
+        propagate_to_views(slot, relation, first, &next, first_seq, &ops, stats);
+    }
     publish_frontier(frontier, covers, &next);
     for ((_, q, resp_cell), outcome) in claimed.into_iter().zip(outcomes) {
         let resp = match (q, outcome) {
@@ -299,15 +468,7 @@ fn force(
             guard.output.clone(),
         )
     };
-    commit_and_apply(
-        sink,
-        &relation,
-        &current,
-        ops,
-        &output,
-        &slot.frontier,
-        stats,
-    );
+    commit_and_apply(sink, &relation, &current, ops, &output, slot, stats);
     true
 }
 
@@ -352,7 +513,7 @@ fn run_batch_job(
             first,
             claimed,
             &output,
-            &slot.frontier,
+            slot.as_ref(),
             stats,
         );
     }
@@ -407,7 +568,7 @@ fn drain_chain(
             &first,
             claimed,
             &output,
-            &slot.frontier,
+            slot.as_ref(),
             stats,
         );
         drained += 1;
@@ -505,6 +666,16 @@ struct RelationSlot {
     /// keeps the read side to a plain store (no RMW); a mark lost to the
     /// load/clear race only nudges the regime heuristic, never correctness.
     read_seen: AtomicBool,
+    /// Materialized views registered on this relation: every claimed run
+    /// forwards its transitions to each of them. A leaf lock — taken under
+    /// the slot's state lock during registration, and alone during
+    /// propagation — so it cannot participate in a lock cycle.
+    dependents: Mutex<Vec<Dependent>>,
+    /// Mirror of `!dependents.is_empty()`, so the common no-views commit
+    /// path pays one relaxed load instead of a lock. Also disables the
+    /// bypass regime: bypass writes skip [`commit_and_apply`], which is
+    /// where propagation lives.
+    has_dependents: AtomicBool,
 }
 
 impl RelationSlot {
@@ -519,6 +690,8 @@ impl RelationSlot {
             })),
             submitted: AtomicU64::new(start_seq),
             read_seen: AtomicBool::new(false),
+            dependents: Mutex::new(Vec::new()),
+            has_dependents: AtomicBool::new(false),
             state: Mutex::new(SlotState {
                 head: Head::Ready(value),
                 open: None,
@@ -534,8 +707,12 @@ impl RelationSlot {
 /// through the per-thread slot cache and read it only on a cache miss.
 struct Catalog {
     slots: HashMap<RelationName, Arc<RelationSlot>, BuildFnv>,
-    /// Creation order, so a barrier can rebuild a `Database` with stable
-    /// spine positions.
+    /// Materialized views by name. Views have no slot — they are never
+    /// written directly; their contents live in the [`ViewHandle`] and
+    /// advance only through base-commit propagation.
+    views: HashMap<RelationName, Arc<ViewHandle>, BuildFnv>,
+    /// Creation order (relations and views), so a barrier can rebuild a
+    /// `Database` with stable spine positions.
     order: Vec<RelationName>,
     /// Names claimed by an in-flight `create` whose durable commit is
     /// still running outside the lock: they collide like existing
@@ -584,6 +761,9 @@ pub struct PipelinedEngine {
     sink: Option<Arc<dyn CommitSink>>,
     /// Hot-path event counters (relaxed atomics; see [`EngineStats`]).
     stats: Arc<EngineStats>,
+    /// `true` once any view exists — gates the per-select/join view
+    /// substitution probe so engines without views pay nothing for it.
+    views_exist: AtomicBool,
     /// Identity for the per-thread slot cache (see [`Self::slot`]).
     id: u64,
 }
@@ -648,34 +828,107 @@ impl PipelinedEngine {
         seq_marks: &HashMap<RelationName, u64>,
     ) -> Self {
         let order = initial.relation_names();
-        let slots: HashMap<RelationName, Arc<RelationSlot>, BuildFnv> = order
-            .iter()
-            .map(|n| {
-                let rel = initial
-                    .relation(n)
-                    .expect("name from this database")
-                    .clone();
-                let schema = initial.schema(n).expect("name from this database").cloned();
-                (
-                    n.clone(),
-                    Arc::new(RelationSlot::new(
-                        schema,
-                        rel,
-                        seq_marks.get(n).copied().unwrap_or(0),
-                    )),
-                )
-            })
-            .collect();
+        let view_defs: HashMap<RelationName, Arc<ViewDef>> = initial.views().into_iter().collect();
+        let mut slots: HashMap<RelationName, Arc<RelationSlot>, BuildFnv> = HashMap::default();
+        let mut views: HashMap<RelationName, Arc<ViewHandle>, BuildFnv> = HashMap::default();
+        for n in &order {
+            let rel = initial
+                .relation(n)
+                .expect("name from this database")
+                .clone();
+            let schema = initial.schema(n).expect("name from this database").cloned();
+            match view_defs.get(n) {
+                None => {
+                    slots.insert(
+                        n.clone(),
+                        Arc::new(RelationSlot::new(
+                            schema,
+                            rel,
+                            seq_marks.get(n).copied().unwrap_or(0),
+                        )),
+                    );
+                }
+                Some(def) => {
+                    // A recovered view: contents come in with the initial
+                    // database (rebuilt from its bases by recovery); the
+                    // base caches are those bases' initial values.
+                    let bases = def.bases();
+                    let left = initial
+                        .relation(bases[0])
+                        .expect("view bases precede the view")
+                        .clone();
+                    let right = bases
+                        .get(1)
+                        .map(|b| {
+                            initial
+                                .relation(b)
+                                .expect("view bases precede the view")
+                                .clone()
+                        })
+                        .unwrap_or_else(|| left.clone());
+                    views.insert(
+                        n.clone(),
+                        Arc::new(ViewHandle {
+                            name: n.clone(),
+                            def: def.as_ref().clone(),
+                            schema,
+                            inner: Mutex::new(Some(ViewState {
+                                current: rel,
+                                left,
+                                right,
+                            })),
+                            init_cv: Condvar::new(),
+                        }),
+                    );
+                }
+            }
+        }
+        for handle in views.values() {
+            Self::register_dependents(
+                handle,
+                |b| slots.get(b).map(Arc::clone),
+                |slot| slot.state.lock().next_seq,
+            );
+        }
+        let views_exist = !views.is_empty();
         PipelinedEngine {
             pool: WorkerPool::new(workers),
             catalog: RwLock::new(Catalog {
                 slots,
+                views,
                 order,
                 reserved: HashSet::new(),
             }),
             sink,
             stats: Arc::new(EngineStats::default()),
+            views_exist: AtomicBool::new(views_exist),
             id: ENGINE_IDS.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// Registers `handle` as a dependent on each of its base slots,
+    /// resolving slots through `lookup` and each base's starting sequence
+    /// number through `from_seq_of`.
+    fn register_dependents(
+        handle: &Arc<ViewHandle>,
+        lookup: impl Fn(&RelationName) -> Option<Arc<RelationSlot>>,
+        from_seq_of: impl Fn(&RelationSlot) -> u64,
+    ) {
+        let is_join = matches!(handle.def, ViewDef::Join { .. });
+        for (i, base) in handle.def.bases().into_iter().enumerate() {
+            let slot = lookup(base).expect("view bases exist as relations");
+            let role = match (is_join, i) {
+                (false, _) => DepRole::Base,
+                (true, 0) => DepRole::JoinLeft,
+                (true, _) => DepRole::JoinRight,
+            };
+            let from_seq = from_seq_of(&slot);
+            slot.dependents.lock().push(Dependent {
+                view: Arc::clone(handle),
+                role,
+                from_seq,
+            });
+            slot.has_dependents.store(true, Ordering::Release);
         }
     }
 
@@ -709,6 +962,224 @@ impl PipelinedEngine {
             map.insert(name.clone(), Arc::clone(&slot));
             Some(slot)
         })
+    }
+
+    /// Resolves a name to its materialized-view handle, if it names one.
+    fn view(&self, name: &RelationName) -> Option<Arc<ViewHandle>> {
+        if !self.views_exist.load(Ordering::Acquire) {
+            return None;
+        }
+        self.catalog.read().views.get(name).cloned()
+    }
+
+    /// Resolves a `create view` spec against the slots' static schemas
+    /// into a position-only [`ViewDef`], rejecting missing bases and
+    /// views-over-views (same rules as [`Database::create_view`]).
+    fn resolve_spec(&self, spec: &ViewSpec) -> Result<ViewDef, Response> {
+        let schema_of = |n: &RelationName| -> Result<Option<Schema>, Response> {
+            if self.view(n).is_some() {
+                return Err(Response::Error(format!(
+                    "views over views are not supported: {n}"
+                )));
+            }
+            match self.slot(n) {
+                Some(s) => Ok(s.schema.clone()),
+                None => Err(Response::Error(format!("no such relation: {n}"))),
+            }
+        };
+        match spec {
+            ViewSpec::Select {
+                relation,
+                predicate,
+            } => {
+                let schema = schema_of(relation)?;
+                let filter = match predicate {
+                    None => None,
+                    Some(p) => Some(p.to_view_filter(schema.as_ref()).map_err(Response::Error)?),
+                };
+                Ok(ViewDef::Select {
+                    base: relation.clone(),
+                    filter,
+                })
+            }
+            ViewSpec::Join {
+                left,
+                right,
+                on: (lf, rf),
+            } => {
+                let ls = schema_of(left)?;
+                let rs = schema_of(right)?;
+                Ok(ViewDef::Join {
+                    left: left.clone(),
+                    right: right.clone(),
+                    left_field: lf.resolve(ls.as_ref()).map_err(Response::Error)?,
+                    right_field: rf.resolve(rs.as_ref()).map_err(Response::Error)?,
+                })
+            }
+            ViewSpec::Count { relation, group } => {
+                let s = schema_of(relation)?;
+                Ok(ViewDef::GroupCount {
+                    base: relation.clone(),
+                    group: group.resolve(s.as_ref()).map_err(Response::Error)?,
+                })
+            }
+            ViewSpec::Sum {
+                relation,
+                field,
+                group,
+            } => {
+                let s = schema_of(relation)?;
+                Ok(ViewDef::GroupSum {
+                    base: relation.clone(),
+                    field: field.resolve(s.as_ref()).map_err(Response::Error)?,
+                    group: group.resolve(s.as_ref()).map_err(Response::Error)?,
+                })
+            }
+        }
+    }
+
+    /// A view whose definition is exactly `select from relation [where
+    /// predicate]`, if one exists — the select is then answered from the
+    /// view without re-filtering (views hold whole base rows, so any
+    /// projection still applies).
+    fn matching_select_view(
+        &self,
+        relation: &RelationName,
+        predicate: &Option<Predicate>,
+    ) -> Option<Arc<ViewHandle>> {
+        let schema = self.slot(relation)?.schema.clone();
+        let want = match predicate {
+            None => None,
+            Some(p) => Some(p.to_view_filter(schema.as_ref()).ok()?),
+        };
+        let catalog = self.catalog.read();
+        catalog
+            .views
+            .values()
+            .find(|v| {
+                matches!(&v.def, ViewDef::Select { base, filter }
+                    if base == relation && *filter == want)
+            })
+            .cloned()
+    }
+
+    /// A view whose definition is exactly `join left with right` on the
+    /// given (resolved) attributes, if one exists. A `None` join means
+    /// key-key, which a view on `#0 = #0` covers.
+    fn matching_join_view(
+        &self,
+        left: &RelationName,
+        right: &RelationName,
+        on: Option<(usize, usize)>,
+    ) -> Option<Arc<ViewHandle>> {
+        let on = on.unwrap_or((0, 0));
+        let catalog = self.catalog.read();
+        catalog
+            .views
+            .values()
+            .find(|v| {
+                matches!(&v.def, ViewDef::Join { left: l, right: r, left_field, right_field }
+                    if l == left && r == right && (*left_field, *right_field) == on)
+            })
+            .cloned()
+    }
+
+    /// Submits a read answered from a materialized view's contents.
+    ///
+    /// Freshness protocol: seal and pin every base's head (name-ordered
+    /// locks, like join). Once those heads fill, every base write
+    /// submitted before this read has committed, and commits propagate to
+    /// dependent views *before* filling their output cells — so by then
+    /// the view covers at least this read's prefix. (It may additionally
+    /// include concurrently submitted writes; an equivalent serial order
+    /// simply places them before the read.) Fast path: if every base's
+    /// published frontier covers all its submitted writes, that proof has
+    /// already happened and the read answers inline.
+    fn submit_view_read(&self, view: Arc<ViewHandle>, query: Query) -> Lenient<Response> {
+        fn answer(
+            rel: &Relation,
+            schema: Option<&Schema>,
+            query: &Query,
+            stats: &EngineStats,
+        ) -> Response {
+            match query {
+                Query::Find { key, .. } => Response::Tuples(rel.find(key)),
+                Query::FindRange { lo, hi, .. } => Response::Tuples(rel.find_range(lo, hi)),
+                Query::Count { .. } => Response::Count(rel.len()),
+                Query::Select {
+                    projection,
+                    predicate,
+                    ..
+                } => match execute_select_explained(rel, schema, projection, predicate) {
+                    Ok((tuples, path)) => {
+                        stats.record_path(&path);
+                        Response::Tuples(tuples)
+                    }
+                    Err(e) => Response::Error(e),
+                },
+                Query::Aggregate { op, field, .. } => {
+                    match compute_aggregate(&rel.scan(), schema, *op, field) {
+                        Ok(value) => Response::Aggregate {
+                            op: op.to_string(),
+                            value,
+                        },
+                        Err(e) => Response::Error(e),
+                    }
+                }
+                _ => unreachable!("view read arm"),
+            }
+        }
+
+        let base_names: Vec<RelationName> = view.def.bases().into_iter().cloned().collect();
+        let bases: Vec<Arc<RelationSlot>> =
+            base_names.iter().filter_map(|b| self.slot(b)).collect();
+        for slot in &bases {
+            slot.read_seen.store(true, Ordering::Relaxed);
+        }
+        let quiescent = bases.iter().all(|slot| {
+            slot.frontier
+                .with(|e| e.covers == slot.submitted.load(Ordering::Acquire))
+        });
+        if quiescent {
+            EngineStats::bump(&self.stats.frontier_hits);
+            let resp = view
+                .with_state(|st| answer(&st.current, view.schema.as_ref(), &query, &self.stats));
+            return Lenient::ready(resp);
+        }
+        EngineStats::bump(&self.stats.frontier_misses);
+        let heads: Vec<Lenient<Relation>> = {
+            // Name-ordered locking, the same discipline as join and the
+            // consistent cut.
+            let mut idx: Vec<usize> = (0..bases.len()).collect();
+            idx.sort_by(|&a, &b| base_names[a].as_str().cmp(base_names[b].as_str()));
+            let mut guards: Vec<Option<MutexGuard<'_, SlotState>>> =
+                bases.iter().map(|_| None).collect();
+            for &i in &idx {
+                guards[i] = Some(bases[i].state.lock());
+            }
+            bases
+                .iter()
+                .zip(guards.iter_mut())
+                .map(|(slot, guard)| {
+                    let state = guard.as_mut().expect("guard acquired above");
+                    self.seal_and_promote(slot, state);
+                    state.head.share()
+                })
+                .collect()
+        };
+        let response = Lenient::new();
+        let out = response.clone();
+        let stats = Arc::clone(&self.stats);
+        self.pool.spawn(move || {
+            for h in &heads {
+                h.wait();
+            }
+            let (rel, schema) = view.with_state(|st| (st.current.clone(), view.schema.clone()));
+            response
+                .fill(answer(&rel, schema.as_ref(), &query, &stats))
+                .ok();
+        });
+        out
     }
 
     /// Enqueues the pool job for `batch`. Must be called while the slot's
@@ -832,6 +1303,127 @@ impl PipelinedEngine {
                 drop(catalog);
                 Lenient::ready(Response::Created(relation.clone()))
             }
+            Query::CreateView { name, spec } => {
+                // Resolve the spec against the slots' static schemas up
+                // front, so rejected specs never reach the log.
+                let def = match self.resolve_spec(spec) {
+                    Ok(d) => d,
+                    Err(resp) => return Lenient::ready(resp),
+                };
+                let schema = match &def {
+                    ViewDef::Select { base, .. } => self.slot(base).and_then(|s| s.schema.clone()),
+                    _ => None,
+                };
+                // Reserve the name — views and base relations share one
+                // namespace — then commit with the catalog lock released,
+                // same protocol as `create relation`.
+                {
+                    let mut catalog = self.catalog.write();
+                    if catalog.slots.contains_key(name)
+                        || catalog.views.contains_key(name)
+                        || !catalog.reserved.insert(name.clone())
+                    {
+                        drop(catalog);
+                        return Lenient::ready(Response::Error(format!(
+                            "relation already exists: {name}"
+                        )));
+                    }
+                }
+                if let Some(sink) = &self.sink {
+                    if let Err(e) = sink.commit_create(&query) {
+                        self.catalog.write().reserved.remove(name);
+                        return Lenient::ready(Response::Error(format!("commit failed: {e}")));
+                    }
+                }
+                let handle = Arc::new(ViewHandle {
+                    name: name.clone(),
+                    def,
+                    schema,
+                    inner: Mutex::new(None),
+                    init_cv: Condvar::new(),
+                });
+
+                // Register on every base under all their slot locks at once
+                // (name order, the join discipline). Sealing each open batch
+                // and recording `next_seq` at the same instant draws a sharp
+                // line through each base's history: everything at or below
+                // the pinned head folds into the initial materialization,
+                // everything after flows through the dependent registration
+                // — no commit is lost or double-applied.
+                let bases: Vec<RelationName> = handle.def.bases().into_iter().cloned().collect();
+                let base_slots: Vec<Arc<RelationSlot>> = bases
+                    .iter()
+                    .map(|b| self.slot(b).expect("resolve_spec checked the bases"))
+                    .collect();
+                let mut by_name: Vec<usize> = (0..base_slots.len()).collect();
+                by_name.sort_by(|&a, &b| bases[a].as_str().cmp(bases[b].as_str()));
+                let mut guards: Vec<Option<MutexGuard<'_, SlotState>>> =
+                    base_slots.iter().map(|_| None).collect();
+                for &i in &by_name {
+                    guards[i] = Some(base_slots[i].state.lock());
+                }
+                let is_join = matches!(handle.def, ViewDef::Join { .. });
+                let mut heads = Vec::with_capacity(base_slots.len());
+                for (i, (slot, g)) in base_slots.iter().zip(guards.iter_mut()).enumerate() {
+                    let state = g.as_mut().expect("guard acquired above");
+                    self.seal_and_promote(slot, state);
+                    slot.dependents.lock().push(Dependent {
+                        view: Arc::clone(&handle),
+                        role: match (is_join, i) {
+                            (false, _) => DepRole::Base,
+                            (true, 0) => DepRole::JoinLeft,
+                            (true, _) => DepRole::JoinRight,
+                        },
+                        from_seq: state.next_seq,
+                    });
+                    slot.has_dependents.store(true, Ordering::Release);
+                    heads.push(state.head.share());
+                }
+                drop(guards);
+
+                {
+                    let mut catalog = self.catalog.write();
+                    catalog.reserved.remove(name);
+                    catalog.views.insert(name.clone(), Arc::clone(&handle));
+                    catalog.order.push(name.clone());
+                }
+                self.views_exist.store(true, Ordering::Release);
+
+                // Initial materialization on this client's thread: wait for
+                // the pinned base heads, evaluate the definition once, fill
+                // `inner`. A propagation from a commit past the pinned
+                // prefix blocks on `init_cv` until the fill — never the
+                // other way round, since head cells fill independently.
+                let left = heads[0].wait_cloned();
+                let right = heads.get(1).map(Lenient::wait_cloned);
+                let eval_right = match &right {
+                    Some(r) => Some(r),
+                    // A self-join dedups to one base; probe it on both sides.
+                    None if is_join => Some(&left),
+                    None => None,
+                };
+                let repr = match left.repr() {
+                    Repr::Paged(_) => Repr::Tree23,
+                    r => r,
+                };
+                let rows = eval_view(&handle.def, &left, eval_right);
+                let current = Relation::from_tuples(repr, rows);
+                let count = current.len();
+                {
+                    let mut guard = handle.inner.lock();
+                    let right = right.unwrap_or_else(|| left.clone());
+                    *guard = Some(ViewState {
+                        current,
+                        left,
+                        right,
+                    });
+                }
+                handle.init_cv.notify_all();
+                Lenient::ready(Response::ViewCreated {
+                    name: name.clone(),
+                    rows: count,
+                })
+            }
             Query::Names => {
                 let names = self.catalog.read().order.clone();
                 Lenient::ready(Response::Names(names))
@@ -841,6 +1433,28 @@ impl PipelinedEngine {
             | Query::Select { relation, .. }
             | Query::Count { relation }
             | Query::Aggregate { relation, .. } => {
+                // View substitution: a select whose shape matches a view's
+                // definition is answered from the view instead of its base.
+                if self.views_exist.load(Ordering::Acquire) {
+                    if let Query::Select {
+                        relation,
+                        projection,
+                        predicate,
+                    } = &query
+                    {
+                        if let Some(view) = self.matching_select_view(relation, predicate) {
+                            EngineStats::bump(&self.stats.view_substitutions);
+                            // The view's rows are exactly the predicate's
+                            // matches, so only the projection remains.
+                            let substituted = Query::Select {
+                                relation: view.name.clone(),
+                                projection: projection.clone(),
+                                predicate: None,
+                            };
+                            return self.submit_view_read(view, substituted);
+                        }
+                    }
+                }
                 let fast = matches!(query, Query::Find { .. } | Query::Count { .. });
                 let answer = |rel: &Relation, query: &Query| match query {
                     Query::Find { key, .. } => Response::Tuples(rel.find(key)),
@@ -852,6 +1466,9 @@ impl PipelinedEngine {
                 // read path never clones the slot handle — and, on a
                 // frontier hit, never takes the slot lock either.
                 let Some(slot) = self.slot(relation) else {
+                    if let Some(view) = self.view(relation) {
+                        return self.submit_view_read(view, query);
+                    }
                     return Lenient::ready(Response::Error(format!(
                         "no such relation: {relation}"
                     )));
@@ -968,6 +1585,12 @@ impl PipelinedEngine {
                 let (l_slot, r_slot) = match (self.slot(left), self.slot(right)) {
                     (Some(l), Some(r)) => (l, r),
                     _ => {
+                        if self.view(left).is_some() || self.view(right).is_some() {
+                            return Lenient::ready(Response::Error(format!(
+                                "joins over materialized views are not supported: \
+                                 join {left} with {right}"
+                            )));
+                        }
                         return Lenient::ready(Response::Error(format!(
                             "no such relation in: join {left} with {right}"
                         )));
@@ -990,6 +1613,19 @@ impl PipelinedEngine {
                         Some((lp, rp))
                     }
                 };
+                // View substitution: a join a view materializes is answered
+                // by scanning the view instead of probing either base.
+                if self.views_exist.load(Ordering::Acquire) {
+                    if let Some(view) = self.matching_join_view(left, right, on) {
+                        EngineStats::bump(&self.stats.view_substitutions);
+                        let substituted = Query::Select {
+                            relation: view.name.clone(),
+                            projection: None,
+                            predicate: None,
+                        };
+                        return self.submit_view_read(view, substituted);
+                    }
+                }
                 // Pin both sides as one atomic cut, locking in name order so
                 // concurrent multi-relation pins cannot form a lock cycle —
                 // and so the pair of pinned versions is a consistent prefix
@@ -1031,9 +1667,23 @@ impl PipelinedEngine {
                 // same relation value the read would have run against.
                 Query::Select {
                     relation,
+                    projection,
                     predicate,
-                    ..
                 } => {
+                    if self.views_exist.load(Ordering::Acquire) {
+                        // Substitution shows up in the plan: planning must
+                        // report the path execution would actually take.
+                        let view = self
+                            .matching_select_view(relation, predicate)
+                            .or_else(|| self.view(relation));
+                        if let Some(view) = view {
+                            let rows = view.with_state(|st| st.current.len());
+                            return Lenient::ready(Response::Plan {
+                                plan: format!("materialized view scan on {}", view.name),
+                                estimated_rows: rows,
+                            });
+                        }
+                    }
                     let Some(slot) = self.slot(relation) else {
                         return Lenient::ready(Response::Error(format!(
                             "no such relation: {relation}"
@@ -1042,18 +1692,20 @@ impl PipelinedEngine {
                     slot.read_seen.store(true, Ordering::Relaxed);
                     let (input, _batch) = self.pin(&slot);
                     let schema = slot.schema.clone();
+                    let projection = projection.clone();
                     let predicate = predicate.clone();
                     let response = Lenient::new();
                     let out = response.clone();
                     self.pool.spawn(move || {
                         let rel = input.wait();
-                        let resp = match explain_select(rel, schema.as_ref(), &predicate) {
-                            Ok((path, est)) => Response::Plan {
-                                plan: path.to_string(),
-                                estimated_rows: est,
-                            },
-                            Err(e) => Response::Error(e),
-                        };
+                        let resp =
+                            match explain_select(rel, schema.as_ref(), &projection, &predicate) {
+                                Ok((path, est)) => Response::Plan {
+                                    plan: path.to_string(),
+                                    estimated_rows: est,
+                                },
+                                Err(e) => Response::Error(e),
+                            };
                         response.fill(resp).ok();
                     });
                     out
@@ -1114,6 +1766,15 @@ impl PipelinedEngine {
                             Some((lp, rp))
                         }
                     };
+                    if self.views_exist.load(Ordering::Acquire) {
+                        if let Some(view) = self.matching_join_view(left, right, on) {
+                            let rows = view.with_state(|st| st.current.len());
+                            return Lenient::ready(Response::Plan {
+                                plan: format!("materialized view scan on {}", view.name),
+                                estimated_rows: rows,
+                            });
+                        }
+                    }
                     l_slot.read_seen.store(true, Ordering::Relaxed);
                     r_slot.read_seen.store(true, Ordering::Relaxed);
                     let (l, r) = if left == right {
@@ -1157,6 +1818,11 @@ impl PipelinedEngine {
                 fields,
             } => {
                 let Some(slot) = self.slot(relation) else {
+                    if self.view(relation).is_some() {
+                        return Lenient::ready(Response::Error(format!(
+                            "indexes on materialized views are not supported: {relation}"
+                        )));
+                    }
                     return Lenient::ready(Response::Error(format!(
                         "no such relation: {relation}"
                     )));
@@ -1218,6 +1884,11 @@ impl PipelinedEngine {
             | Query::Delete { relation, .. }
             | Query::Replace { relation, .. } => {
                 let Some(slot) = self.slot(relation) else {
+                    if self.view(relation).is_some() {
+                        return Lenient::ready(Response::Error(format!(
+                            "cannot write to materialized view: {relation}"
+                        )));
+                    }
                     return Lenient::ready(Response::Error(format!(
                         "no such relation: {relation}"
                     )));
@@ -1255,7 +1926,11 @@ impl PipelinedEngine {
                 // version is exactly where batching wins. A quiescent slot
                 // with read-interleaved history bypasses instead.
                 let pressure = !state.head.is_filled();
-                if state.tracker.regime(pressure) == BatchRegime::Bypass {
+                // Bypass is off for relations feeding views: propagation
+                // lives in `commit_and_apply`, which bypass skips.
+                if state.tracker.regime(pressure) == BatchRegime::Bypass
+                    && !slot.has_dependents.load(Ordering::Acquire)
+                {
                     // Bypass: apply inline under the slot lock. No cell, no
                     // batch, no pool job, no worker handoff — mixed
                     // workloads pay one lock and one structural update per
@@ -1342,14 +2017,23 @@ impl PipelinedEngine {
     /// cuts is preserved, which is what makes checkpointing a cut
     /// incremental.
     pub fn consistent_cut(&self) -> ConsistentCut {
-        let (order, slots) = {
+        let (order, slots, views) = {
             let catalog = self.catalog.read();
             let slots: Vec<(RelationName, Arc<RelationSlot>)> = catalog
                 .order
                 .iter()
-                .map(|n| (n.clone(), Arc::clone(&catalog.slots[n])))
+                .filter_map(|n| catalog.slots.get(n).map(|s| (n.clone(), Arc::clone(s))))
                 .collect();
-            (catalog.order.clone(), slots)
+            let views: Vec<Arc<ViewHandle>> = catalog
+                .order
+                .iter()
+                .filter_map(|n| catalog.views.get(n).map(Arc::clone))
+                .collect();
+            (
+                slots.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>(),
+                slots,
+                views,
+            )
         };
 
         let mut by_name: Vec<usize> = (0..slots.len()).collect();
@@ -1378,6 +2062,25 @@ impl PipelinedEngine {
                 .with_relation_value(name.as_str(), rel, slot.schema.clone())
                 .expect("cut names are unique");
             seq_marks.insert(name.clone(), mark);
+        }
+        // Views ride along with their definitions, then one recompute pins
+        // their contents to exactly the cut's base values — a propagation
+        // mid-flight when the cut was taken cannot leave the snapshot
+        // internally inconsistent. Views carry no sequence marks; recovery
+        // re-derives them from their bases.
+        if !views.is_empty() {
+            for handle in &views {
+                let value = handle.with_state(|st| st.current.clone());
+                db = db
+                    .with_view_value(
+                        handle.name.as_str(),
+                        value,
+                        handle.schema.clone(),
+                        handle.def.clone(),
+                    )
+                    .expect("cut names are unique");
+            }
+            db = db.recompute_views();
         }
         ConsistentCut {
             database: db,
@@ -1963,5 +2666,325 @@ mod tests {
             }
         });
         assert_eq!(engine.snapshot().tuple_count(), 800);
+    }
+
+    #[test]
+    fn view_maintenance_through_engine() {
+        let engine = PipelinedEngine::new(2, &base());
+        let rs = engine.run(vec![
+            txn("insert (1, 'eng', 10) into R"),
+            txn("insert (2, 'ops', 20) into R"),
+            txn("create view Eng as select from R where #1 = 'eng'"),
+        ]);
+        assert_eq!(
+            rs[2],
+            Response::ViewCreated {
+                name: "Eng".into(),
+                rows: 1
+            }
+        );
+        // Writes after creation flow through the differential pass, not a
+        // recompute; every acknowledged base write is already in the view.
+        let rs = engine.run(vec![
+            txn("insert (3, 'eng', 30) into R"),
+            txn("insert (4, 'ops', 40) into R"),
+            txn("delete 1 from R"),
+            txn("count Eng"),
+            txn("select from Eng"),
+        ]);
+        assert_eq!(rs[3], Response::Count(1));
+        let tuples = rs[4].tuples().unwrap();
+        assert_eq!(tuples.len(), 1);
+        assert_eq!(tuples[0].key(), &3.into());
+        assert!(engine.stats().view_updates >= 1);
+    }
+
+    #[test]
+    fn view_ddl_and_write_rejections() {
+        let engine = PipelinedEngine::new(2, &base());
+        let rs = engine.run(vec![
+            txn("create view V as select from R"),
+            txn("create view V as select from R"),
+            txn("create view W as select from V"),
+            txn("insert 1 into V"),
+            txn("create index i on V (#0)"),
+            txn("create view J as join V with S on #0 = #0"),
+            txn("create view M as select from Missing"),
+        ]);
+        assert!(!rs[0].is_error());
+        assert_eq!(rs[1], Response::Error("relation already exists: V".into()));
+        assert_eq!(
+            rs[2],
+            Response::Error("views over views are not supported: V".into())
+        );
+        assert_eq!(
+            rs[3],
+            Response::Error("cannot write to materialized view: V".into())
+        );
+        assert_eq!(
+            rs[4],
+            Response::Error("indexes on materialized views are not supported: V".into())
+        );
+        assert_eq!(
+            rs[5],
+            Response::Error("views over views are not supported: V".into())
+        );
+        assert_eq!(rs[6], Response::Error("no such relation: Missing".into()));
+        let rs = engine.run(vec![txn("join V with S")]);
+        assert_eq!(
+            rs[0],
+            Response::Error(
+                "joins over materialized views are not supported: join V with S".into()
+            )
+        );
+    }
+
+    #[test]
+    fn select_substitution_and_explain_use_the_view() {
+        let engine = PipelinedEngine::new(2, &base());
+        engine.run(vec![
+            txn("insert (1, 'eng') into R"),
+            txn("insert (2, 'ops') into R"),
+            txn("create view Eng as select from R where #1 = 'eng'"),
+            txn("insert (3, 'eng') into R"),
+        ]);
+        let rs = engine.run(vec![
+            txn("select from R where #1 = 'eng'"),
+            txn("explain select from R where #1 = 'eng'"),
+        ]);
+        assert_eq!(rs[0].tuples().unwrap().len(), 2);
+        match &rs[1] {
+            Response::Plan {
+                plan,
+                estimated_rows,
+            } => {
+                assert!(plan.contains("materialized view scan on Eng"), "{plan}");
+                assert_eq!(*estimated_rows, 2);
+            }
+            other => panic!("expected a plan, got {other}"),
+        }
+        assert!(engine.stats().view_substitutions >= 1);
+    }
+
+    #[test]
+    fn join_view_tracks_both_sides() {
+        let engine = PipelinedEngine::new(2, &base());
+        engine.run(vec![
+            txn("insert (1, 'a') into R"),
+            txn("insert (1, 'x') into S"),
+            txn("create view RS as join R with S on #0 = #0"),
+        ]);
+        let rs = engine.run(vec![
+            txn("insert (2, 'b') into R"), // no right partner yet
+            txn("count RS"),
+            txn("insert (2, 'y') into S"), // completes the pair
+            txn("count RS"),
+            txn("delete 1 from S"), // right-side retraction
+            txn("count RS"),
+        ]);
+        assert_eq!(rs[1], Response::Count(1));
+        assert_eq!(rs[3], Response::Count(2));
+        assert_eq!(rs[5], Response::Count(1));
+        // A matching ad-hoc join is substituted with the view.
+        let rs = engine.run(vec![txn("explain join R with S on #0 = #0")]);
+        match &rs[0] {
+            Response::Plan { plan, .. } => {
+                assert!(plan.contains("materialized view scan on RS"), "{plan}")
+            }
+            other => panic!("expected a plan, got {other}"),
+        }
+    }
+
+    #[test]
+    fn group_views_maintain_counts_and_sums() {
+        let engine = PipelinedEngine::new(2, &base());
+        engine.run(vec![
+            txn("insert (1, 'eng', 10) into R"),
+            txn("insert (2, 'ops', 20) into R"),
+            txn("insert (3, 'eng', 30) into R"),
+            txn("create view ByTag as count R by #1"),
+            txn("create view Spend as sum #2 of R by #1"),
+        ]);
+        let rs = engine.run(vec![
+            txn("insert (4, 'eng', 5) into R"),
+            txn("replace (2, 'ops', 25) in R"),
+            txn("delete 3 from R"),
+            txn("select from ByTag"),
+            txn("select from Spend"),
+        ]);
+        let mut counts: Vec<String> = rs[3]
+            .tuples()
+            .unwrap()
+            .iter()
+            .map(|t| t.to_string())
+            .collect();
+        counts.sort();
+        assert_eq!(counts, vec!["('eng', 2)", "('ops', 1)"]);
+        let mut sums: Vec<String> = rs[4]
+            .tuples()
+            .unwrap()
+            .iter()
+            .map(|t| t.to_string())
+            .collect();
+        sums.sort();
+        assert_eq!(sums, vec!["('eng', 15, 2)", "('ops', 25, 1)"]);
+    }
+
+    #[test]
+    fn self_join_view_falls_back_to_recompute() {
+        let engine = PipelinedEngine::new(2, &base());
+        engine.run(vec![
+            txn("insert (1, 1) into R"),
+            txn("create view RR as join R with R on #0 = #0"),
+        ]);
+        let rs = engine.run(vec![txn("insert (2, 2) into R"), txn("count RR")]);
+        assert_eq!(rs[1], Response::Count(2));
+    }
+
+    #[test]
+    fn views_stay_exact_where_bypass_would_engage() {
+        // The insert/read/wait loop drives the traffic tracker into the
+        // bypass regime on a plain relation…
+        let plain = PipelinedEngine::new(2, &base());
+        for i in 0..60 {
+            plain.submit(txn(&format!("insert {i} into R")));
+            plain.submit(txn("count R")).wait();
+        }
+        assert!(plain.stats().bypass_writes > 0, "loop must trigger bypass");
+
+        // …but with a dependent view the gate holds bypass off (bypass
+        // skips the commit path that carries propagation) and every count
+        // through the view stays exact.
+        let engine = PipelinedEngine::new(2, &base());
+        engine.run(vec![txn("create view All as select from R")]);
+        for i in 0..60 {
+            engine.submit(txn(&format!("insert {i} into R")));
+            let c = engine.submit(txn("count All"));
+            assert_eq!(*c.wait(), Response::Count(i + 1));
+        }
+        assert_eq!(engine.stats().bypass_writes, 0);
+    }
+
+    #[test]
+    fn concurrent_writers_keep_views_equal_to_recompute() {
+        use fundb_relational::eval_view;
+
+        let engine = Arc::new(PipelinedEngine::new(4, &base()));
+        engine.run(vec![
+            txn("create view Big as select from R where #0 > 100"),
+            txn("create view RS as join R with S on #0 = #0"),
+            txn("create view PerTag as count R by #1"),
+        ]);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let engine = Arc::clone(&engine);
+                s.spawn(move || {
+                    let mut cells = Vec::new();
+                    for i in 0..100u64 {
+                        let key = t * 1000 + i;
+                        cells.push(engine.submit(txn(&format!("insert ({key}, 't{t}') into R"))));
+                        if i % 2 == 0 {
+                            cells.push(engine.submit(txn(&format!("insert ({key}, 's') into S"))));
+                        }
+                        if i % 7 == 3 {
+                            cells.push(
+                                engine.submit(txn(&format!("delete {} from R", t * 1000 + i - 3))),
+                            );
+                        }
+                    }
+                    for c in cells {
+                        c.wait();
+                    }
+                });
+            }
+        });
+        // All writers joined: reading each view through the engine hits the
+        // differentially-maintained state, which must equal a from-scratch
+        // evaluation over the final bases.
+        let db = engine.snapshot();
+        for name in ["Big", "RS", "PerTag"] {
+            let def = db.view_def(&name.into()).unwrap().unwrap().clone();
+            let bases = def.bases();
+            let left = db.relation(bases[0]).unwrap();
+            let right = bases.get(1).map(|b| db.relation(b).unwrap());
+            let mut expected = eval_view(&def, left, right);
+            expected.sort();
+            let resp = engine
+                .run(vec![txn(&format!("select from {name}"))])
+                .remove(0);
+            let mut got = resp.tuples().unwrap().to_vec();
+            got.sort();
+            assert_eq!(got, expected, "view {name} diverged from recompute");
+        }
+    }
+
+    #[test]
+    fn snapshot_and_rebuild_preserve_views() {
+        let engine = PipelinedEngine::new(2, &base());
+        engine.run(vec![
+            txn("insert (1, 'eng') into R"),
+            txn("create view Eng as select from R where #1 = 'eng'"),
+            txn("insert (2, 'eng') into R"),
+        ]);
+        let db = engine.snapshot();
+        assert_eq!(db.relation(&"Eng".into()).unwrap().len(), 2);
+        assert!(db.view_def(&"Eng".into()).unwrap().is_some());
+
+        // A new engine built from the snapshot re-registers the view on its
+        // base slots and keeps maintaining it.
+        let engine2 = PipelinedEngine::new(2, &db);
+        let rs = engine2.run(vec![
+            txn("count Eng"),
+            txn("insert (3, 'eng') into R"),
+            txn("insert (4, 'ops') into R"),
+            txn("count Eng"),
+        ]);
+        assert_eq!(rs[0], Response::Count(2));
+        assert_eq!(rs[3], Response::Count(3));
+    }
+
+    #[test]
+    fn create_view_commits_before_it_is_visible() {
+        let sink = Arc::new(RecordingSink::new());
+        let engine =
+            PipelinedEngine::with_sink(2, &base(), Arc::clone(&sink) as _, &HashMap::new());
+        let rs = engine.run(vec![txn("create view V as select from R")]);
+        assert_eq!(
+            rs[0],
+            Response::ViewCreated {
+                name: "V".into(),
+                rows: 0
+            }
+        );
+        assert!(sink
+            .creates
+            .lock()
+            .contains(&"create view V as select from R".to_string()));
+
+        // A failing sink vetoes creation: not durable, not visible, and the
+        // name stays free for a retry.
+        sink.fail.store(true, std::sync::atomic::Ordering::SeqCst);
+        let rs = engine.run(vec![txn("create view W as select from S")]);
+        assert!(rs[0].is_error());
+        sink.fail.store(false, std::sync::atomic::Ordering::SeqCst);
+        let rs = engine.run(vec![txn("create view W as select from S")]);
+        assert!(!rs[0].is_error());
+    }
+
+    #[test]
+    fn classic_engine_rejects_views_but_base_traffic_matches() {
+        // The classic engine is the one-job-per-transaction baseline; view
+        // maintenance lives in the pipelined commit path only. Base-table
+        // traffic around a rejected create must still agree.
+        let rs = crate::ClassicEngine::new(2, &base()).run(vec![
+            txn("insert (1, 'eng') into R"),
+            txn("create view Eng as select from R where #1 = 'eng'"),
+            txn("count R"),
+        ]);
+        assert_eq!(
+            rs[1],
+            Response::Error("classic engine does not maintain materialized views".into())
+        );
+        assert_eq!(rs[2], Response::Count(1));
     }
 }

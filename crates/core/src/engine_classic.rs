@@ -154,6 +154,15 @@ impl ClassicEngine {
                 response.fill(Response::Names(names)).ok();
                 out
             }
+            Query::CreateView { .. } => {
+                drop(frontier);
+                response
+                    .fill(Response::Error(
+                        "classic engine does not maintain materialized views".into(),
+                    ))
+                    .ok();
+                out
+            }
             Query::CreateIndex {
                 relation,
                 name,
@@ -278,8 +287,8 @@ impl ClassicEngine {
             Query::Explain(inner) => match inner.as_ref() {
                 Query::Select {
                     relation,
+                    projection,
                     predicate,
-                    ..
                 } => {
                     let Some(input) = frontier.slots.get(relation).cloned() else {
                         drop(frontier);
@@ -289,17 +298,19 @@ impl ClassicEngine {
                         return out;
                     };
                     let schema = frontier.schemas.get(relation).cloned().flatten();
+                    let projection = projection.clone();
                     let predicate = predicate.clone();
                     drop(frontier);
                     self.pool.spawn(move || {
                         let rel = input.wait();
-                        let resp = match explain_select(rel, schema.as_ref(), &predicate) {
-                            Ok((path, est)) => Response::Plan {
-                                plan: path.to_string(),
-                                estimated_rows: est,
-                            },
-                            Err(e) => Response::Error(e),
-                        };
+                        let resp =
+                            match explain_select(rel, schema.as_ref(), &projection, &predicate) {
+                                Ok((path, est)) => Response::Plan {
+                                    plan: path.to_string(),
+                                    estimated_rows: est,
+                                },
+                                Err(e) => Response::Error(e),
+                            };
                         response.fill(resp).ok();
                     });
                     out

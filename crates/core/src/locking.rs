@@ -68,7 +68,7 @@ impl LockingDb {
     /// rejected.
     pub fn execute(&self, tx: &Transaction) -> Response {
         match tx.query() {
-            Query::Create { .. } | Query::CreateIndex { .. } => {
+            Query::Create { .. } | Query::CreateIndex { .. } | Query::CreateView { .. } => {
                 Response::Error("locking baseline has a fixed catalog".into())
             }
             Query::Explain(_) => Response::Error("locking baseline does not plan queries".into()),

@@ -255,7 +255,10 @@ impl OptimisticEngine {
         if queries.iter().any(|q| {
             matches!(
                 q,
-                Query::Create { .. } | Query::CreateIndex { .. } | Query::Names
+                Query::Create { .. }
+                    | Query::CreateIndex { .. }
+                    | Query::CreateView { .. }
+                    | Query::Names
             )
         }) {
             return (
@@ -378,9 +381,10 @@ fn apply_query(
                 Err(e) => Response::Error(e),
             }
         }
-        Query::Create { .. } | Query::CreateIndex { .. } | Query::Names => {
-            Response::Error("catalog queries are not transactional here".into())
-        }
+        Query::Create { .. }
+        | Query::CreateIndex { .. }
+        | Query::CreateView { .. }
+        | Query::Names => Response::Error("catalog queries are not transactional here".into()),
         Query::Explain(_) => Response::Error("explain is not transactional here".into()),
     }
 }

@@ -56,6 +56,15 @@ pub struct EngineStats {
     pub path_index_range: AtomicU64,
     /// Selects that fell back to the full streaming scan.
     pub path_scan: AtomicU64,
+    /// Selects answered entirely from a covering index's posting walk
+    /// (no primary-store probe).
+    pub path_covered: AtomicU64,
+    /// Selects/joins answered from a matching materialized view instead
+    /// of their base relations.
+    pub view_substitutions: AtomicU64,
+    /// Differential view-maintenance passes run inside commits (one per
+    /// dependent view per claimed batch).
+    pub view_updates: AtomicU64,
     /// Joins executed by the key-key merge pass.
     pub join_merge: AtomicU64,
     /// Joins executed by per-left-tuple primary-key probes.
@@ -86,6 +95,9 @@ pub struct EngineStatsSnapshot {
     pub path_key_range: u64,
     pub path_index_range: u64,
     pub path_scan: u64,
+    pub path_covered: u64,
+    pub view_substitutions: u64,
+    pub view_updates: u64,
     pub join_merge: u64,
     pub join_key_probe: u64,
     pub join_index_nested_loop: u64,
@@ -115,6 +127,7 @@ impl EngineStats {
             AccessPath::KeyRange(_, _) => &self.path_key_range,
             AccessPath::IndexRange { .. } => &self.path_index_range,
             AccessPath::Scan => &self.path_scan,
+            AccessPath::CoveredEq { .. } => &self.path_covered,
         });
     }
 
@@ -148,6 +161,9 @@ impl EngineStats {
             path_key_range: get(&self.path_key_range),
             path_index_range: get(&self.path_index_range),
             path_scan: get(&self.path_scan),
+            path_covered: get(&self.path_covered),
+            view_substitutions: get(&self.view_substitutions),
+            view_updates: get(&self.view_updates),
             join_merge: get(&self.join_merge),
             join_key_probe: get(&self.join_key_probe),
             join_index_nested_loop: get(&self.join_index_nested_loop),
@@ -178,7 +194,7 @@ impl fmt::Display for EngineStatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "frontier {}/{} hit/miss · writes {} bypass / {} batched in {} batches (avg {:.1}/batch) · seals {} reader / {} worker · {} chained claims · paths key:{} comp:{} ix:{} krange:{} ixrange:{} scan:{} · joins merge:{} probe:{} inl:{} build:{}",
+            "frontier {}/{} hit/miss · writes {} bypass / {} batched in {} batches (avg {:.1}/batch) · seals {} reader / {} worker · {} chained claims · paths key:{} comp:{} ix:{} krange:{} ixrange:{} scan:{} cov:{} · joins merge:{} probe:{} inl:{} build:{} · views sub:{} upd:{}",
             self.frontier_hits,
             self.frontier_misses,
             self.bypass_writes,
@@ -194,10 +210,13 @@ impl fmt::Display for EngineStatsSnapshot {
             self.path_key_range,
             self.path_index_range,
             self.path_scan,
+            self.path_covered,
             self.join_merge,
             self.join_key_probe,
             self.join_index_nested_loop,
             self.join_scan_build,
+            self.view_substitutions,
+            self.view_updates,
         )
     }
 }
@@ -229,9 +248,21 @@ mod tests {
             index: "ix".into(),
             field: 1,
         });
+        stats.record_path(&AccessPath::CoveredEq {
+            index: "cx".into(),
+            fields: vec![1],
+            values: vec![fundb_relational::Value::Int(3)],
+        });
+        EngineStats::bump(&stats.view_substitutions);
+        EngineStats::add(&stats.view_updates, 2);
         let snap = stats.snapshot();
         assert_eq!(snap.path_scan, 1);
         assert_eq!(snap.path_key_eq, 1);
+        assert_eq!(snap.path_covered, 1);
+        assert_eq!(snap.view_substitutions, 1);
+        assert_eq!(snap.view_updates, 2);
+        assert!(snap.to_string().contains("cov:1"));
+        assert!(snap.to_string().contains("views sub:1 upd:2"));
         assert_eq!(snap.join_merge, 1);
         assert_eq!(snap.join_index_nested_loop, 1);
         assert!(snap.to_string().contains("inl:1"));

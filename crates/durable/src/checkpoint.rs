@@ -31,7 +31,9 @@ use std::path::{Path, PathBuf};
 
 use fundb_core::engine::ConsistentCut;
 use fundb_persist::PList;
-use fundb_relational::{Database, Relation, RelationName, Repr, Schema, Store, Tuple, Value};
+use fundb_relational::{
+    Database, Relation, RelationName, Repr, Schema, Store, Tuple, Value, ViewDef, ViewFilter,
+};
 
 use crate::codec::{
     crc32, fnv128, put_schema, put_str, put_tuple, put_u128, put_u32, put_u64, CodecError, Cursor,
@@ -42,7 +44,7 @@ use crate::codec::{
 /// at write time).
 pub const NIL_ID: u128 = 0;
 
-const MANIFEST_MAGIC: u32 = 0x4643_4B31; // "FCK1"
+const MANIFEST_MAGIC: u32 = 0x4643_4B32; // "FCK2" (FCK1 + view definitions)
 
 /// Node payload tags.
 const TAG_LIST_CELL: u8 = 1;
@@ -135,6 +137,140 @@ fn read_bucket(c: &mut Cursor<'_>) -> Result<PList<Tuple>, CodecError> {
     Ok(l)
 }
 
+/// Encodes a view filter tree. Tags: 1 Eq, 2 Ne, 3 Lt, 4 Gt, 5 And, 6 Or.
+fn put_view_filter(buf: &mut Vec<u8>, filter: &ViewFilter) {
+    let leaf = |tag: u8, field: &usize, value: &Value, buf: &mut Vec<u8>| {
+        buf.push(tag);
+        put_u32(buf, *field as u32);
+        crate::codec::put_value(buf, value);
+    };
+    match filter {
+        ViewFilter::Eq(f, v) => leaf(1, f, v, buf),
+        ViewFilter::Ne(f, v) => leaf(2, f, v, buf),
+        ViewFilter::Lt(f, v) => leaf(3, f, v, buf),
+        ViewFilter::Gt(f, v) => leaf(4, f, v, buf),
+        ViewFilter::And(a, b) => {
+            buf.push(5);
+            put_view_filter(buf, a);
+            put_view_filter(buf, b);
+        }
+        ViewFilter::Or(a, b) => {
+            buf.push(6);
+            put_view_filter(buf, a);
+            put_view_filter(buf, b);
+        }
+    }
+}
+
+fn read_view_filter(c: &mut Cursor<'_>) -> Result<ViewFilter, CodecError> {
+    let tag = c.u8()?;
+    match tag {
+        1..=4 => {
+            let field = c.u32()? as usize;
+            let value = c.value()?;
+            Ok(match tag {
+                1 => ViewFilter::Eq(field, value),
+                2 => ViewFilter::Ne(field, value),
+                3 => ViewFilter::Lt(field, value),
+                _ => ViewFilter::Gt(field, value),
+            })
+        }
+        5 | 6 => {
+            let a = Box::new(read_view_filter(c)?);
+            let b = Box::new(read_view_filter(c)?);
+            Ok(if tag == 5 {
+                ViewFilter::And(a, b)
+            } else {
+                ViewFilter::Or(a, b)
+            })
+        }
+        t => Err(CodecError(format!("unknown view filter tag {t}"))),
+    }
+}
+
+/// Encodes an optional view definition. Tags: 0 none (a base relation),
+/// 1 select, 2 join, 3 count-by, 4 sum-by. Like index definitions, only
+/// the *definition* is persisted — a view's contents are a full relation
+/// and go through the node store like any other.
+fn put_view_def(buf: &mut Vec<u8>, def: Option<&ViewDef>) {
+    match def {
+        None => buf.push(0),
+        Some(ViewDef::Select { base, filter }) => {
+            buf.push(1);
+            put_str(buf, base.as_str());
+            match filter {
+                None => buf.push(0),
+                Some(f) => {
+                    buf.push(1);
+                    put_view_filter(buf, f);
+                }
+            }
+        }
+        Some(ViewDef::Join {
+            left,
+            right,
+            left_field,
+            right_field,
+        }) => {
+            buf.push(2);
+            put_str(buf, left.as_str());
+            put_str(buf, right.as_str());
+            put_u32(buf, *left_field as u32);
+            put_u32(buf, *right_field as u32);
+        }
+        Some(ViewDef::GroupCount { base, group }) => {
+            buf.push(3);
+            put_str(buf, base.as_str());
+            put_u32(buf, *group as u32);
+        }
+        Some(ViewDef::GroupSum { base, field, group }) => {
+            buf.push(4);
+            put_str(buf, base.as_str());
+            put_u32(buf, *field as u32);
+            put_u32(buf, *group as u32);
+        }
+    }
+}
+
+fn read_view_def(c: &mut Cursor<'_>) -> Result<Option<ViewDef>, CodecError> {
+    match c.u8()? {
+        0 => Ok(None),
+        1 => {
+            let base = RelationName::new(&c.str()?);
+            let filter = match c.u8()? {
+                0 => None,
+                1 => Some(read_view_filter(c)?),
+                t => return Err(CodecError(format!("unknown filter-presence tag {t}"))),
+            };
+            Ok(Some(ViewDef::Select { base, filter }))
+        }
+        2 => {
+            let left = RelationName::new(&c.str()?);
+            let right = RelationName::new(&c.str()?);
+            let left_field = c.u32()? as usize;
+            let right_field = c.u32()? as usize;
+            Ok(Some(ViewDef::Join {
+                left,
+                right,
+                left_field,
+                right_field,
+            }))
+        }
+        3 => {
+            let base = RelationName::new(&c.str()?);
+            let group = c.u32()? as usize;
+            Ok(Some(ViewDef::GroupCount { base, group }))
+        }
+        4 => {
+            let base = RelationName::new(&c.str()?);
+            let field = c.u32()? as usize;
+            let group = c.u32()? as usize;
+            Ok(Some(ViewDef::GroupSum { base, field, group }))
+        }
+        t => Err(CodecError(format!("unknown view def tag {t}"))),
+    }
+}
+
 impl CheckpointWriter {
     /// Opens (or initializes) the checkpoint directory: repairs a torn
     /// node-store tail, rebuilds the dedup set, and picks the next unused
@@ -188,6 +324,10 @@ impl CheckpointWriter {
             /// or single-column — cost the manifest a few bytes and the
             /// node store nothing.
             indexes: Vec<(String, Vec<u32>)>,
+            /// `Some` marks the entry as a materialized view: the loader
+            /// reattaches the definition so recovered writes keep
+            /// maintaining it differentially.
+            view: Option<ViewDef>,
         }
 
         let names = cut.database.relation_names();
@@ -227,6 +367,11 @@ impl CheckpointWriter {
                     )
                 })
                 .collect();
+            let view = cut
+                .database
+                .view_def(name)
+                .expect("name from this cut")
+                .cloned();
             entries.push(ManifestEntry {
                 name: name.clone(),
                 repr: rel.repr(),
@@ -234,6 +379,7 @@ impl CheckpointWriter {
                 mark,
                 root,
                 indexes,
+                view,
             });
         }
 
@@ -270,6 +416,7 @@ impl CheckpointWriter {
                     put_u32(&mut body, *f);
                 }
             }
+            put_view_def(&mut body, e.view.as_ref());
         }
         let mut manifest = Vec::with_capacity(body.len() + 12);
         put_u32(&mut manifest, MANIFEST_MAGIC);
@@ -630,9 +777,17 @@ fn try_load_manifest(
                     .create_index_multi(&iname, &ifields)
                     .ok_or_else(|| CodecError(format!("manifest repeats index '{iname}'")))?;
             }
-            db = db
-                .with_relation_value(name.as_str(), rel, schema)
-                .map_err(|e| CodecError(e.to_string()))?;
+            // A view entry comes back with its definition attached, so the
+            // replayed log keeps maintaining it differentially; its
+            // contents were checkpointed like any relation's.
+            db = match read_view_def(&mut c)? {
+                None => db
+                    .with_relation_value(name.as_str(), rel, schema)
+                    .map_err(|e| CodecError(e.to_string()))?,
+                Some(def) => db
+                    .with_view_value(name.as_str(), rel, schema, def)
+                    .map_err(|e| CodecError(e.to_string()))?,
+            };
             marks.insert(RelationName::new(&name), mark);
         }
         Ok(Some((db, marks)))

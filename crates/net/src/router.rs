@@ -84,7 +84,10 @@ pub fn plan_route(query: &Query) -> RoutePlan {
         }
         Query::Count { .. } => RoutePlan::GatherRead(GatherKind::Count),
         Query::Aggregate { op, .. } => RoutePlan::GatherRead(GatherKind::Agg(*op)),
-        Query::Create { .. } | Query::CreateIndex { .. } => {
+        // `create view` is DDL like `create`/`create index`: every shard
+        // holds the full catalog and maintains the view over its own
+        // partition of the bases, so the definition must hold everywhere.
+        Query::Create { .. } | Query::CreateIndex { .. } | Query::CreateView { .. } => {
             RoutePlan::AllPrimaries(GatherKind::AllOk)
         }
         // A plan is advisory: any shard can produce one from its local

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use fundb_relational::{RelationName, Repr, Schema, Tuple, Value};
+use fundb_relational::{RelationName, Repr, Schema, Tuple, Value, ViewFilter};
 
 /// A reference to a tuple field: by position (`#0`) or, when the relation
 /// has a schema, by attribute name (`name`).
@@ -205,6 +205,31 @@ impl Predicate {
         })
     }
 
+    /// Lowers the predicate to the relational layer's positional
+    /// [`ViewFilter`], resolving named references against `schema` — the
+    /// form a `create view … where` clause persists.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first unresolvable attribute.
+    pub fn to_view_filter(&self, schema: Option<&Schema>) -> Result<ViewFilter, String> {
+        let fix = |f: &FieldRef| f.resolve(schema);
+        Ok(match self {
+            Predicate::FieldEq(f, v) => ViewFilter::Eq(fix(f)?, v.clone()),
+            Predicate::FieldNe(f, v) => ViewFilter::Ne(fix(f)?, v.clone()),
+            Predicate::FieldLt(f, v) => ViewFilter::Lt(fix(f)?, v.clone()),
+            Predicate::FieldGt(f, v) => ViewFilter::Gt(fix(f)?, v.clone()),
+            Predicate::And(a, b) => ViewFilter::And(
+                Box::new(a.to_view_filter(schema)?),
+                Box::new(b.to_view_filter(schema)?),
+            ),
+            Predicate::Or(a, b) => ViewFilter::Or(
+                Box::new(a.to_view_filter(schema)?),
+                Box::new(b.to_view_filter(schema)?),
+            ),
+        })
+    }
+
     /// Evaluates the predicate on a tuple. Out-of-range field references
     /// are simply false (a tuple without the field cannot match), and
     /// *unresolved named references never match* — call
@@ -310,6 +335,91 @@ pub fn apply_select(
     Ok(out)
 }
 
+/// What a `create view … as` clause derives — the query-layer form of a
+/// view definition, still carrying unresolved field references.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViewSpec {
+    /// `select from <rel> [where <pred>]` (no projection: a view holds
+    /// whole base rows so it stays keyed like its base).
+    Select {
+        /// The base relation.
+        relation: RelationName,
+        /// Optional row filter.
+        predicate: Option<Predicate>,
+    },
+    /// `join <left> with <right> on <field> = <field>` (the `on` clause is
+    /// required: view rows are keyed by the left tuple's key).
+    Join {
+        /// Left (driving) base relation.
+        left: RelationName,
+        /// Right (probed) base relation.
+        right: RelationName,
+        /// Join attributes `(left field, right field)`.
+        on: (FieldRef, FieldRef),
+    },
+    /// `count <rel> by <field>` — one `(group, count)` row per group.
+    Count {
+        /// The base relation.
+        relation: RelationName,
+        /// The grouping attribute.
+        group: FieldRef,
+    },
+    /// `sum <field> of <rel> by <field>` — one `(group, sum, count)` row
+    /// per group.
+    Sum {
+        /// The base relation.
+        relation: RelationName,
+        /// The summed attribute.
+        field: FieldRef,
+        /// The grouping attribute.
+        group: FieldRef,
+    },
+}
+
+impl ViewSpec {
+    /// The base relations the view reads, left first.
+    pub fn reads(&self) -> Vec<RelationName> {
+        match self {
+            ViewSpec::Select { relation, .. }
+            | ViewSpec::Count { relation, .. }
+            | ViewSpec::Sum { relation, .. } => vec![relation.clone()],
+            ViewSpec::Join { left, right, .. } => {
+                if left == right {
+                    vec![left.clone()]
+                } else {
+                    vec![left.clone(), right.clone()]
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for ViewSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViewSpec::Select {
+                relation,
+                predicate: None,
+            } => write!(f, "select from {relation}"),
+            ViewSpec::Select {
+                relation,
+                predicate: Some(p),
+            } => write!(f, "select from {relation} where {p}"),
+            ViewSpec::Join {
+                left,
+                right,
+                on: (l, r),
+            } => write!(f, "join {left} with {right} on {l} = {r}"),
+            ViewSpec::Count { relation, group } => write!(f, "count {relation} by {group}"),
+            ViewSpec::Sum {
+                relation,
+                field,
+                group,
+            } => write!(f, "sum {field} of {relation} by {group}"),
+        }
+    }
+}
+
 /// A parsed query: the symbolic form of a transaction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Query {
@@ -380,6 +490,15 @@ pub enum Query {
         /// The indexed attributes, in significance order.
         fields: Vec<FieldRef>,
     },
+    /// `create view <name> as <spec>` — defines a materialized view: a
+    /// persistent relation maintained differentially from its bases on
+    /// every commit. DDL, routed like any other write.
+    CreateView {
+        /// Name of the new view.
+        name: RelationName,
+        /// What the view derives.
+        spec: ViewSpec,
+    },
     /// `join <left> with <right> [on <field> = <field>]` — equi-join: the
     /// paper's intra-transaction *flooding* case ("the search of several
     /// relations within one transaction"). Without `on`, a natural join on
@@ -429,6 +548,7 @@ impl Query {
             Query::Insert { relation, .. }
             | Query::Delete { relation, .. }
             | Query::Replace { relation, .. } => vec![relation.clone()],
+            Query::CreateView { spec, .. } => spec.reads(),
             Query::Create { .. } | Query::CreateIndex { .. } | Query::Names => Vec::new(),
         }
     }
@@ -442,6 +562,7 @@ impl Query {
             Query::Create { relation, .. } | Query::CreateIndex { relation, .. } => {
                 vec![relation.clone()]
             }
+            Query::CreateView { name, .. } => vec![name.clone()],
             _ => Vec::new(),
         }
     }
@@ -503,6 +624,7 @@ impl fmt::Display for Query {
                 }
                 f.write_str(")")
             }
+            Query::CreateView { name, spec } => write!(f, "create view {name} as {spec}"),
             Query::Join { left, right, on } => {
                 write!(f, "join {left} with {right}")?;
                 if let Some((l, r)) = on {
@@ -761,6 +883,88 @@ mod tests {
         assert_eq!(q.writes(), vec![RelationName::from("Emp")]);
         assert!(q.reads().is_empty());
         assert!(!q.is_read_only());
+    }
+
+    #[test]
+    fn create_view_shapes_and_sets() {
+        let q = Query::CreateView {
+            name: "V".into(),
+            spec: ViewSpec::Select {
+                relation: "R".into(),
+                predicate: Some(Predicate::index_eq(1, 7.into())),
+            },
+        };
+        assert_eq!(q.to_string(), "create view V as select from R where #1 = 7");
+        assert_eq!(q.reads(), vec![RelationName::from("R")]);
+        assert_eq!(q.writes(), vec![RelationName::from("V")]);
+        assert!(!q.is_read_only());
+
+        let q = Query::CreateView {
+            name: "J".into(),
+            spec: ViewSpec::Join {
+                left: "L".into(),
+                right: "R".into(),
+                on: (FieldRef::Index(1), FieldRef::Index(2)),
+            },
+        };
+        assert_eq!(q.to_string(), "create view J as join L with R on #1 = #2");
+        assert_eq!(q.reads().len(), 2);
+
+        let q = Query::CreateView {
+            name: "C".into(),
+            spec: ViewSpec::Count {
+                relation: "R".into(),
+                group: FieldRef::Index(1),
+            },
+        };
+        assert_eq!(q.to_string(), "create view C as count R by #1");
+
+        let q = Query::CreateView {
+            name: "S".into(),
+            spec: ViewSpec::Sum {
+                relation: "R".into(),
+                field: FieldRef::Name("qty".into()),
+                group: FieldRef::Index(1),
+            },
+        };
+        assert_eq!(q.to_string(), "create view S as sum qty of R by #1");
+        // A self-join view reads its base once.
+        let q = ViewSpec::Join {
+            left: "R".into(),
+            right: "R".into(),
+            on: (FieldRef::Index(1), FieldRef::Index(1)),
+        };
+        assert_eq!(q.reads(), vec![RelationName::from("R")]);
+    }
+
+    #[test]
+    fn predicate_lowers_to_view_filter() {
+        let p = Predicate::And(
+            Box::new(Predicate::index_eq(0, 1.into())),
+            Box::new(Predicate::Or(
+                Box::new(Predicate::FieldLt(FieldRef::Index(1), 5.into())),
+                Box::new(Predicate::FieldNe(FieldRef::Index(2), "x".into())),
+            )),
+        );
+        let vf = p.to_view_filter(None).unwrap();
+        assert_eq!(
+            vf,
+            ViewFilter::And(
+                Box::new(ViewFilter::Eq(0, 1.into())),
+                Box::new(ViewFilter::Or(
+                    Box::new(ViewFilter::Lt(1, 5.into())),
+                    Box::new(ViewFilter::Ne(2, "x".into())),
+                )),
+            )
+        );
+        // Named refs resolve via the schema, or fail without one.
+        let schema = Schema::new(&["id", "qty"]).unwrap();
+        let p = Predicate::FieldGt(FieldRef::Name("qty".into()), 3.into());
+        assert_eq!(
+            p.to_view_filter(Some(&schema)).unwrap(),
+            ViewFilter::Gt(1, 3.into())
+        );
+        assert!(p.to_view_filter(None).is_err());
     }
 
     #[test]

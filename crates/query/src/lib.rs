@@ -29,6 +29,11 @@
 //! select  := "select" [ field { "," field } ] "from" NAME [ "where" pred ]
 //! create  := "create" "relation" NAME [ "(" NAME { "," NAME } ")" ] [ "as" repr ]
 //!          | "create" "index" NAME "on" NAME "(" field { "," field } ")"
+//!          | "create" "view" NAME "as" vspec
+//! vspec   := "select" "from" NAME [ "where" pred ]
+//!          | "join" NAME "with" NAME "on" field "=" field
+//!          | "count" NAME "by" field
+//!          | "sum" field "of" NAME "by" field
 //! count   := "count" NAME
 //! agg     := ( "sum" | "min" | "max" ) field "of" NAME
 //! join    := "join" NAME "with" NAME [ "on" field "=" field ]
@@ -70,7 +75,9 @@ pub mod response;
 pub mod token;
 pub mod translate;
 
-pub use ast::{apply_select, compute_aggregate, AggOp, FieldRef, Predicate, Query, ReprSpec};
+pub use ast::{
+    apply_select, compute_aggregate, AggOp, FieldRef, Predicate, Query, ReprSpec, ViewSpec,
+};
 pub use error::ParseError;
 pub use parser::parse;
 pub use plan::{

@@ -2,7 +2,7 @@
 
 use fundb_relational::{RelationName, Tuple, Value};
 
-use crate::ast::{AggOp, FieldRef, Predicate, Query, ReprSpec};
+use crate::ast::{AggOp, FieldRef, Predicate, Query, ReprSpec, ViewSpec};
 use crate::error::ParseError;
 use crate::token::{lex, Token};
 
@@ -210,6 +210,13 @@ impl Parser {
                         fields,
                     });
                 }
+                if self.peek_keyword("view") {
+                    self.next();
+                    let name = self.relation_name()?;
+                    self.keyword("as")?;
+                    let spec = self.view_spec()?;
+                    return Ok(Query::CreateView { name, spec });
+                }
                 self.keyword("relation")?;
                 let relation = self.relation_name()?;
                 let schema = if self.peek() == Some(&Token::LParen) {
@@ -291,6 +298,75 @@ impl Parser {
                 Ok(Query::Names)
             }
             other => Err(self.err(format!("unknown query keyword '{other}'"))),
+        }
+    }
+
+    /// The derivation of a `create view … as` clause: `select from R
+    /// [where P]`, `join L with R on f = f`, `count R by f`, or
+    /// `sum f of R by f`.
+    fn view_spec(&mut self) -> Result<ViewSpec, ParseError> {
+        let head = match self.peek() {
+            Some(Token::Ident(s)) => s.to_ascii_lowercase(),
+            Some(t) => return Err(self.err(format!("expected a view derivation, found '{t}'"))),
+            None => return Err(self.err("expected a view derivation, found end of input")),
+        };
+        match head.as_str() {
+            "select" => {
+                self.next();
+                self.keyword("from")?;
+                let relation = self.relation_name()?;
+                let predicate = if self.peek_keyword("where") {
+                    self.next();
+                    Some(self.predicate()?)
+                } else {
+                    None
+                };
+                Ok(ViewSpec::Select {
+                    relation,
+                    predicate,
+                })
+            }
+            "join" => {
+                self.next();
+                let left = self.relation_name()?;
+                self.keyword("with")?;
+                let right = self.relation_name()?;
+                self.keyword("on")?;
+                let l = self.field_ref()?;
+                match self.next() {
+                    Some(Token::Eq) => {}
+                    _ => return Err(self.err("expected '=' between join fields")),
+                }
+                let r = self.field_ref()?;
+                Ok(ViewSpec::Join {
+                    left,
+                    right,
+                    on: (l, r),
+                })
+            }
+            "count" => {
+                self.next();
+                let relation = self.relation_name()?;
+                self.keyword("by")?;
+                let group = self.field_ref()?;
+                Ok(ViewSpec::Count { relation, group })
+            }
+            "sum" => {
+                self.next();
+                let field = self.field_ref()?;
+                self.keyword("of")?;
+                let relation = self.relation_name()?;
+                self.keyword("by")?;
+                let group = self.field_ref()?;
+                Ok(ViewSpec::Sum {
+                    relation,
+                    field,
+                    group,
+                })
+            }
+            other => Err(self.err(format!(
+                "a view derives from select, join, count or sum, not '{other}'"
+            ))),
         }
     }
 
@@ -546,6 +622,58 @@ mod tests {
             "create index ix on Emp ()",
             "create index ix on Emp (#1,)",
             "create index ix on Emp (#1 #2)",
+        ] {
+            assert!(parse(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn create_view_forms() {
+        assert_eq!(
+            parse("create view V as select from R").unwrap(),
+            Query::CreateView {
+                name: "V".into(),
+                spec: ViewSpec::Select {
+                    relation: "R".into(),
+                    predicate: None,
+                },
+            }
+        );
+        assert_eq!(
+            parse("create view J as join L with R on #1 = #2").unwrap(),
+            Query::CreateView {
+                name: "J".into(),
+                spec: ViewSpec::Join {
+                    left: "L".into(),
+                    right: "R".into(),
+                    on: (FieldRef::Index(1), FieldRef::Index(2)),
+                },
+            }
+        );
+        // Round-trip through Display: the WAL replay path re-parses the
+        // displayed form.
+        for q in [
+            "create view V as select from R",
+            "create view V as select from R where (#1 = 7 and #2 < 'm')",
+            "create view V as select from Emp where dept = 'eng'",
+            "create view J as join L with R on #1 = #2",
+            "create view J as join Emp with Dept on dept = #0",
+            "create view C as count R by #1",
+            "create view S as sum #2 of R by #1",
+            "create view S as sum qty of Orders by region",
+        ] {
+            assert_eq!(parse(q).unwrap().to_string(), q);
+        }
+        for bad in [
+            "create view V",
+            "create view V as",
+            "create view V as frobnicate R",
+            "create view V as select #1 from R", // views keep whole rows
+            "create view V as join L with R",    // 'on' is required
+            "create view V as join L with R on #1",
+            "create view V as count R",
+            "create view V as sum #1 of R",
+            "create view as select from R",
         ] {
             assert!(parse(bad).is_err(), "should reject: {bad}");
         }

@@ -81,6 +81,19 @@ pub enum AccessPath {
         /// The probed values, parallel to `fields`.
         values: Vec<Value>,
     },
+    /// A full-width equality probe whose index key holds every projected
+    /// field: answered from the posting walk alone, with no primary-store
+    /// probes (a "covering" read). Only chosen when the posting cardinality
+    /// provably equals the row cardinality and the probe absorbs the whole
+    /// predicate — see [`execute_select_explained`].
+    CoveredEq {
+        /// Index used.
+        index: String,
+        /// The matched attribute positions (all of the index's).
+        fields: Vec<usize>,
+        /// The probed values, parallel to `fields`.
+        values: Vec<Value>,
+    },
     /// Secondary-index range on `field`; `None` bounds are open.
     IndexRange {
         /// Index used.
@@ -116,6 +129,17 @@ impl fmt::Display for AccessPath {
                     write!(f, "{}#{fi} = {v}", if i == 0 { "" } else { " and " })?;
                 }
                 f.write_str(")")
+            }
+            AccessPath::CoveredEq {
+                index,
+                fields,
+                values,
+            } => {
+                write!(f, "covering eq probe on {index} (")?;
+                for (i, (fi, v)) in fields.iter().zip(values).enumerate() {
+                    write!(f, "{}#{fi} = {v}", if i == 0 { "" } else { " and " })?;
+                }
+                f.write_str("), no primary fetch")
             }
             AccessPath::IndexRange {
                 index,
@@ -294,7 +318,8 @@ fn fetch_candidates(rel: &Relation, path: &AccessPath) -> Vec<Tuple> {
             let ix = rel.index_on(*field).expect("path chosen from this index");
             rel.key_groups_sorted(&ix.keys_eq(value))
         }
-        AccessPath::CompositeEq { index, values, .. } => {
+        AccessPath::CompositeEq { index, values, .. }
+        | AccessPath::CoveredEq { index, values, .. } => {
             let ix = rel
                 .indexes()
                 .get(index)
@@ -306,6 +331,68 @@ fn fetch_candidates(rel: &Relation, path: &AccessPath) -> Vec<Tuple> {
             rel.key_groups_sorted(&ix.keys_in_range(lo.as_ref(), hi.as_ref()))
         }
     }
+}
+
+/// Upgrades a full-width equality probe to a covering read when the
+/// posting walk alone can answer the select, skipping every primary-store
+/// probe. Three gates, all required for correctness:
+///
+/// 1. the probe binds **every** index column (a prefix probe admits rows
+///    whose unbound trailing columns the output could not reconstruct);
+/// 2. `entries() == len()` — postings are deduplicated per
+///    `(value, key)` pair, so this makes tuple → posting entry a
+///    bijection: the posting's length *is* the matching row count, and no
+///    key group hides a second tuple with different indexed values;
+/// 3. the resolved predicate is exactly the probed equalities — any other
+///    conjunct would need the full tuple as a residual filter.
+///
+/// Under those gates every output row is the projected slice of the
+/// probed constants, repeated once per posting entry.
+fn try_covering(
+    rel: &Relation,
+    path: &AccessPath,
+    schema: Option<&Schema>,
+    projection: &Option<Vec<FieldRef>>,
+    resolved: Option<&Predicate>,
+) -> Option<AccessPath> {
+    let (index, fields, values) = match path {
+        AccessPath::CompositeEq {
+            index,
+            fields,
+            values,
+        } => (index, fields.clone(), values.clone()),
+        AccessPath::IndexEq {
+            index,
+            field,
+            value,
+        } => (index, vec![*field], vec![value.clone()]),
+        _ => return None,
+    };
+    let ix = rel.indexes().get(index)?;
+    if fields.len() != ix.width() || ix.entries() != rel.len() {
+        return None;
+    }
+    let proj = projection.as_ref()?;
+    if proj.is_empty() {
+        return None;
+    }
+    for fr in proj {
+        if !fields.contains(&fr.resolve(schema).ok()?) {
+            return None;
+        }
+    }
+    for c in conjuncts(resolved?) {
+        match c {
+            Predicate::FieldEq(FieldRef::Index(i), v)
+                if fields.iter().zip(&values).any(|(f, w)| f == i && w == v) => {}
+            _ => return None,
+        }
+    }
+    Some(AccessPath::CoveredEq {
+        index: index.clone(),
+        fields,
+        values,
+    })
 }
 
 /// Executes a select against one relation: resolves the predicate, picks
@@ -344,7 +431,38 @@ pub fn execute_select_explained(
         None => None,
         Some(p) => Some(p.resolve(schema)?),
     };
-    let path = choose_access_path(rel, resolved.as_ref());
+    let mut path = choose_access_path(rel, resolved.as_ref());
+    if let Some(covered) = try_covering(rel, &path, schema, projection, resolved.as_ref()) {
+        path = covered;
+    }
+    if let AccessPath::CoveredEq {
+        index,
+        fields,
+        values,
+    } = &path
+    {
+        let ix = rel
+            .indexes()
+            .get(index)
+            .expect("covering chosen from this index");
+        let matched = ix.keys_prefix(values).len();
+        let row = Tuple::new(
+            projection
+                .as_ref()
+                .expect("covering requires a projection")
+                .iter()
+                .map(|fr| {
+                    let pos = fr.resolve(schema).expect("resolved by try_covering");
+                    let at = fields
+                        .iter()
+                        .position(|f| *f == pos)
+                        .expect("projection within index fields");
+                    values[at].clone()
+                })
+                .collect(),
+        );
+        return Ok((vec![row; matched], path));
+    }
     let result = if path == AccessPath::Scan {
         // Stream-and-filter: the full relation is never materialized.
         let candidates: Vec<Tuple> = match &resolved {
@@ -359,7 +477,8 @@ pub fn execute_select_explained(
 }
 
 /// Plans a select without running it: the chosen path and its estimated
-/// candidate-row count, as `explain select` reports them.
+/// candidate-row count, as `explain select` reports them. The projection
+/// participates because it decides covering-read eligibility.
 ///
 /// # Errors
 ///
@@ -367,13 +486,18 @@ pub fn execute_select_explained(
 pub fn explain_select(
     rel: &Relation,
     schema: Option<&Schema>,
+    projection: &Option<Vec<FieldRef>>,
     predicate: &Option<Predicate>,
 ) -> Result<(AccessPath, usize), String> {
     let resolved = match predicate {
         None => None,
         Some(p) => Some(p.resolve(schema)?),
     };
-    Ok(choose_access_path_with_estimate(rel, resolved.as_ref()))
+    let (path, est) = choose_access_path_with_estimate(rel, resolved.as_ref());
+    match try_covering(rel, &path, schema, projection, resolved.as_ref()) {
+        Some(covered) => Ok((covered, est)),
+        None => Ok((path, est)),
+    }
 }
 
 /// The chosen way to execute an equi-join.
@@ -806,11 +930,11 @@ mod tests {
     #[test]
     fn explain_reports_path_and_estimate() {
         let r = rel();
-        let (path, est) = explain_select(&r, None, &Some(eq(1, "g1".into()))).unwrap();
+        let (path, est) = explain_select(&r, None, &None, &Some(eq(1, "g1".into()))).unwrap();
         assert!(matches!(path, AccessPath::IndexEq { .. }));
         assert_eq!(est, 10);
         assert_eq!(path.to_string(), "index eq probe on by_group (#1 = 'g1')");
-        let (path, est) = explain_select(&r, None, &None).unwrap();
+        let (path, est) = explain_select(&r, None, &None, &None).unwrap();
         assert_eq!(path, AccessPath::Scan);
         assert_eq!(est, 50);
         assert_eq!(path.to_string(), "full scan");
@@ -837,6 +961,122 @@ mod tests {
             .to_string(),
             "index range probe on rx (#2 in ..9)"
         );
+    }
+
+    #[test]
+    fn covering_read_skips_primary_probe() {
+        // Every tuple is indexed and (group, score) pairs are unique per
+        // key, so entries() == len() and full-width probes can cover.
+        let r = Relation::from_tuples(
+            Repr::Tree23,
+            (0..60).map(|k| {
+                Tuple::new(vec![
+                    k.into(),
+                    format!("g{}", k % 3).as_str().into(),
+                    (k % 4).into(),
+                ])
+            }),
+        )
+        .create_index_multi("cx", &[1, 2])
+        .unwrap();
+        let pred = Predicate::And(Box::new(eq(1, "g1".into())), Box::new(eq(2, 2.into())));
+        let proj = Some(vec![FieldRef::Index(1), FieldRef::Index(2)]);
+        // Explain reports the covering upgrade.
+        let (path, _) = explain_select(&r, None, &proj, &Some(pred.clone())).unwrap();
+        assert!(
+            matches!(path, AccessPath::CoveredEq { .. }),
+            "expected covering, got {path}"
+        );
+        assert_eq!(
+            path.to_string(),
+            "covering eq probe on cx (#1 = 'g1' and #2 = 2), no primary fetch"
+        );
+        // Execution agrees with the scan-and-project reference.
+        let (got, ran) = execute_select_explained(&r, None, &proj, &Some(pred.clone())).unwrap();
+        assert!(matches!(ran, AccessPath::CoveredEq { .. }));
+        let mut reference: Vec<Tuple> = r
+            .scan()
+            .into_iter()
+            .filter(|t| pred.eval(t))
+            .map(|t| Tuple::new(vec![t.get(1).unwrap().clone(), t.get(2).unwrap().clone()]))
+            .collect();
+        let mut got_sorted = got.clone();
+        got_sorted.sort_by_key(|t| format!("{t:?}"));
+        reference.sort_by_key(|t| format!("{t:?}"));
+        assert_eq!(got_sorted, reference);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn covering_gates_hold() {
+        let r = Relation::from_tuples(
+            Repr::Tree23,
+            (0..60).map(|k| {
+                Tuple::new(vec![
+                    k.into(),
+                    format!("g{}", k % 3).as_str().into(),
+                    (k % 4).into(),
+                ])
+            }),
+        )
+        .create_index_multi("cx", &[1, 2])
+        .unwrap();
+        let full = Predicate::And(Box::new(eq(1, "g1".into())), Box::new(eq(2, 2.into())));
+        // No projection: the whole tuple is needed, no covering.
+        let (path, _) = explain_select(&r, None, &None, &Some(full.clone())).unwrap();
+        assert!(matches!(path, AccessPath::CompositeEq { .. }), "{path}");
+        // Projection outside the index fields: no covering.
+        let wide = Some(vec![FieldRef::Index(0)]);
+        let (path, _) = explain_select(&r, None, &wide, &Some(full.clone())).unwrap();
+        assert!(matches!(path, AccessPath::CompositeEq { .. }), "{path}");
+        // Prefix probe (one of two columns bound): no covering.
+        let proj = Some(vec![FieldRef::Index(1)]);
+        let (path, _) = explain_select(&r, None, &proj, &Some(eq(1, "g1".into()))).unwrap();
+        assert!(matches!(path, AccessPath::CompositeEq { .. }), "{path}");
+        // An extra non-equality conjunct needs the full tuple: no covering.
+        let extra = Predicate::And(
+            Box::new(full.clone()),
+            Box::new(Predicate::FieldGt(FieldRef::Index(0), 10.into())),
+        );
+        let proj2 = Some(vec![FieldRef::Index(1), FieldRef::Index(2)]);
+        let (path, _) = explain_select(&r, None, &proj2, &Some(extra)).unwrap();
+        assert!(matches!(path, AccessPath::CompositeEq { .. }), "{path}");
+        // A narrow tuple (missing an indexed field) breaks the
+        // entries() == len() bijection: no covering, and the plain probe
+        // still answers correctly.
+        let with_narrow = {
+            let base = Relation::from_tuples(
+                Repr::Tree23,
+                (0..10)
+                    .map(|k| {
+                        Tuple::new(vec![
+                            k.into(),
+                            format!("g{}", k % 3).as_str().into(),
+                            (k % 4).into(),
+                        ])
+                    })
+                    .chain(std::iter::once(Tuple::new(vec![99.into()]))),
+            );
+            base.create_index_multi("cx", &[1, 2]).unwrap()
+        };
+        let (path, _) = explain_select(&with_narrow, None, &proj2, &Some(full)).unwrap();
+        assert!(matches!(path, AccessPath::CompositeEq { .. }), "{path}");
+    }
+
+    #[test]
+    fn covering_single_column_index() {
+        let r = Relation::from_tuples(
+            Repr::List,
+            (0..30).map(|k| Tuple::new(vec![k.into(), (k % 5).into()])),
+        )
+        .create_index("by_mod", 1)
+        .unwrap();
+        let proj = Some(vec![FieldRef::Index(1)]);
+        let (got, path) =
+            execute_select_explained(&r, None, &proj, &Some(eq(1, 3.into()))).unwrap();
+        assert!(matches!(path, AccessPath::CoveredEq { .. }), "{path}");
+        assert_eq!(got.len(), 6);
+        assert!(got.iter().all(|t| t == &Tuple::new(vec![3.into()])));
     }
 
     fn join_fixture(repr: Repr) -> (Relation, Relation) {

@@ -31,6 +31,14 @@ pub enum Response {
         /// Name of the new index.
         name: String,
     },
+    /// A materialized view was created, fully materialized with this many
+    /// rows.
+    ViewCreated {
+        /// Name of the new view.
+        name: RelationName,
+        /// Rows materialized at creation.
+        rows: usize,
+    },
     /// Result of a `count`.
     Count(usize),
     /// Result of an aggregate (`None` for an empty relation).
@@ -108,6 +116,9 @@ impl fmt::Display for Response {
             Response::IndexCreated { relation, name } => {
                 write!(f, "created index {name} on {relation}")
             }
+            Response::ViewCreated { name, rows } => {
+                write!(f, "created view {name} ({rows} rows)")
+            }
             Response::Count(n) => write!(f, "count {n}"),
             Response::Aggregate { op, value } => match value {
                 Some(v) => write!(f, "{op} = {v}"),
@@ -173,6 +184,14 @@ mod tests {
             }
             .to_string(),
             "created index ix on R"
+        );
+        assert_eq!(
+            Response::ViewCreated {
+                name: "V".into(),
+                rows: 3
+            }
+            .to_string(),
+            "created view V (3 rows)"
         );
         assert_eq!(Response::Count(5).to_string(), "count 5");
         assert_eq!(

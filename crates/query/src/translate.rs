@@ -10,9 +10,9 @@
 use std::fmt;
 use std::sync::Arc;
 
-use fundb_relational::{Database, RelationName};
+use fundb_relational::{Database, RelationName, ViewDef};
 
-use crate::ast::{compute_aggregate, FieldRef, Query};
+use crate::ast::{compute_aggregate, FieldRef, Predicate, Query, ViewSpec};
 use crate::plan::{choose_join_strategy, execute_join, execute_select, explain_select};
 use crate::response::Response;
 
@@ -34,22 +34,142 @@ fn resolve_join_on(
     }
 }
 
+/// Resolves a `create view` spec against the current database's schemas,
+/// producing the positional [`ViewDef`] the relational layer maintains.
+/// Resolution happens at execution time (like predicate resolution): the
+/// base schemas belong to the database version the DDL runs against.
+///
+/// # Errors
+///
+/// A message when a base relation is missing or a field reference cannot
+/// be resolved.
+pub fn resolve_view_spec(db: &Database, spec: &ViewSpec) -> Result<ViewDef, String> {
+    match spec {
+        ViewSpec::Select {
+            relation,
+            predicate,
+        } => {
+            let schema = db.schema(relation).map_err(|e| e.to_string())?;
+            let filter = match predicate {
+                None => None,
+                Some(p) => Some(p.to_view_filter(schema)?),
+            };
+            Ok(ViewDef::Select {
+                base: relation.clone(),
+                filter,
+            })
+        }
+        ViewSpec::Join {
+            left,
+            right,
+            on: (lf, rf),
+        } => {
+            let ls = db.schema(left).map_err(|e| e.to_string())?;
+            let rs = db.schema(right).map_err(|e| e.to_string())?;
+            Ok(ViewDef::Join {
+                left: left.clone(),
+                right: right.clone(),
+                left_field: lf.resolve(ls)?,
+                right_field: rf.resolve(rs)?,
+            })
+        }
+        ViewSpec::Count { relation, group } => {
+            let s = db.schema(relation).map_err(|e| e.to_string())?;
+            Ok(ViewDef::GroupCount {
+                base: relation.clone(),
+                group: group.resolve(s)?,
+            })
+        }
+        ViewSpec::Sum {
+            relation,
+            field,
+            group,
+        } => {
+            let s = db.schema(relation).map_err(|e| e.to_string())?;
+            Ok(ViewDef::GroupSum {
+                base: relation.clone(),
+                field: field.resolve(s)?,
+                group: group.resolve(s)?,
+            })
+        }
+    }
+}
+
+/// A materialized view whose definition is exactly `select from relation
+/// where predicate`, if one exists: the select can then be answered from
+/// the view's contents without re-filtering (the view holds whole base
+/// rows, so any projection still applies). Returns `None` rather than
+/// erroring when the predicate cannot be lowered — substitution is an
+/// optimization, never a requirement.
+pub fn matching_select_view(
+    db: &Database,
+    relation: &RelationName,
+    predicate: &Option<Predicate>,
+) -> Option<RelationName> {
+    let views = db.views();
+    if views.is_empty() {
+        return None;
+    }
+    let schema = db.schema(relation).ok().flatten();
+    let want = match predicate {
+        None => None,
+        Some(p) => Some(p.to_view_filter(schema).ok()?),
+    };
+    views
+        .into_iter()
+        .find_map(|(name, def)| match def.as_ref() {
+            ViewDef::Select { base, filter } if base == relation && *filter == want => Some(name),
+            _ => None,
+        })
+}
+
+/// A materialized view whose definition is exactly `join left with right`
+/// on the given (resolved) attribute pair, if one exists. `None` join
+/// positions mean the key-key join, which a view on `#0 = #0` covers.
+pub fn matching_join_view(
+    db: &Database,
+    left: &RelationName,
+    right: &RelationName,
+    on: Option<(usize, usize)>,
+) -> Option<RelationName> {
+    let on = on.unwrap_or((0, 0));
+    db.views()
+        .into_iter()
+        .find_map(|(name, def)| match def.as_ref() {
+            ViewDef::Join {
+                left: l,
+                right: r,
+                left_field,
+                right_field,
+            } if l == left && r == right && (*left_field, *right_field) == on => Some(name),
+            _ => None,
+        })
+}
+
 /// Plans (without executing) the query inside an `explain`, returning the
 /// chosen access path or join strategy and its estimated cardinality.
 fn explain_query(db: &Database, inner: &Query) -> Result<(String, usize), String> {
     match inner {
         Query::Select {
             relation,
+            projection,
             predicate,
-            ..
         } => {
+            if let Some(vname) = matching_select_view(db, relation, predicate) {
+                let view = db.relation(&vname).map_err(|e| e.to_string())?;
+                return Ok((format!("materialized view scan on {vname}"), view.len()));
+            }
             let rel = db.relation(relation).map_err(|e| e.to_string())?;
             let schema = db.schema(relation).ok().flatten();
-            let (path, est) = explain_select(rel, schema, predicate)?;
+            let (path, est) = explain_select(rel, schema, projection, predicate)?;
             Ok((path.to_string(), est))
         }
         Query::Join { left, right, on } => {
             let on = resolve_join_on(db, left, right, on)?;
+            if let Some(vname) = matching_join_view(db, left, right, on) {
+                let view = db.relation(&vname).map_err(|e| e.to_string())?;
+                return Ok((format!("materialized view scan on {vname}"), view.len()));
+            }
             let l = db.relation(left).map_err(|e| e.to_string())?;
             let r = db.relation(right).map_err(|e| e.to_string())?;
             let (strategy, est) = choose_join_strategy(l, r, on);
@@ -203,11 +323,18 @@ pub fn translate(query: Query) -> Transaction {
             projection,
             predicate,
         } => Arc::new(move |db| {
-            let rel = match db.relation(&relation) {
+            // A view materializing exactly this select answers directly;
+            // its contents are maintained, not recomputed, so the filter
+            // never runs again.
+            let (source, predicate) = match matching_select_view(db, &relation, &predicate) {
+                Some(vname) => (vname, None),
+                None => (relation.clone(), predicate.clone()),
+            };
+            let rel = match db.relation(&source) {
                 Ok(rel) => rel,
                 Err(e) => return (Response::Error(e.to_string()), db.clone()),
             };
-            let schema = db.schema(&relation).ok().flatten();
+            let schema = db.schema(&source).ok().flatten();
             match execute_select(rel, schema, &projection, &predicate) {
                 Ok(tuples) => (Response::Tuples(tuples), db.clone()),
                 Err(e) => (Response::Error(e), db.clone()),
@@ -257,11 +384,37 @@ pub fn translate(query: Query) -> Transaction {
                 Err(e) => (Response::Error(e.to_string()), db.clone()),
             }
         }),
+        Query::CreateView { name, spec } => Arc::new(move |db| {
+            let def = match resolve_view_spec(db, &spec) {
+                Ok(def) => def,
+                Err(e) => return (Response::Error(e), db.clone()),
+            };
+            match db.create_view(name.clone(), def) {
+                Ok(db2) => {
+                    let rows = db2.relation(&name).map(|r| r.len()).unwrap_or(0);
+                    (
+                        Response::ViewCreated {
+                            name: name.clone(),
+                            rows,
+                        },
+                        db2,
+                    )
+                }
+                Err(e) => (Response::Error(e.to_string()), db.clone()),
+            }
+        }),
         Query::Join { left, right, on } => Arc::new(move |db| {
             let on = match resolve_join_on(db, &left, &right, &on) {
                 Ok(on) => on,
                 Err(e) => return (Response::Error(e), db.clone()),
             };
+            // A view materializing exactly this join is already the answer.
+            if let Some(vname) = matching_join_view(db, &left, &right, on) {
+                return match db.relation(&vname) {
+                    Ok(view) => (Response::Tuples(view.scan()), db.clone()),
+                    Err(e) => (Response::Error(e.to_string()), db.clone()),
+                };
+            }
             let l = match db.relation(&left) {
                 Ok(rel) => rel,
                 Err(e) => return (Response::Error(e.to_string()), db.clone()),
@@ -499,6 +652,115 @@ mod tests {
                 .contains("composite eq probe on by_dept_grade"),
             "{r}"
         );
+    }
+
+    #[test]
+    fn create_view_end_to_end() {
+        let d = db();
+        let (_, d) = run(&d, "insert (1, 10) into R");
+        let (_, d) = run(&d, "insert (2, 20) into R");
+        let (r, d) = run(&d, "create view Big as select from R where #1 > 15");
+        assert_eq!(r.to_string(), "created view Big (1 rows)");
+        // The view is a relation: find/select/count all work against it.
+        let (r, d) = run(&d, "count Big");
+        assert_eq!(r, Response::Count(1));
+        // Writes to the base flow through; writes to the view are rejected.
+        let (_, d) = run(&d, "insert (3, 30) into R");
+        let (r, d) = run(&d, "count Big");
+        assert_eq!(r, Response::Count(2));
+        let (r, d) = run(&d, "insert (9, 90) into Big");
+        assert_eq!(
+            r.to_string(),
+            "error: cannot write to materialized view: Big"
+        );
+        // Matching selects and explains substitute the view.
+        let (r, d) = run(&d, "select from R where #1 > 15");
+        assert_eq!(r.tuples().unwrap().len(), 2);
+        let (r, d) = run(&d, "explain select from R where #1 > 15");
+        assert_eq!(
+            r.to_string(),
+            "plan: materialized view scan on Big (~2 rows)"
+        );
+        // A different predicate does not match the view.
+        let (r, _) = run(&d, "explain select from R where #1 > 25");
+        assert_eq!(r.to_string(), "plan: full scan (~3 rows)");
+    }
+
+    #[test]
+    fn join_view_end_to_end() {
+        let d = db();
+        let (_, d) = run(&d, "insert (1, 7) into R");
+        let (_, d) = run(&d, "insert (2, 8) into R");
+        let (_, d) = run(&d, "insert (10, 7, 'x') into S");
+        let (r, d) = run(&d, "create view J as join R with S on #1 = #1");
+        assert_eq!(r.to_string(), "created view J (1 rows)");
+        // The join query substitutes the view and matches direct execution.
+        let (r, d) = run(&d, "join R with S on #1 = #1");
+        assert_eq!(
+            r.tuples().unwrap(),
+            &[Tuple::new(vec![1.into(), 7.into(), 10.into(), "x".into()])]
+        );
+        let (r, d) = run(&d, "explain join R with S on #1 = #1");
+        assert_eq!(r.to_string(), "plan: materialized view scan on J (~1 rows)");
+        // Both sides propagate.
+        let (_, d) = run(&d, "insert (11, 8, 'y') into S");
+        let (r, d) = run(&d, "count J");
+        assert_eq!(r, Response::Count(2));
+        // Views over views and bad specs are errors, not panics.
+        let (r, d) = run(&d, "create view K as select from J");
+        assert_eq!(
+            r.to_string(),
+            "error: views over views are not supported: J"
+        );
+        let (r, _) = run(&d, "create view K as count Nope by #1");
+        assert!(r.is_error());
+    }
+
+    #[test]
+    fn aggregate_views_end_to_end() {
+        let d = Database::empty();
+        let (_, d) = run(&d, "create relation Sales(id, region, qty) as tree");
+        let (_, d) = run(&d, "insert (1, 'w', 5) into Sales");
+        let (_, d) = run(&d, "insert (2, 'e', 3) into Sales");
+        let (_, d) = run(&d, "insert (3, 'w', 2) into Sales");
+        // Named field refs resolve against the base schema at DDL time.
+        let (r, d) = run(&d, "create view ByRegion as sum qty of Sales by region");
+        assert_eq!(r.to_string(), "created view ByRegion (2 rows)");
+        let (r, d) = run(&d, "find 'w' in ByRegion");
+        assert_eq!(
+            r.tuples().unwrap(),
+            &[Tuple::new(vec!["w".into(), 7.into(), 2.into()])]
+        );
+        let (_, d) = run(&d, "delete 1 from Sales");
+        let (r, d) = run(&d, "find 'w' in ByRegion");
+        assert_eq!(
+            r.tuples().unwrap(),
+            &[Tuple::new(vec!["w".into(), 2.into(), 1.into()])]
+        );
+        let (r, _) = run(&d, "create view C as count Sales by nope");
+        assert!(r.is_error());
+    }
+
+    #[test]
+    fn covering_read_end_to_end() {
+        let d = Database::empty();
+        let (_, d) = run(&d, "create relation Emp(id, dept, grade)");
+        let (_, d) = run(&d, "insert (1, 'eng', 3) into Emp");
+        let (_, d) = run(&d, "insert (2, 'eng', 4) into Emp");
+        let (_, d) = run(&d, "create index dg on Emp (dept, grade)");
+        let (r, d) = run(
+            &d,
+            "select dept, grade from Emp where dept = 'eng' and grade = 3",
+        );
+        assert_eq!(
+            r.tuples().unwrap(),
+            &[Tuple::new(vec!["eng".into(), 3.into()])]
+        );
+        let (r, _) = run(
+            &d,
+            "explain select dept, grade from Emp where dept = 'eng' and grade = 3",
+        );
+        assert!(r.to_string().contains("covering eq probe on dg"), "{r}");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property test: any AST the language can express survives a
 //! display -> parse round trip, including deeply nested predicates.
 
-use fundb_query::{parse, AggOp, FieldRef, Predicate, Query, ReprSpec};
+use fundb_query::{parse, AggOp, FieldRef, Predicate, Query, ReprSpec, ViewSpec};
 use fundb_relational::{RelationName, Tuple, Value};
 use proptest::prelude::*;
 
@@ -55,6 +55,37 @@ fn repr_strategy() -> impl Strategy<Value = ReprSpec> {
         Just(ReprSpec::Tree),
         (2usize..32).prop_map(ReprSpec::BTree),
         (1usize..64).prop_map(ReprSpec::Paged),
+    ]
+}
+
+fn view_spec_strategy() -> impl Strategy<Value = ViewSpec> {
+    prop_oneof![
+        (name_strategy(), prop::option::of(predicate_strategy())).prop_map(
+            |(relation, predicate)| ViewSpec::Select {
+                relation,
+                predicate
+            }
+        ),
+        (
+            name_strategy(),
+            name_strategy(),
+            field_ref_strategy(),
+            field_ref_strategy()
+        )
+            .prop_map(|(left, right, lf, rf)| ViewSpec::Join {
+                left,
+                right,
+                on: (lf, rf)
+            }),
+        (name_strategy(), field_ref_strategy())
+            .prop_map(|(relation, group)| ViewSpec::Count { relation, group }),
+        (name_strategy(), field_ref_strategy(), field_ref_strategy()).prop_map(
+            |(relation, field, group)| ViewSpec::Sum {
+                relation,
+                field,
+                group
+            }
+        ),
     ]
 }
 
@@ -115,6 +146,8 @@ fn query_strategy() -> impl Strategy<Value = Query> {
                 name,
                 fields
             }),
+        (name_strategy(), view_spec_strategy())
+            .prop_map(|(name, spec)| Query::CreateView { name, spec }),
         (
             name_strategy(),
             prop_oneof![Just(AggOp::Sum), Just(AggOp::Min), Just(AggOp::Max)],
@@ -180,6 +213,32 @@ fn ambiguous(q: &Query) -> bool {
         Query::Aggregate {
             relation, field, ..
         } => keywordish(relation.as_str()) || matches!(field, FieldRef::Name(n) if keywordish(n)),
+        // View specs add `by` and `on` as contextual keywords on top of
+        // the base set, for the view name, every base name, and every
+        // named field position.
+        Query::CreateView { name, spec } => {
+            let viewish =
+                |s: &str| keywordish(s) || ["by", "on"].iter().any(|k| s.eq_ignore_ascii_case(k));
+            let fieldish = |f: &FieldRef| matches!(f, FieldRef::Name(n) if viewish(n));
+            viewish(name.as_str())
+                || match spec {
+                    ViewSpec::Select { relation, .. } => viewish(relation.as_str()),
+                    ViewSpec::Join { left, right, on } => {
+                        viewish(left.as_str())
+                            || viewish(right.as_str())
+                            || fieldish(&on.0)
+                            || fieldish(&on.1)
+                    }
+                    ViewSpec::Count { relation, group } => {
+                        viewish(relation.as_str()) || fieldish(group)
+                    }
+                    ViewSpec::Sum {
+                        relation,
+                        field,
+                        group,
+                    } => viewish(relation.as_str()) || fieldish(field) || fieldish(group),
+                }
+        }
         _ => false,
     }
 }

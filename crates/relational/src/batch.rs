@@ -287,7 +287,11 @@ where
 /// ascending key order secondary-index maintenance requires. Reuses the same
 /// stable sort + key-run decomposition as the structural merge, so the index
 /// deltas are derived from exactly the per-key folds the kernels commit.
-fn batch_transitions(rel: &Relation, ops: &[BatchOp]) -> Vec<KeyTransition> {
+///
+/// Public because materialized-view maintenance consumes the same runs: the
+/// engine derives each dependent view's delta from the transitions of the
+/// base batch it just claimed (see [`crate::view`]).
+pub fn batch_transitions(rel: &Relation, ops: &[BatchOp]) -> Vec<KeyTransition> {
     let idx = sorted_indices(ops);
     let runs = key_runs(ops, &idx);
     let mut out = Vec::with_capacity(runs.len());
@@ -308,6 +312,110 @@ fn batch_transitions(rel: &Relation, ops: &[BatchOp]) -> Vec<KeyTransition> {
         out.push(KeyTransition::new(key.clone(), before, after));
     }
     out
+}
+
+/// One transition's bucket effect for the tree kernels: `None` when the key
+/// ends up absent, otherwise the `after` run consed so that a scan (which
+/// reverses the bucket) replays it in order.
+fn transition_effect(tr: &KeyTransition) -> (Value, Option<PList<Tuple>>) {
+    if tr.after.is_empty() {
+        (tr.key.clone(), None)
+    } else {
+        let bucket = tr
+            .after
+            .iter()
+            .fold(PList::nil(), |acc, t| PList::cons(t.clone(), acc));
+        (tr.key.clone(), Some(bucket))
+    }
+}
+
+impl Relation {
+    /// Applies a run of per-key [`KeyTransition`]s — each key's bucket is
+    /// replaced wholesale by its `after` tuples — returning the new
+    /// relation. This is how materialized views commit their deltas: the
+    /// engine derives view transitions from a base batch's transitions and
+    /// lands them with the same one-pass merge kernels ordinary batches use,
+    /// so a view commit costs O(touched · log n) regardless of view size.
+    ///
+    /// `runs` must be strictly ascending by key and each `before` must be
+    /// the key's current bucket (as a multiset) — the contract every delta
+    /// derivation in [`crate::view`] upholds. Attached indexes are
+    /// maintained from the same runs.
+    pub fn apply_transitions(&self, runs: &[KeyTransition]) -> Relation {
+        if runs.is_empty() {
+            return self.clone();
+        }
+        debug_assert!(
+            runs.windows(2).all(|w| w[0].key < w[1].key),
+            "transition runs must be strictly ascending by key"
+        );
+        #[cfg(debug_assertions)]
+        for tr in runs {
+            let mut cur = self.store.key_group(&tr.key);
+            let mut before = tr.before.clone();
+            cur.sort();
+            before.sort();
+            debug_assert_eq!(
+                before, cur,
+                "transition 'before' must match the current bucket for key {:?}",
+                tr.key
+            );
+        }
+        let indexes = if self.indexes.is_empty() {
+            self.indexes.clone()
+        } else {
+            self.indexes.apply_transitions(runs)
+        };
+        let delta: isize = runs
+            .iter()
+            .map(|tr| tr.after.len() as isize - tr.before.len() as isize)
+            .sum();
+        let store = match &self.store {
+            Store::List(l) => {
+                let effects: Vec<(Value, Option<Vec<Tuple>>)> = runs
+                    .iter()
+                    .map(|tr| {
+                        // List buckets live in full-tuple sorted order.
+                        let mut run = tr.after.clone();
+                        run.sort();
+                        (tr.key.clone(), (!run.is_empty()).then_some(run))
+                    })
+                    .collect();
+                let (l2, _) = l.merge_runs_by(|t| t.key().clone(), &effects);
+                Store::List(l2)
+            }
+            Store::Tree(t) => {
+                let effects: EffectRun = runs.iter().map(transition_effect).collect();
+                let (t2, _) = t.merge_batch(&effects);
+                Store::Tree(t2)
+            }
+            Store::BTree(t) => {
+                let effects: EffectRun = runs.iter().map(transition_effect).collect();
+                let (t2, _) = t.merge_batch(&effects);
+                Store::BTree(t2)
+            }
+            Store::Paged(p) => {
+                // Arrival order: keep untouched tuples in place, append every
+                // touched key's new bucket, rebuild in one pass.
+                let touched: BTreeMap<&Value, ()> = runs.iter().map(|tr| (&tr.key, ())).collect();
+                let mut tuples: Vec<Tuple> = p
+                    .iter()
+                    .filter(|t| !touched.contains_key(t.key()))
+                    .cloned()
+                    .collect();
+                for tr in runs {
+                    tuples.extend(tr.after.iter().cloned());
+                }
+                Store::Paged(PagedStore::with_capacity(p.page_capacity(), tuples))
+            }
+        };
+        let len = (self.len as isize + delta) as usize;
+        Relation {
+            store,
+            indexes,
+            len,
+        }
+    }
 }
 
 fn tree23_bucket(t: &fundb_persist::Tree23<Value, PList<Tuple>>, key: &Value) -> PList<Tuple> {

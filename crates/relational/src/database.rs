@@ -11,10 +11,12 @@ use std::sync::Arc;
 
 use fundb_persist::{CopyReport, PList};
 
+use crate::index::KeyTransition;
 use crate::relation::{Relation, Repr};
 use crate::schema::Schema;
 use crate::tuple::Tuple;
 use crate::value::Value;
+use crate::view::{derive_delta, eval_view, rebuilt_like, ViewDef};
 
 /// The name of a relation (cheap to clone and compare).
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -53,6 +55,11 @@ pub enum DatabaseError {
     DuplicateRelation(RelationName),
     /// The relation already has an index with this name.
     DuplicateIndex(RelationName, String),
+    /// The named relation is a materialized view; views are maintained by
+    /// the database, not written directly.
+    WriteToView(RelationName),
+    /// A view definition referenced another view as its base.
+    ViewOnView(RelationName),
 }
 
 impl fmt::Display for DatabaseError {
@@ -63,18 +70,27 @@ impl fmt::Display for DatabaseError {
             DatabaseError::DuplicateIndex(n, ix) => {
                 write!(f, "index already exists on {n}: {ix}")
             }
+            DatabaseError::WriteToView(n) => {
+                write!(f, "cannot write to materialized view: {n}")
+            }
+            DatabaseError::ViewOnView(n) => {
+                write!(f, "views over views are not supported: {n}")
+            }
         }
     }
 }
 
 impl std::error::Error for DatabaseError {}
 
-/// One catalog entry: a named relation with an optional schema.
+/// One catalog entry: a named relation with an optional schema. A `view`
+/// definition marks the relation as derived: its contents are maintained
+/// by the database from its bases, and direct writes are rejected.
 #[derive(Clone)]
 struct Entry {
     name: RelationName,
     relation: Relation,
     schema: Option<Schema>,
+    view: Option<Arc<ViewDef>>,
 }
 
 /// A persistent database: `names -> relations` as an association list.
@@ -164,6 +180,7 @@ impl Database {
                 name,
                 relation: Relation::empty(repr),
                 schema,
+                view: None,
             }))
             .collect();
         Ok(Database {
@@ -201,6 +218,42 @@ impl Database {
                 name,
                 relation,
                 schema,
+                view: None,
+            }))
+            .collect();
+        Ok(Database {
+            entries: entries.into_iter().collect(),
+        })
+    }
+
+    /// Like [`with_relation_value`](Self::with_relation_value), but marking
+    /// the entry as a materialized view with the given definition — how a
+    /// checkpoint loader or engine cut reassembles a database whose views
+    /// keep being maintained.
+    ///
+    /// # Errors
+    ///
+    /// [`DatabaseError::DuplicateRelation`] if the name is taken.
+    pub fn with_view_value<N: Into<RelationName>>(
+        &self,
+        name: N,
+        relation: Relation,
+        schema: Option<Schema>,
+        def: ViewDef,
+    ) -> Result<Database, DatabaseError> {
+        let name = name.into();
+        if self.position(&name).is_some() {
+            return Err(DatabaseError::DuplicateRelation(name));
+        }
+        let entries: Vec<Entry> = self
+            .entries
+            .iter()
+            .cloned()
+            .chain(std::iter::once(Entry {
+                name,
+                relation,
+                schema,
+                view: Some(Arc::new(def)),
             }))
             .collect();
         Ok(Database {
@@ -261,19 +314,38 @@ impl Database {
     /// copying; the database spine additionally re-conses `position(name)+1`
     /// cells (and shares the rest), exactly as in the paper's example.
     ///
+    /// Materialized views depending on `name` are maintained in the same
+    /// step (one differential pass each), so the returned database is
+    /// internally consistent.
+    ///
     /// # Errors
     ///
-    /// [`DatabaseError::NoSuchRelation`] if absent.
+    /// [`DatabaseError::NoSuchRelation`] if absent,
+    /// [`DatabaseError::WriteToView`] if `name` is a view.
     pub fn insert(
         &self,
         name: &RelationName,
         tuple: Tuple,
     ) -> Result<(Database, CopyReport), DatabaseError> {
-        self.update_relation(name, |rel| {
+        self.reject_view_write(name)?;
+        // Single-op transition, derived only when a view will consume it.
+        let transitions = if self.has_dependent_views(name) {
+            let before = self.relation(name)?.key_group(tuple.key());
+            let mut after = before.clone();
+            after.push(tuple.clone());
+            Some(vec![KeyTransition::new(tuple.key().clone(), before, after)])
+        } else {
+            None
+        };
+        let (db, report, ()) = self.update_relation(name, |rel| {
             let (r2, report) = rel.insert(tuple);
             (r2, report, ())
-        })
-        .map(|(db, report, ())| (db, report))
+        })?;
+        let db = match transitions {
+            Some(ts) => db.propagate_to_views(name, &ts),
+            None => db,
+        };
+        Ok((db, report))
     }
 
     /// `find`: every tuple in relation `name` whose key is `key`.
@@ -313,21 +385,30 @@ impl Database {
     }
 
     /// Removes every tuple with `key` from relation `name`, returning the
-    /// new database and the removed tuples.
+    /// new database and the removed tuples. Dependent materialized views
+    /// are maintained in the same step.
     ///
     /// # Errors
     ///
-    /// [`DatabaseError::NoSuchRelation`] if absent.
+    /// [`DatabaseError::NoSuchRelation`] if absent,
+    /// [`DatabaseError::WriteToView`] if `name` is a view.
     pub fn delete(
         &self,
         name: &RelationName,
         key: &Value,
     ) -> Result<(Database, Vec<Tuple>), DatabaseError> {
-        self.update_relation(name, |rel| {
+        self.reject_view_write(name)?;
+        let (db, _, removed) = self.update_relation(name, |rel| {
             let (r2, removed, report) = rel.delete(key);
             (r2, report, removed)
-        })
-        .map(|(db, _, removed)| (db, removed))
+        })?;
+        let db = if !removed.is_empty() && self.has_dependent_views(name) {
+            let ts = vec![KeyTransition::new(key.clone(), removed.clone(), Vec::new())];
+            db.propagate_to_views(name, &ts)
+        } else {
+            db
+        };
+        Ok((db, removed))
     }
 
     /// Attaches (and builds) a secondary index named `index` on attribute
@@ -391,12 +472,14 @@ impl Database {
                 Some(entry) if &entry.name == name => {
                     let (r2, report, extra) = f(&entry.relation);
                     let schema = entry.schema.clone();
+                    let view = entry.view.clone();
                     let suffix = cur.tail().expect("nonempty list has a tail");
                     let mut entries = PList::cons(
                         Entry {
                             name: name.clone(),
                             relation: r2,
                             schema,
+                            view,
                         },
                         suffix,
                     );
@@ -410,6 +493,183 @@ impl Database {
                     cur = cur.tail().expect("nonempty list has a tail");
                 }
             }
+        }
+    }
+
+    /// Defines (and fully materializes, once) the view `name`. After this,
+    /// every write to a base relation maintains the view differentially.
+    ///
+    /// A `select` view inherits its base's schema (it holds base rows);
+    /// join and aggregate views produce new shapes and carry none. The
+    /// view's representation follows its primary base, except that
+    /// arrival-order paged bases get a 2-3 tree view (paged stores rebuild
+    /// wholesale on keyed replacement, which would defeat the differential
+    /// pass).
+    ///
+    /// # Errors
+    ///
+    /// [`DatabaseError::DuplicateRelation`] if the name is taken,
+    /// [`DatabaseError::NoSuchRelation`] if a base is absent,
+    /// [`DatabaseError::ViewOnView`] if a base is itself a view.
+    pub fn create_view<N: Into<RelationName>>(
+        &self,
+        name: N,
+        def: ViewDef,
+    ) -> Result<Database, DatabaseError> {
+        let name = name.into();
+        if self.position(&name).is_some() {
+            return Err(DatabaseError::DuplicateRelation(name));
+        }
+        for base in def.bases() {
+            let entry = self
+                .entries
+                .iter()
+                .find(|e| &e.name == base)
+                .ok_or_else(|| DatabaseError::NoSuchRelation(base.clone()))?;
+            if entry.view.is_some() {
+                return Err(DatabaseError::ViewOnView(base.clone()));
+            }
+        }
+        let primary = def.bases()[0].clone();
+        let repr = match self.relation(&primary)?.repr() {
+            Repr::Paged(_) => Repr::Tree23,
+            r => r,
+        };
+        let schema = match &def {
+            ViewDef::Select { base, .. } => self.schema(base)?.cloned(),
+            _ => None,
+        };
+        let relation = Relation::from_tuples(repr, self.eval_def(&def));
+        let entries: Vec<Entry> = self
+            .entries
+            .iter()
+            .cloned()
+            .chain(std::iter::once(Entry {
+                name,
+                relation,
+                schema,
+                view: Some(Arc::new(def)),
+            }))
+            .collect();
+        Ok(Database {
+            entries: entries.into_iter().collect(),
+        })
+    }
+
+    /// The view definition behind `name`, or `None` for a base relation.
+    ///
+    /// # Errors
+    ///
+    /// [`DatabaseError::NoSuchRelation`] if absent.
+    pub fn view_def(&self, name: &RelationName) -> Result<Option<&ViewDef>, DatabaseError> {
+        self.entries
+            .iter()
+            .find(|e| &e.name == name)
+            .map(|e| e.view.as_deref())
+            .ok_or_else(|| DatabaseError::NoSuchRelation(name.clone()))
+    }
+
+    /// Every view in the database, in spine order, with its definition.
+    pub fn views(&self) -> Vec<(RelationName, Arc<ViewDef>)> {
+        self.entries
+            .iter()
+            .filter_map(|e| e.view.as_ref().map(|v| (e.name.clone(), Arc::clone(v))))
+            .collect()
+    }
+
+    /// `true` if any view reads relation `name`.
+    pub fn has_dependent_views(&self, name: &RelationName) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.view.as_ref().is_some_and(|v| v.depends_on(name)))
+    }
+
+    fn reject_view_write(&self, name: &RelationName) -> Result<(), DatabaseError> {
+        match self.view_def(name)? {
+            Some(_) => Err(DatabaseError::WriteToView(name.clone())),
+            None => Ok(()),
+        }
+    }
+
+    /// A view definition's rows, evaluated from this database's current
+    /// base relations.
+    fn eval_def(&self, def: &ViewDef) -> Vec<Tuple> {
+        let bases = def.bases();
+        let left = self
+            .relation(bases[0])
+            .expect("view bases are validated at creation");
+        let right = match def {
+            ViewDef::Join { right, .. } => Some(
+                self.relation(right)
+                    .expect("view bases are validated at creation"),
+            ),
+            _ => None,
+        };
+        eval_view(def, left, right)
+    }
+
+    /// Re-derives the contents of every dependent view from `base`'s
+    /// per-key transitions. The receiver is the *post-write* database: a
+    /// single base changed, so for a join the other side still holds its
+    /// pre-write (= unchanged) value — exactly what the delta rules
+    /// expect. Self-joins fall back to a full re-evaluation.
+    fn propagate_to_views(&self, base: &RelationName, transitions: &[KeyTransition]) -> Database {
+        let mut db = self.clone();
+        let deps: Vec<(RelationName, Arc<ViewDef>)> = self
+            .entries
+            .iter()
+            .filter_map(|e| e.view.as_ref().map(|v| (e.name.clone(), Arc::clone(v))))
+            .filter(|(_, def)| def.depends_on(base))
+            .collect();
+        for (vname, def) in deps {
+            let new_view = {
+                let view = db.relation(&vname).expect("view exists");
+                match &*def {
+                    ViewDef::Join { left, right, .. } if left == right => {
+                        rebuilt_like(view, db.eval_def(&def))
+                    }
+                    ViewDef::Join { left, right, .. } => {
+                        let other = if base == left { right } else { left };
+                        let other = db.relation(other).expect("join base exists");
+                        let vts = derive_delta(&def, base, view, transitions, Some(other));
+                        view.apply_transitions(&vts)
+                    }
+                    _ => {
+                        let vts = derive_delta(&def, base, view, transitions, None);
+                        view.apply_transitions(&vts)
+                    }
+                }
+            };
+            db = db
+                .update_relation(&vname, |_| (new_view, CopyReport::default(), ()))
+                .expect("view exists")
+                .0;
+        }
+        db
+    }
+
+    /// Replaces every view's contents with a fresh evaluation from the
+    /// current base relations, preserving definitions, schemas, reprs and
+    /// index definitions. Recovery uses this: checkpointed bases are
+    /// mark-consistent, so re-deriving the views from them (rather than
+    /// trusting possibly-lagging checkpointed view contents) restores the
+    /// invariant `view = f(bases)` exactly.
+    pub fn recompute_views(&self) -> Database {
+        let entries: Vec<Entry> = self
+            .entries
+            .iter()
+            .map(|e| match &e.view {
+                None => e.clone(),
+                Some(def) => Entry {
+                    name: e.name.clone(),
+                    relation: rebuilt_like(&e.relation, self.eval_def(def)),
+                    schema: e.schema.clone(),
+                    view: e.view.clone(),
+                },
+            })
+            .collect();
+        Database {
+            entries: entries.into_iter().collect(),
         }
     }
 
@@ -629,6 +889,154 @@ mod tests {
     }
 
     #[test]
+    fn create_view_materializes_and_maintains() {
+        let mut db = db_rs();
+        for k in 0..10i64 {
+            let t = Tuple::new(vec![k.into(), (k % 3).into()]);
+            db = db.insert(&"R".into(), t).unwrap().0;
+        }
+        let db = db
+            .create_view(
+                "V",
+                ViewDef::Select {
+                    base: "R".into(),
+                    filter: Some(crate::view::ViewFilter::Eq(1, 0.into())),
+                },
+            )
+            .unwrap();
+        assert_eq!(db.relation(&"V".into()).unwrap().len(), 4); // 0,3,6,9
+        assert!(db.view_def(&"V".into()).unwrap().is_some());
+        assert_eq!(db.view_def(&"R".into()).unwrap(), None);
+        assert!(db.has_dependent_views(&"R".into()));
+        assert!(!db.has_dependent_views(&"S".into()));
+
+        // Writes to the base maintain the view; writes to the view fail.
+        let (db, _) = db
+            .insert(&"R".into(), Tuple::new(vec![30.into(), 0.into()]))
+            .unwrap();
+        assert_eq!(db.relation(&"V".into()).unwrap().len(), 5);
+        let (db, _) = db.delete(&"R".into(), &0.into()).unwrap();
+        assert_eq!(db.relation(&"V".into()).unwrap().len(), 4);
+        assert_eq!(
+            db.insert(&"V".into(), Tuple::of_key(1)).err(),
+            Some(DatabaseError::WriteToView("V".into()))
+        );
+        assert_eq!(
+            db.delete(&"V".into(), &3.into()).err(),
+            Some(DatabaseError::WriteToView("V".into()))
+        );
+
+        // The maintained contents equal a recompute from scratch.
+        let recomputed = db.recompute_views();
+        let mut want = recomputed.relation(&"V".into()).unwrap().scan();
+        let mut got = db.relation(&"V".into()).unwrap().scan();
+        want.sort();
+        got.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn create_view_validations() {
+        let db = db_rs();
+        let sel = |base: &str| ViewDef::Select {
+            base: base.into(),
+            filter: None,
+        };
+        assert_eq!(
+            db.create_view("R", sel("S")).err(),
+            Some(DatabaseError::DuplicateRelation("R".into()))
+        );
+        assert_eq!(
+            db.create_view("V", sel("Nope")).err(),
+            Some(DatabaseError::NoSuchRelation("Nope".into()))
+        );
+        let db = db.create_view("V", sel("R")).unwrap();
+        assert_eq!(
+            db.create_view("W", sel("V")).err(),
+            Some(DatabaseError::ViewOnView("V".into()))
+        );
+    }
+
+    #[test]
+    fn join_view_maintained_through_database_writes() {
+        let mut db = Database::empty()
+            .create_relation("L", Repr::Tree23)
+            .unwrap()
+            .create_relation("R", Repr::Tree23)
+            .unwrap();
+        for k in 0..6i64 {
+            let t = Tuple::new(vec![k.into(), (k % 2).into()]);
+            db = db.insert(&"L".into(), t).unwrap().0;
+            let t = Tuple::new(vec![(100 + k).into(), (k % 2).into()]);
+            db = db.insert(&"R".into(), t).unwrap().0;
+        }
+        let def = ViewDef::Join {
+            left: "L".into(),
+            right: "R".into(),
+            left_field: 1,
+            right_field: 1,
+        };
+        let mut db = db.create_view("J", def).unwrap();
+        // Mutate both sides and compare against recompute each step.
+        let writes: Vec<(&str, Tuple)> = vec![
+            ("L", Tuple::new(vec![50.into(), 1.into()])),
+            ("R", Tuple::new(vec![200.into(), 0.into()])),
+            ("L", Tuple::new(vec![2.into(), 1.into()])),
+        ];
+        for (rel, t) in writes {
+            db = db.insert(&rel.into(), t).unwrap().0;
+            let mut got = db.relation(&"J".into()).unwrap().scan();
+            let mut want = db.recompute_views().relation(&"J".into()).unwrap().scan();
+            got.sort();
+            want.sort();
+            assert_eq!(got, want);
+        }
+        db = db.delete(&"R".into(), &101.into()).unwrap().0;
+        let mut got = db.relation(&"J".into()).unwrap().scan();
+        let mut want = db.recompute_views().relation(&"J".into()).unwrap().scan();
+        got.sort();
+        want.sort();
+        assert_eq!(got, want);
+        assert_eq!(db.relation(&"J".into()).unwrap().len(), want.len());
+    }
+
+    #[test]
+    fn paged_base_gets_tree_view_and_select_inherits_schema() {
+        let schema = Schema::new(&["id", "color"]).unwrap();
+        let db = Database::empty()
+            .create_relation_with_schema("P", Repr::Paged(4), Some(schema.clone()))
+            .unwrap();
+        let db = db
+            .create_view(
+                "V",
+                ViewDef::Select {
+                    base: "P".into(),
+                    filter: None,
+                },
+            )
+            .unwrap();
+        assert_eq!(db.relation(&"V".into()).unwrap().repr(), Repr::Tree23);
+        assert_eq!(db.schema(&"V".into()).unwrap(), Some(&schema));
+        // Aggregate views carry no schema.
+        let db = db
+            .create_view(
+                "C",
+                ViewDef::GroupCount {
+                    base: "P".into(),
+                    group: 1,
+                },
+            )
+            .unwrap();
+        assert_eq!(db.schema(&"C".into()).unwrap(), None);
+        assert_eq!(
+            db.views().len(),
+            2,
+            "both views enumerated: {:?}",
+            db.views()
+        );
+    }
+
+    #[test]
     fn relation_name_display_and_conversion() {
         let n: RelationName = "Emp".into();
         assert_eq!(n.as_str(), "Emp");
@@ -649,6 +1057,14 @@ mod tests {
         assert_eq!(
             DatabaseError::DuplicateIndex("X".into(), "ix".into()).to_string(),
             "index already exists on X: ix"
+        );
+        assert_eq!(
+            DatabaseError::WriteToView("X".into()).to_string(),
+            "cannot write to materialized view: X"
+        );
+        assert_eq!(
+            DatabaseError::ViewOnView("X".into()).to_string(),
+            "views over views are not supported: X"
         );
     }
 

@@ -16,6 +16,11 @@
 //!
 //! Nothing here mutates: every update returns a new value, and the old
 //! version remains a fully usable database.
+//!
+//! Derived state is a value too: a materialized [`view`](crate::view) is an
+//! ordinary [`Relation`] kept consistent by propagating each write's
+//! [`KeyTransition`] runs through the view's definition instead of
+//! recomputing it.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -27,11 +32,13 @@ pub mod relation;
 pub mod schema;
 pub mod tuple;
 pub mod value;
+pub mod view;
 
-pub use batch::{BatchOp, BatchOutcome, BatchTask};
+pub use batch::{batch_transitions, BatchOp, BatchOutcome, BatchTask};
 pub use database::{Database, DatabaseError, RelationName};
 pub use index::{IndexSet, KeyTransition, SecondaryIndex};
 pub use relation::{Relation, Repr, Store};
 pub use schema::{Schema, SchemaError};
 pub use tuple::Tuple;
 pub use value::Value;
+pub use view::{derive_delta, eval_view, rebuilt_like, ViewDef, ViewFilter};

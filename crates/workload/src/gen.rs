@@ -622,6 +622,205 @@ impl AnalyticSpec {
     }
 }
 
+/// Parameters for the standing-query benchmark workload: one analytic
+/// join asked over and over while the fact relation it reads keeps
+/// mutating under it.
+///
+/// Two relations model the stream. `Dim` is small: `dims` rows `(dkey,
+/// dkey % 100, dkey)` whose keys are spread evenly over `0..dim_span`.
+/// `Fact` is large: `facts` rows `(id, id % dim_span, id % groups,
+/// id % 50)` — fact id, join key, group, quantity. Each client's stream
+/// ([`Self::client_ops`]) runs `rounds_per_client` rounds of
+/// `writes_per_round` fact writes — replaces, inserts and deletes, so
+/// every transition shape occurs — followed by the standing query
+/// `join Dim with Fact on #0 = #1`.
+///
+/// Against [`Self::initial`] every standing query *recomputes* its
+/// answer with a build-and-probe pass over all of `Fact`. Against
+/// [`Self::materialize`]'s database the same query substitutes the
+/// `Standing` materialized view, which is maintained differentially
+/// from each write's key transitions: the query degenerates to a view
+/// scan, and the per-write maintenance touches only the written keys.
+/// The throughput ratio is the incremental-maintenance win.
+///
+/// [`Self::maintenance_views`] and [`Self::write_ops`] support the
+/// companion measurement: the write-path latency cost of keeping 0, 1
+/// or 4 views current under a pure-write stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StandingSpec {
+    /// Concurrent submitting clients.
+    pub clients: usize,
+    /// Write-then-query rounds per client.
+    pub rounds_per_client: usize,
+    /// Fact-relation writes per round (before the standing query).
+    pub writes_per_round: usize,
+    /// Rows in `Dim` (the small side of the join).
+    pub dims: usize,
+    /// Key space `Fact#1` draws from; only `dims / dim_span` of the fact
+    /// rows join, so the standing result stays far smaller than `Fact`.
+    pub dim_span: i64,
+    /// Rows in `Fact` (the large, mutating side).
+    pub facts: usize,
+    /// Distinct values of the grouping attribute `Fact#2` (used by the
+    /// aggregate views of [`Self::maintenance_views`]).
+    pub groups: i64,
+    /// RNG seed; equal specs generate equal workloads.
+    pub seed: u64,
+}
+
+impl StandingSpec {
+    /// The small dimension relation's name.
+    pub const DIM: &'static str = "Dim";
+    /// The large, mutating fact relation's name.
+    pub const FACT: &'static str = "Fact";
+    /// The standing join view's name.
+    pub const VIEW: &'static str = "Standing";
+
+    /// The view definitions [`Self::maintenance_views`] layers on, in
+    /// order: a group sum, a group count, a selective filter, and the
+    /// standing join — one cheap differential pass each, of increasing
+    /// per-transition cost.
+    const MAINTENANCE_DDL: [&'static str; 4] = [
+        "create view SpendByGroup as sum #3 of Fact by #2",
+        "create view FactsByGroup as count Fact by #2",
+        "create view HotFacts as select from Fact where #2 = 0",
+        "create view Standing as join Dim with Fact on #0 = #1",
+    ];
+
+    /// The pre-seeded, view-free database: every standing query against
+    /// it recomputes from the bases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim_span` or `groups` is not positive.
+    pub fn initial(&self) -> Database {
+        assert!(self.dim_span > 0, "need a positive dim span");
+        assert!(self.groups > 0, "need at least one group");
+        let mut db = Database::empty()
+            .create_relation(Self::DIM, Repr::BTree(16))
+            .expect("fresh database has no relations")
+            .create_relation(Self::FACT, Repr::BTree(16))
+            .expect("generated names are unique");
+        let dim_name = Self::DIM.into();
+        let stride = (self.dim_span / self.dims.max(1) as i64).max(1);
+        for d in 0..self.dims {
+            let dkey = d as i64 * stride;
+            let tuple = Tuple::new(vec![dkey.into(), (dkey % 100).into(), dkey.into()]);
+            let (d2, _) = db.insert(&dim_name, tuple).expect("relation exists");
+            db = d2;
+        }
+        let fact_name = Self::FACT.into();
+        for i in 0..self.facts {
+            let id = i as i64;
+            let tuple = Tuple::new(vec![
+                id.into(),
+                (id % self.dim_span).into(),
+                (id % self.groups).into(),
+                (id % 50).into(),
+            ]);
+            let (d2, _) = db.insert(&fact_name, tuple).expect("relation exists");
+            db = d2;
+        }
+        db
+    }
+
+    /// The same database with the `Standing` join view materialized:
+    /// the standing query substitutes it, and every fact write pays one
+    /// differential maintenance pass.
+    pub fn materialize(db: &Database) -> Database {
+        Self::apply_ddl(db, &Self::MAINTENANCE_DDL[3..])
+    }
+
+    /// The same database with the first `n` (0–4) maintenance views
+    /// attached, for the write-path overhead measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 4`.
+    pub fn maintenance_views(db: &Database, n: usize) -> Database {
+        Self::apply_ddl(db, &Self::MAINTENANCE_DDL[..n])
+    }
+
+    fn apply_ddl(db: &Database, ddl: &[&str]) -> Database {
+        let mut db = db.clone();
+        for q in ddl {
+            let tx = translate(parse(q).expect("view DDL parses"));
+            let (resp, d2) = tx.apply(&db);
+            assert!(!resp.is_error(), "{resp}");
+            db = d2;
+        }
+        db
+    }
+
+    /// One client's deterministic write stream: per op, 60% replaces of
+    /// an existing fact (same key and join key, new group and quantity —
+    /// the update transition), 20% inserts of a fresh client-partitioned
+    /// key, 20% deletes of the most recent fresh insert (so the relation
+    /// stays near its initial size).
+    pub fn write_ops(&self, client: usize) -> Vec<Transaction> {
+        self.stream(client, false)
+    }
+
+    /// One client's full stream: `rounds_per_client` rounds of
+    /// `writes_per_round` writes followed by the standing join query.
+    pub fn client_ops(&self, client: usize) -> Vec<Transaction> {
+        self.stream(client, true)
+    }
+
+    fn stream(&self, client: usize, with_queries: bool) -> Vec<Transaction> {
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            self.seed ^ (client as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        let writes = self.rounds_per_client * self.writes_per_round;
+        // Fresh keys are client-partitioned so concurrent clients never
+        // insert the same key.
+        let mut fresh_next = (self.facts + client * writes) as i64;
+        let mut fresh_live: Vec<i64> = Vec::new();
+        let join_q = format!("join {} with {} on #0 = #1", Self::DIM, Self::FACT);
+        let mut out = Vec::with_capacity(writes + self.rounds_per_client);
+        for _ in 0..self.rounds_per_client {
+            for _ in 0..self.writes_per_round {
+                let roll = rng.gen_range(0u32..100);
+                let q = if roll >= 80 && !fresh_live.is_empty() {
+                    format!("delete {} from {}", fresh_live.pop().unwrap(), Self::FACT)
+                } else if roll >= 60 {
+                    let id = fresh_next;
+                    fresh_next += 1;
+                    fresh_live.push(id);
+                    let jk = rng.gen_range(0..self.dim_span);
+                    let g = rng.gen_range(0..self.groups);
+                    let qty = rng.gen_range(0..50i64);
+                    format!("insert ({id}, {jk}, {g}, {qty}) into {}", Self::FACT)
+                } else {
+                    let id = rng.gen_range(0..self.facts as i64);
+                    let g = rng.gen_range(0..self.groups);
+                    let qty = rng.gen_range(0..50i64);
+                    format!(
+                        "replace ({id}, {}, {g}, {qty}) in {}",
+                        id % self.dim_span,
+                        Self::FACT
+                    )
+                };
+                out.push(translate(parse(&q).expect("generated queries parse")));
+            }
+            if with_queries {
+                out.push(translate(parse(&join_q).expect("generated queries parse")));
+            }
+        }
+        out
+    }
+
+    /// Every client's full stream, indexed by client.
+    pub fn all_clients(&self) -> Vec<Vec<Transaction>> {
+        (0..self.clients).map(|c| self.client_ops(c)).collect()
+    }
+
+    /// Every client's pure-write stream, indexed by client.
+    pub fn all_write_clients(&self) -> Vec<Vec<Transaction>> {
+        (0..self.clients).map(|c| self.write_ops(c)).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -913,6 +1112,103 @@ mod tests {
             joined <= spec.lineitems / 2,
             "join output {joined} is not selective"
         );
+    }
+
+    fn standing() -> StandingSpec {
+        StandingSpec {
+            clients: 2,
+            rounds_per_client: 3,
+            writes_per_round: 12,
+            dims: 20,
+            dim_span: 100,
+            facts: 1_000,
+            groups: 10,
+            seed: 23,
+        }
+    }
+
+    #[test]
+    fn standing_streams_are_deterministic_and_shaped() {
+        let spec = standing();
+        let a: Vec<String> = spec
+            .client_ops(0)
+            .iter()
+            .map(|t| t.query().to_string())
+            .collect();
+        let b: Vec<String> = spec
+            .client_ops(0)
+            .iter()
+            .map(|t| t.query().to_string())
+            .collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3 * (12 + 1));
+        let joins = a.iter().filter(|q| q.starts_with("join")).count();
+        assert_eq!(joins, 3);
+        // Every 13th op closes a round with the standing query.
+        assert_eq!(a[12], "join Dim with Fact on #0 = #1");
+        assert!(a.iter().any(|q| q.starts_with("replace")));
+        assert!(a.iter().any(|q| q.starts_with("insert")));
+        assert!(a.iter().any(|q| q.starts_with("delete")));
+        // The pure-write stream is the same stream minus the queries.
+        let w: Vec<String> = spec
+            .write_ops(0)
+            .iter()
+            .map(|t| t.query().to_string())
+            .collect();
+        assert_eq!(w.len(), 3 * 12);
+        assert!(w.iter().all(|q| !q.starts_with("join")));
+    }
+
+    #[test]
+    fn standing_view_and_recompute_answer_identically() {
+        let spec = standing();
+        let mut base_db = spec.initial();
+        let mut view_db = StandingSpec::materialize(&base_db);
+        assert!(view_db
+            .views()
+            .iter()
+            .any(|(n, _)| n.as_str() == StandingSpec::VIEW));
+        // Apply both clients' streams sequentially to both databases:
+        // after every transaction — in particular after every standing
+        // query, which recomputes on one side and substitutes the
+        // differentially-maintained view on the other — the responses
+        // must match up to tuple order.
+        for ops in spec.all_clients() {
+            for tx in ops {
+                let (base, b2) = tx.apply(&base_db);
+                assert!(!base.is_error(), "{base}");
+                let (view, v2) = tx.apply(&view_db);
+                match (base.tuples(), view.tuples()) {
+                    (Some(b), Some(v)) => {
+                        let mut b = b.to_vec();
+                        let mut v = v.to_vec();
+                        b.sort();
+                        v.sort();
+                        assert_eq!(b, v, "{}", tx.query());
+                    }
+                    _ => assert_eq!(base, view, "{}", tx.query()),
+                }
+                base_db = b2;
+                view_db = v2;
+            }
+        }
+    }
+
+    #[test]
+    fn standing_maintenance_views_layer_in_order() {
+        let spec = standing();
+        let db = spec.initial();
+        assert_eq!(StandingSpec::maintenance_views(&db, 0).views().len(), 0);
+        assert_eq!(StandingSpec::maintenance_views(&db, 1).views().len(), 1);
+        let four = StandingSpec::maintenance_views(&db, 4);
+        assert_eq!(four.views().len(), 4);
+        // The write stream executes cleanly with all four views attached.
+        let mut db = four;
+        for tx in spec.write_ops(0) {
+            let (resp, d2) = tx.apply(&db);
+            assert!(!resp.is_error(), "{resp}");
+            db = d2;
+        }
     }
 
     #[test]

@@ -25,5 +25,6 @@ pub use experiment::{
     PAPER_RELATION_COLUMNS, PAPER_UPDATE_PERCENTS,
 };
 pub use gen::{
-    AnalyticSpec, HotPathSpec, Phase, PhasedSpec, SelectiveSpec, Workload, WorkloadSpec,
+    AnalyticSpec, HotPathSpec, Phase, PhasedSpec, SelectiveSpec, StandingSpec, Workload,
+    WorkloadSpec,
 };
